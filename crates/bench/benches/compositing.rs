@@ -1,0 +1,40 @@
+//! Criterion benchmarks for the compositing algorithms — the T_COMP model's
+//! measured substrate: direct send vs binary swap vs radix-k across rank
+//! counts and image sizes.
+
+use compositing::{binary_swap, direct_send, radix_k, CompositeMode, RankImage};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpirt::NetModel;
+use perfmodel::study::synth_rank_images;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compositing_algorithms");
+    group.sample_size(10);
+    let images = synth_rank_images(16, 256, 7);
+    group.bench_function("direct_send_16", |b| {
+        b.iter(|| direct_send(&images, CompositeMode::AlphaOrdered, NetModel::cluster()))
+    });
+    group.bench_function("binary_swap_16", |b| {
+        b.iter(|| binary_swap(&images, CompositeMode::AlphaOrdered, NetModel::cluster()))
+    });
+    group.bench_function("radix_4x4_16", |b| {
+        b.iter(|| radix_k(&images, CompositeMode::AlphaOrdered, NetModel::cluster(), &[4, 4]))
+    });
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compositing_rank_scaling");
+    group.sample_size(10);
+    for tasks in [8usize, 64, 256] {
+        let images: Vec<RankImage> = synth_rank_images(tasks, 128, 3);
+        let factors = compositing::algorithms::default_factors(tasks);
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &images, |b, imgs| {
+            b.iter(|| radix_k(imgs, CompositeMode::AlphaOrdered, NetModel::cluster(), &factors))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the data-parallel primitive layer itself —
+//! map, scan, reduce, compaction, and the radix sort — on both devices.
+//! These are the building blocks whose costs the renderer models aggregate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpp::sort::sort_pairs_u64;
+use dpp::Device;
+
+const N: usize = 1 << 18;
+
+fn devices() -> Vec<(&'static str, Device)> {
+    vec![("serial", Device::Serial), ("parallel", Device::parallel())]
+}
+
+fn bench_map_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpp_map_reduce");
+    let data: Vec<f32> = (0..N).map(|i| (i as f32).sin()).collect();
+    for (name, device) in devices() {
+        group.bench_with_input(BenchmarkId::new("map", name), &device, |b, d| {
+            b.iter(|| dpp::map(d, N, |i| data[i] * data[i] + 1.0))
+        });
+        group.bench_with_input(BenchmarkId::new("reduce", name), &device, |b, d| {
+            b.iter(|| dpp::map_reduce(d, N, |i| data[i] as f64, 0.0, |a, b| a + b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan_compact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpp_scan_compact");
+    let flags: Vec<u32> = (0..N).map(|i| (i % 3 == 0) as u32).collect();
+    for (name, device) in devices() {
+        group.bench_with_input(BenchmarkId::new("exclusive_scan", name), &device, |b, d| {
+            b.iter(|| dpp::exclusive_scan_u32(d, &flags))
+        });
+        group.bench_with_input(BenchmarkId::new("compact", name), &device, |b, d| {
+            b.iter(|| dpp::compact_indices(d, N, |i| flags[i] != 0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_radix_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpp_radix_sort");
+    group.sample_size(10);
+    let keys: Vec<u64> = (0..N as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    for (name, device) in devices() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &device, |b, d| {
+            b.iter(|| {
+                let mut k = keys.clone();
+                let mut v: Vec<u32> = (0..N as u32).collect();
+                sort_pairs_u64(d, &mut k, &mut v);
+                (k, v)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_map_reduce, bench_scan_compact, bench_radix_sort);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the rasterizer: the `c0*O` transform/cull term
+//! and the `c1*(VO*PPT)` fill term of T_RAST, swept independently.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpp::Device;
+use mesh::datasets::{field_grid, FieldKind};
+use mesh::external_faces::external_faces_grid;
+use render::raster::rasterize;
+use render::raytrace::TriGeometry;
+use vecmath::{Camera, TransferFunction};
+
+fn geometry(cells: usize) -> TriGeometry {
+    let g = field_grid(FieldKind::ShockShell, [cells; 3]);
+    TriGeometry::from_mesh(&external_faces_grid(&g, "scalar"))
+}
+
+/// Sweep object count at fixed image size (exercises the c0*O term).
+fn bench_object_term(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raster_objects");
+    group.sample_size(10);
+    for cells in [16usize, 32, 64] {
+        let geom = geometry(cells);
+        let cam = Camera::close_view(&geom.bounds);
+        let tf = TransferFunction::rainbow(geom.scalar_range);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(geom.num_tris()),
+            &geom,
+            |b, geom| b.iter(|| rasterize(&Device::parallel(), geom, &cam, 128, 128, &tf, None)),
+        );
+    }
+    group.finish();
+}
+
+/// Sweep image size at fixed geometry (exercises the VO*PPT fill term).
+fn bench_fill_term(c: &mut Criterion) {
+    let geom = geometry(24);
+    let cam = Camera::close_view(&geom.bounds);
+    let tf = TransferFunction::rainbow(geom.scalar_range);
+    let mut group = c.benchmark_group("raster_fill");
+    group.sample_size(10);
+    for side in [64u32, 128, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
+            b.iter(|| rasterize(&Device::parallel(), &geom, &cam, side, side, &tf, None))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_object_term, bench_fill_term);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the ray-tracing pipeline: BVH build
+//! (LBVH vs SAH), and the three study workloads — the timing substrate
+//! behind Tables 1-5.
+
+use baselines::packet8::intersect_image_packets;
+use baselines::tuned::{Profile, TunedTracer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpp::Device;
+use mesh::datasets::{field_grid, FieldKind};
+use mesh::isosurface::isosurface;
+use render::raytrace::{Bvh, RayTracer, RtConfig, TriGeometry};
+use vecmath::Camera;
+
+fn scene(cells: usize) -> TriGeometry {
+    let g = field_grid(FieldKind::ShockShell, [cells; 3]);
+    TriGeometry::from_mesh(&isosurface(&g, "scalar", 0.5, Some("elevation")))
+}
+
+fn bench_bvh_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bvh_build");
+    for cells in [16usize, 32] {
+        let geom = scene(cells);
+        group.bench_with_input(
+            BenchmarkId::new("lbvh", geom.num_tris()),
+            &geom,
+            |b, geom| b.iter(|| Bvh::build(&Device::parallel(), geom)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sah", geom.num_tris()),
+            &geom,
+            |b, geom| b.iter(|| TunedTracer::from_geometry(geom.clone(), Profile::Embree)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let geom = scene(24);
+    let cam = Camera::close_view(&geom.bounds);
+    let rt = RayTracer::new(Device::parallel(), geom.clone());
+    let mut group = c.benchmark_group("rt_workloads");
+    group.sample_size(10);
+    let side = 128u32;
+    for (name, cfg) in [
+        ("workload1_intersect", RtConfig::workload1()),
+        ("workload2_shade", RtConfig::workload2()),
+        ("workload3_full", RtConfig::workload3()),
+    ] {
+        group.bench_function(name, |b| b.iter(|| rt.render(&cam, side, side, &cfg)));
+    }
+    // Comparators on WORKLOAD1.
+    let tuned = TunedTracer::from_geometry(geom.clone(), Profile::Embree);
+    group.bench_function("workload1_embree_like", |b| {
+        b.iter(|| tuned.intersect_image(&cam, side, side))
+    });
+    let bvh = Bvh::build(&Device::parallel(), &geom);
+    group.bench_function("workload1_packet8", |b| {
+        b.iter(|| intersect_image_packets(&geom, &bvh, &cam, side, side))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bvh_build, bench_workloads);
+criterion_main!(benches);

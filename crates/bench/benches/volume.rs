@@ -1,0 +1,83 @@
+//! Criterion benchmarks for the volume renderers: structured ray casting
+//! (the T_VR model's kernel), the unstructured multi-pass sampler per phase
+//! count, and the baseline comparators — the timing substrate behind
+//! Tables 6-9 and Figures 4-7.
+
+use baselines::havs::render_havs;
+use baselines::visit_like::render_visit;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpp::Device;
+use mesh::datasets::{field_grid, FieldKind, TetDatasetSpec};
+use render::volume_structured::{render_structured, SvrConfig};
+use render::volume_unstructured::{render_unstructured, UvrConfig};
+use vecmath::{Camera, TransferFunction};
+
+fn tets(cells: usize) -> mesh::TetMesh {
+    TetDatasetSpec { name: "bench", cells: [cells; 3], kind: FieldKind::ShockShell }.build(1.0)
+}
+
+fn bench_structured(c: &mut Criterion) {
+    let grid = field_grid(FieldKind::ShockShell, [32, 32, 32]);
+    let tf = TransferFunction::sparse_features(grid.field("scalar").unwrap().range().unwrap());
+    let cam = Camera::close_view(&grid.bounds());
+    let mut group = c.benchmark_group("volume_structured");
+    group.sample_size(10);
+    for samples in [128u32, 373] {
+        let cfg = SvrConfig { samples_per_ray: samples, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("raycast", samples), &cfg, |b, cfg| {
+            b.iter(|| {
+                render_structured(&Device::parallel(), &grid, "scalar", &cam, 128, 128, &tf, cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_unstructured_passes(c: &mut Criterion) {
+    let mesh = tets(14);
+    let tf = TransferFunction::sparse_features(mesh.field("scalar").unwrap().range().unwrap());
+    let cam = Camera::close_view(&mesh.bounds());
+    let mut group = c.benchmark_group("volume_unstructured");
+    group.sample_size(10);
+    for passes in [1u32, 4, 16] {
+        let cfg = UvrConfig { depth_samples: 192, num_passes: passes, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("passes", passes), &cfg, |b, cfg| {
+            b.iter(|| {
+                render_unstructured(&Device::parallel(), &mesh, "scalar", &cam, 96, 96, &tf, cfg)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_comparators(c: &mut Criterion) {
+    let mesh = tets(10);
+    let tf = TransferFunction::sparse_features(mesh.field("scalar").unwrap().range().unwrap());
+    let cam = Camera::close_view(&mesh.bounds());
+    let mut group = c.benchmark_group("volume_comparators");
+    group.sample_size(10);
+    group.bench_function("dpp_vr", |b| {
+        b.iter(|| {
+            render_unstructured(
+                &Device::parallel(), &mesh, "scalar", &cam, 96, 96, &tf,
+                &UvrConfig { depth_samples: 128, ..Default::default() },
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("havs_like", |b| {
+        b.iter(|| render_havs(&Device::parallel(), &mesh, "scalar", &cam, 96, 96, &tf))
+    });
+    group.bench_function("visit_like", |b| {
+        b.iter(|| render_visit(&mesh, "scalar", &cam, 96, 96, 128, &tf))
+    });
+    let conn = baselines::bunyk::Connectivity::build(&mesh);
+    group.bench_function("bunyk", |b| {
+        b.iter(|| baselines::bunyk::render_bunyk(&mesh, &conn, "scalar", &cam, 96, 96, &tf, 0.01))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_structured, bench_unstructured_passes, bench_comparators);
+criterion_main!(benches);

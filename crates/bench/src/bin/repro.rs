@@ -1,0 +1,81 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p bench-harness --release --bin repro -- <id> [--full]
+//!   <id>:  table1..table17 | fig4 fig5 fig6 fig7 fig11..fig15 | all
+//!   --full: paper-shaped sizes (minutes-to-hours); default is quick scale
+//! ```
+//!
+//! Every experiment prints its table and writes a CSV artifact under
+//! `repro_out/`.
+
+use baselines::tuned::Profile;
+use bench_harness::{figures, tables, write_artifact, Scale, TextTable};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
+    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    if ids.is_empty() {
+        eprintln!("usage: repro <table1..table17|fig4..fig15|ablations|images|all> [--full]");
+        std::process::exit(2);
+    }
+    for id in ids {
+        if id == "images" {
+            bench_harness::images::all(scale);
+            continue;
+        }
+        if id == "all" {
+            for t in [
+                "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+                "table9", "table10", "table11", "table12", "table13", "table14", "table15",
+                "table16", "table17", "fig4", "fig5", "fig6", "fig7", "fig11", "fig12", "fig13",
+                "fig14", "fig15", "ablations",
+            ] {
+                run(t, scale);
+            }
+        } else {
+            run(id, scale);
+        }
+    }
+}
+
+fn run(id: &str, scale: Scale) {
+    let t0 = std::time::Instant::now();
+    let table: TextTable = match id {
+        "table1" => tables::table_rt_fps(scale, false),
+        "table2" => tables::table_rt_fps(scale, true),
+        "table3" => tables::table_rays_comparison(scale, Profile::Optix),
+        "table4" => tables::table_rays_comparison(scale, Profile::Embree),
+        "table5" => tables::table5(scale),
+        "table6" => tables::table6(scale),
+        "table7" => tables::table7(scale),
+        "table8" => tables::table8(scale),
+        "table9" => tables::table9(scale),
+        "table10" => tables::table10(),
+        "table11" => tables::table11(scale),
+        "table12" => tables::table12(scale),
+        "table13" => tables::table13(scale),
+        "table14" => tables::table14(scale),
+        "table15" => tables::table15(scale),
+        "table16" => tables::table16(scale),
+        "table17" => tables::table17(scale),
+        "ablations" => tables::ablations(scale),
+        "fig4" => figures::fig_phase_sweep(scale, false),
+        "fig5" => figures::fig_phase_sweep(scale, true),
+        "fig6" => figures::fig6(scale),
+        "fig7" => figures::fig7(scale),
+        "fig11" => figures::fig11(scale),
+        "fig12" => figures::fig12(scale),
+        "fig13" => figures::fig13(scale),
+        "fig14" => figures::fig14(scale),
+        "fig15" => figures::fig15(scale),
+        other => {
+            eprintln!("unknown experiment id: {other}");
+            std::process::exit(2);
+        }
+    };
+    println!("{}", table.render());
+    write_artifact(&format!("{id}.csv"), &table.to_csv());
+    println!("[{id} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,111 @@
+//! Study-corpus management: run (or load cached) render and compositing
+//! studies, fit the six single-node models plus the compositing model, and
+//! hand back [`perfmodel::feasibility::ModelSet`]s for the prediction
+//! experiments. Tables 12-17 and Figures 11-15 all read from here.
+
+use crate::Scale;
+use dpp::Device;
+use mpirt::NetModel;
+use perfmodel::feasibility::ModelSet;
+use perfmodel::mapping::MappingConstants;
+use perfmodel::models::{CompositeModel, ModelForm, RastModel, RtBuildModel, RtModel, VrModel};
+use perfmodel::sample::{CompositeSample, RenderSample, RendererKind};
+use perfmodel::study::{run_composite_study, run_render_study, StudyConfig};
+
+/// The full experiment corpus: render samples per (device, renderer) plus
+/// the compositing samples.
+pub struct Corpus {
+    pub render: Vec<RenderSample>,
+    pub composite: Vec<CompositeSample>,
+}
+
+pub const DEVICES: [&str; 2] = ["serial", "parallel"];
+pub const RENDERERS: [RendererKind; 3] = [
+    RendererKind::RayTracing,
+    RendererKind::Rasterization,
+    RendererKind::VolumeRendering,
+];
+
+fn cache_path(scale: Scale, kind: &str) -> std::path::PathBuf {
+    crate::out_dir().join(format!(
+        "corpus_{kind}_{}.csv",
+        if scale == Scale::Quick { "quick" } else { "full" }
+    ))
+}
+
+/// Build (or load from cache) the render + compositing corpus.
+pub fn ensure_corpus(scale: Scale) -> Corpus {
+    let rp = cache_path(scale, "render");
+    let cp = cache_path(scale, "composite");
+    if let (Ok(rtext), Ok(ctext)) = (std::fs::read_to_string(&rp), std::fs::read_to_string(&cp)) {
+        let render = perfmodel::sample::from_csv(&rtext);
+        let composite: Vec<CompositeSample> = ctext
+            .lines()
+            .filter(|l| !l.is_empty() && !l.starts_with("tasks,"))
+            .filter_map(CompositeSample::from_csv_row)
+            .collect();
+        if !render.is_empty() && !composite.is_empty() {
+            println!("[corpus loaded from cache: {} render, {} composite samples]", render.len(), composite.len());
+            return Corpus { render, composite };
+        }
+    }
+
+    let study = match scale {
+        Scale::Quick => StudyConfig::quick(),
+        Scale::Full => StudyConfig::full(),
+    };
+    let mut render = Vec::new();
+    for device in [Device::Serial, Device::parallel()] {
+        for renderer in RENDERERS {
+            eprintln!("[study: {} x {} ...]", device.name(), renderer.name());
+            render.extend(run_render_study(&device, renderer, &study));
+        }
+    }
+    let (tasks, sides): (Vec<usize>, Vec<u32>) = match scale {
+        Scale::Quick => (vec![2, 4, 8, 16, 32], vec![128, 256, 384, 512]),
+        Scale::Full => (vec![2, 4, 8, 16, 32, 64], vec![512, 840, 1032, 1250, 1558, 2048]),
+    };
+    eprintln!("[compositing study ...]");
+    let composite = run_composite_study(NetModel::cluster(), &tasks, &sides, 0xBEEF);
+
+    let _ = std::fs::write(&rp, perfmodel::sample::to_csv(&render));
+    let mut ctext = String::from(CompositeSample::CSV_HEADER);
+    ctext.push('\n');
+    for c in &composite {
+        ctext.push_str(&c.to_csv_row());
+        ctext.push('\n');
+    }
+    let _ = std::fs::write(&cp, ctext);
+    Corpus { render, composite }
+}
+
+impl Corpus {
+    /// Samples of one (device, renderer) pairing.
+    pub fn subset(&self, device: &str, renderer: RendererKind) -> Vec<RenderSample> {
+        self.render
+            .iter()
+            .filter(|s| s.device == device && s.renderer == renderer)
+            .cloned()
+            .collect()
+    }
+
+    /// Fit the full model set for one device.
+    pub fn fit_models(&self, device: &str) -> ModelSet {
+        let rt = self.subset(device, RendererKind::RayTracing);
+        let ra = self.subset(device, RendererKind::Rasterization);
+        let vr = self.subset(device, RendererKind::VolumeRendering);
+        ModelSet {
+            device: device.to_string(),
+            rt: RtModel.fit(&rt),
+            rt_build: RtBuildModel.fit(&rt),
+            rast: RastModel.fit(&ra),
+            vr: VrModel.fit(&vr),
+            comp: CompositeModel.fit(&self.composite),
+        }
+    }
+
+    /// Mapping constants calibrated from the corpus (tasks=1 samples).
+    pub fn mapping_constants(&self) -> MappingConstants {
+        MappingConstants::calibrated(&self.render)
+    }
+}

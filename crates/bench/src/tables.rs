@@ -1,0 +1,894 @@
+//! Regenerators for every table in the dissertation's evaluation.
+//!
+//! Absolute numbers differ from the paper's testbeds (our devices are one
+//! machine's serial and all-cores configurations; see DESIGN.md), but each
+//! table reproduces the paper's row/column structure and the qualitative
+//! shape of its result.
+
+use crate::corpus::{ensure_corpus, DEVICES};
+use crate::{fmt_count, fmt_s, Scale, TextTable};
+use baselines::packet8::intersect_image_packets;
+use baselines::tuned::{Profile, TunedTracer};
+use baselines::visit_like::render_visit;
+use dpp::Device;
+use mesh::datasets::{surface_dataset_pool, tet_dataset_pool};
+use perfmodel::crossval::{k_fold, k_fold_accuracy};
+use perfmodel::mapping::{map_inputs, RenderConfig};
+use perfmodel::models::{CompositeModel, ModelForm, RastModel, RtBuildModel, RtModel, VrModel};
+use perfmodel::sample::RendererKind;
+use perfmodel::stats::AccuracySummary;
+use perfmodel::study::run_one;
+use render::raytrace::{Bvh, RayTracer, RtConfig, TriGeometry};
+use render::volume_unstructured::{render_unstructured, UvrConfig};
+use vecmath::{Camera, TransferFunction, Vec3};
+
+/// The three camera positions the study averaged over.
+fn study_cameras(bounds: &vecmath::Aabb) -> Vec<Camera> {
+    vec![
+        Camera::close_view(bounds),
+        Camera::framing(bounds, Vec3::new(-0.5, 0.2, -1.0), 0.9),
+        Camera::far_view(bounds),
+    ]
+}
+
+/// Average seconds of `f` over study cameras and rounds.
+fn avg_seconds(bounds: &vecmath::Aabb, rounds: usize, mut f: impl FnMut(&Camera) -> f64) -> f64 {
+    let cams = study_cameras(bounds);
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for cam in &cams {
+        let _warm = f(cam);
+        for _ in 0..rounds {
+            total += f(cam);
+            n += 1;
+        }
+    }
+    total / n as f64
+}
+
+/// Tables 1 and 2: frames/second of the DPP ray tracer across the data-set
+/// pool (WORKLOAD2 for Table 1, WORKLOAD3 for Table 2).
+pub fn table_rt_fps(scale: Scale, workload3: bool) -> TextTable {
+    let id = if workload3 { 2 } else { 1 };
+    let mut t = TextTable::new(
+        format!("Table {id}: DPP ray tracer FPS ({})", if workload3 { "WORKLOAD3: full features" } else { "WORKLOAD2: shading" }),
+        &["dataset", "triangles", "serial FPS", "parallel FPS"],
+    );
+    let side = scale.image_side();
+    let cfg = if workload3 { RtConfig::workload3() } else { RtConfig::workload2() };
+    for spec in surface_dataset_pool() {
+        let mesh = spec.build(scale.dataset_scale());
+        if mesh.num_tris() == 0 {
+            continue;
+        }
+        let geom = TriGeometry::from_mesh(&mesh);
+        let mut cells = vec![spec.name.to_string(), fmt_count(geom.num_tris() as f64)];
+        for device in [Device::Serial, Device::parallel()] {
+            let rt = RayTracer::new(device, geom.clone());
+            let s = avg_seconds(&rt.geom.bounds, scale.rounds(), |cam| {
+                rt.render(cam, side, side, &cfg).stats.render_seconds
+            });
+            cells.push(format!("{:.1}", 1.0 / s));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// Tables 3 and 4: millions of rays/second, DPP tracer vs the tuned
+/// comparator (`Optix` profile for Table 3, `Embree` for Table 4).
+pub fn table_rays_comparison(scale: Scale, profile: Profile) -> TextTable {
+    let (id, who) = match profile {
+        Profile::Optix => (3, "OptiX-like"),
+        Profile::Embree => (4, "Embree-like"),
+    };
+    let device = match profile {
+        Profile::Optix => Device::parallel(),
+        Profile::Embree => Device::parallel(),
+    };
+    let mut t = TextTable::new(
+        format!("Table {id}: WORKLOAD1 Mrays/s, DPP tracer vs {who}"),
+        &["dataset", "triangles", "DPP Mrays/s", &format!("{who} Mrays/s"), "ratio"],
+    );
+    let side = scale.image_side();
+    let n_rays = (side as f64) * (side as f64);
+    for spec in surface_dataset_pool() {
+        let mesh = spec.build(scale.dataset_scale());
+        if mesh.num_tris() == 0 {
+            continue;
+        }
+        let geom = TriGeometry::from_mesh(&mesh);
+        let rt = RayTracer::new(device.clone(), geom.clone());
+        let dpp_s = avg_seconds(&geom.bounds, scale.rounds(), |cam| {
+            rt.render(cam, side, side, &RtConfig::workload1()).stats.render_seconds
+        });
+        let tuned = TunedTracer::from_geometry(geom.clone(), profile);
+        let tuned_s = avg_seconds(&geom.bounds, scale.rounds(), |cam| {
+            tuned.intersect_image(cam, side, side).1
+        });
+        let dpp_mrays = n_rays / dpp_s / 1e6;
+        let tuned_mrays = n_rays / tuned_s / 1e6;
+        t.row(vec![
+            spec.name.to_string(),
+            fmt_count(geom.num_tris() as f64),
+            format!("{dpp_mrays:.1}"),
+            format!("{tuned_mrays:.1}"),
+            format!("{:.2}x", tuned_mrays / dpp_mrays),
+        ]);
+    }
+    t
+}
+
+/// Table 5: scalar-lane back-end vs 8-wide packet back-end (the
+/// OpenMP-vs-ISPC comparison), same LBVH, same device threads.
+pub fn table5(scale: Scale) -> TextTable {
+    let mut t = TextTable::new(
+        "Table 5: WORKLOAD1 Mrays/s, scalar back-end vs 8-wide packet back-end",
+        &["dataset", "triangles", "scalar Mrays/s", "packet8 Mrays/s", "speedup"],
+    );
+    let side = scale.image_side();
+    let n_rays = (side as f64) * (side as f64);
+    let device = Device::parallel();
+    for spec in surface_dataset_pool() {
+        let mesh = spec.build(scale.dataset_scale());
+        if mesh.num_tris() == 0 {
+            continue;
+        }
+        let geom = TriGeometry::from_mesh(&mesh);
+        let rt = RayTracer::new(device.clone(), geom.clone());
+        let scalar_s = avg_seconds(&geom.bounds, scale.rounds(), |cam| {
+            rt.render(cam, side, side, &RtConfig::workload1()).stats.render_seconds
+        });
+        let bvh = Bvh::build(&device, &geom);
+        let packet_s = avg_seconds(&geom.bounds, scale.rounds(), |cam| {
+            intersect_image_packets(&geom, &bvh, cam, side, side).1
+        });
+        t.row(vec![
+            spec.name.to_string(),
+            fmt_count(geom.num_tris() as f64),
+            format!("{:.1}", n_rays / scalar_s / 1e6),
+            format!("{:.1}", n_rays / packet_s / 1e6),
+            format!("{:.2}x", scalar_s / packet_s),
+        ]);
+    }
+    t
+}
+
+/// The Enzo-10M-like tet mesh used by Tables 6-8.
+fn enzo10m_tets(scale: Scale) -> mesh::TetMesh {
+    tet_dataset_pool()[1].build(scale.dataset_scale())
+}
+
+fn tet_tf(t: &mesh::TetMesh) -> TransferFunction {
+    TransferFunction::sparse_features(t.field("scalar").unwrap().range().unwrap())
+}
+
+/// Table 6: per-phase time / work units / throughput proxy for the
+/// unstructured volume renderer (close view, 4 passes, parallel device).
+/// The paper's registers/occupancy columns are GPU hardware counters; our
+/// substitution reports algorithmic work units and throughput (DESIGN.md).
+pub fn table6(scale: Scale) -> TextTable {
+    let tets = enzo10m_tets(scale);
+    let cam = Camera::close_view(&tets.bounds());
+    let side = scale.image_side();
+    let out = render_unstructured(
+        &Device::parallel(),
+        &tets,
+        "scalar",
+        &cam,
+        side,
+        side,
+        &tet_tf(&tets),
+        &UvrConfig { depth_samples: 256, num_passes: 4, ..Default::default() },
+    )
+    .expect("render");
+    let mut t = TextTable::new(
+        "Table 6: unstructured VR kernels (close view, 4 passes, parallel device)",
+        &["kernel", "time (s)", "work units", "Melem/s (IPC proxy)"],
+    );
+    for phase in ["pass_selection", "screen_space", "sampling", "compositing"] {
+        let s = out.phases.seconds_of(phase);
+        let w = out.phases.work_of(phase);
+        t.row(vec![
+            phase.to_string(),
+            fmt_s(s),
+            fmt_count(w as f64),
+            format!("{:.1}", w as f64 / s.max(1e-9) / 1e6),
+        ]);
+    }
+    t
+}
+
+/// Table 7: phase times and throughput proxy, serial vs parallel device.
+pub fn table7(scale: Scale) -> TextTable {
+    let tets = enzo10m_tets(scale);
+    let cam = Camera::close_view(&tets.bounds());
+    let side = scale.image_side();
+    let cfg = UvrConfig { depth_samples: 256, num_passes: 4, ..Default::default() };
+    let tf = tet_tf(&tets);
+    let run = |device: Device| {
+        render_unstructured(&device, &tets, "scalar", &cam, side, side, &tf, &cfg).expect("render")
+    };
+    let par = run(Device::parallel());
+    let ser = run(Device::Serial);
+    let mut t = TextTable::new(
+        "Table 7: unstructured VR by phase, parallel vs serial (time s / Melem/s)",
+        &["phase", "parallel time", "parallel Melem/s", "serial time", "serial Melem/s"],
+    );
+    for phase in ["pass_selection", "screen_space", "sampling", "compositing"] {
+        let (ps, pw) = (par.phases.seconds_of(phase), par.phases.work_of(phase));
+        let (ss, sw) = (ser.phases.seconds_of(phase), ser.phases.work_of(phase));
+        t.row(vec![
+            phase.to_string(),
+            fmt_s(ps),
+            format!("{:.1}", pw as f64 / ps.max(1e-9) / 1e6),
+            fmt_s(ss),
+            format!("{:.1}", sw as f64 / ss.max(1e-9) / 1e6),
+        ]);
+    }
+    t
+}
+
+/// Table 8: strong scaling of the unstructured volume renderer.
+pub fn table8(scale: Scale) -> TextTable {
+    let tets = enzo10m_tets(scale);
+    let cam = Camera::close_view(&tets.bounds());
+    let side = scale.image_side();
+    let cfg = UvrConfig { depth_samples: 256, num_passes: 1, ..Default::default() };
+    let tf = tet_tf(&tets);
+    // Keep a few oversubscribed entries even on small hosts so the table
+    // always shows the scaling (or its absence) rather than a single row.
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads: Vec<usize> = vec![1, 2, 4, 8, 16, 24]
+        .into_iter()
+        .filter(|&t| t <= (4 * max_threads).max(4))
+        .collect();
+    let mut t = TextTable::new(
+        "Table 8: strong scaling of unstructured VR (Enzo-10M-like, close view, 1 pass)",
+        &["threads", "raw time (s)", "total time (s) = raw * threads"],
+    );
+    for &n in &threads {
+        let device = Device::parallel_with_threads(n);
+        let _warm =
+            render_unstructured(&device, &tets, "scalar", &cam, side, side, &tf, &cfg).unwrap();
+        let out =
+            render_unstructured(&device, &tets, "scalar", &cam, side, side, &tf, &cfg).unwrap();
+        let raw = out.stats.render_seconds;
+        t.row(vec![n.to_string(), fmt_s(raw), fmt_s(raw * n as f64)]);
+    }
+    t
+}
+
+/// Table 9: DPP-VR vs the VisIt-style sampler (serial), SS/S/C/TOT columns.
+pub fn table9(scale: Scale) -> TextTable {
+    let mut t = TextTable::new(
+        "Table 9: volume rendering vs VisIt-style sampler (serial, seconds)",
+        &["data & view", "SW", "SS", "S", "C", "TOT"],
+    );
+    let side = scale.image_side();
+    let samples = if scale == Scale::Quick { 200 } else { 1000 };
+    let pool = tet_dataset_pool();
+    for spec in &pool {
+        let tets = spec.build(scale.dataset_scale() * 0.8);
+        let tf = tet_tf(&tets);
+        for (view, cam) in [
+            ("Far", Camera::far_view(&tets.bounds())),
+            ("Close", Camera::close_view(&tets.bounds())),
+        ] {
+            let visit = render_visit(&tets, "scalar", &cam, side, side, samples, &tf);
+            t.row(vec![
+                format!("{}/{}", spec.name, view),
+                "VisIt-like".into(),
+                fmt_s(visit.stats.screen_space_seconds),
+                fmt_s(visit.stats.sampling_seconds),
+                fmt_s(visit.stats.compositing_seconds),
+                fmt_s(visit.stats.total_seconds),
+            ]);
+            let dpp = render_unstructured(
+                &Device::Serial,
+                &tets,
+                "scalar",
+                &cam,
+                side,
+                side,
+                &tf,
+                &UvrConfig { depth_samples: samples, num_passes: 1, ..Default::default() },
+            )
+            .expect("render");
+            t.row(vec![
+                format!("{}/{}", spec.name, view),
+                "DPP-VR".into(),
+                fmt_s(dpp.phases.seconds_of("screen_space")),
+                fmt_s(dpp.phases.seconds_of("sampling")),
+                fmt_s(dpp.phases.seconds_of("compositing")),
+                fmt_s(dpp.stats.render_seconds),
+            ]);
+        }
+    }
+    t
+}
+
+/// Table 10: lines of code to instrument the three proxy apps, counted from
+/// the marked sections of the in situ example programs.
+pub fn table10() -> TextTable {
+    let mut t = TextTable::new(
+        "Table 10: lines of code to instrument the proxy apps",
+        &["section", "LULESH", "Kripke", "CloverLeaf3D"],
+    );
+    let examples = [
+        ("LULESH", "examples/insitu_lulesh.rs"),
+        ("Kripke", "examples/insitu_kripke.rs"),
+        ("CloverLeaf3D", "examples/insitu_cloverleaf.rs"),
+    ];
+    let sections = ["data description", "action descriptions", "api calls"];
+    let mut counts = vec![vec![0usize; examples.len()]; sections.len()];
+    for (col, (_, path)) in examples.iter().enumerate() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let text = std::fs::read_to_string(root.join(path))
+            .unwrap_or_else(|_| std::fs::read_to_string(path).unwrap_or_default());
+        for (row, section) in sections.iter().enumerate() {
+            counts[row][col] = count_marked_lines(&text, section);
+        }
+    }
+    for (row, section) in sections.iter().enumerate() {
+        t.row(vec![
+            section.to_string(),
+            counts[row][0].to_string(),
+            counts[row][1].to_string(),
+            counts[row][2].to_string(),
+        ]);
+    }
+    t
+}
+
+/// Count non-empty code lines between `// [strawman:<section>]` and
+/// `// [strawman:end]` markers.
+pub fn count_marked_lines(text: &str, section: &str) -> usize {
+    let open = format!("// [strawman:{section}]");
+    let mut counting = false;
+    let mut count = 0usize;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed == open {
+            counting = true;
+            continue;
+        }
+        if trimmed == "// [strawman:end]" {
+            counting = false;
+            continue;
+        }
+        if counting && !trimmed.is_empty() && !trimmed.starts_with("//") {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Table 11: simulation burden — vis s/cycle vs sim s/cycle for the three
+/// proxies, each with the renderer the paper used.
+pub fn table11(scale: Scale) -> TextTable {
+    use sims::ProxySim;
+    let mut t = TextTable::new(
+        "Table 11: simulation burden (avg seconds per cycle)",
+        &["app (renderer)", "cells", "vis s/cycle", "sim s/cycle"],
+    );
+    // Sizes chosen so simulation cost is realistic relative to rendering
+    // (simulation work grows ~N^3 while surface rendering grows ~N^2, as on
+    // the paper's 4-8 billion cell runs).
+    let (nc, nk, nl, cycles, side) = match scale {
+        Scale::Quick => (72usize, 44usize, 20usize, 3usize, 192u32),
+        Scale::Full => (160, 72, 48, 5, 1024),
+    };
+    let device = Device::parallel();
+
+    // CloverLeaf3D: pseudocolor via ray tracing.
+    {
+        let mut sim = sims::Cloverleaf::new(nc);
+        let mut sim_s = 0.0;
+        let mut vis_s = 0.0;
+        for _ in 0..cycles {
+            let t0 = std::time::Instant::now();
+            sim.step();
+            sim_s += t0.elapsed().as_secs_f64();
+            let grid = sim.grid().to_uniform();
+            let t1 = std::time::Instant::now();
+            let tris = mesh::external_faces::external_faces_grid(&grid, "density_p");
+            let geom = TriGeometry::from_mesh(&tris);
+            let rt = RayTracer::new(device.clone(), geom);
+            let cam = Camera::close_view(&rt.geom.bounds);
+            let _ = rt.render(&cam, side, side, &RtConfig::workload2());
+            vis_s += t1.elapsed().as_secs_f64();
+        }
+        t.row(vec![
+            "CloverLeaf3D (ray tracing)".into(),
+            fmt_count(sim.num_cells() as f64),
+            fmt_s(vis_s / cycles as f64),
+            fmt_s(sim_s / cycles as f64),
+        ]);
+    }
+    // Kripke: rasterization (the paper used OSMesa).
+    {
+        let mut sim = sims::Kripke::new(nk);
+        let mut sim_s = 0.0;
+        let mut vis_s = 0.0;
+        for _ in 0..cycles {
+            let t0 = std::time::Instant::now();
+            sim.step();
+            sim_s += t0.elapsed().as_secs_f64();
+            let grid = sim.grid();
+            let t1 = std::time::Instant::now();
+            let tris = mesh::external_faces::external_faces_grid(&grid, "phi_p");
+            let geom = TriGeometry::from_mesh(&tris);
+            let tf = TransferFunction::rainbow(geom.scalar_range);
+            let cam = Camera::close_view(&geom.bounds);
+            let _ = render::raster::rasterize(&device, &geom, &cam, side, side, &tf, None);
+            vis_s += t1.elapsed().as_secs_f64();
+        }
+        t.row(vec![
+            "Kripke (rasterization)".into(),
+            fmt_count(sim.num_cells() as f64),
+            fmt_s(vis_s / cycles as f64),
+            fmt_s(sim_s / cycles as f64),
+        ]);
+    }
+    // LULESH: volume rendering.
+    {
+        let mut sim = sims::Lulesh::new(nl);
+        let mut sim_s = 0.0;
+        let mut vis_s = 0.0;
+        for _ in 0..cycles {
+            let t0 = std::time::Instant::now();
+            sim.step();
+            sim_s += t0.elapsed().as_secs_f64();
+            let hexes = sim.hex_mesh();
+            let t1 = std::time::Instant::now();
+            let tets = hexes.to_tets();
+            let range = tets.field("e_p").unwrap().range().unwrap_or((0.0, 1.0));
+            let tf = TransferFunction::sparse_features(range);
+            let cam = Camera::close_view(&tets.bounds());
+            let _ = render_unstructured(
+                &device, &tets, "e_p", &cam, side, side, &tf,
+                &UvrConfig { depth_samples: 128, ..Default::default() },
+            );
+            vis_s += t1.elapsed().as_secs_f64();
+        }
+        t.row(vec![
+            "LULESH (volume rendering)".into(),
+            fmt_count(sim.num_cells() as f64),
+            fmt_s(vis_s / cycles as f64),
+            fmt_s(sim_s / cycles as f64),
+        ]);
+    }
+    t
+}
+
+/// Table 12: R^2 for the six single-node models.
+pub fn table12(scale: Scale) -> TextTable {
+    let corpus = ensure_corpus(scale);
+    let mut t = TextTable::new(
+        "Table 12: R^2 of the performance models",
+        &["renderer", "serial R^2", "parallel R^2"],
+    );
+    for renderer in crate::corpus::RENDERERS {
+        let mut cells = vec![renderer.name().to_string()];
+        for device in DEVICES {
+            let samples = corpus.subset(device, renderer);
+            let r2 = match renderer {
+                RendererKind::RayTracing => RtModel.fit(&samples).r_squared(),
+                RendererKind::Rasterization => RastModel.fit(&samples).r_squared(),
+                RendererKind::VolumeRendering => VrModel.fit(&samples).r_squared(),
+            };
+            cells.push(format!("{r2:.4}"));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+fn model_xy(
+    corpus: &crate::corpus::Corpus,
+    device: &str,
+    renderer: RendererKind,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let samples = corpus.subset(device, renderer);
+    let xs: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|s| match renderer {
+            RendererKind::RayTracing => RtModel.features(s),
+            RendererKind::Rasterization => RastModel.features(s),
+            RendererKind::VolumeRendering => VrModel.features(s),
+        })
+        .collect();
+    let ys: Vec<f64> = samples.iter().map(|s| s.render_seconds).collect();
+    (xs, ys)
+}
+
+/// Table 13: 3-fold cross-validation accuracy for all six models.
+pub fn table13(scale: Scale) -> TextTable {
+    let corpus = ensure_corpus(scale);
+    let mut t = TextTable::new(
+        "Table 13: 3-fold cross-validation accuracy (% of predictions within error bound)",
+        &["device", "renderer", "50%", "25%", "10%", "5%", "avg err %"],
+    );
+    for device in DEVICES {
+        for renderer in crate::corpus::RENDERERS {
+            let (xs, ys) = model_xy(&corpus, device, renderer);
+            let acc = k_fold_accuracy(&xs, &ys, 3);
+            t.row(vec![
+                device.to_string(),
+                renderer.name().to_string(),
+                format!("{:.1}", acc.within_50),
+                format!("{:.1}", acc.within_25),
+                format!("{:.1}", acc.within_10),
+                format!("{:.1}", acc.within_5),
+                format!("{:.1}", acc.mean_error_pct),
+            ]);
+        }
+    }
+    t
+}
+
+/// Table 14: compositing-model cross-validation accuracy.
+pub fn table14(scale: Scale) -> TextTable {
+    let corpus = ensure_corpus(scale);
+    let xs: Vec<Vec<f64>> = corpus.composite.iter().map(|s| CompositeModel.features(s)).collect();
+    let ys: Vec<f64> = corpus.composite.iter().map(|s| s.seconds).collect();
+    let acc = k_fold_accuracy(&xs, &ys, 3);
+    let mut t = TextTable::new(
+        "Table 14: compositing model 3-fold CV accuracy",
+        &["model", "50%", "25%", "10%", "5%", "avg err %", "n"],
+    );
+    t.row(vec![
+        "compositing".into(),
+        format!("{:.1}", acc.within_50),
+        format!("{:.1}", acc.within_25),
+        format!("{:.1}", acc.within_10),
+        format!("{:.1}", acc.within_5),
+        format!("{:.1}", acc.mean_error_pct),
+        acc.n.to_string(),
+    ]);
+    t
+}
+
+/// Table 15: "Titan" — calibrate on the small corpus, then predict a
+/// 1024-task weak-scaled run and compare against the measured+simulated
+/// actual time.
+pub fn table15(scale: Scale) -> TextTable {
+    let corpus = ensure_corpus(scale);
+    let set = corpus.fit_models("parallel");
+    let k = corpus.mapping_constants();
+    let tasks = 1024usize;
+    let n = match scale {
+        Scale::Quick => 40usize,
+        Scale::Full => 256,
+    };
+    let side = scale.image_side() * 2;
+    let mut t = TextTable::new(
+        format!("Table 15: large-scale prediction at {tasks} simulated tasks"),
+        &["renderer", "actual (s)", "predicted (s)", "difference", "train samples"],
+    );
+    for renderer in crate::corpus::RENDERERS {
+        // Actual: render one representative task. In weak scaling each task
+        // sees 1/tasks^(1/3) of the pixels (render a proportionally smaller
+        // image at the study's fill) and a 1/tasks^(1/3) sampling density.
+        let scale = (tasks as f64).cbrt();
+        let task_side = ((side as f64 / scale.sqrt()) as u32).max(48);
+        let task_spr = ((373.0 / scale) as u32).max(8);
+        let local = perfmodel::study::run_one_with_samples(
+            &Device::parallel(), renderer, n, task_side, 0.75, task_spr,
+        );
+        // The paper's Titan table compares *rendering* time only — "our
+        // compositing model is not appropriate at the scale of 1024 MPI
+        // tasks, so we do not present it here" (Section 5.7). We do the same.
+        let actual = local.render_seconds;
+        let cfg = RenderConfig {
+            renderer,
+            cells_per_task: n,
+            pixels: (side as usize) * (side as usize),
+            tasks,
+        };
+        let inputs = perfmodel::mapping::map_inputs(&cfg, &k);
+        let predicted = match renderer {
+            RendererKind::RayTracing => RtModel.predict(&set.rt, &inputs),
+            RendererKind::Rasterization => RastModel.predict(&set.rast, &inputs),
+            RendererKind::VolumeRendering => VrModel.predict(&set.vr, &inputs),
+        }
+        .max(0.0);
+        let train = corpus.subset("parallel", renderer).len();
+        t.row(vec![
+            renderer.name().to_string(),
+            fmt_s(actual),
+            fmt_s(predicted),
+            format!("{:+.1}%", (predicted - actual) / actual * 100.0),
+            train.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table 16: mapping validation — predicted vs observed model inputs and the
+/// resulting execution-time predictions, for six random configurations.
+pub fn table16(scale: Scale) -> TextTable {
+    let corpus = ensure_corpus(scale);
+    let k = corpus.mapping_constants();
+    let mut t = TextTable::new(
+        "Table 16: mapping validation (predicted vs observed inputs and times)",
+        &["test", "renderer", "AP pred", "AP obs", "aux pred", "aux obs", "t(map)", "t(obs)", "t actual"],
+    );
+    let configs = [
+        (RendererKind::VolumeRendering, 36usize, 200u32),
+        (RendererKind::RayTracing, 44, 160),
+        (RendererKind::Rasterization, 36, 176),
+        (RendererKind::VolumeRendering, 44, 232),
+        (RendererKind::RayTracing, 30, 168),
+        (RendererKind::Rasterization, 34, 280),
+    ];
+    let sets: std::collections::HashMap<&str, perfmodel::feasibility::ModelSet> = DEVICES
+        .iter()
+        .map(|d| (*d, corpus.fit_models(d)))
+        .collect();
+    for (i, (renderer, n, side)) in configs.iter().enumerate() {
+        let device = if i % 2 == 0 { "parallel" } else { "serial" };
+        let dev = if device == "parallel" { Device::parallel() } else { Device::Serial };
+        // Observed inputs come from a real render at the corpus's median
+        // camera fill (the mapping's constants average over that range).
+        let observed = run_one(&dev, *renderer, *n, *side, 0.75);
+        let cfg = RenderConfig {
+            renderer: *renderer,
+            cells_per_task: *n,
+            pixels: (*side as usize) * (*side as usize),
+            tasks: 1,
+        };
+        let mapped = map_inputs(&cfg, &k);
+        let set = &sets[device];
+        let predict = |s: &perfmodel::sample::RenderSample| match renderer {
+            RendererKind::RayTracing => RtModel.predict(&set.rt, s),
+            RendererKind::Rasterization => RastModel.predict(&set.rast, s),
+            RendererKind::VolumeRendering => VrModel.predict(&set.vr, s),
+        };
+        let (aux_pred, aux_obs) = match renderer {
+            RendererKind::VolumeRendering => (mapped.samples_per_ray, observed.samples_per_ray),
+            RendererKind::Rasterization => {
+                (mapped.pixels_per_triangle, observed.pixels_per_triangle)
+            }
+            RendererKind::RayTracing => (mapped.objects, observed.objects),
+        };
+        t.row(vec![
+            i.to_string(),
+            format!("{}/{}", device, renderer.name()),
+            fmt_count(mapped.active_pixels),
+            fmt_count(observed.active_pixels),
+            format!("{aux_pred:.1}"),
+            format!("{aux_obs:.1}"),
+            fmt_s(predict(&mapped)),
+            fmt_s(predict(&observed)),
+            fmt_s(observed.render_seconds),
+        ]);
+    }
+    t
+}
+
+/// Table 17: the experimentally determined coefficients.
+pub fn table17(scale: Scale) -> TextTable {
+    let corpus = ensure_corpus(scale);
+    let mut t = TextTable::new(
+        "Table 17: fitted model coefficients",
+        &["technique", "device", "c0", "c1", "c2", "c3", "c4"],
+    );
+    for device in DEVICES {
+        let rt_samples = corpus.subset(device, RendererKind::RayTracing);
+        let rt = RtModel.fit(&rt_samples);
+        let build = RtBuildModel.fit(&rt_samples);
+        // Paper order for RT: c0,c1 = build; c2,c3,c4 = render.
+        t.row(vec![
+            "ray_tracing".into(),
+            device.into(),
+            format!("{:.3e}", build.coeffs()[0]),
+            format!("{:.3e}", build.coeffs()[1]),
+            format!("{:.3e}", rt.coeffs()[0]),
+            format!("{:.3e}", rt.coeffs()[1]),
+            format!("{:.3e}", rt.coeffs()[2]),
+        ]);
+        let ra = RastModel.fit(&corpus.subset(device, RendererKind::Rasterization));
+        t.row(vec![
+            "rasterization".into(),
+            device.into(),
+            format!("{:.3e}", ra.coeffs()[0]),
+            format!("{:.3e}", ra.coeffs()[1]),
+            format!("{:.3e}", ra.coeffs()[2]),
+            "-".into(),
+            "-".into(),
+        ]);
+        let vr = VrModel.fit(&corpus.subset(device, RendererKind::VolumeRendering));
+        t.row(vec![
+            "volume".into(),
+            device.into(),
+            format!("{:.3e}", vr.coeffs()[0]),
+            format!("{:.3e}", vr.coeffs()[1]),
+            format!("{:.3e}", vr.coeffs()[2]),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    let comp = CompositeModel.fit(&ensure_corpus(scale).composite);
+    t.row(vec![
+        "compositing".into(),
+        "-".into(),
+        format!("{:.3e}", comp.coeffs()[0]),
+        format!("{:.3e}", comp.coeffs()[1]),
+        format!("{:.3e}", comp.coeffs()[2]),
+        "-".into(),
+        "-".into(),
+    ]);
+    t
+}
+
+/// Cross-validation (actual, predicted) pairs for figure 11.
+pub fn cv_pairs(
+    corpus: &crate::corpus::Corpus,
+    device: &str,
+    renderer: RendererKind,
+) -> Vec<(f64, f64)> {
+    let (xs, ys) = model_xy(corpus, device, renderer);
+    k_fold(&xs, &ys, 3)
+}
+
+/// Compositing CV pairs + summary (figure 13 / table 14 inputs).
+pub fn composite_cv(corpus: &crate::corpus::Corpus) -> (Vec<(f64, f64)>, AccuracySummary) {
+    let xs: Vec<Vec<f64>> = corpus.composite.iter().map(|s| CompositeModel.features(s)).collect();
+    let ys: Vec<f64> = corpus.composite.iter().map(|s| s.seconds).collect();
+    let pairs = k_fold(&xs, &ys, 3);
+    let acc = AccuracySummary::from_pairs(&pairs);
+    (pairs, acc)
+}
+
+/// Ablations of the design choices DESIGN.md calls out: stream compaction,
+/// Morton ray ordering, anti-aliasing, sampler-side early termination, and
+/// the pass-count/memory trade — each toggled in isolation.
+pub fn ablations(scale: Scale) -> TextTable {
+    let mut t = TextTable::new(
+        "Ablations: design-choice on/off timings",
+        &["experiment", "off (s)", "on (s)", "on/off", "note"],
+    );
+    let side = scale.image_side();
+
+    // --- Ray tracing toggles on a far view (many dead rays). ---
+    let spec = &surface_dataset_pool()[4]; // RM 350K
+    let mesh = spec.build(scale.dataset_scale());
+    let geom = TriGeometry::from_mesh(&mesh);
+    let rt = RayTracer::new(Device::parallel(), geom);
+    let far = Camera::far_view(&rt.geom.bounds);
+    let close = Camera::close_view(&rt.geom.bounds);
+    let time_rt = |cam: &Camera, cfg: &RtConfig| {
+        let _ = rt.render(cam, side, side, cfg);
+        let mut s = 0.0;
+        for _ in 0..scale.rounds() {
+            s += rt.render(cam, side, side, cfg).stats.render_seconds;
+        }
+        s / scale.rounds() as f64
+    };
+    {
+        let mut base = RtConfig::workload3();
+        base.antialias = false;
+        base.compaction = false;
+        let off = time_rt(&far, &base);
+        let mut on_cfg = base.clone();
+        on_cfg.compaction = true;
+        let on = time_rt(&far, &on_cfg);
+        t.row(vec![
+            "RT stream compaction (far view)".into(),
+            fmt_s(off),
+            fmt_s(on),
+            format!("{:.2}", on / off),
+            "helps when many rays die".into(),
+        ]);
+    }
+    {
+        let base = RtConfig::workload2();
+        let off = time_rt(&close, &base);
+        let mut on_cfg = base.clone();
+        on_cfg.morton_sort_rays = true;
+        let on = time_rt(&close, &on_cfg);
+        t.row(vec![
+            "RT Morton ray order (close view)".into(),
+            fmt_s(off),
+            fmt_s(on),
+            format!("{:.2}", on / off),
+            "coherence vs sort cost".into(),
+        ]);
+    }
+    {
+        let mut base = RtConfig::workload3();
+        base.antialias = false;
+        let off = time_rt(&close, &base);
+        let mut on_cfg = base.clone();
+        on_cfg.antialias = true;
+        let on = time_rt(&close, &on_cfg);
+        t.row(vec![
+            "RT 2x2 anti-aliasing".into(),
+            fmt_s(off),
+            fmt_s(on),
+            format!("{:.2}", on / off),
+            "~4x primary rays".into(),
+        ]);
+    }
+
+    // --- BVH builder quality: LBVH (DPP) vs SAH (tuned) vs SBVH (Ch. II). ---
+    {
+        let spec = &surface_dataset_pool()[7]; // Seismic: the heavy scene
+        let mesh = spec.build(scale.dataset_scale() * 0.7);
+        let geom = TriGeometry::from_mesh(&mesh);
+        let cam = Camera::close_view(&geom.bounds);
+        let n_rays = (side as f64) * (side as f64);
+        let time_tracer = |bvh: &render::raytrace::Bvh| {
+            let probe = |_: ()| {
+                let t0 = std::time::Instant::now();
+                for py in 0..side {
+                    for px in 0..side {
+                        let ray = cam.primary_ray(px, py, side, side, 0.5, 0.5);
+                        std::hint::black_box(bvh.closest_hit(&geom, &ray));
+                    }
+                }
+                t0.elapsed().as_secs_f64()
+            };
+            probe(()); // warm
+            probe(())
+        };
+        let lbvh = render::raytrace::Bvh::build(&Device::parallel(), &geom);
+        let sbvh = render::raytrace::build_split_bvh(&geom, 1e-6);
+        let t_l = time_tracer(&lbvh);
+        let t_s = time_tracer(&sbvh);
+        t.row(vec![
+            "SBVH vs LBVH traversal".into(),
+            fmt_s(t_l),
+            fmt_s(t_s),
+            format!("{:.2}", t_s / t_l),
+            format!(
+                "{:.1} vs {:.1} Mrays/s; {} extra refs",
+                n_rays / t_l / 1e6,
+                n_rays / t_s / 1e6,
+                sbvh.prim_order.len() - geom.num_tris()
+            ),
+        ]);
+    }
+
+    // --- Volume rendering toggles. ---
+    let tets = enzo10m_tets(scale);
+    let cam = Camera::close_view(&tets.bounds());
+    let tf = tet_tf(&tets).with_opacity_scale(3.0); // opaque enough to terminate
+    let time_vr = |cfg: &UvrConfig| {
+        let _ = render_unstructured(&Device::parallel(), &tets, "scalar", &cam, side, side, &tf, cfg);
+        let out = render_unstructured(&Device::parallel(), &tets, "scalar", &cam, side, side, &tf, cfg)
+            .expect("render");
+        out.stats.render_seconds
+    };
+    {
+        let off_cfg = UvrConfig { depth_samples: 256, early_termination: 1.1, ..Default::default() };
+        let on_cfg = UvrConfig { depth_samples: 256, early_termination: 0.98, ..Default::default() };
+        let off = time_vr(&off_cfg);
+        let on = time_vr(&on_cfg);
+        t.row(vec![
+            "VR early ray termination".into(),
+            fmt_s(off),
+            fmt_s(on),
+            format!("{:.2}", on / off),
+            "sampler + compositor skip opaque pixels".into(),
+        ]);
+    }
+    {
+        let one = UvrConfig { depth_samples: 256, num_passes: 1, ..Default::default() };
+        let eight = UvrConfig { depth_samples: 256, num_passes: 8, ..Default::default() };
+        let off = time_vr(&one);
+        let on = time_vr(&eight);
+        let mem_one = render::volume_unstructured::sample_buffer_bytes(side, side, &one);
+        let mem_eight = render::volume_unstructured::sample_buffer_bytes(side, side, &eight);
+        t.row(vec![
+            "VR 8 passes vs 1".into(),
+            fmt_s(off),
+            fmt_s(on),
+            format!("{:.2}", on / off),
+            format!("memory {} -> {} MiB", mem_one >> 20, mem_eight >> 20),
+        ]);
+    }
+    t
+}

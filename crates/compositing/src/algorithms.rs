@@ -1,0 +1,391 @@
+//! The compositing algorithms: direct send, binary swap, and radix-k.
+//!
+//! All three are expressed as the same round-structured partition exchange
+//! with different round factorizations (Peterka et al.'s radix-k insight,
+//! which IceT implements): factor the rank count `P` into rounds
+//! `k_0 * k_1 * ... = P`; in round `i`, groups of `k_i` ranks split their
+//! current pixel partition `k_i` ways and exchange so each member keeps one
+//! part, composited from all members in visibility order.
+//!
+//! * factors `[P]`            => direct send (one all-to-all round)
+//! * factors `[2, 2, ..., 2]` => binary swap (log2 P pairwise rounds)
+//! * anything else            => general radix-k
+//!
+//! Rounds execute on the [`LockstepWorld`]: per rank we *measure* blending
+//! compute and *model* the wire (latency + bytes/bandwidth), advancing the
+//! simulated clock by the slowest rank per round.
+
+use crate::image::{CompositeMode, RankImage};
+use mpirt::{LockstepWorld, NetModel, RoundCost};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Result record of one composite.
+#[derive(Debug, Clone)]
+pub struct CompositeStats {
+    /// Simulated wall seconds (sum of per-round maxima, compute + wire).
+    pub simulated_seconds: f64,
+    /// Total measured blending/assembly compute seconds across ranks.
+    pub compute_seconds: f64,
+    /// Total bytes moved.
+    pub total_bytes: u64,
+    /// Communication rounds (including the final gather).
+    pub rounds: usize,
+}
+
+/// Serial reference: merge every rank image in visibility order.
+pub fn reference(images: &[RankImage], mode: CompositeMode) -> RankImage {
+    assert!(!images.is_empty());
+    let mut out = images[images.len() - 1].clone();
+    for img in images[..images.len() - 1].iter().rev() {
+        out.merge_front(img, mode);
+    }
+    out
+}
+
+/// Direct send: every rank owns `1/P` of the pixels and receives that part
+/// from all other ranks in one round.
+pub fn direct_send(
+    images: &[RankImage],
+    mode: CompositeMode,
+    net: NetModel,
+) -> (RankImage, CompositeStats) {
+    radix_k(images, mode, net, &[images.len()])
+}
+
+/// Binary swap: pairwise half-exchanges over log2(P) rounds. Non-power-of-two
+/// rank counts are handled with IceT's *folding* pre-round: the first
+/// `2*(P - 2^floor(log2 P))` ranks merge pairwise (whole-image sends), which
+/// leaves a power-of-two group of contiguous visibility blocks for the swap
+/// rounds.
+pub fn binary_swap(
+    images: &[RankImage],
+    mode: CompositeMode,
+    net: NetModel,
+) -> (RankImage, CompositeStats) {
+    let p = images.len();
+    assert!(p > 0);
+    if p.is_power_of_two() {
+        let rounds = p.trailing_zeros() as usize;
+        if rounds == 0 {
+            return radix_k(images, mode, net, &[1]);
+        }
+        return radix_k(images, mode, net, &vec![2usize; rounds]);
+    }
+
+    // Fold: with m = p - pow2 extras, ranks 0..2m merge in adjacent pairs
+    // (2i, 2i+1) — adjacency keeps the visibility order contiguous for the
+    // ordered-alpha mode.
+    let pow2 = 1usize << (usize::BITS - 1 - p.leading_zeros());
+    let m = p - pow2;
+    let bpp = RankImage::bytes_per_pixel(mode);
+    let n_px = images[0].num_pixels();
+    let mut world = mpirt::LockstepWorld::new(p, net);
+    let mut fold_costs = vec![mpirt::RoundCost::default(); p];
+    let mut folded: Vec<RankImage> = Vec::with_capacity(pow2);
+    let mut fold_compute = 0.0f64;
+    for i in 0..m {
+        let t0 = Instant::now();
+        let mut back = images[2 * i + 1].clone();
+        back.merge_front(&images[2 * i], mode);
+        let dt = t0.elapsed().as_secs_f64();
+        fold_compute += dt;
+        // The odd member ships its whole image to the even member.
+        fold_costs[2 * i + 1] =
+            mpirt::RoundCost { compute_s: 0.0, bytes_sent: n_px * bpp, messages: 1 };
+        fold_costs[2 * i] = mpirt::RoundCost { compute_s: dt, bytes_sent: 0, messages: 0 };
+        folded.push(back);
+    }
+    folded.extend(images[2 * m..].iter().cloned());
+    debug_assert_eq!(folded.len(), pow2);
+    world.finish_round(&fold_costs);
+
+    let rounds = pow2.trailing_zeros() as usize;
+    let (img, swap_stats) = if rounds == 0 {
+        radix_k(&folded, mode, net, &[1])
+    } else {
+        radix_k(&folded, mode, net, &vec![2usize; rounds])
+    };
+    (
+        img,
+        CompositeStats {
+            simulated_seconds: world.elapsed_s + swap_stats.simulated_seconds,
+            compute_seconds: fold_compute + swap_stats.compute_seconds,
+            total_bytes: world.total_bytes + swap_stats.total_bytes,
+            rounds: 1 + swap_stats.rounds,
+        },
+    )
+}
+
+/// Factor `p` into radix-k round sizes (2s and small primes, largest last).
+pub fn default_factors(p: usize) -> Vec<usize> {
+    let mut n = p.max(1);
+    let mut out = Vec::new();
+    for f in [2usize, 3, 5, 7] {
+        while n.is_multiple_of(f) {
+            out.push(f);
+            n /= f;
+        }
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    if out.is_empty() {
+        out.push(1);
+    }
+    out
+}
+
+/// One rank's in-flight state: the pixel range it currently owns and the
+/// composited fragment for that range.
+#[derive(Clone)]
+struct RankState {
+    start: usize,
+    end: usize,
+    frag: RankImage,
+}
+
+/// General radix-k compositing. `factors` must multiply to `images.len()`.
+/// Rank index is visibility order (front = rank 0) for `AlphaOrdered`.
+pub fn radix_k(
+    images: &[RankImage],
+    mode: CompositeMode,
+    net: NetModel,
+    factors: &[usize],
+) -> (RankImage, CompositeStats) {
+    let p = images.len();
+    assert!(p > 0);
+    assert_eq!(
+        factors.iter().product::<usize>(),
+        p,
+        "factors {factors:?} do not multiply to {p}"
+    );
+    let width = images[0].width;
+    let height = images[0].height;
+    let n_px = images[0].num_pixels();
+    let bpp = RankImage::bytes_per_pixel(mode);
+
+    let mut world = LockstepWorld::new(p, net);
+    let mut compute_total = 0.0f64;
+
+    let mut states: Vec<RankState> = images
+        .iter()
+        .map(|img| RankState { start: 0, end: n_px, frag: img.clone() })
+        .collect();
+
+    let mut stride = 1usize;
+    for &k in factors {
+        if k == 1 {
+            continue;
+        }
+        // Execute the round: every rank keeps part `d` of its range and
+        // merges the same part from its k-1 group partners (digit order =
+        // visibility order of the accumulated contiguous blocks).
+        let results: Vec<(RankState, RoundCost, f64)> = (0..p)
+            .into_par_iter()
+            .map(|r| {
+                let d = (r / stride) % k;
+                let group_base = r - d * stride;
+                let my = &states[r];
+                let len = my.end - my.start;
+                let part = |j: usize| -> (usize, usize) {
+                    (my.start + j * len / k, my.start + (j + 1) * len / k)
+                };
+                let (ps, pe) = part(d);
+                let t0 = Instant::now();
+                // Merge members front (digit 0) to back (digit k-1).
+                let mut frag: Option<RankImage> = None;
+                for j in 0..k {
+                    let member = group_base + j * stride;
+                    let ms = &states[member];
+                    // The member's fragment covers [ms.start, ms.end); take
+                    // the sub-slice corresponding to [ps, pe).
+                    let piece = ms.frag.slice(ps - ms.start, pe - ms.start);
+                    frag = Some(match frag {
+                        None => piece,
+                        Some(mut acc) => {
+                            // `acc` holds members 0..j (in front), so the new
+                            // piece goes behind: merge acc into piece.
+                            match mode {
+                                CompositeMode::ZBuffer => {
+                                    acc.merge_front(&piece, CompositeMode::ZBuffer);
+                                    acc
+                                }
+                                CompositeMode::AlphaOrdered => {
+                                    let mut back = piece;
+                                    back.merge_front(&acc, CompositeMode::AlphaOrdered);
+                                    back
+                                }
+                            }
+                        }
+                    });
+                }
+                let compute = t0.elapsed().as_secs_f64();
+                let sent_pixels = len - (pe - ps);
+                let cost = RoundCost {
+                    compute_s: compute,
+                    bytes_sent: sent_pixels * bpp,
+                    messages: k - 1,
+                };
+                (
+                    RankState { start: ps, end: pe, frag: frag.unwrap() },
+                    cost,
+                    compute,
+                )
+            })
+            .collect();
+        let costs: Vec<RoundCost> = results.iter().map(|r| r.1).collect();
+        compute_total += results.iter().map(|r| r.2).sum::<f64>();
+        states = results.into_iter().map(|r| r.0).collect();
+        world.finish_round(&costs);
+        stride *= k;
+    }
+
+    // Final gather to root: every rank ships its piece; the root's NIC
+    // serializes the incoming image, so the root is charged the full byte
+    // volume.
+    let t0 = Instant::now();
+    let mut full = RankImage::empty(width, height);
+    for st in &states {
+        full.color[st.start..st.end].copy_from_slice(&st.frag.color);
+        full.depth[st.start..st.end].copy_from_slice(&st.frag.depth);
+    }
+    let assemble = t0.elapsed().as_secs_f64();
+    compute_total += assemble;
+    let mut gather_costs = vec![RoundCost::default(); p];
+    for (r, st) in states.iter().enumerate() {
+        if r != 0 {
+            gather_costs[r] = RoundCost {
+                compute_s: 0.0,
+                bytes_sent: (st.end - st.start) * bpp,
+                messages: 1,
+            };
+        }
+    }
+    gather_costs[0] = RoundCost {
+        compute_s: assemble,
+        bytes_sent: n_px.saturating_sub(states[0].end - states[0].start) * bpp,
+        messages: p.saturating_sub(1),
+    };
+    world.finish_round(&gather_costs);
+
+    (
+        full,
+        CompositeStats {
+            simulated_seconds: world.elapsed_s,
+            compute_seconds: compute_total,
+            total_bytes: world.total_bytes,
+            rounds: world.rounds,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use vecmath::Color;
+
+    /// Random sparse rank images: each rank covers a band of pixels.
+    fn make_images(p: usize, w: u32, h: u32, seed: u64) -> Vec<RankImage> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..p)
+            .map(|r| {
+                let mut img = RankImage::empty(w, h);
+                let n = img.num_pixels();
+                for i in 0..n {
+                    if rng.gen::<f32>() < 0.4 {
+                        let a = rng.gen::<f32>() * 0.8;
+                        img.color[i] = Color::new(
+                            rng.gen::<f32>() * a,
+                            rng.gen::<f32>() * a,
+                            rng.gen::<f32>() * a,
+                            a,
+                        );
+                        img.depth[i] = r as f32 + rng.gen::<f32>();
+                    }
+                }
+                img
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_algorithms_match_reference_zbuffer() {
+        for p in [1usize, 2, 4, 6, 8, 12] {
+            let imgs = make_images(p, 16, 9, 42 + p as u64);
+            let expect = reference(&imgs, CompositeMode::ZBuffer);
+            let (ds, _) = direct_send(&imgs, CompositeMode::ZBuffer, NetModel::zero());
+            assert!(ds.max_color_diff(&expect) < 1e-6, "direct send p={p}");
+            let (rk, _) = radix_k(
+                &imgs,
+                CompositeMode::ZBuffer,
+                NetModel::zero(),
+                &default_factors(p),
+            );
+            assert!(rk.max_color_diff(&expect) < 1e-6, "radix-k p={p}");
+            let (bs, _) = binary_swap(&imgs, CompositeMode::ZBuffer, NetModel::zero());
+            assert!(bs.max_color_diff(&expect) < 1e-6, "binary swap p={p}");
+        }
+    }
+
+    #[test]
+    fn all_algorithms_match_reference_alpha() {
+        for p in [1usize, 2, 4, 8, 9, 16] {
+            let imgs = make_images(p, 13, 7, 1000 + p as u64);
+            let expect = reference(&imgs, CompositeMode::AlphaOrdered);
+            let (ds, _) = direct_send(&imgs, CompositeMode::AlphaOrdered, NetModel::zero());
+            assert!(ds.max_color_diff(&expect) < 2e-5, "direct send p={p}");
+            let (rk, _) = radix_k(
+                &imgs,
+                CompositeMode::AlphaOrdered,
+                NetModel::zero(),
+                &default_factors(p),
+            );
+            assert!(rk.max_color_diff(&expect) < 2e-5, "radix-k p={p}");
+            let (bs, _) = binary_swap(&imgs, CompositeMode::AlphaOrdered, NetModel::zero());
+            assert!(bs.max_color_diff(&expect) < 2e-5, "binary swap p={p}");
+        }
+    }
+
+    #[test]
+    fn binary_swap_has_log_rounds() {
+        let imgs = make_images(8, 8, 8, 3);
+        let (_, st) = binary_swap(&imgs, CompositeMode::ZBuffer, NetModel::cluster());
+        assert_eq!(st.rounds, 3 + 1); // log2(8) + gather
+        let (_, st2) = direct_send(&imgs, CompositeMode::ZBuffer, NetModel::cluster());
+        assert_eq!(st2.rounds, 1 + 1);
+        // Non-power-of-two adds one fold round: 12 -> fold + log2(8) + gather.
+        let imgs12 = make_images(12, 8, 8, 4);
+        let (out, st3) = binary_swap(&imgs12, CompositeMode::AlphaOrdered, NetModel::cluster());
+        assert_eq!(st3.rounds, 1 + 3 + 1);
+        let expect = reference(&imgs12, CompositeMode::AlphaOrdered);
+        assert!(out.max_color_diff(&expect) < 2e-5);
+    }
+
+    #[test]
+    fn bigger_images_cost_more_simulated_time() {
+        let small = make_images(4, 16, 16, 9);
+        let big = make_images(4, 64, 64, 9);
+        let (_, a) = binary_swap(&small, CompositeMode::AlphaOrdered, NetModel::cluster());
+        let (_, b) = binary_swap(&big, CompositeMode::AlphaOrdered, NetModel::cluster());
+        assert!(b.simulated_seconds > a.simulated_seconds);
+        assert!(b.total_bytes > a.total_bytes);
+    }
+
+    #[test]
+    fn default_factors_multiply_back() {
+        for p in [1usize, 2, 6, 8, 12, 24, 1024, 1000] {
+            let f = default_factors(p);
+            assert_eq!(f.iter().product::<usize>(), p, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn single_rank_is_identity() {
+        let imgs = make_images(1, 10, 10, 5);
+        let (out, st) = direct_send(&imgs, CompositeMode::ZBuffer, NetModel::cluster());
+        assert!(out.max_color_diff(&imgs[0]) < 1e-7);
+        assert_eq!(st.total_bytes, 0);
+    }
+}

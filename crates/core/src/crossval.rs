@@ -1,0 +1,85 @@
+//! K-fold cross validation — the overfitting guard of Section 5.3 and the
+//! source of Tables 13/14 and Figures 11/13.
+
+use crate::regression::LinearRegression;
+use crate::stats::AccuracySummary;
+
+/// One held-out prediction: (actual, predicted).
+pub type CvPair = (f64, f64);
+
+/// Run k-fold cross validation over generic feature rows. Folds are taken
+/// round-robin (deterministic, like the paper's fixed folds). Returns the
+/// held-out (actual, predicted) pairs in input order.
+pub fn k_fold(xs: &[Vec<f64>], ys: &[f64], k: usize) -> Vec<CvPair> {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    let k = k.max(2).min(n.max(2));
+    let mut out = vec![(0.0, 0.0); n];
+    for fold in 0..k {
+        let train_x: Vec<Vec<f64>> = (0..n)
+            .filter(|i| i % k != fold)
+            .map(|i| xs[i].clone())
+            .collect();
+        let train_y: Vec<f64> = (0..n).filter(|i| i % k != fold).map(|i| ys[i]).collect();
+        if train_x.is_empty() || train_x.len() < train_x[0].len() {
+            continue;
+        }
+        let fit = LinearRegression::fit(&train_x, &train_y);
+        for i in (0..n).filter(|i| i % k == fold) {
+            out[i] = (ys[i], fit.predict(&xs[i]));
+        }
+    }
+    out
+}
+
+/// Cross-validate and summarize in one call (Table 13 row).
+pub fn k_fold_accuracy(xs: &[Vec<f64>], ys: &[f64], k: usize) -> AccuracySummary {
+    AccuracySummary::from_pairs(&k_fold(xs, ys, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planted(n: usize, noise: f64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let x = (i + 1) as f64;
+            let eps = (((i as u64).wrapping_mul(2654435761) % 1000) as f64 / 1000.0 - 0.5) * noise;
+            xs.push(vec![x, 1.0]);
+            ys.push(4.0 * x + 2.0 + eps);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn exact_law_predicts_exactly() {
+        let (xs, ys) = planted(60, 0.0);
+        let pairs = k_fold(&xs, &ys, 3);
+        for (a, p) in pairs {
+            assert!((a - p).abs() < 1e-8);
+        }
+        let acc = k_fold_accuracy(&xs, &ys, 3);
+        assert_eq!(acc.within_5, 100.0);
+        assert!(acc.mean_error_pct < 1e-6);
+    }
+
+    #[test]
+    fn noise_degrades_accuracy_gracefully() {
+        let (xs, ys) = planted(120, 20.0);
+        let acc = k_fold_accuracy(&xs, &ys, 3);
+        assert!(acc.within_50 > 80.0);
+        assert!(acc.mean_error_pct > 0.0);
+    }
+
+    #[test]
+    fn every_sample_predicted_exactly_once() {
+        let (xs, ys) = planted(31, 1.0);
+        let pairs = k_fold(&xs, &ys, 3);
+        assert_eq!(pairs.len(), 31);
+        for (i, (a, _)) in pairs.iter().enumerate() {
+            assert_eq!(*a, ys[i]);
+        }
+    }
+}

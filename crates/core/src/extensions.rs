@@ -1,0 +1,290 @@
+//! Chapter VI extensions: the future directions the dissertation sketches,
+//! implemented.
+//!
+//! * [`SliceModel`] — "Modeling Other Algorithms": the slicing filter's cost
+//!   model (`T = c0 * cells_intersected + c1`), fitted from measured slices
+//!   the same way the rendering models are.
+//! * [`AdaptivePlanner`] — "Adaptive Infrastructure": given fitted models
+//!   and a constraint set (time budget, memory cap), choose the rendering
+//!   configuration a simulation should run — the layer the dissertation says
+//!   should sit between simulations and visualization.
+
+use crate::feasibility::ModelSet;
+use crate::mapping::{MappingConstants, RenderConfig};
+use crate::regression::LinearRegression;
+use crate::sample::RendererKind;
+use mesh::datasets::{field_grid, FieldKind};
+use mesh::slice::slice_grid;
+use vecmath::Vec3;
+
+/// One slicing measurement.
+#[derive(Debug, Clone)]
+pub struct SliceSample {
+    pub cells_intersected: f64,
+    pub seconds: f64,
+}
+
+/// The slicing model `T_SLICE = c0 * cells_intersected + c1`.
+#[derive(Debug, Clone)]
+pub struct SliceModel {
+    pub fit: LinearRegression,
+}
+
+impl SliceModel {
+    /// Measure slices across grid sizes and plane orientations, then fit.
+    pub fn calibrate(sizes: &[usize]) -> (SliceModel, Vec<SliceSample>) {
+        let mut samples = Vec::new();
+        for &n in sizes {
+            let grid = field_grid(FieldKind::Turbulence, [n; 3]);
+            for (origin, normal) in [
+                (Vec3::ZERO, Vec3::X),
+                (Vec3::new(0.3, 0.0, 0.0), Vec3::X),
+                (Vec3::ZERO, Vec3::new(1.0, 1.0, 0.2).normalized()),
+                (Vec3::new(0.0, -0.2, 0.1), Vec3::new(0.2, 1.0, 1.0).normalized()),
+            ] {
+                // Warm once, measure once (slice cost is deterministic).
+                let _ = slice_grid(&grid, "scalar", origin, normal);
+                let out = slice_grid(&grid, "scalar", origin, normal);
+                samples.push(SliceSample {
+                    cells_intersected: out.cells_intersected as f64,
+                    seconds: out.seconds,
+                });
+            }
+        }
+        let xs: Vec<Vec<f64>> = samples.iter().map(|s| vec![s.cells_intersected, 1.0]).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.seconds).collect();
+        (SliceModel { fit: LinearRegression::fit(&xs, &ys) }, samples)
+    }
+
+    /// Predicted seconds to slice a grid intersecting ~`cells` cells.
+    pub fn predict(&self, cells: f64) -> f64 {
+        self.fit.predict(&[cells, 1.0]).max(0.0)
+    }
+
+    /// A-priori estimate for an N^3 grid (plane hits O(N^2) cells; the 1.5
+    /// factor covers oblique planes).
+    pub fn predict_for_grid(&self, n: usize) -> f64 {
+        self.predict(1.5 * (n * n) as f64)
+    }
+}
+
+/// Constraints a simulation registers with the adaptive layer
+/// (Section 6.3's list: time, memory, output requirements).
+#[derive(Debug, Clone)]
+pub struct Constraints {
+    /// Maximum seconds per visualization invocation.
+    pub time_budget_s: f64,
+    /// Maximum bytes of visualization scratch memory.
+    pub memory_limit_bytes: usize,
+    /// Images wanted per invocation.
+    pub images: usize,
+    /// Smallest acceptable image side.
+    pub min_image_side: u32,
+    /// Largest useful image side.
+    pub max_image_side: u32,
+}
+
+/// What the planner decided.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    pub renderer: RendererKind,
+    pub image_side: u32,
+    pub expected_seconds: f64,
+    pub expected_bytes: usize,
+}
+
+/// The adaptive layer: owns fitted models and picks configurations.
+pub struct AdaptivePlanner {
+    pub set: ModelSet,
+    pub constants: MappingConstants,
+}
+
+impl AdaptivePlanner {
+    pub fn new(set: ModelSet, constants: MappingConstants) -> AdaptivePlanner {
+        AdaptivePlanner { set, constants }
+    }
+
+    /// Estimated scratch bytes for a renderer at an image size (framebuffer +
+    /// renderer-specific buffers; volume rendering pays the sample slab).
+    fn bytes_estimate(&self, renderer: RendererKind, side: u32, cells_per_task: usize) -> usize {
+        let px = side as usize * side as usize;
+        match renderer {
+            // Color + depth + hit records (~48 B/ray) plus BVH (~64 B/tri).
+            RendererKind::RayTracing => px * 48 + 12 * cells_per_task * cells_per_task * 64,
+            // Tiles + bins.
+            RendererKind::Rasterization => px * 24 + 12 * cells_per_task * cells_per_task * 8,
+            // Framebuffer + one pass of the sample slab (400 samples deep).
+            RendererKind::VolumeRendering => px * 20 + px * 400 * 4,
+        }
+    }
+
+    /// Choose, for each candidate renderer, the largest image side whose
+    /// total predicted cost fits the constraints; return the best plan
+    /// (largest image; ties broken by speed). `None` if nothing fits.
+    pub fn plan(&self, cells_per_task: usize, tasks: usize, c: &Constraints) -> Option<Plan> {
+        let mut best: Option<Plan> = None;
+        for renderer in [
+            RendererKind::RayTracing,
+            RendererKind::Rasterization,
+            RendererKind::VolumeRendering,
+        ] {
+            // Binary search the largest feasible image side.
+            let feasible = |side: u32| -> Option<Plan> {
+                let cfg = RenderConfig {
+                    renderer,
+                    cells_per_task,
+                    pixels: side as usize * side as usize,
+                    tasks,
+                };
+                let build = self.set.predict_build_seconds(&cfg, &self.constants);
+                let per_frame = self.set.predict_frame_seconds(&cfg, &self.constants);
+                let total = build + per_frame * c.images as f64;
+                let bytes = self.bytes_estimate(renderer, side, cells_per_task);
+                (total <= c.time_budget_s && bytes <= c.memory_limit_bytes).then_some(Plan {
+                    renderer,
+                    image_side: side,
+                    expected_seconds: total,
+                    expected_bytes: bytes,
+                })
+            };
+            let (mut lo, mut hi) = (c.min_image_side, c.max_image_side);
+            if feasible(lo).is_none() {
+                continue;
+            }
+            while lo < hi {
+                let mid = (lo + hi).div_ceil(2);
+                if feasible(mid).is_some() {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            let plan = feasible(lo).expect("lo was feasible");
+            best = match best {
+                None => Some(plan),
+                Some(b)
+                    if plan.image_side > b.image_side
+                        || (plan.image_side == b.image_side
+                            && plan.expected_seconds < b.expected_seconds) =>
+                {
+                    Some(plan)
+                }
+                keep => keep,
+            };
+        }
+        best
+    }
+
+    /// Fraction of the budget a fixed configuration would consume — the
+    /// "registered constraint" check a simulation can make every cycle.
+    pub fn budget_fraction(&self, cfg: &RenderConfig, c: &Constraints) -> f64 {
+        let t = self.set.predict_build_seconds(cfg, &self.constants)
+            + self.set.predict_frame_seconds(cfg, &self.constants) * c.images as f64;
+        t / c.time_budget_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::FittedLinearModel;
+
+    #[test]
+    fn slice_model_fits_and_predicts() {
+        let (model, samples) = SliceModel::calibrate(&[12, 20, 28]);
+        assert!(samples.len() >= 12);
+        assert!(model.fit.r_squared > 0.5, "R^2 = {}", model.fit.r_squared);
+        // Bigger grids cost more.
+        assert!(model.predict_for_grid(64) > model.predict_for_grid(16));
+        assert!(model.predict(0.0) >= 0.0);
+    }
+
+    fn toy_set() -> ModelSet {
+        let fit = |coeffs: Vec<f64>| FittedLinearModel {
+            name: "toy",
+            fit: LinearRegression { coeffs, r_squared: 1.0, residual_std: 0.0, n: 9 },
+            feature_names: vec![],
+        };
+        ModelSet {
+            device: "toy".into(),
+            rt: fit(vec![2e-9, 1e-8, 1e-3]),
+            rt_build: fit(vec![2e-8, 1e-3]),
+            rast: fit(vec![4e-9, 4e-10, 1e-3]),
+            vr: fit(vec![2e-10, 1e-9, 1e-2]),
+            comp: fit(vec![2e-8, 5e-8, 1e-3]),
+        }
+    }
+
+    #[test]
+    fn planner_respects_time_budget() {
+        let planner = AdaptivePlanner::new(toy_set(), MappingConstants::default());
+        let c = Constraints {
+            time_budget_s: 10.0,
+            memory_limit_bytes: usize::MAX,
+            images: 100,
+            min_image_side: 128,
+            max_image_side: 8192,
+        };
+        let plan = planner.plan(200, 32, &c).expect("should fit something");
+        assert!(plan.expected_seconds <= 10.0);
+        assert!(plan.image_side >= 128);
+        // A tighter budget must never produce a *larger* image.
+        let tight = Constraints { time_budget_s: 0.5, ..c.clone() };
+        if let Some(p2) = planner.plan(200, 32, &tight) {
+            assert!(p2.image_side <= plan.image_side);
+            assert!(p2.expected_seconds <= 0.5);
+        }
+    }
+
+    #[test]
+    fn planner_respects_memory_cap() {
+        let planner = AdaptivePlanner::new(toy_set(), MappingConstants::default());
+        let c = Constraints {
+            time_budget_s: 1e9,
+            memory_limit_bytes: 64 << 20, // 64 MiB
+            images: 1,
+            min_image_side: 64,
+            max_image_side: 8192,
+        };
+        let plan = planner.plan(100, 8, &c).expect("fits");
+        assert!(plan.expected_bytes <= 64 << 20);
+        // Volume rendering's sample slab makes it memory-heavy: at this cap
+        // the chosen side must be well below the max.
+        assert!(plan.image_side < 8192);
+    }
+
+    #[test]
+    fn planner_returns_none_when_nothing_fits() {
+        let planner = AdaptivePlanner::new(toy_set(), MappingConstants::default());
+        let c = Constraints {
+            time_budget_s: 1e-9,
+            memory_limit_bytes: 1,
+            images: 1000,
+            min_image_side: 512,
+            max_image_side: 4096,
+        };
+        assert!(planner.plan(300, 64, &c).is_none());
+    }
+
+    #[test]
+    fn budget_fraction_scales_with_images() {
+        let planner = AdaptivePlanner::new(toy_set(), MappingConstants::default());
+        let cfg = RenderConfig {
+            renderer: RendererKind::Rasterization,
+            cells_per_task: 100,
+            pixels: 1 << 20,
+            tasks: 16,
+        };
+        let one = Constraints {
+            time_budget_s: 60.0,
+            memory_limit_bytes: usize::MAX,
+            images: 1,
+            min_image_side: 64,
+            max_image_side: 4096,
+        };
+        let many = Constraints { images: 100, ..one.clone() };
+        let f1 = planner.budget_fraction(&cfg, &one);
+        let f100 = planner.budget_fraction(&cfg, &many);
+        assert!(f100 > f1 * 50.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! In situ viability questions (Section 5.9): given fitted models and the
+//! configuration mapping, answer the questions the paper closes with —
+//! how many images fit in a time budget (Figure 14), and when ray tracing
+//! beats rasterization (Figure 15).
+
+use crate::mapping::{map_inputs, MappingConstants, RenderConfig};
+use crate::models::{
+    CompositeModel, FittedLinearModel, ModelForm, RastModel, RtBuildModel, RtModel, VrModel,
+};
+use crate::sample::{CompositeSample, RendererKind};
+
+/// Fitted models for one device (plus the shared compositing model).
+#[derive(Debug, Clone)]
+pub struct ModelSet {
+    pub device: String,
+    pub rt: FittedLinearModel,
+    pub rt_build: FittedLinearModel,
+    pub rast: FittedLinearModel,
+    pub vr: FittedLinearModel,
+    pub comp: FittedLinearModel,
+}
+
+impl ModelSet {
+    /// Predicted seconds for one *frame* of a multi-task configuration:
+    /// `max_tasks(T_LR) + T_COMP` with all tasks identical (weak scaling),
+    /// excluding any amortized acceleration-structure build.
+    pub fn predict_frame_seconds(&self, cfg: &RenderConfig, k: &MappingConstants) -> f64 {
+        let inputs = map_inputs(cfg, k);
+        let local = match cfg.renderer {
+            RendererKind::RayTracing => RtModel.predict(&self.rt, &inputs),
+            RendererKind::Rasterization => RastModel.predict(&self.rast, &inputs),
+            RendererKind::VolumeRendering => VrModel.predict(&self.vr, &inputs),
+        };
+        let comp = CompositeModel.predict(
+            &self.comp,
+            &CompositeSample {
+                tasks: cfg.tasks,
+                pixels: cfg.pixels as f64,
+                avg_active_pixels: inputs.active_pixels,
+                seconds: 0.0,
+            },
+        );
+        local.max(0.0) + comp.max(0.0)
+    }
+
+    /// Predicted one-time BVH build seconds (ray tracing only; 0 otherwise).
+    pub fn predict_build_seconds(&self, cfg: &RenderConfig, k: &MappingConstants) -> f64 {
+        if cfg.renderer == RendererKind::RayTracing {
+            RtBuildModel.predict(&self.rt_build, &map_inputs(cfg, k)).max(0.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Figure 14: number of images renderable inside `budget_seconds`, per
+/// image size, for one renderer. BVH builds amortize: built once, then every
+/// frame reuses it.
+pub fn images_in_budget(
+    set: &ModelSet,
+    k: &MappingConstants,
+    renderer: RendererKind,
+    cells_per_task: usize,
+    tasks: usize,
+    image_sides: &[u32],
+    budget_seconds: f64,
+) -> Vec<(u32, f64)> {
+    image_sides
+        .iter()
+        .map(|&side| {
+            let cfg = RenderConfig {
+                renderer,
+                cells_per_task,
+                pixels: (side as usize) * (side as usize),
+                tasks,
+            };
+            let build = set.predict_build_seconds(&cfg, k);
+            let per_frame = set.predict_frame_seconds(&cfg, k);
+            let remaining = (budget_seconds - build).max(0.0);
+            let images = if per_frame > 0.0 { remaining / per_frame } else { f64::INFINITY };
+            (side, images)
+        })
+        .collect()
+}
+
+/// One cell of the Figure 15 regime map.
+#[derive(Debug, Clone, Copy)]
+pub struct RatioCell {
+    pub image_side: u32,
+    pub cells_per_task: usize,
+    /// `T_RT / T_RAST` for the whole workload (lower = ray tracing wins).
+    pub rt_over_rast: f64,
+}
+
+/// Figure 15: ratio of predicted ray-tracing to rasterization time for
+/// `renders` images (the BVH build amortizes over them), across a grid of
+/// image sizes and data sizes.
+pub fn rt_vs_rast_map(
+    set: &ModelSet,
+    k: &MappingConstants,
+    tasks: usize,
+    renders: usize,
+    image_sides: &[u32],
+    data_sizes: &[usize],
+) -> Vec<RatioCell> {
+    let mut out = Vec::with_capacity(image_sides.len() * data_sizes.len());
+    for &n in data_sizes {
+        for &side in image_sides {
+            let pixels = (side as usize) * (side as usize);
+            let rt_cfg = RenderConfig {
+                renderer: RendererKind::RayTracing,
+                cells_per_task: n,
+                pixels,
+                tasks,
+            };
+            let ra_cfg = RenderConfig {
+                renderer: RendererKind::Rasterization,
+                cells_per_task: n,
+                pixels,
+                tasks,
+            };
+            let t_rt = set.predict_build_seconds(&rt_cfg, k)
+                + renders as f64 * set.predict_frame_seconds(&rt_cfg, k);
+            let t_ra = renders as f64 * set.predict_frame_seconds(&ra_cfg, k);
+            out.push(RatioCell {
+                image_side: side,
+                cells_per_task: n,
+                rt_over_rast: if t_ra > 0.0 { t_rt / t_ra } else { f64::INFINITY },
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regression::LinearRegression;
+
+    /// Hand-built model set with known coefficients (seconds-scale).
+    fn toy_models() -> ModelSet {
+        let fit = |coeffs: Vec<f64>| LinearRegression {
+            coeffs,
+            r_squared: 1.0,
+            residual_std: 0.0,
+            n: 10,
+        };
+        ModelSet {
+            device: "toy".into(),
+            rt: FittedLinearModel {
+                name: "ray_tracing",
+                fit: fit(vec![2e-9, 1e-8, 1e-3]),
+                feature_names: vec!["AP*log2(O)", "AP", "1"],
+            },
+            rt_build: FittedLinearModel {
+                name: "ray_tracing_build",
+                fit: fit(vec![2e-8, 1e-3]),
+                feature_names: vec!["O", "1"],
+            },
+            rast: FittedLinearModel {
+                name: "rasterization",
+                fit: fit(vec![4e-9, 4e-10, 1e-3]),
+                feature_names: vec!["O", "VO*PPT", "1"],
+            },
+            vr: FittedLinearModel {
+                name: "volume_rendering",
+                fit: fit(vec![2e-10, 1e-9, 1e-2]),
+                feature_names: vec!["AP*CS", "AP*SPR", "1"],
+            },
+            comp: FittedLinearModel {
+                name: "compositing",
+                fit: fit(vec![2e-8, 5e-8, 1e-3]),
+                feature_names: vec!["avg(AP)", "Pixels", "1"],
+            },
+        }
+    }
+
+    #[test]
+    fn budget_curve_decreases_with_image_size() {
+        let set = toy_models();
+        let k = MappingConstants::default();
+        let curve = images_in_budget(
+            &set, &k, RendererKind::RayTracing, 200, 32,
+            &[512, 1024, 2048, 4096], 60.0,
+        );
+        assert_eq!(curve.len(), 4);
+        for w in curve.windows(2) {
+            assert!(w[1].1 < w[0].1, "bigger images must allow fewer frames: {curve:?}");
+        }
+        assert!(curve[0].1 > 1.0);
+    }
+
+    #[test]
+    fn rt_wins_big_data_small_images_and_loses_reverse() {
+        let set = toy_models();
+        let k = MappingConstants::default();
+        let map = rt_vs_rast_map(&set, &k, 32, 100, &[384, 4096], &[100, 500]);
+        let get = |side: u32, n: usize| {
+            map.iter()
+                .find(|c| c.image_side == side && c.cells_per_task == n)
+                .unwrap()
+                .rt_over_rast
+        };
+        // Heavier geometry with few pixels: ray tracing relatively better.
+        assert!(
+            get(384, 500) < get(4096, 100),
+            "regime ordering violated: {} vs {}",
+            get(384, 500),
+            get(4096, 100)
+        );
+    }
+
+    #[test]
+    fn volume_prediction_positive() {
+        let set = toy_models();
+        let k = MappingConstants::default();
+        let cfg = RenderConfig {
+            renderer: RendererKind::VolumeRendering,
+            cells_per_task: 200,
+            pixels: 1024 * 1024,
+            tasks: 32,
+        };
+        let t = set.predict_frame_seconds(&cfg, &k);
+        assert!(t > 0.0 && t.is_finite());
+        assert_eq!(set.predict_build_seconds(&cfg, &k), 0.0);
+    }
+}

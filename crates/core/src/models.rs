@@ -1,0 +1,277 @@
+//! The performance-model definitions of Section 5.5 / 5.6, as feature
+//! extractors over [`RenderSample`]s plus fitted-coefficient containers.
+//!
+//! * Ray tracing:   `T_RT  = (c0*O + c1) + (c2*AP*log2 O + c3*AP + c4)`
+//! * Rasterization: `T_RAST = c0*O + c1*(VO*PPT) + c2`
+//! * Volume:        `T_VR  = c0*(AP*CS) + c1*(AP*SPR) + c2`
+//! * Compositing:   `T_COMP = c0*avg(AP) + c1*Pixels + c2`
+//! * Total:         `T_total = max_tasks(T_LR) + T_COMP`
+
+use crate::regression::LinearRegression;
+use crate::sample::{CompositeSample, RenderSample};
+
+/// A fitted single-node model: feature extraction + regression results.
+#[derive(Debug, Clone)]
+pub struct FittedLinearModel {
+    pub name: &'static str,
+    pub fit: LinearRegression,
+    /// Feature names aligned with coefficients.
+    pub feature_names: Vec<&'static str>,
+}
+
+impl FittedLinearModel {
+    pub fn r_squared(&self) -> f64 {
+        self.fit.r_squared
+    }
+
+    pub fn coeffs(&self) -> &[f64] {
+        &self.fit.coeffs
+    }
+}
+
+/// Shared trait: a model form over render samples.
+pub trait ModelForm {
+    /// Name for tables.
+    fn name(&self) -> &'static str;
+    /// Feature vector (last entry should be 1.0 for the intercept).
+    fn features(&self, s: &RenderSample) -> Vec<f64>;
+    /// Target time for this model (render only, or build+render).
+    fn target(&self, s: &RenderSample) -> f64 {
+        s.render_seconds
+    }
+    /// Feature names.
+    fn feature_names(&self) -> Vec<&'static str>;
+
+    /// Fit the model over a corpus.
+    fn fit(&self, samples: &[RenderSample]) -> FittedLinearModel
+    where
+        Self: Sized,
+    {
+        let xs: Vec<Vec<f64>> = samples.iter().map(|s| self.features(s)).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| self.target(s)).collect();
+        FittedLinearModel {
+            name: self.name(),
+            fit: LinearRegression::fit(&xs, &ys),
+            feature_names: self.feature_names(),
+        }
+    }
+
+    /// Predict a sample's time with a previously fitted model.
+    fn predict(&self, fitted: &FittedLinearModel, s: &RenderSample) -> f64 {
+        fitted.fit.predict(&self.features(s))
+    }
+}
+
+/// Ray-tracing render-phase model (the BVH build is fitted separately so the
+/// amortized-build use cases of Section 5.9 can drop it).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RtModel;
+
+impl ModelForm for RtModel {
+    fn name(&self) -> &'static str {
+        "ray_tracing"
+    }
+
+    fn features(&self, s: &RenderSample) -> Vec<f64> {
+        let log_o = if s.objects > 1.0 { s.objects.log2() } else { 0.0 };
+        vec![s.active_pixels * log_o, s.active_pixels, 1.0]
+    }
+
+    fn feature_names(&self) -> Vec<&'static str> {
+        vec!["AP*log2(O)", "AP", "1"]
+    }
+}
+
+/// Ray-tracing BVH build model: `T_build = c0*O + c1`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RtBuildModel;
+
+impl ModelForm for RtBuildModel {
+    fn name(&self) -> &'static str {
+        "ray_tracing_build"
+    }
+
+    fn features(&self, s: &RenderSample) -> Vec<f64> {
+        vec![s.objects, 1.0]
+    }
+
+    fn target(&self, s: &RenderSample) -> f64 {
+        s.build_seconds
+    }
+
+    fn feature_names(&self) -> Vec<&'static str> {
+        vec!["O", "1"]
+    }
+}
+
+/// Rasterization model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RastModel;
+
+impl ModelForm for RastModel {
+    fn name(&self) -> &'static str {
+        "rasterization"
+    }
+
+    fn features(&self, s: &RenderSample) -> Vec<f64> {
+        vec![s.objects, s.visible_objects * s.pixels_per_triangle, 1.0]
+    }
+
+    fn feature_names(&self) -> Vec<&'static str> {
+        vec!["O", "VO*PPT", "1"]
+    }
+}
+
+/// Volume-rendering model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VrModel;
+
+impl ModelForm for VrModel {
+    fn name(&self) -> &'static str {
+        "volume_rendering"
+    }
+
+    fn features(&self, s: &RenderSample) -> Vec<f64> {
+        vec![
+            s.active_pixels * s.cells_spanned,
+            s.active_pixels * s.samples_per_ray,
+            1.0,
+        ]
+    }
+
+    fn feature_names(&self) -> Vec<&'static str> {
+        vec!["AP*CS", "AP*SPR", "1"]
+    }
+}
+
+/// Compositing model over [`CompositeSample`]s:
+/// `T_COMP = c0*avg(AP) + c1*Pixels + c2`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompositeModel;
+
+impl CompositeModel {
+    pub fn features(&self, s: &CompositeSample) -> Vec<f64> {
+        vec![s.avg_active_pixels, s.pixels, 1.0]
+    }
+
+    pub fn fit(&self, samples: &[CompositeSample]) -> FittedLinearModel {
+        let xs: Vec<Vec<f64>> = samples.iter().map(|s| self.features(s)).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.seconds).collect();
+        FittedLinearModel {
+            name: "compositing",
+            fit: LinearRegression::fit(&xs, &ys),
+            feature_names: vec!["avg(AP)", "Pixels", "1"],
+        }
+    }
+
+    pub fn predict(&self, fitted: &FittedLinearModel, s: &CompositeSample) -> f64 {
+        fitted.fit.predict(&self.features(s))
+    }
+}
+
+/// The multi-node total: `max_tasks(T_LR) + T_COMP` (Equation 5.4).
+pub fn total_time(per_task_render_seconds: &[f64], compositing_seconds: f64) -> f64 {
+    per_task_render_seconds.iter().copied().fold(0.0, f64::max) + compositing_seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::RendererKind;
+
+    fn synth_rt_sample(o: f64, ap: f64, c: [f64; 3], build: [f64; 2]) -> RenderSample {
+        RenderSample {
+            renderer: RendererKind::RayTracing,
+            device: "parallel".into(),
+            source: "synthetic".into(),
+            objects: o,
+            active_pixels: ap,
+            visible_objects: 0.0,
+            pixels_per_triangle: 0.0,
+            samples_per_ray: 0.0,
+            cells_spanned: 0.0,
+            pixels: ap * 2.0,
+            tasks: 1,
+            build_seconds: build[0] * o + build[1],
+            render_seconds: c[0] * ap * o.log2() + c[1] * ap + c[2],
+        }
+    }
+
+    #[test]
+    fn rt_model_recovers_planted_law() {
+        let c = [3e-8, 5e-7, 1e-3];
+        let b = [2e-8, 5e-4];
+        let mut samples = Vec::new();
+        for i in 1..40 {
+            let o = 1e4 * i as f64;
+            let ap = 500.0 * ((i * 7) % 23 + 1) as f64;
+            samples.push(synth_rt_sample(o, ap, c, b));
+        }
+        let fitted = RtModel.fit(&samples);
+        assert!(fitted.r_squared() > 0.99999, "r2 = {}", fitted.r_squared());
+        assert!((fitted.coeffs()[0] - c[0]).abs() / c[0] < 1e-6);
+        assert!((fitted.coeffs()[1] - c[1]).abs() / c[1] < 1e-6);
+        let build_fit = RtBuildModel.fit(&samples);
+        assert!((build_fit.coeffs()[0] - b[0]).abs() / b[0] < 1e-6);
+        // Prediction round-trips.
+        let p = RtModel.predict(&fitted, &samples[3]);
+        assert!((p - samples[3].render_seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vr_model_recovers_planted_law() {
+        let c = [4e-9, 6e-9, 1e-2];
+        let mut samples = Vec::new();
+        for i in 1..30 {
+            let ap = 1e4 * i as f64;
+            let cs = 100.0 + (i % 7) as f64 * 30.0;
+            let spr = 200.0 + (i % 5) as f64 * 50.0;
+            samples.push(RenderSample {
+                renderer: RendererKind::VolumeRendering,
+                device: "serial".into(),
+                source: "synthetic".into(),
+                objects: 1e6,
+                active_pixels: ap,
+                visible_objects: 0.0,
+                pixels_per_triangle: 0.0,
+                samples_per_ray: spr,
+                cells_spanned: cs,
+                pixels: ap * 1.8,
+                tasks: 1,
+                build_seconds: 0.0,
+                render_seconds: c[0] * ap * cs + c[1] * ap * spr + c[2],
+            });
+        }
+        let fitted = VrModel.fit(&samples);
+        assert!(fitted.r_squared() > 0.9999);
+        assert!((fitted.coeffs()[2] - c[2]).abs() < 1e-6);
+        assert!(fitted.fit.all_coeffs_nonnegative());
+    }
+
+    #[test]
+    fn composite_model_fits() {
+        let c = [2e-8, 5e-8, 1e-3];
+        let samples: Vec<CompositeSample> = (1..25)
+            .map(|i| {
+                let px = 1e5 * i as f64;
+                let ap = px * 0.3 / (1.0 + (i % 4) as f64);
+                CompositeSample {
+                    tasks: 1 << (i % 6),
+                    pixels: px,
+                    avg_active_pixels: ap,
+                    seconds: c[0] * ap + c[1] * px + c[2],
+                }
+            })
+            .collect();
+        let fitted = CompositeModel.fit(&samples);
+        assert!(fitted.r_squared() > 0.9999);
+        let pred = CompositeModel.predict(&fitted, &samples[5]);
+        assert!((pred - samples[5].seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_time_is_max_plus_composite() {
+        assert_eq!(total_time(&[0.1, 0.5, 0.2], 0.05), 0.55);
+        assert_eq!(total_time(&[], 0.05), 0.05);
+    }
+}

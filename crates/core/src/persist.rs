@@ -1,0 +1,228 @@
+//! Model persistence: save fitted model sets + mapping constants to a plain
+//! text format and load them back, so a simulation can calibrate once
+//! (offline, like the paper's study) and reuse the models every run — the
+//! workflow the adaptive layer of Chapter VI assumes.
+//!
+//! Format: one record per line, `kind|name|field=value|...`, chosen over a
+//! serde format to keep the artifact diffable and the crate dependency-free.
+
+use crate::feasibility::ModelSet;
+use crate::mapping::MappingConstants;
+use crate::models::FittedLinearModel;
+use crate::regression::LinearRegression;
+
+/// Serialize a model set and mapping constants.
+pub fn to_text(set: &ModelSet, k: &MappingConstants) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("device|{}\n", set.device));
+    out.push_str(&format!(
+        "mapping|ap_fill={}|ppt_factor={}|spr_base={}\n",
+        k.ap_fill, k.ppt_factor, k.spr_base
+    ));
+    for (tag, m) in [
+        ("rt", &set.rt),
+        ("rt_build", &set.rt_build),
+        ("rast", &set.rast),
+        ("vr", &set.vr),
+        ("comp", &set.comp),
+    ] {
+        let coeffs: Vec<String> = m.fit.coeffs.iter().map(|c| format!("{c:e}")).collect();
+        out.push_str(&format!(
+            "model|{tag}|name={}|r2={}|resid={}|n={}|coeffs={}\n",
+            m.name,
+            m.fit.r_squared,
+            m.fit.residual_std,
+            m.fit.n,
+            coeffs.join(";")
+        ));
+    }
+    out
+}
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model file parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn field<'a>(parts: &'a [&str], key: &str) -> Result<&'a str, ParseError> {
+    parts
+        .iter()
+        .find_map(|p| p.strip_prefix(&format!("{key}=")))
+        .ok_or_else(|| ParseError(format!("missing field {key}")))
+}
+
+fn parse_model(parts: &[&str]) -> Result<FittedLinearModel, ParseError> {
+    let name: &'static str = match field(parts, "name")? {
+        "ray_tracing" => "ray_tracing",
+        "ray_tracing_build" => "ray_tracing_build",
+        "rasterization" => "rasterization",
+        "volume_rendering" => "volume_rendering",
+        "compositing" => "compositing",
+        other => return Err(ParseError(format!("unknown model name {other}"))),
+    };
+    let coeffs: Result<Vec<f64>, _> = field(parts, "coeffs")?
+        .split(';')
+        .map(|c| c.parse::<f64>())
+        .collect();
+    let coeffs = coeffs.map_err(|e| ParseError(format!("bad coefficient: {e}")))?;
+    let parse_f = |key: &str| -> Result<f64, ParseError> {
+        field(parts, key)?
+            .parse()
+            .map_err(|e| ParseError(format!("bad {key}: {e}")))
+    };
+    Ok(FittedLinearModel {
+        name,
+        fit: LinearRegression {
+            coeffs,
+            r_squared: parse_f("r2")?,
+            residual_std: parse_f("resid")?,
+            n: parse_f("n")? as usize,
+        },
+        feature_names: Vec::new(),
+    })
+}
+
+/// Deserialize a model set and mapping constants.
+pub fn from_text(text: &str) -> Result<(ModelSet, MappingConstants), ParseError> {
+    let mut device = String::new();
+    let mut k = MappingConstants::default();
+    let mut rt = None;
+    let mut rt_build = None;
+    let mut rast = None;
+    let mut vr = None;
+    let mut comp = None;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let parts: Vec<&str> = line.split('|').collect();
+        match parts[0] {
+            "device" => {
+                device = parts.get(1).unwrap_or(&"").to_string();
+            }
+            "mapping" => {
+                let pf = |key: &str| -> Result<f64, ParseError> {
+                    field(&parts, key)?
+                        .parse()
+                        .map_err(|e| ParseError(format!("bad {key}: {e}")))
+                };
+                k = MappingConstants {
+                    ap_fill: pf("ap_fill")?,
+                    ppt_factor: pf("ppt_factor")?,
+                    spr_base: pf("spr_base")?,
+                };
+            }
+            "model" => {
+                let m = parse_model(&parts)?;
+                match *parts.get(1).unwrap_or(&"") {
+                    "rt" => rt = Some(m),
+                    "rt_build" => rt_build = Some(m),
+                    "rast" => rast = Some(m),
+                    "vr" => vr = Some(m),
+                    "comp" => comp = Some(m),
+                    other => return Err(ParseError(format!("unknown model tag {other}"))),
+                }
+            }
+            other => return Err(ParseError(format!("unknown record kind {other}"))),
+        }
+    }
+    let need = |m: Option<FittedLinearModel>, what: &str| {
+        m.ok_or_else(|| ParseError(format!("missing model {what}")))
+    };
+    Ok((
+        ModelSet {
+            device,
+            rt: need(rt, "rt")?,
+            rt_build: need(rt_build, "rt_build")?,
+            rast: need(rast, "rast")?,
+            vr: need(vr, "vr")?,
+            comp: need(comp, "comp")?,
+        },
+        k,
+    ))
+}
+
+/// Save to a file.
+pub fn save(path: &std::path::Path, set: &ModelSet, k: &MappingConstants) -> std::io::Result<()> {
+    std::fs::write(path, to_text(set, k))
+}
+
+/// Load from a file.
+pub fn load(path: &std::path::Path) -> Result<(ModelSet, MappingConstants), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(from_text(&text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> (ModelSet, MappingConstants) {
+        let fit = |name: &'static str, coeffs: Vec<f64>| FittedLinearModel {
+            name,
+            fit: LinearRegression { coeffs, r_squared: 0.97, residual_std: 1e-4, n: 25 },
+            feature_names: Vec::new(),
+        };
+        (
+            ModelSet {
+                device: "parallel".into(),
+                rt: fit("ray_tracing", vec![2e-9, 1e-8, 1e-3]),
+                rt_build: fit("ray_tracing_build", vec![2e-8, 1e-3]),
+                rast: fit("rasterization", vec![4e-9, 4e-10, 1e-3]),
+                vr: fit("volume_rendering", vec![2e-10, 1e-9, 1e-2]),
+                comp: fit("compositing", vec![2e-8, 5e-8, 1e-3]),
+            },
+            MappingConstants { ap_fill: 0.31, ppt_factor: 4.5, spr_base: 210.0 },
+        )
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let (set, k) = sample_set();
+        let text = to_text(&set, &k);
+        let (set2, k2) = from_text(&text).unwrap();
+        assert_eq!(set2.device, "parallel");
+        assert_eq!(set2.rt.fit.coeffs, set.rt.fit.coeffs);
+        assert_eq!(set2.comp.fit.coeffs, set.comp.fit.coeffs);
+        assert_eq!(set2.vr.fit.n, 25);
+        assert_eq!(k2.ap_fill, k.ap_fill);
+        assert_eq!(k2.spr_base, k.spr_base);
+        // And predictions are identical.
+        use crate::mapping::RenderConfig;
+        use crate::sample::RendererKind;
+        let cfg = RenderConfig {
+            renderer: RendererKind::VolumeRendering,
+            cells_per_task: 150,
+            pixels: 1 << 20,
+            tasks: 16,
+        };
+        assert_eq!(
+            set.predict_frame_seconds(&cfg, &k),
+            set2.predict_frame_seconds(&cfg, &k2)
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(from_text("garbage|x").is_err());
+        assert!(from_text("model|rt|name=ray_tracing|r2=oops|resid=0|n=1|coeffs=1").is_err());
+        assert!(from_text("device|x\n").is_err()); // missing models
+        let (set, k) = sample_set();
+        let text = to_text(&set, &k).replace("model|vr", "model|unknown_tag");
+        assert!(from_text(&text).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (set, k) = sample_set();
+        let path = std::env::temp_dir().join(format!("models_{}.txt", std::process::id()));
+        save(&path, &set, &k).unwrap();
+        let (set2, _) = load(&path).unwrap();
+        assert_eq!(set2.rast.fit.coeffs, set.rast.fit.coeffs);
+        let _ = std::fs::remove_file(path);
+    }
+}

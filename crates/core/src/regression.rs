@@ -1,0 +1,202 @@
+//! Multiple linear regression by normal equations.
+//!
+//! The paper fits its model coefficients with multiple linear regression in
+//! R; we solve `(X^T X) b = X^T y` directly with Gaussian elimination
+//! (feature counts are 2-4, so normal equations are perfectly conditioned
+//! enough in f64), and report the same diagnostics: multiple R², residual
+//! standard deviation, and the coefficients themselves (whose signs the
+//! paper uses as a validity check — rendering work cannot have negative
+//! marginal cost).
+
+use crate::stats::mean;
+
+/// A fitted least-squares linear model `y = b . x`.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    /// Coefficients, one per feature column (include a 1.0 column for an
+    /// intercept).
+    pub coeffs: Vec<f64>,
+    /// Multiple R-squared.
+    pub r_squared: f64,
+    /// Residual standard deviation.
+    pub residual_std: f64,
+    /// Number of observations fitted.
+    pub n: usize,
+}
+
+impl LinearRegression {
+    /// Fit on rows of features against targets. Panics if shapes disagree or
+    /// there are fewer rows than features.
+    #[allow(clippy::needless_range_loop)] // triangular fills read clearest indexed
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> LinearRegression {
+        assert_eq!(xs.len(), ys.len(), "row count mismatch");
+        let n = xs.len();
+        assert!(n > 0, "no observations");
+        let k = xs[0].len();
+        assert!(xs.iter().all(|r| r.len() == k), "ragged feature rows");
+        assert!(n >= k, "need at least as many observations as features");
+
+        // Normal equations: A = X^T X (k x k), b = X^T y (k).
+        let mut a = vec![vec![0.0f64; k]; k];
+        let mut b = vec![0.0f64; k];
+        for (row, &y) in xs.iter().zip(ys.iter()) {
+            for i in 0..k {
+                b[i] += row[i] * y;
+                for j in i..k {
+                    a[i][j] += row[i] * row[j];
+                }
+            }
+        }
+        for i in 0..k {
+            for j in 0..i {
+                a[i][j] = a[j][i];
+            }
+        }
+        let coeffs = solve(a, b);
+
+        // Diagnostics.
+        let ym = mean(ys);
+        let mut ss_res = 0.0;
+        let mut ss_tot = 0.0;
+        for (row, &y) in xs.iter().zip(ys.iter()) {
+            let pred: f64 = row.iter().zip(coeffs.iter()).map(|(x, c)| x * c).sum();
+            ss_res += (y - pred) * (y - pred);
+            ss_tot += (y - ym) * (y - ym);
+        }
+        let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+        let dof = (n as f64 - k as f64).max(1.0);
+        LinearRegression {
+            coeffs,
+            r_squared,
+            residual_std: (ss_res / dof).sqrt(),
+            n,
+        }
+    }
+
+    /// Predict for one feature row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        row.iter().zip(self.coeffs.iter()).map(|(x, c)| x * c).sum()
+    }
+
+    /// True if every coefficient is non-negative (the paper's plausibility
+    /// check for rendering-cost models).
+    pub fn all_coeffs_nonnegative(&self) -> bool {
+        self.coeffs.iter().all(|&c| c >= 0.0)
+    }
+}
+
+/// Solve a small dense SPD-ish system with Gaussian elimination + partial
+/// pivoting. Singular columns get zero coefficients (dropped predictors).
+#[allow(clippy::needless_range_loop)] // index form mirrors the linear algebra
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let k = b.len();
+    let mut perm: Vec<usize> = (0..k).collect();
+    for col in 0..k {
+        // Pivot.
+        let mut piv = col;
+        for r in col + 1..k {
+            if a[r][col].abs() > a[piv][col].abs() {
+                piv = r;
+            }
+        }
+        if a[piv][col].abs() < 1e-12 {
+            // Degenerate column: zero it out (coefficient becomes 0).
+            for r in 0..k {
+                a[r][col] = 0.0;
+            }
+            a[col][col] = 1.0;
+            b[col] = 0.0;
+            continue;
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        perm.swap(col, piv);
+        let d = a[col][col];
+        for v in a[col].iter_mut() {
+            *v /= d;
+        }
+        b[col] /= d;
+        for r in 0..k {
+            if r != col {
+                let f = a[r][col];
+                if f != 0.0 {
+                    for c in 0..k {
+                        a[r][c] -= f * a[col][c];
+                    }
+                    b[r] -= f * b[col];
+                }
+            }
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_planted_coefficients() {
+        // y = 2*x0 + 0.5*x1 + 3 (intercept via constant column).
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..50 {
+            let x0 = i as f64;
+            let x1 = (i * i % 17) as f64;
+            xs.push(vec![x0, x1, 1.0]);
+            ys.push(2.0 * x0 + 0.5 * x1 + 3.0);
+        }
+        let fit = LinearRegression::fit(&xs, &ys);
+        assert!((fit.coeffs[0] - 2.0).abs() < 1e-8, "{:?}", fit.coeffs);
+        assert!((fit.coeffs[1] - 0.5).abs() < 1e-8);
+        assert!((fit.coeffs[2] - 3.0).abs() < 1e-6);
+        assert!(fit.r_squared > 0.999999);
+        assert!(fit.residual_std < 1e-6);
+        assert!(fit.all_coeffs_nonnegative());
+    }
+
+    #[test]
+    fn noisy_fit_has_sane_r2() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        // Deterministic pseudo-noise.
+        for i in 0..200 {
+            let x = i as f64;
+            let noise = ((i * 2654435761u64 % 1000) as f64 / 1000.0 - 0.5) * 10.0;
+            xs.push(vec![x, 1.0]);
+            ys.push(5.0 * x + noise);
+        }
+        let fit = LinearRegression::fit(&xs, &ys);
+        assert!((fit.coeffs[0] - 5.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.99);
+        assert!(fit.residual_std > 0.0);
+    }
+
+    #[test]
+    fn degenerate_column_dropped() {
+        // Second feature is all zeros.
+        let xs = vec![
+            vec![1.0, 0.0, 1.0],
+            vec![2.0, 0.0, 1.0],
+            vec![3.0, 0.0, 1.0],
+        ];
+        let ys = vec![2.0, 4.0, 6.0];
+        let fit = LinearRegression::fit(&xs, &ys);
+        assert!((fit.coeffs[0] - 2.0).abs() < 1e-9);
+        assert_eq!(fit.coeffs[1], 0.0);
+    }
+
+    #[test]
+    fn predict_matches_fit() {
+        let xs = vec![vec![1.0, 1.0], vec![2.0, 1.0], vec![3.0, 1.0]];
+        let ys = vec![3.0, 5.0, 7.0];
+        let fit = LinearRegression::fit(&xs, &ys);
+        assert!((fit.predict(&[10.0, 1.0]) - 21.0).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn shape_mismatch_panics() {
+        LinearRegression::fit(&[vec![1.0]], &[1.0, 2.0]);
+    }
+}

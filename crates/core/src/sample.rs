@@ -1,0 +1,220 @@
+//! Experiment records: one row per rendering test (the corpus the models
+//! are fitted on), with CSV serialization for offline analysis.
+
+/// Which rendering technique a sample measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RendererKind {
+    RayTracing,
+    Rasterization,
+    VolumeRendering,
+}
+
+impl RendererKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            RendererKind::RayTracing => "ray_tracing",
+            RendererKind::Rasterization => "rasterization",
+            RendererKind::VolumeRendering => "volume_rendering",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<RendererKind> {
+        match s {
+            "ray_tracing" => Some(RendererKind::RayTracing),
+            "rasterization" => Some(RendererKind::Rasterization),
+            "volume_rendering" => Some(RendererKind::VolumeRendering),
+            _ => None,
+        }
+    }
+}
+
+/// One single-node rendering measurement with its observed model inputs.
+#[derive(Debug, Clone)]
+pub struct RenderSample {
+    pub renderer: RendererKind,
+    /// Device name ("serial" / "parallel").
+    pub device: String,
+    /// Simulation-code label the data came from.
+    pub source: String,
+    /// O: objects (triangles or cells).
+    pub objects: f64,
+    /// AP: active pixels.
+    pub active_pixels: f64,
+    /// VO: visible objects (rasterization).
+    pub visible_objects: f64,
+    /// PPT: pixels per triangle (rasterization).
+    pub pixels_per_triangle: f64,
+    /// SPR: samples per ray (volume rendering).
+    pub samples_per_ray: f64,
+    /// CS: cells spanned (volume rendering).
+    pub cells_spanned: f64,
+    /// Full image pixel count.
+    pub pixels: f64,
+    /// MPI tasks of the configuration the sample belongs to.
+    pub tasks: usize,
+    /// Acceleration-structure build seconds (ray tracing; 0 otherwise).
+    pub build_seconds: f64,
+    /// Render seconds (excluding build).
+    pub render_seconds: f64,
+}
+
+impl RenderSample {
+    pub const CSV_HEADER: &'static str = "renderer,device,source,objects,active_pixels,visible_objects,pixels_per_triangle,samples_per_ray,cells_spanned,pixels,tasks,build_seconds,render_seconds";
+
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.renderer.name(),
+            self.device,
+            self.source,
+            self.objects,
+            self.active_pixels,
+            self.visible_objects,
+            self.pixels_per_triangle,
+            self.samples_per_ray,
+            self.cells_spanned,
+            self.pixels,
+            self.tasks,
+            self.build_seconds,
+            self.render_seconds
+        )
+    }
+
+    pub fn from_csv_row(row: &str) -> Option<RenderSample> {
+        let f: Vec<&str> = row.split(',').collect();
+        if f.len() != 13 {
+            return None;
+        }
+        Some(RenderSample {
+            renderer: RendererKind::parse(f[0])?,
+            device: f[1].to_string(),
+            source: f[2].to_string(),
+            objects: f[3].parse().ok()?,
+            active_pixels: f[4].parse().ok()?,
+            visible_objects: f[5].parse().ok()?,
+            pixels_per_triangle: f[6].parse().ok()?,
+            samples_per_ray: f[7].parse().ok()?,
+            cells_spanned: f[8].parse().ok()?,
+            pixels: f[9].parse().ok()?,
+            tasks: f[10].parse().ok()?,
+            build_seconds: f[11].parse().ok()?,
+            render_seconds: f[12].parse().ok()?,
+        })
+    }
+}
+
+/// One image-compositing measurement.
+#[derive(Debug, Clone)]
+pub struct CompositeSample {
+    pub tasks: usize,
+    /// Full image pixel count.
+    pub pixels: f64,
+    /// Average active pixels per rank.
+    pub avg_active_pixels: f64,
+    /// Simulated compositing seconds (compute measured + wire modeled).
+    pub seconds: f64,
+}
+
+impl CompositeSample {
+    pub const CSV_HEADER: &'static str = "tasks,pixels,avg_active_pixels,seconds";
+
+    pub fn to_csv_row(&self) -> String {
+        format!("{},{},{},{}", self.tasks, self.pixels, self.avg_active_pixels, self.seconds)
+    }
+
+    pub fn from_csv_row(row: &str) -> Option<CompositeSample> {
+        let f: Vec<&str> = row.split(',').collect();
+        if f.len() != 4 {
+            return None;
+        }
+        Some(CompositeSample {
+            tasks: f[0].parse().ok()?,
+            pixels: f[1].parse().ok()?,
+            avg_active_pixels: f[2].parse().ok()?,
+            seconds: f[3].parse().ok()?,
+        })
+    }
+}
+
+/// Write samples to CSV text.
+pub fn to_csv(samples: &[RenderSample]) -> String {
+    let mut out = String::from(RenderSample::CSV_HEADER);
+    out.push('\n');
+    for s in samples {
+        out.push_str(&s.to_csv_row());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse CSV text (header optional).
+pub fn from_csv(text: &str) -> Vec<RenderSample> {
+    text.lines()
+        .filter(|l| !l.is_empty() && !l.starts_with("renderer,"))
+        .filter_map(RenderSample::from_csv_row)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RenderSample {
+        RenderSample {
+            renderer: RendererKind::RayTracing,
+            device: "parallel".into(),
+            source: "kripke".into(),
+            objects: 12000.0,
+            active_pixels: 3000.5,
+            visible_objects: 100.0,
+            pixels_per_triangle: 4.0,
+            samples_per_ray: 0.0,
+            cells_spanned: 0.0,
+            pixels: 65536.0,
+            tasks: 8,
+            build_seconds: 0.01,
+            render_seconds: 0.05,
+        }
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let s = sample();
+        let row = s.to_csv_row();
+        let back = RenderSample::from_csv_row(&row).unwrap();
+        assert_eq!(back.renderer, s.renderer);
+        assert_eq!(back.device, s.device);
+        assert_eq!(back.objects, s.objects);
+        assert_eq!(back.tasks, s.tasks);
+        assert_eq!(back.render_seconds, s.render_seconds);
+    }
+
+    #[test]
+    fn csv_text_round_trip_with_header() {
+        let text = to_csv(&[sample(), sample()]);
+        let parsed = from_csv(&text);
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn malformed_rows_skipped() {
+        assert!(RenderSample::from_csv_row("nope").is_none());
+        assert!(RenderSample::from_csv_row("bad,kind,x,1,2,3,4,5,6,7,8,9,10").is_none());
+    }
+
+    #[test]
+    fn composite_round_trip() {
+        let c = CompositeSample { tasks: 16, pixels: 1e6, avg_active_pixels: 4e4, seconds: 0.02 };
+        let back = CompositeSample::from_csv_row(&c.to_csv_row()).unwrap();
+        assert_eq!(back.tasks, 16);
+        assert_eq!(back.seconds, 0.02);
+    }
+
+    #[test]
+    fn renderer_names_round_trip() {
+        for k in [RendererKind::RayTracing, RendererKind::Rasterization, RendererKind::VolumeRendering] {
+            assert_eq!(RendererKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(RendererKind::parse("quantum"), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Execution devices: serial and rayon-backed parallel back-ends.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An execution back-end for the data-parallel primitives.
+///
+/// `Device` is cheap to clone and `Send + Sync`; renderers hold one and pass
+/// it to every primitive call, mirroring how EAVL algorithms are compiled
+/// against a back-end.
+#[derive(Clone)]
+pub enum Device {
+    /// Single-threaded execution (the paper's one-core CPU runs).
+    Serial,
+    /// Rayon execution. `None` uses the global thread pool (all cores);
+    /// `Some(pool)` uses a dedicated pool, enabling thread-count clamping
+    /// for strong-scaling studies.
+    Parallel(Option<Arc<rayon::ThreadPool>>),
+}
+
+impl Device {
+    /// Parallel device on the global rayon pool (all logical cores).
+    pub fn parallel() -> Device {
+        Device::Parallel(None)
+    }
+
+    /// Parallel device clamped to exactly `threads` worker threads.
+    pub fn parallel_with_threads(threads: usize) -> Device {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads.max(1))
+            .build()
+            .expect("failed to build rayon pool");
+        Device::Parallel(Some(Arc::new(pool)))
+    }
+
+    /// True for any parallel variant.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self, Device::Parallel(_))
+    }
+
+    /// Number of worker threads this device will use.
+    pub fn threads(&self) -> usize {
+        match self {
+            Device::Serial => 1,
+            Device::Parallel(None) => rayon::current_num_threads(),
+            Device::Parallel(Some(p)) => p.current_num_threads(),
+        }
+    }
+
+    /// Short name used in experiment records ("serial" / "parallel").
+    pub fn name(&self) -> &'static str {
+        match self {
+            Device::Serial => "serial",
+            Device::Parallel(_) => "parallel",
+        }
+    }
+
+    /// Run `f` inside this device's thread pool so that nested rayon
+    /// operations are scheduled on it. On the serial device `f` runs inline
+    /// (primitives check the device themselves and stay sequential).
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        match self {
+            Device::Serial => f(),
+            Device::Parallel(None) => f(),
+            Device::Parallel(Some(pool)) => pool.install(f),
+        }
+    }
+}
+
+impl fmt::Debug for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Device::Serial => write!(f, "Device::Serial"),
+            Device::Parallel(None) => write!(f, "Device::Parallel(global)"),
+            Device::Parallel(Some(p)) => {
+                write!(f, "Device::Parallel({} threads)", p.current_num_threads())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_threads() {
+        assert_eq!(Device::Serial.name(), "serial");
+        assert_eq!(Device::Serial.threads(), 1);
+        assert!(!Device::Serial.is_parallel());
+        let p = Device::parallel();
+        assert!(p.is_parallel());
+        assert!(p.threads() >= 1);
+        let p2 = Device::parallel_with_threads(2);
+        assert_eq!(p2.threads(), 2);
+    }
+
+    #[test]
+    fn install_runs_closure() {
+        let d = Device::parallel_with_threads(2);
+        let v = d.install(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(Device::Serial.install(|| 7), 7);
+    }
+}

@@ -1,0 +1,27 @@
+//! Data-parallel primitives: the EAVL / VTK-m stand-in.
+//!
+//! The dissertation's renderers are composed *entirely* of a small set of
+//! data-parallel primitives — map, gather, scatter, reduce, scan, and
+//! reverse-index — combined with user-defined functors (Chapter 2.3). A single
+//! algorithm expressed this way runs on any architecture for which the
+//! primitive set has a back-end. This crate provides that primitive set with
+//! two back-ends behind one [`Device`] handle:
+//!
+//! * [`Device::Serial`] — single-threaded loops. Stands in for the paper's
+//!   one-core CPU configurations (e.g. CPU1 in the SC16 study).
+//! * [`Device::parallel()`] — rayon work-stealing over all cores. Stands in
+//!   for the many-threaded configurations (GPU1 in the study). A
+//!   thread-clamped variant ([`Device::parallel_with_threads`]) supports the
+//!   strong-scaling experiments (Table 8).
+//!
+//! The performance-model methodology (Chapter V) depends on exactly this
+//! property: one implementation, several devices, one model form per
+//! (algorithm, device) pair with device-specific fitted coefficients.
+
+pub mod device;
+pub mod primitives;
+pub mod simd;
+pub mod sort;
+
+pub use device::Device;
+pub use primitives::*;

@@ -1,0 +1,151 @@
+//! Property tests: every parallel primitive agrees with a serial oracle.
+//! This is the load-bearing guarantee behind the dissertation's methodology —
+//! one algorithm, many devices, identical results.
+
+use dpp::device::Device;
+use dpp::sort::{sort_pairs_u64, sort_pairs_f32_nonneg};
+use dpp::*;
+use proptest::prelude::*;
+
+fn both_devices() -> Vec<Device> {
+    vec![Device::parallel(), Device::parallel_with_threads(3)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn map_equals_serial(data in proptest::collection::vec(any::<u32>(), 0..6000)) {
+        let n = data.len();
+        let serial: Vec<u64> = map(&Device::Serial, n, |i| data[i] as u64 * 3 + 1);
+        for d in both_devices() {
+            let par: Vec<u64> = map(&d, n, |i| data[i] as u64 * 3 + 1);
+            prop_assert_eq!(&par, &serial);
+        }
+    }
+
+    #[test]
+    fn exclusive_scan_law(data in proptest::collection::vec(0u32..1000, 0..9000)) {
+        for d in both_devices() {
+            let (scan, total) = exclusive_scan_u32(&d, &data);
+            let expect: u32 = data.iter().sum();
+            prop_assert_eq!(total, expect);
+            // scan[i] + data[i] == scan[i+1]
+            for i in 0..data.len().saturating_sub(1) {
+                prop_assert_eq!(scan[i] + data[i], scan[i + 1]);
+            }
+            if !data.is_empty() {
+                prop_assert_eq!(scan[0], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_is_order_insensitive_for_assoc_commutative_op(
+        data in proptest::collection::vec(any::<i32>(), 0..9000)
+    ) {
+        // max is associative + commutative, so every device must agree exactly.
+        let expect = data.iter().copied().fold(i32::MIN, i32::max);
+        for d in both_devices() {
+            prop_assert_eq!(reduce(&d, &data, i32::MIN, i32::max), expect);
+        }
+    }
+
+    #[test]
+    fn compact_equals_filter(data in proptest::collection::vec(any::<u32>(), 0..9000)) {
+        let n = data.len();
+        let expect: Vec<u32> = (0..n).filter(|&i| data[i] % 2 == 0).map(|i| i as u32).collect();
+        for d in both_devices() {
+            let got = compact_indices(&d, n, |i| data[i] % 2 == 0);
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+
+    #[test]
+    fn gather_then_scatter_identity(n in 1usize..4000) {
+        // Any permutation: scatter(gather(x, p), p) == x.
+        let perm: Vec<u32> = {
+            // A fixed pseudo-permutation built from the size.
+            let mut v: Vec<u32> = (0..n as u32).collect();
+            let stride = (n / 2).max(1);
+            v.rotate_left(stride % n);
+            v
+        };
+        let src: Vec<u32> = (0..n as u32).map(|i| i * 7 + 3).collect();
+        for d in both_devices() {
+            let g = gather(&d, &perm, &src);
+            let mut out = vec![0u32; n];
+            scatter(&d, &g, &perm, &mut out);
+            prop_assert_eq!(&out, &src);
+        }
+    }
+
+    #[test]
+    fn radix_sort_matches_std_sort(
+        pairs in proptest::collection::vec((any::<u64>(), any::<u32>()), 0..6000)
+    ) {
+        let mut expect = pairs.clone();
+        expect.sort_by_key(|p| p.0);
+        for d in both_devices() {
+            let mut keys: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+            let mut vals: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+            sort_pairs_u64(&d, &mut keys, &mut vals);
+            let got: Vec<(u64, u32)> = keys.into_iter().zip(vals).collect();
+            // Keys must match exactly; values may differ only among equal keys,
+            // but our sort is stable so both must match a stable std sort.
+            let mut stable = pairs.clone();
+            stable.sort_by_key(|p| p.0);
+            prop_assert_eq!(got, stable);
+        }
+    }
+
+    #[test]
+    fn f32_sort_orders_depths(depths in proptest::collection::vec(0.0f32..1e6, 1..3000)) {
+        for d in both_devices() {
+            let mut idx: Vec<u32> = (0..depths.len() as u32).collect();
+            sort_pairs_f32_nonneg(&d, &depths, &mut idx);
+            for w in idx.windows(2) {
+                prop_assert!(depths[w[0] as usize] <= depths[w[1] as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn count_if_equals_filter_count(data in proptest::collection::vec(any::<u8>(), 0..9000)) {
+        let expect = data.iter().filter(|&&v| v > 128).count();
+        for d in both_devices() {
+            prop_assert_eq!(count_if(&d, data.len(), |i| data[i] > 128), expect);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Segmented scan equals an independently computed per-segment exclusive
+    /// scan on every device.
+    #[test]
+    fn segmented_scan_matches_per_segment_oracle(
+        data in proptest::collection::vec(0u32..500, 1..9000),
+        head_stride in 1usize..200
+    ) {
+        let n = data.len();
+        let heads: Vec<u32> = (0..n).map(|i| (i % head_stride == 0) as u32).collect();
+        // Oracle: split into segments and scan each.
+        let mut expect = vec![0u32; n];
+        let mut acc = 0u32;
+        for i in 0..n {
+            if heads[i] != 0 {
+                acc = 0;
+            }
+            expect[i] = acc;
+            acc += data[i];
+        }
+        for d in both_devices() {
+            let got = segmented_exclusive_scan_u32(&d, &data, &heads);
+            prop_assert_eq!(&got, &expect);
+        }
+        let serial = segmented_exclusive_scan_u32(&Device::Serial, &data, &heads);
+        prop_assert_eq!(&serial, &expect);
+    }
+}

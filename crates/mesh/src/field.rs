@@ -1,0 +1,69 @@
+//! Named scalar fields attached to mesh points or cells.
+
+/// Whether field values live on mesh points or cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assoc {
+    Point,
+    Cell,
+}
+
+/// A named scalar field. Simulations publish these; renderers consume them.
+#[derive(Debug, Clone)]
+pub struct Field {
+    pub name: String,
+    pub assoc: Assoc,
+    pub values: Vec<f32>,
+}
+
+impl Field {
+    pub fn point(name: impl Into<String>, values: Vec<f32>) -> Field {
+        Field { name: name.into(), assoc: Assoc::Point, values }
+    }
+
+    pub fn cell(name: impl Into<String>, values: Vec<f32>) -> Field {
+        Field { name: name.into(), assoc: Assoc::Cell, values }
+    }
+
+    /// Min/max of finite values; `None` if there are none.
+    pub fn range(&self) -> Option<(f32, f32)> {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in &self.values {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        if lo <= hi {
+            Some((lo, hi))
+        } else {
+            None
+        }
+    }
+}
+
+/// Find a field by name in a field list.
+pub fn find<'a>(fields: &'a [Field], name: &str) -> Option<&'a Field> {
+    fields.iter().find(|f| f.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_ignores_nonfinite() {
+        let f = Field::point("t", vec![1.0, f32::NAN, -2.0, f32::INFINITY, 5.0]);
+        assert_eq!(f.range(), Some((-2.0, 5.0)));
+        let empty = Field::cell("e", vec![f32::NAN]);
+        assert_eq!(empty.range(), None);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let fs = vec![Field::point("a", vec![]), Field::cell("b", vec![])];
+        assert!(find(&fs, "b").is_some());
+        assert_eq!(find(&fs, "b").unwrap().assoc, Assoc::Cell);
+        assert!(find(&fs, "c").is_none());
+    }
+}

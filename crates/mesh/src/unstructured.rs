@@ -1,0 +1,260 @@
+//! Unstructured meshes: tetrahedra (volume rendering, Chapter III), hexahedra
+//! (LULESH-style Lagrangian meshes), and triangle soups (ray tracing and
+//! rasterization geometry, Chapter II).
+
+use crate::field::{find, Field};
+use crate::structured::UniformGrid;
+use vecmath::{Aabb, Vec3};
+
+/// Triangle surface mesh with optional per-vertex scalars for pseudocoloring.
+#[derive(Debug, Clone, Default)]
+pub struct TriMesh {
+    pub points: Vec<Vec3>,
+    pub tris: Vec<[u32; 3]>,
+    /// Per-vertex scalar (same length as `points`) or empty.
+    pub scalars: Vec<f32>,
+}
+
+impl TriMesh {
+    pub fn bounds(&self) -> Aabb {
+        Aabb::from_points(&self.points)
+    }
+
+    pub fn num_tris(&self) -> usize {
+        self.tris.len()
+    }
+
+    /// Vertices of triangle `t`.
+    #[inline]
+    pub fn tri_points(&self, t: usize) -> [Vec3; 3] {
+        let [a, b, c] = self.tris[t];
+        [self.points[a as usize], self.points[b as usize], self.points[c as usize]]
+    }
+
+    /// Geometric (unnormalized) normal of triangle `t`.
+    #[inline]
+    pub fn tri_normal(&self, t: usize) -> Vec3 {
+        let [a, b, c] = self.tri_points(t);
+        (b - a).cross(c - a)
+    }
+
+    /// Scalar range over vertices (0..=1 fallback if no scalars).
+    pub fn scalar_range(&self) -> (f32, f32) {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &s in &self.scalars {
+            if s.is_finite() {
+                lo = lo.min(s);
+                hi = hi.max(s);
+            }
+        }
+        if lo <= hi {
+            (lo, hi)
+        } else {
+            (0.0, 1.0)
+        }
+    }
+
+    /// Append another mesh (indices rebased).
+    pub fn append(&mut self, o: &TriMesh) {
+        let base = self.points.len() as u32;
+        self.points.extend_from_slice(&o.points);
+        self.scalars.extend_from_slice(&o.scalars);
+        self.tris
+            .extend(o.tris.iter().map(|t| [t[0] + base, t[1] + base, t[2] + base]));
+    }
+}
+
+/// Tetrahedral mesh with point and/or cell fields.
+#[derive(Debug, Clone, Default)]
+pub struct TetMesh {
+    pub points: Vec<Vec3>,
+    pub tets: Vec<[u32; 4]>,
+    pub fields: Vec<Field>,
+}
+
+impl TetMesh {
+    pub fn num_tets(&self) -> usize {
+        self.tets.len()
+    }
+
+    pub fn bounds(&self) -> Aabb {
+        Aabb::from_points(&self.points)
+    }
+
+    #[inline]
+    pub fn tet_points(&self, t: usize) -> [Vec3; 4] {
+        let ix = self.tets[t];
+        [
+            self.points[ix[0] as usize],
+            self.points[ix[1] as usize],
+            self.points[ix[2] as usize],
+            self.points[ix[3] as usize],
+        ]
+    }
+
+    /// Signed volume of tet `t` (positive for right-handed orientation).
+    pub fn tet_volume(&self, t: usize) -> f32 {
+        let [a, b, c, d] = self.tet_points(t);
+        (b - a).cross(c - a).dot(d - a) / 6.0
+    }
+
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        find(&self.fields, name)
+    }
+}
+
+/// Hexahedral mesh in VTK vertex ordering (bottom quad 0-1-2-3 counter-
+/// clockwise, top quad 4-5-6-7 above it).
+#[derive(Debug, Clone, Default)]
+pub struct HexMesh {
+    pub points: Vec<Vec3>,
+    pub hexes: Vec<[u32; 8]>,
+    pub fields: Vec<Field>,
+}
+
+/// Decomposition of each hexahedron into 6 tetrahedra around its main
+/// diagonal (v0-v6): a space-filling partition of the hex volume, used to
+/// turn simulation meshes into the tetrahedral input of the unstructured
+/// volume renderer (the paper decomposed Enzo and Nek5000 the same way).
+pub const HEX_TO_TETS: [[usize; 4]; 6] = [
+    [0, 1, 2, 6],
+    [0, 2, 3, 6],
+    [0, 3, 7, 6],
+    [0, 7, 4, 6],
+    [0, 4, 5, 6],
+    [0, 5, 1, 6],
+];
+
+impl HexMesh {
+    pub fn num_hexes(&self) -> usize {
+        self.hexes.len()
+    }
+
+    pub fn bounds(&self) -> Aabb {
+        Aabb::from_points(&self.points)
+    }
+
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        find(&self.fields, name)
+    }
+
+    /// Decompose into a tetrahedral mesh (points shared, fields carried:
+    /// point fields as-is, cell fields replicated 6x per hex).
+    pub fn to_tets(&self) -> TetMesh {
+        let mut tets = Vec::with_capacity(self.hexes.len() * 6);
+        for h in &self.hexes {
+            for t in HEX_TO_TETS {
+                tets.push([h[t[0]], h[t[1]], h[t[2]], h[t[3]]]);
+            }
+        }
+        let fields = self
+            .fields
+            .iter()
+            .map(|f| match f.assoc {
+                crate::field::Assoc::Point => f.clone(),
+                crate::field::Assoc::Cell => {
+                    let mut v = Vec::with_capacity(f.values.len() * 6);
+                    for &x in &f.values {
+                        v.extend_from_slice(&[x; 6]);
+                    }
+                    Field::cell(f.name.clone(), v)
+                }
+            })
+            .collect();
+        TetMesh { points: self.points.clone(), tets, fields }
+    }
+
+    /// Build a structured-connectivity hex mesh covering a uniform grid
+    /// (LULESH's mesh is logically structured but stored unstructured).
+    pub fn from_uniform_grid(grid: &UniformGrid) -> HexMesh {
+        let d = grid.dims;
+        let mut points = Vec::with_capacity(grid.num_points());
+        for k in 0..d[2] {
+            for j in 0..d[1] {
+                for i in 0..d[0] {
+                    points.push(grid.point_position(i, j, k));
+                }
+            }
+        }
+        let c = grid.cell_dims();
+        let mut hexes = Vec::with_capacity(grid.num_cells());
+        let pid = |i: usize, j: usize, k: usize| ((k * d[1] + j) * d[0] + i) as u32;
+        for k in 0..c[2] {
+            for j in 0..c[1] {
+                for i in 0..c[0] {
+                    hexes.push([
+                        pid(i, j, k),
+                        pid(i + 1, j, k),
+                        pid(i + 1, j + 1, k),
+                        pid(i, j + 1, k),
+                        pid(i, j, k + 1),
+                        pid(i + 1, j, k + 1),
+                        pid(i + 1, j + 1, k + 1),
+                        pid(i, j + 1, k + 1),
+                    ]);
+                }
+            }
+        }
+        HexMesh { points, hexes, fields: grid.fields.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_hex() -> HexMesh {
+        let g = UniformGrid::new([1, 1, 1], Aabb::from_corners(Vec3::ZERO, Vec3::ONE));
+        HexMesh::from_uniform_grid(&g)
+    }
+
+    #[test]
+    fn hex_decomposition_fills_volume() {
+        let tets = unit_hex().to_tets();
+        assert_eq!(tets.num_tets(), 6);
+        let total: f32 = (0..6).map(|t| tets.tet_volume(t).abs()).sum();
+        assert!((total - 1.0).abs() < 1e-5, "volume was {total}");
+        // All tets non-degenerate.
+        for t in 0..6 {
+            assert!(tets.tet_volume(t).abs() > 1e-6);
+        }
+    }
+
+    #[test]
+    fn grid_hex_counts() {
+        let g = UniformGrid::new([3, 2, 4], Aabb::from_corners(Vec3::ZERO, Vec3::ONE));
+        let h = HexMesh::from_uniform_grid(&g);
+        assert_eq!(h.num_hexes(), 24);
+        assert_eq!(h.points.len(), 4 * 3 * 5);
+        let t = h.to_tets();
+        assert_eq!(t.num_tets(), 144);
+        // Total decomposed volume equals the box volume.
+        let total: f32 = (0..t.num_tets()).map(|i| t.tet_volume(i).abs()).sum();
+        assert!((total - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cell_fields_replicate_through_decomposition() {
+        let mut h = unit_hex();
+        h.fields.push(Field::cell("rho", vec![2.5]));
+        let t = h.to_tets();
+        let f = t.field("rho").unwrap();
+        assert_eq!(f.values, vec![2.5; 6]);
+    }
+
+    #[test]
+    fn trimesh_normals_and_append() {
+        let mut m = TriMesh {
+            points: vec![Vec3::ZERO, Vec3::X, Vec3::Y],
+            tris: vec![[0, 1, 2]],
+            scalars: vec![0.0, 0.5, 1.0],
+        };
+        assert!((m.tri_normal(0) - Vec3::Z).length() < 1e-6);
+        let other = m.clone();
+        m.append(&other);
+        assert_eq!(m.num_tris(), 2);
+        assert_eq!(m.tris[1], [3, 4, 5]);
+        assert_eq!(m.scalar_range(), (0.0, 1.0));
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the mesh substrate: isosurface correctness, hex
+//! decomposition volume conservation, external-face counting.
+
+use mesh::datasets::{field_grid, FieldKind};
+use mesh::external_faces::{external_face_triangle_estimate, external_faces_grid};
+use mesh::isosurface::isosurface;
+use mesh::structured::UniformGrid;
+use mesh::unstructured::HexMesh;
+use proptest::prelude::*;
+use vecmath::{Aabb, Vec3};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every isosurface vertex interpolates the field to the isovalue: for a
+    /// linear field the surface is the exact plane.
+    #[test]
+    fn isosurface_of_linear_field_is_planar(
+        a in -2.0f32..2.0, b in -2.0f32..2.0, c in 0.5f32..2.0, iso in -0.5f32..0.5
+    ) {
+        let mut g = UniformGrid::new([10; 3], Aabb::from_corners(Vec3::splat(-1.0), Vec3::splat(1.0)));
+        g.add_point_field("f", move |p| a * p.x + b * p.y + c * p.z);
+        let m = isosurface(&g, "f", iso, None);
+        // The plane crosses the cube for small iso given c >= 0.5.
+        prop_assert!(m.num_tris() > 0);
+        for &p in m.points.iter().step_by(5) {
+            let v = a * p.x + b * p.y + c * p.z;
+            prop_assert!((v - iso).abs() < 1e-3, "vertex {:?} field {} vs iso {}", p, v, iso);
+        }
+    }
+
+    /// Hex-to-tet decomposition conserves volume for randomly stretched grids.
+    #[test]
+    fn hex_decomposition_conserves_volume(
+        nx in 1usize..4, ny in 1usize..4, nz in 1usize..4,
+        sx in 0.2f32..3.0, sy in 0.2f32..3.0, sz in 0.2f32..3.0
+    ) {
+        let bounds = Aabb::from_corners(Vec3::ZERO, Vec3::new(sx, sy, sz));
+        let g = UniformGrid::new([nx, ny, nz], bounds);
+        let h = HexMesh::from_uniform_grid(&g);
+        let t = h.to_tets();
+        prop_assert_eq!(t.num_tets(), nx * ny * nz * 6);
+        let total: f32 = (0..t.num_tets()).map(|i| t.tet_volume(i).abs()).sum();
+        let expect = sx * sy * sz;
+        prop_assert!((total - expect).abs() / expect < 1e-3, "{} vs {}", total, expect);
+    }
+
+    /// External faces of an N^3 grid always produce exactly 12 N^2 triangles
+    /// with all vertices on the boundary.
+    #[test]
+    fn external_faces_exact_count(n in 1usize..7) {
+        let mut g = UniformGrid::new([n; 3], Aabb::from_corners(Vec3::ZERO, Vec3::ONE));
+        g.add_point_field("s", |p| p.x);
+        let m = external_faces_grid(&g, "s");
+        prop_assert_eq!(m.num_tris(), external_face_triangle_estimate(n));
+        for &p in &m.points {
+            let on = [p.x, p.y, p.z].iter().any(|&v| v.abs() < 1e-6 || (v - 1.0).abs() < 1e-6);
+            prop_assert!(on);
+        }
+    }
+
+    /// Isosurface triangle count is invariant under field negation with
+    /// matching isovalue negation (inside/outside symmetry).
+    #[test]
+    fn isosurface_negation_symmetry(iso in 0.1f32..0.7) {
+        let g = field_grid(FieldKind::ShockShell, [12, 12, 12]);
+        let pos = isosurface(&g, "scalar", iso, None);
+        let mut neg = g.clone();
+        let vals: Vec<f32> = g.field("scalar").unwrap().values.iter().map(|v| -v).collect();
+        neg.fields.push(mesh::Field::point("neg", vals));
+        let m2 = isosurface(&neg, "neg", -iso, None);
+        // Same crossing set: identical triangle counts.
+        prop_assert_eq!(pos.num_tris(), m2.num_tris());
+    }
+}

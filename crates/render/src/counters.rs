@@ -1,0 +1,121 @@
+//! Per-phase instrumentation: wall time plus a *work-unit* count per phase.
+//!
+//! The SC16 study measured per-phase time and instructions-per-cycle (PAPI on
+//! the CPU, nvprof on the GPU). Hardware counters are architecture gates we
+//! cannot cross here, so each renderer phase reports the number of algorithmic
+//! work units it processed (elements touched, samples extracted, …); work
+//! units per second is our throughput proxy for the paper's IPC columns
+//! (Tables 6 and 7). DESIGN.md documents this substitution.
+
+use std::time::Instant;
+
+/// One completed phase: name, elapsed seconds, work units processed.
+#[derive(Debug, Clone)]
+pub struct PhaseRecord {
+    pub name: &'static str,
+    pub seconds: f64,
+    pub work_units: u64,
+}
+
+impl PhaseRecord {
+    /// Work units per second (the IPC-proxy throughput).
+    pub fn throughput(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.work_units as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Accumulates phase records for one render.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimer {
+    pub phases: Vec<PhaseRecord>,
+}
+
+impl PhaseTimer {
+    pub fn new() -> PhaseTimer {
+        PhaseTimer::default()
+    }
+
+    /// Time a closure as one phase.
+    pub fn run<R>(&mut self, name: &'static str, work_units: u64, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.phases.push(PhaseRecord {
+            name,
+            seconds: t0.elapsed().as_secs_f64(),
+            work_units,
+        });
+        r
+    }
+
+    /// Record a phase with externally measured time.
+    pub fn record(&mut self, name: &'static str, seconds: f64, work_units: u64) {
+        self.phases.push(PhaseRecord { name, seconds, work_units });
+    }
+
+    /// Total seconds across phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.seconds).sum()
+    }
+
+    /// Sum of seconds for phases with the given name (phases repeat across
+    /// volume-rendering passes).
+    pub fn seconds_of(&self, name: &str) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.seconds)
+            .sum()
+    }
+
+    /// Sum of work units for phases with the given name.
+    pub fn work_of(&self, name: &str) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.work_units)
+            .sum()
+    }
+
+    /// Merge another timer's records (preserving order).
+    pub fn merge(&mut self, o: PhaseTimer) {
+        self.phases.extend(o.phases);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_records_time_and_result() {
+        let mut t = PhaseTimer::new();
+        let v = t.run("work", 100, || 7);
+        assert_eq!(v, 7);
+        assert_eq!(t.phases.len(), 1);
+        assert_eq!(t.phases[0].name, "work");
+        assert!(t.phases[0].seconds >= 0.0);
+    }
+
+    #[test]
+    fn aggregation_by_name() {
+        let mut t = PhaseTimer::new();
+        t.record("sampling", 0.5, 10);
+        t.record("compositing", 0.25, 5);
+        t.record("sampling", 0.5, 20);
+        assert!((t.seconds_of("sampling") - 1.0).abs() < 1e-12);
+        assert_eq!(t.work_of("sampling"), 30);
+        assert!((t.total_seconds() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput() {
+        let p = PhaseRecord { name: "x", seconds: 2.0, work_units: 10 };
+        assert_eq!(p.throughput(), 5.0);
+        let z = PhaseRecord { name: "x", seconds: 0.0, work_units: 10 };
+        assert_eq!(z.throughput(), 0.0);
+    }
+}

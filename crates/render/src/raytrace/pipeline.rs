@@ -1,0 +1,523 @@
+//! The breadth-first ray-tracing pipeline (Algorithm 1 of the dissertation),
+//! staged as data-parallel primitive calls.
+
+use super::bvh::{Bvh, Hit};
+use super::geometry::TriGeometry;
+use crate::counters::PhaseTimer;
+use crate::framebuffer::Framebuffer;
+use crate::shading::{blinn_phong, hash_rand2, hemisphere_dir, ShadingParams};
+use dpp::{compact_indices, count_if, gather, map, Device};
+use vecmath::{morton2, Camera, Color, Ray, TransferFunction};
+
+/// Which subset of the pipeline runs — the study's three workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// WORKLOAD1: primary-ray intersection only (rays/second benchmarks).
+    Intersect,
+    /// WORKLOAD2: intersection + Blinn-Phong shading (rasterization-like).
+    Shade,
+    /// WORKLOAD3: shading + ambient occlusion + shadows + anti-aliasing +
+    /// stream compaction.
+    Full,
+}
+
+/// Ray-tracer configuration.
+#[derive(Debug, Clone)]
+pub struct RtConfig {
+    pub workload: Workload,
+    /// Hemisphere samples per intersection for ambient occlusion.
+    pub ao_samples: u32,
+    /// AO ray maximum distance as a fraction of the scene diagonal.
+    pub ao_distance: f32,
+    /// Specular-reflection bounce limit (0 disables reflections).
+    pub max_reflections: u32,
+    /// Stream compaction of dead rays between stages.
+    pub compaction: bool,
+    /// 2x2 supersampling anti-aliasing.
+    pub antialias: bool,
+    /// Sort primary rays along a Morton curve of the framebuffer (the study
+    /// enables this on throughput devices).
+    pub morton_sort_rays: bool,
+}
+
+impl RtConfig {
+    pub fn workload1() -> RtConfig {
+        RtConfig {
+            workload: Workload::Intersect,
+            ao_samples: 0,
+            ao_distance: 0.05,
+            max_reflections: 0,
+            compaction: false,
+            antialias: false,
+            morton_sort_rays: false,
+        }
+    }
+
+    pub fn workload2() -> RtConfig {
+        RtConfig { workload: Workload::Shade, ..RtConfig::workload1() }
+    }
+
+    pub fn workload3() -> RtConfig {
+        RtConfig {
+            workload: Workload::Full,
+            ao_samples: 4,
+            compaction: true,
+            antialias: true,
+            ..RtConfig::workload1()
+        }
+    }
+}
+
+/// Measured quantities of one render: the performance-model inputs plus
+/// stage timings.
+#[derive(Debug, Clone)]
+pub struct RtStats {
+    /// O: number of triangles.
+    pub objects: usize,
+    /// AP: pixels whose color was produced by a hit.
+    pub active_pixels: usize,
+    /// Total rays traced through the BVH (primary + AO + shadow + bounce).
+    pub rays_traced: u64,
+    /// Seconds to build the BVH (the separable `c0*O + c1` model term).
+    pub bvh_build_seconds: f64,
+    /// Seconds for everything after the build.
+    pub render_seconds: f64,
+}
+
+/// Render result: image, stats, per-phase breakdown.
+pub struct RtOutput {
+    pub frame: Framebuffer,
+    pub stats: RtStats,
+    pub phases: PhaseTimer,
+}
+
+/// The data-parallel ray tracer: geometry + BVH + device.
+pub struct RayTracer {
+    pub device: Device,
+    pub geom: TriGeometry,
+    pub bvh: Bvh,
+    pub shading: Option<ShadingParams>,
+    pub bvh_build_seconds: f64,
+}
+
+impl RayTracer {
+    /// Build the acceleration structure on `device` and keep it for repeated
+    /// renders (the model's amortized-build use case). Uses the LBVH — the
+    /// linear-time build the `c0*O` model term assumes.
+    pub fn new(device: Device, geom: TriGeometry) -> RayTracer {
+        let t0 = std::time::Instant::now();
+        let bvh = Bvh::build(&device, &geom);
+        let bvh_build_seconds = t0.elapsed().as_secs_f64();
+        RayTracer { device, geom, bvh, shading: None, bvh_build_seconds }
+    }
+
+    /// Build with the Chapter II split BVH instead (slower build, faster
+    /// traversal; `split_alpha` as in the paper, 1e-6).
+    pub fn new_with_split_bvh(device: Device, geom: TriGeometry, split_alpha: f32) -> RayTracer {
+        let t0 = std::time::Instant::now();
+        let bvh = super::sbvh::build_split_bvh(&geom, split_alpha);
+        let bvh_build_seconds = t0.elapsed().as_secs_f64();
+        RayTracer { device, geom, bvh, shading: None, bvh_build_seconds }
+    }
+
+    /// Render one frame with the default rainbow pseudocolor map.
+    pub fn render(&self, camera: &Camera, width: u32, height: u32, cfg: &RtConfig) -> RtOutput {
+        let tf = TransferFunction::rainbow(self.geom.scalar_range);
+        self.render_with_map(camera, width, height, cfg, &tf)
+    }
+
+    /// Render with an explicit pseudocolor map.
+    pub fn render_with_map(
+        &self,
+        camera: &Camera,
+        width: u32,
+        height: u32,
+        cfg: &RtConfig,
+        colormap: &TransferFunction,
+    ) -> RtOutput {
+        let mut phases = PhaseTimer::new();
+        let t_render = std::time::Instant::now();
+        let device = &self.device;
+
+        let ss = if cfg.antialias { 2u32 } else { 1u32 };
+        let rw = width * ss;
+        let rh = height * ss;
+        let n_rays = (rw * rh) as usize;
+        let mut rays_traced = 0u64;
+
+        // --- Ray generation (map). Ray order may follow a Morton curve. ---
+        let pixel_order: Vec<u32> = if cfg.morton_sort_rays {
+            let mut codes: Vec<u64> =
+                (0..n_rays as u32).map(|i| morton2(i % rw, i / rw)).collect();
+            let mut order: Vec<u32> = (0..n_rays as u32).collect();
+            dpp::sort::sort_pairs_u64(device, &mut codes, &mut order);
+            order
+        } else {
+            (0..n_rays as u32).collect()
+        };
+        let rays: Vec<Ray> = phases.run("ray_gen", n_rays as u64, || {
+            map(device, n_rays, |i| {
+                let p = pixel_order[i];
+                let (px, py) = (p % rw, p / rw);
+                camera.primary_ray(px, py, rw, rh, 0.5, 0.5)
+            })
+        });
+
+        // --- Traversal + intersection (map over rays). ---
+        let hits: Vec<Hit> = phases.run("intersect", n_rays as u64, || {
+            map(device, n_rays, |i| self.bvh.closest_hit(&self.geom, &rays[i]))
+        });
+        rays_traced += n_rays as u64;
+
+        // WORKLOAD1 stops here: depth image only.
+        if cfg.workload == Workload::Intersect {
+            let mut frame = Framebuffer::new(width, height);
+            for (i, h) in hits.iter().enumerate() {
+                if h.is_hit() {
+                    let p = pixel_order[i];
+                    let (px, py) = (p % rw / ss, p / rw / ss);
+                    let ix = frame.index(px, py);
+                    if h.t < frame.depth[ix] {
+                        frame.depth[ix] = h.t;
+                        frame.color[ix] = Color::WHITE;
+                    }
+                }
+            }
+            let active = frame.active_pixels();
+            return self.finish(frame, phases, rays_traced, active, t_render);
+        }
+
+        // --- Optional stream compaction of misses (map+scan+gather). ---
+        let (live, live_rays, live_hits): (Vec<u32>, Vec<Ray>, Vec<Hit>) = if cfg.compaction {
+            let idx = phases.run("compaction", n_rays as u64, || {
+                compact_indices(device, n_rays, |i| hits[i].is_hit())
+            });
+            let r = gather(device, &idx, &rays);
+            let h = gather(device, &idx, &hits);
+            (idx, r, h)
+        } else {
+            let idx = (0..n_rays as u32).collect();
+            (idx, rays.clone(), hits.clone())
+        };
+        let n_live = live.len();
+
+        let shading = self
+            .shading
+            .clone()
+            .unwrap_or_else(|| ShadingParams::headlight(camera.position, camera.up));
+
+        // --- Ambient occlusion: scatter sample rays, intersect, gather. ---
+        let occlusion: Vec<f32> = if cfg.workload == Workload::Full && cfg.ao_samples > 0 {
+            let s = cfg.ao_samples as usize;
+            let max_dist = self.geom.bounds.diagonal() * cfg.ao_distance;
+            let n_occ = n_live * s;
+            let occ_hits: Vec<bool> = phases.run("ambient_occlusion", n_occ as u64, || {
+                map(device, n_occ, |j| {
+                    let li = j / s;
+                    let si = (j % s) as u32;
+                    let h = &live_hits[li];
+                    if !h.is_hit() {
+                        return false;
+                    }
+                    let ray = &live_rays[li];
+                    let p = ray.at(h.t);
+                    let n = self.geom.interpolate_normal(h.prim as usize, h.u, h.v);
+                    let n = if n.dot(ray.dir) > 0.0 { -n } else { n };
+                    let (u1, u2) = hash_rand2(live[li], si);
+                    let dir = hemisphere_dir(n, u1, u2);
+                    let occ_ray = Ray::new(p + n * 1e-4, dir);
+                    self.bvh.any_hit(&self.geom, &occ_ray, max_dist)
+                })
+            });
+            rays_traced += n_occ as u64;
+            // Gather per-hit occlusion factors.
+            map(device, n_live, |li| {
+                let blocked: u32 = (0..s).map(|si| occ_hits[li * s + si] as u32).sum();
+                1.0 - blocked as f32 / s as f32
+            })
+        } else {
+            vec![1.0; n_live]
+        };
+
+        // --- Shadow rays (map over live hits x lights). ---
+        let n_lights = shading.lights.len();
+        let light_vis: Vec<bool> = if cfg.workload == Workload::Full {
+            let n_sh = n_live * n_lights;
+            let vis = phases.run("shadows", n_sh as u64, || {
+                map(device, n_sh, |j| {
+                    let li = j / n_lights;
+                    let light = &shading.lights[j % n_lights];
+                    let h = &live_hits[li];
+                    if !h.is_hit() {
+                        return true;
+                    }
+                    let ray = &live_rays[li];
+                    let p = ray.at(h.t);
+                    let n = self.geom.interpolate_normal(h.prim as usize, h.u, h.v);
+                    let n = if n.dot(ray.dir) > 0.0 { -n } else { n };
+                    let to_light = light.position - (p + n * 1e-4);
+                    let dist = to_light.length();
+                    let sray = Ray::new(p + n * 1e-4, to_light / dist);
+                    !self.bvh.any_hit(&self.geom, &sray, dist)
+                })
+            });
+            rays_traced += n_sh as u64;
+            vis
+        } else {
+            vec![true; n_live * n_lights]
+        };
+
+        // --- Shading (map) + reflections (recursive generations). ---
+        let colors: Vec<Color> = phases.run("shade", n_live as u64, || {
+            map(device, n_live, |li| {
+                let h = &live_hits[li];
+                if !h.is_hit() {
+                    return Color::TRANSPARENT;
+                }
+                let ray = &live_rays[li];
+                self.shade_hit(
+                    ray,
+                    h,
+                    &shading,
+                    colormap,
+                    occlusion[li],
+                    &light_vis[li * n_lights..(li + 1) * n_lights],
+                    cfg.max_reflections,
+                )
+            })
+        });
+
+        // --- Scatter colors back to the supersampled buffer, then gather
+        //     with anti-aliasing into the final frame. ---
+        let mut frame = Framebuffer::new(width, height);
+        let aa = (ss * ss) as f32;
+        let mut accum: Vec<Color> = vec![Color::TRANSPARENT; (rw * rh) as usize];
+        let mut depth_ss: Vec<f32> = vec![f32::INFINITY; (rw * rh) as usize];
+        for (li, &src) in live.iter().enumerate() {
+            let p = pixel_order[src as usize] as usize;
+            accum[p] = colors[li];
+            depth_ss[p] = live_hits[li].t;
+        }
+        phases.run("anti_alias", (width * height) as u64, || {
+            for py in 0..height {
+                for px in 0..width {
+                    let mut c = Color::TRANSPARENT;
+                    let mut d = f32::INFINITY;
+                    let mut any = false;
+                    for sy in 0..ss {
+                        for sx in 0..ss {
+                            let sp = ((py * ss + sy) * rw + px * ss + sx) as usize;
+                            c = c.add(accum[sp].premultiplied());
+                            if depth_ss[sp] < d {
+                                d = depth_ss[sp];
+                            }
+                            any |= accum[sp].a > 0.0;
+                        }
+                    }
+                    if any {
+                        let ix = frame.index(px, py);
+                        frame.color[ix] = c.scale(1.0 / aa).unpremultiplied();
+                        frame.depth[ix] = d;
+                    }
+                }
+            }
+        });
+
+        let active = count_if(device, frame.num_pixels(), |i| frame.color[i].a > 0.0);
+        self.finish(frame, phases, rays_traced, active, t_render)
+    }
+
+    /// Shade one hit, optionally recursing along the specular reflection.
+    #[allow(clippy::too_many_arguments)]
+    fn shade_hit(
+        &self,
+        ray: &Ray,
+        hit: &Hit,
+        shading: &ShadingParams,
+        colormap: &TransferFunction,
+        occlusion: f32,
+        light_vis: &[bool],
+        bounces_left: u32,
+    ) -> Color {
+        let p = ray.at(hit.t);
+        let n = self.geom.interpolate_normal(hit.prim as usize, hit.u, hit.v);
+        let scalar = self.geom.interpolate_scalar(hit.prim as usize, hit.u, hit.v);
+        let base = colormap.sample(scalar);
+        let view = -ray.dir;
+        let mut c = blinn_phong(shading, p, n, view, base, light_vis);
+        // Ambient-occlusion darkening.
+        c = Color::new(c.r * occlusion, c.g * occlusion, c.b * occlusion, c.a);
+        if bounces_left > 0 && shading.material.specular > 0.0 {
+            let n_oriented = if n.dot(ray.dir) > 0.0 { -n } else { n };
+            let rdir = ray.dir.reflect(n_oriented);
+            let rray = Ray::new(p + n_oriented * 1e-4, rdir);
+            let rhit = self.bvh.closest_hit(&self.geom, &rray);
+            if rhit.is_hit() {
+                let rcol = self.shade_hit(
+                    &rray,
+                    &rhit,
+                    shading,
+                    colormap,
+                    1.0,
+                    &vec![true; shading.lights.len()],
+                    bounces_left - 1,
+                );
+                let k = shading.material.specular * 0.5;
+                c = Color::new(
+                    c.r * (1.0 - k) + rcol.r * k,
+                    c.g * (1.0 - k) + rcol.g * k,
+                    c.b * (1.0 - k) + rcol.b * k,
+                    c.a,
+                );
+            }
+        }
+        c
+    }
+
+    fn finish(
+        &self,
+        frame: Framebuffer,
+        phases: PhaseTimer,
+        rays_traced: u64,
+        active_pixels: usize,
+        t_render: std::time::Instant,
+    ) -> RtOutput {
+        RtOutput {
+            stats: RtStats {
+                objects: self.geom.num_tris(),
+                active_pixels,
+                rays_traced,
+                bvh_build_seconds: self.bvh_build_seconds,
+                render_seconds: t_render.elapsed().as_secs_f64(),
+            },
+            frame,
+            phases,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::datasets::{field_grid, FieldKind};
+    use mesh::isosurface::isosurface;
+
+    fn tracer(device: Device) -> RayTracer {
+        let g = field_grid(FieldKind::ShockShell, [20, 20, 20]);
+        let m = isosurface(&g, "scalar", 0.5, Some("elevation"));
+        RayTracer::new(device, TriGeometry::from_mesh(&m))
+    }
+
+    #[test]
+    fn workload1_produces_depth_hits() {
+        let rt = tracer(Device::Serial);
+        let cam = Camera::close_view(&rt.geom.bounds);
+        let out = rt.render(&cam, 64, 64, &RtConfig::workload1());
+        assert!(out.stats.active_pixels > 200, "{}", out.stats.active_pixels);
+        assert_eq!(out.stats.rays_traced, 64 * 64);
+        assert!(out.stats.objects > 0);
+    }
+
+    #[test]
+    fn workload2_shades_hit_pixels() {
+        let rt = tracer(Device::Serial);
+        let cam = Camera::close_view(&rt.geom.bounds);
+        let out = rt.render(&cam, 48, 48, &RtConfig::workload2());
+        assert!(out.stats.active_pixels > 100);
+        let c = out.frame.color[out.frame.index(24, 24)];
+        assert!(c.a > 0.0 && (c.r + c.g + c.b) > 0.0);
+    }
+
+    #[test]
+    fn workload3_runs_all_stages() {
+        let rt = tracer(Device::Serial);
+        let cam = Camera::close_view(&rt.geom.bounds);
+        let out = rt.render(&cam, 32, 32, &RtConfig::workload3());
+        let names: Vec<_> = out.phases.phases.iter().map(|p| p.name).collect();
+        for expect in
+            ["ray_gen", "intersect", "compaction", "ambient_occlusion", "shadows", "shade", "anti_alias"]
+        {
+            assert!(names.contains(&expect), "missing phase {expect}: {names:?}");
+        }
+        assert!(out.stats.rays_traced > 4 * 32 * 32);
+    }
+
+    #[test]
+    fn devices_agree_on_the_image() {
+        let serial = tracer(Device::Serial);
+        let parallel = tracer(Device::parallel());
+        let cam = Camera::close_view(&serial.geom.bounds);
+        let cfg = RtConfig::workload2();
+        let a = serial.render(&cam, 40, 40, &cfg);
+        let b = parallel.render(&cam, 40, 40, &cfg);
+        assert!(
+            a.frame.mean_abs_diff(&b.frame) < 1e-4,
+            "devices diverge: {}",
+            a.frame.mean_abs_diff(&b.frame)
+        );
+    }
+
+    #[test]
+    fn morton_sorted_rays_same_image() {
+        let rt = tracer(Device::Serial);
+        let cam = Camera::close_view(&rt.geom.bounds);
+        let mut cfg = RtConfig::workload2();
+        let a = rt.render(&cam, 40, 40, &cfg);
+        cfg.morton_sort_rays = true;
+        let b = rt.render(&cam, 40, 40, &cfg);
+        assert!(a.frame.mean_abs_diff(&b.frame) < 1e-4);
+    }
+
+    #[test]
+    fn compaction_does_not_change_image() {
+        let rt = tracer(Device::Serial);
+        let cam = Camera::far_view(&rt.geom.bounds); // many misses
+        let mut cfg = RtConfig::workload2();
+        cfg.compaction = false;
+        let a = rt.render(&cam, 40, 40, &cfg);
+        cfg.compaction = true;
+        let b = rt.render(&cam, 40, 40, &cfg);
+        assert!(a.frame.mean_abs_diff(&b.frame) < 1e-4);
+    }
+
+    #[test]
+    fn ao_darkens_on_average() {
+        let rt = tracer(Device::Serial);
+        let cam = Camera::close_view(&rt.geom.bounds);
+        let mut no_ao = RtConfig::workload3();
+        no_ao.ao_samples = 0;
+        no_ao.antialias = false;
+        let mut ao = RtConfig::workload3();
+        ao.ao_samples = 8;
+        ao.antialias = false;
+        let a = rt.render(&cam, 32, 32, &no_ao);
+        let b = rt.render(&cam, 32, 32, &ao);
+        let lum = |f: &Framebuffer| -> f32 { f.color.iter().map(|c| c.r + c.g + c.b).sum() };
+        assert!(lum(&b.frame) <= lum(&a.frame) + 1e-3);
+    }
+
+    #[test]
+    fn split_bvh_tracer_matches_lbvh_tracer() {
+        let g = field_grid(FieldKind::ShockShell, [20, 20, 20]);
+        let m = isosurface(&g, "scalar", 0.5, Some("elevation"));
+        let geom = TriGeometry::from_mesh(&m);
+        let a = RayTracer::new(Device::Serial, geom.clone());
+        let b = RayTracer::new_with_split_bvh(Device::Serial, geom, 1e-6);
+        let cam = Camera::close_view(&a.geom.bounds);
+        let fa = a.render(&cam, 48, 48, &RtConfig::workload2());
+        let fb = b.render(&cam, 48, 48, &RtConfig::workload2());
+        assert!(fa.frame.mean_abs_diff(&fb.frame) < 1e-4);
+        assert_eq!(fa.stats.active_pixels, fb.stats.active_pixels);
+    }
+
+    #[test]
+    fn reflections_change_the_image() {
+        let rt = tracer(Device::Serial);
+        let cam = Camera::close_view(&rt.geom.bounds);
+        let mut cfg = RtConfig::workload2();
+        let a = rt.render(&cam, 32, 32, &cfg);
+        cfg.max_reflections = 2;
+        let b = rt.render(&cam, 32, 32, &cfg);
+        assert!(a.frame.mean_abs_diff(&b.frame) > 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Blinn-Phong shading (the paper's WORKLOAD2 shading model) plus scene
+//! light/material description.
+
+use vecmath::{Color, Vec3};
+
+/// A point light source.
+#[derive(Debug, Clone, Copy)]
+pub struct Light {
+    pub position: Vec3,
+    pub intensity: f32,
+}
+
+/// Phong material coefficients.
+#[derive(Debug, Clone, Copy)]
+pub struct Material {
+    pub ambient: f32,
+    pub diffuse: f32,
+    pub specular: f32,
+    pub shininess: f32,
+}
+
+impl Default for Material {
+    fn default() -> Self {
+        Material { ambient: 0.2, diffuse: 0.7, specular: 0.3, shininess: 24.0 }
+    }
+}
+
+/// Scene-level shading inputs shared by the surface renderers.
+#[derive(Debug, Clone)]
+pub struct ShadingParams {
+    pub lights: Vec<Light>,
+    pub material: Material,
+    /// Attenuation: light falls off as `1 / (1 + k * d^2)`.
+    pub attenuation_k: f32,
+}
+
+impl ShadingParams {
+    /// One headlight-ish light slightly offset from the camera (the study's
+    /// default setup).
+    pub fn headlight(camera_pos: Vec3, up_hint: Vec3) -> ShadingParams {
+        ShadingParams {
+            lights: vec![Light {
+                position: camera_pos + up_hint * (camera_pos.length() * 0.25 + 1.0),
+                intensity: 1.0,
+            }],
+            material: Material::default(),
+            attenuation_k: 0.0,
+        }
+    }
+}
+
+/// Blinn-Phong shade at a surface point.
+///
+/// `view_dir` points from the surface toward the eye; `normal` need not be
+/// oriented (it is flipped toward the viewer, standard for isosurfaces).
+/// `light_visible[i]` is false when a shadow ray found an occluder.
+pub fn blinn_phong(
+    params: &ShadingParams,
+    point: Vec3,
+    mut normal: Vec3,
+    view_dir: Vec3,
+    base_color: Color,
+    light_visible: &[bool],
+) -> Color {
+    if normal.dot(view_dir) < 0.0 {
+        normal = -normal;
+    }
+    let m = &params.material;
+    let mut r = base_color.r * m.ambient;
+    let mut g = base_color.g * m.ambient;
+    let mut b = base_color.b * m.ambient;
+    for (i, light) in params.lights.iter().enumerate() {
+        if !light_visible.get(i).copied().unwrap_or(true) {
+            continue;
+        }
+        let to_light = light.position - point;
+        let dist2 = to_light.length_squared();
+        let l = to_light.normalized();
+        let atten = light.intensity / (1.0 + params.attenuation_k * dist2);
+        let ndotl = normal.dot(l).max(0.0);
+        let h = (l + view_dir).normalized();
+        let spec = normal.dot(h).max(0.0).powf(m.shininess);
+        r += atten * (base_color.r * m.diffuse * ndotl + m.specular * spec);
+        g += atten * (base_color.g * m.diffuse * ndotl + m.specular * spec);
+        b += atten * (base_color.b * m.diffuse * ndotl + m.specular * spec);
+    }
+    Color::new(r.min(1.0), g.min(1.0), b.min(1.0), base_color.a)
+}
+
+/// Cosine-weighted-ish hemisphere direction around `normal`, from two hashed
+/// uniform samples — used by the ambient-occlusion pass.
+pub fn hemisphere_dir(normal: Vec3, u1: f32, u2: f32) -> Vec3 {
+    // Build a tangent frame.
+    let n = normal.normalized();
+    let a = if n.x.abs() < 0.9 { Vec3::X } else { Vec3::Y };
+    let t = n.cross(a).normalized();
+    let b = n.cross(t);
+    let r = u1.sqrt();
+    let phi = 2.0 * std::f32::consts::PI * u2;
+    let x = r * phi.cos();
+    let y = r * phi.sin();
+    let z = (1.0 - u1).max(0.0).sqrt();
+    (t * x + b * y + n * z).normalized()
+}
+
+/// Deterministic per-ray pseudo-random pair from (pixel, sample) ids, so the
+/// AO pass is reproducible without a stateful RNG (matching the functor model
+/// where every lane derives randomness from its index).
+pub fn hash_rand2(pixel: u32, sample: u32) -> (f32, f32) {
+    let mut h = (pixel as u64) << 32 | sample as u64;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CEB9FE1A85EC53);
+    h ^= h >> 33;
+    let a = ((h & 0xFFFFFF) as f32) / 16_777_216.0;
+    let b = (((h >> 24) & 0xFFFFFF) as f32) / 16_777_216.0;
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ShadingParams {
+        ShadingParams {
+            lights: vec![Light { position: Vec3::new(0.0, 10.0, 0.0), intensity: 1.0 }],
+            material: Material::default(),
+            attenuation_k: 0.0,
+        }
+    }
+
+    #[test]
+    fn lit_side_brighter_than_ambient() {
+        let p = params();
+        let facing = blinn_phong(&p, Vec3::ZERO, Vec3::Y, Vec3::Y, Color::rgb(0.5, 0.5, 0.5), &[true]);
+        let shadowed =
+            blinn_phong(&p, Vec3::ZERO, Vec3::Y, Vec3::Y, Color::rgb(0.5, 0.5, 0.5), &[false]);
+        assert!(facing.r > shadowed.r);
+        // Shadowed pixel still has ambient.
+        assert!(shadowed.r > 0.0);
+        assert!((shadowed.r - 0.5 * 0.2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normal_flipped_toward_viewer() {
+        let p = params();
+        let a = blinn_phong(&p, Vec3::ZERO, Vec3::Y, Vec3::Y, Color::WHITE, &[true]);
+        let b = blinn_phong(&p, Vec3::ZERO, -Vec3::Y, Vec3::Y, Color::WHITE, &[true]);
+        assert!((a.r - b.r).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hemisphere_dirs_are_above_surface() {
+        let n = Vec3::new(0.3, 0.8, -0.5).normalized();
+        for i in 0..64 {
+            let (u1, u2) = hash_rand2(7, i);
+            let d = hemisphere_dir(n, u1, u2);
+            assert!(d.dot(n) >= -1e-4, "sample {i} below surface");
+            assert!((d.length() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn hash_rand_is_deterministic_and_uniformish() {
+        assert_eq!(hash_rand2(3, 4), hash_rand2(3, 4));
+        assert_ne!(hash_rand2(3, 4), hash_rand2(3, 5));
+        let mut sum = 0.0;
+        let n = 1000;
+        for i in 0..n {
+            sum += hash_rand2(i, 0).0;
+        }
+        let mean = sum / n as f32;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+}

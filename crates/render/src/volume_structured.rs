@@ -1,0 +1,333 @@
+//! Structured volume rendering: a ray caster over regular grids (the
+//! renderer modeled by `T_VR = c0*(AP*CS) + c1*(AP*SPR) + c2` in Chapter V).
+//!
+//! Each pixel's ray is clipped against the grid bounds, then marched cell by
+//! cell with a 3D DDA. Entering a cell performs the *cell-frequency* work
+//! (locate the cell, load its 8 corner scalars, set up interpolation
+//! constants — the `AP*CS` term); each sample inside the cell performs the
+//! *sample-frequency* work (trilinear interpolation + transfer function +
+//! front-to-back compositing — the `AP*SPR` term).
+
+use crate::counters::PhaseTimer;
+use crate::framebuffer::Framebuffer;
+use dpp::{map, Device};
+use mesh::UniformGrid;
+use vecmath::{over, Camera, Color, TransferFunction, Vec3};
+
+/// Configuration for the structured volume renderer.
+#[derive(Debug, Clone)]
+pub struct SvrConfig {
+    /// Nominal number of samples along a ray that fully crosses the volume
+    /// (the study's default buffer depth is on the order of hundreds).
+    pub samples_per_ray: u32,
+    /// Early ray termination opacity threshold.
+    pub early_termination: f32,
+}
+
+impl Default for SvrConfig {
+    fn default() -> Self {
+        SvrConfig { samples_per_ray: 373, early_termination: 0.98 }
+    }
+}
+
+/// Measured model inputs for one structured-volume render.
+#[derive(Debug, Clone)]
+pub struct SvrStats {
+    /// O: number of cells.
+    pub objects: usize,
+    /// AP: rays that entered the volume.
+    pub active_pixels: usize,
+    /// SPR: average samples taken per active ray.
+    pub samples_per_ray: f64,
+    /// CS: average cells spanned per active ray.
+    pub cells_spanned: f64,
+    pub render_seconds: f64,
+}
+
+pub struct SvrOutput {
+    pub frame: Framebuffer,
+    pub stats: SvrStats,
+    pub phases: PhaseTimer,
+}
+
+/// Per-ray work tally returned from the kernel.
+#[derive(Clone, Copy, Default)]
+struct RayWork {
+    samples: u32,
+    cells: u32,
+}
+
+/// Render `field_name` of `grid` through `camera`.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's kernel signature
+pub fn render_structured(
+    device: &Device,
+    grid: &UniformGrid,
+    field_name: &str,
+    camera: &Camera,
+    width: u32,
+    height: u32,
+    tf: &TransferFunction,
+    cfg: &SvrConfig,
+) -> SvrOutput {
+    let mut phases = PhaseTimer::new();
+    let t0 = std::time::Instant::now();
+    let field = &grid
+        .field(field_name)
+        .unwrap_or_else(|| panic!("no point field named {field_name}"))
+        .values;
+    let bounds = grid.bounds();
+    let dt = bounds.diagonal() / cfg.samples_per_ray as f32;
+    let n_px = (width * height) as usize;
+
+    let results: Vec<(Color, RayWork)> = phases.run("raycast", n_px as u64, || {
+        map(device, n_px, |i| {
+            let px = i as u32 % width;
+            let py = i as u32 / width;
+            let ray = camera.primary_ray(px, py, width, height, 0.5, 0.5);
+            let Some((t_in, t_out)) = bounds.intersect_ray(&ray, camera.near, f32::INFINITY)
+            else {
+                return (Color::TRANSPARENT, RayWork::default());
+            };
+            march_ray(grid, field, &ray, t_in, t_out, dt, tf, cfg.early_termination)
+        })
+    });
+
+    let mut frame = Framebuffer::new(width, height);
+    let mut active = 0usize;
+    let mut total_samples = 0u64;
+    let mut total_cells = 0u64;
+    for (i, (c, work)) in results.iter().enumerate() {
+        if work.cells > 0 {
+            active += 1;
+            total_samples += work.samples as u64;
+            total_cells += work.cells as u64;
+            if c.a > 0.0 {
+                frame.color[i] = c.unpremultiplied();
+                frame.depth[i] = 0.0;
+            }
+        }
+    }
+
+    SvrOutput {
+        stats: SvrStats {
+            objects: grid.num_cells(),
+            active_pixels: active,
+            samples_per_ray: if active > 0 { total_samples as f64 / active as f64 } else { 0.0 },
+            cells_spanned: if active > 0 { total_cells as f64 / active as f64 } else { 0.0 },
+            render_seconds: t0.elapsed().as_secs_f64(),
+        },
+        frame,
+        phases,
+    }
+}
+
+/// March one ray through the grid with a cell-stepping DDA; returns the
+/// premultiplied accumulated color and the work tally.
+#[allow(clippy::too_many_arguments)]
+fn march_ray(
+    grid: &UniformGrid,
+    field: &[f32],
+    ray: &vecmath::Ray,
+    t_in: f32,
+    t_out: f32,
+    dt: f32,
+    tf: &TransferFunction,
+    early_term: f32,
+) -> (Color, RayWork) {
+    let cdims = grid.cell_dims();
+    let mut acc = Color::TRANSPARENT;
+    let mut work = RayWork::default();
+
+    // Enter slightly inside to get a valid starting cell.
+    let eps = dt * 1e-3;
+    let mut t = t_in + eps;
+    let start = ray.at(t);
+    let local = (start - grid.origin) * grid.spacing.recip();
+    let mut ci = (local.x.floor() as i64).clamp(0, cdims[0] as i64 - 1);
+    let mut cj = (local.y.floor() as i64).clamp(0, cdims[1] as i64 - 1);
+    let mut ck = (local.z.floor() as i64).clamp(0, cdims[2] as i64 - 1);
+
+    // DDA setup: t to next crossing per axis and per-axis step.
+    let step = [
+        if ray.dir.x > 0.0 { 1i64 } else { -1 },
+        if ray.dir.y > 0.0 { 1 } else { -1 },
+        if ray.dir.z > 0.0 { 1 } else { -1 },
+    ];
+    let next_boundary = |c: i64, axis: usize| -> f32 {
+        let base = match axis {
+            0 => grid.origin.x + grid.spacing.x * (c + (step[0] > 0) as i64) as f32,
+            1 => grid.origin.y + grid.spacing.y * (c + (step[1] > 0) as i64) as f32,
+            _ => grid.origin.z + grid.spacing.z * (c + (step[2] > 0) as i64) as f32,
+        };
+        match axis {
+            0 => (base - ray.origin.x) * ray.inv_dir.x,
+            1 => (base - ray.origin.y) * ray.inv_dir.y,
+            _ => (base - ray.origin.z) * ray.inv_dir.z,
+        }
+    };
+    let mut t_max = [
+        next_boundary(ci, 0),
+        next_boundary(cj, 1),
+        next_boundary(ck, 2),
+    ];
+
+    // Sample positions are globally spaced at multiples of dt from t_in so
+    // sampling density is view-independent.
+    let mut sample_t = t;
+
+    while t < t_out {
+        // --- Cell-frequency work: load the 8 corners of this cell. ---
+        work.cells += 1;
+        let (i, j, k) = (ci as usize, cj as usize, ck as usize);
+        let c = [
+            field[grid.point_index(i, j, k)],
+            field[grid.point_index(i + 1, j, k)],
+            field[grid.point_index(i, j + 1, k)],
+            field[grid.point_index(i + 1, j + 1, k)],
+            field[grid.point_index(i, j, k + 1)],
+            field[grid.point_index(i + 1, j, k + 1)],
+            field[grid.point_index(i, j + 1, k + 1)],
+            field[grid.point_index(i + 1, j + 1, k + 1)],
+        ];
+        let cell_min = Vec3::new(
+            grid.origin.x + grid.spacing.x * i as f32,
+            grid.origin.y + grid.spacing.y * j as f32,
+            grid.origin.z + grid.spacing.z * k as f32,
+        );
+        let inv_sp = grid.spacing.recip();
+
+        // Cell exit parameter.
+        let t_exit = t_max[0].min(t_max[1]).min(t_max[2]).min(t_out);
+
+        // --- Sample-frequency work inside [t, t_exit). ---
+        while sample_t < t_exit {
+            let p = ray.at(sample_t);
+            let f = (p - cell_min) * inv_sp;
+            let fx = f.x.clamp(0.0, 1.0);
+            let fy = f.y.clamp(0.0, 1.0);
+            let fz = f.z.clamp(0.0, 1.0);
+            let c00 = c[0] * (1.0 - fx) + c[1] * fx;
+            let c10 = c[2] * (1.0 - fx) + c[3] * fx;
+            let c01 = c[4] * (1.0 - fx) + c[5] * fx;
+            let c11 = c[6] * (1.0 - fx) + c[7] * fx;
+            let v = (c00 * (1.0 - fy) + c10 * fy) * (1.0 - fz)
+                + (c01 * (1.0 - fy) + c11 * fy) * fz;
+            let col = tf.sample(v);
+            if col.a > 0.0 {
+                acc = over(acc, col.premultiplied());
+            }
+            work.samples += 1;
+            sample_t += dt;
+            if acc.a >= early_term {
+                return (acc, work);
+            }
+        }
+
+        // Advance DDA to the next cell.
+        if t_max[0] <= t_max[1] && t_max[0] <= t_max[2] {
+            t = t_max[0];
+            ci += step[0];
+            if ci < 0 || ci >= cdims[0] as i64 {
+                break;
+            }
+            t_max[0] = next_boundary(ci, 0);
+        } else if t_max[1] <= t_max[2] {
+            t = t_max[1];
+            cj += step[1];
+            if cj < 0 || cj >= cdims[1] as i64 {
+                break;
+            }
+            t_max[1] = next_boundary(cj, 1);
+        } else {
+            t = t_max[2];
+            ck += step[2];
+            if ck < 0 || ck >= cdims[2] as i64 {
+                break;
+            }
+            t_max[2] = next_boundary(ck, 2);
+        }
+    }
+    (acc, work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::datasets::{field_grid, FieldKind};
+
+    fn volume() -> UniformGrid {
+        field_grid(FieldKind::ShockShell, [24, 24, 24])
+    }
+
+    fn tfn(grid: &UniformGrid) -> TransferFunction {
+        let range = grid.field("scalar").unwrap().range().unwrap();
+        TransferFunction::sparse_features(range)
+    }
+
+    #[test]
+    fn renders_visible_shell() {
+        let g = volume();
+        let cam = Camera::close_view(&g.bounds());
+        let out = render_structured(
+            &Device::Serial, &g, "scalar", &cam, 48, 48, &tfn(&g), &SvrConfig::default(),
+        );
+        assert!(out.stats.active_pixels > 500, "{}", out.stats.active_pixels);
+        assert!(out.stats.samples_per_ray > 10.0);
+        assert!(out.stats.cells_spanned > 5.0);
+        // Shell should color center pixels.
+        let c = out.frame.color[out.frame.index(24, 24)];
+        assert!(c.a > 0.0);
+    }
+
+    #[test]
+    fn devices_agree() {
+        let g = volume();
+        let cam = Camera::close_view(&g.bounds());
+        let cfg = SvrConfig::default();
+        let tf = tfn(&g);
+        let a = render_structured(&Device::Serial, &g, "scalar", &cam, 32, 32, &tf, &cfg);
+        let b = render_structured(&Device::parallel(), &g, "scalar", &cam, 32, 32, &tf, &cfg);
+        assert!(a.frame.mean_abs_diff(&b.frame) < 1e-5);
+        assert_eq!(a.stats.active_pixels, b.stats.active_pixels);
+    }
+
+    #[test]
+    fn cells_spanned_scales_with_grid_resolution() {
+        let small = field_grid(FieldKind::ShockShell, [16, 16, 16]);
+        let big = field_grid(FieldKind::ShockShell, [32, 32, 32]);
+        let cfg = SvrConfig { samples_per_ray: 128, early_termination: 1.1 }; // no early out
+        let tf = TransferFunction::cool_warm((0.0, 1.0)).with_opacity_scale(0.01);
+        let cam_s = Camera::close_view(&small.bounds());
+        let cam_b = Camera::close_view(&big.bounds());
+        let a = render_structured(&Device::Serial, &small, "scalar", &cam_s, 24, 24, &tf, &cfg);
+        let b = render_structured(&Device::Serial, &big, "scalar", &cam_b, 24, 24, &tf, &cfg);
+        // CS ~ N: doubling the grid should roughly double cells spanned.
+        let ratio = b.stats.cells_spanned / a.stats.cells_spanned;
+        assert!(ratio > 1.5 && ratio < 2.6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn early_termination_reduces_samples() {
+        let g = volume();
+        let cam = Camera::close_view(&g.bounds());
+        let tf = tfn(&g).with_opacity_scale(4.0); // very opaque
+        let with = SvrConfig { early_termination: 0.6, ..Default::default() };
+        let without = SvrConfig { early_termination: 1.1, ..Default::default() };
+        let a = render_structured(&Device::Serial, &g, "scalar", &cam, 32, 32, &tf, &with);
+        let b = render_structured(&Device::Serial, &g, "scalar", &cam, 32, 32, &tf, &without);
+        assert!(a.stats.samples_per_ray < b.stats.samples_per_ray);
+    }
+
+    #[test]
+    fn miss_rays_do_no_work() {
+        let g = volume();
+        // Camera pointing away from the data.
+        let mut cam = Camera::close_view(&g.bounds());
+        cam.look_at = cam.position + (cam.position - g.bounds().center());
+        let out = render_structured(
+            &Device::Serial, &g, "scalar", &cam, 16, 16, &tfn(&g), &SvrConfig::default(),
+        );
+        assert_eq!(out.stats.active_pixels, 0);
+        assert_eq!(out.stats.samples_per_ray, 0.0);
+    }
+}

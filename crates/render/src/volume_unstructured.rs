@@ -1,0 +1,552 @@
+//! Unstructured (tetrahedral) volume rendering — the Chapter III algorithm,
+//! composed entirely of data-parallel primitives.
+//!
+//! The renderer populates a `W x H x S` sample buffer in one or more passes
+//! over depth; each pass runs four phases (Algorithm 2):
+//!
+//! 1. **Pass selection** — map (threshold against the pass depth range) +
+//!    reduce + exclusive scan + reverse-index + gather = stream compaction of
+//!    the tetrahedra that can contribute samples this pass.
+//! 2. **Screen-space transformation** — map the active tets into screen
+//!    space, precomputing the inverse barycentric matrix (the "interpolation
+//!    constants" the paper re-uses across samples of the same cell).
+//! 3. **Sampling** — map over active tets; every sample position inside the
+//!    tet's screen AABB and depth range gets an inside-outside barycentric
+//!    test and, if inside, writes the interpolated scalar into the sample
+//!    buffer (atomic stores — tets partition space, so at most one writer
+//!    wins per sample up to boundary ties).
+//! 4. **Compositing** — map over pixels, folding this pass's samples
+//!    front-to-back through the transfer function with early termination.
+//!
+//! Splitting the buffer into passes trades memory for repeated screen-space
+//! work — exactly the trade-off Figures 4 and 5 of the dissertation sweep.
+
+use crate::counters::PhaseTimer;
+use crate::framebuffer::Framebuffer;
+use dpp::{compact_indices, map, Device};
+use mesh::{Assoc, TetMesh};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use vecmath::{over, Camera, Color, TransferFunction, Vec3};
+
+/// Sentinel bit pattern for "no sample written" (a signaling-NaN payload that
+/// real field data cannot produce through `f32::to_bits` of a finite value).
+const EMPTY: u32 = 0xFFFF_FFFF;
+
+/// Configuration for the unstructured volume renderer.
+#[derive(Debug, Clone)]
+pub struct UvrConfig {
+    /// Total samples in depth (the paper uses 1000 for 1024^2 images).
+    pub depth_samples: u32,
+    /// Number of passes the sample buffer is split into.
+    pub num_passes: u32,
+    /// Early termination opacity.
+    pub early_termination: f32,
+    /// Optional memory cap for the sample buffer, mimicking the GPU's 6 GB
+    /// limit that made the paper's Enzo-80M runs fail (Figure 5).
+    pub memory_limit_bytes: Option<usize>,
+}
+
+impl Default for UvrConfig {
+    fn default() -> Self {
+        UvrConfig {
+            depth_samples: 400,
+            num_passes: 1,
+            early_termination: 0.98,
+            memory_limit_bytes: None,
+        }
+    }
+}
+
+/// Failure modes (the memory cap reproduces the paper's OOM behaviour).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UvrError {
+    OutOfMemory { required_bytes: usize, limit_bytes: usize },
+    MissingField(String),
+}
+
+impl std::fmt::Display for UvrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UvrError::OutOfMemory { required_bytes, limit_bytes } => write!(
+                f,
+                "sample buffer needs {required_bytes} B but the device limit is {limit_bytes} B"
+            ),
+            UvrError::MissingField(n) => write!(f, "no point field named {n}"),
+        }
+    }
+}
+
+impl std::error::Error for UvrError {}
+
+/// Measured model inputs.
+#[derive(Debug, Clone)]
+pub struct UvrStats {
+    /// O: number of tetrahedra.
+    pub objects: usize,
+    /// AP: pixels that received at least one sample.
+    pub active_pixels: usize,
+    /// SPR: average composited samples per active pixel.
+    pub samples_per_ray: f64,
+    /// CS proxy: cell-location operations per active pixel (tet-pixel-column
+    /// tests, the `AP*CS` cell-frequency work of the model).
+    pub cells_per_pixel: f64,
+    /// Peak sample-buffer bytes.
+    pub buffer_bytes: usize,
+    pub render_seconds: f64,
+}
+
+#[derive(Debug)]
+pub struct UvrOutput {
+    pub frame: Framebuffer,
+    pub stats: UvrStats,
+    pub phases: PhaseTimer,
+}
+
+/// Screen-space tetrahedron with precomputed barycentric inverse.
+#[derive(Clone, Copy)]
+struct ScreenTet {
+    /// Fourth screen vertex (the barycentric reference point).
+    d: Vec3,
+    /// Inverse of the 3x3 matrix [v0-d | v1-d | v2-d].
+    inv: [[f32; 3]; 3],
+    /// Vertex scalars (v0, v1, v2, d).
+    s: [f32; 4],
+    /// Screen AABB: x0, x1, y0, y1 (pixels), z0, z1 (view depth).
+    bbox: [f32; 6],
+}
+
+/// Bytes required for the sample buffer at the given configuration.
+pub fn sample_buffer_bytes(width: u32, height: u32, cfg: &UvrConfig) -> usize {
+    let slab = cfg.depth_samples.div_ceil(cfg.num_passes.max(1)) as usize;
+    width as usize * height as usize * slab * 4
+}
+
+/// Render the tetrahedral mesh's point field through the camera.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's kernel signature
+pub fn render_unstructured(
+    device: &Device,
+    tets: &TetMesh,
+    field_name: &str,
+    camera: &Camera,
+    width: u32,
+    height: u32,
+    tf: &TransferFunction,
+    cfg: &UvrConfig,
+) -> Result<UvrOutput, UvrError> {
+    let t_start = std::time::Instant::now();
+    let mut phases = PhaseTimer::new();
+    let field = tets
+        .field(field_name)
+        .filter(|f| f.assoc == Assoc::Point)
+        .ok_or_else(|| UvrError::MissingField(field_name.to_string()))?
+        .values
+        .clone();
+
+    let buffer_bytes = sample_buffer_bytes(width, height, cfg);
+    if let Some(limit) = cfg.memory_limit_bytes {
+        if buffer_bytes > limit {
+            return Err(UvrError::OutOfMemory { required_bytes: buffer_bytes, limit_bytes: limit });
+        }
+    }
+
+    let n_tets = tets.num_tets();
+    let n_px = (width * height) as usize;
+    let fwd = (camera.look_at - camera.position).normalized();
+    let st = camera.screen_transform(width, height);
+    let depth_of = |p: Vec3| (p - camera.position).dot(fwd);
+
+    // --- Initialization: per-tet depth ranges (map) + global range (reduce).
+    let ranges: Vec<(f32, f32)> = phases.run("initialization", n_tets as u64, || {
+        map(device, n_tets, |t| {
+            let pts = tets.tet_points(t);
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for p in pts {
+                let d = depth_of(p);
+                lo = lo.min(d);
+                hi = hi.max(d);
+            }
+            (lo, hi)
+        })
+    });
+    let (z0, z1) = dpp::reduce(
+        device,
+        &ranges,
+        (f32::INFINITY, f32::NEG_INFINITY),
+        |a, b| (a.0.min(b.0), a.1.max(b.1)),
+    );
+    let z0 = z0.max(camera.near);
+    if z0 >= z1 {
+        // Nothing in front of the camera.
+        return Ok(empty_output(width, height, n_tets, buffer_bytes, phases, t_start));
+    }
+
+    let s_total = cfg.depth_samples.max(1);
+    let passes = cfg.num_passes.max(1).min(s_total);
+    let slab = s_total.div_ceil(passes) as usize;
+    let dz = (z1 - z0) / s_total as f32;
+
+    // Persistent accumulation state across passes.
+    let mut acc: Vec<Color> = vec![Color::TRANSPARENT; n_px];
+    let samples: Vec<AtomicU32> = (0..n_px * slab).map(|_| AtomicU32::new(EMPTY)).collect();
+    let cells_tested = AtomicU64::new(0);
+    let mut total_composited: u64 = 0;
+
+    for pass in 0..passes {
+        let s_begin = pass * slab as u32;
+        let s_end = ((pass + 1) * slab as u32).min(s_total);
+        if s_begin >= s_end {
+            break;
+        }
+        let pass_z0 = z0 + s_begin as f32 * dz;
+        let pass_z1 = z0 + s_end as f32 * dz;
+
+        // --- Pass selection: threshold + scan + reverse-index + gather. ---
+        let active: Vec<u32> = phases.run("pass_selection", n_tets as u64, || {
+            compact_indices(device, n_tets, |t| {
+                let (lo, hi) = ranges[t];
+                hi >= pass_z0 && lo <= pass_z1 && hi >= camera.near
+            })
+        });
+        let m = active.len();
+
+        // --- Screen-space transformation (map over active tets). ---
+        let screen: Vec<Option<ScreenTet>> = phases.run("screen_space", m as u64, || {
+            map(device, m, |a| {
+                let t = active[a] as usize;
+                let pts = tets.tet_points(t);
+                let mut sv = [Vec3::ZERO; 4];
+                for (i, p) in pts.iter().enumerate() {
+                    let d = depth_of(*p);
+                    if d < camera.near * 0.5 {
+                        return None; // straddles the camera plane
+                    }
+                    let s = st.to_screen(*p);
+                    if !s.is_finite() {
+                        return None;
+                    }
+                    sv[i] = Vec3::new(s.x, s.y, d);
+                }
+                let ix = tets.tets[t];
+                let s = [
+                    field[ix[0] as usize],
+                    field[ix[1] as usize],
+                    field[ix[2] as usize],
+                    field[ix[3] as usize],
+                ];
+                let d = sv[3];
+                let m0 = sv[0] - d;
+                let m1 = sv[1] - d;
+                let m2 = sv[2] - d;
+                // Inverse of column matrix [m0 m1 m2].
+                let det = m0.x * (m1.y * m2.z - m2.y * m1.z)
+                    - m1.x * (m0.y * m2.z - m2.y * m0.z)
+                    + m2.x * (m0.y * m1.z - m1.y * m0.z);
+                if det.abs() < 1e-12 {
+                    return None;
+                }
+                let id = 1.0 / det;
+                let inv = [
+                    [
+                        (m1.y * m2.z - m2.y * m1.z) * id,
+                        (m2.x * m1.z - m1.x * m2.z) * id,
+                        (m1.x * m2.y - m2.x * m1.y) * id,
+                    ],
+                    [
+                        (m2.y * m0.z - m0.y * m2.z) * id,
+                        (m0.x * m2.z - m2.x * m0.z) * id,
+                        (m2.x * m0.y - m0.x * m2.y) * id,
+                    ],
+                    [
+                        (m0.y * m1.z - m1.y * m0.z) * id,
+                        (m1.x * m0.z - m0.x * m1.z) * id,
+                        (m0.x * m1.y - m1.x * m0.y) * id,
+                    ],
+                ];
+                let bx0 = sv.iter().map(|v| v.x).fold(f32::INFINITY, f32::min);
+                let bx1 = sv.iter().map(|v| v.x).fold(f32::NEG_INFINITY, f32::max);
+                let by0 = sv.iter().map(|v| v.y).fold(f32::INFINITY, f32::min);
+                let by1 = sv.iter().map(|v| v.y).fold(f32::NEG_INFINITY, f32::max);
+                let bz0 = sv.iter().map(|v| v.z).fold(f32::INFINITY, f32::min);
+                let bz1 = sv.iter().map(|v| v.z).fold(f32::NEG_INFINITY, f32::max);
+                Some(ScreenTet {
+                    d,
+                    inv,
+                    s,
+                    bbox: [bx0, bx1, by0, by1, bz0, bz1],
+                })
+            })
+        });
+
+        // --- Sampling (map over active tets, atomic writes). ---
+        // Opacity snapshot for sampler-side early termination.
+        let opacity: Vec<f32> = acc.iter().map(|c| c.a).collect();
+        let term = cfg.early_termination;
+        phases.run("sampling", m as u64, || {
+            // Reset this pass's slab.
+            dpp::for_each(device, samples.len(), |i| {
+                samples[i].store(EMPTY, Ordering::Relaxed);
+            });
+            dpp::for_each(device, m, |a| {
+                let Some(tet) = &screen[a] else { return };
+                let [bx0, bx1, by0, by1, bz0, bz1] = tet.bbox;
+                let px0 = bx0.floor().max(0.0) as u32;
+                let px1 = (bx1.ceil() as i64).min(width as i64 - 1).max(0) as u32;
+                let py0 = by0.floor().max(0.0) as u32;
+                let py1 = (by1.ceil() as i64).min(height as i64 - 1).max(0) as u32;
+                if bx1 < 0.0 || by1 < 0.0 {
+                    return;
+                }
+                // Depth slice range of this tet clipped to the pass.
+                let s_lo = (((bz0 - z0) / dz).floor().max(s_begin as f32)) as u32;
+                let s_hi = ((((bz1 - z0) / dz).ceil()) as i64)
+                    .min(s_end as i64 - 1)
+                    .max(0) as u32;
+                if s_lo > s_hi {
+                    return;
+                }
+                let mut tested = 0u64;
+                for py in py0..=py1 {
+                    for px in px0..=px1 {
+                        let pix = (py * width + px) as usize;
+                        tested += 1;
+                        if opacity[pix] >= term {
+                            continue; // early-termination in the sampler
+                        }
+                        for sl in s_lo..=s_hi {
+                            let zc = z0 + (sl as f32 + 0.5) * dz;
+                            let p = Vec3::new(px as f32 + 0.5, py as f32 + 0.5, zc);
+                            let r = p - tet.d;
+                            let l0 = tet.inv[0][0] * r.x + tet.inv[0][1] * r.y + tet.inv[0][2] * r.z;
+                            let l1 = tet.inv[1][0] * r.x + tet.inv[1][1] * r.y + tet.inv[1][2] * r.z;
+                            let l2 = tet.inv[2][0] * r.x + tet.inv[2][1] * r.y + tet.inv[2][2] * r.z;
+                            let l3 = 1.0 - l0 - l1 - l2;
+                            const EPS: f32 = -1e-5;
+                            if l0 >= EPS && l1 >= EPS && l2 >= EPS && l3 >= EPS {
+                                let value =
+                                    tet.s[0] * l0 + tet.s[1] * l1 + tet.s[2] * l2 + tet.s[3] * l3;
+                                let slot = pix * slab + (sl - s_begin) as usize;
+                                samples[slot].store(value.to_bits(), Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                cells_tested.fetch_add(tested, Ordering::Relaxed);
+            });
+        });
+
+        // --- Compositing (map over pixels). ---
+        let slab_this = (s_end - s_begin) as usize;
+        let composited = AtomicU64::new(0);
+        let new_acc: Vec<Color> = phases.run("compositing", n_px as u64, || {
+            map(device, n_px, |pix| {
+                let mut c = acc[pix];
+                if c.a >= term {
+                    return c;
+                }
+                let mut n_comp = 0u64;
+                for sl in 0..slab_this {
+                    let bits = samples[pix * slab + sl].load(Ordering::Relaxed);
+                    if bits == EMPTY {
+                        continue;
+                    }
+                    let v = f32::from_bits(bits);
+                    let col = tf.sample(v);
+                    n_comp += 1;
+                    if col.a > 0.0 {
+                        c = over(c, col.premultiplied());
+                        if c.a >= term {
+                            break;
+                        }
+                    }
+                }
+                if n_comp > 0 {
+                    composited.fetch_add(n_comp, Ordering::Relaxed);
+                }
+                c
+            })
+        });
+        acc = new_acc;
+        total_composited += composited.load(Ordering::Relaxed);
+    }
+
+    // Assemble the frame.
+    let mut frame = Framebuffer::new(width, height);
+    let mut active_px = 0usize;
+    for (i, c) in acc.iter().enumerate() {
+        if c.a > 0.0 {
+            frame.color[i] = c.unpremultiplied();
+            frame.depth[i] = 0.0;
+            active_px += 1;
+        }
+    }
+
+    let ct = cells_tested.load(Ordering::Relaxed);
+    Ok(UvrOutput {
+        stats: UvrStats {
+            objects: n_tets,
+            active_pixels: active_px,
+            samples_per_ray: if active_px > 0 {
+                total_composited as f64 / active_px as f64
+            } else {
+                0.0
+            },
+            cells_per_pixel: if active_px > 0 { ct as f64 / active_px as f64 } else { 0.0 },
+            buffer_bytes,
+            render_seconds: t_start.elapsed().as_secs_f64(),
+        },
+        frame,
+        phases,
+    })
+}
+
+fn empty_output(
+    width: u32,
+    height: u32,
+    n_tets: usize,
+    buffer_bytes: usize,
+    phases: PhaseTimer,
+    t_start: std::time::Instant,
+) -> UvrOutput {
+    UvrOutput {
+        frame: Framebuffer::new(width, height),
+        stats: UvrStats {
+            objects: n_tets,
+            active_pixels: 0,
+            samples_per_ray: 0.0,
+            cells_per_pixel: 0.0,
+            buffer_bytes,
+            render_seconds: t_start.elapsed().as_secs_f64(),
+        },
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::datasets::TetDatasetSpec;
+    use mesh::datasets::FieldKind;
+
+    fn small_tets() -> TetMesh {
+        TetDatasetSpec { name: "t", cells: [10, 10, 10], kind: FieldKind::ShockShell }.build(1.0)
+    }
+
+    fn tfn(t: &TetMesh) -> TransferFunction {
+        let range = t.field("scalar").unwrap().range().unwrap();
+        TransferFunction::sparse_features(range)
+    }
+
+    #[test]
+    fn renders_with_single_pass() {
+        let t = small_tets();
+        let cam = Camera::close_view(&t.bounds());
+        let out = render_unstructured(
+            &Device::Serial, &t, "scalar", &cam, 40, 40, &tfn(&t),
+            &UvrConfig { depth_samples: 64, ..Default::default() },
+        )
+        .unwrap();
+        assert!(out.stats.active_pixels > 300, "{}", out.stats.active_pixels);
+        assert!(out.stats.samples_per_ray > 1.0);
+        assert!(out.stats.cells_per_pixel > 1.0);
+    }
+
+    #[test]
+    fn multi_pass_matches_single_pass() {
+        let t = small_tets();
+        let cam = Camera::close_view(&t.bounds());
+        let tf = tfn(&t);
+        let one = render_unstructured(
+            &Device::Serial, &t, "scalar", &cam, 32, 32, &tf,
+            &UvrConfig { depth_samples: 60, num_passes: 1, early_termination: 1.1, ..Default::default() },
+        )
+        .unwrap();
+        let four = render_unstructured(
+            &Device::Serial, &t, "scalar", &cam, 32, 32, &tf,
+            &UvrConfig { depth_samples: 60, num_passes: 4, early_termination: 1.1, ..Default::default() },
+        )
+        .unwrap();
+        assert!(
+            one.frame.mean_abs_diff(&four.frame) < 1e-4,
+            "diff {}",
+            one.frame.mean_abs_diff(&four.frame)
+        );
+        // Multi-pass uses a quarter of the buffer.
+        assert!(four.stats.buffer_bytes * 3 < one.stats.buffer_bytes * 4);
+    }
+
+    #[test]
+    fn devices_agree() {
+        let t = small_tets();
+        let cam = Camera::close_view(&t.bounds());
+        let tf = tfn(&t);
+        let cfg = UvrConfig { depth_samples: 48, ..Default::default() };
+        let a = render_unstructured(&Device::Serial, &t, "scalar", &cam, 32, 32, &tf, &cfg).unwrap();
+        let b =
+            render_unstructured(&Device::parallel(), &t, "scalar", &cam, 32, 32, &tf, &cfg).unwrap();
+        assert!(a.frame.mean_abs_diff(&b.frame) < 1e-4);
+    }
+
+    #[test]
+    fn memory_cap_fails_like_the_gpu() {
+        let t = small_tets();
+        let cam = Camera::close_view(&t.bounds());
+        let cfg = UvrConfig {
+            depth_samples: 1000,
+            num_passes: 1,
+            memory_limit_bytes: Some(1024),
+            ..Default::default()
+        };
+        let err =
+            render_unstructured(&Device::Serial, &t, "scalar", &cam, 256, 256, &tfn(&t), &cfg)
+                .unwrap_err();
+        match err {
+            UvrError::OutOfMemory { required_bytes, limit_bytes } => {
+                assert!(required_bytes > limit_bytes);
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+        // More passes shrink the buffer under the cap.
+        let ok_cfg = UvrConfig {
+            depth_samples: 1000,
+            num_passes: 1000,
+            memory_limit_bytes: Some(300 * 1024),
+            ..Default::default()
+        };
+        assert!(sample_buffer_bytes(256, 256, &ok_cfg) <= 300 * 1024);
+    }
+
+    #[test]
+    fn missing_field_errors() {
+        let t = small_tets();
+        let cam = Camera::close_view(&t.bounds());
+        let err = render_unstructured(
+            &Device::Serial, &t, "nope", &cam, 8, 8, &tfn(&t), &UvrConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, UvrError::MissingField("nope".into()));
+    }
+
+    #[test]
+    fn phase_names_match_the_paper() {
+        let t = small_tets();
+        let cam = Camera::close_view(&t.bounds());
+        let out = render_unstructured(
+            &Device::Serial, &t, "scalar", &cam, 24, 24, &tfn(&t),
+            &UvrConfig { depth_samples: 32, num_passes: 2, ..Default::default() },
+        )
+        .unwrap();
+        for phase in ["initialization", "pass_selection", "screen_space", "sampling", "compositing"] {
+            assert!(out.phases.seconds_of(phase) >= 0.0);
+            assert!(
+                out.phases.phases.iter().any(|p| p.name == phase),
+                "missing {phase}"
+            );
+        }
+        // Two passes => two pass_selection records.
+        assert_eq!(
+            out.phases.phases.iter().filter(|p| p.name == "pass_selection").count(),
+            2
+        );
+    }
+}

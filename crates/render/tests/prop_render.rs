@@ -1,0 +1,140 @@
+//! Property tests for the rendering substrate: BVH structural invariants and
+//! traversal-vs-brute-force agreement on randomized scenes.
+
+use dpp::Device;
+use proptest::prelude::*;
+use render::raytrace::bvh::intersect_triangle;
+use render::raytrace::{Bvh, Hit, TriGeometry};
+use vecmath::{Ray, Vec3};
+
+/// Random triangle soup inside the unit-ish cube.
+fn arb_mesh() -> impl Strategy<Value = mesh::TriMesh> {
+    (1usize..120, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f32 / 1000.0 - 1.0
+        };
+        let mut m = mesh::TriMesh::default();
+        for t in 0..n {
+            let base = Vec3::new(next(), next(), next());
+            let e1 = Vec3::new(next(), next(), next()) * 0.3;
+            let e2 = Vec3::new(next(), next(), next()) * 0.3;
+            let i = m.points.len() as u32;
+            m.points.push(base);
+            m.points.push(base + e1);
+            m.points.push(base + e2);
+            m.scalars.extend_from_slice(&[t as f32; 3]);
+            m.tris.push([i, i + 1, i + 2]);
+        }
+        m
+    })
+}
+
+fn brute_force(geom: &TriGeometry, ray: &Ray) -> Hit {
+    let mut best = Hit::MISS;
+    for p in 0..geom.num_tris() {
+        if let Some((t, u, v)) = intersect_triangle(ray, geom.v0[p], geom.e1[p], geom.e2[p]) {
+            if t < best.t {
+                best = Hit { t, prim: p as u32, u, v };
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Structural invariants: every primitive in exactly one leaf, every
+    /// primitive AABB contained by its leaf, children inside parents.
+    #[test]
+    fn bvh_invariants_hold(m in arb_mesh()) {
+        let geom = TriGeometry::from_mesh(&m);
+        for device in [Device::Serial, Device::parallel()] {
+            let bvh = Bvh::build(&device, &geom);
+            prop_assert!(bvh.validate(&geom).is_ok(), "{:?}", bvh.validate(&geom));
+        }
+    }
+
+    /// Closest-hit traversal finds exactly the brute-force nearest triangle.
+    #[test]
+    fn traversal_equals_brute_force(m in arb_mesh(), seed in any::<u64>()) {
+        let geom = TriGeometry::from_mesh(&m);
+        let bvh = Bvh::build(&Device::Serial, &geom);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f32 / 1000.0 - 1.0
+        };
+        for _ in 0..24 {
+            let origin = Vec3::new(next() * 3.0, next() * 3.0, next() * 3.0);
+            let dir = Vec3::new(next(), next(), next());
+            if dir.length() < 1e-3 {
+                continue;
+            }
+            let ray = Ray::new(origin, dir.normalized());
+            let a = bvh.closest_hit(&geom, &ray);
+            let b = brute_force(&geom, &ray);
+            prop_assert_eq!(a.is_hit(), b.is_hit());
+            if a.is_hit() {
+                prop_assert!((a.t - b.t).abs() < 1e-3, "t {} vs {}", a.t, b.t);
+            }
+        }
+    }
+
+    /// Any-hit with max distance is consistent with closest-hit.
+    #[test]
+    fn any_hit_consistent_with_closest(m in arb_mesh(), ox in -2.0f32..2.0, oy in -2.0f32..2.0) {
+        let geom = TriGeometry::from_mesh(&m);
+        let bvh = Bvh::build(&Device::Serial, &geom);
+        let ray = Ray::new(Vec3::new(ox, oy, -3.0), Vec3::Z);
+        let closest = bvh.closest_hit(&geom, &ray);
+        if closest.is_hit() {
+            prop_assert!(bvh.any_hit(&geom, &ray, closest.t * 1.01));
+            prop_assert!(!bvh.any_hit(&geom, &ray, closest.t * 0.5));
+        } else {
+            prop_assert!(!bvh.any_hit(&geom, &ray, f32::INFINITY));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The split BVH finds the same nearest hits as the LBVH on random
+    /// scenes, and never loses a primitive (duplication is allowed, loss is
+    /// not).
+    #[test]
+    fn split_bvh_equals_lbvh(m in arb_mesh(), seed in any::<u64>()) {
+        let geom = TriGeometry::from_mesh(&m);
+        let lbvh = Bvh::build(&Device::Serial, &geom);
+        let sbvh = render::raytrace::build_split_bvh(&geom, 1e-6);
+        render::raytrace::sbvh::validate_split(&sbvh, &geom).unwrap();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f32 / 1000.0 - 1.0
+        };
+        for _ in 0..16 {
+            let origin = Vec3::new(next() * 3.0, next() * 3.0, next() * 3.0);
+            let dir = Vec3::new(next(), next(), next());
+            if dir.length() < 1e-3 {
+                continue;
+            }
+            let ray = Ray::new(origin, dir.normalized());
+            let a = lbvh.closest_hit(&geom, &ray);
+            let b = sbvh.closest_hit(&geom, &ray);
+            prop_assert_eq!(a.is_hit(), b.is_hit());
+            if a.is_hit() {
+                prop_assert!((a.t - b.t).abs() < 1e-3);
+            }
+        }
+    }
+}

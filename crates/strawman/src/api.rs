@@ -1,0 +1,655 @@
+//! The Strawman API: `open` / `publish` / `execute` / `close` (Listing 4.3),
+//! plus the in situ pipeline that realizes the actions.
+
+use crate::mesh_convert::{convert, ConvertError, PublishedMesh};
+use crate::png;
+use conduit_node::Node;
+use dpp::Device;
+use mesh::external_faces::{external_faces_grid, external_faces_hex};
+use mesh::{Assoc, Field, TriMesh, UniformGrid};
+use render::raster::rasterize;
+use render::raytrace::{RayTracer, RtConfig, TriGeometry};
+use render::volume_structured::{render_structured, SvrConfig};
+use render::volume_unstructured::{render_unstructured, UvrConfig};
+use render::Framebuffer;
+use std::path::{Path, PathBuf};
+use vecmath::{Camera, Color, TransferFunction};
+
+/// Strawman initialization options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    pub device: Device,
+    /// Directory image files are written into.
+    pub output_dir: PathBuf,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { device: Device::parallel(), output_dir: PathBuf::from(".") }
+    }
+}
+
+/// Errors surfaced to the host simulation.
+#[derive(Debug)]
+pub enum StrawmanError {
+    NothingPublished,
+    Convert(ConvertError),
+    UnknownAction(String),
+    UnknownField(String),
+    Render(String),
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StrawmanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrawmanError::NothingPublished => write!(f, "execute before publish"),
+            StrawmanError::Convert(e) => write!(f, "publish: {e}"),
+            StrawmanError::UnknownAction(a) => write!(f, "unknown action `{a}`"),
+            StrawmanError::UnknownField(v) => write!(f, "unknown field `{v}`"),
+            StrawmanError::Render(e) => write!(f, "render: {e}"),
+            StrawmanError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StrawmanError {}
+
+impl From<std::io::Error> for StrawmanError {
+    fn from(e: std::io::Error) -> Self {
+        StrawmanError::Io(e)
+    }
+}
+
+/// What kind of plot an `AddPlot` requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlotType {
+    Pseudocolor,
+    Volume,
+}
+
+/// Which renderer draws a pseudocolor plot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RendererKind {
+    RayTracer,
+    Rasterizer,
+}
+
+#[derive(Debug, Clone)]
+struct Plot {
+    var: String,
+    plot_type: PlotType,
+    renderer: RendererKind,
+}
+
+/// Record of one completed render + save.
+#[derive(Debug, Clone)]
+pub struct RenderRecord {
+    pub path: Option<PathBuf>,
+    pub renderer: &'static str,
+    pub width: u32,
+    pub height: u32,
+    pub render_seconds: f64,
+    pub active_pixels: usize,
+}
+
+/// The in situ infrastructure instance held by a simulation.
+pub struct Strawman {
+    opts: Options,
+    published: Option<PublishedMesh>,
+    cycle: i64,
+    plots: Vec<Plot>,
+    draw_requested: bool,
+    /// Every render performed over the instance's lifetime.
+    pub records: Vec<RenderRecord>,
+    /// The most recent frame, for tests and streaming-style consumers.
+    pub last_frame: Option<Framebuffer>,
+}
+
+impl Strawman {
+    /// Open the infrastructure (paper: `Strawman::Open(options)`).
+    pub fn open(opts: Options) -> Strawman {
+        Strawman {
+            opts,
+            published: None,
+            cycle: 0,
+            plots: Vec::new(),
+            draw_requested: false,
+            records: Vec::new(),
+            last_frame: None,
+        }
+    }
+
+    /// Publish simulation data described with the mesh conventions.
+    pub fn publish(&mut self, data: &Node) -> Result<(), StrawmanError> {
+        self.published = Some(convert(data).map_err(StrawmanError::Convert)?);
+        self.cycle = data.get_i64("state/cycle").unwrap_or(self.cycle);
+        Ok(())
+    }
+
+    /// Execute a list of actions.
+    pub fn execute(&mut self, actions: &Node) -> Result<(), StrawmanError> {
+        for action in actions.items() {
+            let name = action
+                .get_str("action")
+                .ok_or_else(|| StrawmanError::UnknownAction("<missing>".into()))?;
+            match name {
+                "AddPlot" => {
+                    let var = action
+                        .get_str("var")
+                        .ok_or_else(|| StrawmanError::UnknownField("<missing var>".into()))?;
+                    let plot_type = match action.get_str("type") {
+                        Some("volume") => PlotType::Volume,
+                        Some("pseudocolor") | None => PlotType::Pseudocolor,
+                        Some(other) => {
+                            return Err(StrawmanError::UnknownAction(format!("plot type {other}")))
+                        }
+                    };
+                    let renderer = match action.get_str("renderer") {
+                        Some("rasterizer") => RendererKind::Rasterizer,
+                        Some("raytracer") | None => RendererKind::RayTracer,
+                        Some(other) => {
+                            return Err(StrawmanError::UnknownAction(format!("renderer {other}")))
+                        }
+                    };
+                    let plot = Plot { var: var.to_string(), plot_type, renderer };
+                    // Re-adding the same plot every cycle is the common in situ
+                    // idiom; keep the plot list idempotent.
+                    if !self.plots.iter().any(|p| {
+                        p.var == plot.var
+                            && p.plot_type == plot.plot_type
+                            && p.renderer == plot.renderer
+                    }) {
+                        self.plots.push(plot);
+                    }
+                }
+                "DrawPlots" => {
+                    self.draw_requested = true;
+                }
+                "SaveImage" => {
+                    let width = action.get_i64("width").unwrap_or(512) as u32;
+                    let height = action.get_i64("height").unwrap_or(512) as u32;
+                    let file = action.get_str("fileName").unwrap_or("strawman_image");
+                    let format = action.get_str("format").unwrap_or("png");
+                    let view = action.get_str("camera").unwrap_or("close");
+                    self.render_and_save(width, height, file, format, view)?;
+                }
+                other => return Err(StrawmanError::UnknownAction(other.to_string())),
+            }
+        }
+        Ok(())
+    }
+
+    /// Tear down (paper: `Strawman::Close()`). Plots are cleared; records
+    /// survive for post-run inspection.
+    pub fn close(&mut self) {
+        self.plots.clear();
+        self.draw_requested = false;
+        self.published = None;
+    }
+
+    fn render_and_save(
+        &mut self,
+        width: u32,
+        height: u32,
+        file: &str,
+        format: &str,
+        view: &str,
+    ) -> Result<(), StrawmanError> {
+        if !self.draw_requested || self.plots.is_empty() {
+            return Ok(());
+        }
+        let mesh = self.published.as_ref().ok_or(StrawmanError::NothingPublished)?;
+        let camera = match view {
+            "far" => Camera::far_view(&mesh.bounds()),
+            _ => Camera::close_view(&mesh.bounds()),
+        };
+        let plots = self.plots.clone();
+        for plot in &plots {
+            let t0 = std::time::Instant::now();
+            let (frame, renderer, active) = render_plot(
+                &self.opts.device,
+                mesh,
+                plot,
+                &camera,
+                width,
+                height,
+            )?;
+            let seconds = t0.elapsed().as_secs_f64();
+            let mut frame = frame;
+            frame.set_background(Color::WHITE);
+
+            let path = if file.is_empty() {
+                None
+            } else {
+                let ext = if format == "ppm" { "ppm" } else { "png" };
+                let path = self.opts.output_dir.join(format!("{file}.{ext}"));
+                write_image(&frame, &path, format)?;
+                Some(path)
+            };
+            self.records.push(RenderRecord {
+                path,
+                renderer,
+                width,
+                height,
+                render_seconds: seconds,
+                active_pixels: active,
+            });
+            self.last_frame = Some(frame);
+        }
+        Ok(())
+    }
+}
+
+/// Write a framebuffer to disk as PNG or PPM.
+pub fn write_image(frame: &Framebuffer, path: &Path, format: &str) -> std::io::Result<()> {
+    let bytes = match format {
+        "ppm" => frame.to_ppm(),
+        _ => png::encode_rgba(frame.width, frame.height, &frame.to_rgba8()),
+    };
+    std::fs::write(path, bytes)
+}
+
+/// Render a single plot of the published mesh.
+fn render_plot(
+    device: &Device,
+    mesh: &PublishedMesh,
+    plot: &Plot,
+    camera: &Camera,
+    width: u32,
+    height: u32,
+) -> Result<(Framebuffer, &'static str, usize), StrawmanError> {
+    match plot.plot_type {
+        PlotType::Pseudocolor => {
+            let tri = surface_geometry(mesh, &plot.var)?;
+            let geom = TriGeometry::from_mesh(&tri);
+            let tf = TransferFunction::rainbow(geom.scalar_range);
+            match plot.renderer {
+                RendererKind::RayTracer => {
+                    let rt = RayTracer::new(device.clone(), geom);
+                    let out = rt.render_with_map(camera, width, height, &RtConfig::workload2(), &tf);
+                    Ok((out.frame, "raytracer", out.stats.active_pixels))
+                }
+                RendererKind::Rasterizer => {
+                    let out = rasterize(device, &geom, camera, width, height, &tf, None);
+                    Ok((out.frame, "rasterizer", out.stats.active_pixels))
+                }
+            }
+        }
+        PlotType::Volume => match mesh {
+            PublishedMesh::Uniform(g) => {
+                let (g, name) = grid_with_point_field(g, &plot.var)?;
+                let range = g.field(&name).unwrap().range().unwrap_or((0.0, 1.0));
+                let tf = TransferFunction::sparse_features(range);
+                let out = render_structured(
+                    device, &g, &name, camera, width, height, &tf, &SvrConfig::default(),
+                );
+                Ok((out.frame, "volume_structured", out.stats.active_pixels))
+            }
+            PublishedMesh::Rectilinear(r) => {
+                // Evenly spaced axes reinterpret directly; stretched axes are
+                // properly resampled through rectilinear trilinear lookup.
+                let g = if r.is_evenly_spaced(1e-3) {
+                    r.to_uniform()
+                } else {
+                    let mut with_points = r.clone();
+                    let name = ensure_point_field_rect(&mut with_points, &plot.var)?;
+                    let d = with_points.dims();
+                    let mut resampled =
+                        with_points.resample_to_uniform([d[0] - 1, d[1] - 1, d[2] - 1]);
+                    // Keep the caller's variable name valid on the result.
+                    if name != plot.var {
+                        if let Some(f) =
+                            resampled.fields.iter().find(|f| f.name == name).cloned()
+                        {
+                            resampled
+                                .fields
+                                .push(Field::point(plot.var.clone(), f.values));
+                        }
+                    }
+                    resampled
+                };
+                let (g, name) = grid_with_point_field(&g, &plot.var)?;
+                let range = g.field(&name).unwrap().range().unwrap_or((0.0, 1.0));
+                let tf = TransferFunction::sparse_features(range);
+                let out = render_structured(
+                    device, &g, &name, camera, width, height, &tf, &SvrConfig::default(),
+                );
+                Ok((out.frame, "volume_structured", out.stats.active_pixels))
+            }
+            PublishedMesh::Hexes(h) => {
+                let mut tets = h.to_tets();
+                let name = ensure_point_field_tets(&mut tets, &plot.var)?;
+                let range = tets.field(&name).unwrap().range().unwrap_or((0.0, 1.0));
+                let tf = TransferFunction::sparse_features(range);
+                let out = render_unstructured(
+                    device, &tets, &name, camera, width, height, &tf, &UvrConfig::default(),
+                )
+                .map_err(|e| StrawmanError::Render(e.to_string()))?;
+                Ok((out.frame, "volume_unstructured", out.stats.active_pixels))
+            }
+        },
+    }
+}
+
+/// Build the pseudocolor surface geometry (external faces) for a variable.
+fn surface_geometry(mesh: &PublishedMesh, var: &str) -> Result<TriMesh, StrawmanError> {
+    match mesh {
+        PublishedMesh::Uniform(g) => {
+            let (g, name) = grid_with_point_field(g, var)?;
+            Ok(external_faces_grid(&g, &name))
+        }
+        PublishedMesh::Rectilinear(r) => {
+            let g = r.to_uniform();
+            let (g, name) = grid_with_point_field(&g, var)?;
+            Ok(external_faces_grid(&g, &name))
+        }
+        PublishedMesh::Hexes(h) => {
+            let mut h = h.clone();
+            let name = ensure_point_field_hex(&mut h, var)?;
+            Ok(external_faces_hex(&h, Some(&name)))
+        }
+    }
+}
+
+/// Return a grid guaranteed to carry `var` as a *point* field (cell fields
+/// are averaged to points), along with the field name to use.
+fn grid_with_point_field(
+    g: &UniformGrid,
+    var: &str,
+) -> Result<(UniformGrid, String), StrawmanError> {
+    let f = g
+        .field(var)
+        .ok_or_else(|| StrawmanError::UnknownField(var.to_string()))?;
+    if f.assoc == Assoc::Point {
+        return Ok((g.clone(), var.to_string()));
+    }
+    // Average cells to points.
+    let cd = g.cell_dims();
+    let pd = g.dims;
+    let mut pvals = vec![0.0f32; g.num_points()];
+    for pk in 0..pd[2] {
+        for pj in 0..pd[1] {
+            for pi in 0..pd[0] {
+                let mut sum = 0.0;
+                let mut count = 0.0;
+                for dk in 0..2usize {
+                    for dj in 0..2usize {
+                        for di in 0..2usize {
+                            if pi >= di && pj >= dj && pk >= dk {
+                                let (ci, cj, ck) = (pi - di, pj - dj, pk - dk);
+                                if ci < cd[0] && cj < cd[1] && ck < cd[2] {
+                                    sum += f.values[g.cell_index(ci, cj, ck)];
+                                    count += 1.0;
+                                }
+                            }
+                        }
+                    }
+                }
+                pvals[g.point_index(pi, pj, pk)] = if count > 0.0 { sum / count } else { 0.0 };
+            }
+        }
+    }
+    let mut out = g.clone();
+    let name = format!("{var}__points");
+    out.fields.push(Field::point(name.clone(), pvals));
+    Ok((out, name))
+}
+
+/// Ensure the hex mesh carries `var` as a point field (node-averaging cell
+/// fields); returns the field name to use.
+fn ensure_point_field_hex(h: &mut mesh::HexMesh, var: &str) -> Result<String, StrawmanError> {
+    let f = h
+        .field(var)
+        .ok_or_else(|| StrawmanError::UnknownField(var.to_string()))?;
+    if f.assoc == Assoc::Point {
+        return Ok(var.to_string());
+    }
+    let values = f.values.clone();
+    let mut accum = vec![0.0f32; h.points.len()];
+    let mut count = vec![0u32; h.points.len()];
+    for (hex, &v) in h.hexes.iter().zip(values.iter()) {
+        for &n in hex {
+            accum[n as usize] += v;
+            count[n as usize] += 1;
+        }
+    }
+    for (a, c) in accum.iter_mut().zip(count.iter()) {
+        if *c > 0 {
+            *a /= *c as f32;
+        }
+    }
+    let name = format!("{var}__points");
+    h.fields.push(Field::point(name.clone(), accum));
+    Ok(name)
+}
+
+/// Same for a rectilinear grid (cells averaged onto points).
+fn ensure_point_field_rect(
+    r: &mut mesh::RectilinearGrid,
+    var: &str,
+) -> Result<String, StrawmanError> {
+    let f = r
+        .field(var)
+        .ok_or_else(|| StrawmanError::UnknownField(var.to_string()))?;
+    if f.assoc == Assoc::Point {
+        return Ok(var.to_string());
+    }
+    let values = f.values.clone();
+    let d = r.dims();
+    let cd = [d[0] - 1, d[1] - 1, d[2] - 1];
+    let mut pvals = vec![0.0f32; r.num_points()];
+    for pk in 0..d[2] {
+        for pj in 0..d[1] {
+            for pi in 0..d[0] {
+                let mut sum = 0.0;
+                let mut count = 0.0;
+                for dk in 0..2usize {
+                    for dj in 0..2usize {
+                        for di in 0..2usize {
+                            if pi >= di && pj >= dj && pk >= dk {
+                                let (ci, cj, ck) = (pi - di, pj - dj, pk - dk);
+                                if ci < cd[0] && cj < cd[1] && ck < cd[2] {
+                                    sum += values[(ck * cd[1] + cj) * cd[0] + ci];
+                                    count += 1.0;
+                                }
+                            }
+                        }
+                    }
+                }
+                pvals[(pk * d[1] + pj) * d[0] + pi] =
+                    if count > 0.0 { sum / count } else { 0.0 };
+            }
+        }
+    }
+    let name = format!("{var}__points");
+    r.fields.push(Field::point(name.clone(), pvals));
+    Ok(name)
+}
+
+/// Same for a tet mesh.
+fn ensure_point_field_tets(t: &mut mesh::TetMesh, var: &str) -> Result<String, StrawmanError> {
+    let f = t
+        .field(var)
+        .ok_or_else(|| StrawmanError::UnknownField(var.to_string()))?;
+    if f.assoc == Assoc::Point {
+        return Ok(var.to_string());
+    }
+    let values = f.values.clone();
+    let mut accum = vec![0.0f32; t.points.len()];
+    let mut count = vec![0u32; t.points.len()];
+    for (tet, &v) in t.tets.iter().zip(values.iter()) {
+        for &n in tet {
+            accum[n as usize] += v;
+            count[n as usize] += 1;
+        }
+    }
+    for (a, c) in accum.iter_mut().zip(count.iter()) {
+        if *c > 0 {
+            *a /= *c as f32;
+        }
+    }
+    let name = format!("{var}__points");
+    t.fields.push(Field::point(name.clone(), accum));
+    Ok(name)
+}
+
+/// Convert a framebuffer into a compositing rank image (premultiplied).
+pub fn to_rank_image(frame: &Framebuffer) -> compositing::RankImage {
+    compositing::RankImage {
+        width: frame.width,
+        height: frame.height,
+        color: frame.color.iter().map(|c| c.premultiplied()).collect(),
+        depth: frame.depth.clone(),
+    }
+}
+
+/// Convert a composited rank image back to a framebuffer.
+pub fn from_rank_image(img: &compositing::RankImage) -> Framebuffer {
+    let mut f = Framebuffer::new(img.width, img.height);
+    f.color = img.color.iter().map(|c| c.unpremultiplied()).collect();
+    f.depth = img.depth.clone();
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_data(n: usize) -> Node {
+        let g = mesh::datasets::field_grid(mesh::datasets::FieldKind::ShockShell, [n; 3]);
+        let mut d = Node::new();
+        d.set("state/time", 0.5f64);
+        d.set("state/cycle", 3i64);
+        d.set("coords/type", "uniform");
+        d.set("coords/dims/i", g.dims[0] as i64);
+        d.set("coords/dims/j", g.dims[1] as i64);
+        d.set("coords/dims/k", g.dims[2] as i64);
+        d.set("coords/origin/x", g.origin.x as f64);
+        d.set("coords/origin/y", g.origin.y as f64);
+        d.set("coords/origin/z", g.origin.z as f64);
+        d.set("coords/spacing/x", g.spacing.x as f64);
+        d.set("coords/spacing/y", g.spacing.y as f64);
+        d.set("coords/spacing/z", g.spacing.z as f64);
+        d.set("fields/scalar/association", "vertex");
+        d.set("fields/scalar/values", g.field("scalar").unwrap().values.clone());
+        d
+    }
+
+    fn actions(var: &str, plot_type: &str, file: &str) -> Node {
+        let mut a = Node::new();
+        let add = a.append();
+        add.set("action", "AddPlot");
+        add.set("var", var);
+        add.set("type", plot_type);
+        let draw = a.append();
+        draw.set("action", "DrawPlots");
+        let save = a.append();
+        save.set("action", "SaveImage");
+        save.set("fileName", file);
+        save.set("width", 48i64);
+        save.set("height", 48i64);
+        a
+    }
+
+    #[test]
+    fn full_pipeline_produces_a_png() {
+        let dir = std::env::temp_dir().join("strawman_test_png");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut sm = Strawman::open(Options {
+            device: Device::Serial,
+            output_dir: dir.clone(),
+        });
+        sm.publish(&uniform_data(12)).unwrap();
+        sm.execute(&actions("scalar", "pseudocolor", "test_ps")).unwrap();
+        assert_eq!(sm.records.len(), 1);
+        let rec = &sm.records[0];
+        assert_eq!(rec.renderer, "raytracer");
+        assert!(rec.active_pixels > 50);
+        let bytes = std::fs::read(rec.path.as_ref().unwrap()).unwrap();
+        assert_eq!(&bytes[1..4], b"PNG");
+        sm.close();
+    }
+
+    #[test]
+    fn volume_plot_works() {
+        let mut sm = Strawman::open(Options { device: Device::Serial, output_dir: std::env::temp_dir() });
+        sm.publish(&uniform_data(12)).unwrap();
+        sm.execute(&actions("scalar", "volume", "")).unwrap();
+        assert_eq!(sm.records[0].renderer, "volume_structured");
+        assert!(sm.records[0].active_pixels > 50);
+        assert!(sm.records[0].path.is_none());
+    }
+
+    #[test]
+    fn unknown_action_and_field_error() {
+        let mut sm = Strawman::open(Options { device: Device::Serial, output_dir: std::env::temp_dir() });
+        sm.publish(&uniform_data(8)).unwrap();
+        let mut bad = Node::new();
+        bad.append().set("action", "FlyToTheMoon");
+        assert!(matches!(sm.execute(&bad), Err(StrawmanError::UnknownAction(_))));
+        let missing = actions("not_a_field", "pseudocolor", "");
+        assert!(matches!(sm.execute(&missing), Err(StrawmanError::UnknownField(_))));
+    }
+
+    #[test]
+    fn stretched_rectilinear_volume_is_resampled() {
+        // A grid with a strongly stretched x axis must go through the
+        // rectilinear resampling path and still render.
+        let mut d = Node::new();
+        d.set("coords/type", "rectilinear");
+        let stretched: Vec<f32> = (0..13).map(|i| ((i as f32) / 12.0).powi(2) * 2.0).collect();
+        d.set("coords/values/x", stretched);
+        d.set("coords/values/y", (0..13).map(|i| i as f32 / 6.0).collect::<Vec<f32>>());
+        d.set("coords/values/z", (0..13).map(|i| i as f32 / 6.0).collect::<Vec<f32>>());
+        d.set("fields/q/association", "element");
+        d.set("fields/q/values", (0..12 * 12 * 12).map(|i| (i % 100) as f32).collect::<Vec<f32>>());
+        let mut sm = Strawman::open(Options { device: Device::Serial, output_dir: std::env::temp_dir() });
+        sm.publish(&d).unwrap();
+        let mut a = Node::new();
+        let add = a.append();
+        add.set("action", "AddPlot");
+        add.set("var", "q");
+        add.set("type", "volume");
+        a.append().set("action", "DrawPlots");
+        let save = a.append();
+        save.set("action", "SaveImage");
+        save.set("fileName", "");
+        save.set("width", 40i64);
+        save.set("height", 40i64);
+        sm.execute(&a).unwrap();
+        assert_eq!(sm.records[0].renderer, "volume_structured");
+        assert!(sm.records[0].active_pixels > 50);
+    }
+
+    #[test]
+    fn rank_image_round_trip() {
+        let mut f = Framebuffer::new(3, 2);
+        f.color[1] = Color::new(0.5, 0.25, 0.0, 0.5);
+        f.depth[1] = 2.0;
+        let r = to_rank_image(&f);
+        assert!((r.color[1].r - 0.25).abs() < 1e-6); // premultiplied
+        let back = from_rank_image(&r);
+        assert!((back.color[1].r - 0.5).abs() < 1e-6);
+        assert_eq!(back.depth[1], 2.0);
+    }
+
+    #[test]
+    fn rasterizer_renderer_selectable() {
+        let mut sm = Strawman::open(Options { device: Device::Serial, output_dir: std::env::temp_dir() });
+        sm.publish(&uniform_data(10)).unwrap();
+        let mut a = Node::new();
+        let add = a.append();
+        add.set("action", "AddPlot");
+        add.set("var", "scalar");
+        add.set("renderer", "rasterizer");
+        a.append().set("action", "DrawPlots");
+        let save = a.append();
+        save.set("action", "SaveImage");
+        save.set("fileName", "");
+        save.set("width", 32i64);
+        save.set("height", 32i64);
+        sm.execute(&a).unwrap();
+        assert_eq!(sm.records[0].renderer, "rasterizer");
+    }
+}

@@ -1,0 +1,156 @@
+//! Minimal dependency-free PNG encoder (8-bit RGBA, zlib *stored* blocks).
+//!
+//! Strawman's result delivery (requirement R8) writes PNG files. We encode
+//! with uncompressed deflate blocks — bit-exact valid PNG, no compression
+//! ratio. CRC-32 and Adler-32 are implemented here.
+
+/// CRC-32 (ISO 3309), bitwise with the standard polynomial.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Adler-32 checksum (zlib).
+pub fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65521;
+    let mut a = 1u32;
+    let mut b = 0u32;
+    for chunk in data.chunks(5552) {
+        for &byte in chunk {
+            a += byte as u32;
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+fn chunk(out: &mut Vec<u8>, kind: &[u8; 4], payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(kind);
+    out.extend_from_slice(payload);
+    let mut crc_input = Vec::with_capacity(4 + payload.len());
+    crc_input.extend_from_slice(kind);
+    crc_input.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(&crc_input).to_be_bytes());
+}
+
+/// zlib stream with stored (BTYPE=00) deflate blocks.
+fn zlib_stored(raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(raw.len() + raw.len() / 65535 * 5 + 16);
+    out.push(0x78); // CMF: deflate, 32K window
+    out.push(0x01); // FLG: no dict, check bits
+    let mut chunks = raw.chunks(65535).peekable();
+    if raw.is_empty() {
+        out.extend_from_slice(&[0x01, 0x00, 0x00, 0xFF, 0xFF]);
+    }
+    while let Some(c) = chunks.next() {
+        let last = chunks.peek().is_none();
+        out.push(last as u8);
+        let len = c.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(c);
+    }
+    out.extend_from_slice(&adler32(raw).to_be_bytes());
+    out
+}
+
+/// Encode RGBA8 pixels (row-major, top first) as a PNG byte stream.
+pub fn encode_rgba(width: u32, height: u32, rgba: &[u8]) -> Vec<u8> {
+    assert_eq!(rgba.len(), width as usize * height as usize * 4, "pixel buffer size");
+    let mut out = Vec::with_capacity(rgba.len() + 1024);
+    out.extend_from_slice(&[0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A]);
+
+    let mut ihdr = Vec::with_capacity(13);
+    ihdr.extend_from_slice(&width.to_be_bytes());
+    ihdr.extend_from_slice(&height.to_be_bytes());
+    ihdr.extend_from_slice(&[8, 6, 0, 0, 0]); // 8-bit, RGBA, deflate, std, none
+    chunk(&mut out, b"IHDR", &ihdr);
+
+    // Raw scanlines: filter byte 0 + row.
+    let stride = width as usize * 4;
+    let mut raw = Vec::with_capacity((stride + 1) * height as usize);
+    for row in rgba.chunks(stride) {
+        raw.push(0);
+        raw.extend_from_slice(row);
+    }
+    chunk(&mut out, b"IDAT", &zlib_stored(&raw));
+    chunk(&mut out, b"IEND", &[]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"IEND"), 0xAE42_6082);
+    }
+
+    #[test]
+    fn adler32_known_vectors() {
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn png_structure_is_valid() {
+        let px = vec![255u8; 4 * 4 * 4];
+        let png = encode_rgba(4, 4, &px);
+        // Signature.
+        assert_eq!(&png[..8], &[0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A]);
+        // IHDR at offset 8.
+        assert_eq!(&png[12..16], b"IHDR");
+        assert_eq!(u32::from_be_bytes([png[16], png[17], png[18], png[19]]), 4); // width
+        // Ends with IEND + its CRC.
+        let n = png.len();
+        assert_eq!(&png[n - 8..n - 4], b"IEND");
+        assert_eq!(
+            u32::from_be_bytes([png[n - 4], png[n - 3], png[n - 2], png[n - 1]]),
+            0xAE42_6082
+        );
+    }
+
+    #[test]
+    fn zlib_stream_round_trips_through_manual_inflate() {
+        // Decode our own stored blocks to verify framing.
+        let raw: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
+        let z = zlib_stored(&raw);
+        assert_eq!(z[0], 0x78);
+        let mut pos = 2;
+        let mut recovered = Vec::new();
+        loop {
+            let bfinal = z[pos];
+            let len = u16::from_le_bytes([z[pos + 1], z[pos + 2]]) as usize;
+            let nlen = u16::from_le_bytes([z[pos + 3], z[pos + 4]]);
+            assert_eq!(!(len as u16), nlen, "NLEN check");
+            pos += 5;
+            recovered.extend_from_slice(&z[pos..pos + len]);
+            pos += len;
+            if bfinal == 1 {
+                break;
+            }
+        }
+        assert_eq!(recovered, raw);
+        let adler = u32::from_be_bytes([z[pos], z[pos + 1], z[pos + 2], z[pos + 3]]);
+        assert_eq!(adler, adler32(&raw));
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel buffer size")]
+    fn wrong_buffer_size_panics() {
+        encode_rgba(2, 2, &[0u8; 3]);
+    }
+}

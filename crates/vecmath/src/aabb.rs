@@ -1,0 +1,229 @@
+//! Axis-aligned bounding boxes with slab-test ray intersection, the geometric
+//! workhorse of BVH construction and traversal (Chapter II) and of the
+//! sampling volume renderers (Chapter III).
+
+use crate::ray::Ray;
+use crate::vec3::Vec3;
+
+/// Axis-aligned bounding box. An *empty* box has `min > max` in every axis
+/// and acts as the identity for [`Aabb::union`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    pub min: Vec3,
+    pub max: Vec3,
+}
+
+impl Default for Aabb {
+    fn default() -> Self {
+        Aabb::empty()
+    }
+}
+
+impl Aabb {
+    /// The empty box (identity for union).
+    pub fn empty() -> Aabb {
+        Aabb {
+            min: Vec3::splat(f32::INFINITY),
+            max: Vec3::splat(f32::NEG_INFINITY),
+        }
+    }
+
+    /// Box from two corners (in any order).
+    pub fn from_corners(a: Vec3, b: Vec3) -> Aabb {
+        Aabb { min: a.min(b), max: a.max(b) }
+    }
+
+    /// Smallest box containing all `points`.
+    pub fn from_points(points: &[Vec3]) -> Aabb {
+        let mut b = Aabb::empty();
+        for &p in points {
+            b.expand(p);
+        }
+        b
+    }
+
+    /// True if no point is contained.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Grow to include point `p`.
+    #[inline]
+    pub fn expand(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Smallest box containing both.
+    #[inline]
+    pub fn union(&self, o: &Aabb) -> Aabb {
+        Aabb { min: self.min.min(o.min), max: self.max.max(o.max) }
+    }
+
+    /// Box center (undefined for empty boxes).
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Extent `max - min`.
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Surface area, used by SAH builders. Empty boxes report 0.
+    #[inline]
+    pub fn surface_area(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let e = self.extent();
+        2.0 * (e.x * e.y + e.y * e.z + e.z * e.x)
+    }
+
+    /// True if `p` is inside (inclusive).
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// True if this box contains `o` entirely.
+    #[inline]
+    pub fn contains_box(&self, o: &Aabb) -> bool {
+        o.is_empty()
+            || (self.contains(o.min) && self.contains(o.max))
+    }
+
+    /// Normalize `p` into `[0,1]^3` coordinates of this box.
+    #[inline]
+    pub fn normalize_point(&self, p: Vec3) -> Vec3 {
+        let e = self.extent();
+        Vec3::new(
+            if e.x > 0.0 { (p.x - self.min.x) / e.x } else { 0.5 },
+            if e.y > 0.0 { (p.y - self.min.y) / e.y } else { 0.5 },
+            if e.z > 0.0 { (p.z - self.min.z) / e.z } else { 0.5 },
+        )
+    }
+
+    /// Slab-test ray intersection. Returns the entry/exit parameters
+    /// `(t_near, t_far)` clipped to `[t_min, t_max]`, or `None` on a miss.
+    /// Uses precomputed inverse direction from the [`Ray`], so zero direction
+    /// components are handled by IEEE infinity semantics.
+    #[inline]
+    pub fn intersect_ray(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<(f32, f32)> {
+        let t0 = (self.min - ray.origin) * ray.inv_dir;
+        let t1 = (self.max - ray.origin) * ray.inv_dir;
+        let t_small = t0.min(t1);
+        let t_big = t0.max(t1);
+        let near = t_small.max_component().max(t_min);
+        let far = t_big.min_component().min(t_max);
+        if near <= far {
+            Some((near, far))
+        } else {
+            None
+        }
+    }
+
+    /// Longest axis: 0 = x, 1 = y, 2 = z.
+    #[inline]
+    pub fn longest_axis(&self) -> usize {
+        let e = self.extent();
+        if e.x >= e.y && e.x >= e.z {
+            0
+        } else if e.y >= e.z {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Diagonal length.
+    #[inline]
+    pub fn diagonal(&self) -> f32 {
+        self.extent().length()
+    }
+}
+
+// Hadamard product on Vec3 is defined in vec3.rs; used in intersect_ray.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_empty_identity() {
+        let a = Aabb::from_corners(Vec3::ZERO, Vec3::ONE);
+        let e = Aabb::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.union(&a), a);
+        assert_eq!(a.union(&e), a);
+        let b = Aabb::from_corners(Vec3::splat(2.0), Vec3::splat(3.0));
+        let u = a.union(&b);
+        assert_eq!(u.min, Vec3::ZERO);
+        assert_eq!(u.max, Vec3::splat(3.0));
+    }
+
+    #[test]
+    fn surface_area_of_unit_cube() {
+        let a = Aabb::from_corners(Vec3::ZERO, Vec3::ONE);
+        assert_eq!(a.surface_area(), 6.0);
+        assert_eq!(Aabb::empty().surface_area(), 0.0);
+    }
+
+    #[test]
+    fn ray_hits_and_misses() {
+        let b = Aabb::from_corners(Vec3::ZERO, Vec3::ONE);
+        let hit = Ray::new(Vec3::new(0.5, 0.5, -1.0), Vec3::Z);
+        let (t0, t1) = b.intersect_ray(&hit, 0.0, f32::INFINITY).unwrap();
+        assert!((t0 - 1.0).abs() < 1e-5);
+        assert!((t1 - 2.0).abs() < 1e-5);
+        let miss = Ray::new(Vec3::new(2.0, 2.0, -1.0), Vec3::Z);
+        assert!(miss.origin.is_finite());
+        assert!(b.intersect_ray(&miss, 0.0, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn ray_parallel_to_slab() {
+        let b = Aabb::from_corners(Vec3::ZERO, Vec3::ONE);
+        // Ray travels along x at y=0.5,z=0.5 (inside slabs): hit.
+        let r = Ray::new(Vec3::new(-1.0, 0.5, 0.5), Vec3::X);
+        assert!(b.intersect_ray(&r, 0.0, f32::INFINITY).is_some());
+        // Same direction but outside the y slab: miss.
+        let r2 = Ray::new(Vec3::new(-1.0, 2.0, 0.5), Vec3::X);
+        assert!(b.intersect_ray(&r2, 0.0, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn contains_and_normalize() {
+        let b = Aabb::from_corners(Vec3::ZERO, Vec3::splat(2.0));
+        assert!(b.contains(Vec3::ONE));
+        assert!(!b.contains(Vec3::splat(3.0)));
+        assert_eq!(b.normalize_point(Vec3::ONE), Vec3::splat(0.5));
+    }
+
+    #[test]
+    fn longest_axis() {
+        let b = Aabb::from_corners(Vec3::ZERO, Vec3::new(1.0, 5.0, 2.0));
+        assert_eq!(b.longest_axis(), 1);
+    }
+
+    #[test]
+    fn from_points_contains_all() {
+        let pts = [
+            Vec3::new(0.0, -1.0, 2.0),
+            Vec3::new(3.0, 1.0, -2.0),
+            Vec3::new(1.0, 0.0, 0.0),
+        ];
+        let b = Aabb::from_points(&pts);
+        for p in pts {
+            assert!(b.contains(p));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! 3D Morton (Z-order) codes. Used to sort primitives for LBVH construction
+//! (the `c0 * O` linear-build term of the ray-tracing performance model) and
+//! to sort rays for SIMD coherence, as in Chapter II's study setup.
+
+/// Spread the low 10 bits of `v` so there are two zero bits between each.
+#[inline]
+fn expand_bits10(v: u32) -> u32 {
+    let mut x = v & 0x3ff;
+    x = (x | (x << 16)) & 0x030000FF;
+    x = (x | (x << 8)) & 0x0300F00F;
+    x = (x | (x << 4)) & 0x030C30C3;
+    x = (x | (x << 2)) & 0x09249249;
+    x
+}
+
+/// Compact every third bit back into the low 10 bits.
+#[inline]
+fn compact_bits10(v: u32) -> u32 {
+    let mut x = v & 0x09249249;
+    x = (x | (x >> 2)) & 0x030C30C3;
+    x = (x | (x >> 4)) & 0x0300F00F;
+    x = (x | (x >> 8)) & 0x030000FF;
+    x = (x | (x >> 16)) & 0x000003FF;
+    x
+}
+
+/// 30-bit Morton code from normalized coordinates in `[0,1]^3`.
+/// Coordinates are clamped; each axis is quantized to 10 bits.
+#[inline]
+pub fn morton3(x: f32, y: f32, z: f32) -> u32 {
+    let q = |v: f32| -> u32 {
+        let v = (v.clamp(0.0, 1.0) * 1023.0) as u32;
+        v.min(1023)
+    };
+    (expand_bits10(q(x)) << 2) | (expand_bits10(q(y)) << 1) | expand_bits10(q(z))
+}
+
+/// Decode a 30-bit Morton code back to quantized `(x, y, z)` cell indices in
+/// `0..1024`.
+#[inline]
+pub fn morton_decode3(code: u32) -> (u32, u32, u32) {
+    (
+        compact_bits10(code >> 2),
+        compact_bits10(code >> 1),
+        compact_bits10(code),
+    )
+}
+
+/// Morton code for a 2D pixel position (16 bits per axis), used to order
+/// primary rays along a space-filling curve of the framebuffer.
+#[inline]
+pub fn morton2(x: u32, y: u32) -> u64 {
+    #[inline]
+    fn expand_bits16(v: u32) -> u64 {
+        let mut x = v as u64 & 0xFFFF;
+        x = (x | (x << 8)) & 0x00FF00FF;
+        x = (x | (x << 4)) & 0x0F0F0F0F;
+        x = (x | (x << 2)) & 0x33333333;
+        x = (x | (x << 1)) & 0x55555555;
+        x
+    }
+    (expand_bits16(x) << 1) | expand_bits16(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_quantized() {
+        for &(x, y, z) in &[(0u32, 0, 0), (1023, 1023, 1023), (512, 13, 700), (1, 2, 3)] {
+            let code = morton3(
+                x as f32 / 1023.0,
+                y as f32 / 1023.0,
+                z as f32 / 1023.0,
+            );
+            assert_eq!(morton_decode3(code), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn order_respects_locality() {
+        // Nearby points get nearby codes more often than far points; at
+        // minimum, the origin has code 0 and the far corner the max code.
+        assert_eq!(morton3(0.0, 0.0, 0.0), 0);
+        assert_eq!(morton3(1.0, 1.0, 1.0), (1 << 30) - 1);
+        assert!(morton3(0.01, 0.01, 0.01) < morton3(0.99, 0.99, 0.99));
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        assert_eq!(morton3(-1.0, -5.0, -0.1), 0);
+        assert_eq!(morton3(2.0, 2.0, 2.0), (1 << 30) - 1);
+    }
+
+    #[test]
+    fn morton2_interleaves() {
+        assert_eq!(morton2(0, 0), 0);
+        assert_eq!(morton2(1, 0), 0b10);
+        assert_eq!(morton2(0, 1), 0b01);
+        assert_eq!(morton2(1, 1), 0b11);
+        assert_eq!(morton2(2, 3), 0b1101);
+    }
+}

@@ -1,0 +1,45 @@
+//! Rays with precomputed inverse direction for slab tests.
+
+use crate::vec3::Vec3;
+
+/// A ray `origin + t * dir`. `inv_dir` caches the component-wise reciprocal
+/// of `dir` so AABB slab tests cost three multiplies per slab.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    pub origin: Vec3,
+    pub dir: Vec3,
+    pub inv_dir: Vec3,
+}
+
+impl Ray {
+    /// Create a ray; `dir` need not be normalized (BVH traversal and
+    /// parametric intersection are scale-invariant in `t`).
+    #[inline]
+    pub fn new(origin: Vec3, dir: Vec3) -> Ray {
+        Ray { origin, dir, inv_dir: dir.recip() }
+    }
+
+    /// Point at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_walks_the_ray() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(r.at(0.0), Vec3::ZERO);
+        assert_eq!(r.at(2.0), Vec3::new(2.0, 4.0, 6.0));
+    }
+
+    #[test]
+    fn inv_dir_matches() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(2.0, 4.0, -8.0));
+        assert_eq!(r.inv_dir, Vec3::new(0.5, 0.25, -0.125));
+    }
+}

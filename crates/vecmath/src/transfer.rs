@@ -1,0 +1,180 @@
+//! Scalar transfer functions: the color/opacity maps that volume rendering
+//! applies to every sample (Chapter III) and the pseudocolor maps used by
+//! surface renderers.
+
+use crate::color::Color;
+
+/// A piecewise-linear transfer function over a scalar range.
+///
+/// Control points map a normalized scalar in `[0,1]` to an RGBA color; the
+/// lookup is pre-sampled into a table (like EAVL's texture-memory color
+/// lookups) so per-sample evaluation is one index + lerp.
+#[derive(Debug, Clone)]
+pub struct TransferFunction {
+    /// Scalar range mapped onto `[0,1]`.
+    pub range: (f32, f32),
+    table: Vec<Color>,
+}
+
+impl TransferFunction {
+    pub const TABLE_SIZE: usize = 256;
+
+    /// Build from control points `(position in [0,1], color)`. Points are
+    /// sorted internally; at least one point is required.
+    pub fn from_points(range: (f32, f32), mut points: Vec<(f32, Color)>) -> TransferFunction {
+        assert!(!points.is_empty(), "transfer function needs control points");
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut table = Vec::with_capacity(Self::TABLE_SIZE);
+        for i in 0..Self::TABLE_SIZE {
+            let t = i as f32 / (Self::TABLE_SIZE - 1) as f32;
+            table.push(sample_points(&points, t));
+        }
+        TransferFunction { range, table }
+    }
+
+    /// The "cool to warm" pseudocolor map common in VisIt/ParaView, with a
+    /// linearly increasing opacity ramp — the paper's default look.
+    pub fn cool_warm(range: (f32, f32)) -> TransferFunction {
+        TransferFunction::from_points(
+            range,
+            vec![
+                (0.0, Color::new(0.23, 0.30, 0.75, 0.0)),
+                (0.5, Color::new(0.87, 0.87, 0.87, 0.2)),
+                (1.0, Color::new(0.70, 0.02, 0.15, 0.7)),
+            ],
+        )
+    }
+
+    /// A sparse transfer function (mostly transparent with opaque features),
+    /// typical for volume rendering density/temperature fields.
+    pub fn sparse_features(range: (f32, f32)) -> TransferFunction {
+        TransferFunction::from_points(
+            range,
+            vec![
+                (0.00, Color::new(0.0, 0.0, 0.2, 0.0)),
+                (0.30, Color::new(0.0, 0.4, 0.8, 0.02)),
+                (0.55, Color::new(0.1, 0.9, 0.3, 0.0)),
+                (0.70, Color::new(1.0, 0.9, 0.1, 0.35)),
+                (1.00, Color::new(1.0, 0.2, 0.0, 0.9)),
+            ],
+        )
+    }
+
+    /// Opaque rainbow map for pseudocolor surface plots.
+    pub fn rainbow(range: (f32, f32)) -> TransferFunction {
+        TransferFunction::from_points(
+            range,
+            vec![
+                (0.00, Color::rgb(0.0, 0.0, 1.0)),
+                (0.25, Color::rgb(0.0, 1.0, 1.0)),
+                (0.50, Color::rgb(0.0, 1.0, 0.0)),
+                (0.75, Color::rgb(1.0, 1.0, 0.0)),
+                (1.00, Color::rgb(1.0, 0.0, 0.0)),
+            ],
+        )
+    }
+
+    /// Look up the color for a raw scalar value.
+    #[inline]
+    pub fn sample(&self, scalar: f32) -> Color {
+        let (lo, hi) = self.range;
+        let t = if hi > lo { (scalar - lo) / (hi - lo) } else { 0.5 };
+        self.sample_normalized(t)
+    }
+
+    /// Look up the color for a normalized scalar in `[0,1]` (clamped).
+    #[inline]
+    pub fn sample_normalized(&self, t: f32) -> Color {
+        let t = t.clamp(0.0, 1.0);
+        let f = t * (Self::TABLE_SIZE - 1) as f32;
+        let i = f as usize;
+        let frac = f - i as f32;
+        if i + 1 < Self::TABLE_SIZE {
+            self.table[i].lerp(self.table[i + 1], frac)
+        } else {
+            self.table[Self::TABLE_SIZE - 1]
+        }
+    }
+
+    /// Scale every opacity by `s`, used to correct opacity for sample
+    /// distance (`alpha' = 1 - (1 - alpha)^(dt/dt_ref)` is approximated
+    /// linearly for small alphas, as EAVL does).
+    pub fn with_opacity_scale(mut self, s: f32) -> TransferFunction {
+        for c in &mut self.table {
+            c.a = (c.a * s).min(1.0);
+        }
+        self
+    }
+}
+
+fn sample_points(points: &[(f32, Color)], t: f32) -> Color {
+    if t <= points[0].0 {
+        return points[0].1;
+    }
+    if t >= points[points.len() - 1].0 {
+        return points[points.len() - 1].1;
+    }
+    for w in points.windows(2) {
+        let (p0, c0) = w[0];
+        let (p1, c1) = w[1];
+        if t >= p0 && t <= p1 {
+            let f = if p1 > p0 { (t - p0) / (p1 - p0) } else { 0.0 };
+            return c0.lerp(c1, f);
+        }
+    }
+    points[points.len() - 1].1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_control_points() {
+        let tf = TransferFunction::from_points(
+            (0.0, 10.0),
+            vec![(0.0, Color::rgb(0.0, 0.0, 1.0)), (1.0, Color::rgb(1.0, 0.0, 0.0))],
+        );
+        let lo = tf.sample(0.0);
+        let hi = tf.sample(10.0);
+        assert!((lo.b - 1.0).abs() < 1e-2 && lo.r < 1e-2);
+        assert!((hi.r - 1.0).abs() < 1e-2 && hi.b < 1e-2);
+    }
+
+    #[test]
+    fn midpoint_is_blend() {
+        let tf = TransferFunction::from_points(
+            (0.0, 1.0),
+            vec![(0.0, Color::new(0.0, 0.0, 0.0, 0.0)), (1.0, Color::new(1.0, 1.0, 1.0, 1.0))],
+        );
+        let mid = tf.sample(0.5);
+        assert!((mid.r - 0.5).abs() < 1e-2);
+        assert!((mid.a - 0.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let tf = TransferFunction::rainbow((0.0, 1.0));
+        assert_eq!(tf.sample(-5.0).to_rgba8(), tf.sample(0.0).to_rgba8());
+        assert_eq!(tf.sample(50.0).to_rgba8(), tf.sample(1.0).to_rgba8());
+    }
+
+    #[test]
+    fn degenerate_range_is_safe() {
+        let tf = TransferFunction::rainbow((3.0, 3.0));
+        let c = tf.sample(3.0);
+        assert!(c.r.is_finite() && c.g.is_finite() && c.b.is_finite());
+    }
+
+    #[test]
+    fn opacity_scale_scales_alpha_only() {
+        let tf = TransferFunction::from_points(
+            (0.0, 1.0),
+            vec![(0.0, Color::new(0.5, 0.5, 0.5, 0.8)), (1.0, Color::new(0.5, 0.5, 0.5, 0.8))],
+        )
+        .with_opacity_scale(0.5);
+        let c = tf.sample(0.5);
+        assert!((c.a - 0.4).abs() < 1e-3);
+        assert!((c.r - 0.5).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,141 @@
+//! The Chapter VI "adaptive infrastructure", running: a simulation registers
+//! time and memory constraints; the adaptive layer (backed by freshly fitted
+//! performance models) picks the rendering configuration each cycle, and the
+//! in situ renders obey the budget.
+
+use dpp::Device;
+use mpirt::NetModel;
+use perfmodel::extensions::{AdaptivePlanner, Constraints, SliceModel};
+use perfmodel::feasibility::ModelSet;
+use perfmodel::mapping::MappingConstants;
+use perfmodel::models::{CompositeModel, ModelForm, RastModel, RtBuildModel, RtModel, VrModel};
+use perfmodel::sample::RendererKind;
+use perfmodel::study::{run_composite_study, run_render_study, StudyConfig};
+use sims::ProxySim;
+
+fn main() {
+    // --- Calibrate: a small study fits the six models (once, offline). ---
+    println!("calibrating performance models...");
+    let device = Device::parallel();
+    let study = StudyConfig {
+        tests: 8,
+        data_cells: (16, 40),
+        image_side: (64, 192),
+        fill: (0.5, 1.0),
+        seed: 11,
+    };
+    let rt = run_render_study(&device, RendererKind::RayTracing, &study);
+    let ra = run_render_study(&device, RendererKind::Rasterization, &study);
+    let vr = run_render_study(&device, RendererKind::VolumeRendering, &study);
+    let comp = run_composite_study(NetModel::cluster(), &[1, 4, 16], &[128, 256], 5);
+    let set = ModelSet {
+        device: "parallel".into(),
+        rt: RtModel.fit(&rt),
+        rt_build: RtBuildModel.fit(&rt),
+        rast: RastModel.fit(&ra),
+        vr: VrModel.fit(&vr),
+        comp: CompositeModel.fit(&comp),
+    };
+    let mut all = rt;
+    all.extend(ra);
+    all.extend(vr);
+    let planner = AdaptivePlanner::new(set, MappingConstants::calibrated(&all));
+
+    // Bonus: the slicing model of Section 6.1.
+    let (slice_model, _) = SliceModel::calibrate(&[12, 20, 28]);
+    println!(
+        "slicing model: R^2 = {:.3}; predicted slice of a 256^3 grid: {:.4} s",
+        slice_model.fit.r_squared,
+        slice_model.predict_for_grid(256)
+    );
+
+    // --- The simulation registers its constraints (Section 6.3). ---
+    let constraints = Constraints {
+        time_budget_s: 2.0,
+        memory_limit_bytes: 256 << 20,
+        images: 4,
+        min_image_side: 128,
+        max_image_side: 4096,
+    };
+    println!(
+        "\nconstraints: {:.1} s/cycle for {} images, {} MiB scratch",
+        constraints.time_budget_s,
+        constraints.images,
+        constraints.memory_limit_bytes >> 20
+    );
+
+    // --- Drive the simulation; the planner picks the configuration. ---
+    let n = 32usize;
+    let mut sim = sims::Cloverleaf::new(n);
+    for _ in 0..3 {
+        sim.step();
+        let plan = planner
+            .plan(n, 1, &constraints)
+            .expect("constraints should be satisfiable");
+        println!(
+            "cycle {}: plan = {} at {}x{} (expected {:.3} s, {} MiB)",
+            sim.cycle(),
+            plan.renderer.name(),
+            plan.image_side,
+            plan.image_side,
+            plan.expected_seconds,
+            plan.expected_bytes >> 20
+        );
+
+        // Execute the plan.
+        let grid = sim.grid().to_uniform();
+        let t0 = std::time::Instant::now();
+        let cam = vecmath::Camera::close_view(&grid.bounds());
+        for _ in 0..constraints.images {
+            match plan.renderer {
+                RendererKind::VolumeRendering => {
+                    let range = grid.field("energy_p").unwrap().range().unwrap();
+                    let tf = vecmath::TransferFunction::sparse_features(range);
+                    let _ = render::volume_structured::render_structured(
+                        &device,
+                        &grid,
+                        "energy_p",
+                        &cam,
+                        plan.image_side,
+                        plan.image_side,
+                        &tf,
+                        &render::volume_structured::SvrConfig::default(),
+                    );
+                }
+                _ => {
+                    let tris = mesh::external_faces::external_faces_grid(&grid, "energy_p");
+                    let geom = render::raytrace::TriGeometry::from_mesh(&tris);
+                    let tf = vecmath::TransferFunction::rainbow(geom.scalar_range);
+                    match plan.renderer {
+                        RendererKind::Rasterization => {
+                            let _ = render::raster::rasterize(
+                                &device,
+                                &geom,
+                                &cam,
+                                plan.image_side,
+                                plan.image_side,
+                                &tf,
+                                None,
+                            );
+                        }
+                        _ => {
+                            let rt = render::raytrace::RayTracer::new(device.clone(), geom);
+                            let _ = rt.render(
+                                &cam,
+                                plan.image_side,
+                                plan.image_side,
+                                &render::raytrace::RtConfig::workload2(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let actual = t0.elapsed().as_secs_f64();
+        println!(
+            "         actual {:.3} s ({:.0}% of budget)",
+            actual,
+            actual / constraints.time_budget_s * 100.0
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! In situ integration of the Kripke proxy: Sn transport on a uniform grid,
+//! rendered with the rasterizer (the paper's Kripke runs used OSMesa
+//! rasterization). Kripke's array ordering does not match the renderer's, so
+//! the field is copied at publish time — the paper's "middle" integration
+//! cost, visible in the extra lines below.
+
+use conduit_node::Node;
+use sims::{Kripke, ProxySim};
+use strawman::{Options, Strawman};
+
+fn main() {
+    let mut sim = Kripke::new(28);
+    let mut sm = Strawman::open(Options::default());
+    let cycles = 3;
+
+    for _ in 0..cycles {
+        sim.step();
+        let grid = sim.grid();
+
+        // [strawman:data description]
+        let mut data = Node::new();
+        data.set("state/time", sim.time());
+        data.set("state/cycle", sim.cycle() as i64);
+        data.set("state/domain", 0i64);
+        data.set("coords/type", "uniform");
+        data.set("coords/dims/i", grid.dims[0] as i64);
+        data.set("coords/dims/j", grid.dims[1] as i64);
+        data.set("coords/dims/k", grid.dims[2] as i64);
+        data.set("coords/origin/x", grid.origin.x as f64);
+        data.set("coords/origin/y", grid.origin.y as f64);
+        data.set("coords/origin/z", grid.origin.z as f64);
+        data.set("coords/spacing/x", grid.spacing.x as f64);
+        data.set("coords/spacing/y", grid.spacing.y as f64);
+        data.set("coords/spacing/z", grid.spacing.z as f64);
+        // Kripke's angular-flux-major ordering must be repacked into the
+        // renderer's point-major layout: an explicit copy, not zero-copy.
+        data.set("fields/phi/association", "vertex");
+        data.set("fields/phi/values", grid.field("phi_p").unwrap().values.clone());
+        // [strawman:end]
+
+        // [strawman:action descriptions]
+        let mut actions = Node::new();
+        let add = actions.append();
+        add.set("action", "AddPlot");
+        add.set("var", "phi");
+        add.set("renderer", "rasterizer");
+        let draw = actions.append();
+        draw.set("action", "DrawPlots");
+        let save = actions.append();
+        save.set("action", "SaveImage");
+        save.set("fileName", format!("kripke_{:04}", sim.cycle()));
+        save.set("format", "png");
+        save.set("width", 400i64);
+        save.set("height", 400i64);
+        // [strawman:end]
+
+        // [strawman:api calls]
+        sm.publish(&data).expect("publish");
+        sm.execute(&actions).expect("execute");
+        // [strawman:end]
+    }
+
+    let vis: f64 = sm.records.iter().map(|r| r.render_seconds).sum();
+    println!(
+        "Kripke: {} cycles, {} renders, {:.3} s visualization total",
+        cycles,
+        sm.records.len(),
+        vis
+    );
+    sm.close();
+}

@@ -1,0 +1,77 @@
+//! In situ integration of the LULESH proxy: Lagrangian shock hydro on an
+//! unstructured hex mesh, rendered tightly-coupled with Strawman every
+//! cycle. Mirrors the paper's Listings 4.1-4.3; the `[strawman:...]` marker
+//! comments delimit the integration code Table 10 counts.
+
+use conduit_node::Node;
+use sims::{Lulesh, ProxySim};
+use std::sync::Arc;
+use strawman::{Options, Strawman};
+
+fn main() {
+    let mut sim = Lulesh::new(24);
+    let mut sm = Strawman::open(Options::default());
+    let cycles = 5;
+
+    for _ in 0..cycles {
+        sim.step();
+        let mesh = sim.hex_mesh();
+
+        // Describe the simulation's mesh with the conventions of Section 4.3.
+        // LULESH's layout matches the renderer's data model directly (the
+        // paper's "least integration code" case).
+        // [strawman:data description]
+        let xs: Arc<Vec<f32>> = Arc::new(mesh.points.iter().map(|p| p.x).collect());
+        let ys: Arc<Vec<f32>> = Arc::new(mesh.points.iter().map(|p| p.y).collect());
+        let zs: Arc<Vec<f32>> = Arc::new(mesh.points.iter().map(|p| p.z).collect());
+        let conn: Arc<Vec<u32>> = Arc::new(mesh.hexes.iter().flatten().copied().collect());
+        let mut data = Node::new();
+        data.set("state/time", sim.time());
+        data.set("state/cycle", sim.cycle() as i64);
+        data.set("state/domain", 0i64);
+        data.set("coords/type", "explicit");
+        data.set_external_f32("coords/x", xs);
+        data.set_external_f32("coords/y", ys);
+        data.set_external_f32("coords/z", zs);
+        data.set("topology/type", "unstructured");
+        data.set("topology/elements/shape", "hexs");
+        data.set_external_u32("topology/elements/connectivity", conn);
+        data.set("fields/e/association", "element");
+        data.set("fields/e/values", mesh.field("e").unwrap().values.clone());
+        // [strawman:end]
+
+        // [strawman:action descriptions]
+        let mut actions = Node::new();
+        let add = actions.append();
+        add.set("action", "AddPlot");
+        add.set("var", "e");
+        let draw = actions.append();
+        draw.set("action", "DrawPlots");
+        let save = actions.append();
+        save.set("action", "SaveImage");
+        save.set("fileName", format!("lulesh_{:04}", sim.cycle()));
+        save.set("format", "png");
+        save.set("width", 400i64);
+        save.set("height", 400i64);
+        // [strawman:end]
+
+        // [strawman:api calls]
+        sm.publish(&data).expect("publish");
+        sm.execute(&actions).expect("execute");
+        // [strawman:end]
+    }
+
+    let vis: f64 = sm.records.iter().map(|r| r.render_seconds).sum();
+    println!(
+        "LULESH: {} cycles, {} renders, {:.3} s visualization total",
+        cycles,
+        sm.records.len(),
+        vis
+    );
+    for r in &sm.records {
+        if let Some(p) = &r.path {
+            println!("  {} ({} px active, {:.3} s)", p.display(), r.active_pixels, r.render_seconds);
+        }
+    }
+    sm.close();
+}

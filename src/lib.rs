@@ -1,0 +1,2 @@
+//! Umbrella crate: examples and integration tests live at the workspace root.
+pub use perfmodel; pub use render; pub use strawman;

@@ -1,0 +1,158 @@
+//! Integration: full in situ loops — each proxy simulation publishing through
+//! Conduit conventions into Strawman and rendering every cycle.
+
+use conduit_node::Node;
+use dpp::Device;
+use sims::ProxySim;
+use std::sync::Arc;
+use strawman::{Options, Strawman};
+
+fn test_options() -> Options {
+    let dir = std::env::temp_dir().join(format!("strawman_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    Options { device: Device::Serial, output_dir: dir }
+}
+
+#[test]
+fn lulesh_in_situ_loop() {
+    let mut sim = sims::Lulesh::new(8);
+    let mut sm = Strawman::open(test_options());
+    for _ in 0..2 {
+        sim.step();
+        let mesh = sim.hex_mesh();
+        let mut data = Node::new();
+        data.set("state/cycle", sim.cycle() as i64);
+        data.set("coords/type", "explicit");
+        data.set_external_f32("coords/x", Arc::new(mesh.points.iter().map(|p| p.x).collect()));
+        data.set_external_f32("coords/y", Arc::new(mesh.points.iter().map(|p| p.y).collect()));
+        data.set_external_f32("coords/z", Arc::new(mesh.points.iter().map(|p| p.z).collect()));
+        data.set("topology/type", "unstructured");
+        data.set("topology/elements/shape", "hexs");
+        data.set(
+            "topology/elements/connectivity",
+            mesh.hexes.iter().flatten().copied().collect::<Vec<u32>>(),
+        );
+        data.set("fields/e/association", "element");
+        data.set("fields/e/values", mesh.field("e").unwrap().values.clone());
+        assert!(data.has_external_data(), "coordinates must publish zero-copy");
+
+        let mut actions = Node::new();
+        let add = actions.append();
+        add.set("action", "AddPlot");
+        add.set("var", "e");
+        actions.append().set("action", "DrawPlots");
+        let save = actions.append();
+        save.set("action", "SaveImage");
+        save.set("fileName", "");
+        save.set("width", 64i64);
+        save.set("height", 64i64);
+
+        sm.publish(&data).unwrap();
+        sm.execute(&actions).unwrap();
+    }
+    assert_eq!(sm.records.len(), 2);
+    assert!(sm.records.iter().all(|r| r.active_pixels > 100));
+    // Lagrangian mesh deformed between cycles, so the pictures differ.
+    assert!(sm.last_frame.is_some());
+}
+
+#[test]
+fn kripke_in_situ_rasterized() {
+    let mut sim = sims::Kripke::new(12);
+    sim.step();
+    let grid = sim.grid();
+    let mut data = Node::new();
+    data.set("coords/type", "uniform");
+    data.set("coords/dims/i", grid.dims[0] as i64);
+    data.set("coords/dims/j", grid.dims[1] as i64);
+    data.set("coords/dims/k", grid.dims[2] as i64);
+    data.set("fields/phi/association", "vertex");
+    data.set("fields/phi/values", grid.field("phi_p").unwrap().values.clone());
+
+    let mut actions = Node::new();
+    let add = actions.append();
+    add.set("action", "AddPlot");
+    add.set("var", "phi");
+    add.set("renderer", "rasterizer");
+    actions.append().set("action", "DrawPlots");
+    let save = actions.append();
+    save.set("action", "SaveImage");
+    save.set("fileName", "kripke_test");
+    save.set("width", 64i64);
+    save.set("height", 64i64);
+
+    let mut sm = Strawman::open(test_options());
+    sm.publish(&data).unwrap();
+    sm.execute(&actions).unwrap();
+    let rec = &sm.records[0];
+    assert_eq!(rec.renderer, "rasterizer");
+    assert!(rec.active_pixels > 100);
+    // The PNG on disk must carry a valid signature and IEND.
+    let bytes = std::fs::read(rec.path.as_ref().unwrap()).unwrap();
+    assert_eq!(&bytes[..8], &[0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A]);
+    assert_eq!(&bytes[bytes.len() - 8..bytes.len() - 4], b"IEND");
+}
+
+#[test]
+fn cloverleaf_in_situ_volume() {
+    let mut sim = sims::Cloverleaf::new(16);
+    for _ in 0..2 {
+        sim.step();
+    }
+    let grid = sim.grid();
+    let mut data = Node::new();
+    data.set("coords/type", "rectilinear");
+    data.set("coords/values/x", grid.xs.clone());
+    data.set("coords/values/y", grid.ys.clone());
+    data.set("coords/values/z", grid.zs.clone());
+    data.set("fields/density/association", "element");
+    data.set("fields/density/values", grid.field("density").unwrap().values.clone());
+
+    let mut actions = Node::new();
+    let add = actions.append();
+    add.set("action", "AddPlot");
+    add.set("var", "density");
+    add.set("type", "volume");
+    actions.append().set("action", "DrawPlots");
+    let save = actions.append();
+    save.set("action", "SaveImage");
+    save.set("fileName", "");
+    save.set("width", 48i64);
+    save.set("height", 48i64);
+
+    let mut sm = Strawman::open(test_options());
+    sm.publish(&data).unwrap();
+    sm.execute(&actions).unwrap();
+    assert_eq!(sm.records[0].renderer, "volume_structured");
+    assert!(sm.records[0].active_pixels > 50);
+}
+
+#[test]
+fn consecutive_cycles_show_evolving_physics() {
+    // Volume-render CloverLeaf at two times; the images must differ (the
+    // shock moves) — guards against publishing stale state.
+    let mut sim = sims::Cloverleaf::new(16);
+    let render = |sim: &sims::Cloverleaf| {
+        let grid = sim.grid().to_uniform();
+        let range = grid.field("energy_p").unwrap().range().unwrap();
+        let tf = vecmath::TransferFunction::sparse_features(range);
+        let cam = vecmath::Camera::close_view(&grid.bounds());
+        render::volume_structured::render_structured(
+            &Device::Serial,
+            &grid,
+            "energy_p",
+            &cam,
+            48,
+            48,
+            &tf,
+            &render::volume_structured::SvrConfig::default(),
+        )
+        .frame
+    };
+    let before = render(&sim);
+    for _ in 0..8 {
+        sim.step();
+    }
+    let after = render(&sim);
+    assert!(before.mean_abs_diff(&after) > 1e-4, "images identical across cycles");
+}

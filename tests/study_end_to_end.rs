@@ -1,0 +1,138 @@
+//! Integration: the modeling pipeline end to end — run a (small) study,
+//! fit models, cross-validate, map configurations, and answer feasibility
+//! questions, asserting the paper's qualitative claims hold.
+
+use dpp::Device;
+use mpirt::NetModel;
+use perfmodel::crossval::k_fold_accuracy;
+use perfmodel::feasibility::{images_in_budget, rt_vs_rast_map, ModelSet};
+use perfmodel::mapping::{map_inputs, MappingConstants, RenderConfig};
+use perfmodel::models::{CompositeModel, ModelForm, RastModel, RtBuildModel, RtModel, VrModel};
+use perfmodel::sample::RendererKind;
+use perfmodel::study::{run_composite_study, run_one, run_render_study, StudyConfig};
+
+fn small_study() -> StudyConfig {
+    StudyConfig {
+        tests: 9,
+        data_cells: (14, 36),
+        image_side: (48, 144),
+        fill: (0.5, 1.0),
+        seed: 99,
+    }
+}
+
+#[test]
+fn models_fit_and_cross_validate_on_real_measurements() {
+    let device = Device::parallel();
+    let cfg = small_study();
+    let vr = run_render_study(&device, RendererKind::VolumeRendering, &cfg);
+    let fit = VrModel.fit(&vr);
+    assert!(fit.r_squared() > 0.6, "VR R^2 = {}", fit.r_squared());
+    let xs: Vec<Vec<f64>> = vr.iter().map(|s| VrModel.features(s)).collect();
+    let ys: Vec<f64> = vr.iter().map(|s| s.render_seconds).collect();
+    let acc = k_fold_accuracy(&xs, &ys, 3);
+    assert!(acc.within_50 >= 60.0, "VR CV within-50 = {}", acc.within_50);
+}
+
+#[test]
+fn rt_build_scales_with_objects() {
+    let device = Device::parallel();
+    let small = run_one(&device, RendererKind::RayTracing, 16, 64, 0.9);
+    let big = run_one(&device, RendererKind::RayTracing, 48, 64, 0.9);
+    assert!(big.objects > small.objects * 4.0);
+    assert!(
+        big.build_seconds > small.build_seconds,
+        "bigger BVH must take longer: {} vs {}",
+        big.build_seconds,
+        small.build_seconds
+    );
+}
+
+#[test]
+fn mapping_predicts_observed_inputs_within_bounds() {
+    let device = Device::parallel();
+    // Calibrate from one observation per renderer.
+    let obs = vec![
+        run_one(&device, RendererKind::VolumeRendering, 24, 96, 0.9),
+        run_one(&device, RendererKind::Rasterization, 24, 96, 0.9),
+    ];
+    let k = MappingConstants::calibrated(&obs);
+    // Validate on a different configuration.
+    let test = run_one(&device, RendererKind::VolumeRendering, 32, 128, 0.9);
+    let mapped = map_inputs(
+        &RenderConfig {
+            renderer: RendererKind::VolumeRendering,
+            cells_per_task: 32,
+            pixels: 128 * 128,
+            tasks: 1,
+        },
+        &k,
+    );
+    // Active pixels within 2x, SPR within 2x, CS exact by construction.
+    let ap_ratio = mapped.active_pixels / test.active_pixels;
+    assert!((0.5..=2.0).contains(&ap_ratio), "AP ratio {ap_ratio}");
+    let spr_ratio = mapped.samples_per_ray / test.samples_per_ray;
+    assert!((0.5..=2.0).contains(&spr_ratio), "SPR ratio {spr_ratio}");
+    assert_eq!(mapped.cells_spanned, 32.0);
+}
+
+#[test]
+fn feasibility_answers_have_the_papers_shape() {
+    let device = Device::parallel();
+    let cfg = small_study();
+    let rt = run_render_study(&device, RendererKind::RayTracing, &cfg);
+    let ra = run_render_study(&device, RendererKind::Rasterization, &cfg);
+    let vr = run_render_study(&device, RendererKind::VolumeRendering, &cfg);
+    let comp = run_composite_study(NetModel::cluster(), &[1, 4, 16], &[64, 192], 3);
+    let set = ModelSet {
+        device: "parallel".into(),
+        rt: RtModel.fit(&rt),
+        rt_build: RtBuildModel.fit(&rt),
+        rast: RastModel.fit(&ra),
+        vr: VrModel.fit(&vr),
+        comp: CompositeModel.fit(&comp),
+    };
+    let mut all = rt;
+    all.extend(ra);
+    all.extend(vr);
+    let k = MappingConstants::calibrated(&all);
+
+    // Figure 14 shape: more pixels -> fewer images in the budget.
+    let curve = images_in_budget(
+        &set, &k, RendererKind::RayTracing, 100, 32, &[512, 1024, 2048, 4096], 60.0,
+    );
+    for w in curve.windows(2) {
+        assert!(
+            w[1].1 <= w[0].1 * 1.001,
+            "images-in-budget must not increase with image size: {curve:?}"
+        );
+    }
+
+    // Figure 15 shape: ray tracing is *relatively* stronger with more
+    // geometry and fewer pixels.
+    let map = rt_vs_rast_map(&set, &k, 32, 100, &[384, 4096], &[64, 400]);
+    let get = |side: u32, n: usize| {
+        map.iter()
+            .find(|c| c.image_side == side && c.cells_per_task == n)
+            .unwrap()
+            .rt_over_rast
+    };
+    assert!(
+        get(384, 400) < get(4096, 64),
+        "regime ordering: {} !< {}",
+        get(384, 400),
+        get(4096, 64)
+    );
+}
+
+#[test]
+fn corpus_round_trips_through_csv() {
+    let device = Device::Serial;
+    let s = run_one(&device, RendererKind::Rasterization, 12, 48, 0.8);
+    let text = perfmodel::sample::to_csv(std::slice::from_ref(&s));
+    let parsed = perfmodel::sample::from_csv(&text);
+    assert_eq!(parsed.len(), 1);
+    assert_eq!(parsed[0].renderer, s.renderer);
+    assert!((parsed[0].render_seconds - s.render_seconds).abs() < 1e-12);
+    assert!((parsed[0].pixels_per_triangle - s.pixels_per_triangle).abs() < 1e-9);
+}
