@@ -228,12 +228,7 @@ mod tests {
         let conn = Connectivity::build(&t);
         // Interior faces are shared; boundary faces belong to one tet.
         let total_faces = t.num_tets() * 4;
-        let interior = conn
-            .neighbors
-            .iter()
-            .flatten()
-            .filter(|&&n| n != u32::MAX)
-            .count();
+        let interior = conn.neighbors.iter().flatten().filter(|&&n| n != u32::MAX).count();
         assert_eq!(interior + conn.boundary.len(), total_faces);
         // Neighbor relation is symmetric.
         for (t_i, nb) in conn.neighbors.iter().enumerate() {
@@ -278,7 +273,13 @@ mod tests {
         let tf = TransferFunction::sparse_features(r);
         let a = render_bunyk(&t, &conn, "scalar", &cam, 32, 32, &tf, 0.01);
         let b = render::volume_unstructured::render_unstructured(
-            &Device::Serial, &t, "scalar", &cam, 32, 32, &tf,
+            &Device::Serial,
+            &t,
+            "scalar",
+            &cam,
+            32,
+            32,
+            &tf,
             &render::volume_unstructured::UvrConfig { depth_samples: 64, ..Default::default() },
         )
         .unwrap();

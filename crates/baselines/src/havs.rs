@@ -102,9 +102,21 @@ pub fn render_havs(
         }
         let id = 1.0 / det;
         let inv = [
-            [(m1.y * m2.z - m2.y * m1.z) * id, (m2.x * m1.z - m1.x * m2.z) * id, (m1.x * m2.y - m2.x * m1.y) * id],
-            [(m2.y * m0.z - m0.y * m2.z) * id, (m0.x * m2.z - m2.x * m0.z) * id, (m2.x * m0.y - m0.x * m2.y) * id],
-            [(m0.y * m1.z - m1.y * m0.z) * id, (m1.x * m0.z - m0.x * m1.z) * id, (m0.x * m1.y - m1.x * m0.y) * id],
+            [
+                (m1.y * m2.z - m2.y * m1.z) * id,
+                (m2.x * m1.z - m1.x * m2.z) * id,
+                (m1.x * m2.y - m2.x * m1.y) * id,
+            ],
+            [
+                (m2.y * m0.z - m0.y * m2.z) * id,
+                (m0.x * m2.z - m2.x * m0.z) * id,
+                (m2.x * m0.y - m0.x * m2.y) * id,
+            ],
+            [
+                (m0.y * m1.z - m1.y * m0.z) * id,
+                (m1.x * m0.z - m0.x * m1.z) * id,
+                (m0.x * m1.y - m1.x * m0.y) * id,
+            ],
         ];
         let s_vals = [
             field[ix[0] as usize],
@@ -155,8 +167,7 @@ pub fn render_havs(
                 let base = tf.sample(mean_value);
                 // Absorption: alpha grows with segment thickness.
                 let alpha = 1.0 - (1.0 - base.a.min(0.999)).powf(thickness * 10.0 + 0.1);
-                let frag =
-                    Color::new(base.r * alpha, base.g * alpha, base.b * alpha, alpha);
+                let frag = Color::new(base.r * alpha, base.g * alpha, base.b * alpha, alpha);
                 let pix = frame.index(px, py);
                 frame.color[pix] = over(frag, frame.color[pix]);
                 frame.depth[pix] = frame.depth[pix].min(z_in);
@@ -231,18 +242,17 @@ mod tests {
             }
         }
         assert!(either > 100);
-        assert!(
-            both as f64 > either as f64 * 0.6,
-            "coverage overlap {both}/{either}"
-        );
+        assert!(both as f64 > either as f64 * 0.6, "coverage overlap {both}/{either}");
     }
 
     #[test]
     fn cost_tracks_data_size() {
         // HAVS is object-order: more tets => more sort + raster work; we
         // check the *work* proxy (objects), not wall time, to stay robust.
-        let small = TetDatasetSpec { name: "s", cells: [6, 6, 6], kind: FieldKind::ShockShell }.build(1.0);
-        let big = TetDatasetSpec { name: "b", cells: [12, 12, 12], kind: FieldKind::ShockShell }.build(1.0);
+        let small =
+            TetDatasetSpec { name: "s", cells: [6, 6, 6], kind: FieldKind::ShockShell }.build(1.0);
+        let big = TetDatasetSpec { name: "b", cells: [12, 12, 12], kind: FieldKind::ShockShell }
+            .build(1.0);
         assert_eq!(big.num_tets(), small.num_tets() * 8);
     }
 }

@@ -22,7 +22,7 @@
 //!   early ray termination (the SS / S / C phases of Table 9).
 
 pub mod bunyk;
-pub mod packet8;
 pub mod havs;
+pub mod packet8;
 pub mod tuned;
 pub mod visit_like;

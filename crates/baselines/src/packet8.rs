@@ -101,7 +101,8 @@ impl RayPacket {
             if !(-1e-6..=1.0 + 1e-6).contains(&u) {
                 continue;
             }
-            let v = (self.dx.0[l] * qx.0[l] + self.dy.0[l] * qy.0[l] + self.dz.0[l] * qz.0[l]) * inv;
+            let v =
+                (self.dx.0[l] * qx.0[l] + self.dy.0[l] * qy.0[l] + self.dz.0[l] * qz.0[l]) * inv;
             if v < -1e-6 || u + v > 1.0 + 1e-6 {
                 continue;
             }

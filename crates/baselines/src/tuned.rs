@@ -149,23 +149,16 @@ impl TunedTracer {
             }
             Profile::Optix => {
                 // Morton-ordered rays in fixed-size warps.
-                let mut codes: Vec<(u64, u32)> = (0..n as u32)
-                    .map(|i| (morton2(i % width, i / width), i))
-                    .collect();
+                let mut codes: Vec<(u64, u32)> =
+                    (0..n as u32).map(|i| (morton2(i % width, i / width), i)).collect();
                 codes.sort_unstable_by_key(|c| c.0);
                 codes
                     .par_chunks(256)
                     .map(|warp| {
                         let mut h = 0usize;
                         for &(_, i) in warp {
-                            let ray = camera.primary_ray(
-                                i % width,
-                                i / width,
-                                width,
-                                height,
-                                0.5,
-                                0.5,
-                            );
+                            let ray =
+                                camera.primary_ray(i % width, i / width, width, height, 0.5, 0.5);
                             h += self.closest_hit(&ray).is_hit() as usize;
                         }
                         h
@@ -244,7 +237,8 @@ fn build_sah(
     for i in (1..SAH_BINS).rev() {
         acc_b = acc_b.union(&bin_bounds[i]);
         acc_n += bin_counts[i];
-        let cost = left_area[i - 1] * left_count[i - 1] as f32 + acc_b.surface_area() * acc_n as f32;
+        let cost =
+            left_area[i - 1] * left_count[i - 1] as f32 + acc_b.surface_area() * acc_n as f32;
         if cost < best_cost && left_count[i - 1] > 0 && acc_n > 0 {
             best_cost = cost;
             best_split = i;

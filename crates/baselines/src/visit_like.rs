@@ -107,9 +107,21 @@ pub fn render_visit(
         cells.push(Some(ScreenCell {
             v: sv,
             inv: [
-                [(m1.y * m2.z - m2.y * m1.z) * id, (m2.x * m1.z - m1.x * m2.z) * id, (m1.x * m2.y - m2.x * m1.y) * id],
-                [(m2.y * m0.z - m0.y * m2.z) * id, (m0.x * m2.z - m2.x * m0.z) * id, (m2.x * m0.y - m0.x * m2.y) * id],
-                [(m0.y * m1.z - m1.y * m0.z) * id, (m1.x * m0.z - m0.x * m1.z) * id, (m0.x * m1.y - m1.x * m0.y) * id],
+                [
+                    (m1.y * m2.z - m2.y * m1.z) * id,
+                    (m2.x * m1.z - m1.x * m2.z) * id,
+                    (m1.x * m2.y - m2.x * m1.y) * id,
+                ],
+                [
+                    (m2.y * m0.z - m0.y * m2.z) * id,
+                    (m0.x * m2.z - m2.x * m0.z) * id,
+                    (m2.x * m0.y - m0.x * m2.y) * id,
+                ],
+                [
+                    (m0.y * m1.z - m1.y * m0.z) * id,
+                    (m1.x * m0.z - m0.x * m1.z) * id,
+                    (m0.x * m1.y - m1.x * m0.y) * id,
+                ],
             ],
             s: [
                 field[ix[0] as usize],
@@ -239,7 +251,13 @@ mod tests {
         let tf = tfn(&t);
         let a = render_visit(&t, "scalar", &cam, 32, 32, 50, &tf);
         let b = render_unstructured(
-            &Device::Serial, &t, "scalar", &cam, 32, 32, &tf,
+            &Device::Serial,
+            &t,
+            "scalar",
+            &cam,
+            32,
+            32,
+            &tf,
             &UvrConfig { depth_samples: 50, num_passes: 1, ..Default::default() },
         )
         .unwrap();

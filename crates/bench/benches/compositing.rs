@@ -2,7 +2,10 @@
 //! measured substrate: direct send vs binary swap vs radix-k across rank
 //! counts and image sizes.
 
-use compositing::{binary_swap, direct_send, radix_k, CompositeMode, RankImage};
+use compositing::{
+    binary_swap, direct_send, radix_k, radix_k_opts, CompositeMode, ExchangeOptions, RankImage,
+    SpanImage,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpirt::NetModel;
 use perfmodel::study::synth_rank_images;
@@ -36,5 +39,53 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_algorithms, bench_scaling);
+/// Dense vs run-length exchange at the acceptance scale (64 sparse ranks):
+/// reports the benched wall time per mode and prints the simulated seconds
+/// and byte totals the lockstep model assigns each.
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compositing_compression");
+    group.sample_size(10);
+    let images = synth_rank_images(64, 128, 7);
+    let factors = compositing::algorithms::default_factors(64);
+    for (name, opts) in
+        [("compressed_64", ExchangeOptions::default()), ("dense_64", ExchangeOptions::dense())]
+    {
+        let (_, stats) =
+            radix_k_opts(&images, CompositeMode::AlphaOrdered, NetModel::cluster(), &factors, opts);
+        println!(
+            "  {name}: wire {:.2} MB, dense {:.2} MB ({:.2}x), simulated {:.4} s",
+            stats.total_bytes as f64 / 1e6,
+            stats.dense_bytes as f64 / 1e6,
+            stats.compression_ratio(),
+            stats.simulated_seconds,
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                radix_k_opts(
+                    &images,
+                    CompositeMode::AlphaOrdered,
+                    NetModel::cluster(),
+                    &factors,
+                    opts,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The codec itself: encode and decode of a sparse and a dense rank image.
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rle_codec");
+    group.sample_size(20);
+    let sparse = &synth_rank_images(64, 256, 7)[0];
+    let dense = &synth_rank_images(1, 256, 7)[0];
+    group.bench_function("encode_sparse", |b| b.iter(|| SpanImage::encode(sparse)));
+    group.bench_function("encode_dense", |b| b.iter(|| SpanImage::encode(dense)));
+    let enc = SpanImage::encode(sparse);
+    group.bench_function("decode_sparse", |b| b.iter(|| enc.decode()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_scaling, bench_compression, bench_codec);
 criterion_main!(benches);

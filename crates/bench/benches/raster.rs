@@ -22,11 +22,9 @@ fn bench_object_term(c: &mut Criterion) {
         let geom = geometry(cells);
         let cam = Camera::close_view(&geom.bounds);
         let tf = TransferFunction::rainbow(geom.scalar_range);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(geom.num_tris()),
-            &geom,
-            |b, geom| b.iter(|| rasterize(&Device::parallel(), geom, &cam, 128, 128, &tf, None)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(geom.num_tris()), &geom, |b, geom| {
+            b.iter(|| rasterize(&Device::parallel(), geom, &cam, 128, 128, &tf, None))
+        });
     }
     group.finish();
 }

@@ -20,16 +20,12 @@ fn bench_bvh_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("bvh_build");
     for cells in [16usize, 32] {
         let geom = scene(cells);
-        group.bench_with_input(
-            BenchmarkId::new("lbvh", geom.num_tris()),
-            &geom,
-            |b, geom| b.iter(|| Bvh::build(&Device::parallel(), geom)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("sah", geom.num_tris()),
-            &geom,
-            |b, geom| b.iter(|| TunedTracer::from_geometry(geom.clone(), Profile::Embree)),
-        );
+        group.bench_with_input(BenchmarkId::new("lbvh", geom.num_tris()), &geom, |b, geom| {
+            b.iter(|| Bvh::build(&Device::parallel(), geom))
+        });
+        group.bench_with_input(BenchmarkId::new("sah", geom.num_tris()), &geom, |b, geom| {
+            b.iter(|| TunedTracer::from_geometry(geom.clone(), Profile::Embree))
+        });
     }
     group.finish();
 }

@@ -60,7 +60,13 @@ fn bench_comparators(c: &mut Criterion) {
     group.bench_function("dpp_vr", |b| {
         b.iter(|| {
             render_unstructured(
-                &Device::parallel(), &mesh, "scalar", &cam, 96, 96, &tf,
+                &Device::parallel(),
+                &mesh,
+                "scalar",
+                &cam,
+                96,
+                96,
+                &tf,
                 &UvrConfig { depth_samples: 128, ..Default::default() },
             )
             .unwrap()

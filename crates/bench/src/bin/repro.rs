@@ -17,7 +17,9 @@ fn main() {
     let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
     let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     if ids.is_empty() {
-        eprintln!("usage: repro <table1..table17|fig4..fig15|ablations|images|all> [--full]");
+        eprintln!(
+            "usage: repro <table1..table17|fig4..fig15|ablations|compression|images|all> [--full]"
+        );
         std::process::exit(2);
     }
     for id in ids {
@@ -27,10 +29,34 @@ fn main() {
         }
         if id == "all" {
             for t in [
-                "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-                "table9", "table10", "table11", "table12", "table13", "table14", "table15",
-                "table16", "table17", "fig4", "fig5", "fig6", "fig7", "fig11", "fig12", "fig13",
-                "fig14", "fig15", "ablations",
+                "table1",
+                "table2",
+                "table3",
+                "table4",
+                "table5",
+                "table6",
+                "table7",
+                "table8",
+                "table9",
+                "table10",
+                "table11",
+                "table12",
+                "table13",
+                "table14",
+                "table15",
+                "table16",
+                "table17",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig11",
+                "fig12",
+                "fig13",
+                "fig14",
+                "fig15",
+                "ablations",
+                "compression",
             ] {
                 run(t, scale);
             }
@@ -61,6 +87,7 @@ fn run(id: &str, scale: Scale) {
         "table16" => tables::table16(scale),
         "table17" => tables::table17(scale),
         "ablations" => tables::ablations(scale),
+        "compression" => tables::compression(scale),
         "fig4" => figures::fig_phase_sweep(scale, false),
         "fig5" => figures::fig_phase_sweep(scale, true),
         "fig6" => figures::fig6(scale),

@@ -20,17 +20,12 @@ pub struct Corpus {
 }
 
 pub const DEVICES: [&str; 2] = ["serial", "parallel"];
-pub const RENDERERS: [RendererKind; 3] = [
-    RendererKind::RayTracing,
-    RendererKind::Rasterization,
-    RendererKind::VolumeRendering,
-];
+pub const RENDERERS: [RendererKind; 3] =
+    [RendererKind::RayTracing, RendererKind::Rasterization, RendererKind::VolumeRendering];
 
 fn cache_path(scale: Scale, kind: &str) -> std::path::PathBuf {
-    crate::out_dir().join(format!(
-        "corpus_{kind}_{}.csv",
-        if scale == Scale::Quick { "quick" } else { "full" }
-    ))
+    crate::out_dir()
+        .join(format!("corpus_{kind}_{}.csv", if scale == Scale::Quick { "quick" } else { "full" }))
 }
 
 /// Build (or load from cache) the render + compositing corpus.
@@ -45,7 +40,11 @@ pub fn ensure_corpus(scale: Scale) -> Corpus {
             .filter_map(CompositeSample::from_csv_row)
             .collect();
         if !render.is_empty() && !composite.is_empty() {
-            println!("[corpus loaded from cache: {} render, {} composite samples]", render.len(), composite.len());
+            println!(
+                "[corpus loaded from cache: {} render, {} composite samples]",
+                render.len(),
+                composite.len()
+            );
             return Corpus { render, composite };
         }
     }

@@ -34,10 +34,25 @@ pub fn fig_phase_sweep(scale: Scale, parallel: bool) -> TextTable {
         sample_buffer_bytes(side, side, &probe)
     });
     let mut t = TextTable::new(
-        format!("Figure {id}: VR runtime by phase vs passes ({})", if parallel { "parallel + memory cap" } else { "serial" }),
-        &["dataset", "view", "passes", "init", "pass_sel", "screen", "sampling", "compositing", "total", "status"],
+        format!(
+            "Figure {id}: VR runtime by phase vs passes ({})",
+            if parallel { "parallel + memory cap" } else { "serial" }
+        ),
+        &[
+            "dataset",
+            "view",
+            "passes",
+            "init",
+            "pass_sel",
+            "screen",
+            "sampling",
+            "compositing",
+            "total",
+            "status",
+        ],
     );
-    let passes_list: &[u32] = if scale == Scale::Quick { &[1, 2, 4, 8, 16] } else { &[1, 2, 4, 6, 8, 10, 12, 14, 16] };
+    let passes_list: &[u32] =
+        if scale == Scale::Quick { &[1, 2, 4, 8, 16] } else { &[1, 2, 4, 6, 8, 10, 12, 14, 16] };
     let pool = tet_dataset_pool();
     let specs = if scale == Scale::Quick { &pool[..3] } else { &pool[..] };
     for spec in specs {
@@ -104,7 +119,13 @@ pub fn fig6(scale: Scale) -> TextTable {
             ("close", Camera::close_view(&tets.bounds())),
         ] {
             let dpp = render_unstructured(
-                &device, &tets, "scalar", &cam, side, side, &tf,
+                &device,
+                &tets,
+                "scalar",
+                &cam,
+                side,
+                side,
+                &tf,
                 &UvrConfig { depth_samples: 256, ..Default::default() },
             )
             .expect("render");
@@ -134,7 +155,13 @@ pub fn fig6(scale: Scale) -> TextTable {
         let tf = tet_tf(&tets);
         let cam = Camera::far_view(&tets.bounds());
         let dpp = render_unstructured(
-            &device, &tets, "scalar", &cam, side, side, &tf,
+            &device,
+            &tets,
+            "scalar",
+            &cam,
+            side,
+            side,
+            &tf,
             &UvrConfig { depth_samples: 256, ..Default::default() },
         )
         .expect("render");
@@ -180,7 +207,13 @@ pub fn fig7(scale: Scale) -> TextTable {
             ("close", Camera::close_view(&tets.bounds())),
         ] {
             let dpp = render_unstructured(
-                &Device::Serial, &tets, "scalar", &cam, side, side, &tf,
+                &Device::Serial,
+                &tets,
+                "scalar",
+                &cam,
+                side,
+                side,
+                &tf,
                 &UvrConfig { depth_samples: 256, ..Default::default() },
             )
             .expect("render");
@@ -264,9 +297,7 @@ pub fn fig14(scale: Scale) -> TextTable {
     for device in crate::corpus::DEVICES {
         let set = corpus.fit_models(device);
         for renderer in crate::corpus::RENDERERS {
-            for (side, images) in
-                images_in_budget(&set, &k, renderer, 200, 32, &sides, 60.0)
-            {
+            for (side, images) in images_in_budget(&set, &k, renderer, 200, 32, &sides, 60.0) {
                 t.row(vec![
                     device.into(),
                     renderer.name().into(),

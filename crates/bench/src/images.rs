@@ -50,16 +50,20 @@ pub fn figure2(scale: Scale) {
 pub fn figure3(scale: Scale) {
     for spec in &tet_dataset_pool()[..2] {
         let tets = spec.build(scale.dataset_scale() * 0.7);
-        let tf = TransferFunction::sparse_features(
-            tets.field("scalar").unwrap().range().unwrap(),
-        );
+        let tf = TransferFunction::sparse_features(tets.field("scalar").unwrap().range().unwrap());
         let side = scale.image_side();
         for (view, cam) in [
             ("close", Camera::close_view(&tets.bounds())),
             ("far", Camera::far_view(&tets.bounds())),
         ] {
             if let Ok(out) = render_unstructured(
-                &Device::parallel(), &tets, "scalar", &cam, side, side, &tf,
+                &Device::parallel(),
+                &tets,
+                "scalar",
+                &cam,
+                side,
+                side,
+                &tf,
                 &UvrConfig { depth_samples: 256, ..Default::default() },
             ) {
                 let mut f = out.frame;
@@ -91,7 +95,13 @@ pub fn figures_9_10(scale: Scale) {
         let tf = TransferFunction::sparse_features(range);
         let cam = Camera::close_view(&grid.bounds());
         let out = render::volume_structured::render_structured(
-            &device, &grid, "density_p", &cam, side, side, &tf,
+            &device,
+            &grid,
+            "density_p",
+            &cam,
+            side,
+            side,
+            &tf,
             &render::volume_structured::SvrConfig::default(),
         );
         let mut f = out.frame;
@@ -133,7 +143,13 @@ pub fn figures_9_10(scale: Scale) {
         let vtf = TransferFunction::sparse_features(range);
         let vcam = Camera::close_view(&tets.bounds());
         if let Ok(out) = render_unstructured(
-            &device, &tets, "e_p", &vcam, side, side, &vtf,
+            &device,
+            &tets,
+            "e_p",
+            &vcam,
+            side,
+            side,
+            &vtf,
             &UvrConfig { depth_samples: 200, ..Default::default() },
         ) {
             let mut f = out.frame;

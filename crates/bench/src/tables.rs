@@ -51,7 +51,10 @@ fn avg_seconds(bounds: &vecmath::Aabb, rounds: usize, mut f: impl FnMut(&Camera)
 pub fn table_rt_fps(scale: Scale, workload3: bool) -> TextTable {
     let id = if workload3 { 2 } else { 1 };
     let mut t = TextTable::new(
-        format!("Table {id}: DPP ray tracer FPS ({})", if workload3 { "WORKLOAD3: full features" } else { "WORKLOAD2: shading" }),
+        format!(
+            "Table {id}: DPP ray tracer FPS ({})",
+            if workload3 { "WORKLOAD3: full features" } else { "WORKLOAD2: shading" }
+        ),
         &["dataset", "triangles", "serial FPS", "parallel FPS"],
     );
     let side = scale.image_side();
@@ -239,10 +242,8 @@ pub fn table8(scale: Scale) -> TextTable {
     // Keep a few oversubscribed entries even on small hosts so the table
     // always shows the scaling (or its absence) rather than a single row.
     let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let threads: Vec<usize> = vec![1, 2, 4, 8, 16, 24]
-        .into_iter()
-        .filter(|&t| t <= (4 * max_threads).max(4))
-        .collect();
+    let threads: Vec<usize> =
+        vec![1, 2, 4, 8, 16, 24].into_iter().filter(|&t| t <= (4 * max_threads).max(4)).collect();
     let mut t = TextTable::new(
         "Table 8: strong scaling of unstructured VR (Enzo-10M-like, close view, 1 pass)",
         &["threads", "raw time (s)", "total time (s) = raw * threads"],
@@ -447,7 +448,13 @@ pub fn table11(scale: Scale) -> TextTable {
             let tf = TransferFunction::sparse_features(range);
             let cam = Camera::close_view(&tets.bounds());
             let _ = render_unstructured(
-                &device, &tets, "e_p", &cam, side, side, &tf,
+                &device,
+                &tets,
+                "e_p",
+                &cam,
+                side,
+                side,
+                &tf,
                 &UvrConfig { depth_samples: 128, ..Default::default() },
             );
             vis_s += t1.elapsed().as_secs_f64();
@@ -575,7 +582,12 @@ pub fn table15(scale: Scale) -> TextTable {
         let task_side = ((side as f64 / scale.sqrt()) as u32).max(48);
         let task_spr = ((373.0 / scale) as u32).max(8);
         let local = perfmodel::study::run_one_with_samples(
-            &Device::parallel(), renderer, n, task_side, 0.75, task_spr,
+            &Device::parallel(),
+            renderer,
+            n,
+            task_side,
+            0.75,
+            task_spr,
         );
         // The paper's Titan table compares *rendering* time only — "our
         // compositing model is not appropriate at the scale of 1024 MPI
@@ -613,7 +625,10 @@ pub fn table16(scale: Scale) -> TextTable {
     let k = corpus.mapping_constants();
     let mut t = TextTable::new(
         "Table 16: mapping validation (predicted vs observed inputs and times)",
-        &["test", "renderer", "AP pred", "AP obs", "aux pred", "aux obs", "t(map)", "t(obs)", "t actual"],
+        &[
+            "test", "renderer", "AP pred", "AP obs", "aux pred", "aux obs", "t(map)", "t(obs)",
+            "t actual",
+        ],
     );
     let configs = [
         (RendererKind::VolumeRendering, 36usize, 200u32),
@@ -623,10 +638,8 @@ pub fn table16(scale: Scale) -> TextTable {
         (RendererKind::RayTracing, 30, 168),
         (RendererKind::Rasterization, 34, 280),
     ];
-    let sets: std::collections::HashMap<&str, perfmodel::feasibility::ModelSet> = DEVICES
-        .iter()
-        .map(|d| (*d, corpus.fit_models(d)))
-        .collect();
+    let sets: std::collections::HashMap<&str, perfmodel::feasibility::ModelSet> =
+        DEVICES.iter().map(|d| (*d, corpus.fit_models(d))).collect();
     for (i, (renderer, n, side)) in configs.iter().enumerate() {
         let device = if i % 2 == 0 { "parallel" } else { "serial" };
         let dev = if device == "parallel" { Device::parallel() } else { Device::Serial };
@@ -720,6 +733,58 @@ pub fn table17(scale: Scale) -> TextTable {
         "-".into(),
         "-".into(),
     ]);
+    t
+}
+
+/// Active-pixel compression report: what the run-length exchange saves over
+/// the dense exchange, per algorithm and rank count, on the study's synthetic
+/// sparse rank images. The paper's testbeds composited through IceT, whose
+/// run-length compression of inactive pixels this reproduces; both paths
+/// produce pixel-identical images, so the delta is pure wire savings.
+pub fn compression(scale: Scale) -> TextTable {
+    use compositing::{
+        binary_swap_opts, direct_send_opts, radix_k_opts, CompositeMode, ExchangeOptions,
+    };
+    use mpirt::NetModel;
+    use perfmodel::study::synth_rank_images;
+
+    let mut t = TextTable::new(
+        "Compression: dense vs run-length exchange (radix-k study images)",
+        &["tasks", "algorithm", "dense MB", "wire MB", "ratio", "dense sim s", "comp sim s"],
+    );
+    let side = match scale {
+        Scale::Quick => 128u32,
+        Scale::Full => 512,
+    };
+    let tasks_list: &[usize] = match scale {
+        Scale::Quick => &[8, 64],
+        Scale::Full => &[8, 64, 256, 1024],
+    };
+    type Exchange<'a> = Box<dyn Fn(ExchangeOptions) -> compositing::CompositeStats + 'a>;
+    let net = NetModel::cluster();
+    let mode = CompositeMode::AlphaOrdered;
+    for &tasks in tasks_list {
+        let images = synth_rank_images(tasks, side, 7);
+        let factors = compositing::algorithms::default_factors(tasks);
+        let algs: Vec<(&str, Exchange)> = vec![
+            ("direct send", Box::new(|o| direct_send_opts(&images, mode, net, o).1)),
+            ("binary swap", Box::new(|o| binary_swap_opts(&images, mode, net, o).1)),
+            ("radix-k", Box::new(|o| radix_k_opts(&images, mode, net, &factors, o).1)),
+        ];
+        for (name, run) in &algs {
+            let comp = run(ExchangeOptions::default());
+            let dense = run(ExchangeOptions::dense());
+            t.row(vec![
+                tasks.to_string(),
+                name.to_string(),
+                format!("{:.2}", dense.total_bytes as f64 / 1e6),
+                format!("{:.2}", comp.total_bytes as f64 / 1e6),
+                format!("{:.2}x", comp.compression_ratio()),
+                format!("{:.4}", dense.simulated_seconds),
+                format!("{:.4}", comp.simulated_seconds),
+            ]);
+        }
+    }
     t
 }
 
@@ -857,14 +922,18 @@ pub fn ablations(scale: Scale) -> TextTable {
     let cam = Camera::close_view(&tets.bounds());
     let tf = tet_tf(&tets).with_opacity_scale(3.0); // opaque enough to terminate
     let time_vr = |cfg: &UvrConfig| {
-        let _ = render_unstructured(&Device::parallel(), &tets, "scalar", &cam, side, side, &tf, cfg);
-        let out = render_unstructured(&Device::parallel(), &tets, "scalar", &cam, side, side, &tf, cfg)
-            .expect("render");
+        let _ =
+            render_unstructured(&Device::parallel(), &tets, "scalar", &cam, side, side, &tf, cfg);
+        let out =
+            render_unstructured(&Device::parallel(), &tets, "scalar", &cam, side, side, &tf, cfg)
+                .expect("render");
         out.stats.render_seconds
     };
     {
-        let off_cfg = UvrConfig { depth_samples: 256, early_termination: 1.1, ..Default::default() };
-        let on_cfg = UvrConfig { depth_samples: 256, early_termination: 0.98, ..Default::default() };
+        let off_cfg =
+            UvrConfig { depth_samples: 256, early_termination: 1.1, ..Default::default() };
+        let on_cfg =
+            UvrConfig { depth_samples: 256, early_termination: 0.98, ..Default::default() };
         let off = time_vr(&off_cfg);
         let on = time_vr(&on_cfg);
         t.row(vec![

@@ -14,11 +14,61 @@
 //! Rounds execute on the [`LockstepWorld`]: per rank we *measure* blending
 //! compute and *model* the wire (latency + bytes/bandwidth), advancing the
 //! simulated clock by the slowest rank per round.
+//!
+//! By default every exchange ships **run-length compressed** fragments
+//! ([`crate::rle::SpanImage`]) — IceT's active-pixel optimization — and the
+//! per-round compression ratio is recorded in [`CompositeStats`]. Pass
+//! [`ExchangeOptions`] with `compress: false` (via the `*_opts` entry
+//! points) for the dense exchange; both paths produce pixel-identical
+//! output, so the delta in `total_bytes`/`simulated_seconds` isolates what
+//! compression buys.
 
 use crate::image::{CompositeMode, RankImage};
+use crate::rle::SpanImage;
 use mpirt::{LockstepWorld, NetModel, RoundCost};
 use rayon::prelude::*;
 use std::time::Instant;
+
+/// Knobs for the round exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangeOptions {
+    /// Ship run-length-compressed fragments (active pixels only) instead of
+    /// dense partitions. On by default, as in IceT.
+    pub compress: bool,
+}
+
+impl Default for ExchangeOptions {
+    fn default() -> ExchangeOptions {
+        ExchangeOptions { compress: true }
+    }
+}
+
+impl ExchangeOptions {
+    /// The uncompressed exchange (for byte-accounting baselines).
+    pub fn dense() -> ExchangeOptions {
+        ExchangeOptions { compress: false }
+    }
+}
+
+/// Wire vs. would-have-been-dense bytes of one communication round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundBytes {
+    /// Bytes actually moved (compressed when compression is on).
+    pub wire_bytes: u64,
+    /// Bytes a dense exchange of the same partitions would have moved.
+    pub dense_bytes: u64,
+}
+
+impl RoundBytes {
+    /// Dense-to-wire ratio; 1.0 for an empty round.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.wire_bytes == 0 {
+            1.0
+        } else {
+            self.dense_bytes as f64 / self.wire_bytes as f64
+        }
+    }
+}
 
 /// Result record of one composite.
 #[derive(Debug, Clone)]
@@ -27,10 +77,27 @@ pub struct CompositeStats {
     pub simulated_seconds: f64,
     /// Total measured blending/assembly compute seconds across ranks.
     pub compute_seconds: f64,
-    /// Total bytes moved.
+    /// Total bytes moved on the (simulated) wire.
     pub total_bytes: u64,
+    /// Bytes the same rounds would have moved without compression; equals
+    /// `total_bytes` for a dense exchange.
+    pub dense_bytes: u64,
+    /// Per-round byte tallies, in execution order (fold round first for
+    /// non-power-of-two binary swap, final gather last).
+    pub per_round: Vec<RoundBytes>,
     /// Communication rounds (including the final gather).
     pub rounds: usize,
+}
+
+impl CompositeStats {
+    /// Overall dense-to-wire compression ratio (1.0 when nothing moved).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.total_bytes == 0 {
+            1.0
+        } else {
+            self.dense_bytes as f64 / self.total_bytes as f64
+        }
+    }
 }
 
 /// Serial reference: merge every rank image in visibility order.
@@ -43,6 +110,73 @@ pub fn reference(images: &[RankImage], mode: CompositeMode) -> RankImage {
     out
 }
 
+/// The representation a rank's in-flight fragment travels in: dense pixels
+/// or run-length spans. Both implement identical merge semantics, so the
+/// round loop is generic over the wire format.
+trait Fragment: Clone + Send + Sync {
+    fn from_image(img: &RankImage) -> Self;
+    fn slice(&self, start: usize, end: usize) -> Self;
+    fn merge_front(&mut self, front: &Self, mode: CompositeMode);
+    /// Bytes this whole fragment costs to send.
+    fn wire_bytes(&self, mode: CompositeMode) -> usize;
+    /// Bytes the sub-range `[start, end)` costs to send.
+    fn wire_bytes_range(&self, start: usize, end: usize, mode: CompositeMode) -> usize;
+    fn write_into(&self, out: &mut RankImage, start: usize);
+}
+
+impl Fragment for RankImage {
+    fn from_image(img: &RankImage) -> RankImage {
+        img.clone()
+    }
+
+    fn slice(&self, start: usize, end: usize) -> RankImage {
+        RankImage::slice(self, start, end)
+    }
+
+    fn merge_front(&mut self, front: &RankImage, mode: CompositeMode) {
+        RankImage::merge_front(self, front, mode)
+    }
+
+    fn wire_bytes(&self, mode: CompositeMode) -> usize {
+        self.num_pixels() * RankImage::bytes_per_pixel(mode)
+    }
+
+    fn wire_bytes_range(&self, start: usize, end: usize, mode: CompositeMode) -> usize {
+        (end - start) * RankImage::bytes_per_pixel(mode)
+    }
+
+    fn write_into(&self, out: &mut RankImage, start: usize) {
+        out.color[start..start + self.num_pixels()].copy_from_slice(&self.color);
+        out.depth[start..start + self.num_pixels()].copy_from_slice(&self.depth);
+    }
+}
+
+impl Fragment for SpanImage {
+    fn from_image(img: &RankImage) -> SpanImage {
+        SpanImage::encode(img)
+    }
+
+    fn slice(&self, start: usize, end: usize) -> SpanImage {
+        SpanImage::slice(self, start, end)
+    }
+
+    fn merge_front(&mut self, front: &SpanImage, mode: CompositeMode) {
+        SpanImage::merge_front(self, front, mode)
+    }
+
+    fn wire_bytes(&self, mode: CompositeMode) -> usize {
+        SpanImage::wire_bytes(self, mode)
+    }
+
+    fn wire_bytes_range(&self, start: usize, end: usize, mode: CompositeMode) -> usize {
+        SpanImage::slice(self, start, end).wire_bytes(mode)
+    }
+
+    fn write_into(&self, out: &mut RankImage, start: usize) {
+        SpanImage::write_into(self, out, start)
+    }
+}
+
 /// Direct send: every rank owns `1/P` of the pixels and receives that part
 /// from all other ranks in one round.
 pub fn direct_send(
@@ -50,7 +184,17 @@ pub fn direct_send(
     mode: CompositeMode,
     net: NetModel,
 ) -> (RankImage, CompositeStats) {
-    radix_k(images, mode, net, &[images.len()])
+    direct_send_opts(images, mode, net, ExchangeOptions::default())
+}
+
+/// [`direct_send`] with explicit exchange options.
+pub fn direct_send_opts(
+    images: &[RankImage],
+    mode: CompositeMode,
+    net: NetModel,
+    opts: ExchangeOptions,
+) -> (RankImage, CompositeStats) {
+    radix_k_opts(images, mode, net, &[images.len()], opts)
 }
 
 /// Binary swap: pairwise half-exchanges over log2(P) rounds. Non-power-of-two
@@ -63,14 +207,24 @@ pub fn binary_swap(
     mode: CompositeMode,
     net: NetModel,
 ) -> (RankImage, CompositeStats) {
+    binary_swap_opts(images, mode, net, ExchangeOptions::default())
+}
+
+/// [`binary_swap`] with explicit exchange options.
+pub fn binary_swap_opts(
+    images: &[RankImage],
+    mode: CompositeMode,
+    net: NetModel,
+    opts: ExchangeOptions,
+) -> (RankImage, CompositeStats) {
     let p = images.len();
     assert!(p > 0);
     if p.is_power_of_two() {
         let rounds = p.trailing_zeros() as usize;
         if rounds == 0 {
-            return radix_k(images, mode, net, &[1]);
+            return radix_k_opts(images, mode, net, &[1], opts);
         }
-        return radix_k(images, mode, net, &vec![2usize; rounds]);
+        return radix_k_opts(images, mode, net, &vec![2usize; rounds], opts);
     }
 
     // Fold: with m = p - pow2 extras, ranks 0..2m merge in adjacent pairs
@@ -86,14 +240,25 @@ pub fn binary_swap(
     let mut fold_compute = 0.0f64;
     for i in 0..m {
         let t0 = Instant::now();
+        // The odd member ships its whole image to the even member (active
+        // spans only when compression is on).
+        let sent = if opts.compress {
+            SpanImage::encode(&images[2 * i + 1]).wire_bytes(mode)
+        } else {
+            n_px * bpp
+        };
         let mut back = images[2 * i + 1].clone();
         back.merge_front(&images[2 * i], mode);
         let dt = t0.elapsed().as_secs_f64();
         fold_compute += dt;
-        // The odd member ships its whole image to the even member.
-        fold_costs[2 * i + 1] =
-            mpirt::RoundCost { compute_s: 0.0, bytes_sent: n_px * bpp, messages: 1 };
-        fold_costs[2 * i] = mpirt::RoundCost { compute_s: dt, bytes_sent: 0, messages: 0 };
+        fold_costs[2 * i + 1] = mpirt::RoundCost {
+            compute_s: 0.0,
+            bytes_sent: sent,
+            bytes_dense: n_px * bpp,
+            messages: 1,
+        };
+        fold_costs[2 * i] =
+            mpirt::RoundCost { compute_s: dt, bytes_sent: 0, bytes_dense: 0, messages: 0 };
         folded.push(back);
     }
     folded.extend(images[2 * m..].iter().cloned());
@@ -102,16 +267,24 @@ pub fn binary_swap(
 
     let rounds = pow2.trailing_zeros() as usize;
     let (img, swap_stats) = if rounds == 0 {
-        radix_k(&folded, mode, net, &[1])
+        radix_k_opts(&folded, mode, net, &[1], opts)
     } else {
-        radix_k(&folded, mode, net, &vec![2usize; rounds])
+        radix_k_opts(&folded, mode, net, &vec![2usize; rounds], opts)
     };
+    let mut per_round: Vec<RoundBytes> = world
+        .round_bytes
+        .iter()
+        .map(|&(w, d)| RoundBytes { wire_bytes: w, dense_bytes: d })
+        .collect();
+    per_round.extend(swap_stats.per_round.iter().copied());
     (
         img,
         CompositeStats {
             simulated_seconds: world.elapsed_s + swap_stats.simulated_seconds,
             compute_seconds: fold_compute + swap_stats.compute_seconds,
             total_bytes: world.total_bytes + swap_stats.total_bytes,
+            dense_bytes: world.dense_bytes + swap_stats.dense_bytes,
+            per_round,
             rounds: 1 + swap_stats.rounds,
         },
     )
@@ -139,10 +312,10 @@ pub fn default_factors(p: usize) -> Vec<usize> {
 /// One rank's in-flight state: the pixel range it currently owns and the
 /// composited fragment for that range.
 #[derive(Clone)]
-struct RankState {
+struct RankState<F> {
     start: usize,
     end: usize,
-    frag: RankImage,
+    frag: F,
 }
 
 /// General radix-k compositing. `factors` must multiply to `images.len()`.
@@ -153,13 +326,33 @@ pub fn radix_k(
     net: NetModel,
     factors: &[usize],
 ) -> (RankImage, CompositeStats) {
+    radix_k_opts(images, mode, net, factors, ExchangeOptions::default())
+}
+
+/// [`radix_k`] with explicit exchange options.
+pub fn radix_k_opts(
+    images: &[RankImage],
+    mode: CompositeMode,
+    net: NetModel,
+    factors: &[usize],
+    opts: ExchangeOptions,
+) -> (RankImage, CompositeStats) {
+    if opts.compress {
+        run_radix::<SpanImage>(images, mode, net, factors)
+    } else {
+        run_radix::<RankImage>(images, mode, net, factors)
+    }
+}
+
+fn run_radix<F: Fragment>(
+    images: &[RankImage],
+    mode: CompositeMode,
+    net: NetModel,
+    factors: &[usize],
+) -> (RankImage, CompositeStats) {
     let p = images.len();
     assert!(p > 0);
-    assert_eq!(
-        factors.iter().product::<usize>(),
-        p,
-        "factors {factors:?} do not multiply to {p}"
-    );
+    assert_eq!(factors.iter().product::<usize>(), p, "factors {factors:?} do not multiply to {p}");
     let width = images[0].width;
     let height = images[0].height;
     let n_px = images[0].num_pixels();
@@ -168,10 +361,13 @@ pub fn radix_k(
     let mut world = LockstepWorld::new(p, net);
     let mut compute_total = 0.0f64;
 
-    let mut states: Vec<RankState> = images
+    // Initial (compressed) fragment construction is compute the ranks do.
+    let t_init = Instant::now();
+    let mut states: Vec<RankState<F>> = images
         .iter()
-        .map(|img| RankState { start: 0, end: n_px, frag: img.clone() })
+        .map(|img| RankState { start: 0, end: n_px, frag: F::from_image(img) })
         .collect();
+    compute_total += t_init.elapsed().as_secs_f64();
 
     let mut stride = 1usize;
     for &k in factors {
@@ -181,7 +377,7 @@ pub fn radix_k(
         // Execute the round: every rank keeps part `d` of its range and
         // merges the same part from its k-1 group partners (digit order =
         // visibility order of the accumulated contiguous blocks).
-        let results: Vec<(RankState, RoundCost, f64)> = (0..p)
+        let results: Vec<(RankState<F>, RoundCost, f64)> = (0..p)
             .into_par_iter()
             .map(|r| {
                 let d = (r / stride) % k;
@@ -194,7 +390,7 @@ pub fn radix_k(
                 let (ps, pe) = part(d);
                 let t0 = Instant::now();
                 // Merge members front (digit 0) to back (digit k-1).
-                let mut frag: Option<RankImage> = None;
+                let mut frag: Option<F> = None;
                 for j in 0..k {
                     let member = group_base + j * stride;
                     let ms = &states[member];
@@ -220,18 +416,25 @@ pub fn radix_k(
                         }
                     });
                 }
+                // Wire bytes: this rank sends its own fragment's other k-1
+                // parts (compressed sizing included in the timed window — it
+                // is the packing cost).
+                let mut wire = 0usize;
+                for j in 0..k {
+                    if j != d {
+                        let (s, e) = part(j);
+                        wire += my.frag.wire_bytes_range(s - my.start, e - my.start, mode);
+                    }
+                }
                 let compute = t0.elapsed().as_secs_f64();
                 let sent_pixels = len - (pe - ps);
                 let cost = RoundCost {
                     compute_s: compute,
-                    bytes_sent: sent_pixels * bpp,
+                    bytes_sent: wire,
+                    bytes_dense: sent_pixels * bpp,
                     messages: k - 1,
                 };
-                (
-                    RankState { start: ps, end: pe, frag: frag.unwrap() },
-                    cost,
-                    compute,
-                )
+                (RankState { start: ps, end: pe, frag: frag.unwrap() }, cost, compute)
             })
             .collect();
         let costs: Vec<RoundCost> = results.iter().map(|r| r.1).collect();
@@ -247,34 +450,45 @@ pub fn radix_k(
     let t0 = Instant::now();
     let mut full = RankImage::empty(width, height);
     for st in &states {
-        full.color[st.start..st.end].copy_from_slice(&st.frag.color);
-        full.depth[st.start..st.end].copy_from_slice(&st.frag.depth);
+        st.frag.write_into(&mut full, st.start);
     }
     let assemble = t0.elapsed().as_secs_f64();
     compute_total += assemble;
     let mut gather_costs = vec![RoundCost::default(); p];
+    let mut incoming_wire = 0usize;
     for (r, st) in states.iter().enumerate() {
         if r != 0 {
+            let wire = st.frag.wire_bytes(mode);
+            incoming_wire += wire;
             gather_costs[r] = RoundCost {
                 compute_s: 0.0,
-                bytes_sent: (st.end - st.start) * bpp,
+                bytes_sent: wire,
+                bytes_dense: (st.end - st.start) * bpp,
                 messages: 1,
             };
         }
     }
     gather_costs[0] = RoundCost {
         compute_s: assemble,
-        bytes_sent: n_px.saturating_sub(states[0].end - states[0].start) * bpp,
+        bytes_sent: incoming_wire,
+        bytes_dense: n_px.saturating_sub(states[0].end - states[0].start) * bpp,
         messages: p.saturating_sub(1),
     };
     world.finish_round(&gather_costs);
 
+    let per_round = world
+        .round_bytes
+        .iter()
+        .map(|&(w, d)| RoundBytes { wire_bytes: w, dense_bytes: d })
+        .collect();
     (
         full,
         CompositeStats {
             simulated_seconds: world.elapsed_s,
             compute_seconds: compute_total,
             total_bytes: world.total_bytes,
+            dense_bytes: world.dense_bytes,
+            per_round,
             rounds: world.rounds,
         },
     )
@@ -317,12 +531,8 @@ mod tests {
             let expect = reference(&imgs, CompositeMode::ZBuffer);
             let (ds, _) = direct_send(&imgs, CompositeMode::ZBuffer, NetModel::zero());
             assert!(ds.max_color_diff(&expect) < 1e-6, "direct send p={p}");
-            let (rk, _) = radix_k(
-                &imgs,
-                CompositeMode::ZBuffer,
-                NetModel::zero(),
-                &default_factors(p),
-            );
+            let (rk, _) =
+                radix_k(&imgs, CompositeMode::ZBuffer, NetModel::zero(), &default_factors(p));
             assert!(rk.max_color_diff(&expect) < 1e-6, "radix-k p={p}");
             let (bs, _) = binary_swap(&imgs, CompositeMode::ZBuffer, NetModel::zero());
             assert!(bs.max_color_diff(&expect) < 1e-6, "binary swap p={p}");
@@ -336,12 +546,8 @@ mod tests {
             let expect = reference(&imgs, CompositeMode::AlphaOrdered);
             let (ds, _) = direct_send(&imgs, CompositeMode::AlphaOrdered, NetModel::zero());
             assert!(ds.max_color_diff(&expect) < 2e-5, "direct send p={p}");
-            let (rk, _) = radix_k(
-                &imgs,
-                CompositeMode::AlphaOrdered,
-                NetModel::zero(),
-                &default_factors(p),
-            );
+            let (rk, _) =
+                radix_k(&imgs, CompositeMode::AlphaOrdered, NetModel::zero(), &default_factors(p));
             assert!(rk.max_color_diff(&expect) < 2e-5, "radix-k p={p}");
             let (bs, _) = binary_swap(&imgs, CompositeMode::AlphaOrdered, NetModel::zero());
             assert!(bs.max_color_diff(&expect) < 2e-5, "binary swap p={p}");
@@ -387,5 +593,63 @@ mod tests {
         let (out, st) = direct_send(&imgs, CompositeMode::ZBuffer, NetModel::cluster());
         assert!(out.max_color_diff(&imgs[0]) < 1e-7);
         assert_eq!(st.total_bytes, 0);
+        assert_eq!(st.dense_bytes, 0);
+    }
+
+    /// Compressed (default) and dense exchanges must agree bit-for-bit.
+    #[test]
+    fn compressed_and_dense_outputs_are_pixel_identical() {
+        for p in [2usize, 4, 6, 12] {
+            let imgs = make_images(p, 16, 9, 77 + p as u64);
+            for mode in [CompositeMode::ZBuffer, CompositeMode::AlphaOrdered] {
+                let factors = default_factors(p);
+                let (c, cs) = radix_k_opts(
+                    &imgs,
+                    mode,
+                    NetModel::cluster(),
+                    &factors,
+                    ExchangeOptions::default(),
+                );
+                let (d, ds) = radix_k_opts(
+                    &imgs,
+                    mode,
+                    NetModel::cluster(),
+                    &factors,
+                    ExchangeOptions::dense(),
+                );
+                assert_eq!(c.max_color_diff(&d), 0.0, "p={p} {mode:?}");
+                for i in 0..c.depth.len() {
+                    assert!(c.depth[i] == d.depth[i], "depth {i} p={p} {mode:?}");
+                }
+                // Dense accounting must match regardless of representation.
+                assert_eq!(cs.dense_bytes, ds.dense_bytes, "p={p} {mode:?}");
+                assert_eq!(ds.total_bytes, ds.dense_bytes, "dense path is dense");
+            }
+        }
+    }
+
+    /// Sparse bands compress; the wire total must drop accordingly and the
+    /// per-round records must sum to the totals.
+    #[test]
+    fn sparse_images_compress_on_the_wire() {
+        let imgs = make_images(8, 32, 32, 21);
+        let factors = default_factors(8);
+        let mode = CompositeMode::ZBuffer;
+        let (_, comp) =
+            radix_k_opts(&imgs, mode, NetModel::cluster(), &factors, ExchangeOptions::default());
+        let (_, dense) =
+            radix_k_opts(&imgs, mode, NetModel::cluster(), &factors, ExchangeOptions::dense());
+        assert!(
+            comp.total_bytes < dense.total_bytes,
+            "{} vs {}",
+            comp.total_bytes,
+            dense.total_bytes
+        );
+        assert!(comp.compression_ratio() > 1.0);
+        assert_eq!(comp.per_round.len(), comp.rounds);
+        let wire_sum: u64 = comp.per_round.iter().map(|r| r.wire_bytes).sum();
+        let dense_sum: u64 = comp.per_round.iter().map(|r| r.dense_bytes).sum();
+        assert_eq!(wire_sum, comp.total_bytes);
+        assert_eq!(dense_sum, comp.dense_bytes);
     }
 }

@@ -41,11 +41,7 @@ impl RankImage {
     /// Count pixels carrying a fragment (the per-rank *active pixels* input
     /// of the compositing model).
     pub fn active_pixels(&self) -> usize {
-        self.color
-            .iter()
-            .zip(self.depth.iter())
-            .filter(|(c, d)| c.a > 0.0 || d.is_finite())
-            .count()
+        self.color.iter().zip(self.depth.iter()).filter(|(c, d)| c.a > 0.0 || d.is_finite()).count()
     }
 
     /// Bytes one pixel costs on the wire for the given mode (RGBA f32, plus

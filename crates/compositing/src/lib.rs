@@ -15,9 +15,19 @@
 //! are simulated with measured compute and modeled transfer time:
 //! [`direct_send`], [`binary_swap`], and [`radix_k`] (direct send == radix-k
 //! with one factor P; binary swap == radix-k with factors all 2).
+//!
+//! Exchanges ship run-length-compressed active-pixel spans ([`SpanImage`])
+//! by default, mirroring IceT's compression of background pixels; pass
+//! [`ExchangeOptions::dense`] to the `*_opts` variants to measure the
+//! uncompressed exchange. Both produce pixel-identical output.
 
 pub mod algorithms;
 pub mod image;
+pub mod rle;
 
-pub use algorithms::{binary_swap, direct_send, radix_k, reference, CompositeStats};
+pub use algorithms::{
+    binary_swap, binary_swap_opts, direct_send, direct_send_opts, radix_k, radix_k_opts, reference,
+    CompositeStats, ExchangeOptions, RoundBytes,
+};
 pub use image::{CompositeMode, RankImage};
+pub use rle::SpanImage;

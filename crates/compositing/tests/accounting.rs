@@ -1,0 +1,120 @@
+//! Byte-accounting guarantees of the compressed exchange: compression must
+//! strictly shrink the wire for mostly-background images, cost exactly the
+//! dense bytes for fully-active images (the raw fallback), and never change
+//! the simulated-clock rules (latency on messages, bytes over bandwidth).
+
+use compositing::{
+    binary_swap_opts, direct_send_opts, radix_k_opts, CompositeMode, ExchangeOptions, RankImage,
+};
+use mpirt::NetModel;
+use vecmath::Color;
+
+/// `p` rank images with exactly `active` payload pixels each (at staggered
+/// offsets so overlap patterns vary), the rest background.
+fn images_with_active(p: usize, w: u32, h: u32, active: usize) -> Vec<RankImage> {
+    (0..p)
+        .map(|r| {
+            let mut img = RankImage::empty(w, h);
+            let n = img.num_pixels();
+            for k in 0..active.min(n) {
+                let i = (k + r * 17) % n;
+                let a = 0.25 + 0.5 * ((k % 7) as f32 / 7.0);
+                img.color[i] = Color::new(0.6 * a, 0.3 * a, 0.1 * a, a);
+                img.depth[i] = r as f32 + (k % 5) as f32 * 0.1;
+            }
+            img
+        })
+        .collect()
+}
+
+#[test]
+fn mostly_background_strictly_decreases_total_bytes() {
+    // ~6% active pixels: every algorithm must move strictly fewer bytes
+    // compressed than dense, in both merge modes.
+    let imgs = images_with_active(8, 32, 32, 64);
+    let factors = compositing::algorithms::default_factors(8);
+    for mode in [CompositeMode::ZBuffer, CompositeMode::AlphaOrdered] {
+        for (name, comp, dense) in [
+            (
+                "direct_send",
+                direct_send_opts(&imgs, mode, NetModel::cluster(), ExchangeOptions::default()).1,
+                direct_send_opts(&imgs, mode, NetModel::cluster(), ExchangeOptions::dense()).1,
+            ),
+            (
+                "binary_swap",
+                binary_swap_opts(&imgs, mode, NetModel::cluster(), ExchangeOptions::default()).1,
+                binary_swap_opts(&imgs, mode, NetModel::cluster(), ExchangeOptions::dense()).1,
+            ),
+            (
+                "radix_k",
+                radix_k_opts(
+                    &imgs,
+                    mode,
+                    NetModel::cluster(),
+                    &factors,
+                    ExchangeOptions::default(),
+                )
+                .1,
+                radix_k_opts(&imgs, mode, NetModel::cluster(), &factors, ExchangeOptions::dense())
+                    .1,
+            ),
+        ] {
+            assert!(
+                comp.total_bytes < dense.total_bytes,
+                "{name} {mode:?}: {} !< {}",
+                comp.total_bytes,
+                dense.total_bytes
+            );
+            // Dense accounting is representation-independent.
+            assert_eq!(comp.dense_bytes, dense.total_bytes, "{name} {mode:?}");
+            assert!(comp.compression_ratio() > 1.0, "{name} {mode:?}");
+        }
+    }
+}
+
+#[test]
+fn fully_active_images_cost_exactly_dense_bytes() {
+    // Every pixel carries payload: the raw fallback must make the compressed
+    // exchange byte-identical to the dense one.
+    let n_px = 24 * 24;
+    let imgs = images_with_active(8, 24, 24, n_px);
+    for img in &imgs {
+        assert_eq!(img.active_pixels(), n_px);
+    }
+    let factors = compositing::algorithms::default_factors(8);
+    for mode in [CompositeMode::ZBuffer, CompositeMode::AlphaOrdered] {
+        let (_, comp) =
+            radix_k_opts(&imgs, mode, NetModel::cluster(), &factors, ExchangeOptions::default());
+        let (_, dense) =
+            radix_k_opts(&imgs, mode, NetModel::cluster(), &factors, ExchangeOptions::dense());
+        assert_eq!(comp.total_bytes, dense.total_bytes, "{mode:?}");
+        assert_eq!(comp.dense_bytes, comp.total_bytes, "{mode:?}");
+        assert!((comp.compression_ratio() - 1.0).abs() < 1e-12, "{mode:?}");
+    }
+}
+
+#[test]
+fn simulated_time_tracks_wire_bytes() {
+    // On a slow interconnect (1 MB/s) wire time dwarfs measured compute, so
+    // the exchange that moves fewer bytes must finish sooner on the
+    // simulated clock — this is the whole point of compressing.
+    let imgs = images_with_active(8, 48, 48, 96);
+    let net = NetModel { latency_s: 0.0, bandwidth_bps: 1e6 };
+    let factors = compositing::algorithms::default_factors(8);
+    let mode = CompositeMode::ZBuffer;
+    let (_, comp) = radix_k_opts(&imgs, mode, net, &factors, ExchangeOptions::default());
+    let (_, dense) = radix_k_opts(&imgs, mode, net, &factors, ExchangeOptions::dense());
+    assert!(comp.total_bytes < dense.total_bytes);
+    assert!(
+        comp.simulated_seconds < dense.simulated_seconds,
+        "compressed {} s !< dense {} s",
+        comp.simulated_seconds,
+        dense.simulated_seconds
+    );
+    // Per-round records: wire never exceeds dense, and both sum to totals.
+    for (i, r) in comp.per_round.iter().enumerate() {
+        assert!(r.wire_bytes <= r.dense_bytes, "round {i}");
+    }
+    assert_eq!(comp.per_round.iter().map(|r| r.wire_bytes).sum::<u64>(), comp.total_bytes);
+    assert_eq!(comp.per_round.iter().map(|r| r.dense_bytes).sum::<u64>(), comp.dense_bytes);
+}

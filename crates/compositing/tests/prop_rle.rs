@@ -1,0 +1,119 @@
+//! Property tests for the run-length active-pixel codec: the compressed
+//! representation must be information-lossless and its compositing operators
+//! bit-exact against the dense oracle, for arbitrary images — including the
+//! adversarial payloads (zero-alpha colored pixels, active pixels with
+//! infinite depth) that a naive "active == visible" predicate would drop.
+
+use compositing::rle::composite;
+use compositing::{CompositeMode, RankImage, SpanImage};
+use proptest::prelude::*;
+use vecmath::Color;
+
+/// Pixel descriptor: selector picks background or one of three active
+/// flavors, exercising every codec edge case.
+type Px = (u8, f32, f32);
+
+fn build_image(w: u32, h: u32, pixels: &[Px]) -> RankImage {
+    let mut img = RankImage::empty(w, h);
+    if pixels.is_empty() {
+        return img;
+    }
+    for i in 0..img.num_pixels() {
+        let (sel, a, d) = pixels[i % pixels.len()];
+        match sel % 4 {
+            0 => {} // background
+            1 => {
+                // Ordinary premultiplied fragment.
+                img.color[i] = Color::new(0.8 * a, 0.5 * a, 0.25 * a, a);
+                img.depth[i] = d;
+            }
+            2 => {
+                // Zero-alpha but colored: payload the codec must not drop.
+                img.color[i] = Color::new(a, 0.0, a * 0.5, 0.0);
+                img.depth[i] = d;
+            }
+            _ => {
+                // Colored but infinitely deep: loses every z test, yet is
+                // not background.
+                img.color[i] = Color::new(0.1, 0.2, 0.3, a.max(0.05));
+                img.depth[i] = f32::INFINITY;
+            }
+        }
+    }
+    img
+}
+
+fn assert_bit_exact(a: &RankImage, b: &RankImage) -> Result<(), String> {
+    prop_assert_eq!(a.color.len(), b.color.len());
+    for i in 0..a.color.len() {
+        prop_assert!(a.color[i] == b.color[i], "color {}: {:?} vs {:?}", i, a.color[i], b.color[i]);
+        prop_assert!(a.depth[i] == b.depth[i], "depth {}: {} vs {}", i, a.depth[i], b.depth[i]);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_decode_is_identity(
+        w in 1u32..12,
+        h in 1u32..8,
+        pixels in proptest::collection::vec((0u8..8, 0.0f32..1.0, 0.0f32..10.0), 0..96)
+    ) {
+        let img = build_image(w, h, &pixels);
+        let span = SpanImage::encode(&img);
+        prop_assert_eq!(span.num_pixels(), img.num_pixels());
+        assert_bit_exact(&span.decode(), &img)?;
+    }
+
+    #[test]
+    fn wire_bytes_never_exceed_dense(
+        w in 1u32..12,
+        h in 1u32..8,
+        pixels in proptest::collection::vec((0u8..8, 0.0f32..1.0, 0.0f32..10.0), 0..96)
+    ) {
+        let img = build_image(w, h, &pixels);
+        let span = SpanImage::encode(&img);
+        for mode in [CompositeMode::ZBuffer, CompositeMode::AlphaOrdered] {
+            let dense = img.num_pixels() * RankImage::bytes_per_pixel(mode);
+            prop_assert!(span.wire_bytes(mode) <= dense);
+        }
+    }
+
+    #[test]
+    fn sparse_merge_equals_dense_merge(
+        w in 1u32..12,
+        h in 1u32..8,
+        front_px in proptest::collection::vec((0u8..8, 0.0f32..1.0, 0.0f32..10.0), 0..96),
+        back_px in proptest::collection::vec((0u8..8, 0.0f32..1.0, 0.0f32..10.0), 0..96)
+    ) {
+        let front = build_image(w, h, &front_px);
+        let back = build_image(w, h, &back_px);
+        for mode in [CompositeMode::ZBuffer, CompositeMode::AlphaOrdered] {
+            let mut dense = back.clone();
+            dense.merge_front(&front, mode);
+            let merged = composite(&SpanImage::encode(&front), &SpanImage::encode(&back), mode);
+            assert_bit_exact(&merged.decode(), &dense)?;
+        }
+    }
+
+    #[test]
+    fn slice_commutes_with_decode(
+        w in 1u32..12,
+        h in 1u32..8,
+        pixels in proptest::collection::vec((0u8..8, 0.0f32..1.0, 0.0f32..10.0), 0..96),
+        cut_a in 0usize..96,
+        cut_b in 0usize..96
+    ) {
+        let img = build_image(w, h, &pixels);
+        let n = img.num_pixels();
+        let (s, e) = {
+            let a = cut_a % (n + 1);
+            let b = cut_b % (n + 1);
+            (a.min(b), a.max(b))
+        };
+        let span = SpanImage::encode(&img);
+        assert_bit_exact(&span.slice(s, e).decode(), &img.slice(s, e))?;
+    }
+}

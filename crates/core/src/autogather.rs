@@ -98,11 +98,8 @@ impl PhaseModelBuilder {
     /// Fit every phase with enough data, ranked by mean cost (the phases the
     /// visualization community should "focus their effort" on, per §6.2).
     pub fn fit_all(&self) -> Vec<PhaseModel> {
-        let mut out: Vec<PhaseModel> = self
-            .observations
-            .keys()
-            .filter_map(|p| self.fit_phase(p))
-            .collect();
+        let mut out: Vec<PhaseModel> =
+            self.observations.keys().filter_map(|p| self.fit_phase(p)).collect();
         out.sort_by(|a, b| b.mean_seconds.partial_cmp(&a.mean_seconds).unwrap());
         out
     }
@@ -114,12 +111,9 @@ impl PhaseModelBuilder {
             .iter()
             .map(|(phase, work)| match self.fit_phase(phase) {
                 Some(m) => m.predict(*work),
-                None => self
-                    .observations
-                    .get(*phase)
-                    .map_or(0.0, |obs| {
-                        obs.iter().map(|o| o.seconds).sum::<f64>() / obs.len().max(1) as f64
-                    }),
+                None => self.observations.get(*phase).map_or(0.0, |obs| {
+                    obs.iter().map(|o| o.seconds).sum::<f64>() / obs.len().max(1) as f64
+                }),
             })
             .sum()
     }
@@ -212,7 +206,13 @@ mod tests {
         for side in [24u32, 32, 40, 48] {
             let cam = Camera::close_view(&tets.bounds());
             let out = render_unstructured(
-                &Device::Serial, &tets, "scalar", &cam, side, side, &tf,
+                &Device::Serial,
+                &tets,
+                "scalar",
+                &cam,
+                side,
+                side,
+                &tf,
                 &UvrConfig { depth_samples: 48, ..Default::default() },
             )
             .unwrap();

@@ -16,10 +16,8 @@ pub fn k_fold(xs: &[Vec<f64>], ys: &[f64], k: usize) -> Vec<CvPair> {
     let k = k.max(2).min(n.max(2));
     let mut out = vec![(0.0, 0.0); n];
     for fold in 0..k {
-        let train_x: Vec<Vec<f64>> = (0..n)
-            .filter(|i| i % k != fold)
-            .map(|i| xs[i].clone())
-            .collect();
+        let train_x: Vec<Vec<f64>> =
+            (0..n).filter(|i| i % k != fold).map(|i| xs[i].clone()).collect();
         let train_y: Vec<f64> = (0..n).filter(|i| i % k != fold).map(|i| ys[i]).collect();
         if train_x.is_empty() || train_x.len() < train_x[0].len() {
             continue;

@@ -123,11 +123,9 @@ impl AdaptivePlanner {
     /// (largest image; ties broken by speed). `None` if nothing fits.
     pub fn plan(&self, cells_per_task: usize, tasks: usize, c: &Constraints) -> Option<Plan> {
         let mut best: Option<Plan> = None;
-        for renderer in [
-            RendererKind::RayTracing,
-            RendererKind::Rasterization,
-            RendererKind::VolumeRendering,
-        ] {
+        for renderer in
+            [RendererKind::RayTracing, RendererKind::Rasterization, RendererKind::VolumeRendering]
+        {
             // Binary search the largest feasible image side.
             let feasible = |side: u32| -> Option<Plan> {
                 let cfg = RenderConfig {

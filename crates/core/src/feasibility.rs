@@ -180,8 +180,13 @@ mod tests {
         let set = toy_models();
         let k = MappingConstants::default();
         let curve = images_in_budget(
-            &set, &k, RendererKind::RayTracing, 200, 32,
-            &[512, 1024, 2048, 4096], 60.0,
+            &set,
+            &k,
+            RendererKind::RayTracing,
+            200,
+            32,
+            &[512, 1024, 2048, 4096],
+            60.0,
         );
         assert_eq!(curve.len(), 4);
         for w in curve.windows(2) {
@@ -196,10 +201,7 @@ mod tests {
         let k = MappingConstants::default();
         let map = rt_vs_rast_map(&set, &k, 32, 100, &[384, 4096], &[100, 500]);
         let get = |side: u32, n: usize| {
-            map.iter()
-                .find(|c| c.image_side == side && c.cells_per_task == n)
-                .unwrap()
-                .rt_over_rast
+            map.iter().find(|c| c.image_side == side && c.cells_per_task == n).unwrap().rt_over_rast
         };
         // Heavier geometry with few pixels: ray tracing relatively better.
         assert!(

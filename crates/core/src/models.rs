@@ -132,11 +132,7 @@ impl ModelForm for VrModel {
     }
 
     fn features(&self, s: &RenderSample) -> Vec<f64> {
-        vec![
-            s.active_pixels * s.cells_spanned,
-            s.active_pixels * s.samples_per_ray,
-            1.0,
-        ]
+        vec![s.active_pixels * s.cells_spanned, s.active_pixels * s.samples_per_ray, 1.0]
     }
 
     fn feature_names(&self) -> Vec<&'static str> {

@@ -67,15 +67,11 @@ fn parse_model(parts: &[&str]) -> Result<FittedLinearModel, ParseError> {
         "compositing" => "compositing",
         other => return Err(ParseError(format!("unknown model name {other}"))),
     };
-    let coeffs: Result<Vec<f64>, _> = field(parts, "coeffs")?
-        .split(';')
-        .map(|c| c.parse::<f64>())
-        .collect();
+    let coeffs: Result<Vec<f64>, _> =
+        field(parts, "coeffs")?.split(';').map(|c| c.parse::<f64>()).collect();
     let coeffs = coeffs.map_err(|e| ParseError(format!("bad coefficient: {e}")))?;
     let parse_f = |key: &str| -> Result<f64, ParseError> {
-        field(parts, key)?
-            .parse()
-            .map_err(|e| ParseError(format!("bad {key}: {e}")))
+        field(parts, key)?.parse().map_err(|e| ParseError(format!("bad {key}: {e}")))
     };
     Ok(FittedLinearModel {
         name,
@@ -106,9 +102,7 @@ pub fn from_text(text: &str) -> Result<(ModelSet, MappingConstants), ParseError>
             }
             "mapping" => {
                 let pf = |key: &str| -> Result<f64, ParseError> {
-                    field(&parts, key)?
-                        .parse()
-                        .map_err(|e| ParseError(format!("bad {key}: {e}")))
+                    field(&parts, key)?.parse().map_err(|e| ParseError(format!("bad {key}: {e}")))
                 };
                 k = MappingConstants {
                     ap_fill: pf("ap_fill")?,
@@ -152,7 +146,9 @@ pub fn save(path: &std::path::Path, set: &ModelSet, k: &MappingConstants) -> std
 }
 
 /// Load from a file.
-pub fn load(path: &std::path::Path) -> Result<(ModelSet, MappingConstants), Box<dyn std::error::Error>> {
+pub fn load(
+    path: &std::path::Path,
+) -> Result<(ModelSet, MappingConstants), Box<dyn std::error::Error>> {
     let text = std::fs::read_to_string(path)?;
     Ok(from_text(&text)?)
 }
@@ -200,10 +196,7 @@ mod tests {
             pixels: 1 << 20,
             tasks: 16,
         };
-        assert_eq!(
-            set.predict_frame_seconds(&cfg, &k),
-            set2.predict_frame_seconds(&cfg, &k2)
-        );
+        assert_eq!(set.predict_frame_seconds(&cfg, &k), set2.predict_frame_seconds(&cfg, &k2));
     }
 
     #[test]

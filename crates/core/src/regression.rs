@@ -65,12 +65,7 @@ impl LinearRegression {
         }
         let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
         let dof = (n as f64 - k as f64).max(1.0);
-        LinearRegression {
-            coeffs,
-            r_squared,
-            residual_std: (ss_res / dof).sqrt(),
-            n,
-        }
+        LinearRegression { coeffs, r_squared, residual_std: (ss_res / dof).sqrt(), n }
     }
 
     /// Predict for one feature row.
@@ -175,11 +170,7 @@ mod tests {
     #[test]
     fn degenerate_column_dropped() {
         // Second feature is all zeros.
-        let xs = vec![
-            vec![1.0, 0.0, 1.0],
-            vec![2.0, 0.0, 1.0],
-            vec![3.0, 0.0, 1.0],
-        ];
+        let xs = vec![vec![1.0, 0.0, 1.0], vec![2.0, 0.0, 1.0], vec![3.0, 0.0, 1.0]];
         let ys = vec![2.0, 4.0, 6.0];
         let fit = LinearRegression::fit(&xs, &ys);
         assert!((fit.coeffs[0] - 2.0).abs() < 1e-9);

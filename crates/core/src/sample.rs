@@ -212,7 +212,9 @@ mod tests {
 
     #[test]
     fn renderer_names_round_trip() {
-        for k in [RendererKind::RayTracing, RendererKind::Rasterization, RendererKind::VolumeRendering] {
+        for k in
+            [RendererKind::RayTracing, RendererKind::Rasterization, RendererKind::VolumeRendering]
+        {
             assert_eq!(RendererKind::parse(k.name()), Some(k));
         }
         assert_eq!(RendererKind::parse("quantum"), None);

@@ -78,17 +78,16 @@ impl AccuracySummary {
         if n == 0 {
             return AccuracySummary::default();
         }
-        let errs: Vec<f64> = pairs
-            .iter()
-            .map(|&(a, p)| relative_error_pct(a, p))
-            .collect();
+        let errs: Vec<f64> = pairs.iter().map(|&(a, p)| relative_error_pct(a, p)).collect();
         let frac = |limit: f64| errs.iter().filter(|&&e| e <= limit).count() as f64 / n as f64;
         AccuracySummary {
             within_50: frac(50.0) * 100.0,
             within_25: frac(25.0) * 100.0,
             within_10: frac(10.0) * 100.0,
             within_5: frac(5.0) * 100.0,
-            mean_error_pct: mean(&errs.iter().copied().filter(|e| e.is_finite()).collect::<Vec<_>>()),
+            mean_error_pct: mean(
+                &errs.iter().copied().filter(|e| e.is_finite()).collect::<Vec<_>>(),
+            ),
             n,
         }
     }

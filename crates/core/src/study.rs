@@ -91,14 +91,7 @@ pub fn run_render_study(
         let n = cells[i].round() as usize;
         let side = sides[i].round() as u32;
         let fill = fills[i] as f32;
-        out.push(run_one_with_samples(
-            device,
-            renderer,
-            n,
-            side,
-            fill,
-            sprs[i].round() as u32,
-        ));
+        out.push(run_one_with_samples(device, renderer, n, side, fill, sprs[i].round() as u32));
     }
     out
 }
@@ -232,17 +225,15 @@ pub fn run_composite_study(
     for &tasks in tasks_list {
         for &side in sides {
             let images = synth_rank_images(tasks, side, seed ^ (tasks as u64) << 20 ^ side as u64);
-            let avg_ap = images.iter().map(|i| i.active_pixels() as f64).sum::<f64>()
-                / tasks as f64;
+            let avg_ap =
+                images.iter().map(|i| i.active_pixels() as f64).sum::<f64>() / tasks as f64;
             let factors = compositing::algorithms::default_factors(tasks);
             // Min of three runs: the lockstep clock takes the max over ranks
             // per round, so scheduler jitter only ever inflates the time —
             // the minimum is the cleanest estimate of the true cost.
             let seconds = (0..3)
                 .map(|_| {
-                    radix_k(&images, CompositeMode::AlphaOrdered, net, &factors)
-                        .1
-                        .simulated_seconds
+                    radix_k(&images, CompositeMode::AlphaOrdered, net, &factors).1.simulated_seconds
                 })
                 .fold(f64::INFINITY, f64::min);
             out.push(CompositeSample {
@@ -306,12 +297,7 @@ mod tests {
 
     #[test]
     fn composite_study_produces_monotone_pixel_costs() {
-        let samples = run_composite_study(
-            NetModel::cluster(),
-            &[4, 8],
-            &[64, 256],
-            9,
-        );
+        let samples = run_composite_study(NetModel::cluster(), &[4, 8], &[64, 256], 9);
         assert_eq!(samples.len(), 4);
         // For a fixed task count, more pixels must cost more.
         let t4: Vec<&CompositeSample> = samples.iter().filter(|s| s.tasks == 4).collect();

@@ -113,9 +113,7 @@ where
         Device::Serial => data.iter().fold(identity, |a, &b| op(a, b)),
         _ if data.len() < PAR_GRAIN => data.iter().fold(identity, |a, &b| op(a, b)),
         _ => device.install(|| {
-            data.par_iter()
-                .fold(|| identity, |a, &b| op(a, b))
-                .reduce(|| identity, &op)
+            data.par_iter().fold(|| identity, |a, &b| op(a, b)).reduce(|| identity, &op)
         }),
     }
 }
@@ -131,10 +129,7 @@ where
         Device::Serial => (0..n).map(mapf).fold(identity, &op),
         _ if n < PAR_GRAIN => (0..n).map(mapf).fold(identity, &op),
         _ => device.install(|| {
-            (0..n)
-                .into_par_iter()
-                .fold(|| identity, |a, i| op(a, mapf(i)))
-                .reduce(|| identity, &op)
+            (0..n).into_par_iter().fold(|| identity, |a, i| op(a, mapf(i))).reduce(|| identity, &op)
         }),
     }
 }
@@ -154,10 +149,8 @@ pub fn exclusive_scan_u32(device: &Device, data: &[u32]) -> (Vec<u32>, u32) {
             // each chunk with its offset.
             let threads = rayon::current_num_threads().max(1);
             let chunk = n.div_ceil(threads).max(1);
-            let sums: Vec<u64> = data
-                .par_chunks(chunk)
-                .map(|c| c.iter().map(|&v| v as u64).sum())
-                .collect();
+            let sums: Vec<u64> =
+                data.par_chunks(chunk).map(|c| c.iter().map(|&v| v as u64).sum()).collect();
             let mut offsets = Vec::with_capacity(sums.len());
             let mut acc = 0u64;
             for s in &sums {
@@ -167,16 +160,15 @@ pub fn exclusive_scan_u32(device: &Device, data: &[u32]) -> (Vec<u32>, u32) {
             let total = acc;
             assert!(total <= u32::MAX as u64, "scan overflow");
             let mut out = vec![0u32; n];
-            out.par_chunks_mut(chunk)
-                .zip(data.par_chunks(chunk))
-                .zip(offsets.par_iter())
-                .for_each(|((oc, dc), &off)| {
+            out.par_chunks_mut(chunk).zip(data.par_chunks(chunk)).zip(offsets.par_iter()).for_each(
+                |((oc, dc), &off)| {
                     let mut acc = off as u32;
                     for (o, &d) in oc.iter_mut().zip(dc.iter()) {
                         *o = acc;
                         acc += d;
                     }
-                });
+                },
+            );
             (out, total as u32)
         }),
     }
@@ -427,11 +419,7 @@ mod tests {
 ///
 /// `heads[i] != 0` marks element `i` as the first of a segment; element 0 is
 /// always treated as a head.
-pub fn segmented_exclusive_scan_u32(
-    device: &Device,
-    data: &[u32],
-    heads: &[u32],
-) -> Vec<u32> {
+pub fn segmented_exclusive_scan_u32(device: &Device, data: &[u32], heads: &[u32]) -> Vec<u32> {
     assert_eq!(data.len(), heads.len());
     let n = data.len();
     if n == 0 {

@@ -129,11 +129,7 @@ pub struct Vec3x8 {
 impl Vec3x8 {
     #[inline]
     pub fn splat(v: vecmath_like::V3) -> Vec3x8 {
-        Vec3x8 {
-            x: F32x8::splat(v.0),
-            y: F32x8::splat(v.1),
-            z: F32x8::splat(v.2),
-        }
+        Vec3x8 { x: F32x8::splat(v.0), y: F32x8::splat(v.1), z: F32x8::splat(v.2) }
     }
 
     #[inline]

@@ -19,11 +19,7 @@ pub fn sort_pairs_u64(device: &Device, keys: &mut Vec<u64>, values: &mut Vec<u32
         return;
     }
     let max_key = keys.iter().copied().max().unwrap_or(0);
-    let passes = if max_key == 0 {
-        1
-    } else {
-        (64 - max_key.leading_zeros()).div_ceil(RADIX_BITS)
-    };
+    let passes = if max_key == 0 { 1 } else { (64 - max_key.leading_zeros()).div_ceil(RADIX_BITS) };
 
     let mut src_k = std::mem::take(keys);
     let mut src_v = std::mem::take(values);
@@ -40,9 +36,8 @@ pub fn sort_pairs_u64(device: &Device, keys: &mut Vec<u64>, values: &mut Vec<u32
                 radix_pass_serial(&src_k, &src_v, &mut dst_k, &mut dst_v, shift);
             }
             Device::Parallel(_) => {
-                device.install(|| {
-                    radix_pass_parallel(&src_k, &src_v, &mut dst_k, &mut dst_v, shift)
-                });
+                device
+                    .install(|| radix_pass_parallel(&src_k, &src_v, &mut dst_k, &mut dst_v, shift));
             }
         }
         std::mem::swap(&mut src_k, &mut dst_k);
@@ -52,7 +47,13 @@ pub fn sort_pairs_u64(device: &Device, keys: &mut Vec<u64>, values: &mut Vec<u32
     *values = src_v;
 }
 
-fn radix_pass_serial(src_k: &[u64], src_v: &[u32], dst_k: &mut [u64], dst_v: &mut [u32], shift: u32) {
+fn radix_pass_serial(
+    src_k: &[u64],
+    src_v: &[u32],
+    dst_k: &mut [u64],
+    dst_v: &mut [u32],
+    shift: u32,
+) {
     let mut hist = [0usize; BUCKETS];
     for &k in src_k {
         hist[((k >> shift) as usize) & (BUCKETS - 1)] += 1;
@@ -114,11 +115,8 @@ fn radix_pass_parallel(
     let pk = &pk;
     let pv = &pv;
 
-    src_k
-        .par_chunks(chunk)
-        .zip(src_v.par_chunks(chunk))
-        .zip(offsets.into_par_iter())
-        .for_each(move |((ck, cv), mut off)| {
+    src_k.par_chunks(chunk).zip(src_v.par_chunks(chunk)).zip(offsets.into_par_iter()).for_each(
+        move |((ck, cv), mut off)| {
             for (&k, &v) in ck.iter().zip(cv.iter()) {
                 let b = ((k >> shift) as usize) & (BUCKETS - 1);
                 // SAFETY: bucket-major offsets give every (chunk, bucket)
@@ -129,7 +127,8 @@ fn radix_pass_parallel(
                 }
                 off[b] += 1;
             }
-        });
+        },
+    );
 }
 
 /// Sort `u32` keys with payload; convenience wrapper over the u64 path.

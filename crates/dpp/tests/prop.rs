@@ -3,7 +3,7 @@
 //! one algorithm, many devices, identical results.
 
 use dpp::device::Device;
-use dpp::sort::{sort_pairs_u64, sort_pairs_f32_nonneg};
+use dpp::sort::{sort_pairs_f32_nonneg, sort_pairs_u64};
 use dpp::*;
 use proptest::prelude::*;
 

@@ -96,8 +96,7 @@ pub fn marschner_lobb(p: Vec3) -> f32 {
     const ALPHA: f32 = 0.25;
     let r = (p.x * p.x + p.y * p.y).sqrt();
     let rho = (std::f32::consts::FRAC_PI_2 * (std::f32::consts::PI * F_M * r).cos() * 0.5).cos();
-    ((1.0 - (std::f32::consts::PI * p.z * 0.5).sin()) + ALPHA * (1.0 + rho))
-        / (2.0 * (1.0 + ALPHA))
+    ((1.0 - (std::f32::consts::PI * p.z * 0.5).sin()) + ALPHA * (1.0 + rho)) / (2.0 * (1.0 + ALPHA))
 }
 
 /// Default domain used by the synthetic fields: `[-1, 1]^3` except tangle,
@@ -152,18 +151,78 @@ pub struct SurfaceDatasetSpec {
 /// from our synthetic fields land in the same order of magnitude per entry.
 pub fn surface_dataset_pool() -> Vec<SurfaceDatasetSpec> {
     vec![
-        SurfaceDatasetSpec { name: "RM 3.2M", cells: [400, 400, 256], kind: FieldKind::RmInterface, isovalue: 0.0 },
-        SurfaceDatasetSpec { name: "RM 1.7M", cells: [256, 256, 256], kind: FieldKind::RmInterface, isovalue: 0.0 },
-        SurfaceDatasetSpec { name: "RM 970K", cells: [200, 200, 200], kind: FieldKind::RmInterface, isovalue: 0.0 },
-        SurfaceDatasetSpec { name: "RM 650K", cells: [192, 144, 144], kind: FieldKind::RmInterface, isovalue: 0.0 },
-        SurfaceDatasetSpec { name: "RM 350K", cells: [128, 128, 128], kind: FieldKind::RmInterface, isovalue: 0.0 },
-        SurfaceDatasetSpec { name: "LT 350K", cells: [113, 113, 133], kind: FieldKind::Tangle, isovalue: 0.0 },
-        SurfaceDatasetSpec { name: "LT 372K", cells: [113, 113, 133], kind: FieldKind::Tangle, isovalue: 1.5 },
-        SurfaceDatasetSpec { name: "Seismic", cells: [300, 300, 300], kind: FieldKind::Turbulence, isovalue: 0.05 },
-        SurfaceDatasetSpec { name: "Dragon", cells: [110, 110, 110], kind: FieldKind::ShockShell, isovalue: 0.5 },
-        SurfaceDatasetSpec { name: "Conference", cells: [160, 160, 160], kind: FieldKind::Turbulence, isovalue: 0.1 },
-        SurfaceDatasetSpec { name: "Sponza", cells: [100, 100, 100], kind: FieldKind::Tangle, isovalue: 2.0 },
-        SurfaceDatasetSpec { name: "Buddha", cells: [220, 220, 220], kind: FieldKind::ShockShell, isovalue: 0.4 },
+        SurfaceDatasetSpec {
+            name: "RM 3.2M",
+            cells: [400, 400, 256],
+            kind: FieldKind::RmInterface,
+            isovalue: 0.0,
+        },
+        SurfaceDatasetSpec {
+            name: "RM 1.7M",
+            cells: [256, 256, 256],
+            kind: FieldKind::RmInterface,
+            isovalue: 0.0,
+        },
+        SurfaceDatasetSpec {
+            name: "RM 970K",
+            cells: [200, 200, 200],
+            kind: FieldKind::RmInterface,
+            isovalue: 0.0,
+        },
+        SurfaceDatasetSpec {
+            name: "RM 650K",
+            cells: [192, 144, 144],
+            kind: FieldKind::RmInterface,
+            isovalue: 0.0,
+        },
+        SurfaceDatasetSpec {
+            name: "RM 350K",
+            cells: [128, 128, 128],
+            kind: FieldKind::RmInterface,
+            isovalue: 0.0,
+        },
+        SurfaceDatasetSpec {
+            name: "LT 350K",
+            cells: [113, 113, 133],
+            kind: FieldKind::Tangle,
+            isovalue: 0.0,
+        },
+        SurfaceDatasetSpec {
+            name: "LT 372K",
+            cells: [113, 113, 133],
+            kind: FieldKind::Tangle,
+            isovalue: 1.5,
+        },
+        SurfaceDatasetSpec {
+            name: "Seismic",
+            cells: [300, 300, 300],
+            kind: FieldKind::Turbulence,
+            isovalue: 0.05,
+        },
+        SurfaceDatasetSpec {
+            name: "Dragon",
+            cells: [110, 110, 110],
+            kind: FieldKind::ShockShell,
+            isovalue: 0.5,
+        },
+        SurfaceDatasetSpec {
+            name: "Conference",
+            cells: [160, 160, 160],
+            kind: FieldKind::Turbulence,
+            isovalue: 0.1,
+        },
+        SurfaceDatasetSpec {
+            name: "Sponza",
+            cells: [100, 100, 100],
+            kind: FieldKind::Tangle,
+            isovalue: 2.0,
+        },
+        SurfaceDatasetSpec {
+            name: "Buddha",
+            cells: [220, 220, 220],
+            kind: FieldKind::ShockShell,
+            isovalue: 0.4,
+        },
     ]
 }
 
@@ -250,7 +309,7 @@ mod tests {
     fn rm_surface_tri_count_order() {
         let spec = &surface_dataset_pool()[4]; // RM 350K
         let m = spec.build(0.25); // 32^3 grid
-        // At scale s, tri count ~ s^2 * full count: expect hundreds-to-thousands.
+                                  // At scale s, tri count ~ s^2 * full count: expect hundreds-to-thousands.
         assert!(m.num_tris() > 500, "got {}", m.num_tris());
     }
 

@@ -71,12 +71,8 @@ const HEX_FACES: [[usize; 4]; 6] = [
 /// External faces of an unstructured hex mesh: faces referenced by exactly
 /// one hexahedron, triangulated, with an optional point field as scalar.
 pub fn external_faces_hex(mesh: &HexMesh, field_name: Option<&str>) -> TriMesh {
-    let field = field_name.map(|n| {
-        &mesh
-            .field(n)
-            .unwrap_or_else(|| panic!("no field named {n}"))
-            .values
-    });
+    let field =
+        field_name.map(|n| &mesh.field(n).unwrap_or_else(|| panic!("no field named {n}")).values);
     // Count occurrences of each face by its sorted vertex key.
     let mut counts: HashMap<[u32; 4], (u32, [u32; 4])> =
         HashMap::with_capacity(mesh.num_hexes() * 3);
@@ -85,17 +81,12 @@ pub fn external_faces_hex(mesh: &HexMesh, field_name: Option<&str>) -> TriMesh {
             let quad = [h[f[0]], h[f[1]], h[f[2]], h[f[3]]];
             let mut key = quad;
             key.sort_unstable();
-            counts
-                .entry(key)
-                .and_modify(|e| e.0 += 1)
-                .or_insert((1, quad));
+            counts.entry(key).and_modify(|e| e.0 += 1).or_insert((1, quad));
         }
     }
     let mut out = TriMesh::default();
-    let mut boundary: Vec<[u32; 4]> = counts
-        .into_values()
-        .filter_map(|(n, quad)| (n == 1).then_some(quad))
-        .collect();
+    let mut boundary: Vec<[u32; 4]> =
+        counts.into_values().filter_map(|(n, quad)| (n == 1).then_some(quad)).collect();
     // Deterministic output order.
     boundary.sort_unstable();
     for quad in boundary {
@@ -142,9 +133,8 @@ mod tests {
     fn faces_lie_on_the_boundary() {
         let m = external_faces_grid(&cube_grid(4), "s");
         for &p in &m.points {
-            let on_boundary = [p.x, p.y, p.z]
-                .iter()
-                .any(|&v| v.abs() < 1e-6 || (v - 1.0).abs() < 1e-6);
+            let on_boundary =
+                [p.x, p.y, p.z].iter().any(|&v| v.abs() < 1e-6 || (v - 1.0).abs() < 1e-6);
             assert!(on_boundary, "{p:?} not on the unit cube boundary");
         }
     }
@@ -157,10 +147,7 @@ mod tests {
             let pts = m.tri_points(t);
             let tri_center = (pts[0] + pts[1] + pts[2]) / 3.0;
             let n = m.tri_normal(t);
-            assert!(
-                n.dot(tri_center - center) > 0.0,
-                "tri {t} normal points inward"
-            );
+            assert!(n.dot(tri_center - center) > 0.0, "tri {t} normal points inward");
         }
     }
 

@@ -13,16 +13,8 @@ use rayon::prelude::*;
 use vecmath::Vec3;
 
 /// Offsets of the 8 cell corners in VTK hexahedron order.
-const CORNER_OFFSETS: [[usize; 3]; 8] = [
-    [0, 0, 0],
-    [1, 0, 0],
-    [1, 1, 0],
-    [0, 1, 0],
-    [0, 0, 1],
-    [1, 0, 1],
-    [1, 1, 1],
-    [0, 1, 1],
-];
+const CORNER_OFFSETS: [[usize; 3]; 8] =
+    [[0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0], [0, 0, 1], [1, 0, 1], [1, 1, 1], [0, 1, 1]];
 
 /// Extract the isosurface of point field `field_name` at `isovalue`.
 ///
@@ -41,8 +33,9 @@ pub fn isosurface(
         .unwrap_or_else(|| panic!("no point field named {field_name}"))
         .values
         .clone();
-    let color: Option<Vec<f32>> = color_field
-        .map(|n| grid.field(n).unwrap_or_else(|| panic!("no point field named {n}")).values.clone());
+    let color: Option<Vec<f32>> = color_field.map(|n| {
+        grid.field(n).unwrap_or_else(|| panic!("no point field named {n}")).values.clone()
+    });
 
     let c = grid.cell_dims();
     let per_slab: Vec<TriMesh> = (0..c[2])
@@ -135,19 +128,11 @@ fn march_tet(out: &mut TriMesh, p: [Vec3; 4], s: [f32; 4], c: [f32; 4], iso: f32
     match inside.len() {
         1 => {
             let a = inside[0];
-            push_tri([
-                interp(a, outside[0]),
-                interp(a, outside[1]),
-                interp(a, outside[2]),
-            ]);
+            push_tri([interp(a, outside[0]), interp(a, outside[1]), interp(a, outside[2])]);
         }
         3 => {
             let a = outside[0];
-            push_tri([
-                interp(a, inside[0]),
-                interp(a, inside[1]),
-                interp(a, inside[2]),
-            ]);
+            push_tri([interp(a, inside[0]), interp(a, inside[1]), interp(a, inside[2])]);
         }
         2 => {
             // Quad between the two crossing pairs, split into two triangles.
@@ -170,10 +155,8 @@ mod tests {
     use vecmath::Aabb;
 
     fn sphere_grid(cells: usize) -> UniformGrid {
-        let mut g = UniformGrid::new(
-            [cells; 3],
-            Aabb::from_corners(Vec3::splat(-1.0), Vec3::splat(1.0)),
-        );
+        let mut g =
+            UniformGrid::new([cells; 3], Aabb::from_corners(Vec3::splat(-1.0), Vec3::splat(1.0)));
         g.add_point_field("r", |p| p.length());
         g
     }
@@ -184,10 +167,7 @@ mod tests {
         let m = isosurface(&g, "r", 0.6, None);
         assert!(m.num_tris() > 100, "got {} tris", m.num_tris());
         for &pt in m.points.iter().step_by(37) {
-            assert!(
-                (pt.length() - 0.6).abs() < 0.08,
-                "vertex {pt:?} off the r=0.6 sphere"
-            );
+            assert!((pt.length() - 0.6).abs() < 0.08, "vertex {pt:?} off the r=0.6 sphere");
         }
     }
 
@@ -220,9 +200,7 @@ mod tests {
     fn all_triangles_nondegenerate_enough() {
         let g = sphere_grid(16);
         let m = isosurface(&g, "r", 0.62, None);
-        let degenerate = (0..m.num_tris())
-            .filter(|&t| m.tri_normal(t).length() < 1e-12)
-            .count();
+        let degenerate = (0..m.num_tris()).filter(|&t| m.tri_normal(t).length() < 1e-12).count();
         // Marching tets can make slivers but not a meaningful fraction.
         assert!(degenerate < m.num_tris() / 20);
     }

@@ -24,12 +24,7 @@ pub struct SliceOutput {
 
 /// Slice `grid`'s point field `field_name` by the plane through `origin`
 /// with normal `normal`.
-pub fn slice_grid(
-    grid: &UniformGrid,
-    field_name: &str,
-    origin: Vec3,
-    normal: Vec3,
-) -> SliceOutput {
+pub fn slice_grid(grid: &UniformGrid, field_name: &str, origin: Vec3, normal: Vec3) -> SliceOutput {
     let t0 = std::time::Instant::now();
     let n = normal.normalized();
     // Signed-distance point field.
@@ -76,10 +71,8 @@ mod tests {
     use vecmath::Aabb;
 
     fn grid(n: usize) -> UniformGrid {
-        let mut g = UniformGrid::new(
-            [n; 3],
-            Aabb::from_corners(Vec3::splat(-1.0), Vec3::splat(1.0)),
-        );
+        let mut g =
+            UniformGrid::new([n; 3], Aabb::from_corners(Vec3::splat(-1.0), Vec3::splat(1.0)));
         g.add_point_field("f", |p| p.x + 2.0 * p.y);
         g
     }

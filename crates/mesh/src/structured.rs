@@ -23,11 +23,7 @@ impl UniformGrid {
         UniformGrid {
             dims,
             origin: bounds.min,
-            spacing: Vec3::new(
-                e.x / cells[0] as f32,
-                e.y / cells[1] as f32,
-                e.z / cells[2] as f32,
-            ),
+            spacing: Vec3::new(e.x / cells[0] as f32, e.y / cells[1] as f32, e.z / cells[2] as f32),
             fields: Vec::new(),
         }
     }
@@ -87,22 +83,19 @@ impl UniformGrid {
         let spacing = self.spacing;
         // Parallel fill via rayon directly (generation is not a studied kernel).
         use rayon::prelude::*;
-        values
-            .par_chunks_mut(dims[0] * dims[1])
-            .enumerate()
-            .for_each(|(k, slab)| {
-                for j in 0..dims[1] {
-                    for i in 0..dims[0] {
-                        let p = origin
-                            + Vec3::new(
-                                i as f32 * spacing.x,
-                                j as f32 * spacing.y,
-                                k as f32 * spacing.z,
-                            );
-                        slab[j * dims[0] + i] = f(p);
-                    }
+        values.par_chunks_mut(dims[0] * dims[1]).enumerate().for_each(|(k, slab)| {
+            for j in 0..dims[1] {
+                for i in 0..dims[0] {
+                    let p = origin
+                        + Vec3::new(
+                            i as f32 * spacing.x,
+                            j as f32 * spacing.y,
+                            k as f32 * spacing.z,
+                        );
+                    slab[j * dims[0] + i] = f(p);
                 }
-            });
+            }
+        });
         self.fields.push(Field { name: name.to_string(), assoc: Assoc::Point, values });
     }
 
@@ -177,11 +170,7 @@ impl RectilinearGrid {
     pub fn bounds(&self) -> Aabb {
         Aabb::from_corners(
             Vec3::new(self.xs[0], self.ys[0], self.zs[0]),
-            Vec3::new(
-                *self.xs.last().unwrap(),
-                *self.ys.last().unwrap(),
-                *self.zs.last().unwrap(),
-            ),
+            Vec3::new(*self.xs.last().unwrap(), *self.ys.last().unwrap(), *self.zs.last().unwrap()),
         )
     }
 

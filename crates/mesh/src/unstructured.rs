@@ -60,8 +60,7 @@ impl TriMesh {
         let base = self.points.len() as u32;
         self.points.extend_from_slice(&o.points);
         self.scalars.extend_from_slice(&o.scalars);
-        self.tris
-            .extend(o.tris.iter().map(|t| [t[0] + base, t[1] + base, t[2] + base]));
+        self.tris.extend(o.tris.iter().map(|t| [t[0] + base, t[1] + base, t[2] + base]));
     }
 }
 
@@ -117,14 +116,8 @@ pub struct HexMesh {
 /// diagonal (v0-v6): a space-filling partition of the hex volume, used to
 /// turn simulation meshes into the tetrahedral input of the unstructured
 /// volume renderer (the paper decomposed Enzo and Nek5000 the same way).
-pub const HEX_TO_TETS: [[usize; 4]; 6] = [
-    [0, 1, 2, 6],
-    [0, 2, 3, 6],
-    [0, 3, 7, 6],
-    [0, 7, 4, 6],
-    [0, 4, 5, 6],
-    [0, 5, 1, 6],
-];
+pub const HEX_TO_TETS: [[usize; 4]; 6] =
+    [[0, 1, 2, 6], [0, 2, 3, 6], [0, 3, 7, 6], [0, 7, 4, 6], [0, 4, 5, 6], [0, 5, 1, 6]];
 
 impl HexMesh {
     pub fn num_hexes(&self) -> usize {

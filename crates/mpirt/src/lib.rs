@@ -108,10 +108,7 @@ impl Comm {
     /// Receive a f32 vector.
     pub fn recv_f32s(&self, src: usize, tag: u32) -> Vec<f32> {
         let bytes = self.recv(src, tag);
-        bytes
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect()
+        bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
     }
 
     /// All-reduce a value with an associative, commutative combiner
@@ -230,10 +227,7 @@ impl World {
             .collect();
         let f = &f;
         std::thread::scope(|scope| {
-            let handles: Vec<_> = comms
-                .iter()
-                .map(|comm| scope.spawn(move || f(comm)))
-                .collect();
+            let handles: Vec<_> = comms.iter().map(|comm| scope.spawn(move || f(comm))).collect();
             handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
         })
     }

@@ -15,8 +15,13 @@ use crate::net::NetModel;
 pub struct RoundCost {
     /// Measured compute seconds (blending, packing).
     pub compute_s: f64,
-    /// Bytes this rank sent this round.
+    /// Bytes this rank actually sent this round (post-compression wire
+    /// bytes; these drive the simulated transfer time).
     pub bytes_sent: usize,
+    /// Bytes the same sends would have cost uncompressed. Accounting only —
+    /// the clock always advances on `bytes_sent`. Equal to `bytes_sent` for
+    /// uncompressed exchanges.
+    pub bytes_dense: usize,
     /// Number of messages this rank sent this round.
     pub messages: usize,
 }
@@ -24,7 +29,8 @@ pub struct RoundCost {
 impl RoundCost {
     /// Simulated wall seconds for this rank's round.
     pub fn seconds(&self, net: &NetModel) -> f64 {
-        self.compute_s + net.latency_s * self.messages as f64
+        self.compute_s
+            + net.latency_s * self.messages as f64
             + self.bytes_sent as f64 / net.bandwidth_bps
     }
 }
@@ -36,27 +42,41 @@ pub struct LockstepWorld {
     pub net: NetModel,
     /// Simulated elapsed seconds so far.
     pub elapsed_s: f64,
-    /// Total bytes moved across all ranks and rounds.
+    /// Total wire bytes moved across all ranks and rounds.
     pub total_bytes: u64,
+    /// Bytes the same rounds would have moved uncompressed (equals
+    /// `total_bytes` when every round sent dense data).
+    pub dense_bytes: u64,
+    /// Per-round `(wire_bytes, dense_bytes)` totals, in execution order.
+    pub round_bytes: Vec<(u64, u64)>,
     /// Rounds executed.
     pub rounds: usize,
 }
 
 impl LockstepWorld {
     pub fn new(size: usize, net: NetModel) -> LockstepWorld {
-        LockstepWorld { size, net, elapsed_s: 0.0, total_bytes: 0, rounds: 0 }
+        LockstepWorld {
+            size,
+            net,
+            elapsed_s: 0.0,
+            total_bytes: 0,
+            dense_bytes: 0,
+            round_bytes: Vec::new(),
+            rounds: 0,
+        }
     }
 
     /// Complete one superstep given every rank's cost; advances the clock by
     /// the slowest rank.
     pub fn finish_round(&mut self, costs: &[RoundCost]) {
         debug_assert_eq!(costs.len(), self.size);
-        let worst = costs
-            .iter()
-            .map(|c| c.seconds(&self.net))
-            .fold(0.0f64, f64::max);
+        let worst = costs.iter().map(|c| c.seconds(&self.net)).fold(0.0f64, f64::max);
         self.elapsed_s += worst;
-        self.total_bytes += costs.iter().map(|c| c.bytes_sent as u64).sum::<u64>();
+        let wire = costs.iter().map(|c| c.bytes_sent as u64).sum::<u64>();
+        let dense = costs.iter().map(|c| c.bytes_dense as u64).sum::<u64>();
+        self.total_bytes += wire;
+        self.dense_bytes += dense;
+        self.round_bytes.push((wire, dense));
         self.rounds += 1;
     }
 }
@@ -87,9 +107,33 @@ mod tests {
     fn network_cost_included() {
         let net = NetModel { latency_s: 1e-3, bandwidth_bps: 1e6 };
         let mut w = LockstepWorld::new(1, net);
-        w.finish_round(&[RoundCost { compute_s: 0.0, bytes_sent: 1000, messages: 2 }]);
+        w.finish_round(&[RoundCost {
+            compute_s: 0.0,
+            bytes_sent: 1000,
+            bytes_dense: 1000,
+            messages: 2,
+        }]);
         // 2 ms latency + 1 ms transfer.
         assert!((w.elapsed_s - 3e-3).abs() < 1e-9);
         assert_eq!(w.total_bytes, 1000);
+        assert_eq!(w.dense_bytes, 1000);
+    }
+
+    #[test]
+    fn clock_charges_wire_bytes_not_dense_bytes() {
+        // Compression changes what the clock sees (wire bytes) while the
+        // dense tally records what was avoided.
+        let net = NetModel { latency_s: 0.0, bandwidth_bps: 1e6 };
+        let mut w = LockstepWorld::new(1, net);
+        w.finish_round(&[RoundCost {
+            compute_s: 0.0,
+            bytes_sent: 250,
+            bytes_dense: 1000,
+            messages: 0,
+        }]);
+        assert!((w.elapsed_s - 250e-6).abs() < 1e-12);
+        assert_eq!(w.total_bytes, 250);
+        assert_eq!(w.dense_bytes, 1000);
+        assert_eq!(w.round_bytes, vec![(250, 1000)]);
     }
 }

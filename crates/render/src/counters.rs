@@ -9,12 +9,15 @@
 
 use std::time::Instant;
 
-/// One completed phase: name, elapsed seconds, work units processed.
+/// One completed phase: name, elapsed seconds, work units processed, and
+/// bytes moved over the (simulated) wire — nonzero only for communication
+/// phases such as compositing exchanges.
 #[derive(Debug, Clone)]
 pub struct PhaseRecord {
     pub name: &'static str,
     pub seconds: f64,
     pub work_units: u64,
+    pub bytes_moved: u64,
 }
 
 impl PhaseRecord {
@@ -47,13 +50,26 @@ impl PhaseTimer {
             name,
             seconds: t0.elapsed().as_secs_f64(),
             work_units,
+            bytes_moved: 0,
         });
         r
     }
 
     /// Record a phase with externally measured time.
     pub fn record(&mut self, name: &'static str, seconds: f64, work_units: u64) {
-        self.phases.push(PhaseRecord { name, seconds, work_units });
+        self.phases.push(PhaseRecord { name, seconds, work_units, bytes_moved: 0 });
+    }
+
+    /// Record a communication phase: externally measured (or simulated) time
+    /// plus the bytes it moved.
+    pub fn record_bytes(
+        &mut self,
+        name: &'static str,
+        seconds: f64,
+        work_units: u64,
+        bytes_moved: u64,
+    ) {
+        self.phases.push(PhaseRecord { name, seconds, work_units, bytes_moved });
     }
 
     /// Total seconds across phases.
@@ -64,20 +80,17 @@ impl PhaseTimer {
     /// Sum of seconds for phases with the given name (phases repeat across
     /// volume-rendering passes).
     pub fn seconds_of(&self, name: &str) -> f64 {
-        self.phases
-            .iter()
-            .filter(|p| p.name == name)
-            .map(|p| p.seconds)
-            .sum()
+        self.phases.iter().filter(|p| p.name == name).map(|p| p.seconds).sum()
     }
 
     /// Sum of work units for phases with the given name.
     pub fn work_of(&self, name: &str) -> u64 {
-        self.phases
-            .iter()
-            .filter(|p| p.name == name)
-            .map(|p| p.work_units)
-            .sum()
+        self.phases.iter().filter(|p| p.name == name).map(|p| p.work_units).sum()
+    }
+
+    /// Sum of bytes moved for phases with the given name.
+    pub fn bytes_of(&self, name: &str) -> u64 {
+        self.phases.iter().filter(|p| p.name == name).map(|p| p.bytes_moved).sum()
     }
 
     /// Merge another timer's records (preserving order).
@@ -112,10 +125,21 @@ mod tests {
     }
 
     #[test]
+    fn bytes_aggregation() {
+        let mut t = PhaseTimer::new();
+        t.record("raycast", 0.5, 10);
+        t.record_bytes("compositing", 0.1, 5, 4096);
+        t.record_bytes("compositing", 0.1, 5, 1024);
+        assert_eq!(t.bytes_of("compositing"), 5120);
+        assert_eq!(t.bytes_of("raycast"), 0);
+        assert_eq!(t.work_of("compositing"), 10);
+    }
+
+    #[test]
     fn throughput() {
-        let p = PhaseRecord { name: "x", seconds: 2.0, work_units: 10 };
+        let p = PhaseRecord { name: "x", seconds: 2.0, work_units: 10, bytes_moved: 0 };
         assert_eq!(p.throughput(), 5.0);
-        let z = PhaseRecord { name: "x", seconds: 0.0, work_units: 10 };
+        let z = PhaseRecord { name: "x", seconds: 0.0, work_units: 10, bytes_moved: 0 };
         assert_eq!(z.throughput(), 0.0);
     }
 }

@@ -82,9 +82,7 @@ impl Framebuffer {
             .color
             .iter()
             .zip(o.color.iter())
-            .map(|(a, b)| {
-                ((a.r - b.r).abs() + (a.g - b.g).abs() + (a.b - b.b).abs()) as f64 / 3.0
-            })
+            .map(|(a, b)| ((a.r - b.r).abs() + (a.g - b.g).abs() + (a.b - b.b).abs()) as f64 / 3.0)
             .sum();
         (sum / self.color.len() as f64) as f32
     }

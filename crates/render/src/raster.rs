@@ -98,9 +98,8 @@ pub fn rasterize(
     });
 
     // --- Compact visible objects (map + scan + gather). ---
-    let visible: Vec<u32> = phases.run("compact_visible", n as u64, || {
-        compact_indices(device, n, |i| screen[i].is_some())
-    });
+    let visible: Vec<u32> = phases
+        .run("compact_visible", n as u64, || compact_indices(device, n, |i| screen[i].is_some()));
     let vo = visible.len();
 
     // --- Bin to tiles: per-tile atomic counts, scan, fill. ---
@@ -141,7 +140,8 @@ pub fn rasterize(
             let (tx0, tx1, ty0, ty1) = tile_range(tri);
             for ty in ty0..=ty1 {
                 for tx in tx0..=tx1 {
-                    let slot = cursors[(ty * tiles_x + tx) as usize].fetch_add(1, Ordering::Relaxed);
+                    let slot =
+                        cursors[(ty * tiles_x + tx) as usize].fetch_add(1, Ordering::Relaxed);
                     bins[slot as usize].store(visible[vi], Ordering::Relaxed);
                 }
             }
@@ -170,8 +170,8 @@ pub fn rasterize(
                     let src = bin.load(Ordering::Relaxed) as usize;
                     let tri = screen[src].as_ref().unwrap();
                     considered += raster_tri_into_tile(
-                        geom, tri, x0, y0, x1, y1, tw, &mut color, &mut depth, colormap,
-                        shading, camera,
+                        geom, tri, x0, y0, x1, y1, tw, &mut color, &mut depth, colormap, shading,
+                        camera,
                     );
                 }
                 pixels_considered.fetch_add(considered, Ordering::Relaxed);
@@ -277,9 +277,9 @@ fn raster_tri_into_tile(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::raytrace::{RayTracer, RtConfig};
     use mesh::datasets::{field_grid, FieldKind};
     use mesh::isosurface::isosurface;
-    use crate::raytrace::{RayTracer, RtConfig};
 
     fn geom() -> TriGeometry {
         let g = field_grid(FieldKind::ShockShell, [18, 18, 18]);
@@ -345,7 +345,8 @@ mod tests {
     fn far_view_has_fewer_active_pixels() {
         let g = geom();
         let tf = TransferFunction::rainbow(g.scalar_range);
-        let close = rasterize(&Device::Serial, &g, &Camera::close_view(&g.bounds), 64, 64, &tf, None);
+        let close =
+            rasterize(&Device::Serial, &g, &Camera::close_view(&g.bounds), 64, 64, &tf, None);
         let far = rasterize(&Device::Serial, &g, &Camera::far_view(&g.bounds), 64, 64, &tf, None);
         assert!(far.stats.active_pixels < close.stats.active_pixels);
     }

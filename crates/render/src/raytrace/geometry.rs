@@ -131,10 +131,7 @@ fn smooth_vertex_normals(mesh: &TriMesh) -> Vec<Vec3> {
             *accum.entry(quant(mesh.points[vi as usize])).or_insert(Vec3::ZERO) += n;
         }
     }
-    mesh.points
-        .iter()
-        .map(|&p| accum[&quant(p)].normalized())
-        .collect()
+    mesh.points.iter().map(|&p| accum[&quant(p)].normalized()).collect()
 }
 
 #[cfg(test)]

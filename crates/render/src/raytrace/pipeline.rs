@@ -147,8 +147,7 @@ impl RayTracer {
 
         // --- Ray generation (map). Ray order may follow a Morton curve. ---
         let pixel_order: Vec<u32> = if cfg.morton_sort_rays {
-            let mut codes: Vec<u64> =
-                (0..n_rays as u32).map(|i| morton2(i % rw, i / rw)).collect();
+            let mut codes: Vec<u64> = (0..n_rays as u32).map(|i| morton2(i % rw, i / rw)).collect();
             let mut order: Vec<u32> = (0..n_rays as u32).collect();
             dpp::sort::sort_pairs_u64(device, &mut codes, &mut order);
             order
@@ -434,9 +433,15 @@ mod tests {
         let cam = Camera::close_view(&rt.geom.bounds);
         let out = rt.render(&cam, 32, 32, &RtConfig::workload3());
         let names: Vec<_> = out.phases.phases.iter().map(|p| p.name).collect();
-        for expect in
-            ["ray_gen", "intersect", "compaction", "ambient_occlusion", "shadows", "shade", "anti_alias"]
-        {
+        for expect in [
+            "ray_gen",
+            "intersect",
+            "compaction",
+            "ambient_occlusion",
+            "shadows",
+            "shade",
+            "anti_alias",
+        ] {
             assert!(names.contains(&expect), "missing phase {expect}: {names:?}");
         }
         assert!(out.stats.rays_traced > 4 * 32 * 32);

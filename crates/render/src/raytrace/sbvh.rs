@@ -36,9 +36,8 @@ pub fn build_split_bvh(geom: &TriGeometry, split_alpha: f32) -> Bvh {
     if n == 0 {
         return Bvh { nodes: Vec::new(), prim_order: Vec::new() };
     }
-    let refs: Vec<PrimRef> = (0..n)
-        .map(|t| PrimRef { prim: t as u32, aabb: geom.tri_aabb(t) })
-        .collect();
+    let refs: Vec<PrimRef> =
+        (0..n).map(|t| PrimRef { prim: t as u32, aabb: geom.tri_aabb(t) }).collect();
     let mut root_bounds = Aabb::empty();
     for r in &refs {
         root_bounds = root_bounds.union(&r.aabb);
@@ -94,22 +93,19 @@ fn build(
         Some(o) if o.overlap_area <= overlap_threshold => None,
         _ if *budget <= 0 => None,
         _ => spatial_split(&refs, &bounds).filter(|s| {
-            let dup = (s.partition.0.len() + s.partition.1.len()) as isize
-                - refs.len() as isize;
+            let dup = (s.partition.0.len() + s.partition.1.len()) as isize - refs.len() as isize;
             dup <= *budget
         }),
     };
 
     let (left, right) = match (object, spatial) {
         (Some(o), Some(s)) if s.cost < o.cost => {
-            *budget -=
-                (s.partition.0.len() + s.partition.1.len()) as isize - refs.len() as isize;
+            *budget -= (s.partition.0.len() + s.partition.1.len()) as isize - refs.len() as isize;
             s.partition
         }
         (Some(o), _) => o.partition,
         (None, Some(s)) => {
-            *budget -=
-                (s.partition.0.len() + s.partition.1.len()) as isize - refs.len() as isize;
+            *budget -= (s.partition.0.len() + s.partition.1.len()) as isize - refs.len() as isize;
             s.partition
         }
         (None, None) => {
@@ -209,7 +205,12 @@ fn spatial_split(refs: &[PrimRef], bounds: &Aabb) -> Option<SplitCandidate> {
         entry[b0] += 1;
         exit[b1] += 1;
         for (b, slot) in bb.iter_mut().enumerate().take(b1 + 1).skip(b0) {
-            *slot = slot.union(&clip_axis(&r.aabb, axis, bin_plane(lo, extent, b), bin_plane(lo, extent, b + 1)));
+            *slot = slot.union(&clip_axis(
+                &r.aabb,
+                axis,
+                bin_plane(lo, extent, b),
+                bin_plane(lo, extent, b + 1),
+            ));
         }
     }
     // Prefix counts: left gets everything entering before the split, right
@@ -230,7 +231,7 @@ fn spatial_split(refs: &[PrimRef], bounds: &Aabb) -> Option<SplitCandidate> {
             rb = rb.union(b);
         }
         let cost = lb.surface_area() * n_left as f32 + rb.surface_area() * n_right as f32;
-        if best.map_or(true, |(_, c)| cost < c) {
+        if best.is_none_or(|(_, c)| cost < c) {
             best = Some((split, cost));
         }
     }
@@ -309,7 +310,7 @@ fn best_bin_split(counts: &[usize; BINS], bb: &[Aabb; BINS]) -> Option<BinSplit>
             rb = rb.union(b);
         }
         let cost = lb.surface_area() * n_left as f32 + rb.surface_area() * n_right as f32;
-        if best.as_ref().map_or(true, |b| cost < b.cost) {
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
             best = Some(BinSplit { split, cost });
         }
     }
@@ -355,9 +356,9 @@ pub fn validate_split(bvh: &Bvh, geom: &TriGeometry) -> Result<(), String> {
 mod tests {
     use super::*;
     use dpp::Device;
-    use vecmath::Vec3;
     use mesh::datasets::{field_grid, FieldKind};
     use mesh::isosurface::isosurface;
+    use vecmath::Vec3;
     use vecmath::{Camera, Ray};
 
     fn scene() -> TriGeometry {
@@ -427,9 +428,9 @@ mod tests {
         let hit = bvh.closest_hit(&geom, &ray);
         let mut brute = f32::INFINITY;
         for p in 0..geom.num_tris() {
-            if let Some((t, _, _)) = super::super::bvh::intersect_triangle(
-                &ray, geom.v0[p], geom.e1[p], geom.e2[p],
-            ) {
+            if let Some((t, _, _)) =
+                super::super::bvh::intersect_triangle(&ray, geom.v0[p], geom.e1[p], geom.e2[p])
+            {
                 brute = brute.min(t);
             }
         }

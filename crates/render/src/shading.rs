@@ -133,7 +133,8 @@ mod tests {
     #[test]
     fn lit_side_brighter_than_ambient() {
         let p = params();
-        let facing = blinn_phong(&p, Vec3::ZERO, Vec3::Y, Vec3::Y, Color::rgb(0.5, 0.5, 0.5), &[true]);
+        let facing =
+            blinn_phong(&p, Vec3::ZERO, Vec3::Y, Vec3::Y, Color::rgb(0.5, 0.5, 0.5), &[true]);
         let shadowed =
             blinn_phong(&p, Vec3::ZERO, Vec3::Y, Vec3::Y, Color::rgb(0.5, 0.5, 0.5), &[false]);
         assert!(facing.r > shadowed.r);

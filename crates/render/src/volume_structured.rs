@@ -84,8 +84,7 @@ pub fn render_structured(
             let px = i as u32 % width;
             let py = i as u32 / width;
             let ray = camera.primary_ray(px, py, width, height, 0.5, 0.5);
-            let Some((t_in, t_out)) = bounds.intersect_ray(&ray, camera.near, f32::INFINITY)
-            else {
+            let Some((t_in, t_out)) = bounds.intersect_ray(&ray, camera.near, f32::INFINITY) else {
                 return (Color::TRANSPARENT, RayWork::default());
             };
             march_ray(grid, field, &ray, t_in, t_out, dt, tf, cfg.early_termination)
@@ -165,11 +164,7 @@ fn march_ray(
             _ => (base - ray.origin.z) * ray.inv_dir.z,
         }
     };
-    let mut t_max = [
-        next_boundary(ci, 0),
-        next_boundary(cj, 1),
-        next_boundary(ck, 2),
-    ];
+    let mut t_max = [next_boundary(ci, 0), next_boundary(cj, 1), next_boundary(ck, 2)];
 
     // Sample positions are globally spaced at multiples of dt from t_in so
     // sampling density is view-independent.
@@ -210,8 +205,7 @@ fn march_ray(
             let c10 = c[2] * (1.0 - fx) + c[3] * fx;
             let c01 = c[4] * (1.0 - fx) + c[5] * fx;
             let c11 = c[6] * (1.0 - fx) + c[7] * fx;
-            let v = (c00 * (1.0 - fy) + c10 * fy) * (1.0 - fz)
-                + (c01 * (1.0 - fy) + c11 * fy) * fz;
+            let v = (c00 * (1.0 - fy) + c10 * fy) * (1.0 - fz) + (c01 * (1.0 - fy) + c11 * fy) * fz;
             let col = tf.sample(v);
             if col.a > 0.0 {
                 acc = over(acc, col.premultiplied());
@@ -269,7 +263,14 @@ mod tests {
         let g = volume();
         let cam = Camera::close_view(&g.bounds());
         let out = render_structured(
-            &Device::Serial, &g, "scalar", &cam, 48, 48, &tfn(&g), &SvrConfig::default(),
+            &Device::Serial,
+            &g,
+            "scalar",
+            &cam,
+            48,
+            48,
+            &tfn(&g),
+            &SvrConfig::default(),
         );
         assert!(out.stats.active_pixels > 500, "{}", out.stats.active_pixels);
         assert!(out.stats.samples_per_ray > 10.0);
@@ -325,7 +326,14 @@ mod tests {
         let mut cam = Camera::close_view(&g.bounds());
         cam.look_at = cam.position + (cam.position - g.bounds().center());
         let out = render_structured(
-            &Device::Serial, &g, "scalar", &cam, 16, 16, &tfn(&g), &SvrConfig::default(),
+            &Device::Serial,
+            &g,
+            "scalar",
+            &cam,
+            16,
+            16,
+            &tfn(&g),
+            &SvrConfig::default(),
         );
         assert_eq!(out.stats.active_pixels, 0);
         assert_eq!(out.stats.samples_per_ray, 0.0);

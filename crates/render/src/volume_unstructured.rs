@@ -169,12 +169,9 @@ pub fn render_unstructured(
             (lo, hi)
         })
     });
-    let (z0, z1) = dpp::reduce(
-        device,
-        &ranges,
-        (f32::INFINITY, f32::NEG_INFINITY),
-        |a, b| (a.0.min(b.0), a.1.max(b.1)),
-    );
+    let (z0, z1) = dpp::reduce(device, &ranges, (f32::INFINITY, f32::NEG_INFINITY), |a, b| {
+        (a.0.min(b.0), a.1.max(b.1))
+    });
     let z0 = z0.max(camera.near);
     if z0 >= z1 {
         // Nothing in front of the camera.
@@ -239,8 +236,7 @@ pub fn render_unstructured(
                 let m1 = sv[1] - d;
                 let m2 = sv[2] - d;
                 // Inverse of column matrix [m0 m1 m2].
-                let det = m0.x * (m1.y * m2.z - m2.y * m1.z)
-                    - m1.x * (m0.y * m2.z - m2.y * m0.z)
+                let det = m0.x * (m1.y * m2.z - m2.y * m1.z) - m1.x * (m0.y * m2.z - m2.y * m0.z)
                     + m2.x * (m0.y * m1.z - m1.y * m0.z);
                 if det.abs() < 1e-12 {
                     return None;
@@ -269,12 +265,7 @@ pub fn render_unstructured(
                 let by1 = sv.iter().map(|v| v.y).fold(f32::NEG_INFINITY, f32::max);
                 let bz0 = sv.iter().map(|v| v.z).fold(f32::INFINITY, f32::min);
                 let bz1 = sv.iter().map(|v| v.z).fold(f32::NEG_INFINITY, f32::max);
-                Some(ScreenTet {
-                    d,
-                    inv,
-                    s,
-                    bbox: [bx0, bx1, by0, by1, bz0, bz1],
-                })
+                Some(ScreenTet { d, inv, s, bbox: [bx0, bx1, by0, by1, bz0, bz1] })
             })
         });
 
@@ -299,9 +290,7 @@ pub fn render_unstructured(
                 }
                 // Depth slice range of this tet clipped to the pass.
                 let s_lo = (((bz0 - z0) / dz).floor().max(s_begin as f32)) as u32;
-                let s_hi = ((((bz1 - z0) / dz).ceil()) as i64)
-                    .min(s_end as i64 - 1)
-                    .max(0) as u32;
+                let s_hi = ((((bz1 - z0) / dz).ceil()) as i64).min(s_end as i64 - 1).max(0) as u32;
                 if s_lo > s_hi {
                     return;
                 }
@@ -317,9 +306,12 @@ pub fn render_unstructured(
                             let zc = z0 + (sl as f32 + 0.5) * dz;
                             let p = Vec3::new(px as f32 + 0.5, py as f32 + 0.5, zc);
                             let r = p - tet.d;
-                            let l0 = tet.inv[0][0] * r.x + tet.inv[0][1] * r.y + tet.inv[0][2] * r.z;
-                            let l1 = tet.inv[1][0] * r.x + tet.inv[1][1] * r.y + tet.inv[1][2] * r.z;
-                            let l2 = tet.inv[2][0] * r.x + tet.inv[2][1] * r.y + tet.inv[2][2] * r.z;
+                            let l0 =
+                                tet.inv[0][0] * r.x + tet.inv[0][1] * r.y + tet.inv[0][2] * r.z;
+                            let l1 =
+                                tet.inv[1][0] * r.x + tet.inv[1][1] * r.y + tet.inv[1][2] * r.z;
+                            let l2 =
+                                tet.inv[2][0] * r.x + tet.inv[2][1] * r.y + tet.inv[2][2] * r.z;
                             let l3 = 1.0 - l0 - l1 - l2;
                             const EPS: f32 = -1e-5;
                             if l0 >= EPS && l1 >= EPS && l2 >= EPS && l3 >= EPS {
@@ -425,8 +417,8 @@ fn empty_output(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mesh::datasets::TetDatasetSpec;
     use mesh::datasets::FieldKind;
+    use mesh::datasets::TetDatasetSpec;
 
     fn small_tets() -> TetMesh {
         TetDatasetSpec { name: "t", cells: [10, 10, 10], kind: FieldKind::ShockShell }.build(1.0)
@@ -442,7 +434,13 @@ mod tests {
         let t = small_tets();
         let cam = Camera::close_view(&t.bounds());
         let out = render_unstructured(
-            &Device::Serial, &t, "scalar", &cam, 40, 40, &tfn(&t),
+            &Device::Serial,
+            &t,
+            "scalar",
+            &cam,
+            40,
+            40,
+            &tfn(&t),
             &UvrConfig { depth_samples: 64, ..Default::default() },
         )
         .unwrap();
@@ -457,13 +455,35 @@ mod tests {
         let cam = Camera::close_view(&t.bounds());
         let tf = tfn(&t);
         let one = render_unstructured(
-            &Device::Serial, &t, "scalar", &cam, 32, 32, &tf,
-            &UvrConfig { depth_samples: 60, num_passes: 1, early_termination: 1.1, ..Default::default() },
+            &Device::Serial,
+            &t,
+            "scalar",
+            &cam,
+            32,
+            32,
+            &tf,
+            &UvrConfig {
+                depth_samples: 60,
+                num_passes: 1,
+                early_termination: 1.1,
+                ..Default::default()
+            },
         )
         .unwrap();
         let four = render_unstructured(
-            &Device::Serial, &t, "scalar", &cam, 32, 32, &tf,
-            &UvrConfig { depth_samples: 60, num_passes: 4, early_termination: 1.1, ..Default::default() },
+            &Device::Serial,
+            &t,
+            "scalar",
+            &cam,
+            32,
+            32,
+            &tf,
+            &UvrConfig {
+                depth_samples: 60,
+                num_passes: 4,
+                early_termination: 1.1,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(
@@ -481,9 +501,10 @@ mod tests {
         let cam = Camera::close_view(&t.bounds());
         let tf = tfn(&t);
         let cfg = UvrConfig { depth_samples: 48, ..Default::default() };
-        let a = render_unstructured(&Device::Serial, &t, "scalar", &cam, 32, 32, &tf, &cfg).unwrap();
-        let b =
-            render_unstructured(&Device::parallel(), &t, "scalar", &cam, 32, 32, &tf, &cfg).unwrap();
+        let a =
+            render_unstructured(&Device::Serial, &t, "scalar", &cam, 32, 32, &tf, &cfg).unwrap();
+        let b = render_unstructured(&Device::parallel(), &t, "scalar", &cam, 32, 32, &tf, &cfg)
+            .unwrap();
         assert!(a.frame.mean_abs_diff(&b.frame) < 1e-4);
     }
 
@@ -521,7 +542,14 @@ mod tests {
         let t = small_tets();
         let cam = Camera::close_view(&t.bounds());
         let err = render_unstructured(
-            &Device::Serial, &t, "nope", &cam, 8, 8, &tfn(&t), &UvrConfig::default(),
+            &Device::Serial,
+            &t,
+            "nope",
+            &cam,
+            8,
+            8,
+            &tfn(&t),
+            &UvrConfig::default(),
         )
         .unwrap_err();
         assert_eq!(err, UvrError::MissingField("nope".into()));
@@ -532,21 +560,22 @@ mod tests {
         let t = small_tets();
         let cam = Camera::close_view(&t.bounds());
         let out = render_unstructured(
-            &Device::Serial, &t, "scalar", &cam, 24, 24, &tfn(&t),
+            &Device::Serial,
+            &t,
+            "scalar",
+            &cam,
+            24,
+            24,
+            &tfn(&t),
             &UvrConfig { depth_samples: 32, num_passes: 2, ..Default::default() },
         )
         .unwrap();
-        for phase in ["initialization", "pass_selection", "screen_space", "sampling", "compositing"] {
+        for phase in ["initialization", "pass_selection", "screen_space", "sampling", "compositing"]
+        {
             assert!(out.phases.seconds_of(phase) >= 0.0);
-            assert!(
-                out.phases.phases.iter().any(|p| p.name == phase),
-                "missing {phase}"
-            );
+            assert!(out.phases.phases.iter().any(|p| p.name == phase), "missing {phase}");
         }
         // Two passes => two pass_selection records.
-        assert_eq!(
-            out.phases.phases.iter().filter(|p| p.name == "pass_selection").count(),
-            2
-        );
+        assert_eq!(out.phases.phases.iter().filter(|p| p.name == "pass_selection").count(), 2);
     }
 }

@@ -22,8 +22,8 @@ struct State {
 
 impl State {
     fn pressure(&self) -> f32 {
-        let ke = 0.5 * (self.mx * self.mx + self.my * self.my + self.mz * self.mz)
-            / self.rho.max(1e-12);
+        let ke =
+            0.5 * (self.mx * self.mx + self.my * self.my + self.mz * self.mz) / self.rho.max(1e-12);
         ((GAMMA - 1.0) * (self.e - ke)).max(1e-8)
     }
 
@@ -111,10 +111,7 @@ impl Cloverleaf {
     /// The mesh with current fields attached (cell-centered density,
     /// energy, pressure; point-averaged copies for point-based renderers).
     pub fn grid(&self) -> RectilinearGrid {
-        let mut g = RectilinearGrid::uniform(
-            self.cells,
-            Aabb::from_corners(Vec3::ZERO, Vec3::ONE),
-        );
+        let mut g = RectilinearGrid::uniform(self.cells, Aabb::from_corners(Vec3::ZERO, Vec3::ONE));
         g.fields.push(Field::cell("density", self.density()));
         g.fields.push(Field::cell("energy", self.energy()));
         g.fields.push(Field::cell("pressure", self.pressure()));
@@ -193,9 +190,8 @@ impl ProxySim for Cloverleaf {
                 let zp = at(i, j, k + 1);
                 let zm = at(i, j, k - 1);
 
-                let avg = |f: fn(&State) -> f32| {
-                    (f(xp) + f(xm) + f(yp) + f(ym) + f(zp) + f(zm)) / 6.0
-                };
+                let avg =
+                    |f: fn(&State) -> f32| (f(xp) + f(xm) + f(yp) + f(ym) + f(zp) + f(zm)) / 6.0;
 
                 // Fluxes per axis of the conserved variables.
                 let flux_x = |s: &State| {
@@ -221,25 +217,14 @@ impl ProxySim for Cloverleaf {
                 let fz_p = flux_z(zp);
                 let fz_m = flux_z(zm);
 
-                let mut u = [
-                    avg(|s| s.rho),
-                    avg(|s| s.mx),
-                    avg(|s| s.my),
-                    avg(|s| s.mz),
-                    avg(|s| s.e),
-                ];
+                let mut u =
+                    [avg(|s| s.rho), avg(|s| s.mx), avg(|s| s.my), avg(|s| s.mz), avg(|s| s.e)];
                 for q in 0..5 {
                     u[q] -= 0.5
                         * dtdx
                         * ((fx_p[q] - fx_m[q]) + (fy_p[q] - fy_m[q]) + (fz_p[q] - fz_m[q]));
                 }
-                State {
-                    rho: u[0].max(1e-6),
-                    mx: u[1],
-                    my: u[2],
-                    mz: u[3],
-                    e: u[4].max(1e-8),
-                }
+                State { rho: u[0].max(1e-6), mx: u[1], my: u[2], mz: u[3], e: u[4].max(1e-8) }
             })
             .collect();
         self.state = new;
@@ -282,11 +267,7 @@ mod tests {
         assert!(sim.time() > 0.0);
         let rho1 = sim.density();
         // Shock front moved: some background cells changed.
-        let changed = rho0
-            .iter()
-            .zip(rho1.iter())
-            .filter(|(a, b)| (*a - *b).abs() > 1e-5)
-            .count();
+        let changed = rho0.iter().zip(rho1.iter()).filter(|(a, b)| (*a - *b).abs() > 1e-5).count();
         assert!(changed > 10, "only {changed} cells changed");
         // All densities remain positive and finite.
         assert!(rho1.iter().all(|r| r.is_finite() && *r > 0.0));

@@ -91,10 +91,7 @@ impl Kripke {
 
     /// The mesh with the scalar-flux field (point-sampled copy included).
     pub fn grid(&self) -> UniformGrid {
-        let mut g = UniformGrid::new(
-            self.cells,
-            Aabb::from_corners(Vec3::ZERO, Vec3::ONE),
-        );
+        let mut g = UniformGrid::new(self.cells, Aabb::from_corners(Vec3::ZERO, Vec3::ONE));
         g.fields.push(Field::cell("phi", self.phi.clone()));
         // Point-sampled version (nearest-cell at points) for point renderers.
         let pd = g.dims;
@@ -130,21 +127,33 @@ impl Kripke {
                     let c = self.idx(i, j, k);
                     // Upwind incoming fluxes (vacuum boundary = 0).
                     let in_x = if dir[0] > 0.0 {
-                        if i > 0 { psi[self.idx(i - 1, j, k)] } else { 0.0 }
+                        if i > 0 {
+                            psi[self.idx(i - 1, j, k)]
+                        } else {
+                            0.0
+                        }
                     } else if i + 1 < nx {
                         psi[self.idx(i + 1, j, k)]
                     } else {
                         0.0
                     };
                     let in_y = if dir[1] > 0.0 {
-                        if j > 0 { psi[self.idx(i, j - 1, k)] } else { 0.0 }
+                        if j > 0 {
+                            psi[self.idx(i, j - 1, k)]
+                        } else {
+                            0.0
+                        }
                     } else if j + 1 < ny {
                         psi[self.idx(i, j + 1, k)]
                     } else {
                         0.0
                     };
                     let in_z = if dir[2] > 0.0 {
-                        if k > 0 { psi[self.idx(i, j, k - 1)] } else { 0.0 }
+                        if k > 0 {
+                            psi[self.idx(i, j, k - 1)]
+                        } else {
+                            0.0
+                        }
                     } else if k + 1 < nz {
                         psi[self.idx(i, j, k + 1)]
                     } else {
@@ -152,8 +161,8 @@ impl Kripke {
                     };
                     // Isotropic total source: external + scattering off the
                     // previous iteration's scalar flux.
-                    let q = self.source[c] + self.sigma_s[c] * psi_prev_phi[c]
-                        / (4.0 * std::f32::consts::PI);
+                    let q = self.source[c]
+                        + self.sigma_s[c] * psi_prev_phi[c] / (4.0 * std::f32::consts::PI);
                     let num = q + cx * in_x + cy * in_y + cz * in_z;
                     let den = self.sigma_t[c] + cx + cy + cz;
                     psi[c] = (num / den).max(0.0);
@@ -178,10 +187,8 @@ impl ProxySim for Kripke {
         // Octant sweeps are independent given the previous iterate; sweep
         // them in parallel with plain threads over octants.
         let sweeps: Vec<Vec<f32>> = std::thread::scope(|s| {
-            let handles: Vec<_> = OCTANTS
-                .iter()
-                .map(|dir| s.spawn(|| self.sweep(*dir, &prev)))
-                .collect();
+            let handles: Vec<_> =
+                OCTANTS.iter().map(|dir| s.spawn(|| self.sweep(*dir, &prev))).collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         for psi in sweeps {

@@ -79,11 +79,7 @@ impl Lulesh {
 
     /// Per-element density.
     pub fn density(&self) -> Vec<f32> {
-        self.elem_mass
-            .iter()
-            .zip(self.elem_volume.iter())
-            .map(|(m, v)| m / v.max(1e-12))
-            .collect()
+        self.elem_mass.iter().zip(self.elem_volume.iter()).map(|(m, v)| m / v.max(1e-12)).collect()
     }
 
     /// Per-element pressure (ideal gas EOS).

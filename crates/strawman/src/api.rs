@@ -3,10 +3,13 @@
 
 use crate::mesh_convert::{convert, ConvertError, PublishedMesh};
 use crate::png;
+use compositing::{radix_k_opts, CompositeMode, CompositeStats, ExchangeOptions, RankImage};
 use conduit_node::Node;
 use dpp::Device;
 use mesh::external_faces::{external_faces_grid, external_faces_hex};
 use mesh::{Assoc, Field, TriMesh, UniformGrid};
+use mpirt::NetModel;
+use render::counters::PhaseTimer;
 use render::raster::rasterize;
 use render::raytrace::{RayTracer, RtConfig, TriGeometry};
 use render::volume_structured::{render_structured, SvrConfig};
@@ -21,11 +24,22 @@ pub struct Options {
     pub device: Device,
     /// Directory image files are written into.
     pub output_dir: PathBuf,
+    /// Ship run-length-compressed active-pixel spans during distributed
+    /// compositing (IceT's behavior). On by default; turn off to measure the
+    /// dense exchange — the composited image is pixel-identical either way.
+    pub compress_compositing: bool,
+    /// Network model for the simulated compositing exchange.
+    pub net: NetModel,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { device: Device::parallel(), output_dir: PathBuf::from(".") }
+        Options {
+            device: Device::parallel(),
+            output_dir: PathBuf::from("."),
+            compress_compositing: true,
+            net: NetModel::cluster(),
+        }
     }
 }
 
@@ -104,6 +118,8 @@ pub struct Strawman {
     pub records: Vec<RenderRecord>,
     /// The most recent frame, for tests and streaming-style consumers.
     pub last_frame: Option<Framebuffer>,
+    /// Per-phase instrumentation, including bytes moved by compositing.
+    pub phases: PhaseTimer,
 }
 
 impl Strawman {
@@ -117,7 +133,29 @@ impl Strawman {
             draw_requested: false,
             records: Vec::new(),
             last_frame: None,
+            phases: PhaseTimer::new(),
         }
+    }
+
+    /// Composite per-rank framebuffers (visibility order, front first) into
+    /// one frame, as a simulated radix-k exchange. Uses compressed
+    /// active-pixel fragments unless [`Options::compress_compositing`] is
+    /// off. Records a `"compositing"` phase carrying the simulated exchange
+    /// seconds and wire bytes; returns the merged frame and the exchange
+    /// stats.
+    pub fn composite(
+        &mut self,
+        frames: &[Framebuffer],
+        mode: CompositeMode,
+    ) -> (Framebuffer, CompositeStats) {
+        assert!(!frames.is_empty(), "composite of zero frames");
+        let images: Vec<RankImage> = frames.iter().map(to_rank_image).collect();
+        let factors = compositing::algorithms::default_factors(images.len());
+        let opts = ExchangeOptions { compress: self.opts.compress_compositing };
+        let (merged, stats) = radix_k_opts(&images, mode, self.opts.net, &factors, opts);
+        let pixels = merged.num_pixels() as u64 * frames.len() as u64;
+        self.phases.record_bytes("compositing", stats.simulated_seconds, pixels, stats.total_bytes);
+        (from_rank_image(&merged), stats)
     }
 
     /// Publish simulation data described with the mesh conventions.
@@ -207,14 +245,8 @@ impl Strawman {
         let plots = self.plots.clone();
         for plot in &plots {
             let t0 = std::time::Instant::now();
-            let (frame, renderer, active) = render_plot(
-                &self.opts.device,
-                mesh,
-                plot,
-                &camera,
-                width,
-                height,
-            )?;
+            let (frame, renderer, active) =
+                render_plot(&self.opts.device, mesh, plot, &camera, width, height)?;
             let seconds = t0.elapsed().as_secs_f64();
             let mut frame = frame;
             frame.set_background(Color::WHITE);
@@ -267,7 +299,8 @@ fn render_plot(
             match plot.renderer {
                 RendererKind::RayTracer => {
                     let rt = RayTracer::new(device.clone(), geom);
-                    let out = rt.render_with_map(camera, width, height, &RtConfig::workload2(), &tf);
+                    let out =
+                        rt.render_with_map(camera, width, height, &RtConfig::workload2(), &tf);
                     Ok((out.frame, "raytracer", out.stats.active_pixels))
                 }
                 RendererKind::Rasterizer => {
@@ -282,7 +315,14 @@ fn render_plot(
                 let range = g.field(&name).unwrap().range().unwrap_or((0.0, 1.0));
                 let tf = TransferFunction::sparse_features(range);
                 let out = render_structured(
-                    device, &g, &name, camera, width, height, &tf, &SvrConfig::default(),
+                    device,
+                    &g,
+                    &name,
+                    camera,
+                    width,
+                    height,
+                    &tf,
+                    &SvrConfig::default(),
                 );
                 Ok((out.frame, "volume_structured", out.stats.active_pixels))
             }
@@ -299,12 +339,8 @@ fn render_plot(
                         with_points.resample_to_uniform([d[0] - 1, d[1] - 1, d[2] - 1]);
                     // Keep the caller's variable name valid on the result.
                     if name != plot.var {
-                        if let Some(f) =
-                            resampled.fields.iter().find(|f| f.name == name).cloned()
-                        {
-                            resampled
-                                .fields
-                                .push(Field::point(plot.var.clone(), f.values));
+                        if let Some(f) = resampled.fields.iter().find(|f| f.name == name).cloned() {
+                            resampled.fields.push(Field::point(plot.var.clone(), f.values));
                         }
                     }
                     resampled
@@ -313,7 +349,14 @@ fn render_plot(
                 let range = g.field(&name).unwrap().range().unwrap_or((0.0, 1.0));
                 let tf = TransferFunction::sparse_features(range);
                 let out = render_structured(
-                    device, &g, &name, camera, width, height, &tf, &SvrConfig::default(),
+                    device,
+                    &g,
+                    &name,
+                    camera,
+                    width,
+                    height,
+                    &tf,
+                    &SvrConfig::default(),
                 );
                 Ok((out.frame, "volume_structured", out.stats.active_pixels))
             }
@@ -323,7 +366,14 @@ fn render_plot(
                 let range = tets.field(&name).unwrap().range().unwrap_or((0.0, 1.0));
                 let tf = TransferFunction::sparse_features(range);
                 let out = render_unstructured(
-                    device, &tets, &name, camera, width, height, &tf, &UvrConfig::default(),
+                    device,
+                    &tets,
+                    &name,
+                    camera,
+                    width,
+                    height,
+                    &tf,
+                    &UvrConfig::default(),
                 )
                 .map_err(|e| StrawmanError::Render(e.to_string()))?;
                 Ok((out.frame, "volume_unstructured", out.stats.active_pixels))
@@ -358,9 +408,7 @@ fn grid_with_point_field(
     g: &UniformGrid,
     var: &str,
 ) -> Result<(UniformGrid, String), StrawmanError> {
-    let f = g
-        .field(var)
-        .ok_or_else(|| StrawmanError::UnknownField(var.to_string()))?;
+    let f = g.field(var).ok_or_else(|| StrawmanError::UnknownField(var.to_string()))?;
     if f.assoc == Assoc::Point {
         return Ok((g.clone(), var.to_string()));
     }
@@ -399,9 +447,7 @@ fn grid_with_point_field(
 /// Ensure the hex mesh carries `var` as a point field (node-averaging cell
 /// fields); returns the field name to use.
 fn ensure_point_field_hex(h: &mut mesh::HexMesh, var: &str) -> Result<String, StrawmanError> {
-    let f = h
-        .field(var)
-        .ok_or_else(|| StrawmanError::UnknownField(var.to_string()))?;
+    let f = h.field(var).ok_or_else(|| StrawmanError::UnknownField(var.to_string()))?;
     if f.assoc == Assoc::Point {
         return Ok(var.to_string());
     }
@@ -429,9 +475,7 @@ fn ensure_point_field_rect(
     r: &mut mesh::RectilinearGrid,
     var: &str,
 ) -> Result<String, StrawmanError> {
-    let f = r
-        .field(var)
-        .ok_or_else(|| StrawmanError::UnknownField(var.to_string()))?;
+    let f = r.field(var).ok_or_else(|| StrawmanError::UnknownField(var.to_string()))?;
     if f.assoc == Assoc::Point {
         return Ok(var.to_string());
     }
@@ -457,8 +501,7 @@ fn ensure_point_field_rect(
                         }
                     }
                 }
-                pvals[(pk * d[1] + pj) * d[0] + pi] =
-                    if count > 0.0 { sum / count } else { 0.0 };
+                pvals[(pk * d[1] + pj) * d[0] + pi] = if count > 0.0 { sum / count } else { 0.0 };
             }
         }
     }
@@ -469,9 +512,7 @@ fn ensure_point_field_rect(
 
 /// Same for a tet mesh.
 fn ensure_point_field_tets(t: &mut mesh::TetMesh, var: &str) -> Result<String, StrawmanError> {
-    let f = t
-        .field(var)
-        .ok_or_else(|| StrawmanError::UnknownField(var.to_string()))?;
+    let f = t.field(var).ok_or_else(|| StrawmanError::UnknownField(var.to_string()))?;
     if f.assoc == Assoc::Point {
         return Ok(var.to_string());
     }
@@ -559,6 +600,7 @@ mod tests {
         let mut sm = Strawman::open(Options {
             device: Device::Serial,
             output_dir: dir.clone(),
+            ..Options::default()
         });
         sm.publish(&uniform_data(12)).unwrap();
         sm.execute(&actions("scalar", "pseudocolor", "test_ps")).unwrap();
@@ -573,7 +615,11 @@ mod tests {
 
     #[test]
     fn volume_plot_works() {
-        let mut sm = Strawman::open(Options { device: Device::Serial, output_dir: std::env::temp_dir() });
+        let mut sm = Strawman::open(Options {
+            device: Device::Serial,
+            output_dir: std::env::temp_dir(),
+            ..Options::default()
+        });
         sm.publish(&uniform_data(12)).unwrap();
         sm.execute(&actions("scalar", "volume", "")).unwrap();
         assert_eq!(sm.records[0].renderer, "volume_structured");
@@ -583,7 +629,11 @@ mod tests {
 
     #[test]
     fn unknown_action_and_field_error() {
-        let mut sm = Strawman::open(Options { device: Device::Serial, output_dir: std::env::temp_dir() });
+        let mut sm = Strawman::open(Options {
+            device: Device::Serial,
+            output_dir: std::env::temp_dir(),
+            ..Options::default()
+        });
         sm.publish(&uniform_data(8)).unwrap();
         let mut bad = Node::new();
         bad.append().set("action", "FlyToTheMoon");
@@ -604,7 +654,11 @@ mod tests {
         d.set("coords/values/z", (0..13).map(|i| i as f32 / 6.0).collect::<Vec<f32>>());
         d.set("fields/q/association", "element");
         d.set("fields/q/values", (0..12 * 12 * 12).map(|i| (i % 100) as f32).collect::<Vec<f32>>());
-        let mut sm = Strawman::open(Options { device: Device::Serial, output_dir: std::env::temp_dir() });
+        let mut sm = Strawman::open(Options {
+            device: Device::Serial,
+            output_dir: std::env::temp_dir(),
+            ..Options::default()
+        });
         sm.publish(&d).unwrap();
         let mut a = Node::new();
         let add = a.append();
@@ -635,8 +689,46 @@ mod tests {
     }
 
     #[test]
+    fn composite_records_bytes_and_matches_dense() {
+        // Two sparse "rank" frames: disjoint active bands with depths.
+        let mut a = Framebuffer::new(24, 16);
+        let mut b = Framebuffer::new(24, 16);
+        for i in 0..60 {
+            a.color[i] = Color::new(0.9, 0.2, 0.1, 1.0);
+            a.depth[i] = 1.0;
+        }
+        for i in 40..130 {
+            b.color[i] = Color::new(0.1, 0.3, 0.8, 1.0);
+            b.depth[i] = 2.0;
+        }
+        let frames = [a, b];
+
+        let mut sm = Strawman::open(Options { device: Device::Serial, ..Options::default() });
+        let (img, stats) = sm.composite(&frames, CompositeMode::ZBuffer);
+        assert_eq!(sm.phases.bytes_of("compositing"), stats.total_bytes);
+        assert!(sm.phases.seconds_of("compositing") > 0.0);
+
+        let mut dense_sm = Strawman::open(Options {
+            device: Device::Serial,
+            compress_compositing: false,
+            ..Options::default()
+        });
+        let (dense_img, dense_stats) = dense_sm.composite(&frames, CompositeMode::ZBuffer);
+        // Compression must not change a single pixel, only the byte count.
+        for i in 0..img.color.len() {
+            assert_eq!(img.color[i], dense_img.color[i], "pixel {i}");
+        }
+        assert!(stats.total_bytes < dense_stats.total_bytes);
+        assert_eq!(dense_stats.total_bytes, dense_stats.dense_bytes);
+    }
+
+    #[test]
     fn rasterizer_renderer_selectable() {
-        let mut sm = Strawman::open(Options { device: Device::Serial, output_dir: std::env::temp_dir() });
+        let mut sm = Strawman::open(Options {
+            device: Device::Serial,
+            output_dir: std::env::temp_dir(),
+            ..Options::default()
+        });
         sm.publish(&uniform_data(10)).unwrap();
         let mut a = Node::new();
         let add = a.append();

@@ -79,9 +79,7 @@ impl std::error::Error for ConvertError {}
 /// ("it was necessary to copy the coordinate and field data to remove the
 /// embedded ghost zones, which Strawman currently does not support").
 pub fn convert(data: &Node) -> Result<PublishedMesh, ConvertError> {
-    let ctype = data
-        .get_str("coords/type")
-        .ok_or(ConvertError::MissingPath("coords/type"))?;
+    let ctype = data.get_str("coords/type").ok_or(ConvertError::MissingPath("coords/type"))?;
     let mesh = match ctype {
         "uniform" => convert_uniform(data),
         "rectilinear" => convert_rectilinear(data),
@@ -181,8 +179,7 @@ fn strip_field_structured(
     let mut values = Vec::with_capacity(inner_dims[0] * inner_dims[1] * inner_dims[2]);
     for k in 0..inner_dims[2] {
         for j in 0..inner_dims[1] {
-            let row_start =
-                ((k + g[2]) * src_dims[1] + (j + g[1])) * src_dims[0] + g[0];
+            let row_start = ((k + g[2]) * src_dims[1] + (j + g[1])) * src_dims[0] + g[0];
             values.extend_from_slice(&f.values[row_start..row_start + inner_dims[0]]);
         }
     }
@@ -203,9 +200,8 @@ fn read_fields(data: &Node, n_points: usize, n_cells: usize) -> Result<Vec<Field
                     )))
                 }
             };
-            let values = f
-                .get_f32s("values")
-                .ok_or(ConvertError::MissingPath("fields/<name>/values"))?;
+            let values =
+                f.get_f32s("values").ok_or(ConvertError::MissingPath("fields/<name>/values"))?;
             let expect = if assoc == Assoc::Point { n_points } else { n_cells };
             if values.len() != expect {
                 return Err(ConvertError::BadShape(format!(
@@ -265,8 +261,7 @@ fn convert_rectilinear(data: &Node) -> Result<PublishedMesh, ConvertError> {
 
 fn convert_explicit(data: &Node) -> Result<PublishedMesh, ConvertError> {
     let coord = |name: &str| -> Result<&[f32], ConvertError> {
-        data.get_f32s(&format!("coords/{name}"))
-            .ok_or(ConvertError::MissingPath("coords/{x,y,z}"))
+        data.get_f32s(&format!("coords/{name}")).ok_or(ConvertError::MissingPath("coords/{x,y,z}"))
     };
     let xs = coord("x")?;
     let ys = coord("y")?;
@@ -274,9 +269,7 @@ fn convert_explicit(data: &Node) -> Result<PublishedMesh, ConvertError> {
     if xs.len() != ys.len() || ys.len() != zs.len() {
         return Err(ConvertError::BadShape("coordinate arrays differ in length".into()));
     }
-    let ttype = data
-        .get_str("topology/type")
-        .ok_or(ConvertError::MissingPath("topology/type"))?;
+    let ttype = data.get_str("topology/type").ok_or(ConvertError::MissingPath("topology/type"))?;
     if ttype != "unstructured" {
         return Err(ConvertError::Unsupported(format!(
             "explicit coords with topology/type = {ttype}"
@@ -298,13 +291,9 @@ fn convert_explicit(data: &Node) -> Result<PublishedMesh, ConvertError> {
     if let Some(&bad) = conn.iter().find(|&&v| v as usize >= n_points) {
         return Err(ConvertError::BadShape(format!("connectivity index {bad} out of range")));
     }
-    let points: Vec<Vec3> = (0..n_points)
-        .map(|i| Vec3::new(xs[i], ys[i], zs[i]))
-        .collect();
-    let hexes: Vec<[u32; 8]> = conn
-        .chunks_exact(8)
-        .map(|c| [c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])
-        .collect();
+    let points: Vec<Vec3> = (0..n_points).map(|i| Vec3::new(xs[i], ys[i], zs[i])).collect();
+    let hexes: Vec<[u32; 8]> =
+        conn.chunks_exact(8).map(|c| [c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]).collect();
     let n_cells = hexes.len();
     let fields = read_fields(data, n_points, n_cells)?;
     Ok(PublishedMesh::Hexes(HexMesh { points, hexes, fields }))

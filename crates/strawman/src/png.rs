@@ -114,7 +114,7 @@ mod tests {
         // IHDR at offset 8.
         assert_eq!(&png[12..16], b"IHDR");
         assert_eq!(u32::from_be_bytes([png[16], png[17], png[18], png[19]]), 4); // width
-        // Ends with IEND + its CRC.
+                                                                                 // Ends with IEND + its CRC.
         let n = png.len();
         assert_eq!(&png[n - 8..n - 4], b"IEND");
         assert_eq!(

@@ -22,10 +22,7 @@ impl Default for Aabb {
 impl Aabb {
     /// The empty box (identity for union).
     pub fn empty() -> Aabb {
-        Aabb {
-            min: Vec3::splat(f32::INFINITY),
-            max: Vec3::splat(f32::NEG_INFINITY),
-        }
+        Aabb { min: Vec3::splat(f32::INFINITY), max: Vec3::splat(f32::NEG_INFINITY) }
     }
 
     /// Box from two corners (in any order).
@@ -97,8 +94,7 @@ impl Aabb {
     /// True if this box contains `o` entirely.
     #[inline]
     pub fn contains_box(&self, o: &Aabb) -> bool {
-        o.is_empty()
-            || (self.contains(o.min) && self.contains(o.max))
+        o.is_empty() || (self.contains(o.min) && self.contains(o.max))
     }
 
     /// Normalize `p` into `[0,1]^3` coordinates of this box.
@@ -216,11 +212,7 @@ mod tests {
 
     #[test]
     fn from_points_contains_all() {
-        let pts = [
-            Vec3::new(0.0, -1.0, 2.0),
-            Vec3::new(3.0, 1.0, -2.0),
-            Vec3::new(1.0, 0.0, 0.0),
-        ];
+        let pts = [Vec3::new(0.0, -1.0, 2.0), Vec3::new(3.0, 1.0, -2.0), Vec3::new(1.0, 0.0, 0.0)];
         let b = Aabb::from_points(&pts);
         for p in pts {
             assert!(b.contains(p));

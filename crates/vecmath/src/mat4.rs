@@ -181,10 +181,7 @@ mod tests {
     use super::*;
 
     fn approx(a: &Mat4, b: &Mat4, eps: f32) -> bool {
-        a.m.iter()
-            .flatten()
-            .zip(b.m.iter().flatten())
-            .all(|(x, y)| (x - y).abs() < eps)
+        a.m.iter().flatten().zip(b.m.iter().flatten()).all(|(x, y)| (x - y).abs() < eps)
     }
 
     #[test]

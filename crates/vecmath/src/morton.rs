@@ -39,11 +39,7 @@ pub fn morton3(x: f32, y: f32, z: f32) -> u32 {
 /// `0..1024`.
 #[inline]
 pub fn morton_decode3(code: u32) -> (u32, u32, u32) {
-    (
-        compact_bits10(code >> 2),
-        compact_bits10(code >> 1),
-        compact_bits10(code),
-    )
+    (compact_bits10(code >> 2), compact_bits10(code >> 1), compact_bits10(code))
 }
 
 /// Morton code for a 2D pixel position (16 bits per axis), used to order
@@ -69,11 +65,7 @@ mod tests {
     #[test]
     fn round_trip_quantized() {
         for &(x, y, z) in &[(0u32, 0, 0), (1023, 1023, 1023), (512, 13, 700), (1, 2, 3)] {
-            let code = morton3(
-                x as f32 / 1023.0,
-                y as f32 / 1023.0,
-                z as f32 / 1023.0,
-            );
+            let code = morton3(x as f32 / 1023.0, y as f32 / 1023.0, z as f32 / 1023.0);
             assert_eq!(morton_decode3(code), (x, y, z));
         }
     }

@@ -69,9 +69,7 @@ fn main() {
     let mut sim = sims::Cloverleaf::new(n);
     for _ in 0..3 {
         sim.step();
-        let plan = planner
-            .plan(n, 1, &constraints)
-            .expect("constraints should be satisfiable");
+        let plan = planner.plan(n, 1, &constraints).expect("constraints should be satisfiable");
         println!(
             "cycle {}: plan = {} at {}x{} (expected {:.3} s, {} MiB)",
             sim.cycle(),

@@ -66,8 +66,7 @@ fn main() {
                 let raw = comm.recv_f32s(src, 42);
                 let mut other = RankImage::empty(SIDE, SIDE);
                 for (i, chunk) in raw.chunks_exact(5).enumerate() {
-                    other.color[i] =
-                        vecmath::Color::new(chunk[0], chunk[1], chunk[2], chunk[3]);
+                    other.color[i] = vecmath::Color::new(chunk[0], chunk[1], chunk[2], chunk[3]);
                     other.depth[i] = chunk[4];
                 }
                 images.push(other);

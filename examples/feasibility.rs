@@ -51,14 +51,11 @@ fn main() {
     println!("Q1: images renderable in 60 s (32 tasks, 200^3 cells/task):");
     println!("{:>10}  {:>12} {:>12} {:>12}", "image", "raytrace", "rasterize", "volume");
     let sides = [512u32, 1024, 2048, 4096];
-    let per: Vec<Vec<(u32, f64)>> = [
-        RendererKind::RayTracing,
-        RendererKind::Rasterization,
-        RendererKind::VolumeRendering,
-    ]
-    .iter()
-    .map(|&r| images_in_budget(&set, &k, r, 200, 32, &sides, 60.0))
-    .collect();
+    let per: Vec<Vec<(u32, f64)>> =
+        [RendererKind::RayTracing, RendererKind::Rasterization, RendererKind::VolumeRendering]
+            .iter()
+            .map(|&r| images_in_budget(&set, &k, r, 200, 32, &sides, 60.0))
+            .collect();
     for (i, &side) in sides.iter().enumerate() {
         println!(
             "{:>8}^2  {:>12.0} {:>12.0} {:>12.0}",
@@ -79,10 +76,7 @@ fn main() {
     for n in datas {
         print!("{:>11}^3", n);
         for s in sides {
-            let cell = map
-                .iter()
-                .find(|c| c.image_side == s && c.cells_per_task == n)
-                .unwrap();
+            let cell = map.iter().find(|c| c.image_side == s && c.cells_per_task == n).unwrap();
             print!(" {:>11.2}", cell.rt_over_rast);
         }
         println!();

@@ -30,11 +30,7 @@ fn main() {
         let theta = 0.3 + 0.9 * ti as f32 / n_theta as f32;
         for pi in 0..n_phi {
             let phi = 2.0 * std::f32::consts::PI * pi as f32 / n_phi as f32;
-            let dir = Vec3::new(
-                theta.sin() * phi.cos(),
-                theta.cos(),
-                theta.sin() * phi.sin(),
-            );
+            let dir = Vec3::new(theta.sin() * phi.cos(), theta.cos(), theta.sin() * phi.sin());
             let cam = Camera::framing(&bounds, dir, 0.9);
             let out = tracer.render(&cam, side, side, &cfg);
             total_rays += out.stats.rays_traced;

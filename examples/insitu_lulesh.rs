@@ -70,7 +70,12 @@ fn main() {
     );
     for r in &sm.records {
         if let Some(p) = &r.path {
-            println!("  {} ({} px active, {:.3} s)", p.display(), r.active_pixels, r.render_seconds);
+            println!(
+                "  {} ({} px active, {:.3} s)",
+                p.display(),
+                r.active_pixels,
+                r.render_seconds
+            );
         }
     }
     sm.close();

@@ -1,0 +1,232 @@
+//! Minimal offline stand-in for `rayon`.
+//!
+//! The build container has no registry access, so this crate provides the
+//! rayon API surface the workspace compiles against — `par_iter`,
+//! `par_chunks`, `into_par_iter`, the `fold(|| id, f).reduce(|| id, op)`
+//! combinator shape, and `ThreadPool`/`ThreadPoolBuilder` — executing
+//! everything **sequentially** on the calling thread. Every algorithm in the
+//! workspace is deterministic and chunk-structured, so results are identical
+//! to a parallel run; only wall-clock speedup is forfeited. `ThreadPool`
+//! remembers its requested thread count because experiment metadata
+//! (`Device::threads()`) reports it.
+//!
+//! [`Par`] is both an `Iterator` (so any std combinator not shadowed here
+//! still works) and a carrier of inherent rayon-flavoured methods; inherent
+//! methods win name resolution, which is how the two-closure `fold`/`reduce`
+//! forms resolve correctly.
+
+use std::iter;
+use std::slice;
+
+/// Sequential "parallel" iterator wrapper.
+pub struct Par<I>(pub I);
+
+impl<I: Iterator> Iterator for Par<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> Par<I> {
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    pub fn enumerate(self) -> Par<iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    pub fn zip<J: IntoIterator>(self, other: J) -> Par<iter::Zip<I, J::IntoIter>> {
+        Par(self.0.zip(other))
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Rayon-style fold: per-"thread" accumulators seeded by `identity`.
+    /// Sequentially there is one accumulator; the result is an iterator over
+    /// it so a trailing `reduce` composes exactly as with real rayon.
+    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> Par<iter::Once<A>>
+    where
+        ID: Fn() -> A,
+        F: FnMut(A, I::Item) -> A,
+    {
+        Par(iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// Rayon-style reduce with an identity constructor.
+    pub fn reduce<ID, F>(self, identity: ID, mut reduce_op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), &mut reduce_op)
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn sum<S: iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn with_min_len(self, _min: usize) -> Par<I> {
+        self
+    }
+}
+
+/// `into_par_iter()` on anything iterable (ranges, vectors, adapters).
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type Iter = T::IntoIter;
+
+    fn into_par_iter(self) -> Par<T::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter` / `par_chunks` on shared slices (reached from `Vec` through
+/// auto-deref, as with the inherent slice methods).
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> Par<slice::Iter<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> Par<slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Par<slice::Iter<'_, T>> {
+        Par(self.iter())
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> Par<slice::Chunks<'_, T>> {
+        Par(self.chunks(chunk_size))
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> Par<slice::IterMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> Par<slice::IterMut<'_, T>> {
+        Par(self.iter_mut())
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(chunk_size))
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, Par, ParallelSlice, ParallelSliceMut};
+}
+
+/// Worker-thread count of the "global pool": the machine's logical core
+/// count, so chunked algorithms keep realistic grain sizes.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A pool handle that remembers its configured size. Work submitted through
+/// [`ThreadPool::install`] runs inline on the caller.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// `0` (the rayon default) means "use all cores".
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { current_num_threads() } else { self.num_threads };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn fold_reduce_matches_rayon_shape() {
+        let data = [1u32, 2, 3, 4, 5];
+        let total: u32 = data.par_iter().fold(|| 0u32, |a, &b| a + b).reduce(|| 0u32, |a, b| a + b);
+        assert_eq!(total, 15);
+    }
+
+    #[test]
+    fn map_zip_collect() {
+        let a = [1, 2, 3];
+        let mut b = vec![10, 20, 30];
+        let pairs: Vec<i32> = a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).collect();
+        assert_eq!(pairs, vec![11, 22, 33]);
+        b.par_iter_mut().for_each(|v| *v += 1);
+        assert_eq!(b, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn chunks_and_ranges() {
+        let v: Vec<usize> = (0..10usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v[9], 18);
+        let sums: Vec<usize> = v.par_chunks(4).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 3);
+    }
+
+    #[test]
+    fn pool_remembers_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        assert_eq!(pool.install(|| 7), 7);
+        assert!(crate::current_num_threads() >= 1);
+    }
+}

@@ -1,2 +1,4 @@
 //! Umbrella crate: examples and integration tests live at the workspace root.
-pub use perfmodel; pub use render; pub use strawman;
+pub use perfmodel;
+pub use render;
+pub use strawman;

@@ -2,7 +2,10 @@
 //! composited across simulated ranks must equal the single-rank render of
 //! the whole scene, for every compositing algorithm.
 
-use compositing::{binary_swap, direct_send, radix_k, reference, CompositeMode, RankImage};
+use compositing::{
+    binary_swap, binary_swap_opts, direct_send, direct_send_opts, radix_k, radix_k_opts, reference,
+    CompositeMode, ExchangeOptions, RankImage,
+};
 use dpp::Device;
 use mesh::datasets::{field_grid, FieldKind};
 use mesh::isosurface::isosurface;
@@ -69,15 +72,13 @@ fn distributed_render_equals_single_rank_render() {
     let truth = render_mesh(&whole, &cam);
 
     // Distributed: render slabs, composite with every algorithm.
-    let images: Vec<RankImage> = (0..ranks).map(|r| render_mesh(&rank_mesh(r, ranks), &cam)).collect();
+    let images: Vec<RankImage> =
+        (0..ranks).map(|r| render_mesh(&rank_mesh(r, ranks), &cam)).collect();
     for (name, composited) in [
         ("reference", reference(&images, CompositeMode::ZBuffer)),
         ("direct_send", direct_send(&images, CompositeMode::ZBuffer, NetModel::zero()).0),
         ("binary_swap", binary_swap(&images, CompositeMode::ZBuffer, NetModel::zero()).0),
-        (
-            "radix_k",
-            radix_k(&images, CompositeMode::ZBuffer, NetModel::zero(), &[2, 2]).0,
-        ),
+        ("radix_k", radix_k(&images, CompositeMode::ZBuffer, NetModel::zero(), &[2, 2]).0),
     ] {
         // Depth-composited sub-domains must reproduce the whole-scene image
         // almost exactly (tiny BVH traversal-order epsilon at slab seams).
@@ -98,12 +99,70 @@ fn distributed_render_equals_single_rank_render() {
 fn threaded_world_produces_same_images_as_direct_calls() {
     let ranks = 3;
     let cam = whole_scene_camera();
-    let direct: Vec<RankImage> = (0..ranks).map(|r| render_mesh(&rank_mesh(r, ranks), &cam)).collect();
+    let direct: Vec<RankImage> =
+        (0..ranks).map(|r| render_mesh(&rank_mesh(r, ranks), &cam)).collect();
     let via_world: Vec<RankImage> = World::run(ranks, NetModel::zero(), |comm| {
         render_mesh(&rank_mesh(comm.rank(), ranks), &cam)
     });
     for (a, b) in direct.iter().zip(via_world.iter()) {
         assert!(a.max_color_diff(b) < 1e-6);
+    }
+}
+
+/// Every algorithm, compressed and dense, must be pixel-exact against the
+/// serial reference at awkward rank counts — primes and Fibonacci numbers
+/// exercise radix-k's mixed factors and binary swap's non-power-of-two fold
+/// path (3, 5, 13 all fold before swapping).
+#[test]
+fn compressed_and_dense_match_reference_at_odd_rank_counts() {
+    for ranks in [1usize, 2, 3, 5, 8, 13] {
+        let images = perfmodel::study::synth_rank_images(ranks, 48, 100 + ranks as u64);
+        let factors = compositing::algorithms::default_factors(ranks);
+        for mode in [CompositeMode::ZBuffer, CompositeMode::AlphaOrdered] {
+            let expect = reference(&images, mode);
+            for opts in [ExchangeOptions::default(), ExchangeOptions::dense()] {
+                let tag = if opts.compress { "compressed" } else { "dense" };
+                let (ds, _) = direct_send_opts(&images, mode, NetModel::zero(), opts);
+                assert!(ds.max_color_diff(&expect) < 2e-5, "direct_send {tag} p={ranks} {mode:?}");
+                let (bs, _) = binary_swap_opts(&images, mode, NetModel::zero(), opts);
+                assert!(bs.max_color_diff(&expect) < 2e-5, "binary_swap {tag} p={ranks} {mode:?}");
+                let (rk, _) = radix_k_opts(&images, mode, NetModel::zero(), &factors, opts);
+                assert!(rk.max_color_diff(&expect) < 2e-5, "radix_k {tag} p={ranks} {mode:?}");
+            }
+            // Compressed and dense must agree bit-for-bit, not just within
+            // the reference tolerance.
+            let (c, _) =
+                radix_k_opts(&images, mode, NetModel::zero(), &factors, ExchangeOptions::default());
+            let (d, _) =
+                radix_k_opts(&images, mode, NetModel::zero(), &factors, ExchangeOptions::dense());
+            assert_eq!(c.max_color_diff(&d), 0.0, "p={ranks} {mode:?}");
+        }
+    }
+}
+
+/// The acceptance bar for active-pixel compression: at 64 simulated ranks on
+/// the study's sparse images, the run-length exchange must move less than
+/// half the dense bytes while producing the identical image.
+#[test]
+fn compression_halves_wire_bytes_at_64_ranks() {
+    let images = perfmodel::study::synth_rank_images(64, 128, 7);
+    let factors = compositing::algorithms::default_factors(64);
+    let mode = CompositeMode::AlphaOrdered;
+    let (comp_img, comp) =
+        radix_k_opts(&images, mode, NetModel::cluster(), &factors, ExchangeOptions::default());
+    let (dense_img, dense) =
+        radix_k_opts(&images, mode, NetModel::cluster(), &factors, ExchangeOptions::dense());
+    assert!(
+        comp.total_bytes * 2 <= dense.total_bytes,
+        "expected >= 2x reduction: {} vs {}",
+        comp.total_bytes,
+        dense.total_bytes
+    );
+    assert!(comp.compression_ratio() >= 2.0);
+    // Pixel-identical, bit for bit.
+    assert_eq!(comp_img.max_color_diff(&dense_img), 0.0);
+    for i in 0..comp_img.depth.len() {
+        assert!(comp_img.depth[i] == dense_img.depth[i], "depth {i}");
     }
 }
 
@@ -122,7 +181,7 @@ fn compositing_cost_reported_for_simulated_scale() {
     assert!(stats.simulated_seconds > 0.0);
     assert!(stats.total_bytes > 0);
     assert_eq!(stats.rounds, 8 + 1); // 2^8 = 256, + gather
-    // Must equal the serial reference.
+                                     // Must equal the serial reference.
     let expect = reference(&images, CompositeMode::AlphaOrdered);
     assert!(out.max_color_diff(&expect) < 2e-5);
 }

@@ -10,7 +10,7 @@ use strawman::{Options, Strawman};
 fn test_options() -> Options {
     let dir = std::env::temp_dir().join(format!("strawman_it_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
-    Options { device: Device::Serial, output_dir: dir }
+    Options { device: Device::Serial, output_dir: dir, ..Options::default() }
 }
 
 #[test]

@@ -73,11 +73,23 @@ fn structured_and_unstructured_vr_agree_on_decomposed_grid() {
     let tf = TransferFunction::sparse_features(range);
     let cam = Camera::close_view(&grid.bounds());
     let s = render_structured(
-        &Device::Serial, &grid, "scalar", &cam, 56, 56, &tf,
+        &Device::Serial,
+        &grid,
+        "scalar",
+        &cam,
+        56,
+        56,
+        &tf,
         &SvrConfig { samples_per_ray: 128, ..Default::default() },
     );
     let u = render_unstructured(
-        &Device::Serial, &tets, "scalar", &cam, 56, 56, &tf,
+        &Device::Serial,
+        &tets,
+        "scalar",
+        &cam,
+        56,
+        56,
+        &tf,
         &UvrConfig { depth_samples: 128, ..Default::default() },
     )
     .unwrap();
@@ -105,7 +117,13 @@ fn all_volume_renderers_light_up_the_same_region() {
     let tf = TransferFunction::sparse_features(range);
     let cam = Camera::close_view(&tets.bounds());
     let dpp = render_unstructured(
-        &Device::Serial, &tets, "scalar", &cam, 48, 48, &tf,
+        &Device::Serial,
+        &tets,
+        "scalar",
+        &cam,
+        48,
+        48,
+        &tf,
         &UvrConfig { depth_samples: 96, ..Default::default() },
     )
     .unwrap();
@@ -113,9 +131,8 @@ fn all_volume_renderers_light_up_the_same_region() {
     let bunyk = baselines::bunyk::render_bunyk(&tets, &conn, "scalar", &cam, 48, 48, &tf, 0.01);
     let havs = baselines::havs::render_havs(&Device::Serial, &tets, "scalar", &cam, 48, 48, &tf);
     let visit = baselines::visit_like::render_visit(&tets, "scalar", &cam, 48, 48, 96, &tf);
-    let coverage = |f: &render::Framebuffer| -> usize {
-        f.color.iter().filter(|c| c.a > 0.02).count()
-    };
+    let coverage =
+        |f: &render::Framebuffer| -> usize { f.color.iter().filter(|c| c.a > 0.02).count() };
     let base = coverage(&dpp.frame);
     assert!(base > 200);
     for (name, c) in [
