@@ -7,10 +7,44 @@
 //! ```
 //!
 //! Every experiment prints its table and writes a CSV artifact under
-//! `repro_out/`.
+//! `repro_out/`. Exits nonzero if any requested stage fails, so CI smoke
+//! runs cannot silently pass over a panicking experiment.
 
 use baselines::tuned::Profile;
 use bench_harness::{figures, tables, write_artifact, Scale, TextTable};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const ALL: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "table12",
+    "table13",
+    "table14",
+    "table15",
+    "table16",
+    "table17",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "ablations",
+    "compression",
+    "sched",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,51 +52,31 @@ fn main() {
     let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     if ids.is_empty() {
         eprintln!(
-            "usage: repro <table1..table17|fig4..fig15|ablations|compression|images|all> [--full]"
+            "usage: repro <table1..table17|fig4..fig15|ablations|compression|sched|images|all> [--full]"
         );
         std::process::exit(2);
     }
+    let mut failures = Vec::new();
     for id in ids {
         if id == "images" {
-            bench_harness::images::all(scale);
+            if catch_unwind(AssertUnwindSafe(|| bench_harness::images::all(scale))).is_err() {
+                failures.push("images");
+            }
             continue;
         }
         if id == "all" {
-            for t in [
-                "table1",
-                "table2",
-                "table3",
-                "table4",
-                "table5",
-                "table6",
-                "table7",
-                "table8",
-                "table9",
-                "table10",
-                "table11",
-                "table12",
-                "table13",
-                "table14",
-                "table15",
-                "table16",
-                "table17",
-                "fig4",
-                "fig5",
-                "fig6",
-                "fig7",
-                "fig11",
-                "fig12",
-                "fig13",
-                "fig14",
-                "fig15",
-                "ablations",
-                "compression",
-            ] {
-                run(t, scale);
+            for t in ALL {
+                if catch_unwind(AssertUnwindSafe(|| run(t, scale))).is_err() {
+                    failures.push(t);
+                }
             }
-        } else {
-            run(id, scale);
+        } else if catch_unwind(AssertUnwindSafe(|| run(id, scale))).is_err() {
+            failures.push(id);
         }
+    }
+    if !failures.is_empty() {
+        eprintln!("FAILED stages: {}", failures.join(", "));
+        std::process::exit(1);
     }
 }
 
@@ -88,6 +102,7 @@ fn run(id: &str, scale: Scale) {
         "table17" => tables::table17(scale),
         "ablations" => tables::ablations(scale),
         "compression" => tables::compression(scale),
+        "sched" => tables::sched_demo(scale),
         "fig4" => figures::fig_phase_sweep(scale, false),
         "fig5" => figures::fig_phase_sweep(scale, true),
         "fig6" => figures::fig6(scale),

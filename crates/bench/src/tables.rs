@@ -961,3 +961,60 @@ pub fn ablations(scale: Scale) -> TextTable {
     }
     t
 }
+
+/// `repro sched`: the model-driven in situ scheduler demo. For each proxy
+/// app, a budgeted (scheduled) run and a blind full-fidelity baseline execute
+/// the same request stream on the simulated 64-rank machine; the table
+/// reports budget adherence, how much the scheduler intervened, and the
+/// prediction-error trajectory (first vs last quartile of cycles) as the
+/// online refit converges. A per-cycle trajectory CSV is written alongside.
+pub fn sched_demo(scale: Scale) -> TextTable {
+    use sched::{run_budgeted_demo, DemoConfig, DemoReport};
+    use sims::ProxySim;
+
+    let cycles = match scale {
+        Scale::Quick => 32usize,
+        Scale::Full => 96,
+    };
+    let mut t = TextTable::new(
+        format!("Model-driven scheduler: budget adherence and refit trajectory ({cycles} cycles)"),
+        &["sim", "mode", "budget (s)", "within budget", "degraded", "rejected", "err q1", "err q4"],
+    );
+    let mut trajectory = String::from("sim,cycle,level,predicted_s,actual_s,within\n");
+    let run = |sim: &mut dyn ProxySim, scheduled: bool| -> DemoReport {
+        let mut cfg = DemoConfig::quick(scheduled);
+        cfg.cycles = cycles;
+        run_budgeted_demo(sim, &cfg)
+    };
+    for scheduled in [true, false] {
+        let mut lulesh = sims::Lulesh::new(10);
+        let mut kripke = sims::Kripke::new(12);
+        let mut clover = sims::Cloverleaf::new(12);
+        let proxies: [&mut dyn ProxySim; 3] = [&mut lulesh, &mut kripke, &mut clover];
+        for sim in proxies {
+            let report = run(sim, scheduled);
+            if scheduled {
+                for c in &report.cycles {
+                    use std::fmt::Write as _;
+                    let _ = writeln!(
+                        trajectory,
+                        "{},{},{},{:.6e},{:.6e},{}",
+                        report.sim, c.cycle, c.level, c.predicted_s, c.actual_s, c.within
+                    );
+                }
+            }
+            t.row(vec![
+                report.sim.into(),
+                if scheduled { "scheduled" } else { "blind" }.into(),
+                format!("{:.4}", report.budget_s),
+                format!("{:.0}%", 100.0 * report.adherence()),
+                format!("{}", report.degraded_total()),
+                format!("{}", report.rejected_total()),
+                format!("{:.1}%", 100.0 * report.first_quartile_error()),
+                format!("{:.1}%", 100.0 * report.last_quartile_error()),
+            ]);
+        }
+    }
+    crate::write_artifact("sched_trajectory.csv", &trajectory);
+    t
+}

@@ -9,6 +9,14 @@ use crate::models::{
 };
 use crate::sample::{CompositeSample, RendererKind};
 
+/// Floor applied to predicted per-frame seconds before they are used as a
+/// divisor. A degenerate fit (all-zero coefficients, e.g. from a windowed
+/// refit over constant observations) predicts 0 s/frame, and dividing a
+/// budget by that yields `INFINITY` — which then poisons feasibility curves
+/// and regime maps. One nanosecond is far below anything a real render costs,
+/// so the clamp never distorts a healthy model.
+pub const MIN_PREDICTED_SECONDS: f64 = 1e-9;
+
 /// Fitted models for one device (plus the shared compositing model).
 #[derive(Debug, Clone)]
 pub struct ModelSet {
@@ -75,10 +83,9 @@ pub fn images_in_budget(
                 tasks,
             };
             let build = set.predict_build_seconds(&cfg, k);
-            let per_frame = set.predict_frame_seconds(&cfg, k);
+            let per_frame = set.predict_frame_seconds(&cfg, k).max(MIN_PREDICTED_SECONDS);
             let remaining = (budget_seconds - build).max(0.0);
-            let images = if per_frame > 0.0 { remaining / per_frame } else { f64::INFINITY };
-            (side, images)
+            (side, remaining / per_frame)
         })
         .collect()
 }
@@ -121,12 +128,9 @@ pub fn rt_vs_rast_map(
             };
             let t_rt = set.predict_build_seconds(&rt_cfg, k)
                 + renders as f64 * set.predict_frame_seconds(&rt_cfg, k);
-            let t_ra = renders as f64 * set.predict_frame_seconds(&ra_cfg, k);
-            out.push(RatioCell {
-                image_side: side,
-                cells_per_task: n,
-                rt_over_rast: if t_ra > 0.0 { t_rt / t_ra } else { f64::INFINITY },
-            });
+            let t_ra =
+                (renders as f64 * set.predict_frame_seconds(&ra_cfg, k)).max(MIN_PREDICTED_SECONDS);
+            out.push(RatioCell { image_side: side, cells_per_task: n, rt_over_rast: t_rt / t_ra });
         }
     }
     out
@@ -210,6 +214,37 @@ mod tests {
             get(384, 500),
             get(4096, 100)
         );
+    }
+
+    #[test]
+    fn degenerate_models_stay_finite_across_study_grid() {
+        // All-zero coefficients predict 0 s/frame; the clamp must keep the
+        // feasibility answers finite and non-negative instead of INFINITY.
+        let mut set = toy_models();
+        for m in [&mut set.rt, &mut set.rt_build, &mut set.rast, &mut set.vr, &mut set.comp] {
+            for c in m.fit.coeffs.iter_mut() {
+                *c = 0.0;
+            }
+        }
+        let k = MappingConstants::default();
+        let sides = [256, 512, 1024, 2048, 4096];
+        for renderer in
+            [RendererKind::RayTracing, RendererKind::Rasterization, RendererKind::VolumeRendering]
+        {
+            for &cells in &[50usize, 200, 500] {
+                for &budget in &[0.0, 1.0, 60.0] {
+                    let curve = images_in_budget(&set, &k, renderer, cells, 32, &sides, budget);
+                    for (side, images) in curve {
+                        assert!(
+                            images.is_finite() && images >= 0.0,
+                            "{renderer:?} side {side} budget {budget}: {images}"
+                        );
+                    }
+                }
+            }
+        }
+        let map = rt_vs_rast_map(&set, &k, 32, 100, &sides, &[50, 200, 500]);
+        assert!(map.iter().all(|c| c.rt_over_rast.is_finite() && c.rt_over_rast >= 0.0));
     }
 
     #[test]

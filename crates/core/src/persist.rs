@@ -200,6 +200,57 @@ mod tests {
     }
 
     #[test]
+    fn round_trips_bit_identically() {
+        // The scheduler loads persisted models at startup; a reload must
+        // reproduce every float to the bit, including awkward values the
+        // `{:e}` / `Display` formatting has to shortest-round-trip:
+        // irrationals, subnormals, negatives, and extreme magnitudes.
+        let fit = |name: &'static str, coeffs: Vec<f64>, r2: f64, resid: f64| FittedLinearModel {
+            name,
+            fit: LinearRegression { coeffs, r_squared: r2, residual_std: resid, n: 137 },
+            feature_names: Vec::new(),
+        };
+        let set = ModelSet {
+            device: "parallel".into(),
+            rt: fit(
+                "ray_tracing",
+                vec![std::f64::consts::PI * 1e-9, 1.0 / 3.0, -2.5e-17],
+                0.987654321987654,
+                1.0e-4 / 3.0,
+            ),
+            rt_build: fit("ray_tracing_build", vec![5e-324, 1.7976931348623157e308], 1.0, 0.0),
+            rast: fit("rasterization", vec![-0.1, 0.2, 0.30000000000000004], 0.5, 2.0_f64.sqrt()),
+            vr: fit("volume_rendering", vec![1e-300, -1e300, 0.0], -0.25, 123.45678901234568),
+            comp: fit("compositing", vec![2.0_f64.powi(-53), 7.0 / 11.0, 9.9e-99], 0.75, 1e-12),
+        };
+        let k = MappingConstants {
+            ap_fill: 0.5500000000000001,
+            ppt_factor: 1.0 / 7.0,
+            spr_base: 373.0 * std::f64::consts::E,
+        };
+        let (set2, k2) = from_text(&to_text(&set, &k)).unwrap();
+        let pairs = [
+            (&set.rt, &set2.rt),
+            (&set.rt_build, &set2.rt_build),
+            (&set.rast, &set2.rast),
+            (&set.vr, &set2.vr),
+            (&set.comp, &set2.comp),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(a.fit.coeffs.len(), b.fit.coeffs.len());
+            for (ca, cb) in a.fit.coeffs.iter().zip(b.fit.coeffs.iter()) {
+                assert_eq!(ca.to_bits(), cb.to_bits(), "{}: {ca:e} != {cb:e}", a.name);
+            }
+            assert_eq!(a.fit.r_squared.to_bits(), b.fit.r_squared.to_bits(), "{} r2", a.name);
+            assert_eq!(a.fit.residual_std.to_bits(), b.fit.residual_std.to_bits(), "{}", a.name);
+            assert_eq!(a.fit.n, b.fit.n);
+        }
+        assert_eq!(k.ap_fill.to_bits(), k2.ap_fill.to_bits());
+        assert_eq!(k.ppt_factor.to_bits(), k2.ppt_factor.to_bits());
+        assert_eq!(k.spr_base.to_bits(), k2.spr_base.to_bits());
+    }
+
+    #[test]
     fn malformed_inputs_rejected() {
         assert!(from_text("garbage|x").is_err());
         assert!(from_text("model|rt|name=ray_tracing|r2=oops|resid=0|n=1|coeffs=1").is_err());

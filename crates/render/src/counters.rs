@@ -99,6 +99,60 @@ impl PhaseTimer {
     }
 }
 
+/// Outcome of one render request offered to in situ admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    Admitted,
+    Degraded,
+    Rejected,
+}
+
+/// Tallies for one simulation cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleAdmissions {
+    pub cycle: i64,
+    pub admitted: u32,
+    pub degraded: u32,
+    pub rejected: u32,
+}
+
+/// Per-cycle admitted/degraded/rejected counts, appended to as the scheduler
+/// (or any admission hook) gates renders. Cycles are recorded in arrival
+/// order; consecutive records for the same cycle merge into one entry.
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionLog {
+    pub cycles: Vec<CycleAdmissions>,
+}
+
+impl AdmissionLog {
+    pub fn new() -> AdmissionLog {
+        AdmissionLog::default()
+    }
+
+    /// Record one admission outcome for `cycle`.
+    pub fn record(&mut self, cycle: i64, what: Admission) {
+        let entry = match self.cycles.last_mut() {
+            Some(e) if e.cycle == cycle => e,
+            _ => {
+                self.cycles.push(CycleAdmissions { cycle, ..CycleAdmissions::default() });
+                self.cycles.last_mut().unwrap()
+            }
+        };
+        match what {
+            Admission::Admitted => entry.admitted += 1,
+            Admission::Degraded => entry.degraded += 1,
+            Admission::Rejected => entry.rejected += 1,
+        }
+    }
+
+    /// (admitted, degraded, rejected) summed over all cycles.
+    pub fn totals(&self) -> (u32, u32, u32) {
+        self.cycles
+            .iter()
+            .fold((0, 0, 0), |(a, d, r), c| (a + c.admitted, d + c.degraded, r + c.rejected))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +187,25 @@ mod tests {
         assert_eq!(t.bytes_of("compositing"), 5120);
         assert_eq!(t.bytes_of("raycast"), 0);
         assert_eq!(t.work_of("compositing"), 10);
+    }
+
+    #[test]
+    fn admission_log_merges_per_cycle() {
+        let mut log = AdmissionLog::new();
+        log.record(1, Admission::Admitted);
+        log.record(1, Admission::Degraded);
+        log.record(2, Admission::Rejected);
+        log.record(2, Admission::Admitted);
+        assert_eq!(log.cycles.len(), 2);
+        assert_eq!(
+            log.cycles[0],
+            CycleAdmissions { cycle: 1, admitted: 1, degraded: 1, rejected: 0 }
+        );
+        assert_eq!(
+            log.cycles[1],
+            CycleAdmissions { cycle: 2, admitted: 1, degraded: 0, rejected: 1 }
+        );
+        assert_eq!(log.totals(), (2, 1, 1));
     }
 
     #[test]

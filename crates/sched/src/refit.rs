@@ -1,0 +1,209 @@
+//! Live model refinement: measured runtimes accumulate in per-family sliding
+//! windows, and each window is periodically re-solved through
+//! [`perfmodel::regression::LinearRegression`] (via the [`ModelForm`] fits),
+//! replacing the corresponding model in the scheduler's [`ModelSet`].
+//!
+//! A windowed re-solve — rather than, say, exponential smoothing of the
+//! coefficients — keeps the refit exactly the paper's estimator, just over
+//! recent data, so the residual statistics stay meaningful.
+
+use perfmodel::feasibility::ModelSet;
+use perfmodel::models::{CompositeModel, ModelForm, RastModel, RtBuildModel, RtModel, VrModel};
+use perfmodel::sample::{CompositeSample, RenderSample, RendererKind};
+use std::collections::VecDeque;
+
+/// Sliding observation windows for the five model families.
+#[derive(Debug, Clone)]
+pub struct OnlineRefit {
+    window: usize,
+    min_samples: usize,
+    rt: VecDeque<RenderSample>,
+    rast: VecDeque<RenderSample>,
+    vr: VecDeque<RenderSample>,
+    comp: VecDeque<CompositeSample>,
+}
+
+impl OnlineRefit {
+    /// `window` caps each family's retained samples; `min_samples` is the
+    /// floor below which a family keeps its prior model (re-solving a 3-term
+    /// regression on 2 points would be noise, not refinement).
+    pub fn new(window: usize, min_samples: usize) -> OnlineRefit {
+        OnlineRefit {
+            window: window.max(1),
+            min_samples: min_samples.max(4),
+            rt: VecDeque::new(),
+            rast: VecDeque::new(),
+            vr: VecDeque::new(),
+            comp: VecDeque::new(),
+        }
+    }
+
+    fn push(q: &mut VecDeque<RenderSample>, s: RenderSample, window: usize) {
+        if q.len() == window {
+            q.pop_front();
+        }
+        q.push_back(s);
+    }
+
+    /// Record a measured render (routed to its renderer's window).
+    pub fn observe_render(&mut self, s: RenderSample) {
+        let q = match s.renderer {
+            RendererKind::RayTracing => &mut self.rt,
+            RendererKind::Rasterization => &mut self.rast,
+            RendererKind::VolumeRendering => &mut self.vr,
+        };
+        Self::push(q, s, self.window);
+    }
+
+    /// Record a measured compositing exchange.
+    pub fn observe_composite(&mut self, s: CompositeSample) {
+        if self.comp.len() == self.window {
+            self.comp.pop_front();
+        }
+        self.comp.push_back(s);
+    }
+
+    /// Total buffered observations, for reporting.
+    pub fn len(&self) -> usize {
+        self.rt.len() + self.rast.len() + self.vr.len() + self.comp.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Re-solve every family whose window has enough samples, replacing the
+    /// corresponding model in `set`. Families below the floor keep their
+    /// prior. The BVH-build model additionally requires enough samples with a
+    /// *measured* build (hook-driven observations fold the build into render
+    /// time and would otherwise collapse the build model to zero).
+    pub fn refit_into(&self, set: &mut ModelSet) {
+        if self.rt.len() >= self.min_samples {
+            let rt: Vec<RenderSample> = self.rt.iter().cloned().collect();
+            set.rt = RtModel.fit(&rt);
+            let with_build: Vec<RenderSample> =
+                rt.iter().filter(|s| s.build_seconds > 0.0).cloned().collect();
+            if with_build.len() >= self.min_samples {
+                set.rt_build = RtBuildModel.fit(&with_build);
+            }
+        }
+        if self.rast.len() >= self.min_samples {
+            let xs: Vec<RenderSample> = self.rast.iter().cloned().collect();
+            set.rast = RastModel.fit(&xs);
+        }
+        if self.vr.len() >= self.min_samples {
+            let xs: Vec<RenderSample> = self.vr.iter().cloned().collect();
+            set.vr = VrModel.fit(&xs);
+        }
+        if self.comp.len() >= self.min_samples {
+            let xs: Vec<CompositeSample> = self.comp.iter().cloned().collect();
+            set.comp = CompositeModel.fit(&xs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfmodel::mapping::{map_inputs, MappingConstants, RenderConfig};
+    use perfmodel::regression::LinearRegression;
+
+    fn constant_model(
+        name: &'static str,
+        coeffs: Vec<f64>,
+    ) -> perfmodel::models::FittedLinearModel {
+        perfmodel::models::FittedLinearModel {
+            name,
+            fit: LinearRegression { coeffs, r_squared: 1.0, residual_std: 0.0, n: 10 },
+            feature_names: Vec::new(),
+        }
+    }
+
+    fn prior() -> ModelSet {
+        ModelSet {
+            device: "test".into(),
+            rt: constant_model("ray_tracing", vec![1e-6, 1e-6, 1.0]),
+            rt_build: constant_model("ray_tracing_build", vec![1e-6, 1.0]),
+            rast: constant_model("rasterization", vec![1e-6, 1e-6, 1.0]),
+            vr: constant_model("volume_rendering", vec![1e-6, 1e-6, 1.0]),
+            comp: constant_model("compositing", vec![1e-6, 1e-6, 1.0]),
+        }
+    }
+
+    #[test]
+    fn refit_recovers_true_model_from_window() {
+        // Observations generated from a known VR law; the refit must recover
+        // predictions from the window even though the prior is far off.
+        let k = MappingConstants::default();
+        let truth = |s: &RenderSample| {
+            2e-10 * s.active_pixels * s.cells_spanned
+                + 1e-9 * s.active_pixels * s.samples_per_ray
+                + 1e-2
+        };
+        let mut refit = OnlineRefit::new(64, 8);
+        let mut cfgs = Vec::new();
+        for (i, side) in
+            [128u32, 256, 512, 640, 768, 896, 1024, 1152, 1280, 1408].into_iter().enumerate()
+        {
+            let cfg = RenderConfig {
+                renderer: RendererKind::VolumeRendering,
+                cells_per_task: 40 + 4 * i, // vary data size: full-rank features
+                pixels: (side as usize) * (side as usize),
+                tasks: 8,
+            };
+            let mut s = map_inputs(&cfg, &k);
+            s.render_seconds = truth(&s);
+            refit.observe_render(s);
+            cfgs.push(cfg);
+        }
+        let mut set = prior();
+        let before = set.predict_frame_seconds(&cfgs[9], &k);
+        refit.refit_into(&mut set);
+        let inputs = map_inputs(&cfgs[9], &k);
+        let after = VrModel.predict(&set.vr, &inputs);
+        let want = truth(&inputs);
+        assert!((after - want).abs() / want < 1e-6, "refit {after} vs truth {want}");
+        assert!((before - want).abs() / want > 1.0, "prior should have been far off");
+    }
+
+    #[test]
+    fn small_windows_keep_the_prior() {
+        let k = MappingConstants::default();
+        let mut refit = OnlineRefit::new(64, 8);
+        let cfg = RenderConfig {
+            renderer: RendererKind::Rasterization,
+            cells_per_task: 40,
+            pixels: 256 * 256,
+            tasks: 8,
+        };
+        for _ in 0..3 {
+            let mut s = map_inputs(&cfg, &k);
+            s.render_seconds = 0.5;
+            refit.observe_render(s);
+        }
+        let mut set = prior();
+        let before = set.rast.fit.coeffs.clone();
+        refit.refit_into(&mut set);
+        assert_eq!(set.rast.fit.coeffs, before, "3 < min_samples must not refit");
+    }
+
+    #[test]
+    fn window_slides() {
+        let k = MappingConstants::default();
+        let mut refit = OnlineRefit::new(4, 4);
+        let cfg = RenderConfig {
+            renderer: RendererKind::RayTracing,
+            cells_per_task: 40,
+            pixels: 128 * 128,
+            tasks: 8,
+        };
+        for i in 0..10 {
+            let mut s = map_inputs(&cfg, &k);
+            s.render_seconds = i as f64;
+            refit.observe_render(s);
+        }
+        assert_eq!(refit.rt.len(), 4);
+        assert_eq!(refit.rt.back().unwrap().render_seconds, 9.0);
+        assert_eq!(refit.rt.front().unwrap().render_seconds, 6.0);
+    }
+}

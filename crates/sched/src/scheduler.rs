@@ -1,0 +1,668 @@
+//! Online admission control against a per-cycle render-time budget.
+//!
+//! The [`Scheduler`] holds a (possibly miscalibrated) [`ModelSet`], predicts
+//! each queued job's cost — local frame + compositing, plus the BVH build for
+//! the cycle's first ray-traced job (subsequent frames amortize it) — and
+//! packs jobs against the budget. When a job does not fit at the current
+//! fidelity, it walks down the degradation [`LADDER`]; measured runtimes flow
+//! back through [`OnlineRefit`] so predictions tighten as the run proceeds.
+
+use crate::ladder::{Ladder, Rung, DROP_LEVEL, LADDER};
+use crate::refit::OnlineRefit;
+use perfmodel::feasibility::{ModelSet, MIN_PREDICTED_SECONDS};
+use perfmodel::mapping::{map_inputs, MappingConstants, RenderConfig};
+use perfmodel::sample::{CompositeSample, RendererKind};
+
+/// One queued render request (what the simulation asked for).
+#[derive(Debug, Clone, Copy)]
+pub struct RenderRequest {
+    pub renderer: RendererKind,
+    pub width: u32,
+    pub height: u32,
+    /// Cells per axis of one task's block (N of N^3).
+    pub cells_per_task: usize,
+}
+
+/// An admitted (possibly degraded) job, ready to execute.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannedJob {
+    pub width: u32,
+    pub height: u32,
+    /// The model-level configuration the job will run as (renderer may
+    /// differ from the request after a ladder switch).
+    pub cfg: RenderConfig,
+    pub rung: Rung,
+    /// Predicted cost charged against the budget (frame + compositing, plus
+    /// the BVH build if this job triggers one).
+    pub predicted_s: f64,
+}
+
+/// Outcome of [`Scheduler::decide`] for one request.
+#[derive(Debug, Clone, Copy)]
+pub enum Decision {
+    /// Fits at full fidelity.
+    Admit(PlannedJob),
+    /// Fits only at reduced fidelity.
+    Degrade(PlannedJob),
+    /// Does not fit even at the deepest executable rung; drop the frame.
+    Reject,
+}
+
+impl Decision {
+    pub fn job(&self) -> Option<&PlannedJob> {
+        match self {
+            Decision::Admit(j) | Decision::Degrade(j) => Some(j),
+            Decision::Reject => None,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Decision::Admit(_) => "admit",
+            Decision::Degrade(_) => "degrade",
+            Decision::Reject => "reject",
+        }
+    }
+}
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Per-cycle render-time budget (seconds).
+    pub budget_s: f64,
+    /// MPI tasks of the configuration being scheduled (weak scaling).
+    pub tasks: usize,
+    /// Degradation never shrinks an image side below this.
+    pub min_image_side: u32,
+    /// Jobs are packed against `safety * budget_s`, leaving headroom for
+    /// prediction noise so small errors do not blow the budget.
+    pub safety: f64,
+    /// Consecutive headroom cycles required before regaining one rung.
+    pub hysteresis_cycles: u32,
+    /// Upgrading requires the cycle's demand one level up to fit within
+    /// `upgrade_margin` of the effective budget (second hysteresis band).
+    pub upgrade_margin: f64,
+    /// Sliding-window size for the online refit.
+    pub refit_window: usize,
+    /// Minimum samples before a model family is re-solved.
+    pub refit_min_samples: usize,
+}
+
+impl SchedulerConfig {
+    pub fn new(budget_s: f64, tasks: usize) -> SchedulerConfig {
+        SchedulerConfig {
+            budget_s,
+            tasks,
+            min_image_side: 64,
+            safety: 0.9,
+            hysteresis_cycles: 3,
+            upgrade_margin: 0.8,
+            refit_window: 96,
+            refit_min_samples: 8,
+        }
+    }
+}
+
+/// What one closed cycle looked like.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleRecord {
+    pub cycle: i64,
+    /// Ladder level the cycle operated at (deepest rung reached).
+    pub level: usize,
+    pub admitted: u32,
+    pub degraded: u32,
+    pub rejected: u32,
+    /// Budget in force for the cycle.
+    pub budget_s: f64,
+    /// Predicted cost of the executed jobs at decision time.
+    pub predicted_s: f64,
+    /// Measured cost of the executed jobs.
+    pub actual_s: f64,
+}
+
+impl CycleRecord {
+    pub fn within_budget(&self) -> bool {
+        self.actual_s <= self.budget_s
+    }
+
+    /// `|predicted - actual| / actual` for the cycle's executed work.
+    pub fn abs_rel_error(&self) -> f64 {
+        (self.predicted_s - self.actual_s).abs() / self.actual_s.max(MIN_PREDICTED_SECONDS)
+    }
+}
+
+struct OpenCycle {
+    cycle: i64,
+    budget_s: f64,
+    spent_predicted_s: f64,
+    actual_s: f64,
+    admitted: u32,
+    degraded: u32,
+    rejected: u32,
+    /// Everything requested this cycle (including rejected jobs), for the
+    /// end-of-cycle headroom computation.
+    requests: Vec<RenderRequest>,
+    /// A BVH build has been charged this cycle; later RT frames reuse it.
+    build_charged: bool,
+}
+
+/// The online scheduler. Create it with calibrated (or deliberately
+/// conservative) models; per cycle call [`begin_cycle`](Scheduler::begin_cycle),
+/// [`decide`](Scheduler::decide) per request, the observe methods per
+/// executed job, then [`end_cycle`](Scheduler::end_cycle).
+pub struct Scheduler {
+    pub models: ModelSet,
+    pub constants: MappingConstants,
+    pub cfg: SchedulerConfig,
+    ladder: Ladder,
+    refit: OnlineRefit,
+    /// Closed cycles, oldest first.
+    pub history: Vec<CycleRecord>,
+    cur: Option<OpenCycle>,
+}
+
+impl Scheduler {
+    pub fn new(models: ModelSet, constants: MappingConstants, cfg: SchedulerConfig) -> Scheduler {
+        let ladder = Ladder::new(cfg.hysteresis_cycles);
+        let refit = OnlineRefit::new(cfg.refit_window, cfg.refit_min_samples);
+        Scheduler { models, constants, cfg, ladder, refit, history: Vec::new(), cur: None }
+    }
+
+    /// Current ladder level (0 = full fidelity).
+    pub fn level(&self) -> usize {
+        self.ladder.level()
+    }
+
+    /// Open a cycle with the configured budget.
+    pub fn begin_cycle(&mut self, cycle: i64) {
+        self.begin_cycle_with_budget(cycle, self.cfg.budget_s)
+    }
+
+    /// Open a cycle with an explicit budget (closes any cycle still open).
+    pub fn begin_cycle_with_budget(&mut self, cycle: i64, budget_s: f64) {
+        if self.cur.is_some() {
+            self.end_cycle();
+        }
+        self.cur = Some(OpenCycle {
+            cycle,
+            budget_s,
+            spent_predicted_s: 0.0,
+            actual_s: 0.0,
+            admitted: 0,
+            degraded: 0,
+            rejected: 0,
+            requests: Vec::new(),
+            build_charged: false,
+        });
+    }
+
+    /// Degraded dimensions for a request on a rung (never upsizes, never
+    /// shrinks below the configured minimum side).
+    fn shrunk(&self, req: &RenderRequest, halvings: u8) -> (u32, u32) {
+        let min = self.cfg.min_image_side;
+        let w = (req.width >> halvings).max(min).min(req.width).max(1);
+        let h = (req.height >> halvings).max(min).min(req.height).max(1);
+        (w, h)
+    }
+
+    /// Predicted frame seconds (local + compositing), floored.
+    fn frame_cost(&self, cfg: &RenderConfig) -> f64 {
+        self.models.predict_frame_seconds(cfg, &self.constants).max(MIN_PREDICTED_SECONDS)
+    }
+
+    /// True when the models put this config past the Figure-15 crossover:
+    /// rasterization predicted faster per frame than ray tracing.
+    fn past_crossover(&self, cells_per_task: usize, pixels: usize) -> bool {
+        let rt = RenderConfig {
+            renderer: RendererKind::RayTracing,
+            cells_per_task,
+            pixels,
+            tasks: self.cfg.tasks,
+        };
+        let ra = RenderConfig { renderer: RendererKind::Rasterization, ..rt };
+        self.frame_cost(&ra) < self.frame_cost(&rt)
+    }
+
+    /// Concrete (width, height, renderer) for a request at a rung, or `None`
+    /// for the drop rung.
+    fn configure(&self, req: &RenderRequest, rung: Rung) -> Option<(u32, u32, RendererKind)> {
+        match rung {
+            Rung::Drop => None,
+            Rung::Full => Some((req.width, req.height, req.renderer)),
+            Rung::Halved { halvings } => {
+                let (w, h) = self.shrunk(req, halvings);
+                Some((w, h, req.renderer))
+            }
+            Rung::Switched { halvings } => {
+                let (w, h) = self.shrunk(req, halvings);
+                let pixels = w as usize * h as usize;
+                let renderer = if req.renderer == RendererKind::RayTracing
+                    && self.past_crossover(req.cells_per_task, pixels)
+                {
+                    RendererKind::Rasterization
+                } else {
+                    req.renderer
+                };
+                Some((w, h, renderer))
+            }
+        }
+    }
+
+    /// Predicted cost of a job: frame + compositing, plus the BVH build if
+    /// this would be the cycle's first ray-traced frame (`build_charged`).
+    fn job_cost(&self, cfg: &RenderConfig, build_charged: bool) -> f64 {
+        let mut cost = self.frame_cost(cfg);
+        if cfg.renderer == RendererKind::RayTracing && !build_charged {
+            cost += self.models.predict_build_seconds(cfg, &self.constants).max(0.0);
+        }
+        cost
+    }
+
+    /// Decide one queued request. Deterministic: walks [`LADDER`] from the
+    /// hysteresis level down; the level is sticky upward within a cycle (a
+    /// job that forced a deeper rung pins later jobs there too, so a cycle's
+    /// frames stay at a coherent fidelity).
+    pub fn decide(&mut self, req: RenderRequest) -> Decision {
+        let (effective_budget, spent, build_charged) = {
+            let cur = self.cur.as_ref().expect("decide() called outside begin_cycle()/end_cycle()");
+            (cur.budget_s * self.cfg.safety, cur.spent_predicted_s, cur.build_charged)
+        };
+
+        let mut outcome = None;
+        for (level, &rung) in LADDER.iter().enumerate().take(DROP_LEVEL).skip(self.ladder.level()) {
+            let Some((w, h, renderer)) = self.configure(&req, rung) else { break };
+            let cfg = RenderConfig {
+                renderer,
+                cells_per_task: req.cells_per_task,
+                pixels: w as usize * h as usize,
+                tasks: self.cfg.tasks,
+            };
+            let predicted = self.job_cost(&cfg, build_charged);
+            if spent + predicted <= effective_budget {
+                let job = PlannedJob { width: w, height: h, cfg, rung, predicted_s: predicted };
+                outcome = Some((level, job));
+                break;
+            }
+        }
+
+        let cur = self.cur.as_mut().unwrap();
+        cur.requests.push(req);
+        match outcome {
+            Some((level, job)) => {
+                cur.spent_predicted_s += job.predicted_s;
+                if job.cfg.renderer == RendererKind::RayTracing {
+                    cur.build_charged = true;
+                }
+                if level == 0 {
+                    cur.admitted += 1;
+                    Decision::Admit(job)
+                } else {
+                    cur.degraded += 1;
+                    self.ladder.escalate_to(level);
+                    Decision::Degrade(job)
+                }
+            }
+            None => {
+                cur.rejected += 1;
+                // Even the deepest executable rung did not fit: operate the
+                // rest of the cycle (and the next, until hysteresis relaxes)
+                // fully degraded.
+                self.ladder.escalate_to(DROP_LEVEL - 1);
+                Decision::Reject
+            }
+        }
+    }
+
+    /// Feed back a measured (or simulated) local render time for an executed
+    /// job, excluding compositing (reported via
+    /// [`observe_composite`](Scheduler::observe_composite)).
+    pub fn observe_render(&mut self, cfg: &RenderConfig, local_seconds: f64, build_seconds: f64) {
+        if let Some(cur) = self.cur.as_mut() {
+            cur.actual_s += local_seconds + build_seconds;
+        }
+        let mut s = map_inputs(cfg, &self.constants);
+        s.render_seconds = local_seconds;
+        s.build_seconds = build_seconds;
+        self.refit.observe_render(s);
+    }
+
+    /// Feed back a measured compositing exchange for one frame.
+    pub fn observe_composite(&mut self, pixels: f64, avg_active_pixels: f64, seconds: f64) {
+        if let Some(cur) = self.cur.as_mut() {
+            cur.actual_s += seconds;
+        }
+        self.refit.observe_composite(CompositeSample {
+            tasks: self.cfg.tasks,
+            pixels,
+            avg_active_pixels,
+            seconds,
+        });
+    }
+
+    /// Cost of the cycle's full request list if every job ran at `level`
+    /// (the headroom probe for hysteresis upgrades).
+    fn cycle_cost_at_level(&self, requests: &[RenderRequest], level: usize) -> f64 {
+        let mut total = 0.0;
+        let mut build_charged = false;
+        for req in requests {
+            if let Some((w, h, renderer)) = self.configure(req, LADDER[level]) {
+                let cfg = RenderConfig {
+                    renderer,
+                    cells_per_task: req.cells_per_task,
+                    pixels: w as usize * h as usize,
+                    tasks: self.cfg.tasks,
+                };
+                total += self.job_cost(&cfg, build_charged);
+                if cfg.renderer == RendererKind::RayTracing {
+                    build_charged = true;
+                }
+            }
+        }
+        total
+    }
+
+    /// Close the cycle: refit models from the observation windows, decide
+    /// whether fidelity may recover, and append the cycle record.
+    pub fn end_cycle(&mut self) {
+        let Some(cur) = self.cur.take() else { return };
+        self.refit.refit_into(&mut self.models);
+        let level = self.ladder.level();
+        let headroom = if level > 0 {
+            let up_cost = self.cycle_cost_at_level(&cur.requests, level - 1);
+            up_cost <= self.cfg.upgrade_margin * self.cfg.safety * cur.budget_s
+        } else {
+            false
+        };
+        self.ladder.relax(headroom);
+        self.history.push(CycleRecord {
+            cycle: cur.cycle,
+            level,
+            admitted: cur.admitted,
+            degraded: cur.degraded,
+            rejected: cur.rejected,
+            budget_s: cur.budget_s,
+            predicted_s: cur.spent_predicted_s,
+            actual_s: cur.actual_s,
+        });
+    }
+}
+
+/// Map Strawman's renderer labels onto the model renderer kinds.
+fn renderer_kind(label: &str) -> Option<RendererKind> {
+    match label {
+        "raytracer" => Some(RendererKind::RayTracing),
+        "rasterizer" => Some(RendererKind::Rasterization),
+        s if s.starts_with("volume") => Some(RendererKind::VolumeRendering),
+        _ => None,
+    }
+}
+
+impl strawman::AdmissionHook for Scheduler {
+    fn admit(&mut self, req: &strawman::AdmissionRequest) -> strawman::AdmissionDecision {
+        if self.cur.as_ref().map(|c| c.cycle) != Some(req.cycle) {
+            self.begin_cycle_with_budget(req.cycle, req.budget_s);
+        }
+        let Some(renderer) = renderer_kind(req.renderer) else {
+            return strawman::AdmissionDecision::Admit;
+        };
+        let cells_per_task = (req.cells as f64).cbrt().round().max(1.0) as usize;
+        let request =
+            RenderRequest { renderer, width: req.width, height: req.height, cells_per_task };
+        match self.decide(request) {
+            Decision::Admit(_) => strawman::AdmissionDecision::Admit,
+            Decision::Degrade(job) => strawman::AdmissionDecision::Degrade {
+                width: job.width,
+                height: job.height,
+                switch_to_rasterizer: renderer == RendererKind::RayTracing
+                    && job.cfg.renderer == RendererKind::Rasterization,
+            },
+            Decision::Reject => strawman::AdmissionDecision::Reject,
+        }
+    }
+
+    fn observe(&mut self, done: &strawman::ExecutedRender) {
+        let Some(renderer) = renderer_kind(done.renderer) else { return };
+        let cfg = RenderConfig {
+            renderer,
+            cells_per_task: (done.cells as f64).cbrt().round().max(1.0) as usize,
+            pixels: done.width as usize * done.height as usize,
+            tasks: self.cfg.tasks,
+        };
+        // Wall-clock observations fold any build into the render time; the
+        // refit gates the build model on nonzero build samples.
+        self.observe_render(&cfg, done.seconds, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::ground_truth;
+
+    fn sched(budget_s: f64) -> Scheduler {
+        Scheduler::new(
+            ground_truth(),
+            MappingConstants::default(),
+            SchedulerConfig::new(budget_s, 64),
+        )
+    }
+
+    fn req(renderer: RendererKind, side: u32) -> RenderRequest {
+        RenderRequest { renderer, width: side, height: side, cells_per_task: 20 }
+    }
+
+    /// Acceptance (c): the ladder is deterministic and hysteretic. A fixed
+    /// request stream — four calm cycles, a three-cycle spike whose showcase
+    /// frame never fits, then calm again — must produce exactly this
+    /// transcript: immediate escalation (with rejects while the spike lasts),
+    /// then stepwise recovery, one rung per three headroom cycles.
+    #[test]
+    fn decisions_are_deterministic_and_hysteretic() {
+        let mut s = sched(0.08);
+        let mut transcript = Vec::new();
+        for cycle in 0..17i64 {
+            s.begin_cycle(cycle);
+            let mut line = format!("c{cycle:02}");
+            let mut requests =
+                vec![req(RendererKind::VolumeRendering, 512), req(RendererKind::RayTracing, 512)];
+            if (4..7).contains(&cycle) {
+                requests.push(req(RendererKind::VolumeRendering, 4096));
+            }
+            for r in requests {
+                let d = s.decide(r);
+                match d.job() {
+                    Some(j) => {
+                        line.push_str(&format!(" {}:{}@{}", d.label(), j.rung.label(), j.width))
+                    }
+                    None => line.push_str(" reject"),
+                }
+            }
+            s.end_cycle();
+            let rec = s.history.last().unwrap();
+            line.push_str(&format!(
+                " | L{} a{} d{} r{}",
+                rec.level, rec.admitted, rec.degraded, rec.rejected
+            ));
+            transcript.push(line);
+        }
+        let expected = [
+            "c00 admit:full@512 admit:full@512 | L0 a2 d0 r0",
+            "c01 admit:full@512 admit:full@512 | L0 a2 d0 r0",
+            "c02 admit:full@512 admit:full@512 | L0 a2 d0 r0",
+            "c03 admit:full@512 admit:full@512 | L0 a2 d0 r0",
+            "c04 admit:full@512 admit:full@512 reject | L3 a2 d0 r1",
+            "c05 degrade:switch@128 degrade:switch@128 reject | L3 a0 d2 r1",
+            "c06 degrade:switch@128 degrade:switch@128 reject | L3 a0 d2 r1",
+            "c07 degrade:switch@128 degrade:switch@128 | L3 a0 d2 r0",
+            "c08 degrade:switch@128 degrade:switch@128 | L3 a0 d2 r0",
+            "c09 degrade:switch@128 degrade:switch@128 | L3 a0 d2 r0",
+            "c10 degrade:quarter@128 degrade:quarter@128 | L2 a0 d2 r0",
+            "c11 degrade:quarter@128 degrade:quarter@128 | L2 a0 d2 r0",
+            "c12 degrade:quarter@128 degrade:quarter@128 | L2 a0 d2 r0",
+            "c13 degrade:half@256 degrade:half@256 | L1 a0 d2 r0",
+            "c14 degrade:half@256 degrade:half@256 | L1 a0 d2 r0",
+            "c15 degrade:half@256 degrade:half@256 | L1 a0 d2 r0",
+            "c16 admit:full@512 admit:full@512 | L0 a2 d0 r0",
+        ];
+        assert_eq!(transcript, expected);
+        // Re-running the identical stream reproduces the identical transcript.
+        let mut s2 = sched(0.08);
+        for cycle in 0..17i64 {
+            s2.begin_cycle(cycle);
+            let mut requests =
+                vec![req(RendererKind::VolumeRendering, 512), req(RendererKind::RayTracing, 512)];
+            if (4..7).contains(&cycle) {
+                requests.push(req(RendererKind::VolumeRendering, 4096));
+            }
+            for r in requests {
+                s2.decide(r);
+            }
+            s2.end_cycle();
+        }
+        for (a, b) in s.history.iter().zip(s2.history.iter()) {
+            assert_eq!(a.predicted_s.to_bits(), b.predicted_s.to_bits());
+            assert_eq!((a.level, a.admitted, a.degraded), (b.level, b.admitted, b.degraded));
+        }
+    }
+
+    /// The cycle's first ray-traced job is charged the BVH build; the second
+    /// reuses it and is cheaper by exactly the predicted build time.
+    #[test]
+    fn bvh_build_amortizes_within_a_cycle() {
+        let mut s = sched(10.0);
+        s.begin_cycle(0);
+        let r = req(RendererKind::RayTracing, 512);
+        let first = s.decide(r).job().unwrap().predicted_s;
+        let second = s.decide(r).job().unwrap().predicted_s;
+        let build = s.models.predict_build_seconds(
+            &RenderConfig {
+                renderer: RendererKind::RayTracing,
+                cells_per_task: 20,
+                pixels: 512 * 512,
+                tasks: 64,
+            },
+            &s.constants,
+        );
+        assert!(build > 0.0);
+        assert!((first - second - build).abs() < 1e-15, "{first} vs {second} + {build}");
+        s.end_cycle();
+        // A fresh cycle charges the build again.
+        s.begin_cycle(1);
+        let again = s.decide(r).job().unwrap().predicted_s;
+        assert_eq!(again.to_bits(), first.to_bits());
+    }
+
+    /// Packing is cumulative: a job that fits alone degrades once earlier
+    /// admissions have consumed the budget.
+    #[test]
+    fn packing_degrades_when_budget_is_consumed() {
+        let frame = |s: &Scheduler, side: u32| {
+            s.models.predict_frame_seconds(
+                &RenderConfig {
+                    renderer: RendererKind::VolumeRendering,
+                    cells_per_task: 20,
+                    pixels: (side as usize) * (side as usize),
+                    tasks: 64,
+                },
+                &s.constants,
+            )
+        };
+        let probe = sched(1.0);
+        // Budget fits one full frame plus a half-size frame, not two full.
+        let budget = (frame(&probe, 512) + 1.1 * frame(&probe, 256)) / probe.cfg.safety;
+        let mut s = sched(budget);
+        s.begin_cycle(0);
+        let r = req(RendererKind::VolumeRendering, 512);
+        assert!(matches!(s.decide(r), Decision::Admit(_)));
+        match s.decide(r) {
+            Decision::Degrade(j) => {
+                assert_eq!((j.width, j.rung), (256, Rung::Halved { halvings: 1 }))
+            }
+            d => panic!("expected degrade, got {}", d.label()),
+        }
+        s.end_cycle();
+    }
+
+    /// The switch rung respects the Figure-15 crossover: ray tracing only
+    /// becomes rasterization when the models predict rasterization faster.
+    /// Heavy geometry under a small image stays ray traced.
+    #[test]
+    fn switch_rung_respects_crossover() {
+        // Heavy geometry, small image: rasterization would be slower, so the
+        // switch rung keeps ray tracing (and costs the same as Halved{2},
+        // meaning a budget below the quarter-size cost rejects outright).
+        let mut s = sched(1.0);
+        let heavy = RenderRequest {
+            renderer: RendererKind::RayTracing,
+            width: 256,
+            height: 256,
+            cells_per_task: 500,
+        };
+        let quarter_cost = s.job_cost(
+            &RenderConfig {
+                renderer: RendererKind::RayTracing,
+                cells_per_task: 500,
+                pixels: 64 * 64,
+                tasks: 64,
+            },
+            false,
+        );
+        assert!(!s.past_crossover(500, 64 * 64));
+        s.cfg.budget_s = 0.9 * quarter_cost / s.cfg.safety;
+        s.begin_cycle(0);
+        assert!(matches!(s.decide(heavy), Decision::Reject));
+        s.end_cycle();
+
+        // Light geometry, large image: rasterization wins, so the switch rung
+        // admits what Halved{2} could not.
+        let mut s = sched(1.0);
+        let light = RenderRequest {
+            renderer: RendererKind::RayTracing,
+            width: 2048,
+            height: 2048,
+            cells_per_task: 3,
+        };
+        let rt_quarter = s.job_cost(
+            &RenderConfig {
+                renderer: RendererKind::RayTracing,
+                cells_per_task: 3,
+                pixels: 512 * 512,
+                tasks: 64,
+            },
+            false,
+        );
+        let ra_quarter = s.job_cost(
+            &RenderConfig {
+                renderer: RendererKind::Rasterization,
+                cells_per_task: 3,
+                pixels: 512 * 512,
+                tasks: 64,
+            },
+            false,
+        );
+        assert!(s.past_crossover(3, 512 * 512));
+        assert!(ra_quarter < rt_quarter);
+        s.cfg.budget_s = 0.5 * (rt_quarter + ra_quarter) / s.cfg.safety;
+        s.begin_cycle(0);
+        match s.decide(light) {
+            Decision::Degrade(j) => {
+                assert_eq!(j.rung, Rung::Switched { halvings: 2 });
+                assert_eq!(j.cfg.renderer, RendererKind::Rasterization);
+                assert_eq!(j.width, 512);
+            }
+            d => panic!("expected switched degrade, got {}", d.label()),
+        }
+        s.end_cycle();
+    }
+
+    /// Degradation never shrinks below the configured minimum side.
+    #[test]
+    fn min_image_side_floors_degradation() {
+        let s = sched(1.0);
+        let r = req(RendererKind::VolumeRendering, 100);
+        assert_eq!(s.shrunk(&r, 2), (64, 64));
+        // Requests already below the floor are left alone rather than upsized.
+        let tiny = req(RendererKind::VolumeRendering, 32);
+        assert_eq!(s.shrunk(&tiny, 2), (32, 32));
+    }
+}

@@ -243,6 +243,11 @@ impl ProxySim for Cloverleaf {
     fn num_cells(&self) -> usize {
         self.state.len()
     }
+
+    fn vis_renderers(&self) -> &'static [&'static str] {
+        // The paper's CloverLeaf3D runs render volume rendered.
+        &["volume_rendering"]
+    }
 }
 
 #[cfg(test)]

@@ -211,6 +211,12 @@ impl ProxySim for Kripke {
     fn num_cells(&self) -> usize {
         self.phi.len()
     }
+
+    fn vis_renderers(&self) -> &'static [&'static str] {
+        // The paper's Kripke runs render ray traced; two views per cycle so
+        // the BVH build amortizes across frames.
+        &["ray_tracing", "ray_tracing"]
+    }
 }
 
 #[cfg(test)]

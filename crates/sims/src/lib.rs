@@ -38,4 +38,11 @@ pub trait ProxySim {
     fn time(&self) -> f64;
     /// Total cells in the problem.
     fn num_cells(&self) -> usize;
+    /// Renderers the app asks the in situ layer for each cycle, one request
+    /// per entry (the Table 9/10 app-renderer pairings). Names are the
+    /// `perfmodel` renderer names (`ray_tracing`, `rasterization`,
+    /// `volume_rendering`); a name may repeat to request multiple views.
+    fn vis_renderers(&self) -> &'static [&'static str] {
+        &["ray_tracing"]
+    }
 }

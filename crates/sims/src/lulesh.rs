@@ -256,6 +256,12 @@ impl ProxySim for Lulesh {
     fn num_cells(&self) -> usize {
         self.hexes.len()
     }
+
+    fn vis_renderers(&self) -> &'static [&'static str] {
+        // The paper renders LULESH both surface-rasterized and volume
+        // rendered (Tables 9/10).
+        &["volume_rendering", "rasterization"]
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@ use dpp::Device;
 use mesh::external_faces::{external_faces_grid, external_faces_hex};
 use mesh::{Assoc, Field, TriMesh, UniformGrid};
 use mpirt::NetModel;
-use render::counters::PhaseTimer;
+use render::counters::{Admission, AdmissionLog, PhaseTimer};
 use render::raster::rasterize;
 use render::raytrace::{RayTracer, RtConfig, TriGeometry};
 use render::volume_structured::{render_structured, SvrConfig};
@@ -18,8 +18,57 @@ use render::Framebuffer;
 use std::path::{Path, PathBuf};
 use vecmath::{Camera, Color, TransferFunction};
 
+/// A render the infrastructure is about to execute, offered to the
+/// [`AdmissionHook`] before any work happens.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionRequest {
+    pub cycle: i64,
+    /// `"raytracer"`, `"rasterizer"`, or `"volume"` (the concrete volume
+    /// renderer depends on the published mesh type).
+    pub renderer: &'static str,
+    pub width: u32,
+    pub height: u32,
+    /// Cells in the published mesh (data-size hint for cost models).
+    pub cells: usize,
+    /// Per-cycle render budget from [`Options::cycle_budget_s`].
+    pub budget_s: f64,
+}
+
+/// What the hook decided for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Render exactly as requested.
+    Admit,
+    /// Render at reduced fidelity.
+    Degrade { width: u32, height: u32, switch_to_rasterizer: bool },
+    /// Skip this render entirely.
+    Reject,
+}
+
+/// A render that actually ran, reported back so the hook can refine its cost
+/// models against measured time.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutedRender {
+    pub cycle: i64,
+    /// The renderer that executed (`"raytracer"`, `"rasterizer"`,
+    /// `"volume_structured"`, `"volume_unstructured"`).
+    pub renderer: &'static str,
+    pub width: u32,
+    pub height: u32,
+    pub cells: usize,
+    pub seconds: f64,
+}
+
+/// Admission control consulted before every render when
+/// [`Options::cycle_budget_s`] is set. Implemented by the `sched` crate's
+/// model-driven scheduler; any budget policy can plug in here.
+pub trait AdmissionHook {
+    fn admit(&mut self, req: &AdmissionRequest) -> AdmissionDecision;
+    /// Observe a completed render's measured wall time.
+    fn observe(&mut self, done: &ExecutedRender);
+}
+
 /// Strawman initialization options.
-#[derive(Debug, Clone)]
 pub struct Options {
     pub device: Device,
     /// Directory image files are written into.
@@ -30,6 +79,25 @@ pub struct Options {
     pub compress_compositing: bool,
     /// Network model for the simulated compositing exchange.
     pub net: NetModel,
+    /// Per-cycle render time budget. When set together with `scheduler`,
+    /// every render is offered to the hook, which may admit, degrade, or
+    /// reject it.
+    pub cycle_budget_s: Option<f64>,
+    /// Admission hook gating renders against the budget.
+    pub scheduler: Option<Box<dyn AdmissionHook>>,
+}
+
+impl std::fmt::Debug for Options {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Options")
+            .field("device", &self.device)
+            .field("output_dir", &self.output_dir)
+            .field("compress_compositing", &self.compress_compositing)
+            .field("net", &self.net)
+            .field("cycle_budget_s", &self.cycle_budget_s)
+            .field("scheduler", &self.scheduler.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl Default for Options {
@@ -39,6 +107,8 @@ impl Default for Options {
             output_dir: PathBuf::from("."),
             compress_compositing: true,
             net: NetModel::cluster(),
+            cycle_budget_s: None,
+            scheduler: None,
         }
     }
 }
@@ -52,6 +122,9 @@ pub enum StrawmanError {
     UnknownField(String),
     Render(String),
     Io(std::io::Error),
+    /// The admission hook rejected one or more renders this cycle (over
+    /// budget even at the deepest degradation).
+    Rejected,
 }
 
 impl std::fmt::Display for StrawmanError {
@@ -63,6 +136,7 @@ impl std::fmt::Display for StrawmanError {
             StrawmanError::UnknownField(v) => write!(f, "unknown field `{v}`"),
             StrawmanError::Render(e) => write!(f, "render: {e}"),
             StrawmanError::Io(e) => write!(f, "io: {e}"),
+            StrawmanError::Rejected => write!(f, "render rejected by scheduler (over budget)"),
         }
     }
 }
@@ -120,6 +194,8 @@ pub struct Strawman {
     pub last_frame: Option<Framebuffer>,
     /// Per-phase instrumentation, including bytes moved by compositing.
     pub phases: PhaseTimer,
+    /// Per-cycle admitted/degraded/rejected render counts.
+    pub admissions: AdmissionLog,
 }
 
 impl Strawman {
@@ -134,6 +210,7 @@ impl Strawman {
             records: Vec::new(),
             last_frame: None,
             phases: PhaseTimer::new(),
+            admissions: AdmissionLog::new(),
         }
     }
 
@@ -242,12 +319,61 @@ impl Strawman {
             "far" => Camera::far_view(&mesh.bounds()),
             _ => Camera::close_view(&mesh.bounds()),
         };
+        let cells = mesh.num_cells();
         let plots = self.plots.clone();
+        let mut any_rejected = false;
         for plot in &plots {
+            // Offer the render to the admission hook (if a budget is set).
+            let kind_label = match (plot.plot_type, plot.renderer) {
+                (PlotType::Volume, _) => "volume",
+                (PlotType::Pseudocolor, RendererKind::RayTracer) => "raytracer",
+                (PlotType::Pseudocolor, RendererKind::Rasterizer) => "rasterizer",
+            };
+            let decision = match (self.opts.scheduler.as_mut(), self.opts.cycle_budget_s) {
+                (Some(hook), Some(budget_s)) => hook.admit(&AdmissionRequest {
+                    cycle: self.cycle,
+                    renderer: kind_label,
+                    width,
+                    height,
+                    cells,
+                    budget_s,
+                }),
+                _ => AdmissionDecision::Admit,
+            };
+            let (w, h, plot) = match decision {
+                AdmissionDecision::Admit => {
+                    self.admissions.record(self.cycle, Admission::Admitted);
+                    (width, height, plot.clone())
+                }
+                AdmissionDecision::Degrade { width: dw, height: dh, switch_to_rasterizer } => {
+                    self.admissions.record(self.cycle, Admission::Degraded);
+                    let mut p = plot.clone();
+                    if switch_to_rasterizer && p.plot_type == PlotType::Pseudocolor {
+                        p.renderer = RendererKind::Rasterizer;
+                    }
+                    (dw, dh, p)
+                }
+                AdmissionDecision::Reject => {
+                    self.admissions.record(self.cycle, Admission::Rejected);
+                    any_rejected = true;
+                    continue;
+                }
+            };
+
             let t0 = std::time::Instant::now();
             let (frame, renderer, active) =
-                render_plot(&self.opts.device, mesh, plot, &camera, width, height)?;
+                render_plot(&self.opts.device, mesh, &plot, &camera, w, h)?;
             let seconds = t0.elapsed().as_secs_f64();
+            if let Some(hook) = self.opts.scheduler.as_mut() {
+                hook.observe(&ExecutedRender {
+                    cycle: self.cycle,
+                    renderer,
+                    width: w,
+                    height: h,
+                    cells,
+                    seconds,
+                });
+            }
             let mut frame = frame;
             frame.set_background(Color::WHITE);
 
@@ -262,12 +388,15 @@ impl Strawman {
             self.records.push(RenderRecord {
                 path,
                 renderer,
-                width,
-                height,
+                width: w,
+                height: h,
                 render_seconds: seconds,
                 active_pixels: active,
             });
             self.last_frame = Some(frame);
+        }
+        if any_rejected {
+            return Err(StrawmanError::Rejected);
         }
         Ok(())
     }
@@ -720,6 +849,87 @@ mod tests {
         }
         assert!(stats.total_bytes < dense_stats.total_bytes);
         assert_eq!(dense_stats.total_bytes, dense_stats.dense_bytes);
+    }
+
+    /// Degrades every pseudocolor request to a fixed size and rejects every
+    /// `n`-th offer, recording what it observed.
+    struct StubHook {
+        reject_every: usize,
+        offered: usize,
+        observed: Vec<ExecutedRender>,
+    }
+
+    impl AdmissionHook for StubHook {
+        fn admit(&mut self, req: &AdmissionRequest) -> AdmissionDecision {
+            self.offered += 1;
+            assert!(req.budget_s > 0.0);
+            assert!(req.cells > 0);
+            if self.reject_every > 0 && self.offered.is_multiple_of(self.reject_every) {
+                AdmissionDecision::Reject
+            } else {
+                AdmissionDecision::Degrade {
+                    width: req.width / 2,
+                    height: req.height / 2,
+                    switch_to_rasterizer: true,
+                }
+            }
+        }
+
+        fn observe(&mut self, done: &ExecutedRender) {
+            self.observed.push(*done);
+        }
+    }
+
+    #[test]
+    fn admission_hook_degrades_and_rejects() {
+        let hook = StubHook { reject_every: 2, offered: 0, observed: Vec::new() };
+        let mut sm = Strawman::open(Options {
+            device: Device::Serial,
+            output_dir: std::env::temp_dir(),
+            cycle_budget_s: Some(0.5),
+            scheduler: Some(Box::new(hook)),
+            ..Options::default()
+        });
+        sm.publish(&uniform_data(10)).unwrap();
+        // Two plots: first is degraded (half size, switched to the
+        // rasterizer), second is rejected -> execute returns Rejected.
+        let mut a = Node::new();
+        for renderer in ["raytracer", "rasterizer"] {
+            let add = a.append();
+            add.set("action", "AddPlot");
+            add.set("var", "scalar");
+            add.set("renderer", renderer);
+        }
+        a.append().set("action", "DrawPlots");
+        let save = a.append();
+        save.set("action", "SaveImage");
+        save.set("fileName", "");
+        save.set("width", 64i64);
+        save.set("height", 64i64);
+        assert!(matches!(sm.execute(&a), Err(StrawmanError::Rejected)));
+        // First plot executed degraded at 32x32 on the rasterizer; the
+        // second offer was rejected and never rendered.
+        assert_eq!(sm.records.len(), 1);
+        assert_eq!(sm.records[0].renderer, "rasterizer");
+        assert_eq!((sm.records[0].width, sm.records[0].height), (32, 32));
+        assert_eq!(sm.admissions.totals(), (0, 1, 1));
+        assert_eq!(sm.admissions.cycles[0].cycle, 3); // from state/cycle
+    }
+
+    #[test]
+    fn no_budget_means_no_gating() {
+        let hook = StubHook { reject_every: 1, offered: 0, observed: Vec::new() };
+        let mut sm = Strawman::open(Options {
+            device: Device::Serial,
+            output_dir: std::env::temp_dir(),
+            scheduler: Some(Box::new(hook)), // budget unset: hook must not gate
+            ..Options::default()
+        });
+        sm.publish(&uniform_data(10)).unwrap();
+        sm.execute(&actions("scalar", "pseudocolor", "")).unwrap();
+        assert_eq!(sm.records.len(), 1);
+        assert_eq!((sm.records[0].width, sm.records[0].height), (48, 48));
+        assert_eq!(sm.admissions.totals(), (1, 0, 0));
     }
 
     #[test]

@@ -39,5 +39,8 @@ pub mod api;
 pub mod mesh_convert;
 pub mod png;
 
-pub use api::{Options, RenderRecord, Strawman, StrawmanError};
+pub use api::{
+    AdmissionDecision, AdmissionHook, AdmissionRequest, ExecutedRender, Options, RenderRecord,
+    Strawman, StrawmanError,
+};
 pub use mesh_convert::PublishedMesh;

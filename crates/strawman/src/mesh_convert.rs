@@ -28,19 +28,21 @@ pub enum PublishedMesh {
 }
 
 impl PublishedMesh {
-    pub fn bounds(&self) -> Aabb {
-        match self {
-            PublishedMesh::Uniform(g) => g.bounds(),
-            PublishedMesh::Rectilinear(g) => g.bounds(),
-            PublishedMesh::Hexes(m) => m.bounds(),
-        }
-    }
-
+    /// Cells in the published mesh — the data-size hint admission control
+    /// feeds into the performance models.
     pub fn num_cells(&self) -> usize {
         match self {
             PublishedMesh::Uniform(g) => g.num_cells(),
             PublishedMesh::Rectilinear(g) => g.num_cells(),
             PublishedMesh::Hexes(m) => m.num_hexes(),
+        }
+    }
+
+    pub fn bounds(&self) -> Aabb {
+        match self {
+            PublishedMesh::Uniform(g) => g.bounds(),
+            PublishedMesh::Rectilinear(g) => g.bounds(),
+            PublishedMesh::Hexes(m) => m.bounds(),
         }
     }
 
