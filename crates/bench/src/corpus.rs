@@ -8,9 +8,11 @@ use dpp::Device;
 use mpirt::NetModel;
 use perfmodel::feasibility::ModelSet;
 use perfmodel::mapping::MappingConstants;
-use perfmodel::models::{CompositeModel, ModelForm, RastModel, RtBuildModel, RtModel, VrModel};
-use perfmodel::sample::{CompositeSample, RenderSample, RendererKind};
-use perfmodel::study::{run_composite_study, run_render_study, StudyConfig};
+use perfmodel::models::{
+    CompositeModel, CompressedCompositeModel, ModelForm, RastModel, RtBuildModel, RtModel, VrModel,
+};
+use perfmodel::sample::{CompositeSample, CompositeWire, RenderSample, RendererKind};
+use perfmodel::study::{run_composite_study_wired, run_render_study, StudyConfig};
 
 /// The full experiment corpus: render samples per (device, renderer) plus
 /// the compositing samples.
@@ -28,53 +30,62 @@ fn cache_path(scale: Scale, kind: &str) -> std::path::PathBuf {
         .join(format!("corpus_{kind}_{}.csv", if scale == Scale::Quick { "quick" } else { "full" }))
 }
 
-/// Build (or load from cache) the render + compositing corpus.
+/// Build (or load from cache) the render + compositing corpus. The two
+/// studies cache independently: a composite-format bump (or a deleted file)
+/// only re-runs the study whose cache missed.
 pub fn ensure_corpus(scale: Scale) -> Corpus {
     let rp = cache_path(scale, "render");
-    let cp = cache_path(scale, "composite");
-    if let (Ok(rtext), Ok(ctext)) = (std::fs::read_to_string(&rp), std::fs::read_to_string(&cp)) {
-        let render = perfmodel::sample::from_csv(&rtext);
-        let composite: Vec<CompositeSample> = ctext
-            .lines()
-            .filter(|l| !l.is_empty() && !l.starts_with("tasks,"))
-            .filter_map(CompositeSample::from_csv_row)
-            .collect();
-        if !render.is_empty() && !composite.is_empty() {
-            println!(
-                "[corpus loaded from cache: {} render, {} composite samples]",
-                render.len(),
-                composite.len()
-            );
-            return Corpus { render, composite };
+    // "composite2": the wired study tags each sample with its exchange kind;
+    // pre-wire caches (4-column rows, compressed only) must not be reused.
+    let cp = cache_path(scale, "composite2");
+
+    let mut render: Vec<RenderSample> = std::fs::read_to_string(&rp)
+        .map(|text| perfmodel::sample::from_csv(&text))
+        .unwrap_or_default();
+    if render.is_empty() {
+        let study = match scale {
+            Scale::Quick => StudyConfig::quick(),
+            Scale::Full => StudyConfig::full(),
+        };
+        for device in [Device::Serial, Device::parallel()] {
+            for renderer in RENDERERS {
+                eprintln!("[study: {} x {} ...]", device.name(), renderer.name());
+                render.extend(run_render_study(&device, renderer, &study));
+            }
         }
+        let _ = std::fs::write(&rp, perfmodel::sample::to_csv(&render));
+    } else {
+        println!("[render corpus loaded from cache: {} samples]", render.len());
     }
 
-    let study = match scale {
-        Scale::Quick => StudyConfig::quick(),
-        Scale::Full => StudyConfig::full(),
-    };
-    let mut render = Vec::new();
-    for device in [Device::Serial, Device::parallel()] {
-        for renderer in RENDERERS {
-            eprintln!("[study: {} x {} ...]", device.name(), renderer.name());
-            render.extend(run_render_study(&device, renderer, &study));
-        }
-    }
-    let (tasks, sides): (Vec<usize>, Vec<u32>) = match scale {
-        Scale::Quick => (vec![2, 4, 8, 16, 32], vec![128, 256, 384, 512]),
-        Scale::Full => (vec![2, 4, 8, 16, 32, 64], vec![512, 840, 1032, 1250, 1558, 2048]),
-    };
-    eprintln!("[compositing study ...]");
-    let composite = run_composite_study(NetModel::cluster(), &tasks, &sides, 0xBEEF);
-
-    let _ = std::fs::write(&rp, perfmodel::sample::to_csv(&render));
-    let mut ctext = String::from(CompositeSample::CSV_HEADER);
-    ctext.push('\n');
-    for c in &composite {
-        ctext.push_str(&c.to_csv_row());
+    let composite: Vec<CompositeSample> = std::fs::read_to_string(&cp)
+        .map(|text| {
+            text.lines()
+                .filter(|l| !l.is_empty() && !l.starts_with("tasks,"))
+                .filter_map(CompositeSample::from_csv_row)
+                .collect()
+        })
+        .unwrap_or_default();
+    let composite = if composite.is_empty() {
+        let (tasks, sides): (Vec<usize>, Vec<u32>) = match scale {
+            Scale::Quick => (vec![2, 4, 8, 16, 32], vec![128, 256, 384, 512]),
+            Scale::Full => (vec![2, 4, 8, 16, 32, 64], vec![512, 840, 1032, 1250, 1558, 2048]),
+        };
+        eprintln!("[compositing study ...]");
+        let composite = run_composite_study_wired(NetModel::cluster(), &tasks, &sides, 0xBEEF);
+        let mut ctext = String::from(CompositeSample::CSV_HEADER);
         ctext.push('\n');
-    }
-    let _ = std::fs::write(&cp, ctext);
+        for c in &composite {
+            ctext.push_str(&c.to_csv_row());
+            ctext.push('\n');
+        }
+        let _ = std::fs::write(&cp, ctext);
+        composite
+    } else {
+        println!("[composite corpus loaded from cache: {} samples]", composite.len());
+        composite
+    };
+
     Corpus { render, composite }
 }
 
@@ -88,18 +99,38 @@ impl Corpus {
             .collect()
     }
 
-    /// Fit the full model set for one device.
+    /// Compositing samples measured over one exchange kind.
+    pub fn composite_subset(&self, wire: CompositeWire) -> Vec<CompositeSample> {
+        self.composite.iter().filter(|s| s.wire == wire).cloned().collect()
+    }
+
+    /// Fit the full model set for one device. The dense compositing model
+    /// fits the dense-exchange samples; the compressed samples feed the
+    /// active-fraction-aware model. A corpus with only one exchange kind
+    /// (e.g. loaded from legacy artifacts) degrades gracefully: the dense
+    /// model falls back to all samples and the compressed slot stays empty.
     pub fn fit_models(&self, device: &str) -> ModelSet {
         let rt = self.subset(device, RendererKind::RayTracing);
         let ra = self.subset(device, RendererKind::Rasterization);
         let vr = self.subset(device, RendererKind::VolumeRendering);
+        let dense = self.composite_subset(CompositeWire::Dense);
+        let compressed = self.composite_subset(CompositeWire::Compressed);
         ModelSet {
             device: device.to_string(),
             rt: RtModel.fit(&rt),
             rt_build: RtBuildModel.fit(&rt),
             rast: RastModel.fit(&ra),
             vr: VrModel.fit(&vr),
-            comp: CompositeModel.fit(&self.composite),
+            comp: if dense.is_empty() {
+                CompositeModel.fit(&self.composite)
+            } else {
+                CompositeModel.fit(&dense)
+            },
+            comp_compressed: if compressed.is_empty() {
+                None
+            } else {
+                Some(CompressedCompositeModel.fit(&compressed))
+            },
         }
     }
 

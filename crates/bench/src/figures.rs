@@ -10,7 +10,7 @@ use baselines::havs::render_havs;
 use dpp::Device;
 use mesh::datasets::tet_dataset_pool;
 use perfmodel::feasibility::{images_in_budget, rt_vs_rast_map};
-use perfmodel::sample::RendererKind;
+use perfmodel::sample::{CompositeWire, RendererKind};
 use render::volume_unstructured::{render_unstructured, sample_buffer_bytes, UvrConfig};
 use vecmath::{Camera, TransferFunction};
 
@@ -253,33 +253,55 @@ pub fn fig11(scale: Scale) -> TextTable {
     t
 }
 
-/// Figure 12: compositing time histogram over (tasks, pixels).
+/// Figure 12: compositing time histogram over (tasks, pixels, wire).
 pub fn fig12(scale: Scale) -> TextTable {
     let corpus = ensure_corpus(scale);
     let mut t = TextTable::new(
-        "Figure 12: measured compositing time by tasks x pixels",
-        &["tasks", "pixels", "seconds"],
+        "Figure 12: measured compositing time by tasks x pixels x exchange",
+        &["tasks", "pixels", "wire", "seconds"],
     );
     for s in &corpus.composite {
-        t.row(vec![s.tasks.to_string(), format!("{:.0}", s.pixels), format!("{:.6}", s.seconds)]);
+        t.row(vec![
+            s.tasks.to_string(),
+            format!("{:.0}", s.pixels),
+            s.wire.name().to_string(),
+            format!("{:.6}", s.seconds),
+        ]);
     }
     t
 }
 
-/// Figure 13: compositing CV error scatter.
+/// Figure 13: compositing CV error scatter, one series per exchange kind.
 pub fn fig13(scale: Scale) -> TextTable {
     let corpus = ensure_corpus(scale);
-    let (pairs, acc) = composite_cv(&corpus);
-    let mut t = TextTable::new(
-        format!(
-            "Figure 13: compositing CV error (avg {:.1}%, within50 {:.0}%)",
-            acc.mean_error_pct, acc.within_50
-        ),
-        &["actual_s", "predicted_s", "error_pct"],
-    );
-    for (a, p) in pairs {
-        let err = if a != 0.0 { (a - p) / a * 100.0 } else { 0.0 };
-        t.row(vec![format!("{a:.6}"), format!("{p:.6}"), format!("{err:.2}")]);
+    let mut header = String::from("Figure 13: compositing CV error");
+    let mut series = Vec::new();
+    for wire in [CompositeWire::Dense, CompositeWire::Compressed] {
+        let (pairs, acc) = composite_cv(&corpus, wire);
+        if pairs.is_empty() {
+            continue;
+        }
+        use std::fmt::Write as _;
+        let _ = write!(
+            header,
+            " ({}: avg {:.1}%, within50 {:.0}%)",
+            wire.name(),
+            acc.mean_error_pct,
+            acc.within_50
+        );
+        series.push((wire, pairs));
+    }
+    let mut t = TextTable::new(header, &["wire", "actual_s", "predicted_s", "error_pct"]);
+    for (wire, pairs) in series {
+        for (a, p) in pairs {
+            let err = if a != 0.0 { (a - p) / a * 100.0 } else { 0.0 };
+            t.row(vec![
+                wire.name().to_string(),
+                format!("{a:.6}"),
+                format!("{p:.6}"),
+                format!("{err:.2}"),
+            ]);
+        }
     }
     t
 }

@@ -14,8 +14,11 @@ use dpp::Device;
 use mesh::datasets::{surface_dataset_pool, tet_dataset_pool};
 use perfmodel::crossval::{k_fold, k_fold_accuracy};
 use perfmodel::mapping::{map_inputs, RenderConfig};
-use perfmodel::models::{CompositeModel, ModelForm, RastModel, RtBuildModel, RtModel, VrModel};
-use perfmodel::sample::RendererKind;
+use perfmodel::models::{
+    CompositeModel, CompressedCompositeModel, FittedLinearModel, ModelForm, RastModel,
+    RtBuildModel, RtModel, VrModel,
+};
+use perfmodel::sample::{CompositeWire, RendererKind};
 use perfmodel::stats::AccuracySummary;
 use perfmodel::study::run_one;
 use render::raytrace::{Bvh, RayTracer, RtConfig, TriGeometry};
@@ -535,25 +538,33 @@ pub fn table13(scale: Scale) -> TextTable {
     t
 }
 
-/// Table 14: compositing-model cross-validation accuracy.
+/// Table 14: compositing-model cross-validation accuracy, per exchange kind
+/// (dense wire -> the paper's 3-term model, RLE wire -> the active-fraction
+/// model).
 pub fn table14(scale: Scale) -> TextTable {
     let corpus = ensure_corpus(scale);
-    let xs: Vec<Vec<f64>> = corpus.composite.iter().map(|s| CompositeModel.features(s)).collect();
-    let ys: Vec<f64> = corpus.composite.iter().map(|s| s.seconds).collect();
-    let acc = k_fold_accuracy(&xs, &ys, 3);
     let mut t = TextTable::new(
-        "Table 14: compositing model 3-fold CV accuracy",
+        "Table 14: compositing model 3-fold CV accuracy (dense vs RLE exchange)",
         &["model", "50%", "25%", "10%", "5%", "avg err %", "n"],
     );
-    t.row(vec![
-        "compositing".into(),
-        format!("{:.1}", acc.within_50),
-        format!("{:.1}", acc.within_25),
-        format!("{:.1}", acc.within_10),
-        format!("{:.1}", acc.within_5),
-        format!("{:.1}", acc.mean_error_pct),
-        acc.n.to_string(),
-    ]);
+    for (name, wire) in [
+        ("compositing (dense)", CompositeWire::Dense),
+        ("compositing (compressed)", CompositeWire::Compressed),
+    ] {
+        let (pairs, acc) = composite_cv(&corpus, wire);
+        if pairs.is_empty() {
+            continue;
+        }
+        t.row(vec![
+            name.into(),
+            format!("{:.1}", acc.within_50),
+            format!("{:.1}", acc.within_25),
+            format!("{:.1}", acc.within_10),
+            format!("{:.1}", acc.within_5),
+            format!("{:.1}", acc.mean_error_pct),
+            acc.n.to_string(),
+        ]);
+    }
     t
 }
 
@@ -681,7 +692,19 @@ pub fn table16(scale: Scale) -> TextTable {
     t
 }
 
-/// Table 17: the experimentally determined coefficients.
+/// Technique label for Table 17, carrying the solver's condition diagnostics
+/// when the fit needed the ridge fallback.
+fn table17_label(name: &str, m: &FittedLinearModel) -> String {
+    if m.fit.condition_warning {
+        format!("{name} [ill-cond, rank {}/{}]", m.fit.effective_rank, m.fit.coeffs.len())
+    } else {
+        name.to_string()
+    }
+}
+
+/// Table 17: the experimentally determined coefficients. Compositing gets one
+/// row per exchange kind; ill-conditioned fits are flagged on the technique
+/// label with the solver's effective rank.
 pub fn table17(scale: Scale) -> TextTable {
     let corpus = ensure_corpus(scale);
     let mut t = TextTable::new(
@@ -694,7 +717,7 @@ pub fn table17(scale: Scale) -> TextTable {
         let build = RtBuildModel.fit(&rt_samples);
         // Paper order for RT: c0,c1 = build; c2,c3,c4 = render.
         t.row(vec![
-            "ray_tracing".into(),
+            table17_label("ray_tracing", &rt),
             device.into(),
             format!("{:.3e}", build.coeffs()[0]),
             format!("{:.3e}", build.coeffs()[1]),
@@ -704,7 +727,7 @@ pub fn table17(scale: Scale) -> TextTable {
         ]);
         let ra = RastModel.fit(&corpus.subset(device, RendererKind::Rasterization));
         t.row(vec![
-            "rasterization".into(),
+            table17_label("rasterization", &ra),
             device.into(),
             format!("{:.3e}", ra.coeffs()[0]),
             format!("{:.3e}", ra.coeffs()[1]),
@@ -714,7 +737,7 @@ pub fn table17(scale: Scale) -> TextTable {
         ]);
         let vr = VrModel.fit(&corpus.subset(device, RendererKind::VolumeRendering));
         t.row(vec![
-            "volume".into(),
+            table17_label("volume", &vr),
             device.into(),
             format!("{:.3e}", vr.coeffs()[0]),
             format!("{:.3e}", vr.coeffs()[1]),
@@ -723,16 +746,32 @@ pub fn table17(scale: Scale) -> TextTable {
             "-".into(),
         ]);
     }
-    let comp = CompositeModel.fit(&ensure_corpus(scale).composite);
-    t.row(vec![
-        "compositing".into(),
-        "-".into(),
-        format!("{:.3e}", comp.coeffs()[0]),
-        format!("{:.3e}", comp.coeffs()[1]),
-        format!("{:.3e}", comp.coeffs()[2]),
-        "-".into(),
-        "-".into(),
-    ]);
+    let dense = corpus.composite_subset(CompositeWire::Dense);
+    if !dense.is_empty() {
+        let comp = CompositeModel.fit(&dense);
+        t.row(vec![
+            table17_label("compositing (dense)", &comp),
+            "-".into(),
+            format!("{:.3e}", comp.coeffs()[0]),
+            format!("{:.3e}", comp.coeffs()[1]),
+            format!("{:.3e}", comp.coeffs()[2]),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    let compressed = corpus.composite_subset(CompositeWire::Compressed);
+    if !compressed.is_empty() {
+        let comp = CompressedCompositeModel.fit(&compressed);
+        t.row(vec![
+            table17_label("compositing (compressed)", &comp),
+            "-".into(),
+            format!("{:.3e}", comp.coeffs()[0]),
+            format!("{:.3e}", comp.coeffs()[1]),
+            format!("{:.3e}", comp.coeffs()[2]),
+            format!("{:.3e}", comp.coeffs()[3]),
+            "-".into(),
+        ]);
+    }
     t
 }
 
@@ -798,10 +837,22 @@ pub fn cv_pairs(
     k_fold(&xs, &ys, 3)
 }
 
-/// Compositing CV pairs + summary (figure 13 / table 14 inputs).
-pub fn composite_cv(corpus: &crate::corpus::Corpus) -> (Vec<(f64, f64)>, AccuracySummary) {
-    let xs: Vec<Vec<f64>> = corpus.composite.iter().map(|s| CompositeModel.features(s)).collect();
-    let ys: Vec<f64> = corpus.composite.iter().map(|s| s.seconds).collect();
+/// Compositing CV pairs + summary for one exchange kind (figure 13 /
+/// table 14 inputs). Dense samples cross-validate the paper's 3-term model;
+/// compressed samples the active-fraction model.
+pub fn composite_cv(
+    corpus: &crate::corpus::Corpus,
+    wire: CompositeWire,
+) -> (Vec<(f64, f64)>, AccuracySummary) {
+    let samples = corpus.composite_subset(wire);
+    let xs: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|s| match wire {
+            CompositeWire::Dense => CompositeModel.features(s),
+            CompositeWire::Compressed => CompressedCompositeModel.features(s),
+        })
+        .collect();
+    let ys: Vec<f64> = samples.iter().map(|s| s.seconds).collect();
     let pairs = k_fold(&xs, &ys, 3);
     let acc = AccuracySummary::from_pairs(&pairs);
     (pairs, acc)

@@ -200,7 +200,7 @@ mod tests {
     fn toy_set() -> ModelSet {
         let fit = |coeffs: Vec<f64>| FittedLinearModel {
             name: "toy",
-            fit: LinearRegression { coeffs, r_squared: 1.0, residual_std: 0.0, n: 9 },
+            fit: LinearRegression::with_stats(coeffs, 1.0, 0.0, 9),
             feature_names: vec![],
         };
         ModelSet {
@@ -210,6 +210,7 @@ mod tests {
             rast: fit(vec![4e-9, 4e-10, 1e-3]),
             vr: fit(vec![2e-10, 1e-9, 1e-2]),
             comp: fit(vec![2e-8, 5e-8, 1e-3]),
+            comp_compressed: None,
         }
     }
 

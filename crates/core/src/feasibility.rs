@@ -5,9 +5,10 @@
 
 use crate::mapping::{map_inputs, MappingConstants, RenderConfig};
 use crate::models::{
-    CompositeModel, FittedLinearModel, ModelForm, RastModel, RtBuildModel, RtModel, VrModel,
+    CompositeModel, CompressedCompositeModel, FittedLinearModel, ModelForm, RastModel,
+    RtBuildModel, RtModel, VrModel,
 };
-use crate::sample::{CompositeSample, RendererKind};
+use crate::sample::{CompositeSample, CompositeWire, RendererKind};
 
 /// Floor applied to predicted per-frame seconds before they are used as a
 /// divisor. A degenerate fit (all-zero coefficients, e.g. from a windowed
@@ -17,7 +18,7 @@ use crate::sample::{CompositeSample, RendererKind};
 /// so the clamp never distorts a healthy model.
 pub const MIN_PREDICTED_SECONDS: f64 = 1e-9;
 
-/// Fitted models for one device (plus the shared compositing model).
+/// Fitted models for one device (plus the shared compositing models).
 #[derive(Debug, Clone)]
 pub struct ModelSet {
     pub device: String,
@@ -25,13 +26,25 @@ pub struct ModelSet {
     pub rt_build: FittedLinearModel,
     pub rast: FittedLinearModel,
     pub vr: FittedLinearModel,
+    /// Dense-exchange compositing model (the paper's form).
     pub comp: FittedLinearModel,
+    /// Compressed-exchange compositing model, fitted on RLE wire timings.
+    /// When present it takes over frame predictions, matching the
+    /// compressed-by-default wire path; `None` falls back to `comp` (and is
+    /// what legacy persisted sets load as).
+    pub comp_compressed: Option<FittedLinearModel>,
 }
 
 impl ModelSet {
     /// Predicted seconds for one *frame* of a multi-task configuration:
     /// `max_tasks(T_LR) + T_COMP` with all tasks identical (weak scaling),
     /// excluding any amortized acceleration-structure build.
+    ///
+    /// Negative per-term predictions are clamped to 0 so downstream curves
+    /// stay physical, but a clamp engaging means the underlying model is
+    /// invalid — callers that *install* models (refit loops) should gate on
+    /// [`implausible_models`](ModelSet::implausible_models) rather than rely
+    /// on the clamp.
     pub fn predict_frame_seconds(&self, cfg: &RenderConfig, k: &MappingConstants) -> f64 {
         let inputs = map_inputs(cfg, k);
         let local = match cfg.renderer {
@@ -39,16 +52,43 @@ impl ModelSet {
             RendererKind::Rasterization => RastModel.predict(&self.rast, &inputs),
             RendererKind::VolumeRendering => VrModel.predict(&self.vr, &inputs),
         };
-        let comp = CompositeModel.predict(
-            &self.comp,
-            &CompositeSample {
-                tasks: cfg.tasks,
-                pixels: cfg.pixels as f64,
-                avg_active_pixels: inputs.active_pixels,
-                seconds: 0.0,
-            },
-        );
+        let sample = CompositeSample {
+            tasks: cfg.tasks,
+            pixels: cfg.pixels as f64,
+            avg_active_pixels: inputs.active_pixels,
+            seconds: 0.0,
+            wire: CompositeWire::Compressed,
+        };
+        let comp = match &self.comp_compressed {
+            Some(m) => CompressedCompositeModel.predict(m, &sample),
+            None => CompositeModel.predict(&self.comp, &sample),
+        };
         local.max(0.0) + comp.max(0.0)
+    }
+
+    /// Names of models that fail the paper's plausibility criterion
+    /// (a negative coefficient: rendering work cannot have negative marginal
+    /// cost). Empty for a valid set. Refit loops use this to reject a bad
+    /// re-solve instead of silently scheduling on clamped-to-zero
+    /// predictions.
+    pub fn implausible_models(&self) -> Vec<&'static str> {
+        let mut bad = Vec::new();
+        for m in [&self.rt, &self.rt_build, &self.rast, &self.vr, &self.comp] {
+            if !m.fit.all_coeffs_nonnegative() {
+                bad.push(m.name);
+            }
+        }
+        if let Some(m) = &self.comp_compressed {
+            if !m.fit.all_coeffs_nonnegative() {
+                bad.push(m.name);
+            }
+        }
+        bad
+    }
+
+    /// True when every model in the set passes the plausibility criterion.
+    pub fn all_plausible(&self) -> bool {
+        self.implausible_models().is_empty()
     }
 
     /// Predicted one-time BVH build seconds (ray tracing only; 0 otherwise).
@@ -143,12 +183,7 @@ mod tests {
 
     /// Hand-built model set with known coefficients (seconds-scale).
     fn toy_models() -> ModelSet {
-        let fit = |coeffs: Vec<f64>| LinearRegression {
-            coeffs,
-            r_squared: 1.0,
-            residual_std: 0.0,
-            n: 10,
-        };
+        let fit = |coeffs: Vec<f64>| LinearRegression::with_stats(coeffs, 1.0, 0.0, 10);
         ModelSet {
             device: "toy".into(),
             rt: FittedLinearModel {
@@ -176,6 +211,7 @@ mod tests {
                 fit: fit(vec![2e-8, 5e-8, 1e-3]),
                 feature_names: vec!["avg(AP)", "Pixels", "1"],
             },
+            comp_compressed: None,
         }
     }
 
@@ -245,6 +281,46 @@ mod tests {
         }
         let map = rt_vs_rast_map(&set, &k, 32, 100, &sides, &[50, 200, 500]);
         assert!(map.iter().all(|c| c.rt_over_rast.is_finite() && c.rt_over_rast >= 0.0));
+    }
+
+    #[test]
+    fn compressed_model_takes_over_comp_prediction() {
+        let k = MappingConstants::default();
+        let cfg = RenderConfig {
+            renderer: RendererKind::VolumeRendering,
+            cells_per_task: 200,
+            pixels: 1024 * 1024,
+            tasks: 32,
+        };
+        let mut set = toy_models();
+        let dense = set.predict_frame_seconds(&cfg, &k);
+        // A compressed model whose wire term is half the dense one (the RLE
+        // exchange ships fewer bytes) must lower the frame prediction.
+        set.comp_compressed = Some(FittedLinearModel {
+            name: "compositing_compressed",
+            fit: LinearRegression::with_stats(vec![1e-8, 2.5e-8, 0.0, 1e-3], 1.0, 0.0, 10),
+            feature_names: vec!["avg(AP)", "Pixels", "AF", "1"],
+        });
+        let compressed = set.predict_frame_seconds(&cfg, &k);
+        assert!(compressed < dense, "{compressed} !< {dense}");
+        // Wiping the compressed model restores the dense prediction exactly.
+        set.comp_compressed = None;
+        assert_eq!(set.predict_frame_seconds(&cfg, &k).to_bits(), dense.to_bits());
+    }
+
+    #[test]
+    fn implausible_models_are_reported() {
+        let mut set = toy_models();
+        assert!(set.all_plausible());
+        assert!(set.implausible_models().is_empty());
+        set.vr.fit.coeffs[1] = -1e-9;
+        set.comp_compressed = Some(FittedLinearModel {
+            name: "compositing_compressed",
+            fit: LinearRegression::with_stats(vec![1e-8, 2.5e-8, -1e-4, 1e-3], 1.0, 0.0, 10),
+            feature_names: vec!["avg(AP)", "Pixels", "AF", "1"],
+        });
+        assert!(!set.all_plausible());
+        assert_eq!(set.implausible_models(), vec!["volume_rendering", "compositing_compressed"]);
     }
 
     #[test]

@@ -140,8 +140,8 @@ impl ModelForm for VrModel {
     }
 }
 
-/// Compositing model over [`CompositeSample`]s:
-/// `T_COMP = c0*avg(AP) + c1*Pixels + c2`.
+/// Compositing model over [`CompositeSample`]s (the paper's form, fitted on
+/// dense-exchange behavior): `T_COMP = c0*avg(AP) + c1*Pixels + c2`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CompositeModel;
 
@@ -157,6 +157,39 @@ impl CompositeModel {
             name: "compositing",
             fit: LinearRegression::fit(&xs, &ys),
             feature_names: vec!["avg(AP)", "Pixels", "1"],
+        }
+    }
+
+    pub fn predict(&self, fitted: &FittedLinearModel, s: &CompositeSample) -> f64 {
+        fitted.fit.predict(&self.features(s))
+    }
+}
+
+/// Compositing model for the run-length-compressed exchange. The RLE wire
+/// ships only active-pixel spans, so wire time tracks active pixels rather
+/// than the full image; following IceT's active-pixel accounting the model
+/// adds the average active *fraction* `AF = avg(AP) / Pixels` as a feature:
+/// `T_COMP = c0*avg(AP) + c1*Pixels + c2*AF + c3`.
+///
+/// Under the paper's Section 5.8 mapping AF is constant per configuration
+/// family (fill / tasks^(1/3)), which makes the AF column collinear with the
+/// intercept over a single-configuration window — exactly the rank
+/// deficiency the ridge fallback in [`LinearRegression::fit`] absorbs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompressedCompositeModel;
+
+impl CompressedCompositeModel {
+    pub fn features(&self, s: &CompositeSample) -> Vec<f64> {
+        vec![s.avg_active_pixels, s.pixels, s.avg_active_pixels / s.pixels.max(1.0), 1.0]
+    }
+
+    pub fn fit(&self, samples: &[CompositeSample]) -> FittedLinearModel {
+        let xs: Vec<Vec<f64>> = samples.iter().map(|s| self.features(s)).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.seconds).collect();
+        FittedLinearModel {
+            name: "compositing_compressed",
+            fit: LinearRegression::fit(&xs, &ys),
+            feature_names: vec!["avg(AP)", "Pixels", "AF", "1"],
         }
     }
 
@@ -256,6 +289,7 @@ mod tests {
                     pixels: px,
                     avg_active_pixels: ap,
                     seconds: c[0] * ap + c[1] * px + c[2],
+                    wire: crate::sample::CompositeWire::Dense,
                 }
             })
             .collect();
@@ -263,6 +297,32 @@ mod tests {
         assert!(fitted.r_squared() > 0.9999);
         let pred = CompositeModel.predict(&fitted, &samples[5]);
         assert!((pred - samples[5].seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compressed_composite_model_tracks_active_fraction() {
+        // Planted law where the wire term scales with active pixels and the
+        // active fraction shifts the constant (the RLE span overhead).
+        let c = [6e-8, 1e-8, 2e-3, 5e-4];
+        let samples: Vec<CompositeSample> = (1..30)
+            .map(|i| {
+                let px = 8e4 * i as f64;
+                let af = 0.1 + 0.8 * ((i * 5) % 9) as f64 / 9.0;
+                let ap = af * px;
+                CompositeSample {
+                    tasks: 1 << (i % 6),
+                    pixels: px,
+                    avg_active_pixels: ap,
+                    seconds: c[0] * ap + c[1] * px + c[2] * af + c[3],
+                    wire: crate::sample::CompositeWire::Compressed,
+                }
+            })
+            .collect();
+        let fitted = CompressedCompositeModel.fit(&samples);
+        assert!(fitted.r_squared() > 0.9999, "r2 = {}", fitted.r_squared());
+        assert!(!fitted.fit.condition_warning);
+        let pred = CompressedCompositeModel.predict(&fitted, &samples[7]);
+        assert!((pred - samples[7].seconds).abs() / samples[7].seconds < 1e-6);
     }
 
     #[test]

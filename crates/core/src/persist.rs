@@ -5,34 +5,47 @@
 //!
 //! Format: one record per line, `kind|name|field=value|...`, chosen over a
 //! serde format to keep the artifact diffable and the crate dependency-free.
+//!
+//! Version 2 adds a `format|2` header line, per-model solver diagnostics
+//! (`warn=`, `rank=`), and an optional `comp_rle` model record holding the
+//! compression-aware compositing model. Version-1 files (no header, five
+//! model lines, no diagnostics) still load: diagnostics default to a clean
+//! full-rank fit and the compressed model to absent.
 
 use crate::feasibility::ModelSet;
 use crate::mapping::MappingConstants;
 use crate::models::FittedLinearModel;
 use crate::regression::LinearRegression;
 
-/// Serialize a model set and mapping constants.
+/// Serialize a model set and mapping constants (format version 2).
 pub fn to_text(set: &ModelSet, k: &MappingConstants) -> String {
     let mut out = String::new();
+    out.push_str("format|2\n");
     out.push_str(&format!("device|{}\n", set.device));
     out.push_str(&format!(
         "mapping|ap_fill={}|ppt_factor={}|spr_base={}\n",
         k.ap_fill, k.ppt_factor, k.spr_base
     ));
-    for (tag, m) in [
+    let mut records: Vec<(&str, &FittedLinearModel)> = vec![
         ("rt", &set.rt),
         ("rt_build", &set.rt_build),
         ("rast", &set.rast),
         ("vr", &set.vr),
         ("comp", &set.comp),
-    ] {
+    ];
+    if let Some(m) = &set.comp_compressed {
+        records.push(("comp_rle", m));
+    }
+    for (tag, m) in records {
         let coeffs: Vec<String> = m.fit.coeffs.iter().map(|c| format!("{c:e}")).collect();
         out.push_str(&format!(
-            "model|{tag}|name={}|r2={}|resid={}|n={}|coeffs={}\n",
+            "model|{tag}|name={}|r2={}|resid={}|n={}|warn={}|rank={}|coeffs={}\n",
             m.name,
             m.fit.r_squared,
             m.fit.residual_std,
             m.fit.n,
+            m.fit.condition_warning as u8,
+            m.fit.effective_rank,
             coeffs.join(";")
         ));
     }
@@ -65,6 +78,7 @@ fn parse_model(parts: &[&str]) -> Result<FittedLinearModel, ParseError> {
         "rasterization" => "rasterization",
         "volume_rendering" => "volume_rendering",
         "compositing" => "compositing",
+        "compositing_compressed" => "compositing_compressed",
         other => return Err(ParseError(format!("unknown model name {other}"))),
     };
     let coeffs: Result<Vec<f64>, _> =
@@ -73,16 +87,29 @@ fn parse_model(parts: &[&str]) -> Result<FittedLinearModel, ParseError> {
     let parse_f = |key: &str| -> Result<f64, ParseError> {
         field(parts, key)?.parse().map_err(|e| ParseError(format!("bad {key}: {e}")))
     };
-    Ok(FittedLinearModel {
-        name,
-        fit: LinearRegression {
-            coeffs,
-            r_squared: parse_f("r2")?,
-            residual_std: parse_f("resid")?,
-            n: parse_f("n")? as usize,
+    // Diagnostics are format-2 fields; version-1 files predate the robust
+    // solver, so absent values mean "clean full-rank fit".
+    let condition_warning = match field(parts, "warn") {
+        Ok(v) => match v {
+            "0" => false,
+            "1" => true,
+            other => return Err(ParseError(format!("bad warn: {other}"))),
         },
-        feature_names: Vec::new(),
-    })
+        Err(_) => false,
+    };
+    let effective_rank = match field(parts, "rank") {
+        Ok(v) => v.parse().map_err(|e| ParseError(format!("bad rank: {e}")))?,
+        Err(_) => coeffs.len(),
+    };
+    let mut fit = LinearRegression::with_stats(
+        coeffs,
+        parse_f("r2")?,
+        parse_f("resid")?,
+        parse_f("n")? as usize,
+    );
+    fit.condition_warning = condition_warning;
+    fit.effective_rank = effective_rank;
+    Ok(FittedLinearModel { name, fit, feature_names: Vec::new() })
 }
 
 /// Deserialize a model set and mapping constants.
@@ -94,9 +121,16 @@ pub fn from_text(text: &str) -> Result<(ModelSet, MappingConstants), ParseError>
     let mut rast = None;
     let mut vr = None;
     let mut comp = None;
+    let mut comp_compressed = None;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
         let parts: Vec<&str> = line.split('|').collect();
         match parts[0] {
+            // Version-1 files carry no `format` line; anything newer than 2
+            // is from a future writer and must not be half-loaded.
+            "format" => match *parts.get(1).unwrap_or(&"") {
+                "1" | "2" => {}
+                other => return Err(ParseError(format!("unsupported format version {other}"))),
+            },
             "device" => {
                 device = parts.get(1).unwrap_or(&"").to_string();
             }
@@ -118,6 +152,7 @@ pub fn from_text(text: &str) -> Result<(ModelSet, MappingConstants), ParseError>
                     "rast" => rast = Some(m),
                     "vr" => vr = Some(m),
                     "comp" => comp = Some(m),
+                    "comp_rle" => comp_compressed = Some(m),
                     other => return Err(ParseError(format!("unknown model tag {other}"))),
                 }
             }
@@ -135,6 +170,7 @@ pub fn from_text(text: &str) -> Result<(ModelSet, MappingConstants), ParseError>
             rast: need(rast, "rast")?,
             vr: need(vr, "vr")?,
             comp: need(comp, "comp")?,
+            comp_compressed,
         },
         k,
     ))
@@ -160,7 +196,7 @@ mod tests {
     fn sample_set() -> (ModelSet, MappingConstants) {
         let fit = |name: &'static str, coeffs: Vec<f64>| FittedLinearModel {
             name,
-            fit: LinearRegression { coeffs, r_squared: 0.97, residual_std: 1e-4, n: 25 },
+            fit: LinearRegression::with_stats(coeffs, 0.97, 1e-4, 25),
             feature_names: Vec::new(),
         };
         (
@@ -171,6 +207,7 @@ mod tests {
                 rast: fit("rasterization", vec![4e-9, 4e-10, 1e-3]),
                 vr: fit("volume_rendering", vec![2e-10, 1e-9, 1e-2]),
                 comp: fit("compositing", vec![2e-8, 5e-8, 1e-3]),
+                comp_compressed: Some(fit("compositing_compressed", vec![3e-8, 2e-8, 2e-4, 8e-4])),
             },
             MappingConstants { ap_fill: 0.31, ppt_factor: 4.5, spr_base: 210.0 },
         )
@@ -184,6 +221,10 @@ mod tests {
         assert_eq!(set2.device, "parallel");
         assert_eq!(set2.rt.fit.coeffs, set.rt.fit.coeffs);
         assert_eq!(set2.comp.fit.coeffs, set.comp.fit.coeffs);
+        assert_eq!(
+            set2.comp_compressed.as_ref().unwrap().fit.coeffs,
+            set.comp_compressed.as_ref().unwrap().fit.coeffs
+        );
         assert_eq!(set2.vr.fit.n, 25);
         assert_eq!(k2.ap_fill, k.ap_fill);
         assert_eq!(k2.spr_base, k.spr_base);
@@ -207,9 +248,13 @@ mod tests {
         // irrationals, subnormals, negatives, and extreme magnitudes.
         let fit = |name: &'static str, coeffs: Vec<f64>, r2: f64, resid: f64| FittedLinearModel {
             name,
-            fit: LinearRegression { coeffs, r_squared: r2, residual_std: resid, n: 137 },
+            fit: LinearRegression::with_stats(coeffs, r2, resid, 137),
             feature_names: Vec::new(),
         };
+        let mut vr_degraded =
+            fit("volume_rendering", vec![1e-300, -1e300, 0.0], -0.25, 123.45678901234568);
+        vr_degraded.fit.condition_warning = true;
+        vr_degraded.fit.effective_rank = 2;
         let set = ModelSet {
             device: "parallel".into(),
             rt: fit(
@@ -220,8 +265,14 @@ mod tests {
             ),
             rt_build: fit("ray_tracing_build", vec![5e-324, 1.7976931348623157e308], 1.0, 0.0),
             rast: fit("rasterization", vec![-0.1, 0.2, 0.30000000000000004], 0.5, 2.0_f64.sqrt()),
-            vr: fit("volume_rendering", vec![1e-300, -1e300, 0.0], -0.25, 123.45678901234568),
+            vr: vr_degraded,
             comp: fit("compositing", vec![2.0_f64.powi(-53), 7.0 / 11.0, 9.9e-99], 0.75, 1e-12),
+            comp_compressed: Some(fit(
+                "compositing_compressed",
+                vec![1.0 / 9.0, -5e-324, 0.1 + 0.2, 6.02214076e23],
+                0.9999999999999999,
+                f64::EPSILON,
+            )),
         };
         let k = MappingConstants {
             ap_fill: 0.5500000000000001,
@@ -235,6 +286,7 @@ mod tests {
             (&set.rast, &set2.rast),
             (&set.vr, &set2.vr),
             (&set.comp, &set2.comp),
+            (set.comp_compressed.as_ref().unwrap(), set2.comp_compressed.as_ref().unwrap()),
         ];
         for (a, b) in pairs {
             assert_eq!(a.fit.coeffs.len(), b.fit.coeffs.len());
@@ -244,6 +296,8 @@ mod tests {
             assert_eq!(a.fit.r_squared.to_bits(), b.fit.r_squared.to_bits(), "{} r2", a.name);
             assert_eq!(a.fit.residual_std.to_bits(), b.fit.residual_std.to_bits(), "{}", a.name);
             assert_eq!(a.fit.n, b.fit.n);
+            assert_eq!(a.fit.condition_warning, b.fit.condition_warning, "{} warn", a.name);
+            assert_eq!(a.fit.effective_rank, b.fit.effective_rank, "{} rank", a.name);
         }
         assert_eq!(k.ap_fill.to_bits(), k2.ap_fill.to_bits());
         assert_eq!(k.ppt_factor.to_bits(), k2.ppt_factor.to_bits());
@@ -258,6 +312,37 @@ mod tests {
         let (set, k) = sample_set();
         let text = to_text(&set, &k).replace("model|vr", "model|unknown_tag");
         assert!(from_text(&text).is_err());
+        let text = to_text(&set, &k).replace("format|2", "format|3");
+        assert!(from_text(&text).is_err());
+        let text = to_text(&set, &k).replace("warn=0", "warn=2");
+        assert!(from_text(&text).is_err());
+    }
+
+    #[test]
+    fn loads_v1_files() {
+        // A file in the exact shape the seed writer produced: no format
+        // header, five model lines, no warn/rank diagnostics, no comp_rle.
+        let v1 = "\
+device|parallel
+mapping|ap_fill=0.31|ppt_factor=4.5|spr_base=210
+model|rt|name=ray_tracing|r2=0.97|resid=0.0001|n=25|coeffs=2e-9;1e-8;1e-3
+model|rt_build|name=ray_tracing_build|r2=0.97|resid=0.0001|n=25|coeffs=2e-8;1e-3
+model|rast|name=rasterization|r2=0.97|resid=0.0001|n=25|coeffs=4e-9;4e-10;1e-3
+model|vr|name=volume_rendering|r2=0.97|resid=0.0001|n=25|coeffs=2e-10;1e-9;1e-2
+model|comp|name=compositing|r2=0.97|resid=0.0001|n=25|coeffs=2e-8;5e-8;1e-3
+";
+        let (set, k) = from_text(v1).unwrap();
+        assert_eq!(set.device, "parallel");
+        assert_eq!(set.comp.fit.coeffs, vec![2e-8, 5e-8, 1e-3]);
+        assert!(set.comp_compressed.is_none());
+        // Diagnostics default to a clean full-rank fit.
+        assert!(!set.vr.fit.condition_warning);
+        assert_eq!(set.vr.fit.effective_rank, 3);
+        assert_eq!(k.ap_fill, 0.31);
+        // And a v1 file re-saves as v2 without losing anything.
+        let (set2, _) = from_text(&to_text(&set, &k)).unwrap();
+        assert_eq!(set2.vr.fit.coeffs, set.vr.fit.coeffs);
+        assert!(set2.comp_compressed.is_none());
     }
 
     #[test]

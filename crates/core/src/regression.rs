@@ -1,14 +1,50 @@
 //! Multiple linear regression by normal equations.
 //!
 //! The paper fits its model coefficients with multiple linear regression in
-//! R; we solve `(X^T X) b = X^T y` directly with Gaussian elimination
-//! (feature counts are 2-4, so normal equations are perfectly conditioned
-//! enough in f64), and report the same diagnostics: multiple R², residual
-//! standard deviation, and the coefficients themselves (whose signs the
-//! paper uses as a validity check — rendering work cannot have negative
-//! marginal cost).
+//! R; we solve `(X^T X) b = X^T y` directly with Gaussian elimination and
+//! report the same diagnostics: multiple R², residual standard deviation,
+//! and the coefficients themselves (whose signs the paper uses as a validity
+//! check — rendering work cannot have negative marginal cost).
+//!
+//! # Numerical scheme
+//!
+//! Feature magnitudes span many orders (pixel counts ~1e6 against intercept
+//! columns of 1.0), and sliding refit windows routinely hold *exactly*
+//! collinear columns (a constant data size makes `AP*CS` and `AP*SPR`
+//! proportional). Raw normal equations with an absolute pivot tolerance are
+//! unstable there, so the solve proceeds in three guarded steps:
+//!
+//! 1. **Column scaling.** Every feature column is divided by its max-abs
+//!    value, so the scaled normal matrix has diagonal entries of comparable
+//!    size and pivot comparisons are meaningful. All-zero columns are dropped
+//!    outright (their coefficient is exactly 0.0, as before).
+//! 2. **Relative pivot tolerance.** Rank is judged against the largest
+//!    diagonal of the *scaled* normal matrix rather than an absolute 1e-12,
+//!    so collinearity is detected regardless of feature magnitude. The count
+//!    of accepted pivots is reported as [`LinearRegression::effective_rank`].
+//! 3. **Ridge fallback.** When the scaled system is rank-deficient, it is
+//!    re-solved with a small ridge term `lambda * I` (lambda relative to the
+//!    mean diagonal), which splits the weight of collinear columns
+//!    deterministically instead of amplifying cancellation noise into huge
+//!    opposite-signed coefficient pairs. The fallback is surfaced as
+//!    [`LinearRegression::condition_warning`] so refit loops and repro
+//!    tables can report it.
+//!
+//! Coefficients are unscaled back to the original feature units, so
+//! prediction is unchanged: `y = b . x` on raw features.
 
 use crate::stats::mean;
+
+/// Pivot threshold relative to the largest diagonal of the scaled normal
+/// matrix. Scaled diagonals are O(n); exact collinearity leaves cancellation
+/// noise around machine epsilon times that, so 1e-10 separates the two
+/// regimes with orders of magnitude to spare on either side.
+const REL_PIVOT_TOL: f64 = 1e-10;
+
+/// Ridge term relative to the mean diagonal of the scaled normal matrix.
+/// Large enough to dominate cancellation noise (~1e-16 relative), small
+/// enough not to bias well-determined directions measurably.
+const REL_RIDGE: f64 = 1e-8;
 
 /// A fitted least-squares linear model `y = b . x`.
 #[derive(Debug, Clone)]
@@ -22,9 +58,31 @@ pub struct LinearRegression {
     pub residual_std: f64,
     /// Number of observations fitted.
     pub n: usize,
+    /// True when the feature matrix was rank-deficient and the solve fell
+    /// back to ridge regularization: individual coefficients of collinear
+    /// columns are then a stable but arbitrary split, even though
+    /// predictions inside the observed subspace remain accurate.
+    pub condition_warning: bool,
+    /// Number of linearly independent feature columns the solver found
+    /// (equals `coeffs.len()` for a healthy fit).
+    pub effective_rank: usize,
 }
 
 impl LinearRegression {
+    /// Build a fit from known parts, assuming a well-conditioned solve
+    /// (no warning, full rank). Handy for tests and hand-built model sets.
+    pub fn with_stats(coeffs: Vec<f64>, r_squared: f64, residual_std: f64, n: usize) -> Self {
+        let effective_rank = coeffs.len();
+        LinearRegression {
+            coeffs,
+            r_squared,
+            residual_std,
+            n,
+            condition_warning: false,
+            effective_rank,
+        }
+    }
+
     /// Fit on rows of features against targets. Panics if shapes disagree or
     /// there are fewer rows than features.
     #[allow(clippy::needless_range_loop)] // triangular fills read clearest indexed
@@ -36,36 +94,86 @@ impl LinearRegression {
         assert!(xs.iter().all(|r| r.len() == k), "ragged feature rows");
         assert!(n >= k, "need at least as many observations as features");
 
-        // Normal equations: A = X^T X (k x k), b = X^T y (k).
-        let mut a = vec![vec![0.0f64; k]; k];
-        let mut b = vec![0.0f64; k];
+        // Column scales (max-abs); all-zero columns are dropped predictors.
+        let mut scale = vec![0.0f64; k];
+        for row in xs {
+            for j in 0..k {
+                scale[j] = scale[j].max(row[j].abs());
+            }
+        }
+        let active: Vec<usize> = (0..k).filter(|&j| scale[j] > 0.0).collect();
+        let m = active.len();
+
+        // Scaled normal equations over the active columns:
+        // A = S X^T X S (m x m), b = S X^T y, with S = diag(1/scale).
+        let mut a = vec![vec![0.0f64; m]; m];
+        let mut b = vec![0.0f64; m];
         for (row, &y) in xs.iter().zip(ys.iter()) {
-            for i in 0..k {
-                b[i] += row[i] * y;
-                for j in i..k {
-                    a[i][j] += row[i] * row[j];
+            for (ii, &i) in active.iter().enumerate() {
+                let xi = row[i] / scale[i];
+                b[ii] += xi * y;
+                for (jj, &j) in active.iter().enumerate().skip(ii) {
+                    a[ii][jj] += xi * row[j] / scale[j];
                 }
             }
         }
-        for i in 0..k {
+        for i in 0..m {
             for j in 0..i {
                 a[i][j] = a[j][i];
             }
         }
-        let coeffs = solve(a, b);
+
+        let (solution, effective_rank) = solve(a.clone(), b.clone());
+        let condition_warning = effective_rank < m;
+        let solution = if condition_warning {
+            // Rank-deficient window: re-solve with a small ridge term, which
+            // keeps collinear splits bounded and deterministic.
+            let mean_diag = (0..m).map(|i| a[i][i]).sum::<f64>() / m.max(1) as f64;
+            let lambda = REL_RIDGE * mean_diag.max(f64::MIN_POSITIVE);
+            for i in 0..m {
+                a[i][i] += lambda;
+            }
+            solve(a, b).0
+        } else {
+            solution
+        };
+
+        // Unscale back to raw-feature coefficients.
+        let mut coeffs = vec![0.0f64; k];
+        for (ii, &i) in active.iter().enumerate() {
+            coeffs[i] = solution[ii] / scale[i];
+        }
 
         // Diagnostics.
         let ym = mean(ys);
         let mut ss_res = 0.0;
         let mut ss_tot = 0.0;
+        let mut ss_y = 0.0;
         for (row, &y) in xs.iter().zip(ys.iter()) {
             let pred: f64 = row.iter().zip(coeffs.iter()).map(|(x, c)| x * c).sum();
             ss_res += (y - pred) * (y - pred);
             ss_tot += (y - ym) * (y - ym);
+            ss_y += y * y;
         }
-        let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+        // Constant targets (ss_tot == 0) explain nothing: R² is 1 only if the
+        // fit actually reproduces them, not merely because there is no
+        // variance to explain.
+        let r_squared = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else if ss_res <= 1e-24 * ss_y.max(f64::MIN_POSITIVE) {
+            1.0
+        } else {
+            0.0
+        };
         let dof = (n as f64 - k as f64).max(1.0);
-        LinearRegression { coeffs, r_squared, residual_std: (ss_res / dof).sqrt(), n }
+        LinearRegression {
+            coeffs,
+            r_squared,
+            residual_std: (ss_res / dof).sqrt(),
+            n,
+            condition_warning,
+            effective_rank,
+        }
     }
 
     /// Predict for one feature row.
@@ -81,11 +189,15 @@ impl LinearRegression {
 }
 
 /// Solve a small dense SPD-ish system with Gaussian elimination + partial
-/// pivoting. Singular columns get zero coefficients (dropped predictors).
+/// pivoting and a pivot tolerance relative to the largest diagonal. Returns
+/// the solution and the number of accepted pivots (the effective rank);
+/// degenerate columns get zero coefficients.
 #[allow(clippy::needless_range_loop)] // index form mirrors the linear algebra
-fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> (Vec<f64>, usize) {
     let k = b.len();
-    let mut perm: Vec<usize> = (0..k).collect();
+    let max_diag = (0..k).fold(0.0f64, |acc, i| acc.max(a[i][i].abs()));
+    let tol = REL_PIVOT_TOL * max_diag.max(f64::MIN_POSITIVE);
+    let mut rank = 0usize;
     for col in 0..k {
         // Pivot.
         let mut piv = col;
@@ -94,7 +206,7 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
                 piv = r;
             }
         }
-        if a[piv][col].abs() < 1e-12 {
+        if a[piv][col].abs() < tol {
             // Degenerate column: zero it out (coefficient becomes 0).
             for r in 0..k {
                 a[r][col] = 0.0;
@@ -103,9 +215,9 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
             b[col] = 0.0;
             continue;
         }
+        rank += 1;
         a.swap(col, piv);
         b.swap(col, piv);
-        perm.swap(col, piv);
         let d = a[col][col];
         for v in a[col].iter_mut() {
             *v /= d;
@@ -123,7 +235,7 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
             }
         }
     }
-    b
+    (b, rank)
 }
 
 #[cfg(test)]
@@ -148,6 +260,8 @@ mod tests {
         assert!(fit.r_squared > 0.999999);
         assert!(fit.residual_std < 1e-6);
         assert!(fit.all_coeffs_nonnegative());
+        assert!(!fit.condition_warning);
+        assert_eq!(fit.effective_rank, 3);
     }
 
     #[test]
@@ -175,6 +289,9 @@ mod tests {
         let fit = LinearRegression::fit(&xs, &ys);
         assert!((fit.coeffs[0] - 2.0).abs() < 1e-9);
         assert_eq!(fit.coeffs[1], 0.0);
+        // An absent predictor is not an ill-conditioned one.
+        assert!(!fit.condition_warning);
+        assert_eq!(fit.effective_rank, 2);
     }
 
     #[test]
@@ -189,5 +306,80 @@ mod tests {
     #[should_panic(expected = "row count mismatch")]
     fn shape_mismatch_panics() {
         LinearRegression::fit(&[vec![1.0]], &[1.0, 2.0]);
+    }
+
+    /// Constant targets the features cannot reproduce must report R² = 0,
+    /// not the vacuous 1.0 the seed solver produced when `ss_tot == 0`.
+    #[test]
+    fn constant_target_with_residuals_reports_zero_r2() {
+        // One varying feature, no intercept: y = 5 everywhere is unfittable.
+        let xs: Vec<Vec<f64>> = (1..=8).map(|i| vec![i as f64]).collect();
+        let ys = vec![5.0; 8];
+        let fit = LinearRegression::fit(&xs, &ys);
+        assert!(fit.residual_std > 0.0, "fit cannot be exact");
+        assert_eq!(fit.r_squared, 0.0, "constant target with residuals must not claim R²=1");
+
+        // With an intercept the constant *is* reproduced exactly: R² = 1.
+        let xs2: Vec<Vec<f64>> = (1..=8).map(|i| vec![i as f64, 1.0]).collect();
+        let fit2 = LinearRegression::fit(&xs2, &ys);
+        assert_eq!(fit2.r_squared, 1.0, "exactly fitted constant keeps R²=1");
+    }
+
+    /// The ROADMAP ill-conditioning caveat, reproduced at the regression
+    /// layer: exactly collinear columns at large magnitude. The seed's
+    /// absolute 1e-12 pivot let cancellation noise (~1e-1 here) pass as a
+    /// pivot, splitting the pair into huge opposite-signed coefficients. The
+    /// scaled ridge solve must keep the split bounded, non-negative, and
+    /// flagged — while in-subspace predictions stay accurate.
+    #[test]
+    fn collinear_large_magnitude_columns_are_stable() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 1..=20 {
+            let ap = 1e5 * i as f64;
+            // Constant per-window data size: column1 = 140 * ap, column2 =
+            // 310 * ap — exactly proportional, at ~1e7..1e8 magnitude.
+            xs.push(vec![ap * 140.0, ap * 310.0, 1.0]);
+            ys.push(2e-10 * ap * 140.0 + 1e-9 * ap * 310.0 + 1e-2);
+        }
+        let fit = LinearRegression::fit(&xs, &ys);
+        assert!(fit.condition_warning, "collinear window must be flagged");
+        assert_eq!(fit.effective_rank, 2, "one of three directions is redundant");
+        for (j, &c) in fit.coeffs.iter().take(2).enumerate() {
+            assert!(c.is_finite() && c.abs() < 1e-6, "coeff {j} exploded: {c:e}");
+        }
+        assert!((fit.coeffs[2] - 1e-2).abs() < 1e-4, "intercept drifted: {:e}", fit.coeffs[2]);
+        assert!(fit.all_coeffs_nonnegative(), "{:?}", fit.coeffs);
+        // Predictions inside the observed subspace stay accurate.
+        for (row, &y) in xs.iter().zip(ys.iter()) {
+            let p = fit.predict(row);
+            assert!((p - y).abs() / y < 1e-4, "pred {p} vs {y}");
+        }
+        // And the split is deterministic: refitting reproduces it bit-exactly.
+        let again = LinearRegression::fit(&xs, &ys);
+        for (a, b) in fit.coeffs.iter().zip(again.coeffs.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Wildly mismatched column magnitudes (the pixel-count vs intercept
+    /// situation) must not degrade recovery: scaling makes the normal
+    /// equations well-conditioned.
+    #[test]
+    fn mixed_magnitude_columns_recover_exactly() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 1..=30 {
+            let big = 1e9 * (i as f64 + (i * i % 7) as f64);
+            let small = 1e-6 * ((i * 3) % 11 + 1) as f64;
+            xs.push(vec![big, small, 1.0]);
+            ys.push(3e-12 * big + 2e4 * small + 0.5);
+        }
+        let fit = LinearRegression::fit(&xs, &ys);
+        assert!(!fit.condition_warning);
+        assert_eq!(fit.effective_rank, 3);
+        assert!((fit.coeffs[0] - 3e-12).abs() / 3e-12 < 1e-6, "{:?}", fit.coeffs);
+        assert!((fit.coeffs[1] - 2e4).abs() / 2e4 < 1e-6);
+        assert!((fit.coeffs[2] - 0.5).abs() < 1e-6);
     }
 }

@@ -103,6 +103,33 @@ impl RenderSample {
     }
 }
 
+/// Which exchange the wire bytes of a compositing measurement traveled as:
+/// dense full-image fragments, or run-length-compressed active-pixel spans
+/// (the default wire path since the RLE compositing change).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CompositeWire {
+    Dense,
+    #[default]
+    Compressed,
+}
+
+impl CompositeWire {
+    pub fn name(&self) -> &'static str {
+        match self {
+            CompositeWire::Dense => "dense",
+            CompositeWire::Compressed => "compressed",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<CompositeWire> {
+        match s {
+            "dense" => Some(CompositeWire::Dense),
+            "compressed" => Some(CompositeWire::Compressed),
+            _ => None,
+        }
+    }
+}
+
 /// One image-compositing measurement.
 #[derive(Debug, Clone)]
 pub struct CompositeSample {
@@ -113,18 +140,30 @@ pub struct CompositeSample {
     pub avg_active_pixels: f64,
     /// Simulated compositing seconds (compute measured + wire modeled).
     pub seconds: f64,
+    /// Exchange the measurement used on the wire.
+    pub wire: CompositeWire,
 }
 
 impl CompositeSample {
-    pub const CSV_HEADER: &'static str = "tasks,pixels,avg_active_pixels,seconds";
+    pub const CSV_HEADER: &'static str = "tasks,pixels,avg_active_pixels,seconds,wire";
 
     pub fn to_csv_row(&self) -> String {
-        format!("{},{},{},{}", self.tasks, self.pixels, self.avg_active_pixels, self.seconds)
+        format!(
+            "{},{},{},{},{}",
+            self.tasks,
+            self.pixels,
+            self.avg_active_pixels,
+            self.seconds,
+            self.wire.name()
+        )
     }
 
+    /// Parse a row. Legacy 4-column rows (no `wire` field) predate the tag
+    /// and were produced by the compressed-by-default radix-k study, so they
+    /// parse as [`CompositeWire::Compressed`].
     pub fn from_csv_row(row: &str) -> Option<CompositeSample> {
         let f: Vec<&str> = row.split(',').collect();
-        if f.len() != 4 {
+        if f.len() != 4 && f.len() != 5 {
             return None;
         }
         Some(CompositeSample {
@@ -132,6 +171,10 @@ impl CompositeSample {
             pixels: f[1].parse().ok()?,
             avg_active_pixels: f[2].parse().ok()?,
             seconds: f[3].parse().ok()?,
+            wire: match f.get(4) {
+                Some(w) => CompositeWire::parse(w)?,
+                None => CompositeWire::Compressed,
+            },
         })
     }
 }
@@ -204,10 +247,27 @@ mod tests {
 
     #[test]
     fn composite_round_trip() {
-        let c = CompositeSample { tasks: 16, pixels: 1e6, avg_active_pixels: 4e4, seconds: 0.02 };
+        let c = CompositeSample {
+            tasks: 16,
+            pixels: 1e6,
+            avg_active_pixels: 4e4,
+            seconds: 0.02,
+            wire: CompositeWire::Dense,
+        };
         let back = CompositeSample::from_csv_row(&c.to_csv_row()).unwrap();
         assert_eq!(back.tasks, 16);
         assert_eq!(back.seconds, 0.02);
+        assert_eq!(back.wire, CompositeWire::Dense);
+    }
+
+    #[test]
+    fn legacy_composite_rows_parse_as_compressed() {
+        // Pre-tag corpora came from the compressed-by-default radix-k study.
+        let back = CompositeSample::from_csv_row("16,1000000,40000,0.02").unwrap();
+        assert_eq!(back.wire, CompositeWire::Compressed);
+        assert_eq!(back.tasks, 16);
+        assert!(CompositeSample::from_csv_row("16,1e6,4e4,0.02,teleported").is_none());
+        assert!(CompositeSample::from_csv_row("16,1e6,4e4").is_none());
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! every fitted model (Section 5.4's 1,350-test study, scaled by a
 //! [`StudyConfig`] so the full sweep and a laptop-quick sweep share code).
 
-use crate::sample::{CompositeSample, RenderSample, RendererKind};
-use compositing::{radix_k, CompositeMode, RankImage};
+use crate::sample::{CompositeSample, CompositeWire, RenderSample, RendererKind};
+use compositing::{radix_k_opts, CompositeMode, ExchangeOptions, RankImage};
 use dpp::Device;
 use mesh::datasets::{field_grid, FieldKind};
 use mesh::external_faces::external_faces_grid;
@@ -214,8 +214,26 @@ pub fn synth_rank_images(tasks: usize, side: u32, seed: u64) -> Vec<RankImage> {
         .collect()
 }
 
-/// Run the compositing study: radix-k over tasks x image sizes.
+/// Run the compositing study over the default (compressed) wire path only:
+/// radix-k over tasks x image sizes. Kept for callers that fit the classic
+/// dense-form [`crate::models::CompositeModel`] on the seed corpus shape;
+/// new code should prefer [`run_composite_study_wired`].
 pub fn run_composite_study(
+    net: NetModel,
+    tasks_list: &[usize],
+    sides: &[u32],
+    seed: u64,
+) -> Vec<CompositeSample> {
+    let mut out = run_composite_study_wired(net, tasks_list, sides, seed);
+    out.retain(|s| s.wire == CompositeWire::Compressed);
+    out
+}
+
+/// Run the compositing study measuring **both** exchange wire paths per
+/// configuration: one dense and one RLE-compressed sample over identical
+/// rank images, so the dense and compressed composite models can be fitted
+/// against the exchange each actually describes.
+pub fn run_composite_study_wired(
     net: NetModel,
     tasks_list: &[usize],
     sides: &[u32],
@@ -228,20 +246,29 @@ pub fn run_composite_study(
             let avg_ap =
                 images.iter().map(|i| i.active_pixels() as f64).sum::<f64>() / tasks as f64;
             let factors = compositing::algorithms::default_factors(tasks);
-            // Min of three runs: the lockstep clock takes the max over ranks
-            // per round, so scheduler jitter only ever inflates the time —
-            // the minimum is the cleanest estimate of the true cost.
-            let seconds = (0..3)
-                .map(|_| {
-                    radix_k(&images, CompositeMode::AlphaOrdered, net, &factors).1.simulated_seconds
-                })
-                .fold(f64::INFINITY, f64::min);
-            out.push(CompositeSample {
-                tasks,
-                pixels: (side as f64) * (side as f64),
-                avg_active_pixels: avg_ap,
-                seconds,
-            });
+            for (wire, opts) in [
+                (CompositeWire::Dense, ExchangeOptions::dense()),
+                (CompositeWire::Compressed, ExchangeOptions::default()),
+            ] {
+                // Min of three runs: the lockstep clock takes the max over
+                // ranks per round, so scheduler jitter only ever inflates the
+                // time — the minimum is the cleanest estimate of the true
+                // cost.
+                let seconds = (0..3)
+                    .map(|_| {
+                        radix_k_opts(&images, CompositeMode::AlphaOrdered, net, &factors, opts)
+                            .1
+                            .simulated_seconds
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                out.push(CompositeSample {
+                    tasks,
+                    pixels: (side as f64) * (side as f64),
+                    avg_active_pixels: avg_ap,
+                    seconds,
+                    wire,
+                });
+            }
         }
     }
     out
@@ -299,9 +326,70 @@ mod tests {
     fn composite_study_produces_monotone_pixel_costs() {
         let samples = run_composite_study(NetModel::cluster(), &[4, 8], &[64, 256], 9);
         assert_eq!(samples.len(), 4);
+        assert!(samples.iter().all(|s| s.wire == CompositeWire::Compressed));
         // For a fixed task count, more pixels must cost more.
         let t4: Vec<&CompositeSample> = samples.iter().filter(|s| s.tasks == 4).collect();
         assert!(t4[1].seconds > t4[0].seconds);
+    }
+
+    #[test]
+    fn wired_study_measures_both_exchanges() {
+        let samples = run_composite_study_wired(NetModel::cluster(), &[8], &[64, 128], 9);
+        assert_eq!(samples.len(), 4);
+        for side in [64u32, 128u32] {
+            let px = (side as f64) * (side as f64);
+            let dense =
+                samples.iter().find(|s| s.pixels == px && s.wire == CompositeWire::Dense).unwrap();
+            let comp = samples
+                .iter()
+                .find(|s| s.pixels == px && s.wire == CompositeWire::Compressed)
+                .unwrap();
+            // Identical rank images, so only the exchange differs; RLE ships
+            // fewer bytes over the sparse bands and must be cheaper.
+            assert_eq!(dense.avg_active_pixels, comp.avg_active_pixels);
+            assert!(comp.seconds < dense.seconds, "{} !< {}", comp.seconds, dense.seconds);
+        }
+    }
+
+    /// The ISSUE acceptance criterion: against `mpirt::lockstep` wire timings
+    /// of the default (compressed) exchange at 64 ranks, the composite model
+    /// fitted on compressed-wire samples must beat the model fitted on
+    /// dense-exchange behavior — the seed's systematic miscalibration.
+    #[test]
+    fn compressed_fit_beats_dense_fit_on_rle_wire_at_64_ranks() {
+        use crate::models::{CompositeModel, CompressedCompositeModel};
+        let net = NetModel::cluster();
+        let train = run_composite_study_wired(net, &[8, 27, 64], &[96, 160, 224], 11);
+        let dense_train: Vec<CompositeSample> =
+            train.iter().filter(|s| s.wire == CompositeWire::Dense).cloned().collect();
+        let comp_train: Vec<CompositeSample> =
+            train.iter().filter(|s| s.wire == CompositeWire::Compressed).cloned().collect();
+        let dense_fit = CompositeModel.fit(&dense_train);
+        let comp_fit = CompressedCompositeModel.fit(&comp_train);
+
+        // Held-out compressed-wire measurements at 64 ranks.
+        let eval: Vec<CompositeSample> =
+            run_composite_study_wired(net, &[64], &[128, 192, 256], 20260805)
+                .into_iter()
+                .filter(|s| s.wire == CompositeWire::Compressed)
+                .collect();
+        assert_eq!(eval.len(), 3);
+        let rel_err = |pred: f64, truth: f64| (pred - truth).abs() / truth;
+        let dense_err: f64 = eval
+            .iter()
+            .map(|s| rel_err(CompositeModel.predict(&dense_fit, s), s.seconds))
+            .sum::<f64>()
+            / eval.len() as f64;
+        let comp_err: f64 = eval
+            .iter()
+            .map(|s| rel_err(CompressedCompositeModel.predict(&comp_fit, s), s.seconds))
+            .sum::<f64>()
+            / eval.len() as f64;
+        assert!(
+            comp_err < dense_err,
+            "compressed-fitted error {comp_err:.4} must beat dense-fitted {dense_err:.4}"
+        );
+        assert!(comp_err < 0.25, "compressed fit should track the wire: err {comp_err:.4}");
     }
 
     #[test]

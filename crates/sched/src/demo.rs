@@ -134,8 +134,7 @@ fn median(xs: impl Iterator<Item = f64>) -> f64 {
 /// feasibility tests use, so regimes (RT/RAST crossover, comp-dominated large
 /// images) behave like the paper's Figure 14/15 curves.
 pub fn ground_truth() -> ModelSet {
-    let fit =
-        |coeffs: Vec<f64>| LinearRegression { coeffs, r_squared: 1.0, residual_std: 0.0, n: 10 };
+    let fit = |coeffs: Vec<f64>| LinearRegression::with_stats(coeffs, 1.0, 0.0, 10);
     ModelSet {
         device: "sim-rank".into(),
         rt: FittedLinearModel {
@@ -163,6 +162,11 @@ pub fn ground_truth() -> ModelSet {
             fit: fit(vec![2e-8, 5e-8, 1e-3]),
             feature_names: vec!["avg(AP)", "Pixels", "1"],
         },
+        // The executor's wire truth is the dense-form law above; leaving the
+        // compressed slot empty keeps the scheduler transcripts (and their
+        // pinned tests) on the classic prediction path until a refit installs
+        // a compressed model from observations.
+        comp_compressed: None,
     }
 }
 
@@ -170,7 +174,12 @@ pub fn ground_truth() -> ModelSet {
 /// way to build a uniformly miscalibrated prior.
 pub fn scale_model_set(set: &ModelSet, factor: f64) -> ModelSet {
     let mut out = set.clone();
-    for m in [&mut out.rt, &mut out.rt_build, &mut out.rast, &mut out.vr, &mut out.comp] {
+    let mut models =
+        vec![&mut out.rt, &mut out.rt_build, &mut out.rast, &mut out.vr, &mut out.comp];
+    if let Some(m) = out.comp_compressed.as_mut() {
+        models.push(m);
+    }
+    for m in models {
         for c in m.fit.coeffs.iter_mut() {
             *c *= factor;
         }
@@ -253,7 +262,8 @@ pub fn run_budgeted_demo(sim: &mut dyn ProxySim, cfg: &DemoConfig) -> DemoReport
                         built = true;
                     }
                     sched.observe_render(&job.cfg, cost.local_s, cost.build_s);
-                    sched.observe_composite(cost.pixels, cost.avg_active_pixels, cost.comp_s);
+                    // The executor models the default RLE exchange.
+                    sched.observe_composite(cost.pixels, cost.avg_active_pixels, cost.comp_s, true);
                 }
                 Decision::Reject => {}
             }

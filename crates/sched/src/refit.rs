@@ -8,9 +8,27 @@
 //! recent data, so the residual statistics stay meaningful.
 
 use perfmodel::feasibility::ModelSet;
-use perfmodel::models::{CompositeModel, ModelForm, RastModel, RtBuildModel, RtModel, VrModel};
-use perfmodel::sample::{CompositeSample, RenderSample, RendererKind};
+use perfmodel::models::{
+    CompositeModel, CompressedCompositeModel, FittedLinearModel, ModelForm, RastModel,
+    RtBuildModel, RtModel, VrModel,
+};
+use perfmodel::sample::{CompositeSample, CompositeWire, RenderSample, RendererKind};
 use std::collections::VecDeque;
+
+/// What one [`OnlineRefit::refit_into`] pass did, for scheduler and repro
+/// reporting.
+#[derive(Debug, Clone, Default)]
+pub struct RefitReport {
+    /// Families whose model was replaced by a window re-solve.
+    pub refitted: Vec<&'static str>,
+    /// Families whose candidate re-solve was rejected as implausible (a
+    /// negative coefficient — the paper's validity check); the prior model
+    /// was kept.
+    pub rejected: Vec<&'static str>,
+    /// Installed fits that carried a condition warning (rank-deficient
+    /// window, ridge fallback).
+    pub condition_warnings: Vec<&'static str>,
+}
 
 /// Sliding observation windows for the five model families.
 #[derive(Debug, Clone)]
@@ -72,33 +90,74 @@ impl OnlineRefit {
         self.len() == 0
     }
 
+    /// Install a candidate re-solve, unless its coefficients fail the
+    /// paper's plausibility check (negative marginal cost) — a bad window
+    /// must not replace a working model with one whose negative terms the
+    /// predictor would silently clip to zero.
+    fn install(slot: &mut FittedLinearModel, candidate: FittedLinearModel, rep: &mut RefitReport) {
+        if candidate.fit.all_coeffs_nonnegative() {
+            if candidate.fit.condition_warning {
+                rep.condition_warnings.push(candidate.name);
+            }
+            rep.refitted.push(candidate.name);
+            *slot = candidate;
+        } else {
+            rep.rejected.push(candidate.name);
+        }
+    }
+
     /// Re-solve every family whose window has enough samples, replacing the
-    /// corresponding model in `set`. Families below the floor keep their
-    /// prior. The BVH-build model additionally requires enough samples with a
-    /// *measured* build (hook-driven observations fold the build into render
-    /// time and would otherwise collapse the build model to zero).
-    pub fn refit_into(&self, set: &mut ModelSet) {
+    /// corresponding model in `set` when the re-solve is plausible (see
+    /// [`RefitReport`]). Families below the floor keep their prior. The
+    /// BVH-build model additionally requires enough samples with a *measured*
+    /// build (hook-driven observations fold the build into render time and
+    /// would otherwise collapse the build model to zero). Compositing windows
+    /// are split by exchange wire: dense samples refit the classic dense
+    /// model, compressed samples the compression-aware one.
+    pub fn refit_into(&self, set: &mut ModelSet) -> RefitReport {
+        let mut rep = RefitReport::default();
         if self.rt.len() >= self.min_samples {
             let rt: Vec<RenderSample> = self.rt.iter().cloned().collect();
-            set.rt = RtModel.fit(&rt);
+            Self::install(&mut set.rt, RtModel.fit(&rt), &mut rep);
             let with_build: Vec<RenderSample> =
                 rt.iter().filter(|s| s.build_seconds > 0.0).cloned().collect();
             if with_build.len() >= self.min_samples {
-                set.rt_build = RtBuildModel.fit(&with_build);
+                Self::install(&mut set.rt_build, RtBuildModel.fit(&with_build), &mut rep);
             }
         }
         if self.rast.len() >= self.min_samples {
             let xs: Vec<RenderSample> = self.rast.iter().cloned().collect();
-            set.rast = RastModel.fit(&xs);
+            Self::install(&mut set.rast, RastModel.fit(&xs), &mut rep);
         }
         if self.vr.len() >= self.min_samples {
             let xs: Vec<RenderSample> = self.vr.iter().cloned().collect();
-            set.vr = VrModel.fit(&xs);
+            Self::install(&mut set.vr, VrModel.fit(&xs), &mut rep);
         }
-        if self.comp.len() >= self.min_samples {
-            let xs: Vec<CompositeSample> = self.comp.iter().cloned().collect();
-            set.comp = CompositeModel.fit(&xs);
+        let dense: Vec<CompositeSample> =
+            self.comp.iter().filter(|s| s.wire == CompositeWire::Dense).cloned().collect();
+        if dense.len() >= self.min_samples {
+            Self::install(&mut set.comp, CompositeModel.fit(&dense), &mut rep);
         }
+        let rle: Vec<CompositeSample> =
+            self.comp.iter().filter(|s| s.wire == CompositeWire::Compressed).cloned().collect();
+        if rle.len() >= self.min_samples {
+            let candidate = CompressedCompositeModel.fit(&rle);
+            match set.comp_compressed.as_mut() {
+                Some(slot) => Self::install(slot, candidate, &mut rep),
+                None => {
+                    if candidate.fit.all_coeffs_nonnegative() {
+                        if candidate.fit.condition_warning {
+                            rep.condition_warnings.push(candidate.name);
+                        }
+                        rep.refitted.push(candidate.name);
+                        set.comp_compressed = Some(candidate);
+                    } else {
+                        rep.rejected.push(candidate.name);
+                    }
+                }
+            }
+        }
+        rep
     }
 }
 
@@ -114,7 +173,7 @@ mod tests {
     ) -> perfmodel::models::FittedLinearModel {
         perfmodel::models::FittedLinearModel {
             name,
-            fit: LinearRegression { coeffs, r_squared: 1.0, residual_std: 0.0, n: 10 },
+            fit: LinearRegression::with_stats(coeffs, 1.0, 0.0, 10),
             feature_names: Vec::new(),
         }
     }
@@ -127,6 +186,7 @@ mod tests {
             rast: constant_model("rasterization", vec![1e-6, 1e-6, 1.0]),
             vr: constant_model("volume_rendering", vec![1e-6, 1e-6, 1.0]),
             comp: constant_model("compositing", vec![1e-6, 1e-6, 1.0]),
+            comp_compressed: None,
         }
     }
 
@@ -164,6 +224,126 @@ mod tests {
         let want = truth(&inputs);
         assert!((after - want).abs() / want < 1e-6, "refit {after} vs truth {want}");
         assert!((before - want).abs() / want > 1.0, "prior should have been far off");
+    }
+
+    /// The ROADMAP ill-conditioning caveat, reproduced at the refit layer: a
+    /// steady-state window with a *constant* data size makes the AP*CS and
+    /// AP*SPR regressors exactly proportional at ~1e7..1e9 magnitude. The
+    /// seed solver's absolute 1e-12 pivot tolerance passed cancellation noise
+    /// as a pivot and split the pair into huge opposite-signed coefficients;
+    /// the scaled ridge solve must keep the refit stable, plausible,
+    /// accurate — and flagged in the report.
+    #[test]
+    fn constant_data_size_window_refits_stably() {
+        let k = MappingConstants::default();
+        let truth = |s: &RenderSample| {
+            2e-10 * s.active_pixels * s.cells_spanned
+                + 1e-9 * s.active_pixels * s.samples_per_ray
+                + 1e-2
+        };
+        let mut refit = OnlineRefit::new(64, 8);
+        let mut cfgs = Vec::new();
+        for side in [512u32, 768, 1024, 1536, 2048, 2560, 3072, 4096] {
+            let cfg = RenderConfig {
+                renderer: RendererKind::VolumeRendering,
+                cells_per_task: 200, // constant: the steady-state window
+                pixels: (side as usize) * (side as usize),
+                tasks: 64,
+            };
+            let mut s = map_inputs(&cfg, &k);
+            s.render_seconds = truth(&s);
+            refit.observe_render(s);
+            cfgs.push(cfg);
+        }
+        let mut set = prior();
+        let rep = refit.refit_into(&mut set);
+        assert!(rep.refitted.contains(&"volume_rendering"), "{rep:?}");
+        assert!(rep.condition_warnings.contains(&"volume_rendering"), "{rep:?}");
+        assert!(set.vr.fit.condition_warning);
+        assert!(set.vr.fit.effective_rank < set.vr.fit.coeffs.len());
+        assert!(set.vr.fit.all_coeffs_nonnegative(), "{:?}", set.vr.fit.coeffs);
+        for &c in &set.vr.fit.coeffs {
+            assert!(c.is_finite() && c.abs() < 1.0, "coefficient exploded: {c:e}");
+        }
+        for cfg in &cfgs {
+            let inputs = map_inputs(cfg, &k);
+            let want = truth(&inputs);
+            let got = VrModel.predict(&set.vr, &inputs);
+            assert!((got - want).abs() / want < 1e-3, "refit {got} vs truth {want}");
+        }
+    }
+
+    /// Compositing windows refit per exchange wire: dense samples feed the
+    /// classic dense model, compressed samples the compression-aware one —
+    /// each recovering the law of its own wire.
+    #[test]
+    fn composite_windows_split_by_wire() {
+        let dense_law = |ap: f64, px: f64| 1e-8 * ap + 4e-8 * px + 1e-3;
+        let rle_law = |ap: f64, px: f64| 2e-8 * ap + 1e-8 * px + 5e-4;
+        let mut refit = OnlineRefit::new(64, 4);
+        let mut probes = Vec::new();
+        for i in 1..=8usize {
+            let px = (128.0 * i as f64) * (128.0 * i as f64);
+            let ap = px * 0.1 * (1.0 + (i % 3) as f64); // AF varies: full rank
+            for (wire, law) in [
+                (CompositeWire::Dense, dense_law(ap, px)),
+                (CompositeWire::Compressed, rle_law(ap, px)),
+            ] {
+                refit.observe_composite(CompositeSample {
+                    tasks: 64,
+                    pixels: px,
+                    avg_active_pixels: ap,
+                    seconds: law,
+                    wire,
+                });
+            }
+            probes.push((ap, px));
+        }
+        let mut set = prior();
+        let rep = refit.refit_into(&mut set);
+        assert!(rep.refitted.contains(&"compositing"), "{rep:?}");
+        assert!(rep.refitted.contains(&"compositing_compressed"), "{rep:?}");
+        let rle = set.comp_compressed.as_ref().expect("compressed model installed");
+        for &(ap, px) in &probes {
+            let s = CompositeSample {
+                tasks: 64,
+                pixels: px,
+                avg_active_pixels: ap,
+                seconds: 0.0,
+                wire: CompositeWire::Dense,
+            };
+            let want_dense = dense_law(ap, px);
+            let got_dense = CompositeModel.predict(&set.comp, &s);
+            assert!((got_dense - want_dense).abs() / want_dense < 1e-6);
+            let want_rle = rle_law(ap, px);
+            let got_rle = CompressedCompositeModel.predict(rle, &s);
+            assert!((got_rle - want_rle).abs() / want_rle < 1e-6);
+        }
+    }
+
+    /// A window whose re-solve carries a negative coefficient (here: cost
+    /// *decreasing* with active pixels) must not replace the prior — the
+    /// predictor would silently clip the negative term to zero and schedule
+    /// on fiction.
+    #[test]
+    fn implausible_refits_keep_the_prior() {
+        let mut refit = OnlineRefit::new(64, 4);
+        for i in 1..=8usize {
+            let ap = 1e4 * i as f64;
+            refit.observe_composite(CompositeSample {
+                tasks: 64,
+                pixels: (1 << 20) as f64,
+                avg_active_pixels: ap,
+                seconds: 0.2 - 1e-6 * ap,
+                wire: CompositeWire::Dense,
+            });
+        }
+        let mut set = prior();
+        let before = set.comp.fit.coeffs.clone();
+        let rep = refit.refit_into(&mut set);
+        assert_eq!(set.comp.fit.coeffs, before, "implausible candidate must keep prior");
+        assert!(rep.rejected.contains(&"compositing"), "{rep:?}");
+        assert!(!rep.refitted.contains(&"compositing"));
     }
 
     #[test]

@@ -8,10 +8,10 @@
 //! back through [`OnlineRefit`] so predictions tighten as the run proceeds.
 
 use crate::ladder::{Ladder, Rung, DROP_LEVEL, LADDER};
-use crate::refit::OnlineRefit;
+use crate::refit::{OnlineRefit, RefitReport};
 use perfmodel::feasibility::{ModelSet, MIN_PREDICTED_SECONDS};
 use perfmodel::mapping::{map_inputs, MappingConstants, RenderConfig};
-use perfmodel::sample::{CompositeSample, RendererKind};
+use perfmodel::sample::{CompositeSample, CompositeWire, RendererKind};
 
 /// One queued render request (what the simulation asked for).
 #[derive(Debug, Clone, Copy)]
@@ -158,6 +158,9 @@ pub struct Scheduler {
     refit: OnlineRefit,
     /// Closed cycles, oldest first.
     pub history: Vec<CycleRecord>,
+    /// What the most recent end-of-cycle refit did (installed, rejected,
+    /// condition-warned families).
+    pub last_refit: RefitReport,
     cur: Option<OpenCycle>,
 }
 
@@ -165,7 +168,16 @@ impl Scheduler {
     pub fn new(models: ModelSet, constants: MappingConstants, cfg: SchedulerConfig) -> Scheduler {
         let ladder = Ladder::new(cfg.hysteresis_cycles);
         let refit = OnlineRefit::new(cfg.refit_window, cfg.refit_min_samples);
-        Scheduler { models, constants, cfg, ladder, refit, history: Vec::new(), cur: None }
+        Scheduler {
+            models,
+            constants,
+            cfg,
+            ladder,
+            refit,
+            history: Vec::new(),
+            last_refit: RefitReport::default(),
+            cur: None,
+        }
     }
 
     /// Current ladder level (0 = full fidelity).
@@ -326,8 +338,16 @@ impl Scheduler {
         self.refit.observe_render(s);
     }
 
-    /// Feed back a measured compositing exchange for one frame.
-    pub fn observe_composite(&mut self, pixels: f64, avg_active_pixels: f64, seconds: f64) {
+    /// Feed back a measured compositing exchange for one frame. `compressed`
+    /// names the exchange wire the measurement used, so the refit fits each
+    /// composite model on the behavior it actually describes.
+    pub fn observe_composite(
+        &mut self,
+        pixels: f64,
+        avg_active_pixels: f64,
+        seconds: f64,
+        compressed: bool,
+    ) {
         if let Some(cur) = self.cur.as_mut() {
             cur.actual_s += seconds;
         }
@@ -336,6 +356,7 @@ impl Scheduler {
             pixels,
             avg_active_pixels,
             seconds,
+            wire: if compressed { CompositeWire::Compressed } else { CompositeWire::Dense },
         });
     }
 
@@ -365,7 +386,7 @@ impl Scheduler {
     /// whether fidelity may recover, and append the cycle record.
     pub fn end_cycle(&mut self) {
         let Some(cur) = self.cur.take() else { return };
-        self.refit.refit_into(&mut self.models);
+        self.last_refit = self.refit.refit_into(&mut self.models);
         let level = self.ladder.level();
         let headroom = if level > 0 {
             let up_cost = self.cycle_cost_at_level(&cur.requests, level - 1);
@@ -431,6 +452,16 @@ impl strawman::AdmissionHook for Scheduler {
         // Wall-clock observations fold any build into the render time; the
         // refit gates the build model on nonzero build samples.
         self.observe_render(&cfg, done.seconds, 0.0);
+    }
+
+    fn observe_composite(&mut self, done: &strawman::CompositeObservation) {
+        Scheduler::observe_composite(
+            self,
+            done.pixels,
+            done.avg_active_pixels,
+            done.seconds,
+            done.compressed,
+        );
     }
 }
 

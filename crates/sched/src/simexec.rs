@@ -7,7 +7,7 @@
 use perfmodel::feasibility::{ModelSet, MIN_PREDICTED_SECONDS};
 use perfmodel::mapping::{map_inputs, MappingConstants, RenderConfig};
 use perfmodel::models::{CompositeModel, ModelForm, RastModel, RtBuildModel, RtModel, VrModel};
-use perfmodel::sample::{CompositeSample, RendererKind};
+use perfmodel::sample::{CompositeSample, CompositeWire, RendererKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -86,6 +86,7 @@ impl SimulatedExecutor {
                     pixels: cfg.pixels as f64,
                     avg_active_pixels: inputs.active_pixels,
                     seconds: 0.0,
+                    wire: CompositeWire::Compressed,
                 },
             )
             .max(0.0)

@@ -14,7 +14,7 @@ use strawman::{Options, Strawman, StrawmanError};
 fn model(name: &'static str, coeffs: Vec<f64>) -> FittedLinearModel {
     FittedLinearModel {
         name,
-        fit: LinearRegression { coeffs, r_squared: 1.0, residual_std: 0.0, n: 10 },
+        fit: LinearRegression::with_stats(coeffs, 1.0, 0.0, 10),
         feature_names: Vec::new(),
     }
 }
@@ -30,6 +30,7 @@ fn pixel_cost_models() -> ModelSet {
         rast: model("rasterization", vec![0.0, 0.0, 0.0]),
         vr: model("volume_rendering", vec![0.0, 0.0, 0.0]),
         comp: model("compositing", vec![0.0, 1e-6, 0.0]),
+        comp_compressed: None,
     }
 }
 

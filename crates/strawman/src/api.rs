@@ -59,6 +59,22 @@ pub struct ExecutedRender {
     pub seconds: f64,
 }
 
+/// A distributed compositing exchange that ran, reported back so the hook
+/// can refine its compositing cost model against the wire that actually
+/// carried the fragments (dense or RLE-compressed).
+#[derive(Debug, Clone, Copy)]
+pub struct CompositeObservation {
+    pub cycle: i64,
+    /// Full image pixel count of the composited frame.
+    pub pixels: f64,
+    /// Average active pixels per rank going into the exchange.
+    pub avg_active_pixels: f64,
+    /// Simulated exchange seconds.
+    pub seconds: f64,
+    /// True when the exchange shipped RLE-compressed active-pixel spans.
+    pub compressed: bool,
+}
+
 /// Admission control consulted before every render when
 /// [`Options::cycle_budget_s`] is set. Implemented by the `sched` crate's
 /// model-driven scheduler; any budget policy can plug in here.
@@ -66,6 +82,9 @@ pub trait AdmissionHook {
     fn admit(&mut self, req: &AdmissionRequest) -> AdmissionDecision;
     /// Observe a completed render's measured wall time.
     fn observe(&mut self, done: &ExecutedRender);
+    /// Observe a completed compositing exchange. Default: ignore (render-only
+    /// policies need not care about the wire).
+    fn observe_composite(&mut self, _done: &CompositeObservation) {}
 }
 
 /// Strawman initialization options.
@@ -232,6 +251,17 @@ impl Strawman {
         let (merged, stats) = radix_k_opts(&images, mode, self.opts.net, &factors, opts);
         let pixels = merged.num_pixels() as u64 * frames.len() as u64;
         self.phases.record_bytes("compositing", stats.simulated_seconds, pixels, stats.total_bytes);
+        if let Some(hook) = self.opts.scheduler.as_mut() {
+            let avg_active =
+                images.iter().map(|i| i.active_pixels() as f64).sum::<f64>() / images.len() as f64;
+            hook.observe_composite(&CompositeObservation {
+                cycle: self.cycle,
+                pixels: merged.num_pixels() as f64,
+                avg_active_pixels: avg_active,
+                seconds: stats.simulated_seconds,
+                compressed: opts.compress,
+            });
+        }
         (from_rank_image(&merged), stats)
     }
 
@@ -877,6 +907,53 @@ mod tests {
 
         fn observe(&mut self, done: &ExecutedRender) {
             self.observed.push(*done);
+        }
+    }
+
+    /// Records compositing exchanges into a log shared with the test (the
+    /// hook itself is boxed away inside [`Options`]).
+    struct WireHook {
+        log: std::rc::Rc<std::cell::RefCell<Vec<CompositeObservation>>>,
+    }
+
+    impl AdmissionHook for WireHook {
+        fn admit(&mut self, _req: &AdmissionRequest) -> AdmissionDecision {
+            AdmissionDecision::Admit
+        }
+
+        fn observe(&mut self, _done: &ExecutedRender) {}
+
+        fn observe_composite(&mut self, done: &CompositeObservation) {
+            self.log.borrow_mut().push(*done);
+        }
+    }
+
+    #[test]
+    fn composite_feeds_the_hook_with_its_wire() {
+        let mut a = Framebuffer::new(16, 16);
+        let mut b = Framebuffer::new(16, 16);
+        for i in 0..40 {
+            a.color[i] = Color::new(0.9, 0.2, 0.1, 1.0);
+            a.depth[i] = 1.0;
+            b.color[i + 60] = Color::new(0.1, 0.3, 0.8, 1.0);
+            b.depth[i + 60] = 2.0;
+        }
+        let frames = [a, b];
+        for compress in [true, false] {
+            let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+            let mut sm = Strawman::open(Options {
+                device: Device::Serial,
+                compress_compositing: compress,
+                scheduler: Some(Box::new(WireHook { log: log.clone() })),
+                ..Options::default()
+            });
+            let (_, stats) = sm.composite(&frames, CompositeMode::ZBuffer);
+            let seen = log.borrow();
+            assert_eq!(seen.len(), 1);
+            assert_eq!(seen[0].compressed, compress);
+            assert_eq!(seen[0].pixels, 256.0);
+            assert_eq!(seen[0].avg_active_pixels, 40.0);
+            assert_eq!(seen[0].seconds, stats.simulated_seconds);
         }
     }
 

@@ -40,7 +40,7 @@ pub mod mesh_convert;
 pub mod png;
 
 pub use api::{
-    AdmissionDecision, AdmissionHook, AdmissionRequest, ExecutedRender, Options, RenderRecord,
-    Strawman, StrawmanError,
+    AdmissionDecision, AdmissionHook, AdmissionRequest, CompositeObservation, ExecutedRender,
+    Options, RenderRecord, Strawman, StrawmanError,
 };
 pub use mesh_convert::PublishedMesh;

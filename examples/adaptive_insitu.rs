@@ -35,6 +35,7 @@ fn main() {
         rast: RastModel.fit(&ra),
         vr: VrModel.fit(&vr),
         comp: CompositeModel.fit(&comp),
+        comp_compressed: None,
     };
     let mut all = rt;
     all.extend(ra);

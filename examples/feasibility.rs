@@ -29,6 +29,7 @@ fn main() {
         rast: RastModel.fit(&ra),
         vr: VrModel.fit(&vr),
         comp: CompositeModel.fit(&comp),
+        comp_compressed: None,
     };
     println!(
         "model fits: RT R^2={:.3}  RAST R^2={:.3}  VR R^2={:.3}  COMP R^2={:.3}",

@@ -101,6 +101,7 @@ fn feasibility_answers_have_the_papers_shape() {
         rast: RastModel.fit(&ra),
         vr: VrModel.fit(&vr),
         comp: CompositeModel.fit(&comp),
+        comp_compressed: None,
     };
     let mut all = rt;
     all.extend(ra);
