@@ -57,5 +57,32 @@ fn bench_radix_sort(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_map_reduce, bench_scan_compact, bench_radix_sort);
+/// Strong scaling: the same primitive on dedicated 1/2/4-worker pools. The
+/// results are byte-identical across pool sizes (the engine's determinism
+/// guarantee); this group measures what the extra workers cost or buy.
+fn bench_strong_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpp_strong_scaling");
+    let data: Vec<u32> = (0..N).map(|i| (i % 977) as u32).collect();
+    for threads in [1usize, 2, 4] {
+        let device = Device::parallel_with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("map", threads), &device, |b, d| {
+            b.iter(|| dpp::map(d, N, |i| data[i] as u64 * 3 + 1))
+        });
+        group.bench_with_input(BenchmarkId::new("scan", threads), &device, |b, d| {
+            b.iter(|| dpp::exclusive_scan_u32(d, &data))
+        });
+        group.bench_with_input(BenchmarkId::new("reduce", threads), &device, |b, d| {
+            b.iter(|| dpp::map_reduce(d, N, |i| data[i] as u64, 0u64, |a, b| a + b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_map_reduce,
+    bench_scan_compact,
+    bench_radix_sort,
+    bench_strong_scaling
+);
 criterion_main!(benches);

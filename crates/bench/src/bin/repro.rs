@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run -p bench-harness --release --bin repro -- <id> [--full]
-//!   <id>:  table1..table17 | fig4 fig5 fig6 fig7 fig11..fig15 | all
+//!   <id>:  table1..table17 | fig4 fig5 fig6 fig7 fig11..fig15
+//!          | ablations | compression | sched | scaling | all
 //!   --full: paper-shaped sizes (minutes-to-hours); default is quick scale
 //! ```
 //!
@@ -44,6 +45,7 @@ const ALL: &[&str] = &[
     "ablations",
     "compression",
     "sched",
+    "scaling",
 ];
 
 fn main() {
@@ -52,7 +54,7 @@ fn main() {
     let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     if ids.is_empty() {
         eprintln!(
-            "usage: repro <table1..table17|fig4..fig15|ablations|compression|sched|images|all> [--full]"
+            "usage: repro <table1..table17|fig4..fig15|ablations|compression|sched|scaling|images|all> [--full]"
         );
         std::process::exit(2);
     }
@@ -103,6 +105,7 @@ fn run(id: &str, scale: Scale) {
         "ablations" => tables::ablations(scale),
         "compression" => tables::compression(scale),
         "sched" => tables::sched_demo(scale),
+        "scaling" => tables::scaling(scale),
         "fig4" => figures::fig_phase_sweep(scale, false),
         "fig5" => figures::fig_phase_sweep(scale, true),
         "fig6" => figures::fig6(scale),

@@ -42,9 +42,15 @@ impl SliceModel {
                 (Vec3::ZERO, Vec3::new(1.0, 1.0, 0.2).normalized()),
                 (Vec3::new(0.0, -0.2, 0.1), Vec3::new(0.2, 1.0, 1.0).normalized()),
             ] {
-                // Warm once, measure once (slice cost is deterministic).
+                // Warm once, then keep the fastest of three runs: the slice
+                // work is deterministic, but with sibling test threads and a
+                // live worker pool on the machine, any single wall-clock
+                // measurement can absorb scheduler contention.
                 let _ = slice_grid(&grid, "scalar", origin, normal);
-                let out = slice_grid(&grid, "scalar", origin, normal);
+                let out = (0..3)
+                    .map(|_| slice_grid(&grid, "scalar", origin, normal))
+                    .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
+                    .expect("three timed slice runs");
                 samples.push(SliceSample {
                     cells_intersected: out.cells_intersected as f64,
                     seconds: out.seconds,

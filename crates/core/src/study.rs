@@ -239,6 +239,16 @@ pub fn run_composite_study_wired(
     sides: &[u32],
     seed: u64,
 ) -> Vec<CompositeSample> {
+    // Calibration measurements must time each rank's merge compute in
+    // isolation: the lockstep clock takes per-round maxima over ranks, and
+    // letting rank closures run concurrently on an oversubscribed core would
+    // charge CPU contention to whichever merge the scheduler preempts. A
+    // one-thread pool serializes the compute (install routes the nested
+    // par-map onto its single worker) without changing any result bytes.
+    let timing_pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("failed to build 1-thread timing pool");
     let mut out = Vec::new();
     for &tasks in tasks_list {
         for &side in sides {
@@ -256,7 +266,16 @@ pub fn run_composite_study_wired(
                 // cost.
                 let seconds = (0..3)
                     .map(|_| {
-                        radix_k_opts(&images, CompositeMode::AlphaOrdered, net, &factors, opts)
+                        timing_pool
+                            .install(|| {
+                                radix_k_opts(
+                                    &images,
+                                    CompositeMode::AlphaOrdered,
+                                    net,
+                                    &factors,
+                                    opts,
+                                )
+                            })
                             .1
                             .simulated_seconds
                     })

@@ -1,4 +1,23 @@
 //! Execution devices: serial and rayon-backed parallel back-ends.
+//!
+//! # Determinism
+//!
+//! The parallel device executes on real worker threads, yet every primitive
+//! in this crate is *observationally identical* to its serial counterpart:
+//! work is partitioned into contiguous chunks whose boundaries depend only on
+//! the input length and the grain size (never on scheduling order), chunked
+//! results merge in ascending chunk order, and each chunked primitive is
+//! exact over any partition (integer scans/histograms, min/max, disjoint
+//! writes). A frame rendered on [`Device::Serial`] is byte-for-byte the frame
+//! rendered on [`Device::parallel_with_threads`] for any thread count —
+//! pinned by `tests/parallel_exactness.rs` and the property tests.
+//!
+//! # Panics
+//!
+//! A panic inside a functor running on a parallel device is caught on the
+//! worker, carried back, and re-thrown on the calling thread once the batch
+//! drains — the caller observes the same unwinding it would have seen
+//! serially. Worker threads never die silently.
 
 use std::fmt;
 use std::sync::Arc;
@@ -12,9 +31,10 @@ use std::sync::Arc;
 pub enum Device {
     /// Single-threaded execution (the paper's one-core CPU runs).
     Serial,
-    /// Rayon execution. `None` uses the global thread pool (all cores);
-    /// `Some(pool)` uses a dedicated pool, enabling thread-count clamping
-    /// for strong-scaling studies.
+    /// Rayon execution on real worker threads. `None` uses the global thread
+    /// pool (all logical cores, or `RAYON_NUM_THREADS`); `Some(pool)` uses a
+    /// dedicated pool, enabling thread-count clamping for strong-scaling
+    /// studies.
     Parallel(Option<Arc<rayon::ThreadPool>>),
 }
 
@@ -56,8 +76,12 @@ impl Device {
     }
 
     /// Run `f` inside this device's thread pool so that nested rayon
-    /// operations are scheduled on it. On the serial device `f` runs inline
-    /// (primitives check the device themselves and stay sequential).
+    /// operations are scheduled on it. For a dedicated pool this really
+    /// ships `f` to one of that pool's workers — nested `par_*` calls then
+    /// fan out over exactly that pool's threads, which is what makes
+    /// [`Device::parallel_with_threads`] clamp concurrency for strong-scaling
+    /// runs. On the serial device `f` runs on the caller (primitives check
+    /// the device themselves and stay sequential).
     pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
         match self {
             Device::Serial => f(),

@@ -13,6 +13,13 @@ use rayon::prelude::*;
 /// the scheduling overhead dominates (mirrors EAVL's grain-size heuristics).
 const PAR_GRAIN: usize = 4096;
 
+/// Once a primitive does fork, the smallest number of elements a single task
+/// may receive (passed to `Par::with_min_len`, and used as the floor for the
+/// explicit chunk sizes in scan/segscan). Keeps per-task claim overhead
+/// amortized on large inputs without affecting results: every chunked
+/// primitive here is exact over any partition.
+const PAR_MIN_LEN: usize = 1024;
+
 /// `map`: produce `out[i] = f(i)` for `i in 0..n`.
 ///
 /// The index-functor form subsumes EAVL's multi-input maps: the closure
@@ -25,7 +32,7 @@ where
     match device {
         Device::Serial => (0..n).map(f).collect(),
         _ if n < PAR_GRAIN => (0..n).map(f).collect(),
-        _ => device.install(|| (0..n).into_par_iter().map(f).collect()),
+        _ => device.install(|| (0..n).into_par_iter().with_min_len(PAR_MIN_LEN).map(f).collect()),
     }
 }
 
@@ -47,7 +54,7 @@ where
             }
         }
         _ => device.install(|| {
-            data.par_iter_mut().enumerate().for_each(|(i, v)| f(i, v));
+            data.par_iter_mut().with_min_len(PAR_MIN_LEN).enumerate().for_each(|(i, v)| f(i, v));
         }),
     }
 }
@@ -62,7 +69,7 @@ where
     match device {
         Device::Serial => (0..n).for_each(f),
         _ if n < PAR_GRAIN => (0..n).for_each(f),
-        _ => device.install(|| (0..n).into_par_iter().for_each(f)),
+        _ => device.install(|| (0..n).into_par_iter().with_min_len(PAR_MIN_LEN).for_each(f)),
     }
 }
 
@@ -113,7 +120,10 @@ where
         Device::Serial => data.iter().fold(identity, |a, &b| op(a, b)),
         _ if data.len() < PAR_GRAIN => data.iter().fold(identity, |a, &b| op(a, b)),
         _ => device.install(|| {
-            data.par_iter().fold(|| identity, |a, &b| op(a, b)).reduce(|| identity, &op)
+            data.par_iter()
+                .with_min_len(PAR_MIN_LEN)
+                .fold(|| identity, |a, &b| op(a, b))
+                .reduce(|| identity, &op)
         }),
     }
 }
@@ -129,7 +139,11 @@ where
         Device::Serial => (0..n).map(mapf).fold(identity, &op),
         _ if n < PAR_GRAIN => (0..n).map(mapf).fold(identity, &op),
         _ => device.install(|| {
-            (0..n).into_par_iter().fold(|| identity, |a, i| op(a, mapf(i))).reduce(|| identity, &op)
+            (0..n)
+                .into_par_iter()
+                .with_min_len(PAR_MIN_LEN)
+                .fold(|| identity, |a, i| op(a, mapf(i)))
+                .reduce(|| identity, &op)
         }),
     }
 }
@@ -148,7 +162,7 @@ pub fn exclusive_scan_u32(device: &Device, data: &[u32]) -> (Vec<u32>, u32) {
             // Two-level scan: per-chunk sums, scan the sums, then rescan
             // each chunk with its offset.
             let threads = rayon::current_num_threads().max(1);
-            let chunk = n.div_ceil(threads).max(1);
+            let chunk = n.div_ceil(threads).max(PAR_MIN_LEN);
             let sums: Vec<u64> =
                 data.par_chunks(chunk).map(|c| c.iter().map(|&v| v as u64).sum()).collect();
             let mut offsets = Vec::with_capacity(sums.len());
@@ -224,7 +238,7 @@ pub fn reverse_index(device: &Device, flags: &[u32], exscan: &[u32], count: u32)
             } else {
                 device.install(|| {
                     let threads = rayon::current_num_threads().max(1);
-                    let chunk = n.div_ceil(threads).max(1);
+                    let chunk = n.div_ceil(threads).max(PAR_MIN_LEN);
                     let out_ptr = SendPtr(out.as_mut_ptr());
                     (0..n.div_ceil(chunk)).into_par_iter().for_each(|c| {
                         let start = c * chunk;
@@ -433,7 +447,7 @@ pub fn segmented_exclusive_scan_u32(device: &Device, data: &[u32], heads: &[u32]
             // head); chunks whose prefix contains no head inherit a carry
             // from the previous chunks' trailing open segment.
             let threads = rayon::current_num_threads().max(1);
-            let chunk = n.div_ceil(threads).max(1);
+            let chunk = n.div_ceil(threads).max(PAR_MIN_LEN);
             struct ChunkInfo {
                 /// Sum of the trailing open segment (after the last head).
                 tail_sum: u64,

@@ -81,7 +81,10 @@ fn radix_pass_parallel(
 ) {
     let n = src_k.len();
     let threads = rayon::current_num_threads().max(1);
-    let chunk = n.div_ceil(threads).max(1);
+    // Floor the chunk size: a pass is bandwidth-bound, so tiny chunks only
+    // add claim overhead. Bucket-major offsets keep the pass stable (and the
+    // output identical) for any chunking.
+    let chunk = n.div_ceil(threads).max(1 << 12);
     let nchunks = n.div_ceil(chunk);
 
     // Per-chunk histograms.

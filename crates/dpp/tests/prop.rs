@@ -120,6 +120,91 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Byte-for-byte agreement between the serial device and a fixed
+    /// 4-thread pool across the primitive set, with input sizes straddling
+    /// the fork threshold. This is the strong form of the device-equivalence
+    /// guarantee: not "close", identical bits.
+    #[test]
+    fn primitives_bit_exact_serial_vs_four_threads(
+        data in proptest::collection::vec(any::<u32>(), 0..20_000)
+    ) {
+        let d4 = Device::parallel_with_threads(4);
+        let n = data.len();
+
+        let m_s: Vec<u64> = map(&Device::Serial, n, |i| data[i] as u64 * 3 + 1);
+        let m_p: Vec<u64> = map(&d4, n, |i| data[i] as u64 * 3 + 1);
+        prop_assert_eq!(m_s, m_p);
+
+        let small: Vec<u32> = data.iter().map(|&v| v % 1000).collect();
+        prop_assert_eq!(
+            exclusive_scan_u32(&Device::Serial, &small),
+            exclusive_scan_u32(&d4, &small)
+        );
+        prop_assert_eq!(
+            inclusive_scan_u32(&Device::Serial, &small),
+            inclusive_scan_u32(&d4, &small)
+        );
+
+        let heads: Vec<u32> = (0..n).map(|i| (i % 321 == 0) as u32).collect();
+        prop_assert_eq!(
+            segmented_exclusive_scan_u32(&Device::Serial, &small, &heads),
+            segmented_exclusive_scan_u32(&d4, &small, &heads)
+        );
+
+        let wide: Vec<u64> = data.iter().map(|&v| v as u64).collect();
+        prop_assert_eq!(
+            reduce(&Device::Serial, &wide, 0u64, |a, b| a.wrapping_add(b)),
+            reduce(&d4, &wide, 0u64, |a, b| a.wrapping_add(b))
+        );
+        prop_assert_eq!(
+            map_reduce(&Device::Serial, n, |i| data[i] as u64, u64::MAX, u64::min),
+            map_reduce(&d4, n, |i| data[i] as u64, u64::MAX, u64::min)
+        );
+
+        prop_assert_eq!(
+            compact_indices(&Device::Serial, n, |i| data[i] % 7 == 0),
+            compact_indices(&d4, n, |i| data[i] % 7 == 0)
+        );
+        prop_assert_eq!(
+            count_if(&Device::Serial, n, |i| data[i] % 2 == 0),
+            count_if(&d4, n, |i| data[i] % 2 == 0)
+        );
+
+        // f32 min/max: compare the exact bit patterns of the results.
+        // (-0.0 is normalized away: min(-0.0, 0.0) may return either zero
+        // depending on fold association, which is an IEEE quirk rather than
+        // a device divergence.)
+        let floats: Vec<f32> =
+            data.iter().map(|&v| f32::from_bits(v)).map(|f| if f == 0.0 { 0.0 } else { f }).collect();
+        let bits = |o: Option<(f32, f32)>| o.map(|(a, b)| (a.to_bits(), b.to_bits()));
+        prop_assert_eq!(
+            bits(minmax_f32(&Device::Serial, &floats)),
+            bits(minmax_f32(&d4, &floats))
+        );
+    }
+
+    /// The radix sort produces identical key *and* payload bytes on the
+    /// serial device and a 4-thread pool (stability makes payload order
+    /// deterministic even among equal keys).
+    #[test]
+    fn sort_bit_exact_serial_vs_four_threads(
+        pairs in proptest::collection::vec((any::<u64>(), any::<u32>()), 0..20_000)
+    ) {
+        let d4 = Device::parallel_with_threads(4);
+        let mut ks: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        let mut vs: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+        sort_pairs_u64(&Device::Serial, &mut ks, &mut vs);
+        let mut kp: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        let mut vp: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+        sort_pairs_u64(&d4, &mut kp, &mut vp);
+        prop_assert_eq!(ks, kp);
+        prop_assert_eq!(vs, vp);
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Segmented scan equals an independently computed per-segment exclusive

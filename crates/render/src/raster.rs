@@ -165,10 +165,17 @@ pub fn rasterize(
                 let mut depth = vec![f32::INFINITY; tw * th];
                 let start = offsets[tile] as usize;
                 let end = start + count_vals[tile] as usize;
+                // The parallel bin fill claims slots with `fetch_add`, so the
+                // order *within* a tile's segment depends on scheduling (the
+                // segment's contents do not). Restore ascending triangle
+                // order — the serial fill order — so z-buffer depth ties at
+                // shared edges resolve identically on every device.
+                let mut tris: Vec<u32> =
+                    bins[start..end].iter().map(|b| b.load(Ordering::Relaxed)).collect();
+                tris.sort_unstable();
                 let mut considered = 0u64;
-                for bin in &bins[start..end] {
-                    let src = bin.load(Ordering::Relaxed) as usize;
-                    let tri = screen[src].as_ref().unwrap();
+                for src in tris {
+                    let tri = screen[src as usize].as_ref().unwrap();
                     considered += raster_tri_into_tile(
                         geom, tri, x0, y0, x1, y1, tw, &mut color, &mut depth, colormap, shading,
                         camera,

@@ -13,8 +13,12 @@
 //! 3. **Sampling** — map over active tets; every sample position inside the
 //!    tet's screen AABB and depth range gets an inside-outside barycentric
 //!    test and, if inside, writes the interpolated scalar into the sample
-//!    buffer (atomic stores — tets partition space, so at most one writer
-//!    wins per sample up to boundary ties).
+//!    buffer. Tets partition space, so at most one writer reaches a sample —
+//!    except at shared faces, where the epsilon'd inside test lets two
+//!    adjacent tets claim the same sample. Those boundary ties are resolved
+//!    with an atomic `fetch_max` keyed on the global tet index, which is both
+//!    scheduling-order independent and exactly the serial last-writer-wins
+//!    outcome (the serial pass visits tets in ascending index order).
 //! 4. **Compositing** — map over pixels, folding this pass's samples
 //!    front-to-back through the transfer function with early termination.
 //!
@@ -25,12 +29,13 @@ use crate::counters::PhaseTimer;
 use crate::framebuffer::Framebuffer;
 use dpp::{compact_indices, map, Device};
 use mesh::{Assoc, TetMesh};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use vecmath::{over, Camera, Color, TransferFunction, Vec3};
 
-/// Sentinel bit pattern for "no sample written" (a signaling-NaN payload that
-/// real field data cannot produce through `f32::to_bits` of a finite value).
-const EMPTY: u32 = 0xFFFF_FFFF;
+/// Sentinel for "no sample written". Occupied slots pack
+/// `(tet_index + 1) << 32 | scalar_bits`, so every real write is non-zero and
+/// `fetch_max` deterministically keeps the highest-index tet on boundary ties.
+const EMPTY: u64 = 0;
 
 /// Configuration for the unstructured volume renderer.
 #[derive(Debug, Clone)]
@@ -185,7 +190,11 @@ pub fn render_unstructured(
 
     // Persistent accumulation state across passes.
     let mut acc: Vec<Color> = vec![Color::TRANSPARENT; n_px];
-    let samples: Vec<AtomicU32> = (0..n_px * slab).map(|_| AtomicU32::new(EMPTY)).collect();
+    // One slot per (pixel, depth slice): the winning tet's scalar, tagged
+    // with the tet index for deterministic tie-breaking. The *modeled* buffer
+    // (`sample_buffer_bytes`, what the paper's GPU allocates) stays 4 B per
+    // sample; the host-side tag is bookkeeping, not workload.
+    let samples: Vec<AtomicU64> = (0..n_px * slab).map(|_| AtomicU64::new(EMPTY)).collect();
     let cells_tested = AtomicU64::new(0);
     let mut total_composited: u64 = 0;
 
@@ -280,6 +289,7 @@ pub fn render_unstructured(
             });
             dpp::for_each(device, m, |a| {
                 let Some(tet) = &screen[a] else { return };
+                let tag = (active[a] as u64 + 1) << 32;
                 let [bx0, bx1, by0, by1, bz0, bz1] = tet.bbox;
                 let px0 = bx0.floor().max(0.0) as u32;
                 let px1 = (bx1.ceil() as i64).min(width as i64 - 1).max(0) as u32;
@@ -318,7 +328,8 @@ pub fn render_unstructured(
                                 let value =
                                     tet.s[0] * l0 + tet.s[1] * l1 + tet.s[2] * l2 + tet.s[3] * l3;
                                 let slot = pix * slab + (sl - s_begin) as usize;
-                                samples[slot].store(value.to_bits(), Ordering::Relaxed);
+                                samples[slot]
+                                    .fetch_max(tag | value.to_bits() as u64, Ordering::Relaxed);
                             }
                         }
                     }
@@ -338,11 +349,11 @@ pub fn render_unstructured(
                 }
                 let mut n_comp = 0u64;
                 for sl in 0..slab_this {
-                    let bits = samples[pix * slab + sl].load(Ordering::Relaxed);
-                    if bits == EMPTY {
+                    let packed = samples[pix * slab + sl].load(Ordering::Relaxed);
+                    if packed == EMPTY {
                         continue;
                     }
-                    let v = f32::from_bits(bits);
+                    let v = f32::from_bits(packed as u32);
                     let col = tf.sample(v);
                     n_comp += 1;
                     if col.a > 0.0 {

@@ -1,201 +1,51 @@
-//! Minimal offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` with a **real fork-join thread pool**.
 //!
 //! The build container has no registry access, so this crate provides the
 //! rayon API surface the workspace compiles against — `par_iter`,
-//! `par_chunks`, `into_par_iter`, the `fold(|| id, f).reduce(|| id, op)`
-//! combinator shape, and `ThreadPool`/`ThreadPoolBuilder` — executing
-//! everything **sequentially** on the calling thread. Every algorithm in the
-//! workspace is deterministic and chunk-structured, so results are identical
-//! to a parallel run; only wall-clock speedup is forfeited. `ThreadPool`
-//! remembers its requested thread count because experiment metadata
-//! (`Device::threads()`) reports it.
+//! `par_chunks[_mut]`, `into_par_iter`, `map`/`zip`/`enumerate`, the
+//! two-closure `fold(|| id, f).reduce(|| id, op)` shape, `join`, and
+//! `ThreadPool`/`ThreadPoolBuilder` — executing everything on worker threads:
 //!
-//! [`Par`] is both an `Iterator` (so any std combinator not shadowed here
-//! still works) and a carrier of inherent rayon-flavoured methods; inherent
-//! methods win name resolution, which is how the two-closure `fold`/`reduce`
-//! forms resolve correctly.
+//! - A lazily-initialized **global pool** (size = `RAYON_NUM_THREADS` when
+//!   set, else the logical core count) serves `par_*` calls made outside any
+//!   dedicated pool.
+//! - Dedicated [`ThreadPool`]s route work submitted through
+//!   [`ThreadPool::install`] to their own workers — `install` really executes
+//!   its closure *on a pool thread*, and nested `par_*` calls inside are
+//!   clamped to that pool, so thread-count-clamped strong-scaling studies
+//!   measure what they claim to. Workers are built on the `crossbeam` shim's
+//!   scoped threads.
+//!
+//! Determinism: chunk partitions are pure functions of input length and grain
+//! (see [`Par::with_min_len`]); ordered consumers merge per-chunk results in
+//! ascending chunk order, so outputs are deterministic run-to-run, and
+//! `fold`/`reduce` partitions are thread-count-independent. Worker panics
+//! propagate to the submitting caller, as with real rayon.
 
-use std::iter;
-use std::slice;
+mod iter;
+mod pool;
 
-/// Sequential "parallel" iterator wrapper.
-pub struct Par<I>(pub I);
-
-impl<I: Iterator> Iterator for Par<I> {
-    type Item = I::Item;
-
-    fn next(&mut self) -> Option<I::Item> {
-        self.0.next()
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.0.size_hint()
-    }
-}
-
-impl<I: Iterator> Par<I> {
-    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<iter::Map<I, F>> {
-        Par(self.0.map(f))
-    }
-
-    pub fn enumerate(self) -> Par<iter::Enumerate<I>> {
-        Par(self.0.enumerate())
-    }
-
-    pub fn zip<J: IntoIterator>(self, other: J) -> Par<iter::Zip<I, J::IntoIter>> {
-        Par(self.0.zip(other))
-    }
-
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
-    }
-
-    /// Rayon-style fold: per-"thread" accumulators seeded by `identity`.
-    /// Sequentially there is one accumulator; the result is an iterator over
-    /// it so a trailing `reduce` composes exactly as with real rayon.
-    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> Par<iter::Once<A>>
-    where
-        ID: Fn() -> A,
-        F: FnMut(A, I::Item) -> A,
-    {
-        Par(iter::once(self.0.fold(identity(), fold_op)))
-    }
-
-    /// Rayon-style reduce with an identity constructor.
-    pub fn reduce<ID, F>(self, identity: ID, mut reduce_op: F) -> I::Item
-    where
-        ID: Fn() -> I::Item,
-        F: FnMut(I::Item, I::Item) -> I::Item,
-    {
-        self.0.fold(identity(), &mut reduce_op)
-    }
-
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
-    }
-
-    pub fn sum<S: iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-
-    pub fn with_min_len(self, _min: usize) -> Par<I> {
-        self
-    }
-}
-
-/// `into_par_iter()` on anything iterable (ranges, vectors, adapters).
-pub trait IntoParallelIterator {
-    type Item;
-    type Iter: Iterator<Item = Self::Item>;
-    fn into_par_iter(self) -> Par<Self::Iter>;
-}
-
-impl<T: IntoIterator> IntoParallelIterator for T {
-    type Item = T::Item;
-    type Iter = T::IntoIter;
-
-    fn into_par_iter(self) -> Par<T::IntoIter> {
-        Par(self.into_iter())
-    }
-}
-
-/// `par_iter` / `par_chunks` on shared slices (reached from `Vec` through
-/// auto-deref, as with the inherent slice methods).
-pub trait ParallelSlice<T> {
-    fn par_iter(&self) -> Par<slice::Iter<'_, T>>;
-    fn par_chunks(&self, chunk_size: usize) -> Par<slice::Chunks<'_, T>>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> Par<slice::Iter<'_, T>> {
-        Par(self.iter())
-    }
-
-    fn par_chunks(&self, chunk_size: usize) -> Par<slice::Chunks<'_, T>> {
-        Par(self.chunks(chunk_size))
-    }
-}
-
-/// `par_iter_mut` / `par_chunks_mut` on mutable slices.
-pub trait ParallelSliceMut<T> {
-    fn par_iter_mut(&mut self) -> Par<slice::IterMut<'_, T>>;
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<slice::ChunksMut<'_, T>>;
-}
-
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> Par<slice::IterMut<'_, T>> {
-        Par(self.iter_mut())
-    }
-
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<slice::ChunksMut<'_, T>> {
-        Par(self.chunks_mut(chunk_size))
-    }
-}
+pub use iter::{
+    ChunksMutSource, ChunksSource, EnumerateSource, FoldPar, IntoParallelIterator, MapSource, Par,
+    ParallelSlice, ParallelSliceMut, ParallelSource, RangeIndex, RangeSource, SliceMutSource,
+    SliceSource, VecSource, ZipSource, DEFAULT_FOLD_GRAIN,
+};
+pub use pool::{current_num_threads, join, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, Par, ParallelSlice, ParallelSliceMut};
-}
-
-/// Worker-thread count of the "global pool": the machine's logical core
-/// count, so chunked algorithms keep realistic grain sizes.
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
-/// A pool handle that remembers its configured size. Work submitted through
-/// [`ThreadPool::install`] runs inline on the caller.
-#[derive(Debug)]
-pub struct ThreadPool {
-    num_threads: usize,
-}
-
-impl ThreadPool {
-    pub fn install<OP, R>(&self, op: OP) -> R
-    where
-        OP: FnOnce() -> R,
-    {
-        op()
-    }
-
-    pub fn current_num_threads(&self) -> usize {
-        self.num_threads
-    }
-}
-
-#[derive(Debug)]
-pub struct ThreadPoolBuildError;
-
-impl std::fmt::Display for ThreadPoolBuildError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("thread pool build error")
-    }
-}
-
-#[derive(Debug, Default)]
-pub struct ThreadPoolBuilder {
-    num_threads: usize,
-}
-
-impl ThreadPoolBuilder {
-    pub fn new() -> ThreadPoolBuilder {
-        ThreadPoolBuilder { num_threads: 0 }
-    }
-
-    /// `0` (the rayon default) means "use all cores".
-    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
-        self.num_threads = n;
-        self
-    }
-
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        let n = if self.num_threads == 0 { current_num_threads() } else { self.num_threads };
-        Ok(ThreadPool { num_threads: n })
-    }
+    pub use crate::iter::{IntoParallelIterator, Par, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    fn pool(n: usize) -> crate::ThreadPool {
+        crate::ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
 
     #[test]
     fn fold_reduce_matches_rayon_shape() {
@@ -219,14 +69,169 @@ mod tests {
         let v: Vec<usize> = (0..10usize).into_par_iter().map(|i| i * 2).collect();
         assert_eq!(v[9], 18);
         let sums: Vec<usize> = v.par_chunks(4).map(|c| c.iter().sum()).collect();
-        assert_eq!(sums.len(), 3);
+        assert_eq!(sums, vec![12, 44, 34]);
     }
 
     #[test]
     fn pool_remembers_thread_count() {
-        let pool = crate::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
-        assert_eq!(pool.current_num_threads(), 3);
-        assert_eq!(pool.install(|| 7), 7);
+        let p = pool(3);
+        assert_eq!(p.current_num_threads(), 3);
+        assert_eq!(p.install(|| 7), 7);
         assert!(crate::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_runs_on_a_pool_worker_thread() {
+        let p = pool(4);
+        let caller = std::thread::current().id();
+        let (worker, inside_threads) =
+            p.install(|| (std::thread::current().id(), crate::current_num_threads()));
+        assert_ne!(worker, caller, "install must execute on a pool worker, not the caller");
+        assert_eq!(inside_threads, 4, "current_num_threads inside install reports the pool size");
+        // Nested install on the same pool runs inline on the worker.
+        let (outer, inner) =
+            p.install(|| (std::thread::current().id(), p.install(|| std::thread::current().id())));
+        assert_eq!(outer, inner);
+    }
+
+    #[test]
+    fn parallel_work_is_spread_across_pool_workers() {
+        let p = pool(4);
+        let ids = Mutex::new(HashSet::new());
+        p.install(|| {
+            (0..64usize).into_par_iter().with_min_len(1).for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                // Give other workers a chance to claim tasks.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            });
+        });
+        let distinct = ids.lock().unwrap().len();
+        assert!(distinct > 1, "expected multiple workers to execute tasks, saw {distinct}");
+    }
+
+    #[test]
+    fn panic_in_for_each_propagates_to_caller() {
+        let p = pool(4);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.install(|| {
+                (0..1000usize).into_par_iter().with_min_len(1).for_each(|i| {
+                    if i == 123 {
+                        panic!("boom at {i}");
+                    }
+                });
+            });
+        }));
+        let payload = r.expect_err("panic must propagate out of install");
+        let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("boom at 123"), "unexpected payload: {msg}");
+        // The pool must still be usable afterwards.
+        assert_eq!(p.install(|| 21 * 2), 42);
+    }
+
+    #[test]
+    fn panic_on_global_pool_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            (0..10_000usize).into_par_iter().for_each(|i| {
+                if i == 7777 {
+                    panic!("global boom");
+                }
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates_panics() {
+        let (a, b) = crate::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+        let r = std::panic::catch_unwind(|| crate::join(|| 1, || panic!("right side")));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn fold_partition_is_identical_across_pool_sizes() {
+        // Float sums are order-sensitive; the fold partition must not depend
+        // on the pool size, so every pool produces bit-identical results.
+        let data: Vec<f64> = (0..100_000).map(|i| ((i * 37) % 1001) as f64 * 0.1).collect();
+        let run = |p: &crate::ThreadPool| {
+            p.install(|| {
+                data.par_iter().fold(|| 0.0f64, |a, &b| a + b).reduce(|| 0.0f64, |a, b| a + b)
+            })
+        };
+        let r1 = run(&pool(1));
+        let r2 = run(&pool(2));
+        let r8 = run(&pool(8));
+        assert_eq!(r1.to_bits(), r2.to_bits());
+        assert_eq!(r1.to_bits(), r8.to_bits());
+    }
+
+    #[test]
+    fn collect_preserves_order_under_oversubscription() {
+        let p = pool(8);
+        let out: Vec<usize> =
+            p.install(|| (0..50_000usize).into_par_iter().map(|i| i * 3).collect());
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
+    }
+
+    #[test]
+    fn with_min_len_controls_task_granularity() {
+        let p = pool(4);
+        // The number of reduce merges equals the number of chunks, which is
+        // observable: grain 5000 over 10k elements => exactly 2 chunks.
+        let count_chunks = |min_len: usize| {
+            let reduce_calls = AtomicUsize::new(0);
+            let total: usize = p.install(|| {
+                let it = (0..10_000usize).into_par_iter();
+                let it = if min_len > 0 { it.with_min_len(min_len) } else { it };
+                it.fold(|| 0usize, |a, i| a + i).reduce(
+                    || 0usize,
+                    |a, b| {
+                        reduce_calls.fetch_add(1, Ordering::Relaxed);
+                        a + b
+                    },
+                )
+            });
+            assert_eq!(total, 10_000 * 9_999 / 2);
+            reduce_calls.load(Ordering::Relaxed)
+        };
+        assert_eq!(count_chunks(5000), 2, "with_min_len(5000) must yield 2 chunks");
+        // Unset => DEFAULT_FOLD_GRAIN (1024) => ceil(10000/1024) = 10 chunks.
+        assert_eq!(count_chunks(0), 10);
+        assert_eq!(count_chunks(10_000), 1);
+    }
+
+    #[test]
+    fn zip_truncates_owning_side_without_leaking_items() {
+        // Vec side longer than range side: tail elements must be dropped.
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D(usize);
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let v: Vec<D> = (0..10).map(D).collect();
+        let picked: Vec<usize> = v.into_par_iter().zip(0..4usize).map(|(d, _)| d.0).collect();
+        assert_eq!(picked, vec![0, 1, 2, 3]);
+        assert_eq!(
+            DROPS.load(Ordering::Relaxed),
+            10,
+            "all 10 items dropped (4 moved, 6 truncated)"
+        );
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let v = vec![String::from("a"), String::from("bb"), String::from("ccc")];
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sum_matches_sequential_for_integers() {
+        let s: u64 = (0..100_000u64).into_par_iter().sum();
+        assert_eq!(s, 100_000 * 99_999 / 2);
+        let empty: u64 = (0..0u64).into_par_iter().sum();
+        assert_eq!(empty, 0);
     }
 }

@@ -1,0 +1,155 @@
+//! Bit-exactness across execution devices: every renderer and the
+//! compositing exchange must produce *byte-identical* output on
+//! [`Device::Serial`] and on thread pools of any size. This is the
+//! determinism guarantee the performance-model methodology rests on — if a
+//! device changed the pixels, cross-device model comparisons would be
+//! comparing different computations.
+//!
+//! The pools under test (2, 4, 8 workers) intentionally oversubscribe the
+//! small CI machine: correctness here is scheduling-order independence, not
+//! speedup.
+
+use compositing::{radix_k_opts, CompositeMode, ExchangeOptions, RankImage};
+use dpp::Device;
+use mesh::datasets::{field_grid, FieldKind};
+use mesh::isosurface::isosurface;
+use mpirt::NetModel;
+use render::raster::rasterize;
+use render::raytrace::{RayTracer, RtConfig, TriGeometry};
+use render::volume_structured::{render_structured, SvrConfig};
+use render::volume_unstructured::{render_unstructured, UvrConfig};
+use render::Framebuffer;
+use vecmath::{Camera, Color, TransferFunction};
+
+const POOL_SIZES: [usize; 3] = [2, 4, 8];
+
+/// Exact bit pattern of a framebuffer (color channels + depth).
+fn frame_bits(f: &Framebuffer) -> Vec<u32> {
+    let mut bits = Vec::with_capacity(f.color.len() * 5);
+    for c in &f.color {
+        bits.extend([c.r.to_bits(), c.g.to_bits(), c.b.to_bits(), c.a.to_bits()]);
+    }
+    bits.extend(f.depth.iter().map(|d| d.to_bits()));
+    bits
+}
+
+fn surface() -> TriGeometry {
+    let g = field_grid(FieldKind::ShockShell, [20, 20, 20]);
+    TriGeometry::from_mesh(&isosurface(&g, "scalar", 0.5, Some("elevation")))
+}
+
+#[test]
+fn raytracer_is_bit_identical_across_devices() {
+    let geom = surface();
+    let cam = Camera::close_view(&geom.bounds);
+    let tf = TransferFunction::rainbow(geom.scalar_range);
+    let cfg = RtConfig::workload2();
+    let baseline = frame_bits(
+        &RayTracer::new(Device::Serial, geom.clone())
+            .render_with_map(&cam, 72, 72, &cfg, &tf)
+            .frame,
+    );
+    for n in POOL_SIZES {
+        let rt = RayTracer::new(Device::parallel_with_threads(n), geom.clone());
+        let frame = rt.render_with_map(&cam, 72, 72, &cfg, &tf).frame;
+        assert_eq!(frame_bits(&frame), baseline, "raytrace differs on {n}-thread pool");
+    }
+}
+
+#[test]
+fn rasterizer_is_bit_identical_across_devices() {
+    let geom = surface();
+    let cam = Camera::close_view(&geom.bounds);
+    let tf = TransferFunction::rainbow(geom.scalar_range);
+    let baseline = frame_bits(&rasterize(&Device::Serial, &geom, &cam, 72, 72, &tf, None).frame);
+    for n in POOL_SIZES {
+        let d = Device::parallel_with_threads(n);
+        let frame = rasterize(&d, &geom, &cam, 72, 72, &tf, None).frame;
+        assert_eq!(frame_bits(&frame), baseline, "raster differs on {n}-thread pool");
+    }
+}
+
+#[test]
+fn structured_volume_renderer_is_bit_identical_across_devices() {
+    let grid = field_grid(FieldKind::Turbulence, [16, 16, 16]);
+    let range = grid.field("scalar").unwrap().range().unwrap();
+    let tf = TransferFunction::sparse_features(range);
+    let cam = Camera::close_view(&grid.bounds());
+    let cfg = SvrConfig { samples_per_ray: 96, ..Default::default() };
+    let baseline = frame_bits(
+        &render_structured(&Device::Serial, &grid, "scalar", &cam, 72, 72, &tf, &cfg).frame,
+    );
+    for n in POOL_SIZES {
+        let d = Device::parallel_with_threads(n);
+        let frame = render_structured(&d, &grid, "scalar", &cam, 72, 72, &tf, &cfg).frame;
+        assert_eq!(frame_bits(&frame), baseline, "structured VR differs on {n}-thread pool");
+    }
+}
+
+#[test]
+fn unstructured_volume_renderer_is_bit_identical_across_devices() {
+    let grid = field_grid(FieldKind::ShockShell, [10, 10, 10]);
+    let tets = mesh::HexMesh::from_uniform_grid(&grid).to_tets();
+    let range = tets.field("scalar").unwrap().range().unwrap();
+    let tf = TransferFunction::sparse_features(range);
+    let cam = Camera::close_view(&tets.bounds());
+    let cfg = UvrConfig { depth_samples: 64, ..Default::default() };
+    let baseline = frame_bits(
+        &render_unstructured(&Device::Serial, &tets, "scalar", &cam, 72, 72, &tf, &cfg)
+            .unwrap()
+            .frame,
+    );
+    for n in POOL_SIZES {
+        let d = Device::parallel_with_threads(n);
+        let frame =
+            render_unstructured(&d, &tets, "scalar", &cam, 72, 72, &tf, &cfg).unwrap().frame;
+        assert_eq!(frame_bits(&frame), baseline, "unstructured VR differs on {n}-thread pool");
+    }
+}
+
+/// Deterministic synthetic rank images with transparent background regions
+/// (so the RLE wire format is exercised too).
+fn rank_images(p: usize, w: u32, h: u32) -> Vec<RankImage> {
+    (0..p)
+        .map(|r| {
+            let mut img = RankImage::empty(w, h);
+            for i in 0..img.num_pixels() {
+                // Simple integer hash: fragment-bearing pixels vary per rank.
+                let v = (i * 2654435761 + r * 40503) & 0xffff;
+                if v % 3 != 0 {
+                    let x = (v as f32) / 65536.0;
+                    img.color[i] = Color::new(x * 0.5, x * 0.3, 0.2, 0.5 + x * 0.25);
+                    img.depth[i] = 1.0 + x + r as f32;
+                }
+            }
+            img
+        })
+        .collect()
+}
+
+fn image_bits(img: &RankImage) -> Vec<u32> {
+    let mut bits = Vec::with_capacity(img.color.len() * 5);
+    for c in &img.color {
+        bits.extend([c.r.to_bits(), c.g.to_bits(), c.b.to_bits(), c.a.to_bits()]);
+    }
+    bits.extend(img.depth.iter().map(|d| d.to_bits()));
+    bits
+}
+
+#[test]
+fn compositing_exchange_is_bit_identical_across_pool_sizes() {
+    let images = rank_images(8, 32, 32);
+    let net = NetModel::cluster();
+    for mode in [CompositeMode::ZBuffer, CompositeMode::AlphaOrdered] {
+        for opts in [ExchangeOptions::default(), ExchangeOptions::dense()] {
+            // Baseline: the whole exchange on a single-worker pool.
+            let baseline = Device::parallel_with_threads(1)
+                .install(|| image_bits(&radix_k_opts(&images, mode, net, &[2, 2, 2], opts).0));
+            for n in POOL_SIZES {
+                let got = Device::parallel_with_threads(n)
+                    .install(|| image_bits(&radix_k_opts(&images, mode, net, &[2, 2, 2], opts).0));
+                assert_eq!(got, baseline, "compositing differs on {n}-thread pool ({mode:?})");
+            }
+        }
+    }
+}
