@@ -93,11 +93,26 @@ impl TextTable {
         out
     }
 
-    /// Render as CSV (for figure series).
+    /// Render as CSV (for figure series). Rows are emitted in sorted key
+    /// order — numeric-aware on each column left to right — so regenerated
+    /// CSVs diff cleanly regardless of the order experiments appended rows.
     pub fn to_csv(&self) -> String {
+        let mut rows: Vec<&Vec<String>> = self.rows.iter().collect();
+        rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let ord = match (x.parse::<f64>(), y.parse::<f64>()) {
+                    (Ok(nx), Ok(ny)) => nx.total_cmp(&ny),
+                    _ => x.cmp(y),
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
         let mut out = self.header.join(",");
         out.push('\n');
-        for row in &self.rows {
+        for row in rows {
             out.push_str(&row.join(","));
             out.push('\n');
         }
@@ -159,6 +174,34 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.starts_with("name,value\n"));
         assert!(csv.contains("a,1\n"));
+    }
+
+    #[test]
+    fn csv_rows_sort_numerically_then_lexically() {
+        let mut t = TextTable::new("S", &["tasks", "name"]);
+        t.row(vec!["32".into(), "b".into()]);
+        t.row(vec!["4".into(), "z".into()]);
+        t.row(vec!["4".into(), "a".into()]);
+        t.row(vec!["128".into(), "c".into()]);
+        // 4 < 32 < 128 numerically (lexically "128" < "32" < "4" would be
+        // wrong); equal first columns fall through to the second.
+        assert_eq!(t.to_csv(), "tasks,name\n4,a\n4,z\n32,b\n128,c\n");
+        // render() keeps insertion order.
+        let rendered = t.render();
+        let b32 = rendered.find("32").unwrap();
+        let c128 = rendered.find("128").unwrap();
+        assert!(b32 < c128);
+    }
+
+    #[test]
+    fn csv_insertion_order_is_irrelevant() {
+        let mut fwd = TextTable::new("S", &["x"]);
+        let mut rev = TextTable::new("S", &["x"]);
+        for i in 0..10 {
+            fwd.row(vec![format!("{}", i as f64 * 1.5)]);
+            rev.row(vec![format!("{}", (9 - i) as f64 * 1.5)]);
+        }
+        assert_eq!(fwd.to_csv(), rev.to_csv());
     }
 
     #[test]

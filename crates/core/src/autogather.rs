@@ -18,15 +18,20 @@ use std::collections::BTreeMap;
 /// One deposited observation for a phase.
 #[derive(Debug, Clone, Copy)]
 pub struct PhaseObservation {
+    /// Measured seconds for the phase.
     pub seconds: f64,
+    /// Work units the phase reported.
     pub work_units: f64,
 }
 
 /// A per-phase fitted model with quality diagnostics.
 #[derive(Debug, Clone)]
 pub struct PhaseModel {
+    /// Phase name the model was fitted for.
     pub phase: String,
+    /// The fitted `t = c0 * work + c1` regression.
     pub fit: LinearRegression,
+    /// Observations backing the fit.
     pub observations: usize,
     /// Mean seconds across observations (for ranking phases by cost).
     pub mean_seconds: f64,
@@ -54,6 +59,7 @@ pub struct PhaseModelBuilder {
 }
 
 impl PhaseModelBuilder {
+    /// An empty builder.
     pub fn new() -> PhaseModelBuilder {
         PhaseModelBuilder::default()
     }
@@ -100,7 +106,7 @@ impl PhaseModelBuilder {
     pub fn fit_all(&self) -> Vec<PhaseModel> {
         let mut out: Vec<PhaseModel> =
             self.observations.keys().filter_map(|p| self.fit_phase(p)).collect();
-        out.sort_by(|a, b| b.mean_seconds.partial_cmp(&a.mean_seconds).unwrap());
+        out.sort_by(|a, b| b.mean_seconds.total_cmp(&a.mean_seconds));
         out
     }
 

@@ -20,13 +20,16 @@ use vecmath::Vec3;
 /// One slicing measurement.
 #[derive(Debug, Clone)]
 pub struct SliceSample {
+    /// Cells the slice plane intersected.
     pub cells_intersected: f64,
+    /// Measured seconds for the slice.
     pub seconds: f64,
 }
 
 /// The slicing model `T_SLICE = c0 * cells_intersected + c1`.
 #[derive(Debug, Clone)]
 pub struct SliceModel {
+    /// The fitted regression `T = c0 * cells + c1`.
     pub fit: LinearRegression,
 }
 
@@ -47,10 +50,13 @@ impl SliceModel {
                 // live worker pool on the machine, any single wall-clock
                 // measurement can absorb scheduler contention.
                 let _ = slice_grid(&grid, "scalar", origin, normal);
-                let out = (0..3)
-                    .map(|_| slice_grid(&grid, "scalar", origin, normal))
-                    .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
-                    .expect("three timed slice runs");
+                let mut out = slice_grid(&grid, "scalar", origin, normal);
+                for _ in 0..2 {
+                    let run = slice_grid(&grid, "scalar", origin, normal);
+                    if run.seconds < out.seconds {
+                        out = run;
+                    }
+                }
                 samples.push(SliceSample {
                     cells_intersected: out.cells_intersected as f64,
                     seconds: out.seconds,
@@ -93,19 +99,26 @@ pub struct Constraints {
 /// What the planner decided.
 #[derive(Debug, Clone)]
 pub struct Plan {
+    /// Chosen renderer.
     pub renderer: RendererKind,
+    /// Chosen image side (pixels per axis).
     pub image_side: u32,
+    /// Predicted total seconds for the invocation.
     pub expected_seconds: f64,
+    /// Predicted scratch-memory bytes.
     pub expected_bytes: usize,
 }
 
 /// The adaptive layer: owns fitted models and picks configurations.
 pub struct AdaptivePlanner {
+    /// Fitted single-node + compositing models.
     pub set: ModelSet,
+    /// Workload-mapping constants for feature estimation.
     pub constants: MappingConstants,
 }
 
 impl AdaptivePlanner {
+    /// Build a planner from fitted models and mapping constants.
     pub fn new(set: ModelSet, constants: MappingConstants) -> AdaptivePlanner {
         AdaptivePlanner { set, constants }
     }
@@ -152,18 +165,20 @@ impl AdaptivePlanner {
                 })
             };
             let (mut lo, mut hi) = (c.min_image_side, c.max_image_side);
-            if feasible(lo).is_none() {
+            // Carry the last feasible plan through the binary search instead
+            // of re-probing (and unwrapping) at the end.
+            let Some(mut plan) = feasible(lo) else {
                 continue;
-            }
+            };
             while lo < hi {
                 let mid = (lo + hi).div_ceil(2);
-                if feasible(mid).is_some() {
+                if let Some(p) = feasible(mid) {
+                    plan = p;
                     lo = mid;
                 } else {
                     hi = mid - 1;
                 }
             }
-            let plan = feasible(lo).expect("lo was feasible");
             best = match best {
                 None => Some(plan),
                 Some(b)

@@ -21,10 +21,15 @@ pub const MIN_PREDICTED_SECONDS: f64 = 1e-9;
 /// Fitted models for one device (plus the shared compositing models).
 #[derive(Debug, Clone)]
 pub struct ModelSet {
+    /// Device label the single-node models were fitted on.
     pub device: String,
+    /// Ray-tracing per-frame model.
     pub rt: FittedLinearModel,
+    /// Ray-tracing BVH build model.
     pub rt_build: FittedLinearModel,
+    /// Rasterization per-frame model.
     pub rast: FittedLinearModel,
+    /// Volume-rendering per-frame model.
     pub vr: FittedLinearModel,
     /// Dense-exchange compositing model (the paper's form).
     pub comp: FittedLinearModel,
@@ -133,7 +138,9 @@ pub fn images_in_budget(
 /// One cell of the Figure 15 regime map.
 #[derive(Debug, Clone, Copy)]
 pub struct RatioCell {
+    /// Image side of this cell's workload.
     pub image_side: u32,
+    /// Cells per axis per task for this cell's workload.
     pub cells_per_task: usize,
     /// `T_RT / T_RAST` for the whole workload (lower = ray tracing wins).
     pub rt_over_rast: f64,

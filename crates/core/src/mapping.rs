@@ -18,6 +18,7 @@ use crate::sample::{RenderSample, RendererKind};
 /// A user-level rendering configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct RenderConfig {
+    /// Which renderer to run.
     pub renderer: RendererKind,
     /// Cells per axis per task (N of an N^3 block).
     pub cells_per_task: usize,

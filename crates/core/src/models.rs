@@ -13,17 +13,21 @@ use crate::sample::{CompositeSample, RenderSample};
 /// A fitted single-node model: feature extraction + regression results.
 #[derive(Debug, Clone)]
 pub struct FittedLinearModel {
+    /// Model name used in report tables.
     pub name: &'static str,
+    /// Regression coefficients and fit diagnostics.
     pub fit: LinearRegression,
     /// Feature names aligned with coefficients.
     pub feature_names: Vec<&'static str>,
 }
 
 impl FittedLinearModel {
+    /// Coefficient of determination of the fit.
     pub fn r_squared(&self) -> f64 {
         self.fit.r_squared
     }
 
+    /// Fitted coefficients, aligned with `feature_names`.
     pub fn coeffs(&self) -> &[f64] {
         &self.fit.coeffs
     }
@@ -146,10 +150,12 @@ impl ModelForm for VrModel {
 pub struct CompositeModel;
 
 impl CompositeModel {
+    /// Feature vector `[avg(AP), Pixels, 1]` for one sample.
     pub fn features(&self, s: &CompositeSample) -> Vec<f64> {
         vec![s.avg_active_pixels, s.pixels, 1.0]
     }
 
+    /// Fit the dense compositing model to measured samples.
     pub fn fit(&self, samples: &[CompositeSample]) -> FittedLinearModel {
         let xs: Vec<Vec<f64>> = samples.iter().map(|s| self.features(s)).collect();
         let ys: Vec<f64> = samples.iter().map(|s| s.seconds).collect();
@@ -160,6 +166,7 @@ impl CompositeModel {
         }
     }
 
+    /// Predicted seconds for one sample under `fitted`.
     pub fn predict(&self, fitted: &FittedLinearModel, s: &CompositeSample) -> f64 {
         fitted.fit.predict(&self.features(s))
     }
@@ -179,10 +186,12 @@ impl CompositeModel {
 pub struct CompressedCompositeModel;
 
 impl CompressedCompositeModel {
+    /// Feature vector `[avg(AP), Pixels, AF, 1]` for one sample.
     pub fn features(&self, s: &CompositeSample) -> Vec<f64> {
         vec![s.avg_active_pixels, s.pixels, s.avg_active_pixels / s.pixels.max(1.0), 1.0]
     }
 
+    /// Fit the compressed compositing model to measured samples.
     pub fn fit(&self, samples: &[CompositeSample]) -> FittedLinearModel {
         let xs: Vec<Vec<f64>> = samples.iter().map(|s| self.features(s)).collect();
         let ys: Vec<f64> = samples.iter().map(|s| s.seconds).collect();
@@ -193,6 +202,7 @@ impl CompressedCompositeModel {
         }
     }
 
+    /// Predicted seconds for one sample under `fitted`.
     pub fn predict(&self, fitted: &FittedLinearModel, s: &CompositeSample) -> f64 {
         fitted.fit.predict(&self.features(s))
     }

@@ -4,12 +4,16 @@
 /// Which rendering technique a sample measured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RendererKind {
+    /// Ray tracing (BVH build + per-pixel traversal).
     RayTracing,
+    /// Tile-binned rasterization.
     Rasterization,
+    /// Ray-cast volume rendering.
     VolumeRendering,
 }
 
 impl RendererKind {
+    /// Stable lowercase name used in CSV rows and report tables.
     pub fn name(&self) -> &'static str {
         match self {
             RendererKind::RayTracing => "ray_tracing",
@@ -18,6 +22,7 @@ impl RendererKind {
         }
     }
 
+    /// Inverse of [`RendererKind::name`].
     pub fn parse(s: &str) -> Option<RendererKind> {
         match s {
             "ray_tracing" => Some(RendererKind::RayTracing),
@@ -31,6 +36,7 @@ impl RendererKind {
 /// One single-node rendering measurement with its observed model inputs.
 #[derive(Debug, Clone)]
 pub struct RenderSample {
+    /// Renderer that produced the measurement.
     pub renderer: RendererKind,
     /// Device name ("serial" / "parallel").
     pub device: String,
@@ -59,8 +65,10 @@ pub struct RenderSample {
 }
 
 impl RenderSample {
+    /// Column header matching [`RenderSample::to_csv_row`].
     pub const CSV_HEADER: &'static str = "renderer,device,source,objects,active_pixels,visible_objects,pixels_per_triangle,samples_per_ray,cells_spanned,pixels,tasks,build_seconds,render_seconds";
 
+    /// Serialize as one CSV row in `CSV_HEADER` column order.
     pub fn to_csv_row(&self) -> String {
         format!(
             "{},{},{},{},{},{},{},{},{},{},{},{},{}",
@@ -80,6 +88,7 @@ impl RenderSample {
         )
     }
 
+    /// Parse a row written by [`RenderSample::to_csv_row`].
     pub fn from_csv_row(row: &str) -> Option<RenderSample> {
         let f: Vec<&str> = row.split(',').collect();
         if f.len() != 13 {
@@ -108,12 +117,15 @@ impl RenderSample {
 /// (the default wire path since the RLE compositing change).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CompositeWire {
+    /// Full-image fragments, uncompressed.
     Dense,
     #[default]
+    /// Run-length-encoded active-pixel spans.
     Compressed,
 }
 
 impl CompositeWire {
+    /// Stable lowercase name used in CSV rows.
     pub fn name(&self) -> &'static str {
         match self {
             CompositeWire::Dense => "dense",
@@ -121,6 +133,7 @@ impl CompositeWire {
         }
     }
 
+    /// Inverse of [`CompositeWire::name`].
     pub fn parse(s: &str) -> Option<CompositeWire> {
         match s {
             "dense" => Some(CompositeWire::Dense),
@@ -133,6 +146,7 @@ impl CompositeWire {
 /// One image-compositing measurement.
 #[derive(Debug, Clone)]
 pub struct CompositeSample {
+    /// Ranks participating in the exchange.
     pub tasks: usize,
     /// Full image pixel count.
     pub pixels: f64,
@@ -145,8 +159,10 @@ pub struct CompositeSample {
 }
 
 impl CompositeSample {
+    /// Column header matching [`CompositeSample::to_csv_row`].
     pub const CSV_HEADER: &'static str = "tasks,pixels,avg_active_pixels,seconds,wire";
 
+    /// Serialize as one CSV row in `CSV_HEADER` column order.
     pub fn to_csv_row(&self) -> String {
         format!(
             "{},{},{},{},{}",

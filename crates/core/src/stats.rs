@@ -64,15 +64,22 @@ pub fn relative_error_pct(actual: f64, predicted: f64) -> f64 {
 /// fraction of predictions within 50/25/10/5 percent, plus the mean error.
 #[derive(Debug, Clone, Default)]
 pub struct AccuracySummary {
+    /// Fraction of predictions within 50% of actual.
     pub within_50: f64,
+    /// Fraction of predictions within 25% of actual.
     pub within_25: f64,
+    /// Fraction of predictions within 10% of actual.
     pub within_10: f64,
+    /// Fraction of predictions within 5% of actual.
     pub within_5: f64,
+    /// Mean absolute relative error, in percent.
     pub mean_error_pct: f64,
+    /// Number of (actual, predicted) pairs summarized.
     pub n: usize,
 }
 
 impl AccuracySummary {
+    /// Summarize a set of (actual, predicted) pairs.
     pub fn from_pairs(pairs: &[(f64, f64)]) -> AccuracySummary {
         let n = pairs.len();
         if n == 0 {

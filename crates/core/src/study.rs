@@ -27,6 +27,7 @@ pub struct StudyConfig {
     /// Camera fill-factor range (stands in for the AP variation the paper
     /// got from varying MPI task counts).
     pub fill: (f32, f32),
+    /// RNG seed for the synthesized camera/fill sweep.
     pub seed: u64,
 }
 

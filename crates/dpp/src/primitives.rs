@@ -261,8 +261,11 @@ pub fn reverse_index(device: &Device, flags: &[u32], exscan: &[u32], count: u32)
 
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
-unsafe impl<T> Send for SendPtr<T> {}
-unsafe impl<T> Sync for SendPtr<T> {}
+// SAFETY: SendPtr is used only by the scatter in `reverse_index`, where the
+// exclusive scan gives every kept element a unique output slot; concurrent
+// writers never alias.
+unsafe impl<T> Send for SendPtr<T> {} // SAFETY: see above — unique slots only.
+unsafe impl<T> Sync for SendPtr<T> {} // SAFETY: see above — unique slots only.
 
 /// Stream compaction: return the indices `i` where `keep(i)` is true,
 /// preserving order. Built from map + scan + reverse-index, exactly as the
@@ -419,8 +422,11 @@ mod tests {
             assert_eq!(v[123], 123);
             let counter = std::sync::atomic::AtomicUsize::new(0);
             for_each(&d, 9000, |_| {
+                // ORDERING: Relaxed — commutative test counter, read after
+                // the region joins.
                 counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             });
+            // ORDERING: Relaxed — for_each joined above.
             assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 9000);
         }
     }

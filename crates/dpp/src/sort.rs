@@ -111,8 +111,11 @@ fn radix_pass_parallel(
     }
 
     struct Ptr<T>(*mut T);
-    unsafe impl<T> Send for Ptr<T> {}
-    unsafe impl<T> Sync for Ptr<T> {}
+    // SAFETY: Ptr is only shared across the scatter below, where every
+    // (chunk, bucket) pair writes a disjoint offset range of the output;
+    // no two threads ever touch the same slot.
+    unsafe impl<T> Send for Ptr<T> {} // SAFETY: see above — disjoint writes only.
+    unsafe impl<T> Sync for Ptr<T> {} // SAFETY: see above — disjoint writes only.
     let pk = Ptr(dst_k.as_mut_ptr());
     let pv = Ptr(dst_v.as_mut_ptr());
     let pk = &pk;

@@ -66,7 +66,10 @@ impl Comm {
     pub fn send(&self, dest: usize, tag: u32, payload: Vec<u8>) {
         assert!(dest < self.size, "send to rank {dest} of {}", self.size);
         let t = self.net.transfer_seconds(payload.len());
+        // ORDERING: Relaxed — per-rank accounting counters, only combined
+        // after World::run joins every rank thread.
         self.net_ns.fetch_add((t * 1e9) as u64, Ordering::Relaxed);
+        // ORDERING: Relaxed — same per-rank counter discipline as net_ns.
         self.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
         self.senders[dest]
             .send(Message { src: self.rank, tag, payload })
@@ -183,11 +186,13 @@ impl Comm {
 
     /// Simulated network seconds accumulated by this rank.
     pub fn network_seconds(&self) -> f64 {
+        // ORDERING: Relaxed — rank-local counter read on the owning rank.
         self.net_ns.load(Ordering::Relaxed) as f64 / 1e9
     }
 
     /// Payload bytes sent by this rank.
     pub fn bytes_sent(&self) -> u64 {
+        // ORDERING: Relaxed — rank-local counter read on the owning rank.
         self.bytes_sent.load(Ordering::Relaxed)
     }
 }
@@ -226,10 +231,15 @@ impl World {
             })
             .collect();
         let f = &f;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = comms.iter().map(|comm| scope.spawn(move || f(comm))).collect();
+        // Rank threads go through the crossbeam shim (not raw std::thread) so
+        // all of the repo's concurrency flows through the audited shim layer;
+        // the shim's `scope` reports child panics as `Err` instead of
+        // re-panicking, which we convert back into a rank-attributed panic.
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = comms.iter().map(|comm| scope.spawn(move |_| f(comm))).collect();
             handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
         })
+        .expect("rank scope panicked")
     }
 }
 
@@ -311,9 +321,12 @@ mod tests {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let counter = AtomicUsize::new(0);
         World::run(4, NetModel::zero(), |c| {
+            // ORDERING: SeqCst — the test asserts all increments are
+            // visible right after the barrier; keep the strongest order.
             counter.fetch_add(1, Ordering::SeqCst);
             c.barrier();
             // After the barrier every rank must observe all increments.
+            // ORDERING: SeqCst — paired with the fetch_add above.
             assert_eq!(counter.load(Ordering::SeqCst), 4);
         });
     }

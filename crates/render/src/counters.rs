@@ -131,17 +131,15 @@ impl AdmissionLog {
 
     /// Record one admission outcome for `cycle`.
     pub fn record(&mut self, cycle: i64, what: Admission) {
-        let entry = match self.cycles.last_mut() {
-            Some(e) if e.cycle == cycle => e,
-            _ => {
-                self.cycles.push(CycleAdmissions { cycle, ..CycleAdmissions::default() });
-                self.cycles.last_mut().unwrap()
+        if !matches!(self.cycles.last(), Some(e) if e.cycle == cycle) {
+            self.cycles.push(CycleAdmissions { cycle, ..CycleAdmissions::default() });
+        }
+        if let Some(entry) = self.cycles.last_mut() {
+            match what {
+                Admission::Admitted => entry.admitted += 1,
+                Admission::Degraded => entry.degraded += 1,
+                Admission::Rejected => entry.rejected += 1,
             }
-        };
-        match what {
-            Admission::Admitted => entry.admitted += 1,
-            Admission::Degraded => entry.degraded += 1,
-            Admission::Rejected => entry.rejected += 1,
         }
     }
 

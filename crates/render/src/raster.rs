@@ -121,27 +121,37 @@ pub fn rasterize(
     let counts: Vec<AtomicU32> = (0..n_tiles).map(|_| AtomicU32::new(0)).collect();
     phases.run("bin_count", vo as u64, || {
         dpp::for_each(device, vo, |vi| {
+            // xlint::allow(X006): visible[] only holds indices of triangles that projected to Some.
             let tri = screen[visible[vi] as usize].as_ref().unwrap();
             let (tx0, tx1, ty0, ty1) = tile_range(tri);
             for ty in ty0..=ty1 {
                 for tx in tx0..=tx1 {
+                    // ORDERING: Relaxed — commutative counter; the fork-join
+                    // barrier below is the only reader's sync edge.
                     counts[(ty * tiles_x + tx) as usize].fetch_add(1, Ordering::Relaxed);
                 }
             }
         })
     });
+    // ORDERING: Relaxed — read after the for_each joined; the join is the
+    // happens-before edge.
     let count_vals: Vec<u32> = counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
     let (offsets, total_pairs) = dpp::exclusive_scan_u32(device, &count_vals);
     let cursors: Vec<AtomicU32> = offsets.iter().map(|&o| AtomicU32::new(o)).collect();
     let bins: Vec<AtomicU32> = (0..total_pairs as usize).map(|_| AtomicU32::new(0)).collect();
     phases.run("bin_fill", vo as u64, || {
         dpp::for_each(device, vo, |vi| {
+            // xlint::allow(X006): visible[] only holds indices of triangles that projected to Some.
             let tri = screen[visible[vi] as usize].as_ref().unwrap();
             let (tx0, tx1, ty0, ty1) = tile_range(tri);
             for ty in ty0..=ty1 {
                 for tx in tx0..=tx1 {
-                    let slot =
-                        cursors[(ty * tiles_x + tx) as usize].fetch_add(1, Ordering::Relaxed);
+                    let cursor = &cursors[(ty * tiles_x + tx) as usize];
+                    // ORDERING: Relaxed — fetch_add hands each writer a
+                    // unique slot; the slot is written once and only read
+                    // after the region joins (and is sorted there anyway).
+                    let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                    // ORDERING: Relaxed — unique slot, read only after join.
                     bins[slot as usize].store(visible[vi], Ordering::Relaxed);
                 }
             }
@@ -170,17 +180,23 @@ pub fn rasterize(
                 // segment's contents do not). Restore ascending triangle
                 // order — the serial fill order — so z-buffer depth ties at
                 // shared edges resolve identically on every device.
-                let mut tris: Vec<u32> =
-                    bins[start..end].iter().map(|b| b.load(Ordering::Relaxed)).collect();
+                let mut tris: Vec<u32> = bins[start..end]
+                    .iter()
+                    // ORDERING: Relaxed — bin_fill joined before this region
+                    // started; fork-join gives the happens-before edge.
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect();
                 tris.sort_unstable();
                 let mut considered = 0u64;
                 for src in tris {
+                    // xlint::allow(X006): bins hold only visible[] entries, which all projected to Some.
                     let tri = screen[src as usize].as_ref().unwrap();
                     considered += raster_tri_into_tile(
                         geom, tri, x0, y0, x1, y1, tw, &mut color, &mut depth, colormap, shading,
                         camera,
                     );
                 }
+                // ORDERING: Relaxed — commutative statistics counter.
                 pixels_considered.fetch_add(considered, Ordering::Relaxed);
                 (tile as u32, color, depth)
             })
@@ -205,6 +221,7 @@ pub fn rasterize(
     }
 
     let active = count_if(device, frame.num_pixels(), |i| frame.color[i].a > 0.0);
+    // ORDERING: Relaxed — read after every parallel region joined.
     let pc = pixels_considered.load(Ordering::Relaxed);
     RasterOutput {
         stats: RasterStats {

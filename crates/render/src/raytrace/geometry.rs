@@ -2,7 +2,7 @@
 //! dissertation's study used for both CPU vectorization and GPU coalescing).
 
 use mesh::TriMesh;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vecmath::{Aabb, Vec3};
 
 /// SoA triangle soup: per-triangle base vertex and edge vectors (the
@@ -124,12 +124,21 @@ fn smooth_vertex_normals(mesh: &TriMesh) -> Vec<Vec3> {
         let q = (p - bounds.min) * inv_ext * 1_000_000.0;
         (q.x.round() as i64, q.y.round() as i64, q.z.round() as i64)
     };
-    let mut accum: HashMap<(i64, i64, i64), Vec3> = HashMap::new();
+    // Gather (vertex key, face normal) contributions and sum them in a
+    // canonical sorted order: the averaged normal is then bit-identical no
+    // matter how the input triangles are ordered, and the BTreeMap keeps the
+    // whole pass free of unspecified hash iteration order.
+    let mut contrib: Vec<((i64, i64, i64), Vec3)> = Vec::with_capacity(mesh.num_tris() * 3);
     for t in 0..mesh.num_tris() {
         let n = mesh.tri_normal(t); // area-weighted (unnormalized)
         for &vi in &mesh.tris[t] {
-            *accum.entry(quant(mesh.points[vi as usize])).or_insert(Vec3::ZERO) += n;
+            contrib.push((quant(mesh.points[vi as usize]), n));
         }
+    }
+    contrib.sort_by_key(|&(k, n)| (k, n.x.to_bits(), n.y.to_bits(), n.z.to_bits()));
+    let mut accum: BTreeMap<(i64, i64, i64), Vec3> = BTreeMap::new();
+    for (k, n) in contrib {
+        *accum.entry(k).or_insert(Vec3::ZERO) += n;
     }
     mesh.points.iter().map(|&p| accum[&quant(p)].normalized()).collect()
 }
@@ -200,6 +209,51 @@ mod tests {
         assert!(g.n1[0].y.abs() > 0.5);
         // And it differs from either face normal, which have |x| ~ 0.7.
         assert!(g.n0[0].x.abs() > 0.5);
+    }
+
+    #[test]
+    fn smooth_normals_are_input_order_independent() {
+        // Assemble the same tent with its triangles (and their corner rows)
+        // in opposite orders; every shared-position vertex must get a
+        // bit-identical averaged normal either way.
+        let fwd = TriMesh {
+            points: vec![
+                Vec3::new(-1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(0.0, 1.0, 1.0),
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 1.0),
+                Vec3::new(0.0, 1.0, 0.0),
+            ],
+            tris: vec![[0, 1, 2], [3, 4, 5]],
+            scalars: vec![0.0; 6],
+        };
+        let rev = TriMesh {
+            points: vec![
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 1.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(-1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(0.0, 1.0, 1.0),
+            ],
+            tris: vec![[0, 1, 2], [3, 4, 5]],
+            scalars: vec![0.0; 6],
+        };
+        let gf = TriGeometry::from_mesh_smooth(&fwd);
+        let gr = TriGeometry::from_mesh_smooth(&rev);
+        // fwd corner (tri 0, vertex 0) is rev corner (tri 1, vertex 0), etc.
+        let pairs = [
+            (gf.n0[0], gr.n0[1]), // (-1,0,0)
+            (gf.n1[0], gr.n2[1]), // ridge (0,1,0)
+            (gf.n2[0], gr.n1[1]), // ridge (0,1,1)
+            (gf.n0[1], gr.n0[0]), // (1,0,0)
+        ];
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            assert_eq!(a.x.to_bits(), b.x.to_bits(), "pair {i} x: {a:?} vs {b:?}");
+            assert_eq!(a.y.to_bits(), b.y.to_bits(), "pair {i} y");
+            assert_eq!(a.z.to_bits(), b.z.to_bits(), "pair {i} z");
+        }
     }
 
     #[test]

@@ -285,6 +285,8 @@ pub fn render_unstructured(
         phases.run("sampling", m as u64, || {
             // Reset this pass's slab.
             dpp::for_each(device, samples.len(), |i| {
+                // ORDERING: Relaxed — slots are data-raced only within one
+                // region; regions are separated by fork-join barriers.
                 samples[i].store(EMPTY, Ordering::Relaxed);
             });
             dpp::for_each(device, m, |a| {
@@ -328,12 +330,17 @@ pub fn render_unstructured(
                                 let value =
                                     tet.s[0] * l0 + tet.s[1] * l1 + tet.s[2] * l2 + tet.s[3] * l3;
                                 let slot = pix * slab + (sl - s_begin) as usize;
-                                samples[slot]
-                                    .fetch_max(tag | value.to_bits() as u64, Ordering::Relaxed);
+                                let tagged = tag | value.to_bits() as u64;
+                                // ORDERING: Relaxed — fetch_max is a
+                                // monotonic merge of (tet, value) tags; the
+                                // winner is scheduling-independent and is
+                                // read only after the region joins.
+                                samples[slot].fetch_max(tagged, Ordering::Relaxed);
                             }
                         }
                     }
                 }
+                // ORDERING: Relaxed — commutative statistics counter.
                 cells_tested.fetch_add(tested, Ordering::Relaxed);
             });
         });
@@ -349,6 +356,8 @@ pub fn render_unstructured(
                 }
                 let mut n_comp = 0u64;
                 for sl in 0..slab_this {
+                    // ORDERING: Relaxed — sampling joined before this
+                    // compositing region started.
                     let packed = samples[pix * slab + sl].load(Ordering::Relaxed);
                     if packed == EMPTY {
                         continue;
@@ -364,12 +373,14 @@ pub fn render_unstructured(
                     }
                 }
                 if n_comp > 0 {
+                    // ORDERING: Relaxed — commutative statistics counter.
                     composited.fetch_add(n_comp, Ordering::Relaxed);
                 }
                 c
             })
         });
         acc = new_acc;
+        // ORDERING: Relaxed — read after the region joined.
         total_composited += composited.load(Ordering::Relaxed);
     }
 
@@ -384,6 +395,7 @@ pub fn render_unstructured(
         }
     }
 
+    // ORDERING: Relaxed — read after every parallel region joined.
     let ct = cells_tested.load(Ordering::Relaxed);
     Ok(UvrOutput {
         stats: UvrStats {

@@ -268,8 +268,7 @@ pub fn run_budgeted_demo(sim: &mut dyn ProxySim, cfg: &DemoConfig) -> DemoReport
                 Decision::Reject => {}
             }
         }
-        sched.end_cycle();
-        let rec = sched.history.last().unwrap();
+        let Some(rec) = sched.end_cycle() else { continue };
         cycles.push(CycleOutcome {
             cycle: rec.cycle,
             level: rec.level,

@@ -276,6 +276,7 @@ impl Scheduler {
     /// frames stay at a coherent fidelity).
     pub fn decide(&mut self, req: RenderRequest) -> Decision {
         let (effective_budget, spent, build_charged) = {
+            // xlint::allow(X006): public-API misuse guard; the message is the contract.
             let cur = self.cur.as_ref().expect("decide() called outside begin_cycle()/end_cycle()");
             (cur.budget_s * self.cfg.safety, cur.spent_predicted_s, cur.build_charged)
         };
@@ -297,6 +298,7 @@ impl Scheduler {
             }
         }
 
+        // xlint::allow(X006): same guard as above — cur was checked at function entry.
         let cur = self.cur.as_mut().unwrap();
         cur.requests.push(req);
         match outcome {
@@ -383,9 +385,10 @@ impl Scheduler {
     }
 
     /// Close the cycle: refit models from the observation windows, decide
-    /// whether fidelity may recover, and append the cycle record.
-    pub fn end_cycle(&mut self) {
-        let Some(cur) = self.cur.take() else { return };
+    /// whether fidelity may recover, and append the cycle record. Returns the
+    /// record just appended, or `None` if no cycle was open.
+    pub fn end_cycle(&mut self) -> Option<&CycleRecord> {
+        let cur = self.cur.take()?;
         self.last_refit = self.refit.refit_into(&mut self.models);
         let level = self.ladder.level();
         let headroom = if level > 0 {
@@ -405,6 +408,7 @@ impl Scheduler {
             predicted_s: cur.spent_predicted_s,
             actual_s: cur.actual_s,
         });
+        self.history.last()
     }
 }
 

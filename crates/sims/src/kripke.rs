@@ -185,12 +185,16 @@ impl ProxySim for Kripke {
         let mut phi = vec![0.0f32; prev.len()];
         let weight = 4.0 * std::f32::consts::PI / OCTANTS.len() as f32;
         // Octant sweeps are independent given the previous iterate; sweep
-        // them in parallel with plain threads over octants.
-        let sweeps: Vec<Vec<f32>> = std::thread::scope(|s| {
+        // them in parallel on the crossbeam shim's scoped threads (the
+        // audited layer every repo thread goes through). Join order is fixed
+        // by octant index, so the += accumulation below stays deterministic.
+        let this = &*self;
+        let sweeps: Vec<Vec<f32>> = crossbeam::thread::scope(|s| {
             let handles: Vec<_> =
-                OCTANTS.iter().map(|dir| s.spawn(|| self.sweep(*dir, &prev))).collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
+                OCTANTS.iter().map(|dir| s.spawn(|_| this.sweep(*dir, &prev))).collect();
+            handles.into_iter().map(|h| h.join().expect("octant sweep panicked")).collect()
+        })
+        .expect("octant sweep scope panicked");
         for psi in sweeps {
             for (p, v) in phi.iter_mut().zip(psi) {
                 *p += weight * v;

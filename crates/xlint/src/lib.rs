@@ -1,0 +1,160 @@
+//! `xlint` — the repo-native static-analysis pass.
+//!
+//! Walks every `.rs` file under the configured roots (`crates/`, `src/`,
+//! `tests/`, `examples/` by default — the shims are deliberately *not*
+//! walked: they are the blessed implementation layer the lints push callers
+//! toward) and enforces the determinism & concurrency invariants behind the
+//! bit-exact-parallel guarantee. See DESIGN.md § "Determinism invariants"
+//! for the catalog rationale and `Lint` for the machine view.
+//!
+//! Findings can be silenced two ways, both leaving a written trail:
+//! * inline: `// xlint::allow(X00n): reason` on or directly above the line;
+//! * `xlint.toml` `[[baseline]]` entries for grandfathered debt.
+
+pub mod config;
+pub mod lints;
+pub mod mask;
+pub mod report;
+
+pub use config::{BaselineEntry, Config, ConfigError};
+pub use lints::{lint_file, FileReport, Finding, Lint, Waived};
+pub use report::{to_json, to_text, Report};
+
+use std::path::{Path, PathBuf};
+
+/// Collect every `.rs` file under `root` selected by the config, as sorted
+/// root-relative `/`-separated paths.
+pub fn collect_files(root: &Path, cfg: &Config) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for wr in &cfg.walk_roots {
+        let dir = root.join(wr);
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        } else if dir.is_file() && wr.ends_with(".rs") {
+            out.push(dir);
+        }
+    }
+    let mut rels: Vec<String> = out
+        .into_iter()
+        .filter_map(|p| {
+            let rel = p.strip_prefix(root).ok()?.to_string_lossy().replace('\\', "/");
+            let rel = rel.strip_prefix("./").unwrap_or(&rel).to_string();
+            let excluded = cfg.walk_exclude.iter().any(|e| rel.starts_with(e.as_str()))
+                || rel.split('/').any(|c| c == "target" || c == "fixtures");
+            (!excluded).then_some(rel)
+        })
+        .collect();
+    rels.sort();
+    rels.dedup();
+    Ok(rels)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            walk(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Load `xlint.toml` from `root` (defaults when absent), lint the tree, and
+/// apply the baseline. This is the whole programmatic entry point; the CLI
+/// and the workspace test are thin wrappers over it.
+pub fn run_root(root: &Path) -> Result<(Report, Config), String> {
+    let cfg_path = root.join("xlint.toml");
+    let cfg = if cfg_path.is_file() {
+        let text = std::fs::read_to_string(&cfg_path).map_err(|e| e.to_string())?;
+        config::parse(&text).map_err(|e| e.to_string())?
+    } else {
+        Config::default()
+    };
+    let report = run_with_config(root, &cfg)?;
+    Ok((report, cfg))
+}
+
+/// Lint the tree under `root` with an explicit config.
+pub fn run_with_config(root: &Path, cfg: &Config) -> Result<Report, String> {
+    let files = collect_files(root, cfg).map_err(|e| format!("walking {root:?}: {e}"))?;
+    let mut report = Report::default();
+    for rel in &files {
+        let source =
+            std::fs::read_to_string(root.join(rel)).map_err(|e| format!("reading {rel}: {e}"))?;
+        let fr = lint_file(rel, &source, cfg);
+        report.waived.extend(fr.waived);
+        report.active.extend(fr.findings);
+    }
+    apply_baseline(&mut report, cfg);
+    report.normalize();
+    Ok(report)
+}
+
+/// Move baseline-covered findings out of `active`, tracking leftover
+/// (stale) baseline capacity.
+fn apply_baseline(report: &mut Report, cfg: &Config) {
+    let mut remaining: Vec<(usize, BaselineEntry)> =
+        cfg.baseline.iter().map(|b| (b.count, b.clone())).collect();
+    let mut active = Vec::new();
+    for f in report.active.drain(..) {
+        let slot = remaining
+            .iter_mut()
+            .find(|(left, b)| *left > 0 && b.lint == f.lint.id() && b.file == f.file);
+        match slot {
+            Some((left, _)) => {
+                *left -= 1;
+                report.baselined.push(f);
+            }
+            None => active.push(f),
+        }
+    }
+    report.active = active;
+    report.stale_baseline = remaining
+        .into_iter()
+        .filter(|(left, _)| *left > 0)
+        .map(|(left, mut b)| {
+            b.count = left;
+            b
+        })
+        .collect();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_absorbs_up_to_count_and_reports_stale() {
+        let mut cfg = Config::for_fixtures();
+        cfg.baseline.push(BaselineEntry {
+            lint: "X001".into(),
+            file: "m.rs".into(),
+            count: 3,
+            reason: "legacy".into(),
+        });
+        let mut report = Report::default();
+        for line in [1, 2] {
+            report.active.push(Finding {
+                lint: Lint::X001,
+                file: "m.rs".into(),
+                line,
+                excerpt: String::new(),
+            });
+        }
+        report.active.push(Finding {
+            lint: Lint::X002,
+            file: "m.rs".into(),
+            line: 9,
+            excerpt: String::new(),
+        });
+        apply_baseline(&mut report, &cfg);
+        assert_eq!(report.active.len(), 1);
+        assert_eq!(report.baselined.len(), 2);
+        assert_eq!(report.stale_baseline.len(), 1);
+        assert_eq!(report.stale_baseline[0].count, 1);
+    }
+}

@@ -1,0 +1,441 @@
+//! The lint catalog and the per-file checking pass.
+//!
+//! Every lint is a repo-specific invariant backing the bit-exact-parallel
+//! guarantee (`tests/parallel_exactness.rs`) or the predicted-vs-measured
+//! discipline of the performance study; DESIGN.md ("Determinism invariants")
+//! documents the why of each. The checks are substring lints over the masked
+//! code view — deliberately simple, tuned to this codebase's idiom, and
+//! paired with an inline waiver syntax for the cases the heuristics get
+//! wrong: `// xlint::allow(X00n): reason`.
+
+use crate::config::Config;
+use crate::mask::{contains_word, mask, MaskedLine};
+
+/// The lint catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// Malformed waiver (missing reason). Never waivable itself.
+    X000,
+    /// Raw `std::thread::{spawn,scope}` / `std::sync::mpsc` outside the shims.
+    X001,
+    /// `unsafe` without an adjacent `// SAFETY:` comment.
+    X002,
+    /// Atomic `Ordering::` without an adjacent `// ORDERING:` justification.
+    X003,
+    /// Unordered parallel float reduction outside the shim.
+    X004,
+    /// `HashMap`/`HashSet` in a crate whose output bytes are pinned.
+    X005,
+    /// `unwrap`/`expect`/`panic!` in non-test library code of modeled crates.
+    X006,
+    /// Wall-clock reads outside the designated timing modules.
+    X007,
+}
+
+impl Lint {
+    /// Stable id string, e.g. `"X003"`.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Lint::X000 => "X000",
+            Lint::X001 => "X001",
+            Lint::X002 => "X002",
+            Lint::X003 => "X003",
+            Lint::X004 => "X004",
+            Lint::X005 => "X005",
+            Lint::X006 => "X006",
+            Lint::X007 => "X007",
+        }
+    }
+
+    /// One-line description of the violated invariant.
+    pub fn message(&self) -> &'static str {
+        match self {
+            Lint::X000 => "xlint waiver without a reason",
+            Lint::X001 => "raw std::thread / std::sync::mpsc outside the concurrency shims",
+            Lint::X002 => "`unsafe` without an adjacent `// SAFETY:` comment",
+            Lint::X003 => "atomic Ordering without an adjacent `// ORDERING:` justification",
+            Lint::X004 => "unordered parallel float reduction outside the shim",
+            Lint::X005 => "HashMap/HashSet in a byte-pinned crate",
+            Lint::X006 => "unwrap/expect/panic! in non-test library code",
+            Lint::X007 => "wall-clock read outside the designated timing modules",
+        }
+    }
+
+    /// How to fix (or legitimately silence) the finding.
+    pub fn hint(&self) -> &'static str {
+        match self {
+            Lint::X000 => "write `// xlint::allow(X00n): <reason>` — the reason is mandatory",
+            Lint::X001 => {
+                "use the crossbeam shim's scoped threads or the rayon shim's pool so the \
+                 parallel-exactness guarantees apply; channels go through crossbeam::channel"
+            }
+            Lint::X002 => "state the invariant that makes this sound in a `// SAFETY:` comment",
+            Lint::X003 => {
+                "justify why this memory ordering suffices in a `// ORDERING:` comment \
+                 (e.g. \"Relaxed: independent counter, read after join\")"
+            }
+            Lint::X004 => {
+                "float addition is order-sensitive: reduce via the shim's fixed fold-partition \
+                 (dpp::reduce) or collect and sum sequentially"
+            }
+            Lint::X005 => {
+                "iteration order of hashed containers is unspecified: use BTreeMap/BTreeSet \
+                 or sort before iterating"
+            }
+            Lint::X006 => "return the crate's error type instead of panicking",
+            Lint::X007 => {
+                "route timing through PhaseTimer / calibration / bench so predicted and \
+                 measured clocks can't silently mix; or add the module to \
+                 [x007].timing_modules in xlint.toml if it IS measurement code"
+            }
+        }
+    }
+}
+
+/// One reported lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which invariant was violated.
+    pub lint: Lint,
+    /// Root-relative `/`-separated path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+/// A finding silenced by an inline waiver, with the written reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waived {
+    /// The silenced finding.
+    pub finding: Finding,
+    /// The reason from the waiver comment.
+    pub reason: String,
+}
+
+/// Result of linting one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Findings that stand.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a well-formed waiver.
+    pub waived: Vec<Waived>,
+}
+
+const ATOMIC_ORDERINGS: [&str; 5] = [
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+const PAR_SOURCES: [&str; 5] =
+    ["par_iter", "into_par_iter", "par_chunks", "par_windows", "par_bridge"];
+
+const FLOAT_REDUCERS: [&str; 4] = ["sum::<f32>", "sum::<f64>", "product::<f32>", "product::<f64>"];
+
+fn path_in(rel: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| rel.starts_with(p.as_str()))
+}
+
+/// Mark the lines that are test code: the whole file when it lives under a
+/// `tests/` directory, plus the brace-spans of `#[cfg(test)]` / `#[test]`
+/// items.
+fn test_lines(rel: &str, lines: &[MaskedLine]) -> Vec<bool> {
+    let mut out = vec![false; lines.len()];
+    if rel.starts_with("tests/") || rel.contains("/tests/") {
+        out.iter_mut().for_each(|b| *b = true);
+        return out;
+    }
+    // Flatten to (line, char) stream for brace matching.
+    for (i, l) in lines.iter().enumerate() {
+        for attr in ["#[cfg(test)]", "#[test]"] {
+            if l.code.contains(attr) {
+                mark_following_brace_span(lines, i, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// From the attribute on `start`, find the next `{` and mark every line
+/// through its matching `}` as test code.
+fn mark_following_brace_span(lines: &[MaskedLine], start: usize, out: &mut [bool]) {
+    let mut depth = 0usize;
+    let mut opened = false;
+    for (i, l) in lines.iter().enumerate().skip(start) {
+        for c in l.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+            if opened && depth == 0 {
+                out[start..=i].iter_mut().for_each(|b| *b = true);
+                return;
+            }
+        }
+        // `#[test]\nfn x() {}` spans a few lines before the first `{`; a
+        // pathological attribute with no following brace marks to EOF.
+    }
+    out[start..].iter_mut().for_each(|b| *b = true);
+}
+
+/// The justification-comment adjacency rule: the marker counts if it appears
+/// in the comment on the same line or anywhere in the contiguous run of
+/// comment-only/blank lines immediately above.
+fn adjacent_comment_contains(lines: &[MaskedLine], at: usize, marker: &str) -> bool {
+    if lines[at].comment.contains(marker) {
+        return true;
+    }
+    let mut i = at;
+    while i > 0 {
+        i -= 1;
+        if !lines[i].is_comment_or_blank() {
+            return false;
+        }
+        if lines[i].comment.contains(marker) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Waiver lookup for `lint` at line `at`. Returns:
+/// `None` — no waiver present; `Some(Ok(reason))` — well-formed waiver;
+/// `Some(Err(line))` — waiver present but missing its reason (X000 at `line`).
+fn waiver_for(lines: &[MaskedLine], at: usize, lint: Lint) -> Option<Result<String, usize>> {
+    let check = |i: usize| -> Option<Result<String, usize>> {
+        let c = &lines[i].comment;
+        let pos = c.find("xlint::allow(")?;
+        let rest = &c[pos + "xlint::allow(".len()..];
+        let close = rest.find(')')?;
+        let ids: Vec<&str> = rest[..close].split(',').map(str::trim).collect();
+        if !ids.contains(&lint.id()) {
+            return None;
+        }
+        let after = rest[close + 1..].trim_start();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            Some(Err(i))
+        } else {
+            Some(Ok(reason.to_string()))
+        }
+    };
+    if let Some(r) = check(at) {
+        return Some(r);
+    }
+    let mut i = at;
+    while i > 0 {
+        i -= 1;
+        if !lines[i].is_comment_or_blank() {
+            return None;
+        }
+        if let Some(r) = check(i) {
+            return Some(r);
+        }
+    }
+    None
+}
+
+/// Lint one file. `rel` is the root-relative `/`-separated path used for all
+/// path-scoped decisions and reporting.
+pub fn lint_file(rel: &str, source: &str, cfg: &Config) -> FileReport {
+    let lines = mask(source);
+    let tests = test_lines(rel, &lines);
+    let mut report = FileReport::default();
+    let mut raw_hits: Vec<(Lint, usize)> = Vec::new();
+
+    for (i, l) in lines.iter().enumerate() {
+        let code = l.code.as_str();
+
+        // X001 — raw std concurrency primitives.
+        if code.contains("std::thread::spawn")
+            || code.contains("std::thread::scope")
+            || code.contains("std::sync::mpsc")
+        {
+            raw_hits.push((Lint::X001, i));
+        }
+
+        // X002 — unsafe without SAFETY.
+        if contains_word(code, "unsafe") && !adjacent_comment_contains(&lines, i, "SAFETY:") {
+            raw_hits.push((Lint::X002, i));
+        }
+
+        // X003 — atomic orderings without ORDERING.
+        if ATOMIC_ORDERINGS.iter().any(|o| code.contains(o))
+            && !adjacent_comment_contains(&lines, i, "ORDERING:")
+        {
+            raw_hits.push((Lint::X003, i));
+        }
+
+        // X004 — parallel float reduction. The reducer call and the `par_*`
+        // source may sit on different lines of one chained statement; walk
+        // back through the statement's continuation lines.
+        if FLOAT_REDUCERS.iter().any(|r| code.contains(r)) {
+            let mut stmt = String::new();
+            let mut j = i;
+            loop {
+                stmt.insert_str(0, lines[j].code.as_str());
+                if j == 0 {
+                    break;
+                }
+                let prev = lines[j - 1].code.trim_end();
+                if prev.ends_with(';') || prev.ends_with('{') || prev.ends_with('}') {
+                    break;
+                }
+                j -= 1;
+                if i - j > 12 {
+                    break;
+                }
+            }
+            if PAR_SOURCES.iter().any(|p| stmt.contains(p)) {
+                raw_hits.push((Lint::X004, i));
+            }
+        }
+
+        // X005 — hashed containers in byte-pinned crates.
+        if path_in(rel, &cfg.x005_pinned)
+            && (contains_word(code, "HashMap") || contains_word(code, "HashSet"))
+        {
+            raw_hits.push((Lint::X005, i));
+        }
+
+        // X006 — panics in non-test library code of the modeled crates.
+        if path_in(rel, &cfg.x006_scopes)
+            && !tests[i]
+            && (code.contains(".unwrap()")
+                || code.contains(".expect(")
+                || contains_word(code, "panic!"))
+        {
+            raw_hits.push((Lint::X006, i));
+        }
+
+        // X007 — wall-clock reads outside the timing modules.
+        if !path_in(rel, &cfg.x007_timing_modules)
+            && (code.contains("Instant::now") || contains_word(code, "SystemTime"))
+        {
+            raw_hits.push((Lint::X007, i));
+        }
+    }
+
+    for (lint, i) in raw_hits {
+        let finding = Finding {
+            lint,
+            file: rel.to_string(),
+            line: i + 1,
+            excerpt: lines[i].code.trim().to_string(),
+        };
+        match waiver_for(&lines, i, lint) {
+            Some(Ok(reason)) => report.waived.push(Waived { finding, reason }),
+            Some(Err(waiver_line)) => {
+                // Malformed waiver: report it AND let the original stand —
+                // a reasonless waiver must not buy silence.
+                report.findings.push(Finding {
+                    lint: Lint::X000,
+                    file: rel.to_string(),
+                    line: waiver_line + 1,
+                    excerpt: lines[waiver_line].comment.trim().to_string(),
+                });
+                report.findings.push(finding);
+            }
+            None => report.findings.push(finding),
+        }
+    }
+    report.findings.sort_by_key(|a| (a.line, a.lint));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::for_fixtures()
+    }
+
+    #[test]
+    fn x001_fires_and_waives() {
+        let src = "fn a() { std::thread::scope(|s| {}); }\n\
+                   // xlint::allow(X001): exercising the raw API on purpose\n\
+                   fn b() { std::thread::spawn(|| {}); }\n";
+        let r = lint_file("m/src/lib.rs", src, &cfg());
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].lint, Lint::X001);
+        assert_eq!(r.findings[0].line, 1);
+        assert_eq!(r.waived.len(), 1);
+        assert_eq!(r.waived[0].finding.line, 3);
+    }
+
+    #[test]
+    fn x002_safety_adjacency() {
+        let src = "// SAFETY: disjoint indices\nunsafe { go() }\n\nunsafe { bad() }\n";
+        let r = lint_file("m/src/lib.rs", src, &cfg());
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].line, 4);
+    }
+
+    #[test]
+    fn x003_ordering_same_line() {
+        let src = "x.load(Ordering::Relaxed); // ORDERING: counter, read after join\n\
+                   y.store(1, Ordering::SeqCst);\n";
+        let r = lint_file("m/src/lib.rs", src, &cfg());
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].lint, Lint::X003);
+        assert_eq!(r.findings[0].line, 2);
+    }
+
+    #[test]
+    fn x004_multiline_statement() {
+        let src = "let s = data\n    .par_iter()\n    .map(|x| x * 2.0)\n    .sum::<f32>();\n\
+                   let t = data.iter().sum::<f32>();\n";
+        let r = lint_file("m/src/lib.rs", src, &cfg());
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].lint, Lint::X004);
+        assert_eq!(r.findings[0].line, 4);
+    }
+
+    #[test]
+    fn x006_skips_test_mod() {
+        let src = "fn lib() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let r = lint_file("crates/core/src/lib.rs", src, &Config::default());
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].line, 1);
+    }
+
+    #[test]
+    fn x006_out_of_scope_crate_is_clean() {
+        let r = lint_file("crates/mesh/src/lib.rs", "fn f() { x.unwrap(); }\n", &Config::default());
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn x007_timing_module_allowlist() {
+        let mut c = cfg();
+        c.x007_timing_modules = vec!["m/src/timer.rs".to_string()];
+        let src = "let t0 = std::time::Instant::now();\n";
+        assert!(lint_file("m/src/timer.rs", src, &c).findings.is_empty());
+        assert_eq!(lint_file("m/src/other.rs", src, &c).findings.len(), 1);
+    }
+
+    #[test]
+    fn reasonless_waiver_is_x000_and_does_not_silence() {
+        let src = "// xlint::allow(X001)\nstd::thread::spawn(|| {});\n";
+        let r = lint_file("m/src/lib.rs", src, &cfg());
+        let ids: Vec<&str> = r.findings.iter().map(|f| f.lint.id()).collect();
+        assert!(ids.contains(&"X000") && ids.contains(&"X001"), "{ids:?}");
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = "// std::thread::spawn in prose\nlet s = \"Ordering::SeqCst unsafe\";\n";
+        let r = lint_file("m/src/lib.rs", src, &cfg());
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+}

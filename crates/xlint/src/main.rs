@@ -1,0 +1,82 @@
+//! CLI for the repo-native lint pass.
+//!
+//! ```text
+//! cargo run -p xlint --            # report findings, exit 0
+//! cargo run -p xlint -- --deny     # exit 1 on any non-baselined finding
+//! cargo run -p xlint -- --json     # machine-readable output
+//! cargo run -p xlint -- --root DIR # lint a different tree
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("xlint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: xlint [--deny] [--json] [--root DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("xlint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // `cargo run -p xlint` runs from the workspace root; fall back to the
+    // manifest's parent-of-parent so the binary also works when invoked from
+    // inside a crate directory.
+    let root = root.unwrap_or_else(workspace_root);
+
+    let (report, _cfg) = match xlint::run_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", xlint::to_json(&report));
+    } else {
+        print!("{}", xlint::to_text(&report));
+    }
+    if deny && !report.active.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Find the enclosing workspace root: the nearest ancestor of the current
+/// directory holding an `xlint.toml` or a `Cargo.toml` with `[workspace]`.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("xlint.toml").is_file() {
+            return dir;
+        }
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

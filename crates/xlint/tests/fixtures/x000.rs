@@ -1,0 +1,12 @@
+//! X000 — a waiver without a reason must not buy silence: the malformed
+//! waiver is reported AND the original finding stands.
+
+fn reasonless() {
+    // xlint::allow(X001)
+    std::thread::spawn(|| {});
+}
+
+fn well_formed() {
+    // xlint::allow(X001): fixture shows the well-formed counterpart
+    std::thread::spawn(|| {});
+}

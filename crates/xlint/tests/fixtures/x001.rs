@@ -1,0 +1,18 @@
+//! X001 — raw std concurrency primitives outside the shims.
+
+fn positive() {
+    std::thread::spawn(|| {});
+    std::thread::scope(|s| {
+        let _ = s;
+    });
+    let (_tx, _rx) = std::sync::mpsc::channel::<u32>();
+}
+
+fn waived() {
+    // xlint::allow(X001): fixture exercises the waiver path
+    std::thread::spawn(|| {});
+}
+
+fn negative() {
+    let _ = crossbeam::thread::scope(|_s| {});
+}

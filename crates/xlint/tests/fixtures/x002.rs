@@ -1,0 +1,25 @@
+//! X002 — `unsafe` without an adjacent `// SAFETY:` comment.
+
+fn positive(p: *mut f32) {
+    unsafe {
+        *p = 1.0;
+    }
+}
+
+fn waived(p: *mut f32) {
+    // xlint::allow(X002): fixture exercises the waiver path
+    unsafe {
+        *p = 2.0;
+    }
+}
+
+fn negative_block_above(p: *mut f32) {
+    // SAFETY: caller guarantees `p` is valid and exclusively owned.
+    unsafe {
+        *p = 3.0;
+    }
+}
+
+fn negative_same_line(p: *mut f32) -> f32 {
+    unsafe { *p } // SAFETY: caller guarantees `p` is valid.
+}

@@ -1,0 +1,19 @@
+//! X003 — atomic `Ordering::` without an adjacent `// ORDERING:` comment.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn positive(c: &AtomicU32) -> u32 {
+    c.store(1, Ordering::SeqCst);
+    c.load(Ordering::Acquire)
+}
+
+fn waived(c: &AtomicU32) {
+    // xlint::allow(X003): fixture exercises the waiver path
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+fn negative(c: &AtomicU32) -> u32 {
+    // ORDERING: Relaxed — commutative counter, read after join.
+    c.fetch_add(1, Ordering::Relaxed);
+    c.load(Ordering::Relaxed) // ORDERING: Relaxed — read after join.
+}

@@ -1,0 +1,25 @@
+//! X004 — unordered parallel float reduction (order-sensitive addition on a
+//! scheduling-dependent partition).
+
+fn positive_one_line(data: &[f32]) -> f32 {
+    data.par_iter().map(|x| x * 2.0).sum::<f32>()
+}
+
+fn positive_multiline(data: &[f64]) -> f64 {
+    data.par_iter()
+        .map(|x| x + 1.0)
+        .sum::<f64>()
+}
+
+fn waived(data: &[f32]) -> f32 {
+    // xlint::allow(X004): fixture exercises the waiver path
+    data.par_iter().map(|x| x * 3.0).sum::<f32>()
+}
+
+fn negative_sequential(data: &[f32]) -> f32 {
+    data.iter().sum::<f32>()
+}
+
+fn negative_integer(data: &[u64]) -> u64 {
+    data.par_iter().map(|x| x + 1).sum::<u64>()
+}

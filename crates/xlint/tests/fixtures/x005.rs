@@ -1,0 +1,22 @@
+//! X005 — hashed containers in a byte-pinned crate (iteration order leaks
+//! hasher state into pinned output).
+
+use std::collections::HashMap;
+
+fn positive() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: std::collections::HashSet<u32> = Default::default();
+    m.len() + s.len()
+}
+
+fn waived() -> usize {
+    // xlint::allow(X005): fixture exercises the waiver path
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len()
+}
+
+fn negative() -> usize {
+    let m: std::collections::BTreeMap<u32, u32> = Default::default();
+    let s: std::collections::BTreeSet<u32> = Default::default();
+    m.len() + s.len()
+}

@@ -1,0 +1,29 @@
+//! X006 — unwrap/expect/panic! in non-test library code.
+
+fn positive(v: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    let b = v.expect("fixture");
+    if a != b {
+        panic!("unreachable");
+    }
+    a
+}
+
+fn waived(v: Option<u32>) -> u32 {
+    // xlint::allow(X006): fixture exercises the waiver path
+    v.unwrap()
+}
+
+fn negative(v: Option<u32>) -> Result<u32, String> {
+    v.ok_or_else(|| "missing value".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        let _ = v.unwrap();
+        let _ = v.expect("tests may panic freely");
+    }
+}

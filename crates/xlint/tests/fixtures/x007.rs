@@ -1,0 +1,17 @@
+//! X007 — wall-clock reads outside the designated timing modules.
+
+fn positive() -> f64 {
+    let t0 = std::time::Instant::now();
+    let _epoch = std::time::SystemTime::UNIX_EPOCH;
+    t0.elapsed().as_secs_f64()
+}
+
+fn waived() -> std::time::Instant {
+    // xlint::allow(X007): fixture exercises the waiver path
+    std::time::Instant::now()
+}
+
+fn negative(measured_seconds: f64) -> f64 {
+    // Takes measured time as data instead of reading the clock.
+    measured_seconds * 2.0
+}

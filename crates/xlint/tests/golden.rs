@@ -1,0 +1,127 @@
+//! Golden-file tests: each fixture injects positive, waived, and negative
+//! cases for one lint; the full JSON report is pinned in
+//! `fixtures/x00N.expected.json`. Regenerate with
+//! `XLINT_BLESS=1 cargo test -p xlint --test golden` and review the diff.
+
+use std::fs;
+use std::path::PathBuf;
+use xlint::{lint_file, to_json, Config, Lint, Report};
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("fixtures")
+}
+
+fn run_fixture(name: &str) -> Report {
+    let src = fs::read_to_string(fixture_dir().join(format!("{name}.rs")))
+        .unwrap_or_else(|e| panic!("read fixture {name}.rs: {e}"));
+    let fr = lint_file(&format!("{name}.rs"), &src, &Config::for_fixtures());
+    let mut report = Report { active: fr.findings, waived: fr.waived, ..Default::default() };
+    report.normalize();
+    report
+}
+
+/// Compare against the pinned JSON, and independently assert the fixture's
+/// structure so a blind re-bless can't silently pin an empty report.
+fn check(name: &str, lint: Lint, min_active: usize, min_waived: usize) {
+    let report = run_fixture(name);
+    assert!(
+        report.active.iter().filter(|f| f.lint == lint).count() >= min_active,
+        "{name}: expected >= {min_active} active {} findings, got:\n{}",
+        lint.id(),
+        xlint::to_text(&report)
+    );
+    assert!(
+        report.waived.iter().filter(|w| w.finding.lint == lint).count() >= min_waived,
+        "{name}: expected >= {min_waived} waived {} findings, got:\n{}",
+        lint.id(),
+        xlint::to_text(&report)
+    );
+    for w in &report.waived {
+        assert!(!w.reason.trim().is_empty(), "{name}: waiver without reason");
+    }
+
+    let actual = to_json(&report);
+    let expected_path = fixture_dir().join(format!("{name}.expected.json"));
+    if std::env::var_os("XLINT_BLESS").is_some() {
+        fs::write(&expected_path, &actual).expect("write expected json");
+    }
+    let expected = fs::read_to_string(&expected_path)
+        .unwrap_or_else(|e| panic!("read {name}.expected.json ({e}); bless with XLINT_BLESS=1"));
+    assert_eq!(
+        actual, expected,
+        "{name}: report drifted from golden file; re-bless with XLINT_BLESS=1 if intended"
+    );
+}
+
+#[test]
+fn x000_reasonless_waiver() {
+    // The malformed waiver is reported and the underlying X001 still stands.
+    let report = run_fixture("x000");
+    assert!(report.active.iter().any(|f| f.lint == Lint::X000));
+    assert!(report.active.iter().any(|f| f.lint == Lint::X001));
+    check("x000", Lint::X000, 1, 0);
+}
+
+#[test]
+fn x001_raw_thread_primitives() {
+    check("x001", Lint::X001, 3, 1);
+}
+
+#[test]
+fn x002_unsafe_without_safety() {
+    check("x002", Lint::X002, 1, 1);
+}
+
+#[test]
+fn x003_ordering_without_justification() {
+    check("x003", Lint::X003, 2, 1);
+}
+
+#[test]
+fn x004_parallel_float_reduction() {
+    check("x004", Lint::X004, 2, 1);
+}
+
+#[test]
+fn x005_hashed_containers() {
+    check("x005", Lint::X005, 3, 1);
+}
+
+#[test]
+fn x006_panics_in_library_code() {
+    check("x006", Lint::X006, 3, 1);
+}
+
+#[test]
+fn x007_wall_clock_reads() {
+    check("x007", Lint::X007, 2, 1);
+}
+
+#[test]
+fn negatives_do_not_fire() {
+    // Every fixture's negative section must stay silent: the only active
+    // findings allowed are the fixture's own lint (plus the X000/X001 pair
+    // in the x000 fixture).
+    let allowed: &[(&str, &[Lint])] = &[
+        ("x000", &[Lint::X000, Lint::X001]),
+        ("x001", &[Lint::X001]),
+        ("x002", &[Lint::X002]),
+        ("x003", &[Lint::X003]),
+        ("x004", &[Lint::X004]),
+        ("x005", &[Lint::X005]),
+        ("x006", &[Lint::X006]),
+        ("x007", &[Lint::X007]),
+    ];
+    for (name, lints) in allowed {
+        let report = run_fixture(name);
+        for f in &report.active {
+            assert!(
+                lints.contains(&f.lint),
+                "{name}: unexpected {} at line {}: {}",
+                f.lint.id(),
+                f.line,
+                f.excerpt
+            );
+        }
+    }
+}
