@@ -27,6 +27,7 @@ fn bench_structured(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("raycast", samples), &cfg, |b, cfg| {
             b.iter(|| {
                 render_structured(&Device::parallel(), &grid, "scalar", &cam, 128, 128, &tf, cfg)
+                    .expect("bench render failed")
             })
         });
     }

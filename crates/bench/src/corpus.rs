@@ -9,7 +9,8 @@ use mpirt::NetModel;
 use perfmodel::feasibility::ModelSet;
 use perfmodel::mapping::MappingConstants;
 use perfmodel::models::{
-    CompositeModel, CompressedCompositeModel, ModelForm, RastModel, RtBuildModel, RtModel, VrModel,
+    CompositeModel, CompressedCompositeModel, DfbCompositeModel, ModelForm, RastModel,
+    RtBuildModel, RtModel, VrModel,
 };
 use perfmodel::sample::{CompositeSample, CompositeWire, RenderSample, RendererKind};
 use perfmodel::study::{run_composite_study_wired, run_render_study, StudyConfig};
@@ -35,9 +36,10 @@ fn cache_path(scale: Scale, kind: &str) -> std::path::PathBuf {
 /// only re-runs the study whose cache missed.
 pub fn ensure_corpus(scale: Scale) -> Corpus {
     let rp = cache_path(scale, "render");
-    // "composite2": the wired study tags each sample with its exchange kind;
-    // pre-wire caches (4-column rows, compressed only) must not be reused.
-    let cp = cache_path(scale, "composite2");
+    // "composite3": the wired study measures dense, compressed, *and* DFB
+    // exchanges per configuration; earlier caches lack the DFB rows and must
+    // not be reused.
+    let cp = cache_path(scale, "composite3");
 
     let mut render: Vec<RenderSample> = std::fs::read_to_string(&rp)
         .map(|text| perfmodel::sample::from_csv(&text))
@@ -50,7 +52,8 @@ pub fn ensure_corpus(scale: Scale) -> Corpus {
         for device in [Device::Serial, Device::parallel()] {
             for renderer in RENDERERS {
                 eprintln!("[study: {} x {} ...]", device.name(), renderer.name());
-                render.extend(run_render_study(&device, renderer, &study));
+                let run = run_render_study(&device, renderer, &study).expect("render study failed");
+                render.extend(run);
             }
         }
         let _ = std::fs::write(&rp, perfmodel::sample::to_csv(&render));
@@ -72,7 +75,8 @@ pub fn ensure_corpus(scale: Scale) -> Corpus {
             Scale::Full => (vec![2, 4, 8, 16, 32, 64], vec![512, 840, 1032, 1250, 1558, 2048]),
         };
         eprintln!("[compositing study ...]");
-        let composite = run_composite_study_wired(NetModel::cluster(), &tasks, &sides, 0xBEEF);
+        let composite = run_composite_study_wired(NetModel::cluster(), &tasks, &sides, 0xBEEF)
+            .expect("compositing study failed");
         let mut ctext = String::from(CompositeSample::CSV_HEADER);
         ctext.push('\n');
         for c in &composite {
@@ -115,6 +119,7 @@ impl Corpus {
         let vr = self.subset(device, RendererKind::VolumeRendering);
         let dense = self.composite_subset(CompositeWire::Dense);
         let compressed = self.composite_subset(CompositeWire::Compressed);
+        let dfb = self.composite_subset(CompositeWire::Dfb);
         ModelSet {
             device: device.to_string(),
             rt: RtModel.fit(&rt),
@@ -131,6 +136,7 @@ impl Corpus {
             } else {
                 Some(CompressedCompositeModel.fit(&compressed))
             },
+            comp_dfb: if dfb.is_empty() { None } else { Some(DfbCompositeModel.fit(&dfb)) },
         }
     }
 

@@ -103,7 +103,8 @@ pub fn figures_9_10(scale: Scale) {
             side,
             &tf,
             &render::volume_structured::SvrConfig::default(),
-        );
+        )
+        .expect("images: structured render failed");
         let mut f = out.frame;
         save(&mut f, "fig9_cloverleaf_volume");
     }

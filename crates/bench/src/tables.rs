@@ -15,8 +15,8 @@ use mesh::datasets::{surface_dataset_pool, tet_dataset_pool};
 use perfmodel::crossval::{k_fold, k_fold_accuracy};
 use perfmodel::mapping::{map_inputs, RenderConfig};
 use perfmodel::models::{
-    CompositeModel, CompressedCompositeModel, FittedLinearModel, ModelForm, RastModel,
-    RtBuildModel, RtModel, VrModel,
+    CompositeModel, CompressedCompositeModel, DfbCompositeModel, FittedLinearModel, ModelForm,
+    RastModel, RtBuildModel, RtModel, VrModel,
 };
 use perfmodel::sample::{CompositeWire, RendererKind};
 use perfmodel::stats::AccuracySummary;
@@ -599,7 +599,8 @@ pub fn table15(scale: Scale) -> TextTable {
             task_side,
             0.75,
             task_spr,
-        );
+        )
+        .expect("table-15 probe render failed");
         // The paper's Titan table compares *rendering* time only — "our
         // compositing model is not appropriate at the scale of 1024 MPI
         // tasks, so we do not present it here" (Section 5.7). We do the same.
@@ -656,7 +657,8 @@ pub fn table16(scale: Scale) -> TextTable {
         let dev = if device == "parallel" { Device::parallel() } else { Device::Serial };
         // Observed inputs come from a real render at the corpus's median
         // camera fill (the mapping's constants average over that range).
-        let observed = run_one(&dev, *renderer, *n, *side, 0.75);
+        let observed =
+            run_one(&dev, *renderer, *n, *side, 0.75).expect("table probe render failed");
         let cfg = RenderConfig {
             renderer: *renderer,
             cells_per_task: *n,
@@ -827,6 +829,83 @@ pub fn compression(scale: Scale) -> TextTable {
     t
 }
 
+/// DFB vs radix-k on the RLE wire: measured seconds (serialized timing
+/// pool), deterministic wire bytes, and what the fitted models predict for
+/// each configuration. The crossover lives in the winner columns: radix-k's
+/// `O(log Tasks)` barriered rounds win at small task counts, while the DFB's
+/// overlapped per-tile streams amortize their linear message tax and take
+/// over at scale.
+pub fn dfb(scale: Scale) -> TextTable {
+    use compositing::{dfb_compose_opts, radix_k_opts, CompositeMode, ExchangeOptions};
+    use mpirt::NetModel;
+    use perfmodel::sample::CompositeSample;
+    use perfmodel::study::{run_composite_study_wired, synth_rank_images};
+
+    let (tasks_list, sides): (&[usize], &[u32]) = match scale {
+        Scale::Quick => (&[2, 8, 64], &[256, 512]),
+        Scale::Full => (&[2, 8, 64], &[256, 512, 1024]),
+    };
+    let net = NetModel::cluster();
+    let samples =
+        run_composite_study_wired(net, tasks_list, sides, 31).expect("compositing study failed");
+    let rle: Vec<CompositeSample> =
+        samples.iter().filter(|s| s.wire == CompositeWire::Compressed).cloned().collect();
+    let dfbs: Vec<CompositeSample> =
+        samples.iter().filter(|s| s.wire == CompositeWire::Dfb).cloned().collect();
+    let rle_fit = CompressedCompositeModel.fit(&rle);
+    let dfb_fit = DfbCompositeModel.fit(&dfbs);
+
+    let mut t = TextTable::new(
+        "DFB vs radix-k (RLE wire): measured, wire bytes, model-predicted winner",
+        &[
+            "tasks",
+            "side",
+            "rk wire MB",
+            "dfb wire MB",
+            "rk sim s",
+            "dfb sim s",
+            "rk meas ms",
+            "dfb meas ms",
+            "rk pred ms",
+            "dfb pred ms",
+            "measured",
+            "predicted",
+        ],
+    );
+    let mode = CompositeMode::AlphaOrdered;
+    let winner = |rk: f64, df: f64| if df < rk { "dfb" } else { "radix-k" };
+    for &tasks in tasks_list {
+        let factors = compositing::algorithms::default_factors(tasks);
+        for &side in sides {
+            let images = synth_rank_images(tasks, side, 31);
+            let (_, rk) = radix_k_opts(&images, mode, net, &factors, ExchangeOptions::default());
+            let (_, df) = dfb_compose_opts(&images, mode, net, ExchangeOptions::default());
+            let px = side as f64 * side as f64;
+            let find = |set: &[CompositeSample]| {
+                set.iter().find(|s| s.tasks == tasks && s.pixels == px).cloned()
+            };
+            let (Some(rs), Some(ds)) = (find(&rle), find(&dfbs)) else { continue };
+            let rk_pred = CompressedCompositeModel.predict(&rle_fit, &rs);
+            let dfb_pred = DfbCompositeModel.predict(&dfb_fit, &ds);
+            t.row(vec![
+                tasks.to_string(),
+                side.to_string(),
+                format!("{:.2}", rk.total_bytes as f64 / 1e6),
+                format!("{:.2}", df.total_bytes as f64 / 1e6),
+                format!("{:.4}", rk.simulated_seconds),
+                format!("{:.4}", df.simulated_seconds),
+                format!("{:.3}", rs.seconds * 1e3),
+                format!("{:.3}", ds.seconds * 1e3),
+                format!("{:.3}", rk_pred * 1e3),
+                format!("{:.3}", dfb_pred * 1e3),
+                winner(rs.seconds, ds.seconds).to_string(),
+                winner(rk_pred, dfb_pred).to_string(),
+            ]);
+        }
+    }
+    t
+}
+
 /// Cross-validation (actual, predicted) pairs for figure 11.
 pub fn cv_pairs(
     corpus: &crate::corpus::Corpus,
@@ -850,6 +929,7 @@ pub fn composite_cv(
         .map(|s| match wire {
             CompositeWire::Dense => CompositeModel.features(s),
             CompositeWire::Compressed => CompressedCompositeModel.features(s),
+            CompositeWire::Dfb => DfbCompositeModel.features(s),
         })
         .collect();
     let ys: Vec<f64> = samples.iter().map(|s| s.seconds).collect();

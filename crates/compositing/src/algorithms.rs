@@ -112,8 +112,9 @@ pub fn reference(images: &[RankImage], mode: CompositeMode) -> RankImage {
 
 /// The representation a rank's in-flight fragment travels in: dense pixels
 /// or run-length spans. Both implement identical merge semantics, so the
-/// round loop is generic over the wire format.
-trait Fragment: Clone + Send + Sync {
+/// round loop (and the [`crate::dfb`] tile exchange) is generic over the
+/// wire format.
+pub(crate) trait Fragment: Clone + Send + Sync {
     fn from_image(img: &RankImage) -> Self;
     fn slice(&self, start: usize, end: usize) -> Self;
     fn merge_front(&mut self, front: &Self, mode: CompositeMode);

@@ -1,0 +1,466 @@
+//! Distributed FrameBuffer compositing — the async tile-based exchange.
+//!
+//! The round-structured algorithms in [`crate::algorithms`] advance every
+//! rank through barriered supersteps; a rank that finished its local work
+//! early still waits for the round's slowest member. Usher et al.'s
+//! *Distributed FrameBuffer* dissolves the barrier: the image is statically
+//! partitioned into fixed-size **tiles**, each owned by one rank
+//! (round-robin), and every rank streams its per-tile fragments to the
+//! owners as soon as its local rendering completes. Owners composite
+//! fragments *as they arrive*, overlapping one rank's communication with
+//! another's compute, and the exchange is done when the slowest rank's
+//! clock stops — not when the last barrier releases.
+//!
+//! **Determinism invariant (rank, depth):** arrival order is scheduling
+//! noise, so it must never reach the pixels. Each tile parks incoming
+//! fragments in a rank-indexed buffer (`TileBuffer`) and only ever folds
+//! the contiguous *suffix* of ranks already present, back (rank `p-1`) to
+//! front (rank 0). That is exactly the serial reference association
+//! (`reference` folds back-to-front), so the folded pixels are
+//! byte-identical to the reference — and to themselves under **any**
+//! arrival permutation. [`dfb_compose_shuffled`] exposes an adversarial
+//! entry point that delivers fragments in a seeded random permutation; the
+//! property tests pin that the pixels do not move.
+//!
+//! Timing runs on [`mpirt::EventWorld`]: fragment production and fold
+//! compute are *measured*, the wire is *modeled* (eager injection — the
+//! sender pays one message latency, the payload's transfer time rides the
+//! wire and delays only the receiver). [`dfb_compose_staggered`] seeds
+//! per-rank start clocks with render-completion times, so the overlap of
+//! rendering and compositing — the DFB's reason to exist — shows up in
+//! `simulated_seconds`.
+
+use crate::algorithms::{CompositeStats, ExchangeOptions, Fragment, RoundBytes};
+use crate::image::{CompositeMode, RankImage};
+use crate::rle::SpanImage;
+use mpirt::{EventWorld, NetModel};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Target pixels per tile. Fixed tile *size* (as in the DFB paper) means the
+/// tile count tracks the image, not the rank count: message granularity
+/// stays constant as ranks scale.
+pub const TILE_PIXELS: usize = 2048;
+
+/// Number of tiles an `n_px`-pixel image is split into.
+pub fn num_tiles(n_px: usize) -> usize {
+    n_px.div_ceil(TILE_PIXELS).max(1)
+}
+
+/// Pixel range `[start, end)` of tile `t` out of `tiles` over `n_px` pixels.
+fn tile_bounds(t: usize, tiles: usize, n_px: usize) -> (usize, usize) {
+    (t * n_px / tiles, (t + 1) * n_px / tiles)
+}
+
+/// Owning rank of tile `t`: static round-robin assignment.
+fn tile_owner(t: usize, ranks: usize) -> usize {
+    t % ranks
+}
+
+/// Arrival-order-proof accumulator for one tile's fragments.
+///
+/// Fragments may be inserted in any order; folding only ever consumes the
+/// contiguous suffix of ranks already present, back to front, so the
+/// result bits are a function of the fragments alone — never of the
+/// insertion permutation.
+struct TileBuffer<F> {
+    /// Fragments parked until their rank's turn, rank-indexed. A plain Vec:
+    /// iteration order must not depend on hasher state (X005).
+    pending: Vec<Option<F>>,
+    /// Folded suffix `[next, p)` — the back of the image so far.
+    acc: Option<F>,
+    /// Lowest rank already folded into `acc`; counts down from `p`.
+    next: usize,
+}
+
+impl<F: Fragment> TileBuffer<F> {
+    fn new(ranks: usize) -> TileBuffer<F> {
+        TileBuffer { pending: vec![None; ranks], acc: None, next: ranks }
+    }
+
+    /// Park `frag` and fold any newly contiguous suffix, returning the
+    /// measured fold seconds — the owner's compute for this delivery.
+    fn insert(&mut self, rank: usize, frag: F, mode: CompositeMode) -> f64 {
+        self.pending[rank] = Some(frag);
+        let t0 = Instant::now();
+        while self.next > 0 {
+            let Some(front) = self.pending[self.next - 1].take() else {
+                break;
+            };
+            self.next -= 1;
+            match self.acc.as_mut() {
+                None => self.acc = Some(front),
+                Some(back) => back.merge_front(&front, mode),
+            }
+        }
+        t0.elapsed().as_secs_f64()
+    }
+
+    /// The fully folded tile; `None` only if nothing was ever inserted.
+    fn finish(self) -> Option<F> {
+        self.acc
+    }
+}
+
+/// DFB composite with default options (compressed fragments).
+pub fn dfb_compose(
+    images: &[RankImage],
+    mode: CompositeMode,
+    net: NetModel,
+) -> (RankImage, CompositeStats) {
+    dfb_compose_opts(images, mode, net, ExchangeOptions::default())
+}
+
+/// [`dfb_compose`] with explicit exchange options.
+pub fn dfb_compose_opts(
+    images: &[RankImage],
+    mode: CompositeMode,
+    net: NetModel,
+    opts: ExchangeOptions,
+) -> (RankImage, CompositeStats) {
+    let starts = vec![0.0; images.len()];
+    dfb_compose_staggered(images, mode, net, opts, &starts)
+}
+
+/// DFB composite where rank `r`'s clock starts at `starts[r]` — its render
+/// completion time — so the exchange overlaps the staggered producer.
+/// Pixel output is independent of `starts`; only the stats change.
+pub fn dfb_compose_staggered(
+    images: &[RankImage],
+    mode: CompositeMode,
+    net: NetModel,
+    opts: ExchangeOptions,
+    starts: &[f64],
+) -> (RankImage, CompositeStats) {
+    if opts.compress {
+        run_dfb::<SpanImage>(images, mode, net, starts, None)
+    } else {
+        run_dfb::<RankImage>(images, mode, net, starts, None)
+    }
+}
+
+/// Adversarial entry point: deliver every tile's fragments in a seeded
+/// random permutation instead of arrival order. The determinism invariant
+/// says the pixels must be byte-identical to [`dfb_compose_opts`] for every
+/// seed; the property tests pin exactly that.
+pub fn dfb_compose_shuffled(
+    images: &[RankImage],
+    mode: CompositeMode,
+    net: NetModel,
+    opts: ExchangeOptions,
+    arrival_seed: u64,
+) -> (RankImage, CompositeStats) {
+    let starts = vec![0.0; images.len()];
+    if opts.compress {
+        run_dfb::<SpanImage>(images, mode, net, &starts, Some(arrival_seed))
+    } else {
+        run_dfb::<RankImage>(images, mode, net, &starts, Some(arrival_seed))
+    }
+}
+
+/// Deterministic Fisher–Yates driven by an inline xorshift stream.
+fn shuffle(order: &mut [usize], mut state: u64) {
+    state |= 1;
+    for i in (1..order.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        order.swap(i, (state as usize) % (i + 1));
+    }
+}
+
+/// One tile's composited result plus its (rank, fold-seconds) delivery trace.
+type MergedTile<F> = (Option<F>, Vec<(usize, f64)>);
+
+fn run_dfb<F: Fragment>(
+    images: &[RankImage],
+    mode: CompositeMode,
+    net: NetModel,
+    starts: &[f64],
+    arrival_seed: Option<u64>,
+) -> (RankImage, CompositeStats) {
+    let p = images.len();
+    assert!(p > 0);
+    assert_eq!(starts.len(), p, "one start clock per rank");
+    let width = images[0].width;
+    let height = images[0].height;
+    let n_px = images[0].num_pixels();
+    let bpp = RankImage::bytes_per_pixel(mode);
+    let tiles = num_tiles(n_px);
+
+    let mut world = EventWorld::with_starts(starts, net);
+    let mut compute_total = 0.0f64;
+
+    // 1. Fragment production: each rank encodes its image and slices it into
+    //    per-tile fragments as its local (render) work completes.
+    let produced: Vec<(Vec<F>, f64)> = images
+        .par_iter()
+        .map(|img| {
+            let t0 = Instant::now();
+            let whole = F::from_image(img);
+            let frags: Vec<F> = (0..tiles)
+                .map(|t| {
+                    let (s, e) = tile_bounds(t, tiles, n_px);
+                    whole.slice(s, e)
+                })
+                .collect();
+            (frags, t0.elapsed().as_secs_f64())
+        })
+        .collect();
+    for (r, (_, dt)) in produced.iter().enumerate() {
+        world.compute(r, *dt);
+        compute_total += *dt;
+    }
+
+    // 2. Scatter: every rank streams its non-owned tile fragments to the
+    //    owners, eagerly, in tile order. `arrival[t][r]` is when tile t's
+    //    fragment from rank r is available at the owner.
+    let mut arrival = vec![vec![0.0f64; p]; tiles];
+    for (r, (frags, _)) in produced.iter().enumerate() {
+        for (t, frag) in frags.iter().enumerate() {
+            if tile_owner(t, p) == r {
+                arrival[t][r] = world.now(r);
+            } else {
+                let (s, e) = tile_bounds(t, tiles, n_px);
+                arrival[t][r] = world.send(r, frag.wire_bytes(mode), (e - s) * bpp);
+            }
+        }
+    }
+    let scatter = RoundBytes { wire_bytes: world.total_bytes, dense_bytes: world.dense_bytes };
+
+    // 3. Delivery order per tile: arrival order (ties broken by rank), or an
+    //    adversarial permutation when a seed is given. The folded pixels must
+    //    not depend on this order — that is the invariant the arrival-order
+    //    property tests pin.
+    let orders: Vec<Vec<usize>> = (0..tiles)
+        .map(|t| {
+            let mut order: Vec<usize> = (0..p).collect();
+            match arrival_seed {
+                None => {
+                    order.sort_by(|&a, &b| arrival[t][a].total_cmp(&arrival[t][b]).then(a.cmp(&b)))
+                }
+                Some(seed) => {
+                    shuffle(&mut order, seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                }
+            }
+            order
+        })
+        .collect();
+
+    // 4. Tile merges — the pixel work, parallel over tiles: deliveries pass
+    //    through the TileBuffer in delivery order; each delivery's fold
+    //    compute is measured for the clock replay below.
+    let merged: Vec<MergedTile<F>> = orders
+        .par_iter()
+        .enumerate()
+        .map(|(t, order)| {
+            let mut buf = TileBuffer::new(p);
+            let folds: Vec<(usize, f64)> =
+                order.iter().map(|&r| (r, buf.insert(r, produced[r].0[t].clone(), mode))).collect();
+            (buf.finish(), folds)
+        })
+        .collect();
+
+    // 5. Clock replay: each tile's owner waits for a delivery, then folds.
+    for (t, (_, folds)) in merged.iter().enumerate() {
+        let owner = tile_owner(t, p);
+        for &(r, fold_s) in folds {
+            world.recv(owner, arrival[t][r]);
+            world.compute(owner, fold_s);
+            compute_total += fold_s;
+        }
+    }
+
+    // 6. Gather: owners ship finished tiles to rank 0, whose inbound link
+    //    drains one tile at a time (the round exchange's gather charges the
+    //    root the full incoming volume the same way).
+    let mut inbound: Vec<(f64, f64)> = Vec::new(); // (first-byte time, transfer seconds)
+    for (t, (frag, _)) in merged.iter().enumerate() {
+        let owner = tile_owner(t, p);
+        if owner == 0 {
+            continue;
+        }
+        if let Some(f) = frag {
+            let (s, e) = tile_bounds(t, tiles, n_px);
+            let wire = f.wire_bytes(mode);
+            let transfer = wire as f64 / net.bandwidth_bps;
+            let at = world.send(owner, wire, (e - s) * bpp);
+            inbound.push((at - transfer, transfer));
+        }
+    }
+    inbound.sort_by(|a, b| a.0.total_cmp(&b.0));
+    for (first_byte, transfer) in inbound {
+        let start = world.now(0).max(first_byte);
+        world.recv(0, start + transfer);
+    }
+    let gather = RoundBytes {
+        wire_bytes: world.total_bytes - scatter.wire_bytes,
+        dense_bytes: world.dense_bytes - scatter.dense_bytes,
+    };
+
+    // 7. Final assembly at the root.
+    let t_asm = Instant::now();
+    let mut out = RankImage::empty(width, height);
+    for (t, (frag, _)) in merged.iter().enumerate() {
+        if let Some(f) = frag {
+            let (s, _) = tile_bounds(t, tiles, n_px);
+            f.write_into(&mut out, s);
+        }
+    }
+    let asm = t_asm.elapsed().as_secs_f64();
+    world.compute(0, asm);
+    compute_total += asm;
+
+    let stats = CompositeStats {
+        simulated_seconds: world.elapsed(),
+        compute_seconds: compute_total,
+        total_bytes: world.total_bytes,
+        dense_bytes: world.dense_bytes,
+        per_round: vec![scatter, gather],
+        rounds: 2,
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::reference;
+    use rand::{Rng, SeedableRng};
+    use vecmath::Color;
+
+    fn make_images(p: usize, w: u32, h: u32, seed: u64) -> Vec<RankImage> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..p)
+            .map(|r| {
+                let mut img = RankImage::empty(w, h);
+                let n = img.num_pixels();
+                for i in 0..n {
+                    if rng.gen::<f32>() < 0.4 {
+                        let a = rng.gen::<f32>() * 0.8;
+                        img.color[i] = Color::new(
+                            rng.gen::<f32>() * a,
+                            rng.gen::<f32>() * a,
+                            rng.gen::<f32>() * a,
+                            a,
+                        );
+                        img.depth[i] = r as f32 + rng.gen::<f32>();
+                    }
+                }
+                img
+            })
+            .collect()
+    }
+
+    fn bits(img: &RankImage) -> Vec<u32> {
+        img.color
+            .iter()
+            .zip(img.depth.iter())
+            .flat_map(|(c, d)| {
+                [c.r.to_bits(), c.g.to_bits(), c.b.to_bits(), c.a.to_bits(), d.to_bits()]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_bit_exactly() {
+        for p in [1usize, 2, 5, 8] {
+            let imgs = make_images(p, 16, 9, 40 + p as u64);
+            for mode in [CompositeMode::ZBuffer, CompositeMode::AlphaOrdered] {
+                let expect = reference(&imgs, mode);
+                let (out, _) = dfb_compose(&imgs, mode, NetModel::cluster());
+                assert_eq!(bits(&out), bits(&expect), "p={p} {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_and_compressed_agree_bit_exactly() {
+        let imgs = make_images(6, 20, 11, 7);
+        for mode in [CompositeMode::ZBuffer, CompositeMode::AlphaOrdered] {
+            let (c, cs) =
+                dfb_compose_opts(&imgs, mode, NetModel::cluster(), ExchangeOptions::default());
+            let (d, ds) =
+                dfb_compose_opts(&imgs, mode, NetModel::cluster(), ExchangeOptions::dense());
+            assert_eq!(bits(&c), bits(&d), "{mode:?}");
+            assert_eq!(cs.dense_bytes, ds.dense_bytes, "{mode:?}");
+            assert_eq!(ds.total_bytes, ds.dense_bytes, "dense path is dense");
+            assert!(cs.total_bytes < ds.total_bytes, "sparse bands must compress");
+        }
+    }
+
+    #[test]
+    fn shuffled_arrivals_do_not_change_pixels() {
+        let imgs = make_images(7, 24, 13, 99);
+        for mode in [CompositeMode::ZBuffer, CompositeMode::AlphaOrdered] {
+            let (canonical, _) = dfb_compose(&imgs, mode, NetModel::cluster());
+            for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+                let (out, _) = dfb_compose_shuffled(
+                    &imgs,
+                    mode,
+                    NetModel::cluster(),
+                    ExchangeOptions::default(),
+                    seed,
+                );
+                assert_eq!(bits(&out), bits(&canonical), "seed={seed} {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_moves_no_bytes() {
+        let imgs = make_images(1, 10, 10, 5);
+        let (out, st) = dfb_compose(&imgs, CompositeMode::ZBuffer, NetModel::cluster());
+        assert_eq!(bits(&out), bits(&imgs[0]));
+        assert_eq!(st.total_bytes, 0);
+        assert_eq!(st.dense_bytes, 0);
+        assert_eq!(st.rounds, 2);
+    }
+
+    #[test]
+    fn per_round_tallies_sum_to_totals() {
+        let imgs = make_images(8, 64, 48, 21);
+        let (_, st) = dfb_compose(&imgs, CompositeMode::AlphaOrdered, NetModel::cluster());
+        assert_eq!(st.per_round.len(), 2);
+        let wire: u64 = st.per_round.iter().map(|r| r.wire_bytes).sum();
+        let dense: u64 = st.per_round.iter().map(|r| r.dense_bytes).sum();
+        assert_eq!(wire, st.total_bytes);
+        assert_eq!(dense, st.dense_bytes);
+        assert!(st.compression_ratio() > 1.0);
+        assert!(st.simulated_seconds > 0.0);
+        assert!(st.compute_seconds > 0.0);
+    }
+
+    #[test]
+    fn staggered_starts_floor_the_elapsed_time() {
+        let imgs = make_images(4, 32, 32, 3);
+        let starts = [0.0, 0.5, 1.0, 2.0];
+        let (out, st) = dfb_compose_staggered(
+            &imgs,
+            CompositeMode::AlphaOrdered,
+            NetModel::cluster(),
+            ExchangeOptions::default(),
+            &starts,
+        );
+        // The slowest producer bounds the exchange from below; pixels are
+        // unaffected by the stagger.
+        assert!(st.simulated_seconds >= 2.0);
+        let (plain, _) = dfb_compose(&imgs, CompositeMode::AlphaOrdered, NetModel::cluster());
+        assert_eq!(bits(&out), bits(&plain));
+    }
+
+    #[test]
+    fn tile_bounds_cover_every_pixel_once() {
+        for n_px in [1usize, 100, 2048, 2049, 65536, 65537] {
+            let tiles = num_tiles(n_px);
+            let mut next = 0usize;
+            for t in 0..tiles {
+                let (s, e) = tile_bounds(t, tiles, n_px);
+                assert_eq!(s, next, "n_px={n_px} t={t}");
+                assert!(e > s || n_px == 0);
+                next = e;
+            }
+            assert_eq!(next, n_px);
+        }
+    }
+}

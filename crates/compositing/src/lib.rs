@@ -20,8 +20,14 @@
 //! by default, mirroring IceT's compression of background pixels; pass
 //! [`ExchangeOptions::dense`] to the `*_opts` variants to measure the
 //! uncompressed exchange. Both produce pixel-identical output.
+//!
+//! A fourth, *asynchronous* mode lives in [`dfb`]: Distributed FrameBuffer
+//! tile compositing over the barrier-free [`mpirt::EventWorld`], which
+//! overlaps rendering with the exchange while staying byte-identical to the
+//! serial [`reference()`] under any fragment arrival order.
 
 pub mod algorithms;
+pub mod dfb;
 pub mod image;
 pub mod rle;
 
@@ -29,5 +35,6 @@ pub use algorithms::{
     binary_swap, binary_swap_opts, direct_send, direct_send_opts, radix_k, radix_k_opts, reference,
     CompositeStats, ExchangeOptions, RoundBytes,
 };
+pub use dfb::{dfb_compose, dfb_compose_opts, dfb_compose_shuffled, dfb_compose_staggered};
 pub use image::{CompositeMode, RankImage};
 pub use rle::SpanImage;

@@ -232,6 +232,7 @@ mod tests {
             vr: fit(vec![2e-10, 1e-9, 1e-2]),
             comp: fit(vec![2e-8, 5e-8, 1e-3]),
             comp_compressed: None,
+            comp_dfb: None,
         }
     }
 

@@ -5,8 +5,8 @@
 
 use crate::mapping::{map_inputs, MappingConstants, RenderConfig};
 use crate::models::{
-    CompositeModel, CompressedCompositeModel, FittedLinearModel, ModelForm, RastModel,
-    RtBuildModel, RtModel, VrModel,
+    CompositeModel, CompressedCompositeModel, DfbCompositeModel, FittedLinearModel, ModelForm,
+    RastModel, RtBuildModel, RtModel, VrModel,
 };
 use crate::sample::{CompositeSample, CompositeWire, RendererKind};
 
@@ -38,6 +38,11 @@ pub struct ModelSet {
     /// compressed-by-default wire path; `None` falls back to `comp` (and is
     /// what legacy persisted sets load as).
     pub comp_compressed: Option<FittedLinearModel>,
+    /// Overlapped-mode compositing model, fitted on Distributed FrameBuffer
+    /// wire timings. Only consulted when a caller asks for the
+    /// [`CompositeWire::Dfb`] wire; `None` falls back through
+    /// `comp_compressed` to `comp`.
+    pub comp_dfb: Option<FittedLinearModel>,
 }
 
 impl ModelSet {
@@ -51,6 +56,19 @@ impl ModelSet {
     /// [`implausible_models`](ModelSet::implausible_models) rather than rely
     /// on the clamp.
     pub fn predict_frame_seconds(&self, cfg: &RenderConfig, k: &MappingConstants) -> f64 {
+        self.predict_frame_seconds_wire(cfg, k, CompositeWire::Compressed)
+    }
+
+    /// [`predict_frame_seconds`](ModelSet::predict_frame_seconds) for an
+    /// explicit compositing wire. Missing per-wire models degrade along
+    /// `comp_dfb -> comp_compressed -> comp`, so a set without the newer
+    /// fits predicts exactly what it always did.
+    pub fn predict_frame_seconds_wire(
+        &self,
+        cfg: &RenderConfig,
+        k: &MappingConstants,
+        wire: CompositeWire,
+    ) -> f64 {
         let inputs = map_inputs(cfg, k);
         let local = match cfg.renderer {
             RendererKind::RayTracing => RtModel.predict(&self.rt, &inputs),
@@ -62,13 +80,26 @@ impl ModelSet {
             pixels: cfg.pixels as f64,
             avg_active_pixels: inputs.active_pixels,
             seconds: 0.0,
-            wire: CompositeWire::Compressed,
+            wire,
         };
-        let comp = match &self.comp_compressed {
-            Some(m) => CompressedCompositeModel.predict(m, &sample),
-            None => CompositeModel.predict(&self.comp, &sample),
-        };
+        let comp = self.predict_composite_seconds(&sample, wire);
         local.max(0.0) + comp.max(0.0)
+    }
+
+    /// Predicted compositing seconds for one sample shape under `wire`,
+    /// falling back through the model chain when newer fits are absent.
+    pub fn predict_composite_seconds(&self, sample: &CompositeSample, wire: CompositeWire) -> f64 {
+        if wire == CompositeWire::Dfb {
+            if let Some(m) = &self.comp_dfb {
+                return DfbCompositeModel.predict(m, sample);
+            }
+        }
+        match (&self.comp_compressed, wire) {
+            (Some(m), CompositeWire::Compressed | CompositeWire::Dfb) => {
+                CompressedCompositeModel.predict(m, sample)
+            }
+            _ => CompositeModel.predict(&self.comp, sample),
+        }
     }
 
     /// Names of models that fail the paper's plausibility criterion
@@ -83,7 +114,7 @@ impl ModelSet {
                 bad.push(m.name);
             }
         }
-        if let Some(m) = &self.comp_compressed {
+        for m in [&self.comp_compressed, &self.comp_dfb].into_iter().flatten() {
             if !m.fit.all_coeffs_nonnegative() {
                 bad.push(m.name);
             }
@@ -219,6 +250,7 @@ mod tests {
                 feature_names: vec!["avg(AP)", "Pixels", "1"],
             },
             comp_compressed: None,
+            comp_dfb: None,
         }
     }
 
@@ -326,8 +358,44 @@ mod tests {
             fit: LinearRegression::with_stats(vec![1e-8, 2.5e-8, -1e-4, 1e-3], 1.0, 0.0, 10),
             feature_names: vec!["avg(AP)", "Pixels", "AF", "1"],
         });
+        set.comp_dfb = Some(FittedLinearModel {
+            name: "compositing_dfb",
+            fit: LinearRegression::with_stats(vec![1e-8, 1e-9, -2e-6, 1e-4], 1.0, 0.0, 10),
+            feature_names: vec!["avg(AP)", "Pixels", "Tasks", "1"],
+        });
         assert!(!set.all_plausible());
-        assert_eq!(set.implausible_models(), vec!["volume_rendering", "compositing_compressed"]);
+        assert_eq!(
+            set.implausible_models(),
+            vec!["volume_rendering", "compositing_compressed", "compositing_dfb"]
+        );
+    }
+
+    #[test]
+    fn dfb_model_routes_only_the_dfb_wire() {
+        let k = MappingConstants::default();
+        let cfg = RenderConfig {
+            renderer: RendererKind::VolumeRendering,
+            cells_per_task: 200,
+            pixels: 1024 * 1024,
+            tasks: 32,
+        };
+        let mut set = toy_models();
+        let dense = set.predict_frame_seconds(&cfg, &k);
+        set.comp_dfb = Some(FittedLinearModel {
+            name: "compositing_dfb",
+            fit: LinearRegression::with_stats(vec![1e-8, 2e-8, 2e-6, 1e-4], 1.0, 0.0, 10),
+            feature_names: vec!["avg(AP)", "Pixels", "Tasks", "1"],
+        });
+        // Non-DFB wires are untouched, to the bit.
+        assert_eq!(set.predict_frame_seconds(&cfg, &k).to_bits(), dense.to_bits());
+        // The DFB wire routes through the overlapped-mode fit.
+        let dfb = set.predict_frame_seconds_wire(&cfg, &k, CompositeWire::Dfb);
+        assert!(dfb < dense, "{dfb} !< {dense}");
+        // Without a DFB fit, the DFB wire degrades to the compressed chain:
+        // here comp_compressed is None, so `comp` answers — same as dense.
+        set.comp_dfb = None;
+        let fallback = set.predict_frame_seconds_wire(&cfg, &k, CompositeWire::Dfb);
+        assert_eq!(fallback.to_bits(), dense.to_bits());
     }
 
     #[test]

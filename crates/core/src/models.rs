@@ -208,6 +208,42 @@ impl CompressedCompositeModel {
     }
 }
 
+/// Compositing model for the asynchronous Distributed FrameBuffer exchange.
+/// The DFB has no barriered rounds; its time is dominated by per-tile
+/// message handling (the tile count scales with `Pixels`, the per-rank
+/// scatter fan-out with `Tasks`) plus the fold compute over active pixels:
+/// `T_COMP = c0*avg(AP) + c1*Pixels + c2*Tasks + c3`.
+///
+/// The explicit `Tasks` column is what lets the fit predict the crossover
+/// against radix-k: the round exchange pays `O(log Tasks)` barriered rounds
+/// while the DFB pays a linear-in-`Tasks` message tax that overlapped
+/// transfers amortize at scale.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DfbCompositeModel;
+
+impl DfbCompositeModel {
+    /// Feature vector `[avg(AP), Pixels, Tasks, 1]` for one sample.
+    pub fn features(&self, s: &CompositeSample) -> Vec<f64> {
+        vec![s.avg_active_pixels, s.pixels, s.tasks as f64, 1.0]
+    }
+
+    /// Fit the DFB compositing model to measured samples.
+    pub fn fit(&self, samples: &[CompositeSample]) -> FittedLinearModel {
+        let xs: Vec<Vec<f64>> = samples.iter().map(|s| self.features(s)).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.seconds).collect();
+        FittedLinearModel {
+            name: "compositing_dfb",
+            fit: LinearRegression::fit(&xs, &ys),
+            feature_names: vec!["avg(AP)", "Pixels", "Tasks", "1"],
+        }
+    }
+
+    /// Predicted seconds for one sample under `fitted`.
+    pub fn predict(&self, fitted: &FittedLinearModel, s: &CompositeSample) -> f64 {
+        fitted.fit.predict(&self.features(s))
+    }
+}
+
 /// The multi-node total: `max_tasks(T_LR) + T_COMP` (Equation 5.4).
 pub fn total_time(per_task_render_seconds: &[f64], compositing_seconds: f64) -> f64 {
     per_task_render_seconds.iter().copied().fold(0.0, f64::max) + compositing_seconds
@@ -333,6 +369,32 @@ mod tests {
         assert!(!fitted.fit.condition_warning);
         let pred = CompressedCompositeModel.predict(&fitted, &samples[7]);
         assert!((pred - samples[7].seconds).abs() / samples[7].seconds < 1e-6);
+    }
+
+    #[test]
+    fn dfb_composite_model_recovers_message_tax() {
+        // Planted law with a per-task (message fan-out) term the barriered
+        // models cannot express.
+        let c = [4e-8, 9e-9, 2e-6, 3e-4];
+        let samples: Vec<CompositeSample> = (1..30)
+            .map(|i| {
+                let px = 5e4 * (1 + i % 5) as f64;
+                let tasks = 1usize << (i % 8);
+                let ap = px * 0.3 / (1.0 + (i % 3) as f64);
+                CompositeSample {
+                    tasks,
+                    pixels: px,
+                    avg_active_pixels: ap,
+                    seconds: c[0] * ap + c[1] * px + c[2] * tasks as f64 + c[3],
+                    wire: crate::sample::CompositeWire::Dfb,
+                }
+            })
+            .collect();
+        let fitted = DfbCompositeModel.fit(&samples);
+        assert!(fitted.r_squared() > 0.9999, "r2 = {}", fitted.r_squared());
+        assert!((fitted.coeffs()[2] - c[2]).abs() / c[2] < 1e-6);
+        let pred = DfbCompositeModel.predict(&fitted, &samples[9]);
+        assert!((pred - samples[9].seconds).abs() / samples[9].seconds < 1e-6);
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub fn to_text(set: &ModelSet, k: &MappingConstants) -> String {
     if let Some(m) = &set.comp_compressed {
         records.push(("comp_rle", m));
     }
+    if let Some(m) = &set.comp_dfb {
+        records.push(("comp_dfb", m));
+    }
     for (tag, m) in records {
         let coeffs: Vec<String> = m.fit.coeffs.iter().map(|c| format!("{c:e}")).collect();
         out.push_str(&format!(
@@ -79,6 +82,7 @@ fn parse_model(parts: &[&str]) -> Result<FittedLinearModel, ParseError> {
         "volume_rendering" => "volume_rendering",
         "compositing" => "compositing",
         "compositing_compressed" => "compositing_compressed",
+        "compositing_dfb" => "compositing_dfb",
         other => return Err(ParseError(format!("unknown model name {other}"))),
     };
     let coeffs: Result<Vec<f64>, _> =
@@ -122,6 +126,7 @@ pub fn from_text(text: &str) -> Result<(ModelSet, MappingConstants), ParseError>
     let mut vr = None;
     let mut comp = None;
     let mut comp_compressed = None;
+    let mut comp_dfb = None;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
         let parts: Vec<&str> = line.split('|').collect();
         match parts[0] {
@@ -153,6 +158,7 @@ pub fn from_text(text: &str) -> Result<(ModelSet, MappingConstants), ParseError>
                     "vr" => vr = Some(m),
                     "comp" => comp = Some(m),
                     "comp_rle" => comp_compressed = Some(m),
+                    "comp_dfb" => comp_dfb = Some(m),
                     other => return Err(ParseError(format!("unknown model tag {other}"))),
                 }
             }
@@ -171,6 +177,7 @@ pub fn from_text(text: &str) -> Result<(ModelSet, MappingConstants), ParseError>
             vr: need(vr, "vr")?,
             comp: need(comp, "comp")?,
             comp_compressed,
+            comp_dfb,
         },
         k,
     ))
@@ -208,6 +215,7 @@ mod tests {
                 vr: fit("volume_rendering", vec![2e-10, 1e-9, 1e-2]),
                 comp: fit("compositing", vec![2e-8, 5e-8, 1e-3]),
                 comp_compressed: Some(fit("compositing_compressed", vec![3e-8, 2e-8, 2e-4, 8e-4])),
+                comp_dfb: Some(fit("compositing_dfb", vec![4e-8, 9e-9, 2e-6, 3e-4])),
             },
             MappingConstants { ap_fill: 0.31, ppt_factor: 4.5, spr_base: 210.0 },
         )
@@ -224,6 +232,10 @@ mod tests {
         assert_eq!(
             set2.comp_compressed.as_ref().unwrap().fit.coeffs,
             set.comp_compressed.as_ref().unwrap().fit.coeffs
+        );
+        assert_eq!(
+            set2.comp_dfb.as_ref().unwrap().fit.coeffs,
+            set.comp_dfb.as_ref().unwrap().fit.coeffs
         );
         assert_eq!(set2.vr.fit.n, 25);
         assert_eq!(k2.ap_fill, k.ap_fill);
@@ -273,6 +285,12 @@ mod tests {
                 0.9999999999999999,
                 f64::EPSILON,
             )),
+            comp_dfb: Some(fit(
+                "compositing_dfb",
+                vec![f64::MIN_POSITIVE, -0.0, 1e-6 + 1e-22, 2.0_f64.powi(60)],
+                0.3333333333333333,
+                f64::MIN_POSITIVE,
+            )),
         };
         let k = MappingConstants {
             ap_fill: 0.5500000000000001,
@@ -287,6 +305,7 @@ mod tests {
             (&set.vr, &set2.vr),
             (&set.comp, &set2.comp),
             (set.comp_compressed.as_ref().unwrap(), set2.comp_compressed.as_ref().unwrap()),
+            (set.comp_dfb.as_ref().unwrap(), set2.comp_dfb.as_ref().unwrap()),
         ];
         for (a, b) in pairs {
             assert_eq!(a.fit.coeffs.len(), b.fit.coeffs.len());
@@ -335,6 +354,7 @@ model|comp|name=compositing|r2=0.97|resid=0.0001|n=25|coeffs=2e-8;5e-8;1e-3
         assert_eq!(set.device, "parallel");
         assert_eq!(set.comp.fit.coeffs, vec![2e-8, 5e-8, 1e-3]);
         assert!(set.comp_compressed.is_none());
+        assert!(set.comp_dfb.is_none());
         // Diagnostics default to a clean full-rank fit.
         assert!(!set.vr.fit.condition_warning);
         assert_eq!(set.vr.fit.effective_rank, 3);

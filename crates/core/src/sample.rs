@@ -113,8 +113,9 @@ impl RenderSample {
 }
 
 /// Which exchange the wire bytes of a compositing measurement traveled as:
-/// dense full-image fragments, or run-length-compressed active-pixel spans
-/// (the default wire path since the RLE compositing change).
+/// dense full-image fragments, run-length-compressed active-pixel spans
+/// (the default wire path since the RLE compositing change), or the
+/// asynchronous per-tile Distributed FrameBuffer exchange.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CompositeWire {
     /// Full-image fragments, uncompressed.
@@ -122,6 +123,8 @@ pub enum CompositeWire {
     #[default]
     /// Run-length-encoded active-pixel spans.
     Compressed,
+    /// Message-driven per-tile exchange (compressed fragments, no barrier).
+    Dfb,
 }
 
 impl CompositeWire {
@@ -130,6 +133,7 @@ impl CompositeWire {
         match self {
             CompositeWire::Dense => "dense",
             CompositeWire::Compressed => "compressed",
+            CompositeWire::Dfb => "dfb",
         }
     }
 
@@ -138,6 +142,7 @@ impl CompositeWire {
         match s {
             "dense" => Some(CompositeWire::Dense),
             "compressed" => Some(CompositeWire::Compressed),
+            "dfb" => Some(CompositeWire::Dfb),
             _ => None,
         }
     }
@@ -284,6 +289,20 @@ mod tests {
         assert_eq!(back.tasks, 16);
         assert!(CompositeSample::from_csv_row("16,1e6,4e4,0.02,teleported").is_none());
         assert!(CompositeSample::from_csv_row("16,1e6,4e4").is_none());
+    }
+
+    #[test]
+    fn dfb_wire_rows_round_trip() {
+        let c = CompositeSample {
+            tasks: 64,
+            pixels: 65536.0,
+            avg_active_pixels: 9000.0,
+            seconds: 0.001,
+            wire: CompositeWire::Dfb,
+        };
+        let back = CompositeSample::from_csv_row(&c.to_csv_row()).unwrap();
+        assert_eq!(back.wire, CompositeWire::Dfb);
+        assert_eq!(CompositeWire::parse("dfb"), Some(CompositeWire::Dfb));
     }
 
     #[test]

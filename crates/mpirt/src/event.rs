@@ -1,0 +1,154 @@
+//! Event-driven progress model for overlapped (non-barriered) exchanges.
+//!
+//! [`LockstepWorld`](crate::lockstep::LockstepWorld) advances all ranks one
+//! superstep at a time — the right shape for round-structured algorithms with
+//! a global barrier between rounds. Message-driven compositing (the
+//! Distributed FrameBuffer) has no such barrier: each rank emits messages as
+//! soon as its local work finishes, receivers make progress the moment data
+//! arrives, and the exchange's elapsed time is the maximum over per-rank
+//! completion clocks rather than a sum of per-round maxima.
+//!
+//! [`EventWorld`] models that: every simulated rank carries its own clock.
+//! Local compute advances the owning rank's clock only; a send charges the
+//! sender an injection overhead of one message latency (MPI-style eager
+//! send — the NIC drains the buffer, the CPU moves on) and yields the
+//! message's arrival time `inject_time + latency + bytes/bandwidth`; a
+//! receive blocks the receiver until `max(own clock, arrival)`. The elapsed
+//! time of the whole exchange is the slowest rank's clock — overlap between
+//! one rank's compute and another's communication is captured for free.
+//!
+//! Byte accounting matches the lockstep executor: `total_bytes` is
+//! post-compression wire traffic, `dense_bytes` what the same sends would
+//! have cost uncompressed, and the clock always advances on wire bytes.
+
+use crate::net::NetModel;
+
+/// Per-rank-clock executor for message-driven exchanges.
+#[derive(Debug, Clone)]
+pub struct EventWorld {
+    net: NetModel,
+    /// One simulated clock per rank, in seconds.
+    clock: Vec<f64>,
+    /// Total wire bytes sent across all ranks.
+    pub total_bytes: u64,
+    /// Bytes the same sends would have moved uncompressed.
+    pub dense_bytes: u64,
+    /// Messages injected.
+    pub messages: u64,
+}
+
+impl EventWorld {
+    /// A world of `size` ranks with all clocks at zero.
+    pub fn new(size: usize, net: NetModel) -> EventWorld {
+        EventWorld { net, clock: vec![0.0; size], total_bytes: 0, dense_bytes: 0, messages: 0 }
+    }
+
+    /// A world whose rank clocks start at `starts` — e.g. per-rank render
+    /// completion times, so the exchange overlaps a staggered producer.
+    pub fn with_starts(starts: &[f64], net: NetModel) -> EventWorld {
+        EventWorld { net, clock: starts.to_vec(), total_bytes: 0, dense_bytes: 0, messages: 0 }
+    }
+
+    /// Number of simulated ranks.
+    pub fn size(&self) -> usize {
+        self.clock.len()
+    }
+
+    /// Rank `rank`'s current clock.
+    pub fn now(&self, rank: usize) -> f64 {
+        self.clock[rank]
+    }
+
+    /// Advance `rank`'s clock by `seconds` of local compute.
+    pub fn compute(&mut self, rank: usize, seconds: f64) {
+        self.clock[rank] += seconds;
+    }
+
+    /// Inject a message of `wire_bytes` from `from`: the sender pays one
+    /// message latency (eager-send injection), the wire carries the payload
+    /// behind it. Returns the arrival time at the destination; pair with
+    /// [`EventWorld::recv`] on the receiving rank.
+    pub fn send(&mut self, from: usize, wire_bytes: usize, bytes_dense: usize) -> f64 {
+        self.clock[from] += self.net.latency_s;
+        self.total_bytes += wire_bytes as u64;
+        self.dense_bytes += bytes_dense as u64;
+        self.messages += 1;
+        self.clock[from] + wire_bytes as f64 / self.net.bandwidth_bps
+    }
+
+    /// Block `rank` until a message that arrives at `arrival` is available.
+    pub fn recv(&mut self, rank: usize, arrival: f64) {
+        if arrival > self.clock[rank] {
+            self.clock[rank] = arrival;
+        }
+    }
+
+    /// Simulated elapsed seconds: the slowest rank's clock.
+    pub fn elapsed(&self) -> f64 {
+        self.clock.iter().fold(0.0f64, |a, &b| a.max(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clocks_are_independent_until_messages_couple_them() {
+        let mut w = EventWorld::new(3, NetModel::zero());
+        w.compute(0, 0.5);
+        w.compute(1, 0.1);
+        assert_eq!(w.now(0), 0.5);
+        assert_eq!(w.now(1), 0.1);
+        assert_eq!(w.now(2), 0.0);
+        assert_eq!(w.elapsed(), 0.5);
+        // A message from the slow rank drags the receiver forward.
+        let arrival = w.send(0, 100, 100);
+        w.recv(2, arrival);
+        assert_eq!(w.now(2), 0.5);
+    }
+
+    #[test]
+    fn send_charges_latency_to_sender_and_transfer_to_arrival() {
+        let net = NetModel { latency_s: 1e-3, bandwidth_bps: 1e6 };
+        let mut w = EventWorld::new(2, net);
+        let arrival = w.send(0, 1000, 1000);
+        // Sender paid injection latency only; the 1 ms transfer rides the wire.
+        assert!((w.now(0) - 1e-3).abs() < 1e-12);
+        assert!((arrival - 2e-3).abs() < 1e-12);
+        w.recv(1, arrival);
+        assert!((w.now(1) - 2e-3).abs() < 1e-12);
+        assert_eq!(w.messages, 1);
+    }
+
+    #[test]
+    fn recv_is_free_when_data_already_arrived() {
+        let mut w = EventWorld::new(2, NetModel::zero());
+        w.compute(1, 1.0);
+        let arrival = w.send(0, 64, 64);
+        w.recv(1, arrival); // arrived long ago; no wait
+        assert_eq!(w.now(1), 1.0);
+    }
+
+    #[test]
+    fn wire_and_dense_bytes_tallied_separately() {
+        let mut w = EventWorld::new(2, NetModel::cluster());
+        w.send(0, 250, 1000);
+        w.send(1, 100, 100);
+        assert_eq!(w.total_bytes, 350);
+        assert_eq!(w.dense_bytes, 1100);
+        assert_eq!(w.messages, 2);
+    }
+
+    #[test]
+    fn staggered_starts_overlap_the_exchange() {
+        // Rank 1 finishes rendering late; rank 0's send overlaps that work,
+        // so the exchange adds nothing beyond rank 1's own receive.
+        let net = NetModel { latency_s: 0.0, bandwidth_bps: 1e6 };
+        let mut w = EventWorld::with_starts(&[0.0, 2.0], net);
+        let arrival = w.send(0, 1_000_000, 1_000_000); // 1 s transfer, arrives at t=1
+        w.recv(1, arrival);
+        assert_eq!(w.now(1), 2.0); // already past the arrival: fully hidden
+        assert_eq!(w.elapsed(), 2.0);
+    }
+}

@@ -15,10 +15,15 @@
 //!   rank counts where a thread per rank is not sensible (1024-rank
 //!   compositing): ranks advance in synchronized supersteps and simulated
 //!   time is `max` over ranks per round.
+//! * [`event`] — a per-rank-clock executor for message-driven exchanges with
+//!   no global barrier (the Distributed FrameBuffer): elapsed time is the
+//!   slowest rank's clock, so compute/communication overlap is captured.
 
+pub mod event;
 pub mod lockstep;
 pub mod net;
 
+pub use event::EventWorld;
 pub use lockstep::{LockstepWorld, RoundCost};
 pub use net::NetModel;
 

@@ -30,6 +30,22 @@ impl Default for SvrConfig {
     }
 }
 
+/// Failure modes, mirroring [`crate::volume_unstructured::UvrError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SvrError {
+    MissingField(String),
+}
+
+impl std::fmt::Display for SvrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SvrError::MissingField(n) => write!(f, "no point field named {n}"),
+        }
+    }
+}
+
+impl std::error::Error for SvrError {}
+
 /// Measured model inputs for one structured-volume render.
 #[derive(Debug, Clone)]
 pub struct SvrStats {
@@ -68,12 +84,12 @@ pub fn render_structured(
     height: u32,
     tf: &TransferFunction,
     cfg: &SvrConfig,
-) -> SvrOutput {
+) -> Result<SvrOutput, SvrError> {
     let mut phases = PhaseTimer::new();
     let t0 = std::time::Instant::now();
     let field = &grid
         .field(field_name)
-        .unwrap_or_else(|| panic!("no point field named {field_name}"))
+        .ok_or_else(|| SvrError::MissingField(field_name.to_string()))?
         .values;
     let bounds = grid.bounds();
     let dt = bounds.diagonal() / cfg.samples_per_ray as f32;
@@ -107,7 +123,7 @@ pub fn render_structured(
         }
     }
 
-    SvrOutput {
+    Ok(SvrOutput {
         stats: SvrStats {
             objects: grid.num_cells(),
             active_pixels: active,
@@ -117,7 +133,7 @@ pub fn render_structured(
         },
         frame,
         phases,
-    }
+    })
 }
 
 /// March one ray through the grid with a cell-stepping DDA; returns the
@@ -271,7 +287,8 @@ mod tests {
             48,
             &tfn(&g),
             &SvrConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(out.stats.active_pixels > 500, "{}", out.stats.active_pixels);
         assert!(out.stats.samples_per_ray > 10.0);
         assert!(out.stats.cells_spanned > 5.0);
@@ -286,8 +303,9 @@ mod tests {
         let cam = Camera::close_view(&g.bounds());
         let cfg = SvrConfig::default();
         let tf = tfn(&g);
-        let a = render_structured(&Device::Serial, &g, "scalar", &cam, 32, 32, &tf, &cfg);
-        let b = render_structured(&Device::parallel(), &g, "scalar", &cam, 32, 32, &tf, &cfg);
+        let a = render_structured(&Device::Serial, &g, "scalar", &cam, 32, 32, &tf, &cfg).unwrap();
+        let b =
+            render_structured(&Device::parallel(), &g, "scalar", &cam, 32, 32, &tf, &cfg).unwrap();
         assert!(a.frame.mean_abs_diff(&b.frame) < 1e-5);
         assert_eq!(a.stats.active_pixels, b.stats.active_pixels);
     }
@@ -300,8 +318,10 @@ mod tests {
         let tf = TransferFunction::cool_warm((0.0, 1.0)).with_opacity_scale(0.01);
         let cam_s = Camera::close_view(&small.bounds());
         let cam_b = Camera::close_view(&big.bounds());
-        let a = render_structured(&Device::Serial, &small, "scalar", &cam_s, 24, 24, &tf, &cfg);
-        let b = render_structured(&Device::Serial, &big, "scalar", &cam_b, 24, 24, &tf, &cfg);
+        let a = render_structured(&Device::Serial, &small, "scalar", &cam_s, 24, 24, &tf, &cfg)
+            .unwrap();
+        let b =
+            render_structured(&Device::Serial, &big, "scalar", &cam_b, 24, 24, &tf, &cfg).unwrap();
         // CS ~ N: doubling the grid should roughly double cells spanned.
         let ratio = b.stats.cells_spanned / a.stats.cells_spanned;
         assert!(ratio > 1.5 && ratio < 2.6, "ratio {ratio}");
@@ -314,8 +334,9 @@ mod tests {
         let tf = tfn(&g).with_opacity_scale(4.0); // very opaque
         let with = SvrConfig { early_termination: 0.6, ..Default::default() };
         let without = SvrConfig { early_termination: 1.1, ..Default::default() };
-        let a = render_structured(&Device::Serial, &g, "scalar", &cam, 32, 32, &tf, &with);
-        let b = render_structured(&Device::Serial, &g, "scalar", &cam, 32, 32, &tf, &without);
+        let a = render_structured(&Device::Serial, &g, "scalar", &cam, 32, 32, &tf, &with).unwrap();
+        let b =
+            render_structured(&Device::Serial, &g, "scalar", &cam, 32, 32, &tf, &without).unwrap();
         assert!(a.stats.samples_per_ray < b.stats.samples_per_ray);
     }
 
@@ -334,8 +355,28 @@ mod tests {
             16,
             &tfn(&g),
             &SvrConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(out.stats.active_pixels, 0);
         assert_eq!(out.stats.samples_per_ray, 0.0);
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let g = volume();
+        let cam = Camera::close_view(&g.bounds());
+        let err = render_structured(
+            &Device::Serial,
+            &g,
+            "nope",
+            &cam,
+            16,
+            16,
+            &tfn(&g),
+            &SvrConfig::default(),
+        )
+        .map(|out| out.stats.active_pixels)
+        .unwrap_err();
+        assert_eq!(err, SvrError::MissingField("nope".into()));
     }
 }

@@ -163,10 +163,11 @@ pub fn ground_truth() -> ModelSet {
             feature_names: vec!["avg(AP)", "Pixels", "1"],
         },
         // The executor's wire truth is the dense-form law above; leaving the
-        // compressed slot empty keeps the scheduler transcripts (and their
-        // pinned tests) on the classic prediction path until a refit installs
-        // a compressed model from observations.
+        // compressed and DFB slots empty keeps the scheduler transcripts (and
+        // their pinned tests) on the classic prediction path until a refit
+        // installs per-wire models from observations.
         comp_compressed: None,
+        comp_dfb: None,
     }
 }
 
@@ -177,6 +178,9 @@ pub fn scale_model_set(set: &ModelSet, factor: f64) -> ModelSet {
     let mut models =
         vec![&mut out.rt, &mut out.rt_build, &mut out.rast, &mut out.vr, &mut out.comp];
     if let Some(m) = out.comp_compressed.as_mut() {
+        models.push(m);
+    }
+    if let Some(m) = out.comp_dfb.as_mut() {
         models.push(m);
     }
     for m in models {
@@ -262,8 +266,14 @@ pub fn run_budgeted_demo(sim: &mut dyn ProxySim, cfg: &DemoConfig) -> DemoReport
                         built = true;
                     }
                     sched.observe_render(&job.cfg, cost.local_s, cost.build_s);
-                    // The executor models the default RLE exchange.
-                    sched.observe_composite(cost.pixels, cost.avg_active_pixels, cost.comp_s, true);
+                    // The executor models the default barriered RLE exchange.
+                    sched.observe_composite(
+                        cost.pixels,
+                        cost.avg_active_pixels,
+                        cost.comp_s,
+                        true,
+                        false,
+                    );
                 }
                 Decision::Reject => {}
             }

@@ -9,8 +9,8 @@
 
 use perfmodel::feasibility::ModelSet;
 use perfmodel::models::{
-    CompositeModel, CompressedCompositeModel, FittedLinearModel, ModelForm, RastModel,
-    RtBuildModel, RtModel, VrModel,
+    CompositeModel, CompressedCompositeModel, DfbCompositeModel, FittedLinearModel, ModelForm,
+    RastModel, RtBuildModel, RtModel, VrModel,
 };
 use perfmodel::sample::{CompositeSample, CompositeWire, RenderSample, RendererKind};
 use std::collections::VecDeque;
@@ -141,23 +141,41 @@ impl OnlineRefit {
         let rle: Vec<CompositeSample> =
             self.comp.iter().filter(|s| s.wire == CompositeWire::Compressed).cloned().collect();
         if rle.len() >= self.min_samples {
-            let candidate = CompressedCompositeModel.fit(&rle);
-            match set.comp_compressed.as_mut() {
-                Some(slot) => Self::install(slot, candidate, &mut rep),
-                None => {
-                    if candidate.fit.all_coeffs_nonnegative() {
-                        if candidate.fit.condition_warning {
-                            rep.condition_warnings.push(candidate.name);
-                        }
-                        rep.refitted.push(candidate.name);
-                        set.comp_compressed = Some(candidate);
-                    } else {
-                        rep.rejected.push(candidate.name);
+            Self::install_opt(
+                &mut set.comp_compressed,
+                CompressedCompositeModel.fit(&rle),
+                &mut rep,
+            );
+        }
+        let dfb: Vec<CompositeSample> =
+            self.comp.iter().filter(|s| s.wire == CompositeWire::Dfb).cloned().collect();
+        if dfb.len() >= self.min_samples {
+            Self::install_opt(&mut set.comp_dfb, DfbCompositeModel.fit(&dfb), &mut rep);
+        }
+        rep
+    }
+
+    /// [`Self::install`] for the optional per-wire slots: a plausible
+    /// candidate fills an empty slot instead of being dropped.
+    fn install_opt(
+        slot: &mut Option<FittedLinearModel>,
+        candidate: FittedLinearModel,
+        rep: &mut RefitReport,
+    ) {
+        match slot.as_mut() {
+            Some(m) => Self::install(m, candidate, rep),
+            None => {
+                if candidate.fit.all_coeffs_nonnegative() {
+                    if candidate.fit.condition_warning {
+                        rep.condition_warnings.push(candidate.name);
                     }
+                    rep.refitted.push(candidate.name);
+                    *slot = Some(candidate);
+                } else {
+                    rep.rejected.push(candidate.name);
                 }
             }
         }
-        rep
     }
 }
 
@@ -187,6 +205,7 @@ mod tests {
             vr: constant_model("volume_rendering", vec![1e-6, 1e-6, 1.0]),
             comp: constant_model("compositing", vec![1e-6, 1e-6, 1.0]),
             comp_compressed: None,
+            comp_dfb: None,
         }
     }
 
@@ -318,6 +337,47 @@ mod tests {
             let want_rle = rle_law(ap, px);
             let got_rle = CompressedCompositeModel.predict(rle, &s);
             assert!((got_rle - want_rle).abs() / want_rle < 1e-6);
+        }
+    }
+
+    /// DFB-wire observations refit the overlapped-mode model — including its
+    /// per-task message-tax term — without disturbing the other wires.
+    #[test]
+    fn dfb_window_installs_the_overlapped_model() {
+        let dfb_law = |ap: f64, px: f64, tasks: f64| 3e-8 * ap + 5e-9 * px + 2e-6 * tasks + 2e-4;
+        let mut refit = OnlineRefit::new(64, 4);
+        let mut probes = Vec::new();
+        for i in 1..=10usize {
+            let px = (128.0 * (1 + i % 4) as f64) * (128.0 * (1 + i % 4) as f64);
+            let ap = px * 0.1 * (1.0 + (i % 3) as f64);
+            let tasks = 1usize << (i % 7);
+            refit.observe_composite(CompositeSample {
+                tasks,
+                pixels: px,
+                avg_active_pixels: ap,
+                seconds: dfb_law(ap, px, tasks as f64),
+                wire: CompositeWire::Dfb,
+            });
+            probes.push((ap, px, tasks));
+        }
+        let mut set = prior();
+        let rep = refit.refit_into(&mut set);
+        assert!(rep.refitted.contains(&"compositing_dfb"), "{rep:?}");
+        // No dense or compressed samples were observed: those stay put.
+        assert!(!rep.refitted.contains(&"compositing"));
+        assert!(set.comp_compressed.is_none());
+        let m = set.comp_dfb.as_ref().expect("dfb model installed");
+        for &(ap, px, tasks) in &probes {
+            let s = CompositeSample {
+                tasks,
+                pixels: px,
+                avg_active_pixels: ap,
+                seconds: 0.0,
+                wire: CompositeWire::Dfb,
+            };
+            let want = dfb_law(ap, px, tasks as f64);
+            let got = DfbCompositeModel.predict(m, &s);
+            assert!((got - want).abs() / want < 1e-5, "{got} vs {want}");
         }
     }
 

@@ -341,24 +341,34 @@ impl Scheduler {
     }
 
     /// Feed back a measured compositing exchange for one frame. `compressed`
-    /// names the exchange wire the measurement used, so the refit fits each
-    /// composite model on the behavior it actually describes.
+    /// and `dfb` name the exchange wire the measurement used, so the refit
+    /// fits each composite model on the behavior it actually describes: the
+    /// asynchronous tile-owner protocol feeds the DFB model, otherwise the
+    /// span compression choice picks between the compressed and dense models.
     pub fn observe_composite(
         &mut self,
         pixels: f64,
         avg_active_pixels: f64,
         seconds: f64,
         compressed: bool,
+        dfb: bool,
     ) {
         if let Some(cur) = self.cur.as_mut() {
             cur.actual_s += seconds;
         }
+        let wire = if dfb {
+            CompositeWire::Dfb
+        } else if compressed {
+            CompositeWire::Compressed
+        } else {
+            CompositeWire::Dense
+        };
         self.refit.observe_composite(CompositeSample {
             tasks: self.cfg.tasks,
             pixels,
             avg_active_pixels,
             seconds,
-            wire: if compressed { CompositeWire::Compressed } else { CompositeWire::Dense },
+            wire,
         });
     }
 
@@ -465,6 +475,7 @@ impl strawman::AdmissionHook for Scheduler {
             done.avg_active_pixels,
             done.seconds,
             done.compressed,
+            done.dfb,
         );
     }
 }

@@ -31,6 +31,7 @@ fn pixel_cost_models() -> ModelSet {
         vr: model("volume_rendering", vec![0.0, 0.0, 0.0]),
         comp: model("compositing", vec![0.0, 1e-6, 0.0]),
         comp_compressed: None,
+        comp_dfb: None,
     }
 }
 

@@ -3,7 +3,9 @@
 
 use crate::mesh_convert::{convert, ConvertError, PublishedMesh};
 use crate::png;
-use compositing::{radix_k_opts, CompositeMode, CompositeStats, ExchangeOptions, RankImage};
+use compositing::{
+    dfb_compose_opts, radix_k_opts, CompositeMode, CompositeStats, ExchangeOptions, RankImage,
+};
 use conduit_node::Node;
 use dpp::Device;
 use mesh::external_faces::{external_faces_grid, external_faces_hex};
@@ -73,6 +75,9 @@ pub struct CompositeObservation {
     pub seconds: f64,
     /// True when the exchange shipped RLE-compressed active-pixel spans.
     pub compressed: bool,
+    /// True when the exchange ran the asynchronous tile-owner (Distributed
+    /// FrameBuffer) protocol rather than barriered radix-k rounds.
+    pub dfb: bool,
 }
 
 /// Admission control consulted before every render when
@@ -96,6 +101,11 @@ pub struct Options {
     /// compositing (IceT's behavior). On by default; turn off to measure the
     /// dense exchange — the composited image is pixel-identical either way.
     pub compress_compositing: bool,
+    /// Composite through the asynchronous tile-owner (Distributed
+    /// FrameBuffer) exchange instead of barriered radix-k rounds. The merged
+    /// image is pixel-identical either way; only the simulated communication
+    /// schedule (and therefore the exchange seconds/bytes) differs.
+    pub dfb_compositing: bool,
     /// Network model for the simulated compositing exchange.
     pub net: NetModel,
     /// Per-cycle render time budget. When set together with `scheduler`,
@@ -112,6 +122,7 @@ impl std::fmt::Debug for Options {
             .field("device", &self.device)
             .field("output_dir", &self.output_dir)
             .field("compress_compositing", &self.compress_compositing)
+            .field("dfb_compositing", &self.dfb_compositing)
             .field("net", &self.net)
             .field("cycle_budget_s", &self.cycle_budget_s)
             .field("scheduler", &self.scheduler.as_ref().map(|_| "<hook>"))
@@ -125,6 +136,7 @@ impl Default for Options {
             device: Device::parallel(),
             output_dir: PathBuf::from("."),
             compress_compositing: true,
+            dfb_compositing: false,
             net: NetModel::cluster(),
             cycle_budget_s: None,
             scheduler: None,
@@ -234,11 +246,12 @@ impl Strawman {
     }
 
     /// Composite per-rank framebuffers (visibility order, front first) into
-    /// one frame, as a simulated radix-k exchange. Uses compressed
-    /// active-pixel fragments unless [`Options::compress_compositing`] is
-    /// off. Records a `"compositing"` phase carrying the simulated exchange
-    /// seconds and wire bytes; returns the merged frame and the exchange
-    /// stats.
+    /// one frame, as a simulated radix-k exchange — or the asynchronous
+    /// tile-owner DFB exchange when [`Options::dfb_compositing`] is set. Uses
+    /// compressed active-pixel fragments unless
+    /// [`Options::compress_compositing`] is off. Records a `"compositing"`
+    /// phase carrying the simulated exchange seconds and wire bytes; returns
+    /// the merged frame and the exchange stats.
     pub fn composite(
         &mut self,
         frames: &[Framebuffer],
@@ -246,9 +259,13 @@ impl Strawman {
     ) -> (Framebuffer, CompositeStats) {
         assert!(!frames.is_empty(), "composite of zero frames");
         let images: Vec<RankImage> = frames.iter().map(to_rank_image).collect();
-        let factors = compositing::algorithms::default_factors(images.len());
         let opts = ExchangeOptions { compress: self.opts.compress_compositing };
-        let (merged, stats) = radix_k_opts(&images, mode, self.opts.net, &factors, opts);
+        let (merged, stats) = if self.opts.dfb_compositing {
+            dfb_compose_opts(&images, mode, self.opts.net, opts)
+        } else {
+            let factors = compositing::algorithms::default_factors(images.len());
+            radix_k_opts(&images, mode, self.opts.net, &factors, opts)
+        };
         let pixels = merged.num_pixels() as u64 * frames.len() as u64;
         self.phases.record_bytes("compositing", stats.simulated_seconds, pixels, stats.total_bytes);
         if let Some(hook) = self.opts.scheduler.as_mut() {
@@ -260,6 +277,7 @@ impl Strawman {
                 avg_active_pixels: avg_active,
                 seconds: stats.simulated_seconds,
                 compressed: opts.compress,
+                dfb: self.opts.dfb_compositing,
             });
         }
         (from_rank_image(&merged), stats)
@@ -482,7 +500,8 @@ fn render_plot(
                     height,
                     &tf,
                     &SvrConfig::default(),
-                );
+                )
+                .map_err(|e| StrawmanError::Render(e.to_string()))?;
                 Ok((out.frame, "volume_structured", out.stats.active_pixels))
             }
             PublishedMesh::Rectilinear(r) => {
@@ -516,7 +535,8 @@ fn render_plot(
                     height,
                     &tf,
                     &SvrConfig::default(),
-                );
+                )
+                .map_err(|e| StrawmanError::Render(e.to_string()))?;
                 Ok((out.frame, "volume_structured", out.stats.active_pixels))
             }
             PublishedMesh::Hexes(h) => {
@@ -951,9 +971,42 @@ mod tests {
             let seen = log.borrow();
             assert_eq!(seen.len(), 1);
             assert_eq!(seen[0].compressed, compress);
+            assert!(!seen[0].dfb);
             assert_eq!(seen[0].pixels, 256.0);
             assert_eq!(seen[0].avg_active_pixels, 40.0);
             assert_eq!(seen[0].seconds, stats.simulated_seconds);
+        }
+    }
+
+    #[test]
+    fn dfb_composite_matches_radix_k_and_tags_the_hook() {
+        let mut a = Framebuffer::new(16, 16);
+        let mut b = Framebuffer::new(16, 16);
+        for i in 0..40 {
+            a.color[i] = Color::new(0.9, 0.2, 0.1, 1.0);
+            a.depth[i] = 1.0;
+            b.color[i + 60] = Color::new(0.1, 0.3, 0.8, 1.0);
+            b.depth[i + 60] = 2.0;
+        }
+        let frames = [a, b];
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sm = Strawman::open(Options {
+            device: Device::Serial,
+            dfb_compositing: true,
+            scheduler: Some(Box::new(WireHook { log: log.clone() })),
+            ..Options::default()
+        });
+        let (img, stats) = sm.composite(&frames, CompositeMode::ZBuffer);
+        let seen = log.borrow();
+        assert_eq!(seen.len(), 1);
+        assert!(seen[0].dfb);
+        assert!(seen[0].compressed);
+        assert_eq!(seen[0].seconds, stats.simulated_seconds);
+        // The protocol changes the schedule, never the pixels.
+        let mut rk = Strawman::open(Options { device: Device::Serial, ..Options::default() });
+        let (rk_img, _) = rk.composite(&frames, CompositeMode::ZBuffer);
+        for i in 0..img.color.len() {
+            assert_eq!(img.color[i], rk_img.color[i], "pixel {i}");
         }
     }
 

@@ -39,6 +39,11 @@ pub struct Config {
     /// The designated timing modules: the only places allowed to read the
     /// wall clock (X007). Entries are path prefixes.
     pub x007_timing_modules: Vec<String>,
+    /// The models module X008 reads declared model names from. Empty
+    /// disables the cross-file persistence check.
+    pub x008_models: String,
+    /// The persist module that must round-trip every X008 model name.
+    pub x008_persist: String,
     /// Grandfathered findings.
     pub baseline: Vec<BaselineEntry>,
 }
@@ -70,6 +75,8 @@ impl Default for Config {
             .map(|s| s.to_string())
             .collect(),
             x007_timing_modules: Vec::new(),
+            x008_models: "crates/core/src/models.rs".to_string(),
+            x008_persist: "crates/core/src/persist.rs".to_string(),
             baseline: Vec::new(),
         }
     }
@@ -85,6 +92,8 @@ impl Config {
             x005_pinned: vec![String::new()],
             x006_scopes: vec![String::new()],
             x007_timing_modules: Vec::new(),
+            x008_models: String::new(),
+            x008_persist: String::new(),
             baseline: Vec::new(),
         }
     }
@@ -162,7 +171,7 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
         if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
             section = name.trim().to_string();
             match section.as_str() {
-                "walk" | "x005" | "x006" | "x007" => {}
+                "walk" | "x005" | "x006" | "x007" | "x008" => {}
                 other => return Err(err(lineno, format!("unknown section `[{other}]`"))),
             }
             continue;
@@ -204,6 +213,8 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
             ("x005", "pinned") => cfg.x005_pinned = parse_array(&value)?,
             ("x006", "scopes") => cfg.x006_scopes = parse_array(&value)?,
             ("x007", "timing_modules") => cfg.x007_timing_modules = parse_array(&value)?,
+            ("x008", "models") => cfg.x008_models = parse_string(&value, lineno)?,
+            ("x008", "persist") => cfg.x008_persist = parse_string(&value, lineno)?,
             ("baseline", k) => {
                 let entry = cfg
                     .baseline
@@ -272,6 +283,14 @@ reason = "legacy counters, tracked in ROADMAP"
         assert_eq!(cfg.baseline.len(), 1);
         assert_eq!(cfg.baseline[0].count, 2);
         assert_eq!(cfg.baseline[0].lint, "X003");
+    }
+
+    #[test]
+    fn x008_paths_parse() {
+        let text = "[x008]\nmodels = \"a/models.rs\"\npersist = \"a/persist.rs\"\n";
+        let cfg = parse(text).unwrap();
+        assert_eq!(cfg.x008_models, "a/models.rs");
+        assert_eq!(cfg.x008_persist, "a/persist.rs");
     }
 
     #[test]

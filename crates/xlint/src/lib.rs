@@ -89,6 +89,18 @@ pub fn run_with_config(root: &Path, cfg: &Config) -> Result<Report, String> {
         report.waived.extend(fr.waived);
         report.active.extend(fr.findings);
     }
+    // X008 is the one cross-file check: the models module's declared names
+    // against the persist module. Skipped when either path is unset (fixture
+    // configs) or absent from the tree being linted.
+    if !cfg.x008_models.is_empty() && !cfg.x008_persist.is_empty() {
+        let models = std::fs::read_to_string(root.join(&cfg.x008_models));
+        let persist = std::fs::read_to_string(root.join(&cfg.x008_persist));
+        if let (Ok(models), Ok(persist)) = (models, persist) {
+            let fr = lints::lint_model_persistence(&cfg.x008_models, &models, &persist);
+            report.waived.extend(fr.waived);
+            report.active.extend(fr.findings);
+        }
+    }
     apply_baseline(&mut report, cfg);
     report.normalize();
     Ok(report)

@@ -30,6 +30,9 @@ pub enum Lint {
     X006,
     /// Wall-clock reads outside the designated timing modules.
     X007,
+    /// A model name declared in the models module that the persist module
+    /// never round-trips (cross-crate check).
+    X008,
 }
 
 impl Lint {
@@ -44,6 +47,7 @@ impl Lint {
             Lint::X005 => "X005",
             Lint::X006 => "X006",
             Lint::X007 => "X007",
+            Lint::X008 => "X008",
         }
     }
 
@@ -58,6 +62,7 @@ impl Lint {
             Lint::X005 => "HashMap/HashSet in a byte-pinned crate",
             Lint::X006 => "unwrap/expect/panic! in non-test library code",
             Lint::X007 => "wall-clock read outside the designated timing modules",
+            Lint::X008 => "model name is not round-tripped by the persist module",
         }
     }
 
@@ -87,6 +92,11 @@ impl Lint {
                 "route timing through PhaseTimer / calibration / bench so predicted and \
                  measured clocks can't silently mix; or add the module to \
                  [x007].timing_modules in xlint.toml if it IS measurement code"
+            }
+            Lint::X008 => {
+                "every fitted model must survive save/load: teach the persist format parser \
+                 the new name AND extend the bit-identical round-trip test — X008 requires \
+                 the quoted name on at least two lines of the persist module (parser + test)"
             }
         }
     }
@@ -248,7 +258,6 @@ fn waiver_for(lines: &[MaskedLine], at: usize, lint: Lint) -> Option<Result<Stri
 pub fn lint_file(rel: &str, source: &str, cfg: &Config) -> FileReport {
     let lines = mask(source);
     let tests = test_lines(rel, &lines);
-    let mut report = FileReport::default();
     let mut raw_hits: Vec<(Lint, usize)> = Vec::new();
 
     for (i, l) in lines.iter().enumerate() {
@@ -324,6 +333,54 @@ pub fn lint_file(rel: &str, source: &str, cfg: &Config) -> FileReport {
         }
     }
 
+    file_report(rel, &lines, raw_hits)
+}
+
+/// X008 — the one cross-file check: every model-name string literal declared
+/// in the models module (`name: "<lit>"` struct fields and the literal body
+/// of a `fn name(&self)`) must appear, quoted, on at least two lines of the
+/// persist module — one for the format parser, one for the round-trip test.
+/// A name the persist layer has never heard of means a fitted model that
+/// silently vanishes on save/load.
+pub fn lint_model_persistence(models_rel: &str, models_src: &str, persist_src: &str) -> FileReport {
+    let lines = mask(models_src);
+    let raw: Vec<&str> = models_src.lines().collect();
+    let mut raw_hits: Vec<(Lint, usize)> = Vec::new();
+    let mut in_fn_name = false;
+    for (i, l) in lines.iter().enumerate() {
+        let code = l.code.as_str();
+        if code.contains("fn name(") {
+            in_fn_name = true;
+            continue;
+        }
+        let is_decl = code.contains("name: \"");
+        let is_fn_body = in_fn_name && code.trim_start().starts_with('"');
+        if is_decl || is_fn_body {
+            in_fn_name = false;
+            let Some(name) = first_string_literal(raw[i]) else { continue };
+            let quoted = format!("\"{name}\"");
+            let persist_lines = persist_src.lines().filter(|l| l.contains(&quoted)).count();
+            if persist_lines < 2 {
+                raw_hits.push((Lint::X008, i));
+            }
+        } else if in_fn_name && !l.is_comment_or_blank() {
+            in_fn_name = false;
+        }
+    }
+    file_report(models_rel, &lines, raw_hits)
+}
+
+/// The first `"..."` literal on a raw source line.
+fn first_string_literal(raw: &str) -> Option<String> {
+    let start = raw.find('"')?;
+    let rest = &raw[start + 1..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Turn raw (lint, line) hits into a report, honoring inline waivers.
+fn file_report(rel: &str, lines: &[MaskedLine], raw_hits: Vec<(Lint, usize)>) -> FileReport {
+    let mut report = FileReport::default();
     for (lint, i) in raw_hits {
         let finding = Finding {
             lint,
@@ -331,7 +388,7 @@ pub fn lint_file(rel: &str, source: &str, cfg: &Config) -> FileReport {
             line: i + 1,
             excerpt: lines[i].code.trim().to_string(),
         };
-        match waiver_for(&lines, i, lint) {
+        match waiver_for(lines, i, lint) {
             Some(Ok(reason)) => report.waived.push(Waived { finding, reason }),
             Some(Err(waiver_line)) => {
                 // Malformed waiver: report it AND let the original stand —
@@ -430,6 +487,30 @@ mod tests {
         let r = lint_file("m/src/lib.rs", src, &cfg());
         let ids: Vec<&str> = r.findings.iter().map(|f| f.lint.id()).collect();
         assert!(ids.contains(&"X000") && ids.contains(&"X001"), "{ids:?}");
+    }
+
+    #[test]
+    fn x008_requires_parser_and_test_coverage_in_persist() {
+        let models = "pub struct FooModel;\n\
+                      impl FooModel {\n\
+                      \x20   pub fn fit(&self) -> F {\n\
+                      \x20       F { name: \"foo\" }\n\
+                      \x20   }\n\
+                      }\n\
+                      impl ModelForm for BarModel {\n\
+                      \x20   fn name(&self) -> &'static str {\n\
+                      \x20       \"bar\"\n\
+                      \x20   }\n\
+                      }\n";
+        // Both names on two persist lines (parser match + round-trip test).
+        let covered = "\"foo\" => \"foo\",\n\"bar\" => \"bar\",\nfit(\"foo\");\nfit(\"bar\");\n";
+        assert!(lint_model_persistence("m.rs", models, covered).findings.is_empty());
+        // `bar` known to the parser but never exercised by a test.
+        let untested = "\"foo\" => \"foo\",\n\"bar\" => \"bar\",\nfit(\"foo\");\n";
+        let r = lint_model_persistence("m.rs", models, untested);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].lint, Lint::X008);
+        assert_eq!(r.findings[0].line, 9);
     }
 
     #[test]

@@ -24,10 +24,10 @@ fn main() {
         fill: (0.5, 1.0),
         seed: 11,
     };
-    let rt = run_render_study(&device, RendererKind::RayTracing, &study);
-    let ra = run_render_study(&device, RendererKind::Rasterization, &study);
-    let vr = run_render_study(&device, RendererKind::VolumeRendering, &study);
-    let comp = run_composite_study(NetModel::cluster(), &[1, 4, 16], &[128, 256], 5);
+    let rt = run_render_study(&device, RendererKind::RayTracing, &study).unwrap();
+    let ra = run_render_study(&device, RendererKind::Rasterization, &study).unwrap();
+    let vr = run_render_study(&device, RendererKind::VolumeRendering, &study).unwrap();
+    let comp = run_composite_study(NetModel::cluster(), &[1, 4, 16], &[128, 256], 5).unwrap();
     let set = ModelSet {
         device: "parallel".into(),
         rt: RtModel.fit(&rt),
@@ -36,6 +36,7 @@ fn main() {
         vr: VrModel.fit(&vr),
         comp: CompositeModel.fit(&comp),
         comp_compressed: None,
+        comp_dfb: None,
     };
     let mut all = rt;
     all.extend(ra);

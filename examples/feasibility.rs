@@ -17,10 +17,11 @@ fn main() {
     println!("running the quick performance study (this renders ~70 test frames)...");
     let study = StudyConfig::quick();
     let device = Device::parallel();
-    let rt = run_render_study(&device, RendererKind::RayTracing, &study);
-    let ra = run_render_study(&device, RendererKind::Rasterization, &study);
-    let vr = run_render_study(&device, RendererKind::VolumeRendering, &study);
-    let comp = run_composite_study(NetModel::cluster(), &[1, 2, 4, 8, 16, 32], &[128, 256, 512], 7);
+    let rt = run_render_study(&device, RendererKind::RayTracing, &study).unwrap();
+    let ra = run_render_study(&device, RendererKind::Rasterization, &study).unwrap();
+    let vr = run_render_study(&device, RendererKind::VolumeRendering, &study).unwrap();
+    let comp = run_composite_study(NetModel::cluster(), &[1, 2, 4, 8, 16, 32], &[128, 256, 512], 7)
+        .unwrap();
 
     let set = ModelSet {
         device: "parallel".into(),
@@ -30,6 +31,7 @@ fn main() {
         vr: VrModel.fit(&vr),
         comp: CompositeModel.fit(&comp),
         comp_compressed: None,
+        comp_dfb: None,
     };
     println!(
         "model fits: RT R^2={:.3}  RAST R^2={:.3}  VR R^2={:.3}  COMP R^2={:.3}",

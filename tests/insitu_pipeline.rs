@@ -147,6 +147,7 @@ fn consecutive_cycles_show_evolving_physics() {
             &tf,
             &render::volume_structured::SvrConfig::default(),
         )
+        .unwrap()
         .frame
     };
     let before = render(&sim);

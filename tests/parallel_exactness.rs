@@ -9,7 +9,10 @@
 //! small CI machine: correctness here is scheduling-order independence, not
 //! speedup.
 
-use compositing::{radix_k_opts, CompositeMode, ExchangeOptions, RankImage};
+use compositing::{
+    binary_swap_opts, dfb_compose_opts, direct_send_opts, radix_k_opts, reference, CompositeMode,
+    ExchangeOptions, RankImage,
+};
 use dpp::Device;
 use mesh::datasets::{field_grid, FieldKind};
 use mesh::isosurface::isosurface;
@@ -77,11 +80,13 @@ fn structured_volume_renderer_is_bit_identical_across_devices() {
     let cam = Camera::close_view(&grid.bounds());
     let cfg = SvrConfig { samples_per_ray: 96, ..Default::default() };
     let baseline = frame_bits(
-        &render_structured(&Device::Serial, &grid, "scalar", &cam, 72, 72, &tf, &cfg).frame,
+        &render_structured(&Device::Serial, &grid, "scalar", &cam, 72, 72, &tf, &cfg)
+            .unwrap()
+            .frame,
     );
     for n in POOL_SIZES {
         let d = Device::parallel_with_threads(n);
-        let frame = render_structured(&d, &grid, "scalar", &cam, 72, 72, &tf, &cfg).frame;
+        let frame = render_structured(&d, &grid, "scalar", &cam, 72, 72, &tf, &cfg).unwrap().frame;
         assert_eq!(frame_bits(&frame), baseline, "structured VR differs on {n}-thread pool");
     }
 }
@@ -150,6 +155,100 @@ fn compositing_exchange_is_bit_identical_across_pool_sizes() {
                     .install(|| image_bits(&radix_k_opts(&images, mode, net, &[2, 2, 2], opts).0));
                 assert_eq!(got, baseline, "compositing differs on {n}-thread pool ({mode:?})");
             }
+        }
+    }
+}
+
+#[test]
+fn dfb_compositing_is_bit_identical_across_pool_sizes() {
+    let images = rank_images(8, 32, 32);
+    let net = NetModel::cluster();
+    for mode in [CompositeMode::ZBuffer, CompositeMode::AlphaOrdered] {
+        for opts in [ExchangeOptions::default(), ExchangeOptions::dense()] {
+            // Baseline: the plain serial call, no pool installed at all.
+            let baseline = image_bits(&dfb_compose_opts(&images, mode, net, opts).0);
+            for n in std::iter::once(1).chain(POOL_SIZES) {
+                let got = Device::parallel_with_threads(n)
+                    .install(|| image_bits(&dfb_compose_opts(&images, mode, net, opts).0));
+                assert_eq!(got, baseline, "DFB differs on {n}-thread pool ({mode:?})");
+            }
+        }
+    }
+}
+
+/// Derive `p` overlapping rank images from one rendered frame: rank `r`
+/// keeps a pseudo-random subset of the frame's fragments with its depths
+/// sheared by rank, so depth ordering across ranks is genuinely contested.
+fn split_frame(frame: &Framebuffer, p: usize) -> Vec<RankImage> {
+    let full = strawman::api::to_rank_image(frame);
+    (0..p)
+        .map(|r| {
+            let mut img = RankImage::empty(full.width, full.height);
+            for i in 0..img.num_pixels() {
+                let v = (i * 2654435761 + r * 40503) & 0xffff;
+                if v % 5 != 0 {
+                    img.color[i] = full.color[i];
+                    img.depth[i] = full.depth[i] + r as f32 * 0.25;
+                }
+            }
+            img
+        })
+        .collect()
+}
+
+/// Every renderer's output through the DFB: bit-identical to the serial
+/// reference fold, and within the float-association tolerance of each
+/// barriered round exchange (direct-send, binary-swap, radix-k).
+#[test]
+fn dfb_matches_round_exchanges_on_all_four_renderers() {
+    let net = NetModel::cluster();
+    let geom = surface();
+    let cam = Camera::close_view(&geom.bounds);
+    let tf = TransferFunction::rainbow(geom.scalar_range);
+    let rt_frame = RayTracer::new(Device::Serial, geom.clone())
+        .render_with_map(&cam, 48, 48, &RtConfig::workload2(), &tf)
+        .frame;
+    let raster_frame = rasterize(&Device::Serial, &geom, &cam, 48, 48, &tf, None).frame;
+
+    let grid = field_grid(FieldKind::Turbulence, [12, 12, 12]);
+    let range = grid.field("scalar").unwrap().range().unwrap();
+    let vtf = TransferFunction::sparse_features(range);
+    let vcam = Camera::close_view(&grid.bounds());
+    let svr_cfg = SvrConfig { samples_per_ray: 48, ..Default::default() };
+    let svr_frame =
+        render_structured(&Device::Serial, &grid, "scalar", &vcam, 48, 48, &vtf, &svr_cfg)
+            .unwrap()
+            .frame;
+    let tets = mesh::HexMesh::from_uniform_grid(&grid).to_tets();
+    let uvr_cfg = UvrConfig { depth_samples: 32, ..Default::default() };
+    let uvr_frame =
+        render_unstructured(&Device::Serial, &tets, "scalar", &vcam, 48, 48, &vtf, &uvr_cfg)
+            .unwrap()
+            .frame;
+
+    for (name, frame) in [
+        ("raytrace", &rt_frame),
+        ("raster", &raster_frame),
+        ("structured_vr", &svr_frame),
+        ("unstructured_vr", &uvr_frame),
+    ] {
+        let images = split_frame(frame, 4);
+        let factors = compositing::algorithms::default_factors(images.len());
+        for mode in [CompositeMode::ZBuffer, CompositeMode::AlphaOrdered] {
+            let expect = reference(&images, mode);
+            let opts = ExchangeOptions::default();
+            let (dfb, _) = dfb_compose_opts(&images, mode, net, opts);
+            assert_eq!(
+                image_bits(&dfb),
+                image_bits(&expect),
+                "{name} {mode:?}: DFB must match the reference bit-for-bit"
+            );
+            let (ds, _) = direct_send_opts(&images, mode, net, opts);
+            assert!(dfb.max_color_diff(&ds) < 2e-5, "{name} {mode:?} vs direct_send");
+            let (bs, _) = binary_swap_opts(&images, mode, net, opts);
+            assert!(dfb.max_color_diff(&bs) < 2e-5, "{name} {mode:?} vs binary_swap");
+            let (rk, _) = radix_k_opts(&images, mode, net, &factors, opts);
+            assert!(dfb.max_color_diff(&rk) < 2e-5, "{name} {mode:?} vs radix_k");
         }
     }
 }

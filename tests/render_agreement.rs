@@ -81,7 +81,8 @@ fn structured_and_unstructured_vr_agree_on_decomposed_grid() {
         56,
         &tf,
         &SvrConfig { samples_per_ray: 128, ..Default::default() },
-    );
+    )
+    .unwrap();
     let u = render_unstructured(
         &Device::Serial,
         &tets,

@@ -31,7 +31,7 @@ fn models_fit_and_cross_validate_on_real_measurements() {
     let mut last = (0.0f64, 0.0f64);
     for attempt in 0..3u64 {
         let cfg = StudyConfig { seed: 99 + attempt, ..small_study() };
-        let vr = run_render_study(&device, RendererKind::VolumeRendering, &cfg);
+        let vr = run_render_study(&device, RendererKind::VolumeRendering, &cfg).unwrap();
         let fit = VrModel.fit(&vr);
         let xs: Vec<Vec<f64>> = vr.iter().map(|s| VrModel.features(s)).collect();
         let ys: Vec<f64> = vr.iter().map(|s| s.render_seconds).collect();
@@ -47,8 +47,8 @@ fn models_fit_and_cross_validate_on_real_measurements() {
 #[test]
 fn rt_build_scales_with_objects() {
     let device = Device::parallel();
-    let small = run_one(&device, RendererKind::RayTracing, 16, 64, 0.9);
-    let big = run_one(&device, RendererKind::RayTracing, 48, 64, 0.9);
+    let small = run_one(&device, RendererKind::RayTracing, 16, 64, 0.9).unwrap();
+    let big = run_one(&device, RendererKind::RayTracing, 48, 64, 0.9).unwrap();
     assert!(big.objects > small.objects * 4.0);
     assert!(
         big.build_seconds > small.build_seconds,
@@ -63,12 +63,12 @@ fn mapping_predicts_observed_inputs_within_bounds() {
     let device = Device::parallel();
     // Calibrate from one observation per renderer.
     let obs = vec![
-        run_one(&device, RendererKind::VolumeRendering, 24, 96, 0.9),
-        run_one(&device, RendererKind::Rasterization, 24, 96, 0.9),
+        run_one(&device, RendererKind::VolumeRendering, 24, 96, 0.9).unwrap(),
+        run_one(&device, RendererKind::Rasterization, 24, 96, 0.9).unwrap(),
     ];
     let k = MappingConstants::calibrated(&obs);
     // Validate on a different configuration.
-    let test = run_one(&device, RendererKind::VolumeRendering, 32, 128, 0.9);
+    let test = run_one(&device, RendererKind::VolumeRendering, 32, 128, 0.9).unwrap();
     let mapped = map_inputs(
         &RenderConfig {
             renderer: RendererKind::VolumeRendering,
@@ -90,10 +90,10 @@ fn mapping_predicts_observed_inputs_within_bounds() {
 fn feasibility_answers_have_the_papers_shape() {
     let device = Device::parallel();
     let cfg = small_study();
-    let rt = run_render_study(&device, RendererKind::RayTracing, &cfg);
-    let ra = run_render_study(&device, RendererKind::Rasterization, &cfg);
-    let vr = run_render_study(&device, RendererKind::VolumeRendering, &cfg);
-    let comp = run_composite_study(NetModel::cluster(), &[1, 4, 16], &[64, 192], 3);
+    let rt = run_render_study(&device, RendererKind::RayTracing, &cfg).unwrap();
+    let ra = run_render_study(&device, RendererKind::Rasterization, &cfg).unwrap();
+    let vr = run_render_study(&device, RendererKind::VolumeRendering, &cfg).unwrap();
+    let comp = run_composite_study(NetModel::cluster(), &[1, 4, 16], &[64, 192], 3).unwrap();
     let set = ModelSet {
         device: "parallel".into(),
         rt: RtModel.fit(&rt),
@@ -102,6 +102,7 @@ fn feasibility_answers_have_the_papers_shape() {
         vr: VrModel.fit(&vr),
         comp: CompositeModel.fit(&comp),
         comp_compressed: None,
+        comp_dfb: None,
     };
     let mut all = rt;
     all.extend(ra);
@@ -142,7 +143,7 @@ fn feasibility_answers_have_the_papers_shape() {
 #[test]
 fn corpus_round_trips_through_csv() {
     let device = Device::Serial;
-    let s = run_one(&device, RendererKind::Rasterization, 12, 48, 0.8);
+    let s = run_one(&device, RendererKind::Rasterization, 12, 48, 0.8).unwrap();
     let text = perfmodel::sample::to_csv(std::slice::from_ref(&s));
     let parsed = perfmodel::sample::from_csv(&text);
     assert_eq!(parsed.len(), 1);
