@@ -1150,6 +1150,83 @@ pub fn sched_demo(scale: Scale) -> TextTable {
     t
 }
 
+/// `repro feasd`: the feasibility service under seeded traffic. Two
+/// scenarios replay the same generated arrival stream on a virtual clock —
+/// uniform load inside capacity and bursty overload — and the table reports
+/// offered/answered/shed counts, the table hit rate, shed rate, latency
+/// percentiles, and throughput. Every number is a pure function of the seed
+/// (the acceptance suite pins bit-determinism). A separate wall-clock pass
+/// times the two batch resolution paths — precomputed-table hit vs cold
+/// model evaluation — whose medians land in the title and in
+/// `feasd_hotpath.csv`.
+pub fn feasd_demo(scale: Scale) -> TextTable {
+    use feasd::measure::measure_hit_vs_miss;
+    use feasd::{generate, simulate, Feasd, FeasdConfig, Lattice, SimCosts, TrafficConfig};
+    use sched::demo::ground_truth;
+
+    let (queries, rounds) = match scale {
+        Scale::Quick => (2_000usize, 5usize),
+        Scale::Full => (20_000, 15),
+    };
+    let seed = 2024u64;
+    let lattice = Lattice::service_default();
+    let costs = SimCosts::default();
+    let cfg = || FeasdConfig { pool: Device::Serial, ..FeasdConfig::default() };
+
+    let hot = {
+        let serial =
+            Lattice { devices: vec![feasd::DeviceClass::Serial], ..Lattice::service_default() };
+        measure_hit_vs_miss(
+            &ground_truth(),
+            &perfmodel::mapping::MappingConstants::default(),
+            &serial,
+            rounds,
+        )
+    };
+    crate::write_artifact(
+        "feasd_hotpath.csv",
+        &format!(
+            "hit_ns,miss_ns,speedup\n{:.3},{:.3},{:.2}\n",
+            hot.hit_ns,
+            hot.miss_ns,
+            hot.speedup()
+        ),
+    );
+
+    let mut t = TextTable::new(
+        format!(
+            "Feasibility service under seeded traffic (seed {seed}; hot path: table hit \
+             {:.0} ns vs cold eval {:.0} ns = {:.1}x)",
+            hot.hit_ns,
+            hot.miss_ns,
+            hot.speedup()
+        ),
+        &["scenario", "offered", "answered", "shed", "hit %", "shed %", "p50 us", "p99 us", "qps"],
+    );
+    let scenarios = [
+        ("uniform", TrafficConfig::uniform(queries, seed, 20_000.0)),
+        ("bursty", TrafficConfig::bursty(queries, seed, 60_000.0)),
+    ];
+    for (name, traffic) in scenarios {
+        let service =
+            Feasd::new(ground_truth(), perfmodel::mapping::MappingConstants::default(), cfg());
+        let events = generate(&traffic, &lattice);
+        let r = simulate(&service, &events, &costs, name);
+        t.row(vec![
+            r.scenario.clone(),
+            r.offered.to_string(),
+            r.answered.to_string(),
+            r.shed.to_string(),
+            format!("{:.1}", 100.0 * r.hit_rate),
+            format!("{:.1}", 100.0 * r.shed_rate),
+            format!("{:.1}", r.p50_s * 1e6),
+            format!("{:.1}", r.p99_s * 1e6),
+            format!("{:.0}", r.qps),
+        ]);
+    }
+    t
+}
+
 /// Strong-scaling sweep of the fork-join execution engine: the same
 /// primitive (and one full ray-traced frame) on dedicated pools of 1, 2, and
 /// 4 workers. Output bytes are identical across pool sizes — the engine's

@@ -20,9 +20,11 @@
 //!    performance model and the adaptive in situ planning layer.
 
 pub mod autogather;
+pub mod batch;
 pub mod crossval;
 pub mod extensions;
 pub mod feasibility;
+pub mod fstable;
 pub mod mapping;
 pub mod models;
 pub mod persist;
@@ -30,6 +32,8 @@ pub mod regression;
 pub mod sample;
 pub mod stats;
 pub mod study;
+#[cfg(test)]
+pub(crate) mod test_models;
 
 pub use models::{CompositeModel, FittedLinearModel, RastModel, RtModel, VrModel};
 pub use regression::LinearRegression;

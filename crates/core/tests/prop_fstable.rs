@@ -1,0 +1,205 @@
+//! Property tests for the `.fst` feasibility-table codec and its lookup
+//! structure: arbitrary lattices encode -> sort -> decode bit-exactly
+//! (including arbitrary IEEE-754 bit patterns in the payloads), incremental
+//! backfill inserts agree with the bulk build across overlay compactions,
+//! batched sorted resolution agrees with pointwise lookup, and a precomputed
+//! table answers every lattice point bit-identically to direct model
+//! evaluation.
+
+use perfmodel::feasibility::ModelSet;
+use perfmodel::fstable::{
+    precompute, renderer_from_code, DeviceClass, FeasTable, Lattice, TableEntry, TableKey,
+};
+use perfmodel::mapping::MappingConstants;
+use perfmodel::models::FittedLinearModel;
+use perfmodel::regression::LinearRegression;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// The hand-built seconds-scale set the in-crate unit tests use.
+fn toy_model_set() -> ModelSet {
+    let fit = |coeffs: Vec<f64>| LinearRegression::with_stats(coeffs, 1.0, 0.0, 10);
+    ModelSet {
+        device: "toy".into(),
+        rt: FittedLinearModel {
+            name: "ray_tracing",
+            fit: fit(vec![2e-9, 1e-8, 1e-3]),
+            feature_names: vec!["AP*log2(O)", "AP", "1"],
+        },
+        rt_build: FittedLinearModel {
+            name: "ray_tracing_build",
+            fit: fit(vec![2e-8, 1e-3]),
+            feature_names: vec!["O", "1"],
+        },
+        rast: FittedLinearModel {
+            name: "rasterization",
+            fit: fit(vec![4e-9, 4e-10, 1e-3]),
+            feature_names: vec!["O", "VO*PPT", "1"],
+        },
+        vr: FittedLinearModel {
+            name: "volume_rendering",
+            fit: fit(vec![2e-10, 1e-9, 1e-2]),
+            feature_names: vec!["AP*CS", "AP*SPR", "1"],
+        },
+        comp: FittedLinearModel {
+            name: "compositing",
+            fit: fit(vec![2e-8, 5e-8, 1e-3]),
+            feature_names: vec!["avg(AP)", "Pixels", "1"],
+        },
+        comp_compressed: None,
+        comp_dfb: None,
+    }
+}
+
+/// Raw generator tuple -> a table record. Key axes are kept narrow so
+/// duplicate keys actually occur; payloads reinterpret arbitrary u64 bit
+/// patterns as f64 (NaNs, infinities, subnormals included).
+type RawEntry = (u8, u8, u32, u32, u32, (u64, u64));
+
+fn entry(raw: &RawEntry) -> TableEntry {
+    let (renderer, device, side, cells, tasks, (pf, bu)) = *raw;
+    TableEntry {
+        key: TableKey {
+            renderer: renderer % 3,
+            device: device % 2,
+            image_side: side % 5,
+            cells_per_task: cells % 4,
+            tasks: tasks % 4,
+        },
+        per_frame_s: f64::from_bits(pf),
+        build_s: f64::from_bits(bu),
+    }
+}
+
+/// Bit-exact record equality (payloads may be NaN, so `==` is unusable).
+fn same_records(a: &[TableEntry], b: &[TableEntry]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.key == y.key
+                && x.per_frame_s.to_bits() == y.per_frame_s.to_bits()
+                && x.build_s.to_bits() == y.build_s.to_bits()
+        })
+}
+
+fn raw_entries() -> impl Strategy<Value = Vec<RawEntry>> {
+    proptest::collection::vec(
+        (
+            any::<u8>(),
+            any::<u8>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            (any::<u64>(), any::<u64>()),
+        ),
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_sort_decode_is_bit_exact(raws in raw_entries(), generation in any::<u64>()) {
+        let entries: Vec<TableEntry> = raws.iter().map(entry).collect();
+        let table = FeasTable::from_entries(generation, entries.clone());
+
+        // Oracle: last write per key wins, records sorted by key.
+        let mut oracle: BTreeMap<TableKey, TableEntry> = BTreeMap::new();
+        for e in &entries {
+            oracle.insert(e.key, *e);
+        }
+        let expected: Vec<TableEntry> = oracle.into_values().collect();
+        prop_assert!(same_records(&table.entries(), &expected), "bulk build keeps last duplicate");
+
+        let encoded = table.encode();
+        let decoded = FeasTable::decode(&encoded) .map_err(|e| e.to_string())?;
+        prop_assert_eq!(decoded.generation, generation);
+        prop_assert!(same_records(&decoded.entries(), &expected), "decode round-trips encode");
+        // Re-encoding the decoded table is byte-identical: the format has
+        // one canonical serialization.
+        prop_assert_eq!(decoded.encode(), encoded);
+    }
+
+    #[test]
+    fn incremental_inserts_match_bulk_build(raws in raw_entries()) {
+        let entries: Vec<TableEntry> = raws.iter().map(entry).collect();
+        // One-by-one backfill exercises the overlay and its compaction
+        // thresholds; the bulk path sorts once. They must agree bit-exactly.
+        let mut incremental = FeasTable::new(9);
+        for e in &entries {
+            incremental.insert(*e);
+        }
+        let bulk = FeasTable::from_entries(9, entries);
+        prop_assert_eq!(incremental.len(), bulk.len());
+        prop_assert!(same_records(&incremental.entries(), &bulk.entries()));
+        prop_assert_eq!(incremental.encode(), bulk.encode());
+    }
+
+    #[test]
+    fn batched_resolution_agrees_with_pointwise_lookup(
+        raws in raw_entries(),
+        probe_raws in raw_entries()
+    ) {
+        let mut table = FeasTable::new(1);
+        for e in raws.iter().map(entry) {
+            table.insert(e);
+        }
+        let mut probes: Vec<TableKey> = probe_raws.iter().map(|r| entry(r).key).collect();
+        probes.sort();
+        let resolved = table.resolve_sorted(&probes);
+        prop_assert_eq!(resolved.len(), probes.len());
+        for (p, r) in probes.iter().zip(resolved) {
+            let direct = table.lookup(p);
+            prop_assert_eq!(
+                r.map(|e| (e.per_frame_s.to_bits(), e.build_s.to_bits())),
+                direct.map(|e| (e.per_frame_s.to_bits(), e.build_s.to_bits())),
+                "probe {:?}", p
+            );
+        }
+    }
+
+    #[test]
+    fn precomputed_table_matches_direct_model_eval(
+        sides in proptest::collection::vec(1u32..4096, 1..4),
+        cells in proptest::collection::vec(1u32..600, 1..4),
+        tasks in proptest::collection::vec(1u32..4096, 1..4),
+        both_devices in any::<bool>()
+    ) {
+        let set = toy_model_set();
+        let k = MappingConstants::default();
+        let lattice = Lattice {
+            renderers: vec![
+                perfmodel::sample::RendererKind::RayTracing,
+                perfmodel::sample::RendererKind::Rasterization,
+                perfmodel::sample::RendererKind::VolumeRendering,
+            ],
+            devices: if both_devices {
+                vec![DeviceClass::Serial, DeviceClass::Parallel]
+            } else {
+                vec![DeviceClass::Serial]
+            },
+            image_sides: sides,
+            cells_per_task: cells,
+            tasks,
+        };
+        // Only the serial class gets a fitted set: parallel points must
+        // simply be absent, not wrong.
+        let table =
+            precompute(&[(DeviceClass::Serial, &set)], &k, &lattice, &dpp::Device::Serial, 5);
+        let points = lattice.points();
+        let serial_points = points.iter().filter(|p| p.device == 0).count();
+        prop_assert_eq!(table.len(), serial_points);
+        for point in &points {
+            let looked = table.lookup(point);
+            if point.device != 0 {
+                prop_assert!(looked.is_none(), "no fitted set for {:?}", point);
+                continue;
+            }
+            let cfg = point.to_config().ok_or("valid renderer code")?;
+            prop_assert!(renderer_from_code(point.renderer).is_some());
+            let e = looked.ok_or_else(|| format!("missing lattice point {point:?}"))?;
+            prop_assert_eq!(e.per_frame_s.to_bits(), set.predict_frame_seconds(&cfg, &k).to_bits());
+            prop_assert_eq!(e.build_s.to_bits(), set.predict_build_seconds(&cfg, &k).to_bits());
+        }
+    }
+}

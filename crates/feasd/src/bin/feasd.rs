@@ -1,0 +1,41 @@
+//! The `feasd` server binary: line-delimited JSON over stdin/stdout.
+//!
+//! ```text
+//! echo '{"ask":"feasibility","renderer":"volume_rendering","image_side":1024,
+//!        "cells_per_task":200,"tasks":64,"budget_s":10,"images":100}' \
+//!   | cargo run -p feasd --release
+//! ```
+//!
+//! Every request line produces exactly one reply line (an answer or an
+//! `{"error": ...}` object), so the stream composes with shell pipes. The
+//! service precomputes the default lattice at startup; pass `--no-precompute`
+//! to start cold and watch the backfill path work.
+
+use feasd::{serve, Feasd, FeasdConfig};
+use perfmodel::mapping::MappingConstants;
+use std::io::{stdin, stdout, BufWriter};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: feasd [--no-precompute]  (LDJSON queries on stdin, answers on stdout)");
+        return;
+    }
+    let cfg = FeasdConfig {
+        precompute: !args.iter().any(|a| a == "--no-precompute"),
+        ..FeasdConfig::default()
+    };
+    // The demo ground-truth fit stands in for a calibrated set; a real
+    // deployment would load a persisted study fit here.
+    let service = Feasd::new(sched::demo::ground_truth(), MappingConstants::default(), cfg);
+    eprintln!(
+        "feasd ready: generation {}, {} precomputed lattice points",
+        service.generation(),
+        service.table_len()
+    );
+    let out = BufWriter::new(stdout().lock());
+    if let Err(e) = serve(&service, stdin().lock(), out) {
+        eprintln!("feasd: io error: {e}");
+        std::process::exit(1);
+    }
+}

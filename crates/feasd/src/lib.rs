@@ -1,0 +1,83 @@
+//! `feasd` — feasibility-as-a-service.
+//!
+//! The paper closes with a question that is pure model evaluation: *can I
+//! render X₁ images in X₂ seconds?* That makes it servable: this crate is a
+//! long-running query service on top of [`perfmodel`] + [`sched`] that
+//! admits thousands of concurrent feasibility / render-plan queries and
+//! answers them from a precomputed, binary-searchable feasibility table
+//! ([`perfmodel::fstable`]), falling back to live batched model evaluation
+//! on the dpp pool only on misses (which then backfill the table).
+//!
+//! Architecture (DESIGN.md §10):
+//!
+//! * **Front-end** — an in-process API ([`Feasd::submit`] / [`Feasd::pump`])
+//!   plus a line-delimited-JSON loop ([`serve`]) bridged through the
+//!   [`conduit_node`] hierarchy ([`wire`]); no network dependencies.
+//! * **Batching** — `pump` drains the queue in priority order and coalesces
+//!   every table miss from the batch into one
+//!   [`perfmodel::batch::predict_batch`] call.
+//! * **Model cache** — one generation-counted `(ModelSet, MappingConstants)`
+//!   snapshot shared by all requests; online refits swap it atomically and
+//!   invalidate the table ([`cache`]).
+//! * **Backpressure** — queue depth drives [`sched::QueuePressure`] (the
+//!   admission ladder): speculative queries shed first, normal next,
+//!   `must-render` never — it preempts the queue instead ([`sched::Priority`]).
+//! * **Blocking** — only [`wait`] may block, and only with a timeout; the
+//!   X009 lint holds the rest of the crate to that.
+
+pub mod cache;
+pub mod measure;
+pub mod queue;
+pub mod service;
+pub mod simloop;
+pub mod traffic;
+pub mod wait;
+pub mod wire;
+
+pub use cache::{InstallError, ModelCache, ModelSnapshot};
+pub use perfmodel::fstable::{DeviceClass, FeasTable, Lattice, TableKey};
+pub use sched::Priority;
+pub use service::{Answer, Ask, Feasd, FeasdConfig, Query, Shed, Source, StatsSnapshot, Ticket};
+pub use simloop::{simulate, SimCosts, SimReport};
+pub use traffic::{generate, ArrivalEvent, ArrivalPattern, TrafficConfig};
+
+use std::io::{BufRead, Write};
+
+/// Serve line-delimited JSON queries from `input` to `output` until EOF:
+/// each non-empty line is parsed ([`wire::query_from_json`]), admitted
+/// through the service, answered, and written back as one JSON line.
+/// Malformed or shed queries produce an `{"error": ...}` line so the stream
+/// stays in lockstep with its requests.
+pub fn serve<R: BufRead, W: Write>(
+    service: &Feasd,
+    input: R,
+    mut output: W,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match wire::query_from_json(&line) {
+            Err(e) => wire::error_to_json(&format!("bad query: {e}")),
+            Ok(query) => match service.submit(query) {
+                Err(shed) => wire::error_to_json(&format!(
+                    "shed at pressure level {} ({} priority)",
+                    shed.level,
+                    shed.priority.label()
+                )),
+                Ok(ticket) => {
+                    let mut answered = service.pump();
+                    match answered.iter().position(|(t, _)| *t == ticket) {
+                        Some(i) => wire::answer_to_json(&answered.swap_remove(i).1),
+                        // Unreachable in the synchronous loop (pump drains the
+                        // queue we just filled), but never deadlock on it.
+                        None => wire::error_to_json("answer lost"),
+                    }
+                }
+            },
+        };
+        writeln!(output, "{reply}")?;
+    }
+    output.flush()
+}

@@ -1,0 +1,108 @@
+//! Wall-clock measurement of the hot path: table hit vs cold model eval.
+//!
+//! This is the crate's one designated timing module (listed in
+//! `[x007].timing_modules`): it times the two ways a pump batch resolves
+//! its needed lattice points, exactly as [`crate::service::Feasd::pump`]
+//! executes them. The *hit* path is [`FeasTable::resolve_sorted`] — one
+//! galloping merge pass over the precomputed table for the batch's sorted,
+//! deduplicated probe set. The *miss* path is the cold equivalent: the same
+//! probe set coalesced into one [`predict_batch`] evaluation (mapping +
+//! fitted-model evaluation per point) followed by the backfill inserts.
+//! Each round times a whole sweep and divides by the point count, and the
+//! median per-operation nanoseconds over the rounds is reported. `repro
+//! feasd` prints the medians; the acceptance test requires the table to win
+//! by >= 10x.
+
+use perfmodel::batch::predict_batch;
+use perfmodel::feasibility::ModelSet;
+use perfmodel::fstable::{precompute, DeviceClass, FeasTable, Lattice, TableEntry, TableKey};
+use perfmodel::mapping::{MappingConstants, RenderConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median per-operation timings of the two resolution paths.
+#[derive(Debug, Clone, Copy)]
+pub struct HitMissMedians {
+    /// Median nanoseconds per table lookup (hit path).
+    pub hit_ns: f64,
+    /// Median nanoseconds per cold model evaluation + backfill (miss path).
+    pub miss_ns: f64,
+}
+
+impl HitMissMedians {
+    /// How many times faster the hit path is.
+    pub fn speedup(&self) -> f64 {
+        self.miss_ns / self.hit_ns.max(1e-3)
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs[xs.len() / 2]
+    }
+}
+
+/// Measure both batch resolution paths over every point of `lattice`,
+/// `rounds` times each, and return the medians.
+pub fn measure_hit_vs_miss(
+    set: &ModelSet,
+    k: &MappingConstants,
+    lattice: &Lattice,
+    rounds: usize,
+) -> HitMissMedians {
+    let table = precompute(&[(DeviceClass::Serial, set)], k, lattice, &dpp::Device::Serial, 1);
+    // `points()` is sorted and deduplicated — the same shape pump's
+    // BTreeMap of needed keys hands to the table.
+    let points: Vec<TableKey> = lattice.points().into_iter().filter(|p| p.device == 0).collect();
+    let n = points.len().max(1) as f64;
+    let pool = dpp::Device::Serial;
+
+    let mut hit_rounds = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        let resolved = table.resolve_sorted(black_box(&points));
+        black_box(&resolved);
+        hit_rounds.push(t0.elapsed().as_secs_f64() * 1e9 / n);
+    }
+
+    let mut miss_rounds = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        // A fresh empty table each round: every probe is a true cold miss,
+        // so the batch takes pump's miss path — collect the configurations,
+        // one coalesced predict_batch, then the sorted backfill inserts.
+        let mut cold = FeasTable::new(1);
+        let t0 = Instant::now();
+        let cfgs: Vec<RenderConfig> = points.iter().filter_map(TableKey::to_config).collect();
+        let predictions = predict_batch(set, k, &cfgs, &pool);
+        for (key, pred) in points.iter().zip(&predictions) {
+            cold.insert(TableEntry {
+                key: *key,
+                per_frame_s: pred.per_frame_s,
+                build_s: pred.build_s,
+            });
+        }
+        black_box(&predictions);
+        miss_rounds.push(t0.elapsed().as_secs_f64() * 1e9 / n);
+        black_box(&cold);
+    }
+
+    HitMissMedians { hit_ns: median(hit_rounds), miss_ns: median(miss_rounds) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched::demo::ground_truth;
+
+    #[test]
+    fn medians_are_positive_and_speedup_is_sane() {
+        let lattice = Lattice { devices: vec![DeviceClass::Serial], ..Lattice::service_default() };
+        let m = measure_hit_vs_miss(&ground_truth(), &MappingConstants::default(), &lattice, 3);
+        eprintln!("hit {:.1} ns, miss {:.1} ns, speedup {:.1}x", m.hit_ns, m.miss_ns, m.speedup());
+        assert!(m.hit_ns > 0.0 && m.miss_ns > 0.0);
+        assert!(m.speedup() > 1.0, "lookups should beat cold evals: {m:?}");
+    }
+}

@@ -1,0 +1,130 @@
+//! The non-blocking priority queue behind the service front door.
+//!
+//! Three FIFO lanes, one per [`Priority`] class. Draining always empties the
+//! `must-render` lane first — that is the preemption the carried-over
+//! admission item asked for: a high-priority query jumps every queued
+//! lower-priority query, rather than the whole queue degrading uniformly.
+//! Within a lane, arrival order is preserved, so the drain order is a pure
+//! function of the submission sequence (no timestamps, no hashing).
+
+use crate::service::{Query, Ticket};
+use sched::Priority;
+use std::collections::VecDeque;
+
+/// One queued request.
+#[derive(Debug, Clone)]
+pub struct Pending {
+    /// Ticket handed back to the submitter.
+    pub ticket: Ticket,
+    /// The query itself.
+    pub query: Query,
+}
+
+/// Priority-lane queue. All operations are O(1) except `drain`, which is
+/// O(k) in the number of items drained.
+#[derive(Debug, Default)]
+pub struct PriorityQueue {
+    lanes: [VecDeque<Pending>; 3],
+}
+
+impl PriorityQueue {
+    /// An empty queue.
+    pub fn new() -> PriorityQueue {
+        PriorityQueue::default()
+    }
+
+    fn lane_index(p: Priority) -> usize {
+        match p {
+            Priority::MustRender => 0,
+            Priority::Normal => 1,
+            Priority::Speculative => 2,
+        }
+    }
+
+    /// Total queued requests across all lanes.
+    pub fn depth(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+
+    /// True when no request is queued.
+    pub fn is_empty(&self) -> bool {
+        self.depth() == 0
+    }
+
+    /// Enqueue at the tail of the request's priority lane.
+    pub fn push(&mut self, pending: Pending) {
+        self.lanes[Self::lane_index(pending.query.priority)].push_back(pending);
+    }
+
+    /// Dequeue up to `max` requests, highest priority lane first, FIFO
+    /// within a lane.
+    pub fn drain(&mut self, max: usize) -> Vec<Pending> {
+        let mut out = Vec::with_capacity(max.min(self.depth()));
+        for lane in &mut self.lanes {
+            while out.len() < max {
+                match lane.pop_front() {
+                    Some(p) => out.push(p),
+                    None => break,
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{Ask, Query};
+    use perfmodel::fstable::DeviceClass;
+    use perfmodel::mapping::RenderConfig;
+    use perfmodel::sample::RendererKind;
+
+    fn query(priority: Priority) -> Query {
+        Query {
+            device: DeviceClass::Parallel,
+            priority,
+            ask: Ask::Feasibility {
+                config: RenderConfig {
+                    renderer: RendererKind::VolumeRendering,
+                    cells_per_task: 100,
+                    pixels: 1024 * 1024,
+                    tasks: 64,
+                },
+                budget_s: 10.0,
+                images: 10.0,
+            },
+        }
+    }
+
+    #[test]
+    fn must_render_preempts_earlier_lower_priority_arrivals() {
+        let mut q = PriorityQueue::new();
+        for (i, p) in
+            [Priority::Speculative, Priority::Normal, Priority::MustRender, Priority::Normal]
+                .into_iter()
+                .enumerate()
+        {
+            q.push(Pending { ticket: i as Ticket, query: query(p) });
+        }
+        assert_eq!(q.depth(), 4);
+        let order: Vec<Ticket> = q.drain(10).into_iter().map(|p| p.ticket).collect();
+        // The must-render arrival (ticket 2) jumps both normals; the
+        // speculative arrival (ticket 0) goes last despite arriving first.
+        assert_eq!(order, vec![2, 1, 3, 0]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_respects_the_batch_cap() {
+        let mut q = PriorityQueue::new();
+        for i in 0..5 {
+            q.push(Pending { ticket: i, query: query(Priority::Normal) });
+        }
+        let first: Vec<Ticket> = q.drain(2).into_iter().map(|p| p.ticket).collect();
+        assert_eq!(first, vec![0, 1]);
+        assert_eq!(q.depth(), 3);
+        let rest: Vec<Ticket> = q.drain(100).into_iter().map(|p| p.ticket).collect();
+        assert_eq!(rest, vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,101 @@
+//! The designated wait module — the only place in `feasd` allowed to block.
+//!
+//! Service invariant (enforced by xlint X009): no worker thread ever parks
+//! on the request queue without a timeout. An unbounded `recv()` in a
+//! serving loop turns a lost notification into a hung worker and an
+//! unbounded shutdown; a bounded wait turns it into one idle tick. All
+//! blocking therefore funnels through [`WorkSignal::wait_timeout`], built on
+//! `Condvar::wait_timeout` (the crossbeam shim deliberately has no
+//! `recv_timeout`).
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A monotone wake counter workers wait on. Every `notify` increments the
+/// counter, so a notification that races ahead of the wait is never lost:
+/// the waiter sees the counter moved and returns immediately.
+#[derive(Debug, Default)]
+pub struct WorkSignal {
+    epoch: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl WorkSignal {
+    /// A fresh signal at epoch 0.
+    pub fn new() -> WorkSignal {
+        WorkSignal::default()
+    }
+
+    /// Current epoch; pass it to [`WorkSignal::wait_timeout`] to detect
+    /// wake-ups that happen between polling and parking.
+    pub fn epoch(&self) -> u64 {
+        match self.epoch.lock() {
+            Ok(g) => *g,
+            Err(poisoned) => *poisoned.into_inner(),
+        }
+    }
+
+    /// Announce new work (a submission). Wakes every parked waiter.
+    pub fn notify(&self) {
+        let mut g = match self.epoch.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *g += 1;
+        self.cv.notify_all();
+    }
+
+    /// Park until the epoch advances past `seen` or `timeout` elapses,
+    /// whichever is first. Returns the epoch at wake-up. This is the single
+    /// blocking primitive of the crate, and it is bounded by construction.
+    pub fn wait_timeout(&self, seen: u64, timeout: Duration) -> u64 {
+        let g = match self.epoch.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if *g != seen {
+            return *g;
+        }
+        let (g, _timed_out) = match self.cv.wait_timeout(g, timeout) {
+            Ok(pair) => pair,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notify_advances_the_epoch_and_unparks_immediately() {
+        let s = WorkSignal::new();
+        let seen = s.epoch();
+        s.notify();
+        // The epoch already moved, so the "wait" returns without parking.
+        let now = s.wait_timeout(seen, Duration::from_secs(60));
+        assert_eq!(now, seen + 1);
+    }
+
+    #[test]
+    fn wait_is_bounded_when_nothing_arrives() {
+        let s = WorkSignal::new();
+        let seen = s.epoch();
+        let now = s.wait_timeout(seen, Duration::from_millis(1));
+        assert_eq!(now, seen, "timeout path returns the unchanged epoch");
+    }
+
+    #[test]
+    fn cross_thread_notification_wakes_a_parked_waiter() {
+        let s = WorkSignal::new();
+        let seen = s.epoch();
+        crossbeam::thread::scope(|scope| {
+            let waiter = scope.spawn(|_| s.wait_timeout(seen, Duration::from_secs(30)));
+            s.notify();
+            let woke_at = waiter.join().expect("waiter thread");
+            assert_eq!(woke_at, seen + 1);
+        })
+        .expect("scope");
+    }
+}

@@ -21,14 +21,18 @@
 //! [`demo`] module drives the same scheduler from the proxy apps against a
 //! [`SimulatedExecutor`] standing in for a 64-rank machine.
 
+pub mod backpressure;
 pub mod demo;
 pub mod ladder;
+pub mod priority;
 pub mod refit;
 pub mod scheduler;
 pub mod simexec;
 
+pub use backpressure::QueuePressure;
 pub use demo::{run_budgeted_demo, CycleOutcome, DemoConfig, DemoReport};
 pub use ladder::{Ladder, Rung, LADDER};
+pub use priority::{Priority, PRIORITIES};
 pub use refit::OnlineRefit;
 pub use scheduler::{CycleRecord, Decision, PlannedJob, RenderRequest, Scheduler, SchedulerConfig};
 pub use simexec::{JobCost, SimulatedExecutor};

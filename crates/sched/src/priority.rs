@@ -1,0 +1,63 @@
+//! Per-request priority classes for admission under load.
+//!
+//! The original queue was FIFO and the ladder level applied uniformly to
+//! every request in a cycle. Priorities split that: under pressure the
+//! scheduler sheds *classes* bottom-up instead of degrading everything, and
+//! a `MustRender` request preempts lower classes outright — it is answered
+//! first and is never shed, no matter how deep the queue runs.
+
+/// Priority of one request. The derived order is shedding order: lower
+/// variants are shed first, and [`Priority::MustRender`] is never shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Speculative "what if" probes — the first class shed under pressure.
+    Speculative,
+    /// Ordinary interactive requests.
+    Normal,
+    /// Must-answer requests: preempt the queue, never shed.
+    MustRender,
+}
+
+/// Every priority class, lowest to highest.
+pub const PRIORITIES: [Priority; 3] =
+    [Priority::Speculative, Priority::Normal, Priority::MustRender];
+
+impl Priority {
+    /// Stable lowercase label used in transcripts, tables, and the wire form.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Priority::Speculative => "speculative",
+            Priority::Normal => "normal",
+            Priority::MustRender => "must-render",
+        }
+    }
+
+    /// Inverse of [`Priority::label`].
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "speculative" => Some(Priority::Speculative),
+            "normal" => Some(Priority::Normal),
+            "must-render" => Some(Priority::MustRender),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_shedding_order() {
+        assert!(Priority::Speculative < Priority::Normal);
+        assert!(Priority::Normal < Priority::MustRender);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for p in PRIORITIES {
+            assert_eq!(Priority::parse(p.label()), Some(p));
+        }
+        assert_eq!(Priority::parse("urgent"), None);
+    }
+}

@@ -39,6 +39,12 @@ pub struct Config {
     /// The designated timing modules: the only places allowed to read the
     /// wall clock (X007). Entries are path prefixes.
     pub x007_timing_modules: Vec<String>,
+    /// Service source trees where X009 bans bare blocking `.recv()` calls.
+    /// Entries are path prefixes.
+    pub x009_service: Vec<String>,
+    /// The designated wait modules inside the X009 scopes: the only places
+    /// allowed to block (they own the timeout/shutdown discipline).
+    pub x009_wait_modules: Vec<String>,
     /// The models module X008 reads declared model names from. Empty
     /// disables the cross-file persistence check.
     pub x008_models: String,
@@ -75,6 +81,8 @@ impl Default for Config {
             .map(|s| s.to_string())
             .collect(),
             x007_timing_modules: Vec::new(),
+            x009_service: vec!["crates/feasd/src/".to_string()],
+            x009_wait_modules: vec!["crates/feasd/src/wait.rs".to_string()],
             x008_models: "crates/core/src/models.rs".to_string(),
             x008_persist: "crates/core/src/persist.rs".to_string(),
             baseline: Vec::new(),
@@ -92,6 +100,8 @@ impl Config {
             x005_pinned: vec![String::new()],
             x006_scopes: vec![String::new()],
             x007_timing_modules: Vec::new(),
+            x009_service: vec![String::new()],
+            x009_wait_modules: Vec::new(),
             x008_models: String::new(),
             x008_persist: String::new(),
             baseline: Vec::new(),
@@ -171,7 +181,7 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
         if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
             section = name.trim().to_string();
             match section.as_str() {
-                "walk" | "x005" | "x006" | "x007" | "x008" => {}
+                "walk" | "x005" | "x006" | "x007" | "x008" | "x009" => {}
                 other => return Err(err(lineno, format!("unknown section `[{other}]`"))),
             }
             continue;
@@ -213,6 +223,8 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
             ("x005", "pinned") => cfg.x005_pinned = parse_array(&value)?,
             ("x006", "scopes") => cfg.x006_scopes = parse_array(&value)?,
             ("x007", "timing_modules") => cfg.x007_timing_modules = parse_array(&value)?,
+            ("x009", "service") => cfg.x009_service = parse_array(&value)?,
+            ("x009", "wait_modules") => cfg.x009_wait_modules = parse_array(&value)?,
             ("x008", "models") => cfg.x008_models = parse_string(&value, lineno)?,
             ("x008", "persist") => cfg.x008_persist = parse_string(&value, lineno)?,
             ("baseline", k) => {

@@ -33,6 +33,9 @@ pub enum Lint {
     /// A model name declared in the models module that the persist module
     /// never round-trips (cross-crate check).
     X008,
+    /// Bare blocking `.recv()` in service code outside the designated wait
+    /// modules.
+    X009,
 }
 
 impl Lint {
@@ -48,6 +51,7 @@ impl Lint {
             Lint::X006 => "X006",
             Lint::X007 => "X007",
             Lint::X008 => "X008",
+            Lint::X009 => "X009",
         }
     }
 
@@ -63,6 +67,7 @@ impl Lint {
             Lint::X006 => "unwrap/expect/panic! in non-test library code",
             Lint::X007 => "wall-clock read outside the designated timing modules",
             Lint::X008 => "model name is not round-tripped by the persist module",
+            Lint::X009 => "bare blocking recv() in service code outside the wait modules",
         }
     }
 
@@ -97,6 +102,11 @@ impl Lint {
                 "every fitted model must survive save/load: teach the persist format parser \
                  the new name AND extend the bit-identical round-trip test — X008 requires \
                  the quoted name on at least two lines of the persist module (parser + test)"
+            }
+            Lint::X009 => {
+                "a recv() with no timeout can block the service loop forever: wait through \
+                 the designated wait module (e.g. WorkSignal::wait_timeout) or add the module \
+                 to [x009].wait_modules in xlint.toml if it IS the wait discipline"
             }
         }
     }
@@ -331,6 +341,17 @@ pub fn lint_file(rel: &str, source: &str, cfg: &Config) -> FileReport {
         {
             raw_hits.push((Lint::X007, i));
         }
+
+        // X009 — bare blocking receives in service code. `.recv()` (no
+        // timeout) can park the batching loop forever; `recv_timeout` /
+        // `try_recv` and anything inside the designated wait modules pass.
+        if path_in(rel, &cfg.x009_service)
+            && !path_in(rel, &cfg.x009_wait_modules)
+            && !tests[i]
+            && code.contains(".recv()")
+        {
+            raw_hits.push((Lint::X009, i));
+        }
     }
 
     file_report(rel, &lines, raw_hits)
@@ -479,6 +500,22 @@ mod tests {
         let src = "let t0 = std::time::Instant::now();\n";
         assert!(lint_file("m/src/timer.rs", src, &c).findings.is_empty());
         assert_eq!(lint_file("m/src/other.rs", src, &c).findings.len(), 1);
+    }
+
+    #[test]
+    fn x009_wait_module_and_timeout_variants_pass() {
+        let mut c = cfg();
+        c.x009_service = vec!["svc/src/".to_string()];
+        c.x009_wait_modules = vec!["svc/src/wait.rs".to_string()];
+        let bare = "let m = rx.recv();\n";
+        assert_eq!(lint_file("svc/src/loop.rs", bare, &c).findings.len(), 1);
+        assert_eq!(lint_file("svc/src/loop.rs", bare, &c).findings[0].lint, Lint::X009);
+        // The designated wait module, timeout/try variants, and out-of-scope
+        // paths all pass.
+        assert!(lint_file("svc/src/wait.rs", bare, &c).findings.is_empty());
+        let bounded = "let m = rx.recv_timeout(d);\nlet n = rx.try_recv();\n";
+        assert!(lint_file("svc/src/loop.rs", bounded, &c).findings.is_empty());
+        assert!(lint_file("other/src/lib.rs", bare, &c).findings.is_empty());
     }
 
     #[test]

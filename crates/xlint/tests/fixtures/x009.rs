@@ -1,0 +1,18 @@
+//! X009 — bare blocking `recv()` in service code outside the wait modules.
+
+fn positive(rx: &Receiver<Query>) -> Option<Query> {
+    rx.recv().ok()
+}
+
+fn waived(rx: &Receiver<Query>) -> Option<Query> {
+    // xlint::allow(X009): fixture exercises the waiver path
+    rx.recv().ok()
+}
+
+fn negative(rx: &Receiver<Query>, d: Duration) -> Option<Query> {
+    // Bounded waits keep the batching loop responsive to shutdown.
+    match rx.recv_timeout(d) {
+        Ok(q) => Some(q),
+        Err(_) => rx.try_recv().ok(),
+    }
+}

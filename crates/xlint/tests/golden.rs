@@ -98,6 +98,11 @@ fn x007_wall_clock_reads() {
 }
 
 #[test]
+fn x009_bare_recv_in_service_code() {
+    check("x009", Lint::X009, 1, 1);
+}
+
+#[test]
 fn negatives_do_not_fire() {
     // Every fixture's negative section must stay silent: the only active
     // findings allowed are the fixture's own lint (plus the X000/X001 pair
@@ -111,6 +116,7 @@ fn negatives_do_not_fire() {
         ("x005", &[Lint::X005]),
         ("x006", &[Lint::X006]),
         ("x007", &[Lint::X007]),
+        ("x009", &[Lint::X009]),
     ];
     for (name, lints) in allowed {
         let report = run_fixture(name);

@@ -1,22 +1,47 @@
-//! The Chapter VI "adaptive infrastructure", running: a simulation registers
-//! time and memory constraints; the adaptive layer (backed by freshly fitted
-//! performance models) picks the rendering configuration each cycle, and the
-//! in situ renders obey the budget.
+//! Calibrate-then-schedule: the Chapter VI adaptive infrastructure driven by
+//! *real wall-clock renders*. A quick offline study fits the performance
+//! models on this machine; the fitted set seeds `sched::Scheduler`, which
+//! plugs into Strawman's admission hook. A probe cycle at full fidelity
+//! measures what the un-budgeted pipeline costs, the budget is then set well
+//! below it, and the scheduler must degrade (or reject) renders to keep each
+//! cycle inside the budget — with its online refit tightening predictions
+//! from the measured wall times as the run proceeds.
 
+use conduit_node::Node;
 use dpp::Device;
 use mpirt::NetModel;
-use perfmodel::extensions::{AdaptivePlanner, Constraints, SliceModel};
 use perfmodel::feasibility::ModelSet;
 use perfmodel::mapping::MappingConstants;
 use perfmodel::models::{CompositeModel, ModelForm, RastModel, RtBuildModel, RtModel, VrModel};
 use perfmodel::sample::RendererKind;
 use perfmodel::study::{run_composite_study, run_render_study, StudyConfig};
-use sims::ProxySim;
+use sched::{Scheduler, SchedulerConfig};
+use sims::{Kripke, ProxySim};
+use std::cell::RefCell;
+use std::rc::Rc;
+use strawman::{
+    AdmissionDecision, AdmissionHook, AdmissionRequest, CompositeObservation, ExecutedRender,
+    Options, Strawman, StrawmanError,
+};
 
-fn main() {
-    // --- Calibrate: a small study fits the six models (once, offline). ---
-    println!("calibrating performance models...");
-    let device = Device::parallel();
+/// Shares one `Scheduler` between Strawman's hook slot and the reporting
+/// code, so the run can print the scheduler's own cycle history afterwards.
+struct SharedSched(Rc<RefCell<Scheduler>>);
+
+impl AdmissionHook for SharedSched {
+    fn admit(&mut self, req: &AdmissionRequest) -> AdmissionDecision {
+        AdmissionHook::admit(&mut *self.0.borrow_mut(), req)
+    }
+    fn observe(&mut self, done: &ExecutedRender) {
+        AdmissionHook::observe(&mut *self.0.borrow_mut(), done)
+    }
+    fn observe_composite(&mut self, done: &CompositeObservation) {
+        AdmissionHook::observe_composite(&mut *self.0.borrow_mut(), done)
+    }
+}
+
+/// Calibrate: a small study renders real frames and fits the models.
+fn calibrate(device: &Device) -> (ModelSet, MappingConstants) {
     let study = StudyConfig {
         tests: 8,
         data_cells: (16, 40),
@@ -24,10 +49,11 @@ fn main() {
         fill: (0.5, 1.0),
         seed: 11,
     };
-    let rt = run_render_study(&device, RendererKind::RayTracing, &study).unwrap();
-    let ra = run_render_study(&device, RendererKind::Rasterization, &study).unwrap();
-    let vr = run_render_study(&device, RendererKind::VolumeRendering, &study).unwrap();
-    let comp = run_composite_study(NetModel::cluster(), &[1, 4, 16], &[128, 256], 5).unwrap();
+    let rt = run_render_study(device, RendererKind::RayTracing, &study).expect("rt study");
+    let ra = run_render_study(device, RendererKind::Rasterization, &study).expect("rast study");
+    let vr = run_render_study(device, RendererKind::VolumeRendering, &study).expect("vr study");
+    let comp = run_composite_study(NetModel::cluster(), &[1, 4, 16], &[128, 256], 5)
+        .expect("composite study");
     let set = ModelSet {
         device: "parallel".into(),
         rt: RtModel.fit(&rt),
@@ -41,101 +67,125 @@ fn main() {
     let mut all = rt;
     all.extend(ra);
     all.extend(vr);
-    let planner = AdaptivePlanner::new(set, MappingConstants::calibrated(&all));
+    let k = MappingConstants::calibrated(&all);
+    (set, k)
+}
 
-    // Bonus: the slicing model of Section 6.1.
-    let (slice_model, _) = SliceModel::calibrate(&[12, 20, 28]);
-    println!(
-        "slicing model: R^2 = {:.3}; predicted slice of a 256^3 grid: {:.4} s",
-        slice_model.fit.r_squared,
-        slice_model.predict_for_grid(256)
-    );
+/// One in situ cycle: publish the Kripke grid, request a volume plot and a
+/// ray-traced pseudocolor plot at full fidelity, draw. Returns the wall
+/// seconds the cycle's admitted renders actually took and whether any render
+/// was rejected.
+fn run_cycle(sm: &mut Strawman, sim: &Kripke, side: i64) -> (f64, bool) {
+    let grid = sim.grid();
+    let mut data = Node::new();
+    data.set("state/time", sim.time());
+    data.set("state/cycle", sim.cycle() as i64);
+    data.set("state/domain", 0i64);
+    data.set("coords/type", "uniform");
+    data.set("coords/dims/i", grid.dims[0] as i64);
+    data.set("coords/dims/j", grid.dims[1] as i64);
+    data.set("coords/dims/k", grid.dims[2] as i64);
+    data.set("coords/origin/x", grid.origin.x as f64);
+    data.set("coords/origin/y", grid.origin.y as f64);
+    data.set("coords/origin/z", grid.origin.z as f64);
+    data.set("coords/spacing/x", grid.spacing.x as f64);
+    data.set("coords/spacing/y", grid.spacing.y as f64);
+    data.set("coords/spacing/z", grid.spacing.z as f64);
+    data.set("fields/phi/association", "vertex");
+    data.set("fields/phi/values", grid.field("phi_p").unwrap().values.clone());
 
-    // --- The simulation registers its constraints (Section 6.3). ---
-    let constraints = Constraints {
-        time_budget_s: 2.0,
-        memory_limit_bytes: 256 << 20,
-        images: 4,
-        min_image_side: 128,
-        max_image_side: 4096,
+    let mut actions = Node::new();
+    let vol = actions.append();
+    vol.set("action", "AddPlot");
+    vol.set("var", "phi");
+    vol.set("type", "volume");
+    let surf = actions.append();
+    surf.set("action", "AddPlot");
+    surf.set("var", "phi");
+    surf.set("renderer", "raytracer");
+    let draw = actions.append();
+    draw.set("action", "DrawPlots");
+    let save = actions.append();
+    save.set("action", "SaveImage");
+    // An empty file name renders without writing an image to disk.
+    save.set("fileName", "");
+    save.set("width", side);
+    save.set("height", side);
+
+    let before = sm.records.len();
+    sm.publish(&data).expect("publish");
+    let rejected = match sm.execute(&actions) {
+        Ok(()) => false,
+        Err(StrawmanError::Rejected) => true,
+        Err(e) => panic!("execute: {e}"),
     };
+    let spent: f64 = sm.records[before..].iter().map(|r| r.render_seconds).sum();
+    (spent, rejected)
+}
+
+fn main() {
+    let device = Device::parallel();
+    println!("calibrating performance models on this machine...");
+    let (set, constants) = calibrate(&device);
+
+    // --- Probe: one full-fidelity cycle with no budget in force. ---
+    let side = 768i64;
+    let mut sim = Kripke::new(28);
+    sim.step();
+    let mut probe = Strawman::open(Options { device: device.clone(), ..Options::default() });
+    let (full_s, _) = run_cycle(&mut probe, &sim, side);
+    probe.close();
+
+    // --- Schedule: budget well below the measured full-fidelity cost. ---
+    let budget_s = (full_s * 0.4).max(1e-4);
     println!(
-        "\nconstraints: {:.1} s/cycle for {} images, {} MiB scratch",
-        constraints.time_budget_s,
-        constraints.images,
-        constraints.memory_limit_bytes >> 20
+        "full-fidelity cycle measured at {full_s:.3} s; budgeting {budget_s:.3} s/cycle \
+         ({side}x{side} requested)"
     );
+    let sched =
+        Rc::new(RefCell::new(Scheduler::new(set, constants, SchedulerConfig::new(budget_s, 1))));
+    let mut sm = Strawman::open(Options {
+        device,
+        cycle_budget_s: Some(budget_s),
+        scheduler: Some(Box::new(SharedSched(Rc::clone(&sched)))),
+        ..Options::default()
+    });
 
-    // --- Drive the simulation; the planner picks the configuration. ---
-    let n = 32usize;
-    let mut sim = sims::Cloverleaf::new(n);
-    for _ in 0..3 {
+    let cycles = 8;
+    for _ in 0..cycles {
         sim.step();
-        let plan = planner.plan(n, 1, &constraints).expect("constraints should be satisfiable");
+        let (spent, rejected) = run_cycle(&mut sm, &sim, side);
+        let note = if rejected { " (some renders rejected)" } else { "" };
         println!(
-            "cycle {}: plan = {} at {}x{} (expected {:.3} s, {} MiB)",
+            "cycle {:2}: {:.3} s of renders, {:.0}% of budget{note}",
             sim.cycle(),
-            plan.renderer.name(),
-            plan.image_side,
-            plan.image_side,
-            plan.expected_seconds,
-            plan.expected_bytes >> 20
-        );
-
-        // Execute the plan.
-        let grid = sim.grid().to_uniform();
-        let t0 = std::time::Instant::now();
-        let cam = vecmath::Camera::close_view(&grid.bounds());
-        for _ in 0..constraints.images {
-            match plan.renderer {
-                RendererKind::VolumeRendering => {
-                    let range = grid.field("energy_p").unwrap().range().unwrap();
-                    let tf = vecmath::TransferFunction::sparse_features(range);
-                    let _ = render::volume_structured::render_structured(
-                        &device,
-                        &grid,
-                        "energy_p",
-                        &cam,
-                        plan.image_side,
-                        plan.image_side,
-                        &tf,
-                        &render::volume_structured::SvrConfig::default(),
-                    );
-                }
-                _ => {
-                    let tris = mesh::external_faces::external_faces_grid(&grid, "energy_p");
-                    let geom = render::raytrace::TriGeometry::from_mesh(&tris);
-                    let tf = vecmath::TransferFunction::rainbow(geom.scalar_range);
-                    match plan.renderer {
-                        RendererKind::Rasterization => {
-                            let _ = render::raster::rasterize(
-                                &device,
-                                &geom,
-                                &cam,
-                                plan.image_side,
-                                plan.image_side,
-                                &tf,
-                                None,
-                            );
-                        }
-                        _ => {
-                            let rt = render::raytrace::RayTracer::new(device.clone(), geom);
-                            let _ = rt.render(
-                                &cam,
-                                plan.image_side,
-                                plan.image_side,
-                                &render::raytrace::RtConfig::workload2(),
-                            );
-                        }
-                    }
-                }
-            }
-        }
-        let actual = t0.elapsed().as_secs_f64();
-        println!(
-            "         actual {:.3} s ({:.0}% of budget)",
-            actual,
-            actual / constraints.time_budget_s * 100.0
+            spent,
+            spent / budget_s * 100.0
         );
     }
+
+    // Close the scheduler's last open cycle, then report its own view: the
+    // ladder level it operated at and how prediction error moved as the
+    // online refit absorbed the measured wall times.
+    sched.borrow_mut().end_cycle();
+    let (admitted, degraded, rejected) = sm.admissions.totals();
+    println!("\nadmissions: {admitted} admitted, {degraded} degraded, {rejected} rejected");
+    let sched = sched.borrow();
+    for rec in &sched.history {
+        println!(
+            "  cycle {:2}: level {}, predicted {:.3} s, actual {:.3} s, within budget: {}",
+            rec.cycle,
+            rec.level,
+            rec.predicted_s,
+            rec.actual_s,
+            rec.within_budget()
+        );
+    }
+    let within = sched.history.iter().filter(|r| r.within_budget()).count();
+    println!(
+        "{within}/{} scheduled cycles stayed inside the {budget_s:.3} s budget",
+        sched.history.len()
+    );
+    drop(sched);
+    sm.close();
 }
