@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p bench-harness --release --bin repro -- <id> [--full]
 //!   <id>:  table1..table17 | fig4 fig5 fig6 fig7 fig11..fig15
-//!          | ablations | compression | dfb | sched | feasd | scaling | all
+//!          | ablations | compression | dfb | sched | feasd | graph | scaling | all
 //!   --full: paper-shaped sizes (minutes-to-hours); default is quick scale
 //! ```
 //!
@@ -47,6 +47,7 @@ const ALL: &[&str] = &[
     "dfb",
     "sched",
     "feasd",
+    "graph",
     "scaling",
 ];
 
@@ -56,7 +57,7 @@ fn main() {
     let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     if ids.is_empty() {
         eprintln!(
-            "usage: repro <table1..table17|fig4..fig15|ablations|compression|dfb|sched|feasd|scaling|images|all> [--full]"
+            "usage: repro <table1..table17|fig4..fig15|ablations|compression|dfb|sched|feasd|graph|scaling|images|all> [--full]"
         );
         std::process::exit(2);
     }
@@ -109,6 +110,7 @@ fn run(id: &str, scale: Scale) {
         "dfb" => tables::dfb(scale),
         "sched" => tables::sched_demo(scale),
         "feasd" => tables::feasd_demo(scale),
+        "graph" => tables::graph_demo(scale),
         "scaling" => tables::scaling(scale),
         "fig4" => figures::fig_phase_sweep(scale, false),
         "fig5" => figures::fig_phase_sweep(scale, true),

@@ -137,6 +137,10 @@ impl Corpus {
                 Some(CompressedCompositeModel.fit(&compressed))
             },
             comp_dfb: if dfb.is_empty() { None } else { Some(DfbCompositeModel.fit(&dfb)) },
+            // Per-pass models come from graph-executor timings, not the
+            // offline corpus; the online refit fills them at run time.
+            pass_ao: None,
+            pass_shadows: None,
         }
     }
 

@@ -1317,3 +1317,176 @@ pub fn scaling(scale: Scale) -> TextTable {
     }
     t
 }
+
+/// `repro graph`: the render-graph executor end to end. A camera orbit
+/// renders frames through the ray-tracing frame graph with cross-frame
+/// caching; every executed pass's measured timing streams into the online
+/// refit as a `PassSample`, the refitted per-pass models price the
+/// pass-granular ladder, and the table prices a budget that full fidelity
+/// misses by less than the ambient-occlusion pass costs: the pass ladder
+/// holds it at *full resolution* by shedding AO, while the whole-frame
+/// ladder's only move is to throw away 75% of the pixels. The per-pass
+/// timing log is written to `graph_passes.csv`.
+pub fn graph_demo(scale: Scale) -> TextTable {
+    use perfmodel::sample::PassSample;
+    use render::graph::{render_rt_graph, GraphCache};
+    use sched::passes::{first_feasible, PASS_LADDER};
+    use sched::{OnlineRefit, Rung, LADDER};
+
+    let side = scale.image_side();
+    let frames = match scale {
+        Scale::Quick => 6usize,
+        Scale::Full => 18,
+    };
+    let device = Device::parallel();
+    let spec = &surface_dataset_pool()[4]; // RM 350K
+    let mesh = spec.build(scale.dataset_scale());
+    let geom = TriGeometry::from_mesh(&mesh);
+    let tf = TransferFunction::rainbow(geom.scalar_range);
+    let cfg = RtConfig::workload3();
+    let bounds = geom.bounds;
+
+    let mut cache = GraphCache::new(64);
+    let mut refit = OnlineRefit::new(128, 4);
+    let mut csv = String::from("frame,pass,work_units,seconds,cached,skipped,freed_bytes\n");
+    let mut build_seconds = 0.0f64;
+    let mut last_full = None;
+    for f in 0..frames {
+        // Orbit: every frame's camera is new (ray tables re-run) while the
+        // geometry fingerprint holds (BVH cached after frame 0).
+        let a = f as f64 / frames as f64 * std::f64::consts::TAU;
+        let dir = Vec3::new(a.cos() as f32, 0.25, a.sin() as f32);
+        let cam = Camera::framing(&bounds, dir, 0.9);
+        // Cycle the resolution so the observed pass work units span a range
+        // the 2-term regression can fit (constant work would be
+        // rank-deficient); the last frame lands on full resolution.
+        let s = side * (2 + (f % 3) as u32) / 4;
+        let (_, info) =
+            render_rt_graph(&device, &geom, &cam, s, s, &cfg, &tf, &[], Some(&mut cache))
+                .expect("graph render");
+        for r in &info.records {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                csv,
+                "{f},{},{},{:.6e},{},{},{}",
+                r.name, r.work_units, r.seconds, r.cached, r.skipped, r.freed_bytes
+            );
+            if r.name == "bvh_build" && !r.cached {
+                build_seconds = r.seconds;
+            }
+            // Executed sheddable passes feed the per-pass refit features.
+            if !r.cached && !r.skipped && r.work_units > 0 {
+                if let Some(pass) = match r.name {
+                    "ambient_occlusion" => Some("ambient_occlusion"),
+                    "shadows" => Some("shadows"),
+                    _ => None,
+                } {
+                    refit.observe_pass(PassSample {
+                        pass: pass.to_string(),
+                        work_units: r.work_units as f64,
+                        seconds: r.seconds,
+                    });
+                }
+            }
+        }
+        last_full = Some(info);
+    }
+    crate::write_artifact("graph_passes.csv", &csv);
+
+    // Install the per-pass models fitted from the observed pass timings.
+    let mut set = sched::demo::ground_truth();
+    let report = refit.refit_into(&mut set);
+    assert!(
+        set.pass_ao.is_some() && set.pass_shadows.is_some(),
+        "per-pass refit must install both pass models (refitted: {:?}, rejected: {:?})",
+        report.refitted,
+        report.rejected
+    );
+
+    // Whole-frame cost at each resolution rung, measured on the live graph
+    // (warm BVH, fresh camera so nothing else is cached).
+    let frame_measured: Vec<f64> = (0..3u8)
+        .map(|h| {
+            let s = (side >> h).max(8);
+            let cam = Camera::framing(&bounds, Vec3::new(0.3, 0.8, -0.6), 0.9);
+            let (_, info) =
+                render_rt_graph(&device, &geom, &cam, s, s, &cfg, &tf, &[], Some(&mut cache))
+                    .expect("graph render");
+            info.total_seconds() - info.seconds_of("bvh_build")
+        })
+        .collect();
+    let frame_seconds = |r: Rung| frame_measured[(r.halvings() as usize).min(2)];
+    let full = last_full.expect("at least one frame");
+    let ao_units = full.record("ambient_occlusion").map_or(0.0, |r| r.work_units as f64);
+    let shadow_units = full.record("shadows").map_or(0.0, |r| r.work_units as f64);
+
+    let pass_pred: Vec<f64> = PASS_LADDER
+        .iter()
+        .map(|r| r.predicted_seconds(&set, frame_seconds, ao_units, shadow_units, build_seconds))
+        .collect();
+    // A budget the pass ladder can hold at full resolution (just above the
+    // skip-AO rung) but every executable full-resolution whole-frame state
+    // misses: the whole-frame ladder must halve.
+    let budget = pass_pred[2] * 1.02;
+    let pass_level = first_feasible(&pass_pred, budget);
+    let frame_pred: Vec<f64> = LADDER
+        .iter()
+        .map(|r| match r {
+            Rung::Drop => 0.0,
+            r => frame_seconds(*r) + build_seconds,
+        })
+        .collect();
+    let frame_level = first_feasible(&frame_pred, budget);
+
+    let mut t = TextTable::new(
+        format!(
+            "Render graph: pass-granular admission under a {:.1} ms budget \
+             (pass ladder holds level {pass_level} = {}, whole-frame ladder falls to {})",
+            budget * 1e3,
+            PASS_LADDER[pass_level].label(),
+            LADDER[frame_level].label(),
+        ),
+        &["ladder", "rung", "predicted (s)", "within budget", "pixels kept"],
+    );
+    for (i, r) in PASS_LADDER.iter().enumerate() {
+        let kept = if r.is_drop() { 0.0 } else { 100.0 * 0.25f64.powi(r.frame.halvings() as i32) };
+        t.row(vec![
+            "pass".into(),
+            format!("{i}: {}", r.label()),
+            fmt_s(pass_pred[i]),
+            if pass_pred[i] <= budget { "yes" } else { "no" }.into(),
+            format!("{kept:.0}%"),
+        ]);
+    }
+    for (i, r) in LADDER.iter().enumerate() {
+        let kept = match r {
+            Rung::Drop => 0.0,
+            r => 100.0 * 0.25f64.powi(r.halvings() as i32),
+        };
+        t.row(vec![
+            "whole-frame".into(),
+            format!("{i}: {}", r.label()),
+            fmt_s(frame_pred[i]),
+            if frame_pred[i] <= budget { "yes" } else { "no" }.into(),
+            format!("{kept:.0}%"),
+        ]);
+    }
+    // The refit trailer: which families the observed pass timings installed.
+    for name in ["pass_ambient_occlusion", "pass_shadows"] {
+        let m = if name == "pass_ambient_occlusion" {
+            set.pass_ao.as_ref()
+        } else {
+            set.pass_shadows.as_ref()
+        };
+        if let Some(m) = m {
+            t.row(vec![
+                "refit".into(),
+                name.into(),
+                format!("r2={:.3} n={}", m.fit.r_squared, m.fit.n),
+                if report.refitted.contains(&name) { "installed" } else { "kept" }.into(),
+                String::new(),
+            ]);
+        }
+    }
+    t
+}

@@ -6,7 +6,7 @@
 use crate::mapping::{map_inputs, MappingConstants, RenderConfig};
 use crate::models::{
     CompositeModel, CompressedCompositeModel, DfbCompositeModel, FittedLinearModel, ModelForm,
-    RastModel, RtBuildModel, RtModel, VrModel,
+    PassModel, RastModel, RtBuildModel, RtModel, VrModel,
 };
 use crate::sample::{CompositeSample, CompositeWire, RendererKind};
 
@@ -43,6 +43,14 @@ pub struct ModelSet {
     /// [`CompositeWire::Dfb`] wire; `None` falls back through
     /// `comp_compressed` to `comp`.
     pub comp_dfb: Option<FittedLinearModel>,
+    /// Per-pass model for the ray tracer's `ambient_occlusion` graph pass
+    /// (`T = c0*W + c1` over reported work units). `None` until per-pass
+    /// timings from the graph executor have been observed; pass-granular
+    /// admission falls back to whole-frame rungs without it.
+    pub pass_ao: Option<FittedLinearModel>,
+    /// Per-pass model for the ray tracer's `shadows` graph pass; see
+    /// [`ModelSet::pass_ao`].
+    pub pass_shadows: Option<FittedLinearModel>,
 }
 
 impl ModelSet {
@@ -114,12 +122,28 @@ impl ModelSet {
                 bad.push(m.name);
             }
         }
-        for m in [&self.comp_compressed, &self.comp_dfb].into_iter().flatten() {
+        for m in [&self.comp_compressed, &self.comp_dfb, &self.pass_ao, &self.pass_shadows]
+            .into_iter()
+            .flatten()
+        {
             if !m.fit.all_coeffs_nonnegative() {
                 bad.push(m.name);
             }
         }
         bad
+    }
+
+    /// Predicted seconds a named graph pass would cost at `work_units`, when
+    /// its per-pass model has been fitted (`None` otherwise — the caller
+    /// falls back to whole-frame degradation). Clamped at 0 like the frame
+    /// predictors.
+    pub fn predict_pass_seconds(&self, pass: &str, work_units: f64) -> Option<f64> {
+        let (model, slot) = match pass {
+            "ambient_occlusion" => (PassModel::AMBIENT_OCCLUSION, &self.pass_ao),
+            "shadows" => (PassModel::SHADOWS, &self.pass_shadows),
+            _ => return None,
+        };
+        slot.as_ref().map(|m| model.predict(m, work_units).max(0.0))
     }
 
     /// True when every model in the set passes the plausibility criterion.
@@ -251,6 +275,8 @@ mod tests {
             },
             comp_compressed: None,
             comp_dfb: None,
+            pass_ao: None,
+            pass_shadows: None,
         }
     }
 

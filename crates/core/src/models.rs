@@ -8,7 +8,7 @@
 //! * Total:         `T_total = max_tasks(T_LR) + T_COMP`
 
 use crate::regression::LinearRegression;
-use crate::sample::{CompositeSample, RenderSample};
+use crate::sample::{CompositeSample, PassSample, RenderSample};
 
 /// A fitted single-node model: feature extraction + regression results.
 #[derive(Debug, Clone)]
@@ -244,6 +244,59 @@ impl DfbCompositeModel {
     }
 }
 
+/// Per-pass model over render-graph executor timings: `T_pass = c0*W + c1`
+/// where `W` is the work units the pass reported (occlusion probes, shadow
+/// rays). The whole-frame models above predict a renderer's aggregate cost;
+/// these predict what one *sheddable* pass contributes, so the scheduler can
+/// price "skip ambient occlusion" against "halve the image" instead of only
+/// degrading whole frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassModel {
+    name: &'static str,
+}
+
+impl PassModel {
+    /// Model for the ray tracer's `ambient_occlusion` graph pass.
+    pub const AMBIENT_OCCLUSION: PassModel = PassModel { name: "pass_ambient_occlusion" };
+    /// Model for the ray tracer's `shadows` graph pass.
+    pub const SHADOWS: PassModel = PassModel { name: "pass_shadows" };
+
+    /// The model covering a graph pass name, for passes that have one.
+    pub fn for_pass(pass: &str) -> Option<PassModel> {
+        match pass {
+            "ambient_occlusion" => Some(PassModel::AMBIENT_OCCLUSION),
+            "shadows" => Some(PassModel::SHADOWS),
+            _ => None,
+        }
+    }
+
+    /// Model name used in report tables and persisted records.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Feature vector `[W, 1]` for one sample.
+    pub fn features(&self, s: &PassSample) -> Vec<f64> {
+        vec![s.work_units, 1.0]
+    }
+
+    /// Fit the pass model to measured per-pass timings.
+    pub fn fit(&self, samples: &[PassSample]) -> FittedLinearModel {
+        let xs: Vec<Vec<f64>> = samples.iter().map(|s| self.features(s)).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.seconds).collect();
+        FittedLinearModel {
+            name: self.name,
+            fit: LinearRegression::fit(&xs, &ys),
+            feature_names: vec!["W", "1"],
+        }
+    }
+
+    /// Predicted pass seconds at `work_units` under `fitted`.
+    pub fn predict(&self, fitted: &FittedLinearModel, work_units: f64) -> f64 {
+        fitted.fit.predict(&[work_units, 1.0])
+    }
+}
+
 /// The multi-node total: `max_tasks(T_LR) + T_COMP` (Equation 5.4).
 pub fn total_time(per_task_render_seconds: &[f64], compositing_seconds: f64) -> f64 {
     per_task_render_seconds.iter().copied().fold(0.0, f64::max) + compositing_seconds
@@ -395,6 +448,32 @@ mod tests {
         assert!((fitted.coeffs()[2] - c[2]).abs() / c[2] < 1e-6);
         let pred = DfbCompositeModel.predict(&fitted, &samples[9]);
         assert!((pred - samples[9].seconds).abs() / samples[9].seconds < 1e-6);
+    }
+
+    #[test]
+    fn pass_model_recovers_planted_law() {
+        // Planted per-ray cost + fixed setup overhead for each pass family.
+        let c = [2.5e-8, 4e-4];
+        let samples: Vec<PassSample> = (1..20)
+            .map(|i| {
+                let w = 3000.0 * i as f64;
+                PassSample {
+                    pass: "ambient_occlusion".into(),
+                    work_units: w,
+                    seconds: c[0] * w + c[1],
+                }
+            })
+            .collect();
+        let fitted = PassModel::AMBIENT_OCCLUSION.fit(&samples);
+        assert_eq!(fitted.name, "pass_ambient_occlusion");
+        assert!(fitted.r_squared() > 0.9999);
+        assert!((fitted.coeffs()[0] - c[0]).abs() / c[0] < 1e-6);
+        let p = PassModel::AMBIENT_OCCLUSION.predict(&fitted, 7500.0);
+        assert!((p - (c[0] * 7500.0 + c[1])).abs() < 1e-9);
+        // Pass-name routing covers exactly the sheddable passes.
+        assert_eq!(PassModel::for_pass("shadows"), Some(PassModel::SHADOWS));
+        assert_eq!(PassModel::for_pass("ambient_occlusion"), Some(PassModel::AMBIENT_OCCLUSION));
+        assert_eq!(PassModel::for_pass("intersect"), None);
     }
 
     #[test]

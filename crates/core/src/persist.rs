@@ -10,7 +10,9 @@
 //! (`warn=`, `rank=`), and an optional `comp_rle` model record holding the
 //! compression-aware compositing model. Version-1 files (no header, five
 //! model lines, no diagnostics) still load: diagnostics default to a clean
-//! full-rank fit and the compressed model to absent.
+//! full-rank fit and the compressed model to absent. The per-pass models
+//! (`pass_ao`, `pass_shadows`) ride the same optional-record mechanism, so
+//! files without them load with the slots empty.
 
 use crate::feasibility::ModelSet;
 use crate::mapping::MappingConstants;
@@ -38,6 +40,12 @@ pub fn to_text(set: &ModelSet, k: &MappingConstants) -> String {
     }
     if let Some(m) = &set.comp_dfb {
         records.push(("comp_dfb", m));
+    }
+    if let Some(m) = &set.pass_ao {
+        records.push(("pass_ao", m));
+    }
+    if let Some(m) = &set.pass_shadows {
+        records.push(("pass_shadows", m));
     }
     for (tag, m) in records {
         let coeffs: Vec<String> = m.fit.coeffs.iter().map(|c| format!("{c:e}")).collect();
@@ -83,6 +91,8 @@ fn parse_model(parts: &[&str]) -> Result<FittedLinearModel, ParseError> {
         "compositing" => "compositing",
         "compositing_compressed" => "compositing_compressed",
         "compositing_dfb" => "compositing_dfb",
+        "pass_ambient_occlusion" => "pass_ambient_occlusion",
+        "pass_shadows" => "pass_shadows",
         other => return Err(ParseError(format!("unknown model name {other}"))),
     };
     let coeffs: Result<Vec<f64>, _> =
@@ -127,6 +137,8 @@ pub fn from_text(text: &str) -> Result<(ModelSet, MappingConstants), ParseError>
     let mut comp = None;
     let mut comp_compressed = None;
     let mut comp_dfb = None;
+    let mut pass_ao = None;
+    let mut pass_shadows = None;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
         let parts: Vec<&str> = line.split('|').collect();
         match parts[0] {
@@ -159,6 +171,8 @@ pub fn from_text(text: &str) -> Result<(ModelSet, MappingConstants), ParseError>
                     "comp" => comp = Some(m),
                     "comp_rle" => comp_compressed = Some(m),
                     "comp_dfb" => comp_dfb = Some(m),
+                    "pass_ao" => pass_ao = Some(m),
+                    "pass_shadows" => pass_shadows = Some(m),
                     other => return Err(ParseError(format!("unknown model tag {other}"))),
                 }
             }
@@ -178,6 +192,8 @@ pub fn from_text(text: &str) -> Result<(ModelSet, MappingConstants), ParseError>
             comp: need(comp, "comp")?,
             comp_compressed,
             comp_dfb,
+            pass_ao,
+            pass_shadows,
         },
         k,
     ))
@@ -216,6 +232,8 @@ mod tests {
                 comp: fit("compositing", vec![2e-8, 5e-8, 1e-3]),
                 comp_compressed: Some(fit("compositing_compressed", vec![3e-8, 2e-8, 2e-4, 8e-4])),
                 comp_dfb: Some(fit("compositing_dfb", vec![4e-8, 9e-9, 2e-6, 3e-4])),
+                pass_ao: Some(fit("pass_ambient_occlusion", vec![2.5e-8, 4e-4])),
+                pass_shadows: Some(fit("pass_shadows", vec![1.5e-8, 2e-4])),
             },
             MappingConstants { ap_fill: 0.31, ppt_factor: 4.5, spr_base: 210.0 },
         )
@@ -236,6 +254,15 @@ mod tests {
         assert_eq!(
             set2.comp_dfb.as_ref().unwrap().fit.coeffs,
             set.comp_dfb.as_ref().unwrap().fit.coeffs
+        );
+        assert_eq!(
+            set2.pass_ao.as_ref().unwrap().fit.coeffs,
+            set.pass_ao.as_ref().unwrap().fit.coeffs
+        );
+        assert_eq!(set2.pass_ao.as_ref().unwrap().name, "pass_ambient_occlusion");
+        assert_eq!(
+            set2.pass_shadows.as_ref().unwrap().fit.coeffs,
+            set.pass_shadows.as_ref().unwrap().fit.coeffs
         );
         assert_eq!(set2.vr.fit.n, 25);
         assert_eq!(k2.ap_fill, k.ap_fill);
@@ -291,6 +318,18 @@ mod tests {
                 0.3333333333333333,
                 f64::MIN_POSITIVE,
             )),
+            pass_ao: Some(fit(
+                "pass_ambient_occlusion",
+                vec![1.0 / 3.0 * 1e-7, 4.9e-324],
+                0.123_456_789_012_345_68,
+                2.0_f64.sqrt() * 1e-5,
+            )),
+            pass_shadows: Some(fit(
+                "pass_shadows",
+                vec![-1e-300, 0.1 + 0.7],
+                1.0 - f64::EPSILON,
+                0.0,
+            )),
         };
         let k = MappingConstants {
             ap_fill: 0.5500000000000001,
@@ -306,6 +345,8 @@ mod tests {
             (&set.comp, &set2.comp),
             (set.comp_compressed.as_ref().unwrap(), set2.comp_compressed.as_ref().unwrap()),
             (set.comp_dfb.as_ref().unwrap(), set2.comp_dfb.as_ref().unwrap()),
+            (set.pass_ao.as_ref().unwrap(), set2.pass_ao.as_ref().unwrap()),
+            (set.pass_shadows.as_ref().unwrap(), set2.pass_shadows.as_ref().unwrap()),
         ];
         for (a, b) in pairs {
             assert_eq!(a.fit.coeffs.len(), b.fit.coeffs.len());
@@ -321,6 +362,105 @@ mod tests {
         assert_eq!(k.ap_fill.to_bits(), k2.ap_fill.to_bits());
         assert_eq!(k.ppt_factor.to_bits(), k2.ppt_factor.to_bits());
         assert_eq!(k.spr_base.to_bits(), k2.spr_base.to_bits());
+    }
+
+    #[test]
+    fn every_model_form_round_trips_its_fit_bit_identically() {
+        // X010's contract: every pub model type must survive save/load, so
+        // fit each form — RtModel, RtBuildModel, RastModel, VrModel,
+        // CompositeModel, CompressedCompositeModel, DfbCompositeModel,
+        // PassModel — on a tiny planted corpus and compare the fitted
+        // coefficients to the bit across a text round trip. Fitting (rather
+        // than hand-writing coefficients) keeps the test honest about the
+        // solver's actual output values, irrational intercepts and all.
+        use crate::models::{
+            CompositeModel, CompressedCompositeModel, DfbCompositeModel, ModelForm, PassModel,
+            RastModel, RtBuildModel, RtModel, VrModel,
+        };
+        use crate::sample::{
+            CompositeSample, CompositeWire, PassSample, RenderSample, RendererKind,
+        };
+
+        let render = |i: usize, renderer: RendererKind| {
+            let x = 1.0 + i as f64;
+            RenderSample {
+                renderer,
+                device: "parallel".into(),
+                source: "planted".into(),
+                objects: 1000.0 * x,
+                active_pixels: 700.0 * x + 13.0,
+                visible_objects: 90.0 * x,
+                pixels_per_triangle: 3.0 + 0.5 * x,
+                samples_per_ray: 40.0 + 7.0 * x,
+                cells_spanned: 10.0 + 2.0 * x,
+                pixels: 65536.0,
+                tasks: 8,
+                build_seconds: 1e-4 * x + 3e-5,
+                render_seconds: 2e-3 * x + 1e-4 * x * x,
+            }
+        };
+        let rt_corpus: Vec<RenderSample> =
+            (0..6).map(|i| render(i, RendererKind::RayTracing)).collect();
+        let rast_corpus: Vec<RenderSample> =
+            (0..6).map(|i| render(i, RendererKind::Rasterization)).collect();
+        let vr_corpus: Vec<RenderSample> =
+            (0..6).map(|i| render(i, RendererKind::VolumeRendering)).collect();
+        let comp_corpus: Vec<CompositeSample> = (0..8)
+            .map(|i| {
+                let x = 1.0 + i as f64;
+                CompositeSample {
+                    tasks: 4 + i,
+                    pixels: 65536.0 + 4096.0 * x,
+                    avg_active_pixels: 900.0 * x,
+                    seconds: 5e-4 * x + 2e-5 * x * x,
+                    wire: CompositeWire::Compressed,
+                }
+            })
+            .collect();
+        let pass_corpus: Vec<PassSample> = (0..5)
+            .map(|i| {
+                let x = 1.0 + i as f64;
+                PassSample {
+                    pass: "ambient_occlusion".into(),
+                    work_units: 500.0 * x,
+                    seconds: 3e-5 * x + 7e-6,
+                }
+            })
+            .collect();
+
+        let set = ModelSet {
+            device: "parallel".into(),
+            rt: RtModel.fit(&rt_corpus),
+            rt_build: RtBuildModel.fit(&rt_corpus),
+            rast: RastModel.fit(&rast_corpus),
+            vr: VrModel.fit(&vr_corpus),
+            comp: CompositeModel.fit(&comp_corpus),
+            comp_compressed: Some(CompressedCompositeModel.fit(&comp_corpus)),
+            comp_dfb: Some(DfbCompositeModel.fit(&comp_corpus)),
+            pass_ao: Some(PassModel::AMBIENT_OCCLUSION.fit(&pass_corpus)),
+            pass_shadows: Some(PassModel::SHADOWS.fit(&pass_corpus)),
+        };
+        let k = MappingConstants::default();
+        let (set2, _) = from_text(&to_text(&set, &k)).unwrap();
+        let pairs = [
+            (&set.rt, &set2.rt),
+            (&set.rt_build, &set2.rt_build),
+            (&set.rast, &set2.rast),
+            (&set.vr, &set2.vr),
+            (&set.comp, &set2.comp),
+            (set.comp_compressed.as_ref().unwrap(), set2.comp_compressed.as_ref().unwrap()),
+            (set.comp_dfb.as_ref().unwrap(), set2.comp_dfb.as_ref().unwrap()),
+            (set.pass_ao.as_ref().unwrap(), set2.pass_ao.as_ref().unwrap()),
+            (set.pass_shadows.as_ref().unwrap(), set2.pass_shadows.as_ref().unwrap()),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.fit.coeffs.len(), b.fit.coeffs.len(), "{}", a.name);
+            for (ca, cb) in a.fit.coeffs.iter().zip(b.fit.coeffs.iter()) {
+                assert_eq!(ca.to_bits(), cb.to_bits(), "{}: {ca:e} != {cb:e}", a.name);
+            }
+            assert_eq!(a.fit.r_squared.to_bits(), b.fit.r_squared.to_bits(), "{} r2", a.name);
+        }
     }
 
     #[test]
@@ -355,6 +495,8 @@ model|comp|name=compositing|r2=0.97|resid=0.0001|n=25|coeffs=2e-8;5e-8;1e-3
         assert_eq!(set.comp.fit.coeffs, vec![2e-8, 5e-8, 1e-3]);
         assert!(set.comp_compressed.is_none());
         assert!(set.comp_dfb.is_none());
+        assert!(set.pass_ao.is_none());
+        assert!(set.pass_shadows.is_none());
         // Diagnostics default to a clean full-rank fit.
         assert!(!set.vr.fit.condition_warning);
         assert_eq!(set.vr.fit.effective_rank, 3);

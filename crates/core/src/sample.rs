@@ -200,6 +200,44 @@ impl CompositeSample {
     }
 }
 
+/// One per-pass timing measurement from the render-graph executor: a pass
+/// name, the work units the pass reported (occlusion probes cast, shadow
+/// rays, live pixels shaded), and the measured seconds. These are the refit
+/// features behind pass-granular admission — the scheduler predicts what an
+/// individual pass would cost before deciding to run or shed it.
+#[derive(Debug, Clone)]
+pub struct PassSample {
+    /// Graph pass name (e.g. "ambient_occlusion", "shadows").
+    pub pass: String,
+    /// Work units the pass reported to the executor.
+    pub work_units: f64,
+    /// Measured pass seconds.
+    pub seconds: f64,
+}
+
+impl PassSample {
+    /// Column header matching [`PassSample::to_csv_row`].
+    pub const CSV_HEADER: &'static str = "pass,work_units,seconds";
+
+    /// Serialize as one CSV row in `CSV_HEADER` column order.
+    pub fn to_csv_row(&self) -> String {
+        format!("{},{},{}", self.pass, self.work_units, self.seconds)
+    }
+
+    /// Parse a row written by [`PassSample::to_csv_row`].
+    pub fn from_csv_row(row: &str) -> Option<PassSample> {
+        let f: Vec<&str> = row.split(',').collect();
+        if f.len() != 3 || f[0].is_empty() {
+            return None;
+        }
+        Some(PassSample {
+            pass: f[0].to_string(),
+            work_units: f[1].parse().ok()?,
+            seconds: f[2].parse().ok()?,
+        })
+    }
+}
+
 /// Write samples to CSV text.
 pub fn to_csv(samples: &[RenderSample]) -> String {
     let mut out = String::from(RenderSample::CSV_HEADER);
@@ -303,6 +341,19 @@ mod tests {
         let back = CompositeSample::from_csv_row(&c.to_csv_row()).unwrap();
         assert_eq!(back.wire, CompositeWire::Dfb);
         assert_eq!(CompositeWire::parse("dfb"), Some(CompositeWire::Dfb));
+    }
+
+    #[test]
+    fn pass_sample_round_trip() {
+        let p =
+            PassSample { pass: "ambient_occlusion".into(), work_units: 48000.0, seconds: 0.003 };
+        let back = PassSample::from_csv_row(&p.to_csv_row()).unwrap();
+        assert_eq!(back.pass, "ambient_occlusion");
+        assert_eq!(back.work_units, 48000.0);
+        assert_eq!(back.seconds, 0.003);
+        assert!(PassSample::from_csv_row(",1,2").is_none());
+        assert!(PassSample::from_csv_row("shadows,abc,2").is_none());
+        assert!(PassSample::from_csv_row("shadows,1").is_none());
     }
 
     #[test]

@@ -37,5 +37,7 @@ pub(crate) fn toy_model_set() -> ModelSet {
         },
         comp_compressed: None,
         comp_dfb: None,
+        pass_ao: None,
+        pass_shadows: None,
     }
 }

@@ -48,6 +48,8 @@ fn toy_model_set() -> ModelSet {
         },
         comp_compressed: None,
         comp_dfb: None,
+        pass_ao: None,
+        pass_shadows: None,
     }
 }
 
@@ -93,6 +95,44 @@ fn raw_entries() -> impl Strategy<Value = Vec<RawEntry>> {
         ),
         0..200,
     )
+}
+
+/// Deterministic companion to the generative backfill property: one hot key
+/// rewritten at every phase of the base/overlay lifecycle — while overlay-
+/// resident, in place after a compaction moved it into the base, and again
+/// after further compactions grew the base around it.
+#[test]
+fn hot_key_survives_every_compaction_boundary() {
+    let hot = TableKey { renderer: 0, device: 0, image_side: 7, cells_per_task: 7, tasks: 7 };
+    let other =
+        |i: u32| TableKey { renderer: 1, device: 1, image_side: i, cells_per_task: 1, tasks: 1 };
+    let put = |table: &mut FeasTable, key: TableKey, v: f64| {
+        table.insert(TableEntry { key, per_frame_s: v, build_s: 0.0 });
+    };
+    let mut table = FeasTable::new(1);
+    put(&mut table, hot, 1.0);
+    // 200 distinct keys push the overlay across the 64-record compaction
+    // threshold more than once, carrying the hot key into the base.
+    for i in 0..200 {
+        put(&mut table, other(i), -1.0);
+    }
+    put(&mut table, hot, 2.0); // in-place base rewrite
+    for i in 200..400 {
+        put(&mut table, other(i), -1.0);
+    }
+    put(&mut table, hot, 3.0);
+    assert_eq!(table.len(), 401, "400 distinct cold keys + 1 hot key");
+    assert_eq!(table.lookup(&hot).map(|e| e.per_frame_s), Some(3.0));
+    assert_eq!(
+        table.resolve_sorted(&[hot]).remove(0).map(|e| e.per_frame_s),
+        Some(3.0),
+        "batched resolve sees the newest write, not a stale compacted copy"
+    );
+    assert_eq!(
+        table.entries().iter().filter(|e| e.key == hot).count(),
+        1,
+        "exactly one record for the hot key"
+    );
 }
 
 proptest! {
@@ -155,6 +195,62 @@ proptest! {
                 direct.map(|e| (e.per_frame_s.to_bits(), e.build_s.to_bits())),
                 "probe {:?}", p
             );
+        }
+    }
+
+    /// The fstable overlay's key-disjointness claim: a backfill of a key the
+    /// base already holds updates in place, everything else lands in the
+    /// overlay, and compaction folds the overlay in. Repeatedly backfilling
+    /// the *same* keys while enough distinct keys stream in to cross several
+    /// compaction boundaries must never leave a duplicate or stale record
+    /// visible — to `entries`, `lookup`, or the galloping `resolve_sorted`.
+    #[test]
+    fn repeated_backfills_across_compactions_never_duplicate_or_go_stale(
+        ops in proptest::collection::vec((0usize..96, any::<u64>()), 1..600)
+    ) {
+        // 96 distinct keys in mixed-radix order: small enough that the op
+        // stream revisits keys many times, large enough that the 64-record
+        // compaction threshold fires repeatedly mid-sequence.
+        let key_at = |i: usize| TableKey {
+            renderer: (i % 3) as u8,
+            device: ((i / 3) % 2) as u8,
+            image_side: 16 * (1 + (i / 6) % 4) as u32,
+            cells_per_task: 10 * (1 + (i / 24) % 4) as u32,
+            tasks: 8,
+        };
+        let mut table = FeasTable::new(2);
+        let mut oracle: BTreeMap<TableKey, u64> = BTreeMap::new();
+        for (step, &(i, payload)) in ops.iter().enumerate() {
+            let key = key_at(i);
+            table.insert(TableEntry {
+                key,
+                per_frame_s: f64::from_bits(payload),
+                build_s: 0.0,
+            });
+            oracle.insert(key, payload);
+            // Check not only the final state but states straddling the
+            // compaction boundaries the op stream crosses along the way.
+            if step % 97 != 0 && step + 1 != ops.len() {
+                continue;
+            }
+            prop_assert_eq!(table.len(), oracle.len(), "one record per distinct key");
+            let entries = table.entries();
+            for w in entries.windows(2) {
+                prop_assert!(w[0].key < w[1].key, "entries sorted, no duplicates");
+            }
+            let mut probes: Vec<TableKey> = (0..96).map(key_at).collect();
+            probes.sort();
+            for (p, r) in probes.iter().zip(table.resolve_sorted(&probes)) {
+                prop_assert_eq!(
+                    r.map(|e| e.per_frame_s.to_bits()),
+                    oracle.get(p).copied(),
+                    "latest write visible for {:?}", p
+                );
+                prop_assert_eq!(
+                    r.map(|e| e.per_frame_s.to_bits()),
+                    table.lookup(p).map(|e| e.per_frame_s.to_bits())
+                );
+            }
         }
     }
 

@@ -16,8 +16,15 @@
 //! (objects, active pixels, samples per ray, …) and per-phase timings, which
 //! is exactly what the `perfmodel` crate fits its regressions to.
 
+//! The [`graph`] module rebuilds all four pipelines on an explicit
+//! pass/resource DAG (declared reads/writes, deterministic topological
+//! scheduling, buffer aliasing, cross-frame caching, pass-granular
+//! degradation) from the same stage kernels, byte-identical at full
+//! fidelity.
+
 pub mod counters;
 pub mod framebuffer;
+pub mod graph;
 pub mod raster;
 pub mod raytrace;
 pub mod shading;

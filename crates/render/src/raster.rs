@@ -42,167 +42,205 @@ pub struct RasterOutput {
 
 /// Screen-space triangle produced by the transform stage.
 #[derive(Debug, Clone, Copy)]
-struct ScreenTri {
+pub(crate) struct ScreenTri {
     /// Screen positions (x, y in pixels; z = NDC depth).
     p: [Vec3; 3],
     /// Source triangle id.
     src: u32,
 }
 
-/// Rasterize `geom` through `camera` into a `width x height` frame.
-pub fn rasterize(
+/// Tile index range overlapped by a screen triangle.
+fn tile_range(
+    tri: &ScreenTri,
+    width: u32,
+    height: u32,
+    tiles_x: u32,
+    tiles_y: u32,
+) -> (u32, u32, u32, u32) {
+    let min_x = tri.p.iter().map(|p| p.x).fold(f32::INFINITY, f32::min).max(0.0);
+    let max_x = tri.p.iter().map(|p| p.x).fold(f32::NEG_INFINITY, f32::max);
+    let min_y = tri.p.iter().map(|p| p.y).fold(f32::INFINITY, f32::min).max(0.0);
+    let max_y = tri.p.iter().map(|p| p.y).fold(f32::NEG_INFINITY, f32::max);
+    let tx0 = (min_x as u32) / TILE;
+    let tx1 = ((max_x.min(width as f32 - 1.0)) as u32) / TILE;
+    let ty0 = (min_y as u32) / TILE;
+    let ty1 = ((max_y.min(height as f32 - 1.0)) as u32) / TILE;
+    (tx0, tx1.min(tiles_x - 1), ty0, ty1.min(tiles_y - 1))
+}
+
+/// Transform + cull stage: project every triangle, rejecting those behind the
+/// camera, off screen, or degenerate. Shared verbatim by the legacy pipeline
+/// and the graph `transform_cull` pass.
+pub(crate) fn transform_cull_stage(
     device: &Device,
     geom: &TriGeometry,
     camera: &Camera,
     width: u32,
     height: u32,
-    colormap: &TransferFunction,
-    shading: Option<&ShadingParams>,
-) -> RasterOutput {
-    let mut phases = PhaseTimer::new();
-    let t0 = std::time::Instant::now();
+) -> Vec<Option<ScreenTri>> {
     let n = geom.num_tris();
     let st = camera.screen_transform(width, height);
-    let default_shading = ShadingParams::headlight(camera.position, camera.up);
-    let shading = shading.unwrap_or(&default_shading);
-
-    // --- Transform + cull (map over all O objects). ---
-    let screen: Vec<Option<ScreenTri>> = phases.run("transform_cull", n as u64, || {
-        map(device, n, |t| {
-            let a = geom.v0[t];
-            let b = a + geom.e1[t];
-            let c = a + geom.e2[t];
-            let sa = st.to_screen(a);
-            let sb = st.to_screen(b);
-            let sc = st.to_screen(c);
-            // Cull: behind the camera / outside NDC depth, off screen, or
-            // degenerate in screen space.
-            for s in [sa, sb, sc] {
-                if s.z <= -1.0 || s.z >= 1.0 || !s.is_finite() {
-                    return None;
-                }
-            }
-            let min_x = sa.x.min(sb.x).min(sc.x);
-            let max_x = sa.x.max(sb.x).max(sc.x);
-            let min_y = sa.y.min(sb.y).min(sc.y);
-            let max_y = sa.y.max(sb.y).max(sc.y);
-            if max_x < 0.0 || min_x >= width as f32 || max_y < 0.0 || min_y >= height as f32 {
+    map(device, n, |t| {
+        let a = geom.v0[t];
+        let b = a + geom.e1[t];
+        let c = a + geom.e2[t];
+        let sa = st.to_screen(a);
+        let sb = st.to_screen(b);
+        let sc = st.to_screen(c);
+        // Cull: behind the camera / outside NDC depth, off screen, or
+        // degenerate in screen space.
+        for s in [sa, sb, sc] {
+            if s.z <= -1.0 || s.z >= 1.0 || !s.is_finite() {
                 return None;
             }
-            let area = (sb.x - sa.x) * (sc.y - sa.y) - (sc.x - sa.x) * (sb.y - sa.y);
-            if area.abs() < 1e-12 {
-                return None;
-            }
-            Some(ScreenTri { p: [sa, sb, sc], src: t as u32 })
-        })
-    });
+        }
+        let min_x = sa.x.min(sb.x).min(sc.x);
+        let max_x = sa.x.max(sb.x).max(sc.x);
+        let min_y = sa.y.min(sb.y).min(sc.y);
+        let max_y = sa.y.max(sb.y).max(sc.y);
+        if max_x < 0.0 || min_x >= width as f32 || max_y < 0.0 || min_y >= height as f32 {
+            return None;
+        }
+        let area = (sb.x - sa.x) * (sc.y - sa.y) - (sc.x - sa.x) * (sb.y - sa.y);
+        if area.abs() < 1e-12 {
+            return None;
+        }
+        Some(ScreenTri { p: [sa, sb, sc], src: t as u32 })
+    })
+}
 
-    // --- Compact visible objects (map + scan + gather). ---
-    let visible: Vec<u32> = phases
-        .run("compact_visible", n as u64, || compact_indices(device, n, |i| screen[i].is_some()));
-    let vo = visible.len();
-
-    // --- Bin to tiles: per-tile atomic counts, scan, fill. ---
-    let tiles_x = width.div_ceil(TILE);
-    let tiles_y = height.div_ceil(TILE);
+/// Tile binning count stage: per-tile atomic histogram of visible triangles,
+/// loaded into a plain vector after the join.
+pub(crate) fn bin_count_stage(
+    device: &Device,
+    screen: &[Option<ScreenTri>],
+    visible: &[u32],
+    width: u32,
+    height: u32,
+    tiles_x: u32,
+    tiles_y: u32,
+) -> Vec<u32> {
     let n_tiles = (tiles_x * tiles_y) as usize;
-    let tile_range = |tri: &ScreenTri| -> (u32, u32, u32, u32) {
-        let min_x = tri.p.iter().map(|p| p.x).fold(f32::INFINITY, f32::min).max(0.0);
-        let max_x = tri.p.iter().map(|p| p.x).fold(f32::NEG_INFINITY, f32::max);
-        let min_y = tri.p.iter().map(|p| p.y).fold(f32::INFINITY, f32::min).max(0.0);
-        let max_y = tri.p.iter().map(|p| p.y).fold(f32::NEG_INFINITY, f32::max);
-        let tx0 = (min_x as u32) / TILE;
-        let tx1 = ((max_x.min(width as f32 - 1.0)) as u32) / TILE;
-        let ty0 = (min_y as u32) / TILE;
-        let ty1 = ((max_y.min(height as f32 - 1.0)) as u32) / TILE;
-        (tx0, tx1.min(tiles_x - 1), ty0, ty1.min(tiles_y - 1))
-    };
-
     let counts: Vec<AtomicU32> = (0..n_tiles).map(|_| AtomicU32::new(0)).collect();
-    phases.run("bin_count", vo as u64, || {
-        dpp::for_each(device, vo, |vi| {
-            // xlint::allow(X006): visible[] only holds indices of triangles that projected to Some.
-            let tri = screen[visible[vi] as usize].as_ref().unwrap();
-            let (tx0, tx1, ty0, ty1) = tile_range(tri);
-            for ty in ty0..=ty1 {
-                for tx in tx0..=tx1 {
-                    // ORDERING: Relaxed — commutative counter; the fork-join
-                    // barrier below is the only reader's sync edge.
-                    counts[(ty * tiles_x + tx) as usize].fetch_add(1, Ordering::Relaxed);
-                }
+    dpp::for_each(device, visible.len(), |vi| {
+        // xlint::allow(X006): visible[] only holds indices of triangles that projected to Some.
+        let tri = screen[visible[vi] as usize].as_ref().unwrap();
+        let (tx0, tx1, ty0, ty1) = tile_range(tri, width, height, tiles_x, tiles_y);
+        for ty in ty0..=ty1 {
+            for tx in tx0..=tx1 {
+                // ORDERING: Relaxed — commutative counter; the fork-join
+                // barrier below is the only reader's sync edge.
+                counts[(ty * tiles_x + tx) as usize].fetch_add(1, Ordering::Relaxed);
             }
-        })
+        }
     });
     // ORDERING: Relaxed — read after the for_each joined; the join is the
     // happens-before edge.
-    let count_vals: Vec<u32> = counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-    let (offsets, total_pairs) = dpp::exclusive_scan_u32(device, &count_vals);
+    counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+}
+
+/// Tile binning fill stage: scatter visible triangle ids into per-tile
+/// segments at `offsets`, loaded into a plain vector after the join.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bin_fill_stage(
+    device: &Device,
+    screen: &[Option<ScreenTri>],
+    visible: &[u32],
+    offsets: &[u32],
+    total_pairs: u64,
+    width: u32,
+    height: u32,
+    tiles_x: u32,
+    tiles_y: u32,
+) -> Vec<u32> {
     let cursors: Vec<AtomicU32> = offsets.iter().map(|&o| AtomicU32::new(o)).collect();
     let bins: Vec<AtomicU32> = (0..total_pairs as usize).map(|_| AtomicU32::new(0)).collect();
-    phases.run("bin_fill", vo as u64, || {
-        dpp::for_each(device, vo, |vi| {
-            // xlint::allow(X006): visible[] only holds indices of triangles that projected to Some.
-            let tri = screen[visible[vi] as usize].as_ref().unwrap();
-            let (tx0, tx1, ty0, ty1) = tile_range(tri);
-            for ty in ty0..=ty1 {
-                for tx in tx0..=tx1 {
-                    let cursor = &cursors[(ty * tiles_x + tx) as usize];
-                    // ORDERING: Relaxed — fetch_add hands each writer a
-                    // unique slot; the slot is written once and only read
-                    // after the region joins (and is sorted there anyway).
-                    let slot = cursor.fetch_add(1, Ordering::Relaxed);
-                    // ORDERING: Relaxed — unique slot, read only after join.
-                    bins[slot as usize].store(visible[vi], Ordering::Relaxed);
-                }
+    dpp::for_each(device, visible.len(), |vi| {
+        // xlint::allow(X006): visible[] only holds indices of triangles that projected to Some.
+        let tri = screen[visible[vi] as usize].as_ref().unwrap();
+        let (tx0, tx1, ty0, ty1) = tile_range(tri, width, height, tiles_x, tiles_y);
+        for ty in ty0..=ty1 {
+            for tx in tx0..=tx1 {
+                let cursor = &cursors[(ty * tiles_x + tx) as usize];
+                // ORDERING: Relaxed — fetch_add hands each writer a
+                // unique slot; the slot is written once and only read
+                // after the region joins (and is sorted there anyway).
+                let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                // ORDERING: Relaxed — unique slot, read only after join.
+                bins[slot as usize].store(visible[vi], Ordering::Relaxed);
             }
-        })
+        }
     });
+    // ORDERING: Relaxed — read after the for_each joined.
+    bins.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+}
 
-    // --- Per-tile barycentric sampling with a z-buffer (map over tiles). ---
+/// One sampled tile: (tile index, color buffer, depth buffer).
+pub(crate) type TileFrame = (u32, Vec<Color>, Vec<f32>);
+
+/// Per-tile barycentric sampling stage with a z-buffer. Returns the per-tile
+/// color/depth buffers and the total pixels considered (the PPT model input).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sample_fill_stage(
+    device: &Device,
+    geom: &TriGeometry,
+    screen: &[Option<ScreenTri>],
+    bins: &[u32],
+    offsets: &[u32],
+    count_vals: &[u32],
+    width: u32,
+    height: u32,
+    tiles_x: u32,
+    colormap: &TransferFunction,
+    shading: &ShadingParams,
+    camera: &Camera,
+) -> (Vec<TileFrame>, u64) {
+    let n_tiles = count_vals.len();
     let pixels_considered = std::sync::atomic::AtomicU64::new(0);
-    let tile_frames: Vec<(u32, Vec<Color>, Vec<f32>)> =
-        phases.run("sample_fill", total_pairs as u64, || {
-            map(device, n_tiles, |tile| {
-                let tx = tile as u32 % tiles_x;
-                let ty = tile as u32 / tiles_x;
-                let x0 = tx * TILE;
-                let y0 = ty * TILE;
-                let x1 = (x0 + TILE).min(width);
-                let y1 = (y0 + TILE).min(height);
-                let tw = (x1 - x0) as usize;
-                let th = (y1 - y0) as usize;
-                let mut color = vec![Color::TRANSPARENT; tw * th];
-                let mut depth = vec![f32::INFINITY; tw * th];
-                let start = offsets[tile] as usize;
-                let end = start + count_vals[tile] as usize;
-                // The parallel bin fill claims slots with `fetch_add`, so the
-                // order *within* a tile's segment depends on scheduling (the
-                // segment's contents do not). Restore ascending triangle
-                // order — the serial fill order — so z-buffer depth ties at
-                // shared edges resolve identically on every device.
-                let mut tris: Vec<u32> = bins[start..end]
-                    .iter()
-                    // ORDERING: Relaxed — bin_fill joined before this region
-                    // started; fork-join gives the happens-before edge.
-                    .map(|b| b.load(Ordering::Relaxed))
-                    .collect();
-                tris.sort_unstable();
-                let mut considered = 0u64;
-                for src in tris {
-                    // xlint::allow(X006): bins hold only visible[] entries, which all projected to Some.
-                    let tri = screen[src as usize].as_ref().unwrap();
-                    considered += raster_tri_into_tile(
-                        geom, tri, x0, y0, x1, y1, tw, &mut color, &mut depth, colormap, shading,
-                        camera,
-                    );
-                }
-                // ORDERING: Relaxed — commutative statistics counter.
-                pixels_considered.fetch_add(considered, Ordering::Relaxed);
-                (tile as u32, color, depth)
-            })
-        });
+    let tile_frames = map(device, n_tiles, |tile| {
+        let tx = tile as u32 % tiles_x;
+        let ty = tile as u32 / tiles_x;
+        let x0 = tx * TILE;
+        let y0 = ty * TILE;
+        let x1 = (x0 + TILE).min(width);
+        let y1 = (y0 + TILE).min(height);
+        let tw = (x1 - x0) as usize;
+        let th = (y1 - y0) as usize;
+        let mut color = vec![Color::TRANSPARENT; tw * th];
+        let mut depth = vec![f32::INFINITY; tw * th];
+        let start = offsets[tile] as usize;
+        let end = start + count_vals[tile] as usize;
+        // The parallel bin fill claims slots with `fetch_add`, so the
+        // order *within* a tile's segment depends on scheduling (the
+        // segment's contents do not). Restore ascending triangle
+        // order — the serial fill order — so z-buffer depth ties at
+        // shared edges resolve identically on every device.
+        let mut tris: Vec<u32> = bins[start..end].to_vec();
+        tris.sort_unstable();
+        let mut considered = 0u64;
+        for src in tris {
+            // xlint::allow(X006): bins hold only visible[] entries, which all projected to Some.
+            let tri = screen[src as usize].as_ref().unwrap();
+            considered += raster_tri_into_tile(
+                geom, tri, x0, y0, x1, y1, tw, &mut color, &mut depth, colormap, shading, camera,
+            );
+        }
+        // ORDERING: Relaxed — commutative statistics counter.
+        pixels_considered.fetch_add(considered, Ordering::Relaxed);
+        (tile as u32, color, depth)
+    });
+    // ORDERING: Relaxed — read after the map joined.
+    (tile_frames, pixels_considered.load(Ordering::Relaxed))
+}
 
-    // Stitch tiles into the framebuffer.
+/// Stitch per-tile buffers into a full framebuffer and count active pixels.
+pub(crate) fn stitch_stage(
+    device: &Device,
+    tile_frames: Vec<(u32, Vec<Color>, Vec<f32>)>,
+    width: u32,
+    height: u32,
+) -> (Framebuffer, usize) {
+    let tiles_x = width.div_ceil(TILE);
     let mut frame = Framebuffer::new(width, height);
     for (tile, color, depth) in tile_frames {
         let tx = tile % tiles_x;
@@ -219,10 +257,77 @@ pub fn rasterize(
             frame.depth[ix] = d;
         }
     }
-
     let active = count_if(device, frame.num_pixels(), |i| frame.color[i].a > 0.0);
-    // ORDERING: Relaxed — read after every parallel region joined.
-    let pc = pixels_considered.load(Ordering::Relaxed);
+    (frame, active)
+}
+
+/// Rasterize `geom` through `camera` into a `width x height` frame.
+pub fn rasterize(
+    device: &Device,
+    geom: &TriGeometry,
+    camera: &Camera,
+    width: u32,
+    height: u32,
+    colormap: &TransferFunction,
+    shading: Option<&ShadingParams>,
+) -> RasterOutput {
+    let mut phases = PhaseTimer::new();
+    let t0 = std::time::Instant::now();
+    let n = geom.num_tris();
+    let default_shading = ShadingParams::headlight(camera.position, camera.up);
+    let shading = shading.unwrap_or(&default_shading);
+
+    // --- Transform + cull (map over all O objects). ---
+    let screen: Vec<Option<ScreenTri>> = phases.run("transform_cull", n as u64, || {
+        transform_cull_stage(device, geom, camera, width, height)
+    });
+
+    // --- Compact visible objects (map + scan + gather). ---
+    let visible: Vec<u32> = phases
+        .run("compact_visible", n as u64, || compact_indices(device, n, |i| screen[i].is_some()));
+    let vo = visible.len();
+
+    // --- Bin to tiles: per-tile atomic counts, scan, fill. ---
+    let tiles_x = width.div_ceil(TILE);
+    let tiles_y = height.div_ceil(TILE);
+    let count_vals: Vec<u32> = phases.run("bin_count", vo as u64, || {
+        bin_count_stage(device, &screen, &visible, width, height, tiles_x, tiles_y)
+    });
+    let (offsets, total_pairs) = dpp::exclusive_scan_u32(device, &count_vals);
+    let bins: Vec<u32> = phases.run("bin_fill", vo as u64, || {
+        bin_fill_stage(
+            device,
+            &screen,
+            &visible,
+            &offsets,
+            total_pairs as u64,
+            width,
+            height,
+            tiles_x,
+            tiles_y,
+        )
+    });
+
+    // --- Per-tile barycentric sampling with a z-buffer (map over tiles). ---
+    let (tile_frames, pc) = phases.run("sample_fill", total_pairs as u64, || {
+        sample_fill_stage(
+            device,
+            geom,
+            &screen,
+            &bins,
+            &offsets,
+            &count_vals,
+            width,
+            height,
+            tiles_x,
+            colormap,
+            shading,
+            camera,
+        )
+    });
+
+    // Stitch tiles into the framebuffer.
+    let (frame, active) = stitch_stage(device, tile_frames, width, height);
     RasterOutput {
         stats: RasterStats {
             objects: n,

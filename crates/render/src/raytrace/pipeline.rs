@@ -146,42 +146,19 @@ impl RayTracer {
         let mut rays_traced = 0u64;
 
         // --- Ray generation (map). Ray order may follow a Morton curve. ---
-        let pixel_order: Vec<u32> = if cfg.morton_sort_rays {
-            let mut codes: Vec<u64> = (0..n_rays as u32).map(|i| morton2(i % rw, i / rw)).collect();
-            let mut order: Vec<u32> = (0..n_rays as u32).collect();
-            dpp::sort::sort_pairs_u64(device, &mut codes, &mut order);
-            order
-        } else {
-            (0..n_rays as u32).collect()
-        };
-        let rays: Vec<Ray> = phases.run("ray_gen", n_rays as u64, || {
-            map(device, n_rays, |i| {
-                let p = pixel_order[i];
-                let (px, py) = (p % rw, p / rw);
-                camera.primary_ray(px, py, rw, rh, 0.5, 0.5)
-            })
-        });
+        let pixel_order = pixel_order_stage(device, cfg, rw, rh);
+        let rays: Vec<Ray> = phases
+            .run("ray_gen", n_rays as u64, || ray_gen_stage(device, camera, &pixel_order, rw, rh));
 
         // --- Traversal + intersection (map over rays). ---
         let hits: Vec<Hit> = phases.run("intersect", n_rays as u64, || {
-            map(device, n_rays, |i| self.bvh.closest_hit(&self.geom, &rays[i]))
+            intersect_stage(device, &self.geom, &self.bvh, &rays)
         });
         rays_traced += n_rays as u64;
 
         // WORKLOAD1 stops here: depth image only.
         if cfg.workload == Workload::Intersect {
-            let mut frame = Framebuffer::new(width, height);
-            for (i, h) in hits.iter().enumerate() {
-                if h.is_hit() {
-                    let p = pixel_order[i];
-                    let (px, py) = (p % rw / ss, p / rw / ss);
-                    let ix = frame.index(px, py);
-                    if h.t < frame.depth[ix] {
-                        frame.depth[ix] = h.t;
-                        frame.color[ix] = Color::WHITE;
-                    }
-                }
-            }
+            let frame = depth_assemble_stage(&hits, &pixel_order, width, height, rw, ss);
             let active = frame.active_pixels();
             return self.finish(frame, phases, rays_traced, active, t_render);
         }
@@ -208,32 +185,12 @@ impl RayTracer {
         // --- Ambient occlusion: scatter sample rays, intersect, gather. ---
         let occlusion: Vec<f32> = if cfg.workload == Workload::Full && cfg.ao_samples > 0 {
             let s = cfg.ao_samples as usize;
-            let max_dist = self.geom.bounds.diagonal() * cfg.ao_distance;
             let n_occ = n_live * s;
             let occ_hits: Vec<bool> = phases.run("ambient_occlusion", n_occ as u64, || {
-                map(device, n_occ, |j| {
-                    let li = j / s;
-                    let si = (j % s) as u32;
-                    let h = &live_hits[li];
-                    if !h.is_hit() {
-                        return false;
-                    }
-                    let ray = &live_rays[li];
-                    let p = ray.at(h.t);
-                    let n = self.geom.interpolate_normal(h.prim as usize, h.u, h.v);
-                    let n = if n.dot(ray.dir) > 0.0 { -n } else { n };
-                    let (u1, u2) = hash_rand2(live[li], si);
-                    let dir = hemisphere_dir(n, u1, u2);
-                    let occ_ray = Ray::new(p + n * 1e-4, dir);
-                    self.bvh.any_hit(&self.geom, &occ_ray, max_dist)
-                })
+                ao_stage(device, &self.geom, &self.bvh, cfg, &live, &live_rays, &live_hits)
             });
             rays_traced += n_occ as u64;
-            // Gather per-hit occlusion factors.
-            map(device, n_live, |li| {
-                let blocked: u32 = (0..s).map(|si| occ_hits[li * s + si] as u32).sum();
-                1.0 - blocked as f32 / s as f32
-            })
+            ao_factors_stage(device, &occ_hits, n_live, s)
         } else {
             vec![1.0; n_live]
         };
@@ -243,22 +200,7 @@ impl RayTracer {
         let light_vis: Vec<bool> = if cfg.workload == Workload::Full {
             let n_sh = n_live * n_lights;
             let vis = phases.run("shadows", n_sh as u64, || {
-                map(device, n_sh, |j| {
-                    let li = j / n_lights;
-                    let light = &shading.lights[j % n_lights];
-                    let h = &live_hits[li];
-                    if !h.is_hit() {
-                        return true;
-                    }
-                    let ray = &live_rays[li];
-                    let p = ray.at(h.t);
-                    let n = self.geom.interpolate_normal(h.prim as usize, h.u, h.v);
-                    let n = if n.dot(ray.dir) > 0.0 { -n } else { n };
-                    let to_light = light.position - (p + n * 1e-4);
-                    let dist = to_light.length();
-                    let sray = Ray::new(p + n * 1e-4, to_light / dist);
-                    !self.bvh.any_hit(&self.geom, &sray, dist)
-                })
+                shadows_stage(device, &self.geom, &self.bvh, &shading, &live_rays, &live_hits)
             });
             rays_traced += n_sh as u64;
             vis
@@ -268,109 +210,20 @@ impl RayTracer {
 
         // --- Shading (map) + reflections (recursive generations). ---
         let colors: Vec<Color> = phases.run("shade", n_live as u64, || {
-            map(device, n_live, |li| {
-                let h = &live_hits[li];
-                if !h.is_hit() {
-                    return Color::TRANSPARENT;
-                }
-                let ray = &live_rays[li];
-                self.shade_hit(
-                    ray,
-                    h,
-                    &shading,
-                    colormap,
-                    occlusion[li],
-                    &light_vis[li * n_lights..(li + 1) * n_lights],
-                    cfg.max_reflections,
-                )
-            })
+            shade_stage(
+                device, &self.geom, &self.bvh, cfg, &shading, colormap, &live_rays, &live_hits,
+                &occlusion, &light_vis,
+            )
         });
 
         // --- Scatter colors back to the supersampled buffer, then gather
         //     with anti-aliasing into the final frame. ---
-        let mut frame = Framebuffer::new(width, height);
-        let aa = (ss * ss) as f32;
-        let mut accum: Vec<Color> = vec![Color::TRANSPARENT; (rw * rh) as usize];
-        let mut depth_ss: Vec<f32> = vec![f32::INFINITY; (rw * rh) as usize];
-        for (li, &src) in live.iter().enumerate() {
-            let p = pixel_order[src as usize] as usize;
-            accum[p] = colors[li];
-            depth_ss[p] = live_hits[li].t;
-        }
-        phases.run("anti_alias", (width * height) as u64, || {
-            for py in 0..height {
-                for px in 0..width {
-                    let mut c = Color::TRANSPARENT;
-                    let mut d = f32::INFINITY;
-                    let mut any = false;
-                    for sy in 0..ss {
-                        for sx in 0..ss {
-                            let sp = ((py * ss + sy) * rw + px * ss + sx) as usize;
-                            c = c.add(accum[sp].premultiplied());
-                            if depth_ss[sp] < d {
-                                d = depth_ss[sp];
-                            }
-                            any |= accum[sp].a > 0.0;
-                        }
-                    }
-                    if any {
-                        let ix = frame.index(px, py);
-                        frame.color[ix] = c.scale(1.0 / aa).unpremultiplied();
-                        frame.depth[ix] = d;
-                    }
-                }
-            }
+        let frame = phases.run("anti_alias", (width * height) as u64, || {
+            resolve_stage(&live, &live_hits, &colors, &pixel_order, width, height, ss)
         });
 
         let active = count_if(device, frame.num_pixels(), |i| frame.color[i].a > 0.0);
         self.finish(frame, phases, rays_traced, active, t_render)
-    }
-
-    /// Shade one hit, optionally recursing along the specular reflection.
-    #[allow(clippy::too_many_arguments)]
-    fn shade_hit(
-        &self,
-        ray: &Ray,
-        hit: &Hit,
-        shading: &ShadingParams,
-        colormap: &TransferFunction,
-        occlusion: f32,
-        light_vis: &[bool],
-        bounces_left: u32,
-    ) -> Color {
-        let p = ray.at(hit.t);
-        let n = self.geom.interpolate_normal(hit.prim as usize, hit.u, hit.v);
-        let scalar = self.geom.interpolate_scalar(hit.prim as usize, hit.u, hit.v);
-        let base = colormap.sample(scalar);
-        let view = -ray.dir;
-        let mut c = blinn_phong(shading, p, n, view, base, light_vis);
-        // Ambient-occlusion darkening.
-        c = Color::new(c.r * occlusion, c.g * occlusion, c.b * occlusion, c.a);
-        if bounces_left > 0 && shading.material.specular > 0.0 {
-            let n_oriented = if n.dot(ray.dir) > 0.0 { -n } else { n };
-            let rdir = ray.dir.reflect(n_oriented);
-            let rray = Ray::new(p + n_oriented * 1e-4, rdir);
-            let rhit = self.bvh.closest_hit(&self.geom, &rray);
-            if rhit.is_hit() {
-                let rcol = self.shade_hit(
-                    &rray,
-                    &rhit,
-                    shading,
-                    colormap,
-                    1.0,
-                    &vec![true; shading.lights.len()],
-                    bounces_left - 1,
-                );
-                let k = shading.material.specular * 0.5;
-                c = Color::new(
-                    c.r * (1.0 - k) + rcol.r * k,
-                    c.g * (1.0 - k) + rcol.g * k,
-                    c.b * (1.0 - k) + rcol.b * k,
-                    c.a,
-                );
-            }
-        }
-        c
     }
 
     fn finish(
@@ -393,6 +246,273 @@ impl RayTracer {
             phases,
         }
     }
+}
+
+/// Primary-ray pixel visitation order (identity or Morton-sorted).
+pub(crate) fn pixel_order_stage(device: &Device, cfg: &RtConfig, rw: u32, rh: u32) -> Vec<u32> {
+    let n_rays = (rw * rh) as usize;
+    if cfg.morton_sort_rays {
+        let mut codes: Vec<u64> = (0..n_rays as u32).map(|i| morton2(i % rw, i / rw)).collect();
+        let mut order: Vec<u32> = (0..n_rays as u32).collect();
+        dpp::sort::sort_pairs_u64(device, &mut codes, &mut order);
+        order
+    } else {
+        (0..n_rays as u32).collect()
+    }
+}
+
+/// Primary-ray generation (map over pixels in `pixel_order`).
+pub(crate) fn ray_gen_stage(
+    device: &Device,
+    camera: &Camera,
+    pixel_order: &[u32],
+    rw: u32,
+    rh: u32,
+) -> Vec<Ray> {
+    map(device, pixel_order.len(), |i| {
+        let p = pixel_order[i];
+        let (px, py) = (p % rw, p / rw);
+        camera.primary_ray(px, py, rw, rh, 0.5, 0.5)
+    })
+}
+
+/// BVH traversal + closest-hit intersection (map over rays).
+pub(crate) fn intersect_stage(
+    device: &Device,
+    geom: &TriGeometry,
+    bvh: &Bvh,
+    rays: &[Ray],
+) -> Vec<Hit> {
+    map(device, rays.len(), |i| bvh.closest_hit(geom, &rays[i]))
+}
+
+/// WORKLOAD1 depth-image assembly from raw hits.
+pub(crate) fn depth_assemble_stage(
+    hits: &[Hit],
+    pixel_order: &[u32],
+    width: u32,
+    height: u32,
+    rw: u32,
+    ss: u32,
+) -> Framebuffer {
+    let mut frame = Framebuffer::new(width, height);
+    for (i, h) in hits.iter().enumerate() {
+        if h.is_hit() {
+            let p = pixel_order[i];
+            let (px, py) = (p % rw / ss, p / rw / ss);
+            let ix = frame.index(px, py);
+            if h.t < frame.depth[ix] {
+                frame.depth[ix] = h.t;
+                frame.color[ix] = Color::WHITE;
+            }
+        }
+    }
+    frame
+}
+
+/// Ambient-occlusion sample rays (map over live hits x samples).
+pub(crate) fn ao_stage(
+    device: &Device,
+    geom: &TriGeometry,
+    bvh: &Bvh,
+    cfg: &RtConfig,
+    live: &[u32],
+    live_rays: &[Ray],
+    live_hits: &[Hit],
+) -> Vec<bool> {
+    let s = cfg.ao_samples as usize;
+    let max_dist = geom.bounds.diagonal() * cfg.ao_distance;
+    let n_occ = live.len() * s;
+    map(device, n_occ, |j| {
+        let li = j / s;
+        let si = (j % s) as u32;
+        let h = &live_hits[li];
+        if !h.is_hit() {
+            return false;
+        }
+        let ray = &live_rays[li];
+        let p = ray.at(h.t);
+        let n = geom.interpolate_normal(h.prim as usize, h.u, h.v);
+        let n = if n.dot(ray.dir) > 0.0 { -n } else { n };
+        let (u1, u2) = hash_rand2(live[li], si);
+        let dir = hemisphere_dir(n, u1, u2);
+        let occ_ray = Ray::new(p + n * 1e-4, dir);
+        bvh.any_hit(geom, &occ_ray, max_dist)
+    })
+}
+
+/// Reduce per-sample AO hits to per-hit occlusion factors.
+pub(crate) fn ao_factors_stage(
+    device: &Device,
+    occ_hits: &[bool],
+    n_live: usize,
+    s: usize,
+) -> Vec<f32> {
+    map(device, n_live, |li| {
+        let blocked: u32 = (0..s).map(|si| occ_hits[li * s + si] as u32).sum();
+        1.0 - blocked as f32 / s as f32
+    })
+}
+
+/// Shadow rays (map over live hits x lights).
+pub(crate) fn shadows_stage(
+    device: &Device,
+    geom: &TriGeometry,
+    bvh: &Bvh,
+    shading: &ShadingParams,
+    live_rays: &[Ray],
+    live_hits: &[Hit],
+) -> Vec<bool> {
+    let n_lights = shading.lights.len();
+    let n_sh = live_hits.len() * n_lights;
+    map(device, n_sh, |j| {
+        let li = j / n_lights;
+        let light = &shading.lights[j % n_lights];
+        let h = &live_hits[li];
+        if !h.is_hit() {
+            return true;
+        }
+        let ray = &live_rays[li];
+        let p = ray.at(h.t);
+        let n = geom.interpolate_normal(h.prim as usize, h.u, h.v);
+        let n = if n.dot(ray.dir) > 0.0 { -n } else { n };
+        let to_light = light.position - (p + n * 1e-4);
+        let dist = to_light.length();
+        let sray = Ray::new(p + n * 1e-4, to_light / dist);
+        !bvh.any_hit(geom, &sray, dist)
+    })
+}
+
+/// Blinn-Phong shading with AO darkening and optional reflections.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn shade_stage(
+    device: &Device,
+    geom: &TriGeometry,
+    bvh: &Bvh,
+    cfg: &RtConfig,
+    shading: &ShadingParams,
+    colormap: &TransferFunction,
+    live_rays: &[Ray],
+    live_hits: &[Hit],
+    occlusion: &[f32],
+    light_vis: &[bool],
+) -> Vec<Color> {
+    let n_lights = shading.lights.len();
+    map(device, live_hits.len(), |li| {
+        let h = &live_hits[li];
+        if !h.is_hit() {
+            return Color::TRANSPARENT;
+        }
+        let ray = &live_rays[li];
+        shade_hit(
+            geom,
+            bvh,
+            ray,
+            h,
+            shading,
+            colormap,
+            occlusion[li],
+            &light_vis[li * n_lights..(li + 1) * n_lights],
+            cfg.max_reflections,
+        )
+    })
+}
+
+/// Scatter shaded colors into the supersampled buffer, then box-filter
+/// into the output frame.
+pub(crate) fn resolve_stage(
+    live: &[u32],
+    live_hits: &[Hit],
+    colors: &[Color],
+    pixel_order: &[u32],
+    width: u32,
+    height: u32,
+    ss: u32,
+) -> Framebuffer {
+    let rw = width * ss;
+    let rh = height * ss;
+    let mut frame = Framebuffer::new(width, height);
+    let aa = (ss * ss) as f32;
+    let mut accum: Vec<Color> = vec![Color::TRANSPARENT; (rw * rh) as usize];
+    let mut depth_ss: Vec<f32> = vec![f32::INFINITY; (rw * rh) as usize];
+    for (li, &src) in live.iter().enumerate() {
+        let p = pixel_order[src as usize] as usize;
+        accum[p] = colors[li];
+        depth_ss[p] = live_hits[li].t;
+    }
+    for py in 0..height {
+        for px in 0..width {
+            let mut c = Color::TRANSPARENT;
+            let mut d = f32::INFINITY;
+            let mut any = false;
+            for sy in 0..ss {
+                for sx in 0..ss {
+                    let sp = ((py * ss + sy) * rw + px * ss + sx) as usize;
+                    c = c.add(accum[sp].premultiplied());
+                    if depth_ss[sp] < d {
+                        d = depth_ss[sp];
+                    }
+                    any |= accum[sp].a > 0.0;
+                }
+            }
+            if any {
+                let ix = frame.index(px, py);
+                frame.color[ix] = c.scale(1.0 / aa).unpremultiplied();
+                frame.depth[ix] = d;
+            }
+        }
+    }
+    frame
+}
+
+/// Shade one hit, optionally recursing along the specular reflection.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn shade_hit(
+    geom: &TriGeometry,
+    bvh: &Bvh,
+    ray: &Ray,
+    hit: &Hit,
+    shading: &ShadingParams,
+    colormap: &TransferFunction,
+    occlusion: f32,
+    light_vis: &[bool],
+    bounces_left: u32,
+) -> Color {
+    let p = ray.at(hit.t);
+    let n = geom.interpolate_normal(hit.prim as usize, hit.u, hit.v);
+    let scalar = geom.interpolate_scalar(hit.prim as usize, hit.u, hit.v);
+    let base = colormap.sample(scalar);
+    let view = -ray.dir;
+    let mut c = blinn_phong(shading, p, n, view, base, light_vis);
+    // Ambient-occlusion darkening.
+    c = Color::new(c.r * occlusion, c.g * occlusion, c.b * occlusion, c.a);
+    if bounces_left > 0 && shading.material.specular > 0.0 {
+        let n_oriented = if n.dot(ray.dir) > 0.0 { -n } else { n };
+        let rdir = ray.dir.reflect(n_oriented);
+        let rray = Ray::new(p + n_oriented * 1e-4, rdir);
+        let rhit = bvh.closest_hit(geom, &rray);
+        if rhit.is_hit() {
+            let rcol = shade_hit(
+                geom,
+                bvh,
+                &rray,
+                &rhit,
+                shading,
+                colormap,
+                1.0,
+                &vec![true; shading.lights.len()],
+                bounces_left - 1,
+            );
+            let k = shading.material.specular * 0.5;
+            c = Color::new(
+                c.r * (1.0 - k) + rcol.r * k,
+                c.g * (1.0 - k) + rcol.g * k,
+                c.b * (1.0 - k) + rcol.b * k,
+                c.a,
+            );
+        }
+    }
+    c
 }
 
 #[cfg(test)]

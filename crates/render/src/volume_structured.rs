@@ -68,9 +68,9 @@ pub struct SvrOutput {
 
 /// Per-ray work tally returned from the kernel.
 #[derive(Clone, Copy, Default)]
-struct RayWork {
-    samples: u32,
-    cells: u32,
+pub(crate) struct RayWork {
+    pub(crate) samples: u32,
+    pub(crate) cells: u32,
 }
 
 /// Render `field_name` of `grid` through `camera`.
@@ -91,22 +91,62 @@ pub fn render_structured(
         .field(field_name)
         .ok_or_else(|| SvrError::MissingField(field_name.to_string()))?
         .values;
-    let bounds = grid.bounds();
-    let dt = bounds.diagonal() / cfg.samples_per_ray as f32;
     let n_px = (width * height) as usize;
 
     let results: Vec<(Color, RayWork)> = phases.run("raycast", n_px as u64, || {
-        map(device, n_px, |i| {
-            let px = i as u32 % width;
-            let py = i as u32 / width;
-            let ray = camera.primary_ray(px, py, width, height, 0.5, 0.5);
-            let Some((t_in, t_out)) = bounds.intersect_ray(&ray, camera.near, f32::INFINITY) else {
-                return (Color::TRANSPARENT, RayWork::default());
-            };
-            march_ray(grid, field, &ray, t_in, t_out, dt, tf, cfg.early_termination)
-        })
+        raycast_stage(device, grid, field, camera, width, height, tf, cfg)
     });
 
+    let (frame, active, total_samples, total_cells) = assemble_stage(&results, width, height);
+
+    Ok(SvrOutput {
+        stats: SvrStats {
+            objects: grid.num_cells(),
+            active_pixels: active,
+            samples_per_ray: if active > 0 { total_samples as f64 / active as f64 } else { 0.0 },
+            cells_spanned: if active > 0 { total_cells as f64 / active as f64 } else { 0.0 },
+            render_seconds: t0.elapsed().as_secs_f64(),
+        },
+        frame,
+        phases,
+    })
+}
+
+/// The raycast stage: one DDA march per pixel. Shared verbatim by the legacy
+/// entry point above and the graph pipeline, so both produce bit-identical
+/// sample sets.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn raycast_stage(
+    device: &Device,
+    grid: &UniformGrid,
+    field: &[f32],
+    camera: &Camera,
+    width: u32,
+    height: u32,
+    tf: &TransferFunction,
+    cfg: &SvrConfig,
+) -> Vec<(Color, RayWork)> {
+    let bounds = grid.bounds();
+    let dt = bounds.diagonal() / cfg.samples_per_ray as f32;
+    let n_px = (width * height) as usize;
+    map(device, n_px, |i| {
+        let px = i as u32 % width;
+        let py = i as u32 / width;
+        let ray = camera.primary_ray(px, py, width, height, 0.5, 0.5);
+        let Some((t_in, t_out)) = bounds.intersect_ray(&ray, camera.near, f32::INFINITY) else {
+            return (Color::TRANSPARENT, RayWork::default());
+        };
+        march_ray(grid, field, &ray, t_in, t_out, dt, tf, cfg.early_termination)
+    })
+}
+
+/// The frame-assembly stage: fold per-ray results into a framebuffer plus
+/// the model-input tallies (active pixels, samples, cells).
+pub(crate) fn assemble_stage(
+    results: &[(Color, RayWork)],
+    width: u32,
+    height: u32,
+) -> (Framebuffer, usize, u64, u64) {
     let mut frame = Framebuffer::new(width, height);
     let mut active = 0usize;
     let mut total_samples = 0u64;
@@ -122,18 +162,7 @@ pub fn render_structured(
             }
         }
     }
-
-    Ok(SvrOutput {
-        stats: SvrStats {
-            objects: grid.num_cells(),
-            active_pixels: active,
-            samples_per_ray: if active > 0 { total_samples as f64 / active as f64 } else { 0.0 },
-            cells_spanned: if active > 0 { total_cells as f64 / active as f64 } else { 0.0 },
-            render_seconds: t0.elapsed().as_secs_f64(),
-        },
-        frame,
-        phases,
-    })
+    (frame, active, total_samples, total_cells)
 }
 
 /// March one ray through the grid with a cell-stepping DDA; returns the

@@ -109,7 +109,7 @@ pub struct UvrOutput {
 
 /// Screen-space tetrahedron with precomputed barycentric inverse.
 #[derive(Clone, Copy)]
-struct ScreenTet {
+pub(crate) struct ScreenTet {
     /// Fourth screen vertex (the barycentric reference point).
     d: Vec3,
     /// Inverse of the 3x3 matrix [v0-d | v1-d | v2-d].
@@ -124,6 +124,253 @@ struct ScreenTet {
 pub fn sample_buffer_bytes(width: u32, height: u32, cfg: &UvrConfig) -> usize {
     let slab = cfg.depth_samples.div_ceil(cfg.num_passes.max(1)) as usize;
     width as usize * height as usize * slab * 4
+}
+
+/// Initialization stage: per-tet view-depth ranges (map).
+pub(crate) fn init_ranges_stage(
+    device: &Device,
+    tets: &TetMesh,
+    camera: &Camera,
+) -> Vec<(f32, f32)> {
+    let n_tets = tets.num_tets();
+    let fwd = (camera.look_at - camera.position).normalized();
+    map(device, n_tets, |t| {
+        let pts = tets.tet_points(t);
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for p in pts {
+            let d = (p - camera.position).dot(fwd);
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        (lo, hi)
+    })
+}
+
+/// Pass-selection stage: stream-compact the tets whose depth range overlaps
+/// `[pass_z0, pass_z1]` in front of the camera.
+pub(crate) fn select_stage(
+    device: &Device,
+    ranges: &[(f32, f32)],
+    near: f32,
+    pass_z0: f32,
+    pass_z1: f32,
+) -> Vec<u32> {
+    compact_indices(device, ranges.len(), |t| {
+        let (lo, hi) = ranges[t];
+        hi >= pass_z0 && lo <= pass_z1 && hi >= near
+    })
+}
+
+/// Screen-space transformation stage: project active tets and precompute the
+/// inverse barycentric matrices.
+pub(crate) fn screen_space_stage(
+    device: &Device,
+    tets: &TetMesh,
+    field: &[f32],
+    camera: &Camera,
+    width: u32,
+    height: u32,
+    active: &[u32],
+) -> Vec<Option<ScreenTet>> {
+    let fwd = (camera.look_at - camera.position).normalized();
+    let st = camera.screen_transform(width, height);
+    map(device, active.len(), |a| {
+        let t = active[a] as usize;
+        let pts = tets.tet_points(t);
+        let mut sv = [Vec3::ZERO; 4];
+        for (i, p) in pts.iter().enumerate() {
+            let d = (*p - camera.position).dot(fwd);
+            if d < camera.near * 0.5 {
+                return None; // straddles the camera plane
+            }
+            let s = st.to_screen(*p);
+            if !s.is_finite() {
+                return None;
+            }
+            sv[i] = Vec3::new(s.x, s.y, d);
+        }
+        let ix = tets.tets[t];
+        let s = [
+            field[ix[0] as usize],
+            field[ix[1] as usize],
+            field[ix[2] as usize],
+            field[ix[3] as usize],
+        ];
+        let d = sv[3];
+        let m0 = sv[0] - d;
+        let m1 = sv[1] - d;
+        let m2 = sv[2] - d;
+        // Inverse of column matrix [m0 m1 m2].
+        let det = m0.x * (m1.y * m2.z - m2.y * m1.z) - m1.x * (m0.y * m2.z - m2.y * m0.z)
+            + m2.x * (m0.y * m1.z - m1.y * m0.z);
+        if det.abs() < 1e-12 {
+            return None;
+        }
+        let id = 1.0 / det;
+        let inv = [
+            [
+                (m1.y * m2.z - m2.y * m1.z) * id,
+                (m2.x * m1.z - m1.x * m2.z) * id,
+                (m1.x * m2.y - m2.x * m1.y) * id,
+            ],
+            [
+                (m2.y * m0.z - m0.y * m2.z) * id,
+                (m0.x * m2.z - m2.x * m0.z) * id,
+                (m2.x * m0.y - m0.x * m2.y) * id,
+            ],
+            [
+                (m0.y * m1.z - m1.y * m0.z) * id,
+                (m1.x * m0.z - m0.x * m1.z) * id,
+                (m0.x * m1.y - m1.x * m0.y) * id,
+            ],
+        ];
+        let bx0 = sv.iter().map(|v| v.x).fold(f32::INFINITY, f32::min);
+        let bx1 = sv.iter().map(|v| v.x).fold(f32::NEG_INFINITY, f32::max);
+        let by0 = sv.iter().map(|v| v.y).fold(f32::INFINITY, f32::min);
+        let by1 = sv.iter().map(|v| v.y).fold(f32::NEG_INFINITY, f32::max);
+        let bz0 = sv.iter().map(|v| v.z).fold(f32::INFINITY, f32::min);
+        let bz1 = sv.iter().map(|v| v.z).fold(f32::NEG_INFINITY, f32::max);
+        Some(ScreenTet { d, inv, s, bbox: [bx0, bx1, by0, by1, bz0, bz1] })
+    })
+}
+
+/// Sampling stage: fill this pass's sample slab with `fetch_max`-merged
+/// tagged scalars. Returns the loaded slab and the tet-pixel-column tests
+/// performed (the CS model input).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's kernel signature
+pub(crate) fn sampling_stage(
+    device: &Device,
+    active: &[u32],
+    screen: &[Option<ScreenTet>],
+    opacity: &[f32],
+    term: f32,
+    width: u32,
+    height: u32,
+    z0: f32,
+    dz: f32,
+    slab: usize,
+    s_begin: u32,
+    s_end: u32,
+) -> (Vec<u64>, u64) {
+    let n_px = (width * height) as usize;
+    let samples: Vec<AtomicU64> = (0..n_px * slab).map(|_| AtomicU64::new(EMPTY)).collect();
+    let cells_tested = AtomicU64::new(0);
+    dpp::for_each(device, active.len(), |a| {
+        let Some(tet) = &screen[a] else { return };
+        let tag = (active[a] as u64 + 1) << 32;
+        let [bx0, bx1, by0, by1, bz0, bz1] = tet.bbox;
+        let px0 = bx0.floor().max(0.0) as u32;
+        let px1 = (bx1.ceil() as i64).min(width as i64 - 1).max(0) as u32;
+        let py0 = by0.floor().max(0.0) as u32;
+        let py1 = (by1.ceil() as i64).min(height as i64 - 1).max(0) as u32;
+        if bx1 < 0.0 || by1 < 0.0 {
+            return;
+        }
+        // Depth slice range of this tet clipped to the pass.
+        let s_lo = (((bz0 - z0) / dz).floor().max(s_begin as f32)) as u32;
+        let s_hi = ((((bz1 - z0) / dz).ceil()) as i64).min(s_end as i64 - 1).max(0) as u32;
+        if s_lo > s_hi {
+            return;
+        }
+        let mut tested = 0u64;
+        for py in py0..=py1 {
+            for px in px0..=px1 {
+                let pix = (py * width + px) as usize;
+                tested += 1;
+                if opacity[pix] >= term {
+                    continue; // early-termination in the sampler
+                }
+                for sl in s_lo..=s_hi {
+                    let zc = z0 + (sl as f32 + 0.5) * dz;
+                    let p = Vec3::new(px as f32 + 0.5, py as f32 + 0.5, zc);
+                    let r = p - tet.d;
+                    let l0 = tet.inv[0][0] * r.x + tet.inv[0][1] * r.y + tet.inv[0][2] * r.z;
+                    let l1 = tet.inv[1][0] * r.x + tet.inv[1][1] * r.y + tet.inv[1][2] * r.z;
+                    let l2 = tet.inv[2][0] * r.x + tet.inv[2][1] * r.y + tet.inv[2][2] * r.z;
+                    let l3 = 1.0 - l0 - l1 - l2;
+                    const EPS: f32 = -1e-5;
+                    if l0 >= EPS && l1 >= EPS && l2 >= EPS && l3 >= EPS {
+                        let value = tet.s[0] * l0 + tet.s[1] * l1 + tet.s[2] * l2 + tet.s[3] * l3;
+                        let slot = pix * slab + (sl - s_begin) as usize;
+                        let tagged = tag | value.to_bits() as u64;
+                        // ORDERING: Relaxed — fetch_max is a
+                        // monotonic merge of (tet, value) tags; the
+                        // winner is scheduling-independent and is
+                        // read only after the region joins.
+                        samples[slot].fetch_max(tagged, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        // ORDERING: Relaxed — commutative statistics counter.
+        cells_tested.fetch_add(tested, Ordering::Relaxed);
+    });
+    // ORDERING: Relaxed — reads after the for_each joined.
+    let loaded = samples.iter().map(|s| s.load(Ordering::Relaxed)).collect();
+    // ORDERING: Relaxed — read after the for_each joined.
+    let tested = cells_tested.load(Ordering::Relaxed);
+    (loaded, tested)
+}
+
+/// Compositing stage: fold this pass's samples front-to-back into the
+/// accumulation buffer with early termination. Returns the new accumulation
+/// state and the number of samples composited.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's kernel signature
+pub(crate) fn composite_stage(
+    device: &Device,
+    acc: &[Color],
+    samples: &[u64],
+    slab: usize,
+    slab_this: usize,
+    term: f32,
+    tf: &TransferFunction,
+) -> (Vec<Color>, u64) {
+    let composited = AtomicU64::new(0);
+    let new_acc = map(device, acc.len(), |pix| {
+        let mut c = acc[pix];
+        if c.a >= term {
+            return c;
+        }
+        let mut n_comp = 0u64;
+        for sl in 0..slab_this {
+            let packed = samples[pix * slab + sl];
+            if packed == EMPTY {
+                continue;
+            }
+            let v = f32::from_bits(packed as u32);
+            let col = tf.sample(v);
+            n_comp += 1;
+            if col.a > 0.0 {
+                c = over(c, col.premultiplied());
+                if c.a >= term {
+                    break;
+                }
+            }
+        }
+        if n_comp > 0 {
+            // ORDERING: Relaxed — commutative statistics counter.
+            composited.fetch_add(n_comp, Ordering::Relaxed);
+        }
+        c
+    });
+    // ORDERING: Relaxed — read after the region joined.
+    (new_acc, composited.load(Ordering::Relaxed))
+}
+
+/// Assemble the accumulation buffer into a framebuffer; returns the frame
+/// and the active-pixel count.
+pub(crate) fn assemble_uvr_stage(acc: &[Color], width: u32, height: u32) -> (Framebuffer, usize) {
+    let mut frame = Framebuffer::new(width, height);
+    let mut active_px = 0usize;
+    for (i, c) in acc.iter().enumerate() {
+        if c.a > 0.0 {
+            frame.color[i] = c.unpremultiplied();
+            frame.depth[i] = 0.0;
+            active_px += 1;
+        }
+    }
+    (frame, active_px)
 }
 
 /// Render the tetrahedral mesh's point field through the camera.
@@ -156,24 +403,10 @@ pub fn render_unstructured(
 
     let n_tets = tets.num_tets();
     let n_px = (width * height) as usize;
-    let fwd = (camera.look_at - camera.position).normalized();
-    let st = camera.screen_transform(width, height);
-    let depth_of = |p: Vec3| (p - camera.position).dot(fwd);
 
     // --- Initialization: per-tet depth ranges (map) + global range (reduce).
-    let ranges: Vec<(f32, f32)> = phases.run("initialization", n_tets as u64, || {
-        map(device, n_tets, |t| {
-            let pts = tets.tet_points(t);
-            let mut lo = f32::INFINITY;
-            let mut hi = f32::NEG_INFINITY;
-            for p in pts {
-                let d = depth_of(p);
-                lo = lo.min(d);
-                hi = hi.max(d);
-            }
-            (lo, hi)
-        })
-    });
+    let ranges: Vec<(f32, f32)> =
+        phases.run("initialization", n_tets as u64, || init_ranges_stage(device, tets, camera));
     let (z0, z1) = dpp::reduce(device, &ranges, (f32::INFINITY, f32::NEG_INFINITY), |a, b| {
         (a.0.min(b.0), a.1.max(b.1))
     });
@@ -188,15 +421,13 @@ pub fn render_unstructured(
     let slab = s_total.div_ceil(passes) as usize;
     let dz = (z1 - z0) / s_total as f32;
 
-    // Persistent accumulation state across passes.
-    let mut acc: Vec<Color> = vec![Color::TRANSPARENT; n_px];
-    // One slot per (pixel, depth slice): the winning tet's scalar, tagged
-    // with the tet index for deterministic tie-breaking. The *modeled* buffer
+    // Persistent accumulation state across passes. The *modeled* buffer
     // (`sample_buffer_bytes`, what the paper's GPU allocates) stays 4 B per
-    // sample; the host-side tag is bookkeeping, not workload.
-    let samples: Vec<AtomicU64> = (0..n_px * slab).map(|_| AtomicU64::new(EMPTY)).collect();
-    let cells_tested = AtomicU64::new(0);
+    // sample; the host-side tet-index tag is bookkeeping, not workload.
+    let mut acc: Vec<Color> = vec![Color::TRANSPARENT; n_px];
+    let mut ct: u64 = 0;
     let mut total_composited: u64 = 0;
+    let term = cfg.early_termination;
 
     for pass in 0..passes {
         let s_begin = pass * slab as u32;
@@ -209,194 +440,37 @@ pub fn render_unstructured(
 
         // --- Pass selection: threshold + scan + reverse-index + gather. ---
         let active: Vec<u32> = phases.run("pass_selection", n_tets as u64, || {
-            compact_indices(device, n_tets, |t| {
-                let (lo, hi) = ranges[t];
-                hi >= pass_z0 && lo <= pass_z1 && hi >= camera.near
-            })
+            select_stage(device, &ranges, camera.near, pass_z0, pass_z1)
         });
         let m = active.len();
 
         // --- Screen-space transformation (map over active tets). ---
         let screen: Vec<Option<ScreenTet>> = phases.run("screen_space", m as u64, || {
-            map(device, m, |a| {
-                let t = active[a] as usize;
-                let pts = tets.tet_points(t);
-                let mut sv = [Vec3::ZERO; 4];
-                for (i, p) in pts.iter().enumerate() {
-                    let d = depth_of(*p);
-                    if d < camera.near * 0.5 {
-                        return None; // straddles the camera plane
-                    }
-                    let s = st.to_screen(*p);
-                    if !s.is_finite() {
-                        return None;
-                    }
-                    sv[i] = Vec3::new(s.x, s.y, d);
-                }
-                let ix = tets.tets[t];
-                let s = [
-                    field[ix[0] as usize],
-                    field[ix[1] as usize],
-                    field[ix[2] as usize],
-                    field[ix[3] as usize],
-                ];
-                let d = sv[3];
-                let m0 = sv[0] - d;
-                let m1 = sv[1] - d;
-                let m2 = sv[2] - d;
-                // Inverse of column matrix [m0 m1 m2].
-                let det = m0.x * (m1.y * m2.z - m2.y * m1.z) - m1.x * (m0.y * m2.z - m2.y * m0.z)
-                    + m2.x * (m0.y * m1.z - m1.y * m0.z);
-                if det.abs() < 1e-12 {
-                    return None;
-                }
-                let id = 1.0 / det;
-                let inv = [
-                    [
-                        (m1.y * m2.z - m2.y * m1.z) * id,
-                        (m2.x * m1.z - m1.x * m2.z) * id,
-                        (m1.x * m2.y - m2.x * m1.y) * id,
-                    ],
-                    [
-                        (m2.y * m0.z - m0.y * m2.z) * id,
-                        (m0.x * m2.z - m2.x * m0.z) * id,
-                        (m2.x * m0.y - m0.x * m2.y) * id,
-                    ],
-                    [
-                        (m0.y * m1.z - m1.y * m0.z) * id,
-                        (m1.x * m0.z - m0.x * m1.z) * id,
-                        (m0.x * m1.y - m1.x * m0.y) * id,
-                    ],
-                ];
-                let bx0 = sv.iter().map(|v| v.x).fold(f32::INFINITY, f32::min);
-                let bx1 = sv.iter().map(|v| v.x).fold(f32::NEG_INFINITY, f32::max);
-                let by0 = sv.iter().map(|v| v.y).fold(f32::INFINITY, f32::min);
-                let by1 = sv.iter().map(|v| v.y).fold(f32::NEG_INFINITY, f32::max);
-                let bz0 = sv.iter().map(|v| v.z).fold(f32::INFINITY, f32::min);
-                let bz1 = sv.iter().map(|v| v.z).fold(f32::NEG_INFINITY, f32::max);
-                Some(ScreenTet { d, inv, s, bbox: [bx0, bx1, by0, by1, bz0, bz1] })
-            })
+            screen_space_stage(device, tets, &field, camera, width, height, &active)
         });
 
         // --- Sampling (map over active tets, atomic writes). ---
         // Opacity snapshot for sampler-side early termination.
         let opacity: Vec<f32> = acc.iter().map(|c| c.a).collect();
-        let term = cfg.early_termination;
-        phases.run("sampling", m as u64, || {
-            // Reset this pass's slab.
-            dpp::for_each(device, samples.len(), |i| {
-                // ORDERING: Relaxed — slots are data-raced only within one
-                // region; regions are separated by fork-join barriers.
-                samples[i].store(EMPTY, Ordering::Relaxed);
-            });
-            dpp::for_each(device, m, |a| {
-                let Some(tet) = &screen[a] else { return };
-                let tag = (active[a] as u64 + 1) << 32;
-                let [bx0, bx1, by0, by1, bz0, bz1] = tet.bbox;
-                let px0 = bx0.floor().max(0.0) as u32;
-                let px1 = (bx1.ceil() as i64).min(width as i64 - 1).max(0) as u32;
-                let py0 = by0.floor().max(0.0) as u32;
-                let py1 = (by1.ceil() as i64).min(height as i64 - 1).max(0) as u32;
-                if bx1 < 0.0 || by1 < 0.0 {
-                    return;
-                }
-                // Depth slice range of this tet clipped to the pass.
-                let s_lo = (((bz0 - z0) / dz).floor().max(s_begin as f32)) as u32;
-                let s_hi = ((((bz1 - z0) / dz).ceil()) as i64).min(s_end as i64 - 1).max(0) as u32;
-                if s_lo > s_hi {
-                    return;
-                }
-                let mut tested = 0u64;
-                for py in py0..=py1 {
-                    for px in px0..=px1 {
-                        let pix = (py * width + px) as usize;
-                        tested += 1;
-                        if opacity[pix] >= term {
-                            continue; // early-termination in the sampler
-                        }
-                        for sl in s_lo..=s_hi {
-                            let zc = z0 + (sl as f32 + 0.5) * dz;
-                            let p = Vec3::new(px as f32 + 0.5, py as f32 + 0.5, zc);
-                            let r = p - tet.d;
-                            let l0 =
-                                tet.inv[0][0] * r.x + tet.inv[0][1] * r.y + tet.inv[0][2] * r.z;
-                            let l1 =
-                                tet.inv[1][0] * r.x + tet.inv[1][1] * r.y + tet.inv[1][2] * r.z;
-                            let l2 =
-                                tet.inv[2][0] * r.x + tet.inv[2][1] * r.y + tet.inv[2][2] * r.z;
-                            let l3 = 1.0 - l0 - l1 - l2;
-                            const EPS: f32 = -1e-5;
-                            if l0 >= EPS && l1 >= EPS && l2 >= EPS && l3 >= EPS {
-                                let value =
-                                    tet.s[0] * l0 + tet.s[1] * l1 + tet.s[2] * l2 + tet.s[3] * l3;
-                                let slot = pix * slab + (sl - s_begin) as usize;
-                                let tagged = tag | value.to_bits() as u64;
-                                // ORDERING: Relaxed — fetch_max is a
-                                // monotonic merge of (tet, value) tags; the
-                                // winner is scheduling-independent and is
-                                // read only after the region joins.
-                                samples[slot].fetch_max(tagged, Ordering::Relaxed);
-                            }
-                        }
-                    }
-                }
-                // ORDERING: Relaxed — commutative statistics counter.
-                cells_tested.fetch_add(tested, Ordering::Relaxed);
-            });
+        let (samples, tested) = phases.run("sampling", m as u64, || {
+            sampling_stage(
+                device, &active, &screen, &opacity, term, width, height, z0, dz, slab, s_begin,
+                s_end,
+            )
         });
+        ct += tested;
 
         // --- Compositing (map over pixels). ---
         let slab_this = (s_end - s_begin) as usize;
-        let composited = AtomicU64::new(0);
-        let new_acc: Vec<Color> = phases.run("compositing", n_px as u64, || {
-            map(device, n_px, |pix| {
-                let mut c = acc[pix];
-                if c.a >= term {
-                    return c;
-                }
-                let mut n_comp = 0u64;
-                for sl in 0..slab_this {
-                    // ORDERING: Relaxed — sampling joined before this
-                    // compositing region started.
-                    let packed = samples[pix * slab + sl].load(Ordering::Relaxed);
-                    if packed == EMPTY {
-                        continue;
-                    }
-                    let v = f32::from_bits(packed as u32);
-                    let col = tf.sample(v);
-                    n_comp += 1;
-                    if col.a > 0.0 {
-                        c = over(c, col.premultiplied());
-                        if c.a >= term {
-                            break;
-                        }
-                    }
-                }
-                if n_comp > 0 {
-                    // ORDERING: Relaxed — commutative statistics counter.
-                    composited.fetch_add(n_comp, Ordering::Relaxed);
-                }
-                c
-            })
+        let (new_acc, composited) = phases.run("compositing", n_px as u64, || {
+            composite_stage(device, &acc, &samples, slab, slab_this, term, tf)
         });
         acc = new_acc;
-        // ORDERING: Relaxed — read after the region joined.
-        total_composited += composited.load(Ordering::Relaxed);
+        total_composited += composited;
     }
 
     // Assemble the frame.
-    let mut frame = Framebuffer::new(width, height);
-    let mut active_px = 0usize;
-    for (i, c) in acc.iter().enumerate() {
-        if c.a > 0.0 {
-            frame.color[i] = c.unpremultiplied();
-            frame.depth[i] = 0.0;
-            active_px += 1;
-        }
-    }
-
-    // ORDERING: Relaxed — read after every parallel region joined.
-    let ct = cells_tested.load(Ordering::Relaxed);
+    let (frame, active_px) = assemble_uvr_stage(&acc, width, height);
     Ok(UvrOutput {
         stats: UvrStats {
             objects: n_tets,

@@ -168,6 +168,8 @@ pub fn ground_truth() -> ModelSet {
         // installs per-wire models from observations.
         comp_compressed: None,
         comp_dfb: None,
+        pass_ao: None,
+        pass_shadows: None,
     }
 }
 

@@ -30,12 +30,14 @@ impl Rung {
         }
     }
 
-    /// Short label for transcripts and tables.
+    /// Short label for transcripts and tables. Halvings beyond the ladder's
+    /// deepest rung label as `shrunk` rather than masquerading as `quarter`.
     pub fn label(&self) -> &'static str {
         match self {
             Rung::Full => "full",
             Rung::Halved { halvings: 1 } => "half",
-            Rung::Halved { .. } => "quarter",
+            Rung::Halved { halvings: 2 } => "quarter",
+            Rung::Halved { .. } => "shrunk",
             Rung::Switched { .. } => "switch",
             Rung::Drop => "drop",
         }

@@ -24,6 +24,7 @@
 pub mod backpressure;
 pub mod demo;
 pub mod ladder;
+pub mod passes;
 pub mod priority;
 pub mod refit;
 pub mod scheduler;
@@ -32,6 +33,7 @@ pub mod simexec;
 pub use backpressure::QueuePressure;
 pub use demo::{run_budgeted_demo, CycleOutcome, DemoConfig, DemoReport};
 pub use ladder::{Ladder, Rung, LADDER};
+pub use passes::{PassLadder, PassRung, PASS_DROP_LEVEL, PASS_LADDER};
 pub use priority::{Priority, PRIORITIES};
 pub use refit::OnlineRefit;
 pub use scheduler::{CycleRecord, Decision, PlannedJob, RenderRequest, Scheduler, SchedulerConfig};

@@ -10,9 +10,9 @@
 use perfmodel::feasibility::ModelSet;
 use perfmodel::models::{
     CompositeModel, CompressedCompositeModel, DfbCompositeModel, FittedLinearModel, ModelForm,
-    RastModel, RtBuildModel, RtModel, VrModel,
+    PassModel, RastModel, RtBuildModel, RtModel, VrModel,
 };
-use perfmodel::sample::{CompositeSample, CompositeWire, RenderSample, RendererKind};
+use perfmodel::sample::{CompositeSample, CompositeWire, PassSample, RenderSample, RendererKind};
 use std::collections::VecDeque;
 
 /// What one [`OnlineRefit::refit_into`] pass did, for scheduler and repro
@@ -39,6 +39,8 @@ pub struct OnlineRefit {
     rast: VecDeque<RenderSample>,
     vr: VecDeque<RenderSample>,
     comp: VecDeque<CompositeSample>,
+    pass_ao: VecDeque<PassSample>,
+    pass_shadows: VecDeque<PassSample>,
 }
 
 impl OnlineRefit {
@@ -53,6 +55,8 @@ impl OnlineRefit {
             rast: VecDeque::new(),
             vr: VecDeque::new(),
             comp: VecDeque::new(),
+            pass_ao: VecDeque::new(),
+            pass_shadows: VecDeque::new(),
         }
     }
 
@@ -81,9 +85,30 @@ impl OnlineRefit {
         self.comp.push_back(s);
     }
 
+    /// Record a measured render-graph pass timing. Only the sheddable
+    /// passes with per-pass models (`ambient_occlusion`, `shadows`) are
+    /// windowed; other pass names are ignored — their cost is already
+    /// captured by the whole-frame models.
+    pub fn observe_pass(&mut self, s: PassSample) {
+        let q = match s.pass.as_str() {
+            "ambient_occlusion" => &mut self.pass_ao,
+            "shadows" => &mut self.pass_shadows,
+            _ => return,
+        };
+        if q.len() == self.window {
+            q.pop_front();
+        }
+        q.push_back(s);
+    }
+
     /// Total buffered observations, for reporting.
     pub fn len(&self) -> usize {
-        self.rt.len() + self.rast.len() + self.vr.len() + self.comp.len()
+        self.rt.len()
+            + self.rast.len()
+            + self.vr.len()
+            + self.comp.len()
+            + self.pass_ao.len()
+            + self.pass_shadows.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -152,6 +177,14 @@ impl OnlineRefit {
         if dfb.len() >= self.min_samples {
             Self::install_opt(&mut set.comp_dfb, DfbCompositeModel.fit(&dfb), &mut rep);
         }
+        if self.pass_ao.len() >= self.min_samples {
+            let xs: Vec<PassSample> = self.pass_ao.iter().cloned().collect();
+            Self::install_opt(&mut set.pass_ao, PassModel::AMBIENT_OCCLUSION.fit(&xs), &mut rep);
+        }
+        if self.pass_shadows.len() >= self.min_samples {
+            let xs: Vec<PassSample> = self.pass_shadows.iter().cloned().collect();
+            Self::install_opt(&mut set.pass_shadows, PassModel::SHADOWS.fit(&xs), &mut rep);
+        }
         rep
     }
 
@@ -206,6 +239,8 @@ mod tests {
             comp: constant_model("compositing", vec![1e-6, 1e-6, 1.0]),
             comp_compressed: None,
             comp_dfb: None,
+            pass_ao: None,
+            pass_shadows: None,
         }
     }
 
@@ -385,6 +420,47 @@ mod tests {
     /// *decreasing* with active pixels) must not replace the prior — the
     /// predictor would silently clip the negative term to zero and schedule
     /// on fiction.
+    /// Per-pass windows from graph-executor timings fit the pass models,
+    /// recovering each pass's planted per-work-unit law — the features
+    /// behind pass-granular admission.
+    #[test]
+    fn pass_windows_fit_the_pass_models() {
+        let ao_law = |w: f64| 2.5e-8 * w + 4e-4;
+        let sh_law = |w: f64| 1.2e-8 * w + 2e-4;
+        let mut refit = OnlineRefit::new(64, 4);
+        for i in 1..=10usize {
+            let w = 5000.0 * i as f64;
+            refit.observe_pass(PassSample {
+                pass: "ambient_occlusion".into(),
+                work_units: w,
+                seconds: ao_law(w),
+            });
+            refit.observe_pass(PassSample {
+                pass: "shadows".into(),
+                work_units: w * 0.4,
+                seconds: sh_law(w * 0.4),
+            });
+            // Non-sheddable passes are not windowed.
+            refit.observe_pass(PassSample {
+                pass: "intersect".into(),
+                work_units: w,
+                seconds: 1.0,
+            });
+        }
+        assert_eq!(refit.len(), 20);
+        let mut set = prior();
+        let rep = refit.refit_into(&mut set);
+        assert!(rep.refitted.contains(&"pass_ambient_occlusion"), "{rep:?}");
+        assert!(rep.refitted.contains(&"pass_shadows"), "{rep:?}");
+        for w in [7500.0, 40000.0] {
+            let got = set.predict_pass_seconds("ambient_occlusion", w).unwrap();
+            assert!((got - ao_law(w)).abs() / ao_law(w) < 1e-6, "{got}");
+            let got = set.predict_pass_seconds("shadows", w).unwrap();
+            assert!((got - sh_law(w)).abs() / sh_law(w) < 1e-6, "{got}");
+        }
+        assert!(set.predict_pass_seconds("intersect", 1.0).is_none());
+    }
+
     #[test]
     fn implausible_refits_keep_the_prior() {
         let mut refit = OnlineRefit::new(64, 4);

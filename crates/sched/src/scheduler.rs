@@ -72,7 +72,10 @@ pub struct SchedulerConfig {
     pub budget_s: f64,
     /// MPI tasks of the configuration being scheduled (weak scaling).
     pub tasks: usize,
-    /// Degradation never shrinks an image side below this.
+    /// Degradation never shrinks an image side below this (and never below
+    /// 1 even when a request is already smaller). The default of 64 keeps a
+    /// degraded image at least one full rasterizer tile per side, so every
+    /// ladder rung yields a renderable, nonzero-pixel config.
     pub min_image_side: u32,
     /// Jobs are packed against `safety * budget_s`, leaving headroom for
     /// prediction noise so small errors do not blow the budget.
@@ -209,11 +212,16 @@ impl Scheduler {
     }
 
     /// Degraded dimensions for a request on a rung (never upsizes, never
-    /// shrinks below the configured minimum side).
+    /// shrinks below the configured minimum side, and always at least 1×1 so
+    /// every executable rung stays renderable). The shift is clamped to 31:
+    /// a degenerate `Rung::Halved { halvings: 32+ }` would otherwise
+    /// overflow the u32 shift (a debug-build panic), not degrade harder —
+    /// past 31 halvings the floor decides anyway.
     fn shrunk(&self, req: &RenderRequest, halvings: u8) -> (u32, u32) {
         let min = self.cfg.min_image_side;
-        let w = (req.width >> halvings).max(min).min(req.width).max(1);
-        let h = (req.height >> halvings).max(min).min(req.height).max(1);
+        let shift = u32::from(halvings).min(31);
+        let w = (req.width >> shift).max(min).min(req.width).max(1);
+        let h = (req.height >> shift).max(min).min(req.height).max(1);
         (w, h)
     }
 
@@ -338,6 +346,19 @@ impl Scheduler {
         s.render_seconds = local_seconds;
         s.build_seconds = build_seconds;
         self.refit.observe_render(s);
+    }
+
+    /// Feed back a measured render-graph pass timing (from a
+    /// `PassRecord`), so the per-pass models refit alongside the
+    /// whole-frame families at [`end_cycle`](Scheduler::end_cycle). Only
+    /// the sheddable passes are windowed; see
+    /// [`OnlineRefit::observe_pass`](crate::refit::OnlineRefit::observe_pass).
+    pub fn observe_pass(&mut self, pass: &str, work_units: f64, seconds: f64) {
+        self.refit.observe_pass(perfmodel::sample::PassSample {
+            pass: pass.to_string(),
+            work_units,
+            seconds,
+        });
     }
 
     /// Feed back a measured compositing exchange for one frame. `compressed`
@@ -710,5 +731,47 @@ mod tests {
         // Requests already below the floor are left alone rather than upsized.
         let tiny = req(RendererKind::VolumeRendering, 32);
         assert_eq!(s.shrunk(&tiny, 2), (32, 32));
+    }
+
+    /// The shrink audit pinned: every ladder rung — whole-frame and the
+    /// frame components of the pass-granular ladder — yields a renderable,
+    /// nonzero-pixel config for every seed image size, including odd sides,
+    /// sides below the tile floor, and a 1-pixel request. Degenerate
+    /// halvings (>= 32, a u32 shift overflow before the audit) clamp to the
+    /// floor instead of panicking.
+    #[test]
+    fn every_rung_stays_renderable_at_all_seed_sizes() {
+        let s = sched(1.0);
+        let sides = [1u32, 31, 63, 64, 65, 72, 101, 256, 333, 512, 1024, 1080, 2047, 4096];
+        let mut rungs: Vec<Rung> = LADDER.to_vec();
+        rungs.extend(crate::passes::PASS_LADDER.iter().map(|p| p.frame));
+        rungs.push(Rung::Halved { halvings: 31 });
+        rungs.push(Rung::Halved { halvings: 40 });
+        rungs.push(Rung::Switched { halvings: 255 });
+        for &side in &sides {
+            for kind in [
+                RendererKind::RayTracing,
+                RendererKind::Rasterization,
+                RendererKind::VolumeRendering,
+            ] {
+                let r = req(kind, side);
+                for &rung in &rungs {
+                    let Some((w, h, _)) = s.configure(&r, rung) else {
+                        assert_eq!(rung, Rung::Drop, "only the drop rung may yield no config");
+                        continue;
+                    };
+                    assert!(w >= 1 && h >= 1, "{rung:?} @ {side}: {w}x{h}");
+                    assert!(w <= r.width && h <= r.height, "{rung:?} @ {side} upsized: {w}x{h}");
+                    // At or above the floor, shrinking stops at the floor.
+                    if side >= s.cfg.min_image_side && rung.halvings() > 0 {
+                        assert!(w >= s.cfg.min_image_side, "{rung:?} @ {side}: {w}");
+                    }
+                    // Below the floor, the request passes through unshrunk.
+                    if side < s.cfg.min_image_side {
+                        assert_eq!((w, h), (r.width, r.height));
+                    }
+                }
+            }
+        }
     }
 }

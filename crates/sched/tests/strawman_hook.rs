@@ -32,6 +32,8 @@ fn pixel_cost_models() -> ModelSet {
         comp: model("compositing", vec![0.0, 1e-6, 0.0]),
         comp_compressed: None,
         comp_dfb: None,
+        pass_ao: None,
+        pass_shadows: None,
     }
 }
 

@@ -50,6 +50,12 @@ pub struct Config {
     pub x008_models: String,
     /// The persist module that must round-trip every X008 model name.
     pub x008_persist: String,
+    /// Path prefixes X010 scans for `pub` model-type declarations (types
+    /// whose identifiers end in `Model`). Empty disables the check.
+    pub x010_models: Vec<String>,
+    /// Files/path prefixes whose contents count as X010 round-trip coverage
+    /// (the persist module and its tests). Empty disables the check.
+    pub x010_roundtrip: Vec<String>,
     /// Grandfathered findings.
     pub baseline: Vec<BaselineEntry>,
 }
@@ -85,6 +91,8 @@ impl Default for Config {
             x009_wait_modules: vec!["crates/feasd/src/wait.rs".to_string()],
             x008_models: "crates/core/src/models.rs".to_string(),
             x008_persist: "crates/core/src/persist.rs".to_string(),
+            x010_models: vec!["crates/core/src/".to_string()],
+            x010_roundtrip: vec!["crates/core/src/persist.rs".to_string()],
             baseline: Vec::new(),
         }
     }
@@ -104,6 +112,8 @@ impl Config {
             x009_wait_modules: Vec::new(),
             x008_models: String::new(),
             x008_persist: String::new(),
+            x010_models: Vec::new(),
+            x010_roundtrip: Vec::new(),
             baseline: Vec::new(),
         }
     }
@@ -181,7 +191,7 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
         if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
             section = name.trim().to_string();
             match section.as_str() {
-                "walk" | "x005" | "x006" | "x007" | "x008" | "x009" => {}
+                "walk" | "x005" | "x006" | "x007" | "x008" | "x009" | "x010" => {}
                 other => return Err(err(lineno, format!("unknown section `[{other}]`"))),
             }
             continue;
@@ -227,6 +237,8 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
             ("x009", "wait_modules") => cfg.x009_wait_modules = parse_array(&value)?,
             ("x008", "models") => cfg.x008_models = parse_string(&value, lineno)?,
             ("x008", "persist") => cfg.x008_persist = parse_string(&value, lineno)?,
+            ("x010", "models") => cfg.x010_models = parse_array(&value)?,
+            ("x010", "roundtrip") => cfg.x010_roundtrip = parse_array(&value)?,
             ("baseline", k) => {
                 let entry = cfg
                     .baseline
@@ -303,6 +315,18 @@ reason = "legacy counters, tracked in ROADMAP"
         let cfg = parse(text).unwrap();
         assert_eq!(cfg.x008_models, "a/models.rs");
         assert_eq!(cfg.x008_persist, "a/persist.rs");
+    }
+
+    #[test]
+    fn x010_arrays_parse() {
+        let text =
+            "[x010]\nmodels = [\"a/src/\"]\nroundtrip = [\"a/src/persist.rs\", \"a/tests/\"]\n";
+        let cfg = parse(text).unwrap();
+        assert_eq!(cfg.x010_models, vec!["a/src/".to_string()]);
+        assert_eq!(
+            cfg.x010_roundtrip,
+            vec!["a/src/persist.rs".to_string(), "a/tests/".to_string()]
+        );
     }
 
     #[test]

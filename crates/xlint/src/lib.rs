@@ -101,6 +101,38 @@ pub fn run_with_config(root: &Path, cfg: &Config) -> Result<Report, String> {
             report.active.extend(fr.findings);
         }
     }
+    // X010 — the cross-crate companion: every pub model *type* under the
+    // configured model paths must be named by the round-trip corpus (the
+    // persist module plus any other configured round-trip test files).
+    if !cfg.x010_models.is_empty() && !cfg.x010_roundtrip.is_empty() {
+        let mut corpus = String::new();
+        for entry in &cfg.x010_roundtrip {
+            if root.join(entry).is_file() {
+                if let Ok(text) = std::fs::read_to_string(root.join(entry)) {
+                    corpus.push_str(&text);
+                    corpus.push('\n');
+                }
+            } else {
+                for rel in files.iter().filter(|r| r.starts_with(entry.as_str())) {
+                    if let Ok(text) = std::fs::read_to_string(root.join(rel)) {
+                        corpus.push_str(&text);
+                        corpus.push('\n');
+                    }
+                }
+            }
+        }
+        if !corpus.is_empty() {
+            for rel in
+                files.iter().filter(|r| cfg.x010_models.iter().any(|p| r.starts_with(p.as_str())))
+            {
+                let source = std::fs::read_to_string(root.join(rel))
+                    .map_err(|e| format!("reading {rel}: {e}"))?;
+                let fr = lints::lint_model_type_persistence(rel, &source, &corpus);
+                report.waived.extend(fr.waived);
+                report.active.extend(fr.findings);
+            }
+        }
+    }
     apply_baseline(&mut report, cfg);
     report.normalize();
     Ok(report)

@@ -36,6 +36,9 @@ pub enum Lint {
     /// Bare blocking `.recv()` in service code outside the designated wait
     /// modules.
     X009,
+    /// A `pub` model type declared in the model crate that no persist
+    /// round-trip test ever names (cross-crate check).
+    X010,
 }
 
 impl Lint {
@@ -52,6 +55,7 @@ impl Lint {
             Lint::X007 => "X007",
             Lint::X008 => "X008",
             Lint::X009 => "X009",
+            Lint::X010 => "X010",
         }
     }
 
@@ -68,6 +72,7 @@ impl Lint {
             Lint::X007 => "wall-clock read outside the designated timing modules",
             Lint::X008 => "model name is not round-tripped by the persist module",
             Lint::X009 => "bare blocking recv() in service code outside the wait modules",
+            Lint::X010 => "pub model type is never named by a persist round-trip test",
         }
     }
 
@@ -107,6 +112,12 @@ impl Lint {
                 "a recv() with no timeout can block the service loop forever: wait through \
                  the designated wait module (e.g. WorkSignal::wait_timeout) or add the module \
                  to [x009].wait_modules in xlint.toml if it IS the wait discipline"
+            }
+            Lint::X010 => {
+                "a model type whose fitted form no round-trip test exercises can silently \
+                 stop surviving save/load: name the type in a persist round-trip test (fit \
+                 it and compare bits across save/load), or waive the declaration with a \
+                 written reason if the model is deliberately never persisted"
             }
         }
     }
@@ -391,6 +402,40 @@ pub fn lint_model_persistence(models_rel: &str, models_src: &str, persist_src: &
     file_report(models_rel, &lines, raw_hits)
 }
 
+/// X010 — the second cross-file check, one level up from X008: X008 tracks
+/// model *name strings* through the persist format; X010 tracks model
+/// *types*. Every `pub struct`/`pub enum` whose identifier ends in `Model`
+/// declared in a model-crate file must be named somewhere in the round-trip
+/// corpus (the persist module and any other configured round-trip test
+/// files) — a fitted model type no round-trip test ever constructs can
+/// silently stop surviving save/load. Deliberately unpersisted models waive
+/// the declaration line with a written reason.
+pub fn lint_model_type_persistence(
+    models_rel: &str,
+    models_src: &str,
+    roundtrip_src: &str,
+) -> FileReport {
+    let lines = mask(models_src);
+    let mut raw_hits: Vec<(Lint, usize)> = Vec::new();
+    for (i, l) in lines.iter().enumerate() {
+        let Some(ident) = model_type_decl(l.code.as_str()) else { continue };
+        if !contains_word(roundtrip_src, &ident) {
+            raw_hits.push((Lint::X010, i));
+        }
+    }
+    file_report(models_rel, &lines, raw_hits)
+}
+
+/// The identifier of a `pub struct`/`pub enum` declaration on this masked
+/// code line, if its name ends in `Model` (builders, sets, and other
+/// `Model`-prefixed helpers deliberately do not match).
+fn model_type_decl(code: &str) -> Option<String> {
+    let rest = code.trim_start();
+    let rest = rest.strip_prefix("pub struct ").or_else(|| rest.strip_prefix("pub enum "))?;
+    let ident: String = rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    ident.ends_with("Model").then_some(ident)
+}
+
 /// The first `"..."` literal on a raw source line.
 fn first_string_literal(raw: &str) -> Option<String> {
     let start = raw.find('"')?;
@@ -548,6 +593,30 @@ mod tests {
         assert_eq!(r.findings.len(), 1);
         assert_eq!(r.findings[0].lint, Lint::X008);
         assert_eq!(r.findings[0].line, 9);
+    }
+
+    #[test]
+    fn x010_requires_roundtrip_coverage_per_model_type() {
+        let models = "pub struct RtModel;\n\
+                      pub struct OrphanModel;\n\
+                      // xlint::allow(X010): derived per run, never persisted\n\
+                      pub struct EphemeralModel;\n\
+                      pub struct ModelBuilder;\n\
+                      pub struct PassModelBuilder;\n\
+                      struct PrivateModel;\n";
+        let corpus = "let set = make(RtModel.fit(&samples));\nassert_round_trips(&set);\n";
+        let r = lint_model_type_persistence("m.rs", models, corpus);
+        // Only the orphan fires: RtModel is covered, the ephemeral model is
+        // waived, builders and private types are out of scope.
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].lint, Lint::X010);
+        assert_eq!(r.findings[0].line, 2);
+        assert_eq!(r.waived.len(), 1);
+        assert_eq!(r.waived[0].finding.line, 4);
+        // Substrings are not words: `RtModelX` in the corpus covers nothing.
+        let bad_corpus = "let x = RtModelX;\n";
+        let r2 = lint_model_type_persistence("m.rs", "pub struct RtModel;\n", bad_corpus);
+        assert_eq!(r2.findings.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,27 @@
+//! X010 fixture: `pub` model types must be named by a persist round-trip
+//! test. The golden runner supplies a round-trip corpus that covers
+//! `CoveredModel` only.
+
+// Positive: declared pub, never round-tripped.
+pub struct OrphanModel;
+
+// Positive: enums count too.
+pub enum VariantModel {
+    Linear,
+}
+
+// Waived: deliberately unpersisted.
+// xlint::allow(X010): calibrated per run from the live device, never saved
+pub struct EphemeralModel;
+
+// Negative: the round-trip corpus names it.
+pub struct CoveredModel;
+
+// Negative: suffix mismatch (a builder, not a model) and non-pub types are
+// out of scope.
+pub struct CoveredModelBuilder;
+struct PrivateModel;
+
+// Negative: mentions inside comments or strings declare nothing.
+// pub struct CommentModel;
+pub const DOC: &str = "pub struct StringModel;";

@@ -63,6 +63,8 @@ fn calibrate(device: &Device) -> (ModelSet, MappingConstants) {
         comp: CompositeModel.fit(&comp),
         comp_compressed: None,
         comp_dfb: None,
+        pass_ao: None,
+        pass_shadows: None,
     };
     let mut all = rt;
     all.extend(ra);

@@ -32,6 +32,8 @@ fn main() {
         comp: CompositeModel.fit(&comp),
         comp_compressed: None,
         comp_dfb: None,
+        pass_ao: None,
+        pass_shadows: None,
     };
     println!(
         "model fits: RT R^2={:.3}  RAST R^2={:.3}  VR R^2={:.3}  COMP R^2={:.3}",

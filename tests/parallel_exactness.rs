@@ -112,6 +112,205 @@ fn unstructured_volume_renderer_is_bit_identical_across_devices() {
     }
 }
 
+/// The graph executor re-runs each legacy pipeline from the same stage
+/// kernels, so at full fidelity (no skips, cold cache) all four renderers
+/// must match their legacy counterparts byte for byte.
+#[test]
+fn graph_pipelines_match_legacy_bit_for_bit() {
+    use render::graph::{
+        render_raster_graph, render_rt_graph, render_structured_graph, render_unstructured_graph,
+    };
+    let d = Device::Serial;
+    let geom = surface();
+    let cam = Camera::close_view(&geom.bounds);
+    let tf = TransferFunction::rainbow(geom.scalar_range);
+
+    for cfg in [RtConfig::workload1(), RtConfig::workload2(), RtConfig::workload3()] {
+        let legacy = RayTracer::new(Device::Serial, geom.clone())
+            .render_with_map(&cam, 72, 72, &cfg, &tf)
+            .frame;
+        let (out, _) = render_rt_graph(&d, &geom, &cam, 72, 72, &cfg, &tf, &[], None).unwrap();
+        assert_eq!(
+            frame_bits(&out.frame),
+            frame_bits(&legacy),
+            "graph RT differs from legacy ({:?})",
+            cfg.workload
+        );
+    }
+
+    let legacy = rasterize(&d, &geom, &cam, 72, 72, &tf, None).frame;
+    let (out, _) = render_raster_graph(&d, &geom, &cam, 72, 72, &tf, None, &[], None).unwrap();
+    assert_eq!(frame_bits(&out.frame), frame_bits(&legacy), "graph raster differs from legacy");
+
+    let grid = field_grid(FieldKind::Turbulence, [16, 16, 16]);
+    let range = grid.field("scalar").unwrap().range().unwrap();
+    let vtf = TransferFunction::sparse_features(range);
+    let vcam = Camera::close_view(&grid.bounds());
+    let svr_cfg = SvrConfig { samples_per_ray: 96, ..Default::default() };
+    let legacy =
+        render_structured(&d, &grid, "scalar", &vcam, 72, 72, &vtf, &svr_cfg).unwrap().frame;
+    let (out, _) =
+        render_structured_graph(&d, &grid, "scalar", &vcam, 72, 72, &vtf, &svr_cfg, &[], None)
+            .unwrap();
+    assert_eq!(frame_bits(&out.frame), frame_bits(&legacy), "graph SVR differs from legacy");
+
+    let tets = mesh::HexMesh::from_uniform_grid(&grid).to_tets();
+    // Multiple depth passes so the unrolled span chain is exercised.
+    for num_passes in [1, 3] {
+        let uvr_cfg = UvrConfig { depth_samples: 64, num_passes, ..Default::default() };
+        let legacy =
+            render_unstructured(&d, &tets, "scalar", &vcam, 72, 72, &vtf, &uvr_cfg).unwrap().frame;
+        let (out, _) = render_unstructured_graph(
+            &d,
+            &tets,
+            "scalar",
+            &vcam,
+            72,
+            72,
+            &vtf,
+            &uvr_cfg,
+            &[],
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            frame_bits(&out.frame),
+            frame_bits(&legacy),
+            "graph UVR differs from legacy ({num_passes} passes)"
+        );
+    }
+}
+
+/// Graph pipelines must be scheduling-order independent like the legacy
+/// ones: byte-identical on Serial and on 1/2/4/8-worker pools.
+#[test]
+fn graph_pipelines_are_bit_identical_across_devices() {
+    use render::graph::{
+        render_raster_graph, render_rt_graph, render_structured_graph, render_unstructured_graph,
+    };
+    let geom = surface();
+    let cam = Camera::close_view(&geom.bounds);
+    let tf = TransferFunction::rainbow(geom.scalar_range);
+    let grid = field_grid(FieldKind::Turbulence, [16, 16, 16]);
+    let range = grid.field("scalar").unwrap().range().unwrap();
+    let vtf = TransferFunction::sparse_features(range);
+    let vcam = Camera::close_view(&grid.bounds());
+    let svr_cfg = SvrConfig { samples_per_ray: 96, ..Default::default() };
+    let tets = mesh::HexMesh::from_uniform_grid(&grid).to_tets();
+    let uvr_cfg = UvrConfig { depth_samples: 64, num_passes: 2, ..Default::default() };
+    let rt_cfg = RtConfig::workload3();
+
+    let render_all = |d: &Device| -> Vec<Vec<u32>> {
+        vec![
+            frame_bits(
+                &render_rt_graph(d, &geom, &cam, 72, 72, &rt_cfg, &tf, &[], None).unwrap().0.frame,
+            ),
+            frame_bits(
+                &render_raster_graph(d, &geom, &cam, 72, 72, &tf, None, &[], None).unwrap().0.frame,
+            ),
+            frame_bits(
+                &render_structured_graph(
+                    d,
+                    &grid,
+                    "scalar",
+                    &vcam,
+                    72,
+                    72,
+                    &vtf,
+                    &svr_cfg,
+                    &[],
+                    None,
+                )
+                .unwrap()
+                .0
+                .frame,
+            ),
+            frame_bits(
+                &render_unstructured_graph(
+                    d,
+                    &tets,
+                    "scalar",
+                    &vcam,
+                    72,
+                    72,
+                    &vtf,
+                    &uvr_cfg,
+                    &[],
+                    None,
+                )
+                .unwrap()
+                .0
+                .frame,
+            ),
+        ]
+    };
+
+    let baseline = render_all(&Device::Serial);
+    for n in std::iter::once(1).chain(POOL_SIZES) {
+        let d = Device::parallel_with_threads(n);
+        assert_eq!(render_all(&d), baseline, "graph pipelines differ on {n}-thread pool");
+    }
+}
+
+/// A warm cross-frame cache must not change a single byte: cached passes
+/// replay the exact buffers the cold frame produced.
+#[test]
+fn graph_cache_replay_is_bit_identical() {
+    use render::graph::{render_rt_graph, render_structured_graph, GraphCache};
+    let d = Device::Serial;
+    let geom = surface();
+    let cam = Camera::close_view(&geom.bounds);
+    let tf = TransferFunction::rainbow(geom.scalar_range);
+    let cfg = RtConfig::workload3();
+
+    let mut cache = GraphCache::new(8);
+    let (cold, _) =
+        render_rt_graph(&d, &geom, &cam, 72, 72, &cfg, &tf, &[], Some(&mut cache)).unwrap();
+    let (warm, info) =
+        render_rt_graph(&d, &geom, &cam, 72, 72, &cfg, &tf, &[], Some(&mut cache)).unwrap();
+    assert_eq!(frame_bits(&warm.frame), frame_bits(&cold.frame), "cached RT frame differs");
+    assert!(
+        info.records.iter().any(|r| r.name == "bvh_build" && r.cached),
+        "second frame must hit the BVH cache"
+    );
+    assert_eq!(warm.stats.bvh_build_seconds, 0.0, "cached build must cost zero seconds");
+
+    let grid = field_grid(FieldKind::Turbulence, [16, 16, 16]);
+    let range = grid.field("scalar").unwrap().range().unwrap();
+    let vtf = TransferFunction::sparse_features(range);
+    let vcam = Camera::close_view(&grid.bounds());
+    let svr_cfg = SvrConfig { samples_per_ray: 96, ..Default::default() };
+    let mut cache = GraphCache::new(8);
+    let (cold, _) = render_structured_graph(
+        &d,
+        &grid,
+        "scalar",
+        &vcam,
+        72,
+        72,
+        &vtf,
+        &svr_cfg,
+        &[],
+        Some(&mut cache),
+    )
+    .unwrap();
+    let (warm, info) = render_structured_graph(
+        &d,
+        &grid,
+        "scalar",
+        &vcam,
+        72,
+        72,
+        &vtf,
+        &svr_cfg,
+        &[],
+        Some(&mut cache),
+    )
+    .unwrap();
+    assert_eq!(frame_bits(&warm.frame), frame_bits(&cold.frame), "cached SVR frame differs");
+    assert!(info.records.iter().any(|r| r.name == "raycast" && r.cached));
+}
+
 /// Deterministic synthetic rank images with transparent background regions
 /// (so the RLE wire format is exercised too).
 fn rank_images(p: usize, w: u32, h: u32) -> Vec<RankImage> {
