@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run -p bench-harness --release --bin repro -- <id> [--full]
 //!   <id>:  table1..table17 | fig4 fig5 fig6 fig7 fig11..fig15
-//!          | ablations | compression | dfb | sched | feasd | graph | scaling | all
+//!          | ablations | compression | dfb | sched | feasd | graph | rebalance
+//!          | scaling | all
 //!   --full: paper-shaped sizes (minutes-to-hours); default is quick scale
 //! ```
 //!
@@ -48,6 +49,7 @@ const ALL: &[&str] = &[
     "sched",
     "feasd",
     "graph",
+    "rebalance",
     "scaling",
 ];
 
@@ -57,12 +59,19 @@ fn main() {
     let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     if ids.is_empty() {
         eprintln!(
-            "usage: repro <table1..table17|fig4..fig15|ablations|compression|dfb|sched|feasd|graph|scaling|images|all> [--full]"
+            "usage: repro <table1..table17|fig4..fig15|ablations|compression|dfb|sched|feasd|graph|rebalance|scaling|images|all> [--full]"
         );
         std::process::exit(2);
     }
     let mut failures = Vec::new();
     for id in ids {
+        if id == "grain-probe" {
+            // Hidden child mode for the `scaling` grain sweep: the DPP_*
+            // grains latch at first use, so each setting needs its own
+            // process (see tables::grain_probe).
+            println!("{}", tables::grain_probe());
+            continue;
+        }
         if id == "images" {
             if catch_unwind(AssertUnwindSafe(|| bench_harness::images::all(scale))).is_err() {
                 failures.push("images");
@@ -111,6 +120,7 @@ fn run(id: &str, scale: Scale) {
         "sched" => tables::sched_demo(scale),
         "feasd" => tables::feasd_demo(scale),
         "graph" => tables::graph_demo(scale),
+        "rebalance" => tables::rebalance(scale),
         "scaling" => tables::scaling(scale),
         "fig4" => figures::fig_phase_sweep(scale, false),
         "fig5" => figures::fig_phase_sweep(scale, true),

@@ -141,6 +141,8 @@ impl Corpus {
             // offline corpus; the online refit fills them at run time.
             pass_ao: None,
             pass_shadows: None,
+            lod_half: None,
+            lod_quarter: None,
         }
     }
 

@@ -1248,7 +1248,13 @@ pub fn scaling(scale: Scale) -> TextTable {
     };
     let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
     let mut t = TextTable::new(
-        format!("Strong scaling of the fork-join engine (n = {n}, frame = {side}x{side})"),
+        format!(
+            "Strong scaling of the fork-join engine (n = {n}, frame = {side}x{side}) \
+             [active grains: par_min_len={}, fold_grain={}, overpartition={}]",
+            dpp::par_min_len(),
+            rayon::fold_grain(),
+            rayon::overpartition()
+        ),
         &["op", "threads", "seconds", "speedup", "cores_detected"],
     );
     let data: Vec<u32> = (0..n).map(|i| (i % 977) as u32).collect();
@@ -1315,7 +1321,109 @@ pub fn scaling(scale: Scale) -> TextTable {
             ]);
         }
     }
+
+    // Grain-knob sweep. The knobs are latched at first use (one process never
+    // mixes two grains), so every setting is observed by a fresh child
+    // process running `repro grain-probe` with the `DPP_*` override set.
+    // When the host binary is not `repro` (e.g. this function under `cargo
+    // test`) the probe is unavailable and the sweep degrades to a note.
+    let sweeps: [(&str, [&str; 3]); 3] = [
+        ("DPP_PAR_MIN_LEN", ["256", "1024", "8192"]),
+        ("DPP_FOLD_GRAIN", ["256", "1024", "8192"]),
+        ("DPP_OVERPARTITION", ["1", "4", "16"]),
+    ];
+    let base = probe_child(None);
+    for (var, vals) in sweeps {
+        for val in vals {
+            match (probe_child(Some((var, val))), base) {
+                (Some((map_s, reduce_s)), Some((map_b, reduce_b))) => {
+                    t.row(vec![
+                        format!("map@{var}={val}"),
+                        PROBE_THREADS.to_string(),
+                        fmt_s(map_s),
+                        format!("{:.2}x", map_b / map_s),
+                        cores.to_string(),
+                    ]);
+                    t.row(vec![
+                        format!("reduce@{var}={val}"),
+                        PROBE_THREADS.to_string(),
+                        fmt_s(reduce_s),
+                        format!("{:.2}x", reduce_b / reduce_s),
+                        cores.to_string(),
+                    ]);
+                }
+                _ => {
+                    t.row(vec![
+                        format!("probe@{var}={val}"),
+                        PROBE_THREADS.to_string(),
+                        "n/a".into(),
+                        "n/a".into(),
+                        cores.to_string(),
+                    ]);
+                }
+            }
+        }
+    }
     t
+}
+
+/// Worker count every grain probe runs at, so probe rows compare
+/// like-for-like across settings.
+const PROBE_THREADS: usize = 4;
+
+/// Body of the hidden `repro grain-probe` mode: time a map and a reduce at
+/// `PROBE_THREADS` workers under whatever `DPP_*` grains this process
+/// latched, and print one parsable line. [`scaling`] shells out here once
+/// per knob setting because the knobs cannot change after first use.
+pub fn grain_probe() -> String {
+    let n: usize = 1 << 18;
+    let data: Vec<u32> = (0..n).map(|i| (i % 977) as u32).collect();
+    let device = Device::parallel_with_threads(PROBE_THREADS);
+    let min3 = |f: &mut dyn FnMut()| -> f64 {
+        f();
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = std::time::Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let map_s = min3(&mut || {
+        std::hint::black_box(dpp::map::<u64, _>(&device, n, |i| data[i] as u64 * 3 + 1));
+    });
+    let reduce_s = min3(&mut || {
+        std::hint::black_box(dpp::map_reduce(&device, n, |i| data[i] as u64, 0u64, |a, b| a + b));
+    });
+    format!(
+        "grain-probe,{},{},{},{map_s:.6e},{reduce_s:.6e}",
+        dpp::par_min_len(),
+        rayon::fold_grain(),
+        rayon::overpartition()
+    )
+}
+
+/// Run [`grain_probe`] in a child process with one `DPP_*` override (or none
+/// for the baseline) and parse `(map_s, reduce_s)` back out. `None` when the
+/// current executable does not speak `grain-probe`.
+fn probe_child(setting: Option<(&str, &str)>) -> Option<(f64, f64)> {
+    let exe = std::env::current_exe().ok()?;
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("grain-probe");
+    if let Some((var, val)) = setting {
+        cmd.env(var, val);
+    }
+    let out = cmd.output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let stdout = String::from_utf8(out.stdout).ok()?;
+    let line = stdout.lines().find(|l| l.starts_with("grain-probe,"))?;
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 6 {
+        return None;
+    }
+    Some((fields[4].parse().ok()?, fields[5].parse().ok()?))
 }
 
 /// `repro graph`: the render-graph executor end to end. A camera orbit
@@ -1420,10 +1528,14 @@ pub fn graph_demo(scale: Scale) -> TextTable {
     let ao_units = full.record("ambient_occlusion").map_or(0.0, |r| r.work_units as f64);
     let shadow_units = full.record("shadows").map_or(0.0, |r| r.work_units as f64);
 
-    let pass_pred: Vec<f64> = PASS_LADDER
-        .iter()
-        .map(|r| r.predicted_seconds(&set, frame_seconds, ao_units, shadow_units, build_seconds))
-        .collect();
+    let work = sched::passes::PassWork {
+        ao_units,
+        shadow_units,
+        build_seconds,
+        cells: geom.num_tris() as f64,
+    };
+    let pass_pred: Vec<f64> =
+        PASS_LADDER.iter().map(|r| r.predicted_seconds(&set, frame_seconds, &work)).collect();
     // A budget the pass ladder can hold at full resolution (just above the
     // skip-AO rung) but every executable full-resolution whole-frame state
     // misses: the whole-frame ladder must halve.
@@ -1487,6 +1599,223 @@ pub fn graph_demo(scale: Scale) -> TextTable {
                 String::new(),
             ]);
         }
+    }
+    t
+}
+
+/// One cycle of the [`rebalance_run`] simulation, under both schemes.
+#[derive(Debug, Clone)]
+pub struct RebalanceCycle {
+    pub cycle: usize,
+    /// Static partition's per-cycle `max(T_LR)` / mean.
+    pub static_max: f64,
+    pub static_mean: f64,
+    /// Rebalanced partition's per-cycle `max(T_LR)` / mean / imbalance.
+    pub reb_max: f64,
+    pub reb_mean: f64,
+    pub imbalance: f64,
+    /// Cells moved this cycle (0 until the trigger fires).
+    pub migrated_cells: usize,
+    /// `T_total = max(T_LR) + T_COMP`, with the rebalanced side's migration
+    /// stall charged by the event clock.
+    pub static_total: f64,
+    pub reb_total: f64,
+}
+
+/// Everything `repro rebalance` measures, exposed separately so the
+/// acceptance test can assert on the numbers the table prints.
+#[derive(Debug, Clone)]
+pub struct RebalanceRun {
+    pub cycles: Vec<RebalanceCycle>,
+    pub ranks: usize,
+    pub num_cells: usize,
+    /// Modeled compositing term (constant across cycles and schemes).
+    pub comp_s: f64,
+    /// Total migration bytes charged to the event clock.
+    pub migration_bytes: u64,
+    /// Simulated seconds the event clock spent on migration traffic.
+    pub migration_s: f64,
+    /// The fitted `T_LR = c0*cells + c1` model's claim about the
+    /// post-rebalance max term, made the cycle the rebalance fired.
+    pub predicted_max: Option<f64>,
+    /// The measured `max(T_LR)` of the first cycle after that rebalance.
+    pub measured_max_after: Option<f64>,
+}
+
+/// `repro rebalance`: the distributed-data performance loop at 64 simulated
+/// ranks. The LULESH proxy runs a few Sedov steps; its hex mesh is
+/// partitioned with split planes *deliberately sized for the physics* —
+/// small domains near the blast corner where the simulation is busiest,
+/// large ones far away. Render cost tracks cell count, not physics, so the
+/// far ranks own several times the work and `max(T_LR)` dominates the
+/// paper's `T_total = max(T_LR) + T_COMP`. The [`sched::rebalance`]
+/// controller watches the measured per-rank times, and on sustained
+/// imbalance recomputes the split planes from measured per-cell costs and
+/// migrates cells — with the migration traffic charged to the event clock,
+/// so the converged win is net of what the move cost. The table (and
+/// `rebalance.csv`) shows both schemes' per-cycle `T_total` converging, plus
+/// the fitted model's prediction of the post-rebalance max term.
+pub fn rebalance_run(scale: Scale) -> RebalanceRun {
+    use mesh::partition::{hex_centroids, Partition};
+    use mpirt::{EventWorld, NetModel};
+    use perfmodel::sample::CompositeSample;
+    use sched::rebalance::{charge_migration, imbalance, RebalanceConfig, Rebalancer};
+    use sims::ProxySim;
+
+    let ranks = 64usize;
+    let n = match scale {
+        Scale::Quick => 12usize,
+        Scale::Full => 24,
+    };
+    let num_cycles = 12usize;
+    let t_cell = 150e-6f64; // uniform measured render cost per cell
+
+    // A LULESH mesh a few steps into the Sedov blast.
+    let mut sim = sims::Lulesh::new(n);
+    for _ in 0..5 {
+        sim.step();
+    }
+    let hex = sim.hex_mesh();
+    let centroids = hex_centroids(&hex);
+    let num_cells = centroids.len();
+
+    // The deliberately skewed layout: split planes sized as if per-cell cost
+    // grew toward the blast corner (the cell holding the peak energy), so
+    // ranks far from the corner own several times more cells.
+    let e = hex.field("e").expect("lulesh publishes e");
+    let hot = e
+        .values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+        .map(|(i, _)| centroids[i])
+        .unwrap_or(vecmath::Vec3::ZERO);
+    let diag = {
+        let b = hex.bounds();
+        (b.max - b.min).length().max(1e-6)
+    };
+    let physics_weights: Vec<f64> =
+        centroids.iter().map(|c| 1.0 + 15.0 * f64::from((*c - hot).length() / diag)).collect();
+    let skewed = Partition::weighted_bisect(&centroids, &physics_weights, ranks);
+
+    // Constant compositing term from the ground-truth model: 64 tasks
+    // merging a quick-scale frame.
+    let set = sched::demo::ground_truth();
+    let pixels = f64::from(scale.image_side()) * f64::from(scale.image_side());
+    let comp_s = CompositeModel.predict(
+        &set.comp,
+        &CompositeSample {
+            tasks: ranks,
+            pixels,
+            avg_active_pixels: pixels * 0.25,
+            seconds: 0.0,
+            wire: CompositeWire::Dense,
+        },
+    );
+
+    let per_rank =
+        |p: &Partition| -> Vec<f64> { p.counts().iter().map(|&c| c as f64 * t_cell).collect() };
+
+    let cfg =
+        RebalanceConfig { threshold: 1.3, sustain_cycles: 3, bytes_per_cell: 256, smoothing: 0.5 };
+    let mut rb = Rebalancer::with_partition(centroids, skewed.clone(), cfg);
+    let mut world = EventWorld::new(ranks, NetModel::cluster());
+
+    let mut cycles = Vec::with_capacity(num_cycles);
+    let mut migration_bytes = 0u64;
+    let mut migration_s = 0.0f64;
+    let mut predicted_max = None;
+    let mut measured_max_after = None;
+    let mut awaiting_measurement = false;
+    for cycle in 0..num_cycles {
+        let st = per_rank(&skewed);
+        let rt = per_rank(rb.partition());
+        if awaiting_measurement && measured_max_after.is_none() {
+            measured_max_after = Some(rt.iter().copied().fold(0.0f64, f64::max));
+        }
+        let e0 = world.elapsed();
+        for (rank, &t) in rt.iter().enumerate() {
+            world.compute(rank, t);
+        }
+        let compute_elapsed = world.elapsed();
+        let mig = rb.observe_cycle(&rt);
+        let mut migrated_cells = 0usize;
+        if let Some(mig) = &mig {
+            migrated_cells = mig.moved_cells();
+            migration_bytes += charge_migration(&mut world, mig, cfg.bytes_per_cell);
+            migration_s += world.elapsed() - compute_elapsed;
+            predicted_max = rb.predict_max_seconds();
+            awaiting_measurement = true;
+        }
+        let static_max = st.iter().copied().fold(0.0f64, f64::max);
+        let reb_max = rt.iter().copied().fold(0.0f64, f64::max);
+        cycles.push(RebalanceCycle {
+            cycle,
+            static_max,
+            static_mean: st.iter().sum::<f64>() / st.len() as f64,
+            reb_max,
+            reb_mean: rt.iter().sum::<f64>() / rt.len() as f64,
+            imbalance: imbalance(&rt),
+            migrated_cells,
+            static_total: perfmodel::models::total_time(&st, comp_s),
+            reb_total: world.elapsed() - e0 + comp_s,
+        });
+    }
+    RebalanceRun {
+        cycles,
+        ranks,
+        num_cells,
+        comp_s,
+        migration_bytes,
+        migration_s,
+        predicted_max,
+        measured_max_after,
+    }
+}
+
+/// Render [`rebalance_run`] as the `repro rebalance` table; its CSV is the
+/// per-cycle record (`rebalance.csv`).
+pub fn rebalance(scale: Scale) -> TextTable {
+    let run = rebalance_run(scale);
+    let last = run.cycles.last().expect("at least one cycle");
+    let mut t = TextTable::new(
+        format!(
+            "Dynamic rebalancing at {} simulated ranks ({} LULESH cells): \
+             static T_total {} vs rebalanced {} (migrated {} bytes in {} simulated s; \
+             fitted model predicted post-rebalance max {} vs measured {})",
+            run.ranks,
+            run.num_cells,
+            fmt_s(last.static_total),
+            fmt_s(last.reb_total),
+            run.migration_bytes,
+            fmt_s(run.migration_s),
+            run.predicted_max.map_or_else(|| "-".into(), fmt_s),
+            run.measured_max_after.map_or_else(|| "-".into(), fmt_s),
+        ),
+        &[
+            "cycle",
+            "static_max_tlr",
+            "static_mean_tlr",
+            "reb_max_tlr",
+            "reb_mean_tlr",
+            "imbalance",
+            "migrated_cells",
+            "static_t_total",
+            "reb_t_total",
+        ],
+    );
+    for c in &run.cycles {
+        t.row(vec![
+            c.cycle.to_string(),
+            format!("{:.6e}", c.static_max),
+            format!("{:.6e}", c.static_mean),
+            format!("{:.6e}", c.reb_max),
+            format!("{:.6e}", c.reb_mean),
+            format!("{:.3}", c.imbalance),
+            c.migrated_cells.to_string(),
+            format!("{:.6e}", c.static_total),
+            format!("{:.6e}", c.reb_total),
+        ]);
     }
     t
 }

@@ -1,0 +1,78 @@
+//! Acceptance pin for `repro rebalance` (DESIGN.md §12).
+//!
+//! The claim the table makes — that measured-time rebalancing recovers the
+//! render time a physics-sized partition leaves on the floor — is pinned
+//! here at quick scale: the rebalanced `T_total` must drop at least 25%
+//! below the static partition within five cycles, stay there, and the
+//! migration traffic must actually be charged to the event clock.
+
+use bench_harness::tables::rebalance_run;
+use bench_harness::Scale;
+
+#[test]
+fn rebalance_converges_within_five_cycles() {
+    let run = rebalance_run(Scale::Quick);
+    assert_eq!(run.ranks, 64, "the experiment is specified at 64 simulated ranks");
+    assert!(run.cycles.len() >= 6, "need cycles past the convergence window");
+
+    // The physics-sized layout must start genuinely imbalanced, above the
+    // controller's trigger threshold — otherwise the experiment tests nothing.
+    assert!(
+        run.cycles[0].imbalance > 1.3,
+        "initial imbalance {:.3} should exceed the 1.3 trigger",
+        run.cycles[0].imbalance
+    );
+
+    // Static cost is flat across cycles; cycle 0 is the baseline.
+    let static_total = run.cycles[0].static_total;
+    let converged = run
+        .cycles
+        .iter()
+        .find(|c| c.reb_total <= 0.75 * static_total)
+        .expect("rebalanced T_total never dropped 25% below static");
+    assert!(
+        converged.cycle <= 5,
+        "converged at cycle {} (> 5): reb {:.6e} vs static {:.6e}",
+        converged.cycle,
+        converged.reb_total,
+        static_total
+    );
+
+    // Once converged, it stays converged — no oscillation back above the bar.
+    for c in run.cycles.iter().filter(|c| c.cycle > converged.cycle) {
+        assert!(
+            c.reb_total <= 0.75 * static_total,
+            "cycle {} regressed: reb {:.6e} vs static {:.6e}",
+            c.cycle,
+            c.reb_total,
+            static_total
+        );
+    }
+}
+
+#[test]
+fn migration_is_charged_to_the_event_clock() {
+    let run = rebalance_run(Scale::Quick);
+    let moved: usize = run.cycles.iter().map(|c| c.migrated_cells).sum();
+    assert!(moved > 0, "the controller must move cells at least once");
+    assert_eq!(
+        run.migration_bytes,
+        moved as u64 * 256,
+        "every migrated cell is charged at the configured 256 bytes"
+    );
+    assert!(run.migration_s > 0.0, "migration traffic must cost simulated time");
+}
+
+#[test]
+fn fitted_model_predicts_post_rebalance_max() {
+    let run = rebalance_run(Scale::Quick);
+    let predicted = run.predicted_max.expect("controller fired, so a prediction was made");
+    let measured = run.measured_max_after.expect("a cycle ran after the rebalance");
+    assert!(measured > 0.0);
+    let rel = (predicted - measured).abs() / measured;
+    assert!(
+        rel <= 0.10,
+        "fitted model predicted {predicted:.6e} vs measured {measured:.6e} ({:.1}% off)",
+        rel * 100.0
+    );
+}

@@ -290,6 +290,8 @@ mod tests {
             comp_dfb: None,
             pass_ao: None,
             pass_shadows: None,
+            lod_half: None,
+            lod_quarter: None,
         }
     }
 

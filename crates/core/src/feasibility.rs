@@ -5,8 +5,8 @@
 
 use crate::mapping::{map_inputs, MappingConstants, RenderConfig};
 use crate::models::{
-    CompositeModel, CompressedCompositeModel, DfbCompositeModel, FittedLinearModel, ModelForm,
-    PassModel, RastModel, RtBuildModel, RtModel, VrModel,
+    CompositeModel, CompressedCompositeModel, DfbCompositeModel, FittedLinearModel, LodModel,
+    ModelForm, PassModel, RastModel, RtBuildModel, RtModel, VrModel,
 };
 use crate::sample::{CompositeSample, CompositeWire, RendererKind};
 
@@ -51,6 +51,14 @@ pub struct ModelSet {
     /// Per-pass model for the ray tracer's `shadows` graph pass; see
     /// [`ModelSet::pass_ao`].
     pub pass_shadows: Option<FittedLinearModel>,
+    /// Per-level model for rendering the LOD ladder's level-1 (half-cells)
+    /// proxy (`T = c0*Cells + c1`). `None` until proxy-frame timings have
+    /// been observed; LOD rungs price at the full-resolution frame without
+    /// it, so admission never banks on unmeasured savings.
+    pub lod_half: Option<FittedLinearModel>,
+    /// Per-level model for the level-2 (quarter-cells) proxy; see
+    /// [`ModelSet::lod_half`].
+    pub lod_quarter: Option<FittedLinearModel>,
 }
 
 impl ModelSet {
@@ -122,9 +130,16 @@ impl ModelSet {
                 bad.push(m.name);
             }
         }
-        for m in [&self.comp_compressed, &self.comp_dfb, &self.pass_ao, &self.pass_shadows]
-            .into_iter()
-            .flatten()
+        for m in [
+            &self.comp_compressed,
+            &self.comp_dfb,
+            &self.pass_ao,
+            &self.pass_shadows,
+            &self.lod_half,
+            &self.lod_quarter,
+        ]
+        .into_iter()
+        .flatten()
         {
             if !m.fit.all_coeffs_nonnegative() {
                 bad.push(m.name);
@@ -144,6 +159,20 @@ impl ModelSet {
             _ => return None,
         };
         slot.as_ref().map(|m| model.predict(m, work_units).max(0.0))
+    }
+
+    /// Predicted frame seconds for rendering the LOD ladder's `level` proxy
+    /// at `cells` cells, when that level's model has been fitted (`None`
+    /// otherwise — the caller prices the rung at full resolution instead of
+    /// banking on unmeasured savings). Clamped at 0 like the frame
+    /// predictors.
+    pub fn predict_lod_seconds(&self, level: u8, cells: f64) -> Option<f64> {
+        let (model, slot) = match level {
+            1 => (LodModel::HALF, &self.lod_half),
+            2 => (LodModel::QUARTER, &self.lod_quarter),
+            _ => return None,
+        };
+        slot.as_ref().map(|m| model.predict(m, cells).max(0.0))
     }
 
     /// True when every model in the set passes the plausibility criterion.
@@ -277,6 +306,8 @@ mod tests {
             comp_dfb: None,
             pass_ao: None,
             pass_shadows: None,
+            lod_half: None,
+            lod_quarter: None,
         }
     }
 

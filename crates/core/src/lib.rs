@@ -35,6 +35,8 @@ pub mod study;
 #[cfg(test)]
 pub(crate) mod test_models;
 
-pub use models::{CompositeModel, FittedLinearModel, PassModel, RastModel, RtModel, VrModel};
+pub use models::{
+    CompositeModel, FittedLinearModel, LodModel, PassModel, RastModel, RtModel, VrModel,
+};
 pub use regression::LinearRegression;
-pub use sample::{CompositeSample, PassSample, RenderSample, RendererKind};
+pub use sample::{CompositeSample, LodSample, PassSample, RenderSample, RendererKind};

@@ -8,7 +8,7 @@
 //! * Total:         `T_total = max_tasks(T_LR) + T_COMP`
 
 use crate::regression::LinearRegression;
-use crate::sample::{CompositeSample, PassSample, RenderSample};
+use crate::sample::{CompositeSample, LodSample, PassSample, RenderSample};
 
 /// A fitted single-node model: feature extraction + regression results.
 #[derive(Debug, Clone)]
@@ -294,6 +294,65 @@ impl PassModel {
     /// Predicted pass seconds at `work_units` under `fitted`.
     pub fn predict(&self, fitted: &FittedLinearModel, work_units: f64) -> f64 {
         fitted.fit.predict(&[work_units, 1.0])
+    }
+}
+
+/// Per-LOD-level model over decimated-proxy render timings: `T_frame =
+/// c0*Cells + c1` where `Cells` is the level's cell count. One model per
+/// ladder rung (half, quarter) so the scheduler can price "render the
+/// decimated proxy" against "halve the image" — geometric fidelity traded
+/// before resolution. Fitted from live timings and persisted exactly like
+/// [`PassModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LodModel {
+    name: &'static str,
+    level: u8,
+}
+
+impl LodModel {
+    /// Model for LOD level 1 (~half the cells).
+    pub const HALF: LodModel = LodModel { name: "lod_half", level: 1 };
+    /// Model for LOD level 2 (~a quarter of the cells).
+    pub const QUARTER: LodModel = LodModel { name: "lod_quarter", level: 2 };
+
+    /// The model covering a ladder level, for levels that have one.
+    pub fn for_level(level: u8) -> Option<LodModel> {
+        match level {
+            1 => Some(LodModel::HALF),
+            2 => Some(LodModel::QUARTER),
+            _ => None,
+        }
+    }
+
+    /// Model name used in report tables and persisted records.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The ladder level this model prices.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Feature vector `[Cells, 1]` for one sample.
+    pub fn features(&self, s: &LodSample) -> Vec<f64> {
+        vec![s.cells, 1.0]
+    }
+
+    /// Fit the LOD model to measured proxy-frame timings.
+    pub fn fit(&self, samples: &[LodSample]) -> FittedLinearModel {
+        let xs: Vec<Vec<f64>> = samples.iter().map(|s| self.features(s)).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.seconds).collect();
+        FittedLinearModel {
+            name: self.name,
+            fit: LinearRegression::fit(&xs, &ys),
+            feature_names: vec!["Cells", "1"],
+        }
+    }
+
+    /// Predicted frame seconds at `cells` under `fitted`.
+    pub fn predict(&self, fitted: &FittedLinearModel, cells: f64) -> f64 {
+        fitted.fit.predict(&[cells, 1.0])
     }
 }
 

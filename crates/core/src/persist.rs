@@ -47,6 +47,12 @@ pub fn to_text(set: &ModelSet, k: &MappingConstants) -> String {
     if let Some(m) = &set.pass_shadows {
         records.push(("pass_shadows", m));
     }
+    if let Some(m) = &set.lod_half {
+        records.push(("lod_half", m));
+    }
+    if let Some(m) = &set.lod_quarter {
+        records.push(("lod_quarter", m));
+    }
     for (tag, m) in records {
         let coeffs: Vec<String> = m.fit.coeffs.iter().map(|c| format!("{c:e}")).collect();
         out.push_str(&format!(
@@ -93,6 +99,8 @@ fn parse_model(parts: &[&str]) -> Result<FittedLinearModel, ParseError> {
         "compositing_dfb" => "compositing_dfb",
         "pass_ambient_occlusion" => "pass_ambient_occlusion",
         "pass_shadows" => "pass_shadows",
+        "lod_half" => "lod_half",
+        "lod_quarter" => "lod_quarter",
         other => return Err(ParseError(format!("unknown model name {other}"))),
     };
     let coeffs: Result<Vec<f64>, _> =
@@ -139,6 +147,8 @@ pub fn from_text(text: &str) -> Result<(ModelSet, MappingConstants), ParseError>
     let mut comp_dfb = None;
     let mut pass_ao = None;
     let mut pass_shadows = None;
+    let mut lod_half = None;
+    let mut lod_quarter = None;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
         let parts: Vec<&str> = line.split('|').collect();
         match parts[0] {
@@ -173,6 +183,8 @@ pub fn from_text(text: &str) -> Result<(ModelSet, MappingConstants), ParseError>
                     "comp_dfb" => comp_dfb = Some(m),
                     "pass_ao" => pass_ao = Some(m),
                     "pass_shadows" => pass_shadows = Some(m),
+                    "lod_half" => lod_half = Some(m),
+                    "lod_quarter" => lod_quarter = Some(m),
                     other => return Err(ParseError(format!("unknown model tag {other}"))),
                 }
             }
@@ -194,6 +206,8 @@ pub fn from_text(text: &str) -> Result<(ModelSet, MappingConstants), ParseError>
             comp_dfb,
             pass_ao,
             pass_shadows,
+            lod_half,
+            lod_quarter,
         },
         k,
     ))
@@ -234,6 +248,8 @@ mod tests {
                 comp_dfb: Some(fit("compositing_dfb", vec![4e-8, 9e-9, 2e-6, 3e-4])),
                 pass_ao: Some(fit("pass_ambient_occlusion", vec![2.5e-8, 4e-4])),
                 pass_shadows: Some(fit("pass_shadows", vec![1.5e-8, 2e-4])),
+                lod_half: Some(fit("lod_half", vec![3.5e-9, 6e-4])),
+                lod_quarter: Some(fit("lod_quarter", vec![2.5e-9, 5e-4])),
             },
             MappingConstants { ap_fill: 0.31, ppt_factor: 4.5, spr_base: 210.0 },
         )
@@ -264,6 +280,10 @@ mod tests {
             set2.pass_shadows.as_ref().unwrap().fit.coeffs,
             set.pass_shadows.as_ref().unwrap().fit.coeffs
         );
+        assert_eq!(set2.lod_half.as_ref().unwrap().fit.coeffs, vec![3.5e-9, 6e-4]);
+        assert_eq!(set2.lod_half.as_ref().unwrap().name, "lod_half");
+        assert_eq!(set2.lod_quarter.as_ref().unwrap().fit.coeffs, vec![2.5e-9, 5e-4]);
+        assert_eq!(set2.lod_quarter.as_ref().unwrap().name, "lod_quarter");
         assert_eq!(set2.vr.fit.n, 25);
         assert_eq!(k2.ap_fill, k.ap_fill);
         assert_eq!(k2.spr_base, k.spr_base);
@@ -330,6 +350,18 @@ mod tests {
                 1.0 - f64::EPSILON,
                 0.0,
             )),
+            lod_half: Some(fit(
+                "lod_half",
+                vec![1.0 / 7.0 * 1e-8, -4.9e-324],
+                0.999_999_999_999_999_9,
+                std::f64::consts::LN_2 * 1e-6,
+            )),
+            lod_quarter: Some(fit(
+                "lod_quarter",
+                vec![2.0_f64.powi(-61), 0.2 + 0.4],
+                0.111_111_111_111_111_1,
+                f64::EPSILON * 3.0,
+            )),
         };
         let k = MappingConstants {
             ap_fill: 0.5500000000000001,
@@ -347,6 +379,8 @@ mod tests {
             (set.comp_dfb.as_ref().unwrap(), set2.comp_dfb.as_ref().unwrap()),
             (set.pass_ao.as_ref().unwrap(), set2.pass_ao.as_ref().unwrap()),
             (set.pass_shadows.as_ref().unwrap(), set2.pass_shadows.as_ref().unwrap()),
+            (set.lod_half.as_ref().unwrap(), set2.lod_half.as_ref().unwrap()),
+            (set.lod_quarter.as_ref().unwrap(), set2.lod_quarter.as_ref().unwrap()),
         ];
         for (a, b) in pairs {
             assert_eq!(a.fit.coeffs.len(), b.fit.coeffs.len());
@@ -369,16 +403,16 @@ mod tests {
         // X010's contract: every pub model type must survive save/load, so
         // fit each form — RtModel, RtBuildModel, RastModel, VrModel,
         // CompositeModel, CompressedCompositeModel, DfbCompositeModel,
-        // PassModel — on a tiny planted corpus and compare the fitted
-        // coefficients to the bit across a text round trip. Fitting (rather
-        // than hand-writing coefficients) keeps the test honest about the
-        // solver's actual output values, irrational intercepts and all.
+        // PassModel, LodModel — on a tiny planted corpus and compare the
+        // fitted coefficients to the bit across a text round trip. Fitting
+        // (rather than hand-writing coefficients) keeps the test honest about
+        // the solver's actual output values, irrational intercepts and all.
         use crate::models::{
-            CompositeModel, CompressedCompositeModel, DfbCompositeModel, ModelForm, PassModel,
-            RastModel, RtBuildModel, RtModel, VrModel,
+            CompositeModel, CompressedCompositeModel, DfbCompositeModel, LodModel, ModelForm,
+            PassModel, RastModel, RtBuildModel, RtModel, VrModel,
         };
         use crate::sample::{
-            CompositeSample, CompositeWire, PassSample, RenderSample, RendererKind,
+            CompositeSample, CompositeWire, LodSample, PassSample, RenderSample, RendererKind,
         };
 
         let render = |i: usize, renderer: RendererKind| {
@@ -427,6 +461,12 @@ mod tests {
                 }
             })
             .collect();
+        let lod_corpus: Vec<LodSample> = (0..5)
+            .map(|i| {
+                let x = 1.0 + i as f64;
+                LodSample { level: 1, cells: 20000.0 * x, seconds: 4e-8 * 20000.0 * x + 9e-5 }
+            })
+            .collect();
 
         let set = ModelSet {
             device: "parallel".into(),
@@ -439,6 +479,8 @@ mod tests {
             comp_dfb: Some(DfbCompositeModel.fit(&comp_corpus)),
             pass_ao: Some(PassModel::AMBIENT_OCCLUSION.fit(&pass_corpus)),
             pass_shadows: Some(PassModel::SHADOWS.fit(&pass_corpus)),
+            lod_half: Some(LodModel::HALF.fit(&lod_corpus)),
+            lod_quarter: Some(LodModel::QUARTER.fit(&lod_corpus)),
         };
         let k = MappingConstants::default();
         let (set2, _) = from_text(&to_text(&set, &k)).unwrap();
@@ -452,6 +494,8 @@ mod tests {
             (set.comp_dfb.as_ref().unwrap(), set2.comp_dfb.as_ref().unwrap()),
             (set.pass_ao.as_ref().unwrap(), set2.pass_ao.as_ref().unwrap()),
             (set.pass_shadows.as_ref().unwrap(), set2.pass_shadows.as_ref().unwrap()),
+            (set.lod_half.as_ref().unwrap(), set2.lod_half.as_ref().unwrap()),
+            (set.lod_quarter.as_ref().unwrap(), set2.lod_quarter.as_ref().unwrap()),
         ];
         for (a, b) in pairs {
             assert_eq!(a.name, b.name);
@@ -497,6 +541,8 @@ model|comp|name=compositing|r2=0.97|resid=0.0001|n=25|coeffs=2e-8;5e-8;1e-3
         assert!(set.comp_dfb.is_none());
         assert!(set.pass_ao.is_none());
         assert!(set.pass_shadows.is_none());
+        assert!(set.lod_half.is_none());
+        assert!(set.lod_quarter.is_none());
         // Diagnostics default to a clean full-rank fit.
         assert!(!set.vr.fit.condition_warning);
         assert_eq!(set.vr.fit.effective_rank, 3);

@@ -238,6 +238,43 @@ impl PassSample {
     }
 }
 
+/// One proxy-frame timing measurement at a LOD ladder level: the level, the
+/// cell count of the decimated geometry, and the measured frame seconds.
+/// These feed the fitted `lod_half` / `lod_quarter` models the scheduler
+/// prices fidelity rungs with.
+#[derive(Debug, Clone)]
+pub struct LodSample {
+    /// Ladder level (1 = half, 2 = quarter).
+    pub level: u8,
+    /// Cells (tris / tets / grid cells) rendered at this level.
+    pub cells: f64,
+    /// Measured frame seconds.
+    pub seconds: f64,
+}
+
+impl LodSample {
+    /// Column header matching [`LodSample::to_csv_row`].
+    pub const CSV_HEADER: &'static str = "level,cells,seconds";
+
+    /// Serialize as one CSV row in `CSV_HEADER` column order.
+    pub fn to_csv_row(&self) -> String {
+        format!("{},{},{}", self.level, self.cells, self.seconds)
+    }
+
+    /// Parse a row written by [`LodSample::to_csv_row`].
+    pub fn from_csv_row(row: &str) -> Option<LodSample> {
+        let f: Vec<&str> = row.split(',').collect();
+        if f.len() != 3 {
+            return None;
+        }
+        Some(LodSample {
+            level: f[0].parse().ok()?,
+            cells: f[1].parse().ok()?,
+            seconds: f[2].parse().ok()?,
+        })
+    }
+}
+
 /// Write samples to CSV text.
 pub fn to_csv(samples: &[RenderSample]) -> String {
     let mut out = String::from(RenderSample::CSV_HEADER);

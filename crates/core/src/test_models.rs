@@ -39,5 +39,7 @@ pub(crate) fn toy_model_set() -> ModelSet {
         comp_dfb: None,
         pass_ao: None,
         pass_shadows: None,
+        lod_half: None,
+        lod_quarter: None,
     }
 }

@@ -50,6 +50,8 @@ fn toy_model_set() -> ModelSet {
         comp_dfb: None,
         pass_ao: None,
         pass_shadows: None,
+        lod_half: None,
+        lod_quarter: None,
     }
 }
 

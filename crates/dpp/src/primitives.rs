@@ -13,12 +13,24 @@ use rayon::prelude::*;
 /// the scheduling overhead dominates (mirrors EAVL's grain-size heuristics).
 const PAR_GRAIN: usize = 4096;
 
+/// Default for [`par_min_len`].
+pub const DEFAULT_PAR_MIN_LEN: usize = 1024;
+
 /// Once a primitive does fork, the smallest number of elements a single task
 /// may receive (passed to `Par::with_min_len`, and used as the floor for the
 /// explicit chunk sizes in scan/segscan). Keeps per-task claim overhead
 /// amortized on large inputs without affecting results: every chunked
-/// primitive here is exact over any partition.
-const PAR_MIN_LEN: usize = 1024;
+/// primitive here is exact over any partition, so this knob is safe to
+/// re-tune per host — set `DPP_PAR_MIN_LEN`, latched on first use so one
+/// process never mixes two grains (see `repro scaling` and EXPERIMENTS.md
+/// for the re-anchor procedure).
+pub fn par_min_len() -> usize {
+    static V: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *V.get_or_init(|| match std::env::var("DPP_PAR_MIN_LEN") {
+        Ok(s) => s.trim().parse::<usize>().ok().filter(|&v| v > 0).unwrap_or(DEFAULT_PAR_MIN_LEN),
+        Err(_) => DEFAULT_PAR_MIN_LEN,
+    })
+}
 
 /// `map`: produce `out[i] = f(i)` for `i in 0..n`.
 ///
@@ -32,7 +44,7 @@ where
     match device {
         Device::Serial => (0..n).map(f).collect(),
         _ if n < PAR_GRAIN => (0..n).map(f).collect(),
-        _ => device.install(|| (0..n).into_par_iter().with_min_len(PAR_MIN_LEN).map(f).collect()),
+        _ => device.install(|| (0..n).into_par_iter().with_min_len(par_min_len()).map(f).collect()),
     }
 }
 
@@ -54,7 +66,7 @@ where
             }
         }
         _ => device.install(|| {
-            data.par_iter_mut().with_min_len(PAR_MIN_LEN).enumerate().for_each(|(i, v)| f(i, v));
+            data.par_iter_mut().with_min_len(par_min_len()).enumerate().for_each(|(i, v)| f(i, v));
         }),
     }
 }
@@ -69,7 +81,7 @@ where
     match device {
         Device::Serial => (0..n).for_each(f),
         _ if n < PAR_GRAIN => (0..n).for_each(f),
-        _ => device.install(|| (0..n).into_par_iter().with_min_len(PAR_MIN_LEN).for_each(f)),
+        _ => device.install(|| (0..n).into_par_iter().with_min_len(par_min_len()).for_each(f)),
     }
 }
 
@@ -121,7 +133,7 @@ where
         _ if data.len() < PAR_GRAIN => data.iter().fold(identity, |a, &b| op(a, b)),
         _ => device.install(|| {
             data.par_iter()
-                .with_min_len(PAR_MIN_LEN)
+                .with_min_len(par_min_len())
                 .fold(|| identity, |a, &b| op(a, b))
                 .reduce(|| identity, &op)
         }),
@@ -141,7 +153,7 @@ where
         _ => device.install(|| {
             (0..n)
                 .into_par_iter()
-                .with_min_len(PAR_MIN_LEN)
+                .with_min_len(par_min_len())
                 .fold(|| identity, |a, i| op(a, mapf(i)))
                 .reduce(|| identity, &op)
         }),
@@ -162,7 +174,7 @@ pub fn exclusive_scan_u32(device: &Device, data: &[u32]) -> (Vec<u32>, u32) {
             // Two-level scan: per-chunk sums, scan the sums, then rescan
             // each chunk with its offset.
             let threads = rayon::current_num_threads().max(1);
-            let chunk = n.div_ceil(threads).max(PAR_MIN_LEN);
+            let chunk = n.div_ceil(threads).max(par_min_len());
             let sums: Vec<u64> =
                 data.par_chunks(chunk).map(|c| c.iter().map(|&v| v as u64).sum()).collect();
             let mut offsets = Vec::with_capacity(sums.len());
@@ -238,7 +250,7 @@ pub fn reverse_index(device: &Device, flags: &[u32], exscan: &[u32], count: u32)
             } else {
                 device.install(|| {
                     let threads = rayon::current_num_threads().max(1);
-                    let chunk = n.div_ceil(threads).max(PAR_MIN_LEN);
+                    let chunk = n.div_ceil(threads).max(par_min_len());
                     let out_ptr = SendPtr(out.as_mut_ptr());
                     (0..n.div_ceil(chunk)).into_par_iter().for_each(|c| {
                         let start = c * chunk;
@@ -453,7 +465,7 @@ pub fn segmented_exclusive_scan_u32(device: &Device, data: &[u32], heads: &[u32]
             // head); chunks whose prefix contains no head inherit a carry
             // from the previous chunks' trailing open segment.
             let threads = rayon::current_num_threads().max(1);
-            let chunk = n.div_ceil(threads).max(PAR_MIN_LEN);
+            let chunk = n.div_ceil(threads).max(par_min_len());
             struct ChunkInfo {
                 /// Sum of the trailing open segment (after the last head).
                 tail_sum: u64,

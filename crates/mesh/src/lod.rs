@@ -1,0 +1,459 @@
+//! Precomputed level-of-detail ladders: edge-collapse decimation for
+//! triangle/tet meshes and 2×/4× coarsening for structured grids.
+//!
+//! Each ladder level is a *deterministic* function of the input mesh — the
+//! collapse schedule orders edges by `(length bits, vertex ids)` and picks a
+//! maximal independent set per round, so the same mesh at the same level
+//! always produces bit-identical geometry. Builds are timed: the ladder
+//! carries a measured cost table ([`LodCost`]) that seeds the fitted
+//! `lod_half` / `lod_quarter` models the scheduler prices rungs with.
+//!
+//! Level semantics: level 0 is the full-resolution input; level `l` targets
+//! `cells >> l` cells (decimation) or a `2^l`-coarser grid. The ladder never
+//! *improves* on the target monotonicity: each level has at most as many
+//! cells as the previous one.
+
+use crate::field::Assoc;
+use crate::structured::UniformGrid;
+use crate::unstructured::{TetMesh, TriMesh};
+use std::time::Instant;
+use vecmath::Vec3;
+
+/// Measured build cost of one ladder level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LodCost {
+    pub level: u8,
+    /// Cells (tris / tets / grid cells) at this level.
+    pub cells: usize,
+    /// Wall-clock seconds to derive this level from level 0.
+    pub build_seconds: f64,
+}
+
+/// One round of independent-set edge collapse over shared `points`.
+/// Returns the vertex remap (`remap[v]` = surviving vertex) or `None` when
+/// no edge could be picked.
+fn collapse_round(
+    points: &mut [Vec3],
+    point_attrs: &mut [Vec<f32>],
+    edges: &[(u32, u32)],
+    max_picks: usize,
+) -> Option<Vec<u32>> {
+    if edges.is_empty() {
+        return None;
+    }
+    // Shortest edges first; the (bits, v0, v1) key is a total order, so the
+    // schedule is a pure function of the geometry.
+    let mut order: Vec<(u32, u32, u32)> = edges
+        .iter()
+        .map(|&(a, b)| {
+            let d = points[a as usize] - points[b as usize];
+            (d.length_squared().to_bits(), a, b)
+        })
+        .collect();
+    order.sort_unstable();
+    let mut used = vec![false; points.len()];
+    let mut picked: Vec<(u32, u32)> = Vec::new();
+    for &(_, a, b) in &order {
+        if picked.len() >= max_picks {
+            break;
+        }
+        if !used[a as usize] && !used[b as usize] {
+            used[a as usize] = true;
+            used[b as usize] = true;
+            picked.push((a, b));
+        }
+    }
+    if picked.is_empty() {
+        return None;
+    }
+    let mut remap: Vec<u32> = (0..points.len() as u32).collect();
+    for &(a, b) in &picked {
+        let (a, b) = (a as usize, b as usize);
+        points[a] = (points[a] + points[b]) * 0.5;
+        for attr in point_attrs.iter_mut() {
+            if !attr.is_empty() {
+                attr[a] = (attr[a] + attr[b]) * 0.5;
+            }
+        }
+        remap[b] = a as u32;
+    }
+    Some(remap)
+}
+
+/// Drop vertices no cell references, rewriting cell indices in place.
+/// Returns the kept→old mapping so callers can compact attributes too.
+fn compact_points<const N: usize>(num_points: usize, cells: &mut [[u32; N]]) -> Vec<usize> {
+    let mut new_id = vec![u32::MAX; num_points];
+    let mut kept: Vec<usize> = Vec::new();
+    for cell in cells.iter_mut() {
+        for v in cell.iter_mut() {
+            let old = *v as usize;
+            if new_id[old] == u32::MAX {
+                new_id[old] = kept.len() as u32;
+                kept.push(old);
+            }
+            *v = new_id[old];
+        }
+    }
+    kept
+}
+
+/// Decimate a triangle mesh to at most `target_tris` triangles by rounds of
+/// independent-set shortest-edge collapse (midpoint placement, averaged
+/// scalars). Stops early when a round makes no progress.
+pub fn decimate_tris(mesh: &TriMesh, target_tris: usize) -> TriMesh {
+    let mut points = mesh.points.clone();
+    let mut scalars = mesh.scalars.clone();
+    let mut tris = mesh.tris.clone();
+    while tris.len() > target_tris {
+        let mut edges: Vec<(u32, u32)> = tris
+            .iter()
+            .flat_map(|t| [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])])
+            .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        // An interior-edge collapse removes ~2 triangles; cap the round so
+        // we land near the target instead of overshooting to nothing.
+        let max_picks = (tris.len() - target_tris).div_ceil(2).max(1);
+        let mut attrs = [std::mem::take(&mut scalars)];
+        let remap = collapse_round(&mut points, &mut attrs, &edges, max_picks);
+        scalars = std::mem::take(&mut attrs[0]);
+        let Some(remap) = remap else { break };
+        let before = tris.len();
+        tris = tris
+            .iter()
+            .map(|t| [remap[t[0] as usize], remap[t[1] as usize], remap[t[2] as usize]])
+            .filter(|t| t[0] != t[1] && t[1] != t[2] && t[2] != t[0])
+            .collect();
+        if tris.len() == before {
+            break;
+        }
+    }
+    let kept = compact_points(points.len(), &mut tris);
+    TriMesh {
+        points: kept.iter().map(|&p| points[p]).collect(),
+        scalars: if scalars.is_empty() {
+            Vec::new()
+        } else {
+            kept.iter().map(|&p| scalars[p]).collect()
+        },
+        tris,
+    }
+}
+
+/// [`decimate_tris`] for tetrahedral meshes. Point fields average through
+/// collapses; cell fields follow the surviving cells.
+pub fn decimate_tets(mesh: &TetMesh, target_tets: usize) -> TetMesh {
+    let mut points = mesh.points.clone();
+    let mut point_attrs: Vec<Vec<f32>> = mesh
+        .fields
+        .iter()
+        .map(|f| if f.assoc == Assoc::Point { f.values.clone() } else { Vec::new() })
+        .collect();
+    let mut tets = mesh.tets.clone();
+    // Track which input cell each surviving tet came from, for cell fields.
+    let mut origin: Vec<usize> = (0..tets.len()).collect();
+    while tets.len() > target_tets {
+        let mut edges: Vec<(u32, u32)> = tets
+            .iter()
+            .flat_map(|t| {
+                [(t[0], t[1]), (t[0], t[2]), (t[0], t[3]), (t[1], t[2]), (t[1], t[3]), (t[2], t[3])]
+            })
+            .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        // Collapsing one interior edge of a tet mesh can delete many
+        // incident tets; a conservative cap still converges in few rounds.
+        let max_picks = (tets.len() - target_tets).div_ceil(4).max(1);
+        let Some(remap) = collapse_round(&mut points, &mut point_attrs, &edges, max_picks) else {
+            break;
+        };
+        let before = tets.len();
+        let mut next = Vec::with_capacity(tets.len());
+        let mut next_origin = Vec::with_capacity(origin.len());
+        for (t, &o) in tets.iter().zip(origin.iter()) {
+            let m = [
+                remap[t[0] as usize],
+                remap[t[1] as usize],
+                remap[t[2] as usize],
+                remap[t[3] as usize],
+            ];
+            let degenerate = m[0] == m[1]
+                || m[0] == m[2]
+                || m[0] == m[3]
+                || m[1] == m[2]
+                || m[1] == m[3]
+                || m[2] == m[3];
+            if !degenerate {
+                next.push(m);
+                next_origin.push(o);
+            }
+        }
+        tets = next;
+        origin = next_origin;
+        if tets.len() == before {
+            break;
+        }
+    }
+    let kept = compact_points(points.len(), &mut tets);
+    let fields = mesh
+        .fields
+        .iter()
+        .zip(point_attrs.iter())
+        .map(|(f, attr)| {
+            let mut g = f.clone();
+            g.values = match f.assoc {
+                Assoc::Point => kept.iter().map(|&p| attr[p]).collect(),
+                Assoc::Cell => origin.iter().map(|&c| f.values[c]).collect(),
+            };
+            g
+        })
+        .collect();
+    TetMesh { points: kept.iter().map(|&p| points[p]).collect(), tets, fields }
+}
+
+/// Coarsen a uniform grid by an integer `factor` per axis (2 for one LOD
+/// level, 4 for two). Point fields are block-averaged over the `factor³`
+/// fine points nearest each coarse point; cell fields are dropped (convert
+/// to point fields first if needed). Each axis keeps at least one cell.
+pub fn coarsen_grid(grid: &UniformGrid, factor: usize) -> UniformGrid {
+    let factor = factor.max(1);
+    let fine = grid.cell_dims();
+    let coarse = [(fine[0] / factor).max(1), (fine[1] / factor).max(1), (fine[2] / factor).max(1)];
+    let mut out = UniformGrid::new(coarse, grid.bounds());
+    for f in grid.fields.iter().filter(|f| f.assoc == Assoc::Point) {
+        let dims = out.dims;
+        let mut values = vec![0.0f32; out.num_points()];
+        for k in 0..dims[2] {
+            for j in 0..dims[1] {
+                for i in 0..dims[0] {
+                    // Average the fine points in the block centred on this
+                    // coarse point (clamped at the boundary).
+                    let (fi, fj, fk) = (i * factor, j * factor, k * factor);
+                    let mut sum = 0.0f64;
+                    let mut n = 0u32;
+                    for dk in 0..factor {
+                        for dj in 0..factor {
+                            for di in 0..factor {
+                                let (x, y, z) = (
+                                    (fi + di).min(grid.dims[0] - 1),
+                                    (fj + dj).min(grid.dims[1] - 1),
+                                    (fk + dk).min(grid.dims[2] - 1),
+                                );
+                                sum += f.values[grid.point_index(x, y, z)] as f64;
+                                n += 1;
+                            }
+                        }
+                    }
+                    values[(k * dims[1] + j) * dims[0] + i] = (sum / n as f64) as f32;
+                }
+            }
+        }
+        out.fields.push(crate::field::Field::point(f.name.clone(), values));
+    }
+    out
+}
+
+/// A precomputed triangle-mesh LOD ladder: level 0 is the input, level `l`
+/// targets `num_tris >> l`, each with a measured build cost.
+#[derive(Debug, Clone)]
+pub struct TriLadder {
+    levels: Vec<TriMesh>,
+    costs: Vec<LodCost>,
+}
+
+impl TriLadder {
+    pub fn build(mesh: &TriMesh, max_level: u8) -> TriLadder {
+        let mut levels = vec![mesh.clone()];
+        let mut costs = vec![LodCost { level: 0, cells: mesh.num_tris(), build_seconds: 0.0 }];
+        for l in 1..=max_level {
+            let t0 = Instant::now();
+            let m = decimate_tris(mesh, mesh.num_tris() >> l);
+            let dt = t0.elapsed().as_secs_f64();
+            costs.push(LodCost { level: l, cells: m.num_tris(), build_seconds: dt });
+            levels.push(m);
+        }
+        TriLadder { levels, costs }
+    }
+
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Mesh at `level`, clamped to the deepest available rung.
+    pub fn level(&self, level: u8) -> &TriMesh {
+        &self.levels[(level as usize).min(self.levels.len() - 1)]
+    }
+
+    pub fn costs(&self) -> &[LodCost] {
+        &self.costs
+    }
+}
+
+/// [`TriLadder`] for tetrahedral meshes.
+#[derive(Debug, Clone)]
+pub struct TetLadder {
+    levels: Vec<TetMesh>,
+    costs: Vec<LodCost>,
+}
+
+impl TetLadder {
+    pub fn build(mesh: &TetMesh, max_level: u8) -> TetLadder {
+        let mut levels = vec![mesh.clone()];
+        let mut costs = vec![LodCost { level: 0, cells: mesh.num_tets(), build_seconds: 0.0 }];
+        for l in 1..=max_level {
+            let t0 = Instant::now();
+            let m = decimate_tets(mesh, mesh.num_tets() >> l);
+            let dt = t0.elapsed().as_secs_f64();
+            costs.push(LodCost { level: l, cells: m.num_tets(), build_seconds: dt });
+            levels.push(m);
+        }
+        TetLadder { levels, costs }
+    }
+
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    pub fn level(&self, level: u8) -> &TetMesh {
+        &self.levels[(level as usize).min(self.levels.len() - 1)]
+    }
+
+    pub fn costs(&self) -> &[LodCost] {
+        &self.costs
+    }
+}
+
+/// [`TriLadder`] for uniform grids: level `l` is a `2^l`-coarser grid.
+#[derive(Debug, Clone)]
+pub struct GridLadder {
+    levels: Vec<UniformGrid>,
+    costs: Vec<LodCost>,
+}
+
+impl GridLadder {
+    pub fn build(grid: &UniformGrid, max_level: u8) -> GridLadder {
+        let mut levels = vec![grid.clone()];
+        let mut costs = vec![LodCost { level: 0, cells: grid.num_cells(), build_seconds: 0.0 }];
+        for l in 1..=max_level {
+            let t0 = Instant::now();
+            let g = coarsen_grid(grid, 1 << l);
+            let dt = t0.elapsed().as_secs_f64();
+            costs.push(LodCost { level: l, cells: g.num_cells(), build_seconds: dt });
+            levels.push(g);
+        }
+        GridLadder { levels, costs }
+    }
+
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    pub fn level(&self, level: u8) -> &UniformGrid {
+        &self.levels[(level as usize).min(self.levels.len() - 1)]
+    }
+
+    pub fn costs(&self) -> &[LodCost] {
+        &self.costs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{field_grid, FieldKind};
+    use crate::isosurface::isosurface;
+    use crate::unstructured::HexMesh;
+    use vecmath::Aabb;
+
+    fn sample_mesh() -> TriMesh {
+        let grid = field_grid(FieldKind::Tangle, [14, 14, 14]);
+        isosurface(&grid, "scalar", 0.0, Some("elevation"))
+    }
+
+    fn tri_bytes(m: &TriMesh) -> Vec<u32> {
+        let mut v: Vec<u32> =
+            m.points.iter().flat_map(|p| [p.x.to_bits(), p.y.to_bits(), p.z.to_bits()]).collect();
+        v.extend(m.scalars.iter().map(|s| s.to_bits()));
+        v.extend(m.tris.iter().flatten().copied());
+        v
+    }
+
+    #[test]
+    fn decimation_reduces_and_is_deterministic() {
+        let m = sample_mesh();
+        assert!(m.num_tris() > 100);
+        let a = decimate_tris(&m, m.num_tris() / 2);
+        let b = decimate_tris(&m, m.num_tris() / 2);
+        assert!(a.num_tris() <= m.num_tris() / 2, "{} vs {}", a.num_tris(), m.num_tris());
+        assert!(a.num_tris() > 0);
+        assert_eq!(tri_bytes(&a), tri_bytes(&b), "same mesh + level must be bit-identical");
+        // Scalars follow the vertices.
+        assert_eq!(a.scalars.len(), a.points.len());
+        // Decimated bounds stay inside (a hair around) the input bounds.
+        let (ib, db) = (m.bounds(), a.bounds());
+        assert!(db.min.x >= ib.min.x - 1e-4 && db.max.x <= ib.max.x + 1e-4);
+    }
+
+    #[test]
+    fn tri_ladder_is_monotone_with_cost_table() {
+        let m = sample_mesh();
+        let ladder = TriLadder::build(&m, 2);
+        assert_eq!(ladder.num_levels(), 3);
+        let cells: Vec<usize> = ladder.costs().iter().map(|c| c.cells).collect();
+        assert!(cells[1] <= cells[0] && cells[2] <= cells[1], "{cells:?}");
+        assert!(cells[2] <= m.num_tris() / 4 + 1);
+        assert!(ladder.costs()[1].build_seconds >= 0.0);
+        // Clamping past the deepest rung returns the deepest rung.
+        assert_eq!(ladder.level(9).num_tris(), ladder.level(2).num_tris());
+    }
+
+    #[test]
+    fn tet_decimation_carries_fields() {
+        let g = UniformGrid::new([6, 6, 6], Aabb::from_corners(Vec3::ZERO, Vec3::ONE));
+        let mut h = HexMesh::from_uniform_grid(&g);
+        h.fields
+            .push(crate::field::Field::cell("rho", (0..h.num_hexes()).map(|i| i as f32).collect()));
+        h.fields.push(crate::field::Field::point(
+            "e",
+            (0..h.points.len()).map(|i| i as f32 * 0.25).collect(),
+        ));
+        let tets = h.to_tets();
+        let dec = decimate_tets(&tets, tets.num_tets() / 2);
+        assert!(dec.num_tets() <= tets.num_tets() / 2);
+        assert!(dec.num_tets() > 0);
+        let rho = dec.field("rho").unwrap();
+        assert_eq!(rho.values.len(), dec.num_tets());
+        let e = dec.field("e").unwrap();
+        assert_eq!(e.values.len(), dec.points.len());
+        // Determinism.
+        let again = decimate_tets(&tets, tets.num_tets() / 2);
+        assert_eq!(dec.tets, again.tets);
+        assert_eq!(
+            dec.points.iter().map(|p| p.x.to_bits()).collect::<Vec<_>>(),
+            again.points.iter().map(|p| p.x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn grid_coarsening_halves_axes_and_averages() {
+        let mut g = UniformGrid::new([8, 8, 8], Aabb::from_corners(Vec3::ZERO, Vec3::ONE));
+        g.add_point_field("f", |p| p.x);
+        let c = coarsen_grid(&g, 2);
+        assert_eq!(c.cell_dims(), [4, 4, 4]);
+        // Bounds are preserved.
+        assert!((c.bounds().max - g.bounds().max).length() < 1e-6);
+        // A linear field block-averages to (roughly) itself shifted half a
+        // fine cell — still monotone along x.
+        let f = &c.field("f").unwrap().values;
+        assert!(f[1] > f[0]);
+        let ladder = GridLadder::build(&g, 2);
+        assert_eq!(ladder.level(2).cell_dims(), [2, 2, 2]);
+        assert_eq!(ladder.costs()[2].cells, 8);
+        // Never coarser than one cell per axis.
+        let tiny = coarsen_grid(ladder.level(2), 4);
+        assert_eq!(tiny.cell_dims(), [1, 1, 1]);
+    }
+}

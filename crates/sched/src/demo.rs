@@ -170,6 +170,8 @@ pub fn ground_truth() -> ModelSet {
         comp_dfb: None,
         pass_ao: None,
         pass_shadows: None,
+        lod_half: None,
+        lod_quarter: None,
     }
 }
 

@@ -26,6 +26,7 @@ pub mod demo;
 pub mod ladder;
 pub mod passes;
 pub mod priority;
+pub mod rebalance;
 pub mod refit;
 pub mod scheduler;
 pub mod simexec;
@@ -33,8 +34,9 @@ pub mod simexec;
 pub use backpressure::QueuePressure;
 pub use demo::{run_budgeted_demo, CycleOutcome, DemoConfig, DemoReport};
 pub use ladder::{Ladder, Rung, LADDER};
-pub use passes::{PassLadder, PassRung, PASS_DROP_LEVEL, PASS_LADDER};
+pub use passes::{PassLadder, PassRung, PassWork, PASS_DROP_LEVEL, PASS_LADDER};
 pub use priority::{Priority, PRIORITIES};
+pub use rebalance::{RebalanceConfig, Rebalancer};
 pub use refit::OnlineRefit;
 pub use scheduler::{CycleRecord, Decision, PlannedJob, RenderRequest, Scheduler, SchedulerConfig};
 pub use simexec::{JobCost, SimulatedExecutor};

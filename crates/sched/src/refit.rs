@@ -9,10 +9,12 @@
 
 use perfmodel::feasibility::ModelSet;
 use perfmodel::models::{
-    CompositeModel, CompressedCompositeModel, DfbCompositeModel, FittedLinearModel, ModelForm,
-    PassModel, RastModel, RtBuildModel, RtModel, VrModel,
+    CompositeModel, CompressedCompositeModel, DfbCompositeModel, FittedLinearModel, LodModel,
+    ModelForm, PassModel, RastModel, RtBuildModel, RtModel, VrModel,
 };
-use perfmodel::sample::{CompositeSample, CompositeWire, PassSample, RenderSample, RendererKind};
+use perfmodel::sample::{
+    CompositeSample, CompositeWire, LodSample, PassSample, RenderSample, RendererKind,
+};
 use std::collections::VecDeque;
 
 /// What one [`OnlineRefit::refit_into`] pass did, for scheduler and repro
@@ -41,6 +43,8 @@ pub struct OnlineRefit {
     comp: VecDeque<CompositeSample>,
     pass_ao: VecDeque<PassSample>,
     pass_shadows: VecDeque<PassSample>,
+    lod_half: VecDeque<LodSample>,
+    lod_quarter: VecDeque<LodSample>,
 }
 
 impl OnlineRefit {
@@ -57,6 +61,8 @@ impl OnlineRefit {
             comp: VecDeque::new(),
             pass_ao: VecDeque::new(),
             pass_shadows: VecDeque::new(),
+            lod_half: VecDeque::new(),
+            lod_quarter: VecDeque::new(),
         }
     }
 
@@ -101,6 +107,21 @@ impl OnlineRefit {
         q.push_back(s);
     }
 
+    /// Record a measured decimated-geometry render. Only the ladder's named
+    /// rungs (level 1 = half, level 2 = quarter) are windowed; other levels
+    /// are ignored — no [`LodModel`] exists to refit for them.
+    pub fn observe_lod(&mut self, s: LodSample) {
+        let q = match s.level {
+            1 => &mut self.lod_half,
+            2 => &mut self.lod_quarter,
+            _ => return,
+        };
+        if q.len() == self.window {
+            q.pop_front();
+        }
+        q.push_back(s);
+    }
+
     /// Total buffered observations, for reporting.
     pub fn len(&self) -> usize {
         self.rt.len()
@@ -109,6 +130,8 @@ impl OnlineRefit {
             + self.comp.len()
             + self.pass_ao.len()
             + self.pass_shadows.len()
+            + self.lod_half.len()
+            + self.lod_quarter.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -185,6 +208,14 @@ impl OnlineRefit {
             let xs: Vec<PassSample> = self.pass_shadows.iter().cloned().collect();
             Self::install_opt(&mut set.pass_shadows, PassModel::SHADOWS.fit(&xs), &mut rep);
         }
+        if self.lod_half.len() >= self.min_samples {
+            let xs: Vec<LodSample> = self.lod_half.iter().cloned().collect();
+            Self::install_opt(&mut set.lod_half, LodModel::HALF.fit(&xs), &mut rep);
+        }
+        if self.lod_quarter.len() >= self.min_samples {
+            let xs: Vec<LodSample> = self.lod_quarter.iter().cloned().collect();
+            Self::install_opt(&mut set.lod_quarter, LodModel::QUARTER.fit(&xs), &mut rep);
+        }
         rep
     }
 
@@ -241,6 +272,8 @@ mod tests {
             comp_dfb: None,
             pass_ao: None,
             pass_shadows: None,
+            lod_half: None,
+            lod_quarter: None,
         }
     }
 
@@ -459,6 +492,39 @@ mod tests {
             assert!((got - sh_law(w)).abs() / sh_law(w) < 1e-6, "{got}");
         }
         assert!(set.predict_pass_seconds("intersect", 1.0).is_none());
+    }
+
+    /// Decimated-render windows fit the LOD rung models, so admission can
+    /// price `+lod` rungs from live timings — and unnamed levels are not
+    /// windowed.
+    #[test]
+    fn lod_windows_fit_the_rung_models() {
+        let half_law = |c: f64| 4e-8 * c + 9e-5;
+        let quarter_law = |c: f64| 3e-8 * c + 6e-5;
+        let mut refit = OnlineRefit::new(64, 4);
+        for i in 1..=8usize {
+            let c = 20_000.0 * i as f64;
+            refit.observe_lod(LodSample { level: 1, cells: c, seconds: half_law(c) });
+            refit.observe_lod(LodSample {
+                level: 2,
+                cells: c / 2.0,
+                seconds: quarter_law(c / 2.0),
+            });
+            // No model exists for level 3: not windowed.
+            refit.observe_lod(LodSample { level: 3, cells: c, seconds: 1.0 });
+        }
+        assert_eq!(refit.len(), 16);
+        let mut set = prior();
+        let rep = refit.refit_into(&mut set);
+        assert!(rep.refitted.contains(&"lod_half"), "{rep:?}");
+        assert!(rep.refitted.contains(&"lod_quarter"), "{rep:?}");
+        for c in [30_000.0, 140_000.0] {
+            let got = set.predict_lod_seconds(1, c).unwrap();
+            assert!((got - half_law(c)).abs() / half_law(c) < 1e-6, "{got}");
+            let got = set.predict_lod_seconds(2, c).unwrap();
+            assert!((got - quarter_law(c)).abs() / quarter_law(c) < 1e-6, "{got}");
+        }
+        assert!(set.predict_lod_seconds(3, 1.0).is_none());
     }
 
     #[test]

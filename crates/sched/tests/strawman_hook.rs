@@ -34,6 +34,8 @@ fn pixel_cost_models() -> ModelSet {
         comp_dfb: None,
         pass_ao: None,
         pass_shadows: None,
+        lod_half: None,
+        lod_quarter: None,
     }
 }
 

@@ -37,6 +37,7 @@
 
 pub mod api;
 pub mod mesh_convert;
+pub mod partitioned;
 pub mod png;
 
 pub use api::{
@@ -44,3 +45,4 @@ pub use api::{
     Options, RenderRecord, Strawman, StrawmanError,
 };
 pub use mesh_convert::PublishedMesh;
+pub use partitioned::{render_partitioned, render_rank_frames, RankFrame};

@@ -56,6 +56,13 @@ pub struct Config {
     /// Files/path prefixes whose contents count as X010 round-trip coverage
     /// (the persist module and its tests). Empty disables the check.
     pub x010_roundtrip: Vec<String>,
+    /// Path prefixes where X011 bans direct construction of per-rank cell
+    /// assignments (`Partition::from_assignments`): the byte-pinned crates
+    /// and everything that partitions data for them.
+    pub x011_pinned: Vec<String>,
+    /// The partition modules inside the X011 scopes — the single source of
+    /// truth allowed to construct assignments directly.
+    pub x011_partition_modules: Vec<String>,
     /// Grandfathered findings.
     pub baseline: Vec<BaselineEntry>,
 }
@@ -93,6 +100,18 @@ impl Default for Config {
             x008_persist: "crates/core/src/persist.rs".to_string(),
             x010_models: vec!["crates/core/src/".to_string()],
             x010_roundtrip: vec!["crates/core/src/persist.rs".to_string()],
+            x011_pinned: [
+                "crates/mesh/",
+                "crates/render/",
+                "crates/compositing/",
+                "crates/strawman/",
+                "crates/conduit/",
+                "crates/sched/",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            x011_partition_modules: vec!["crates/mesh/src/partition.rs".to_string()],
             baseline: Vec::new(),
         }
     }
@@ -114,6 +133,8 @@ impl Config {
             x008_persist: String::new(),
             x010_models: Vec::new(),
             x010_roundtrip: Vec::new(),
+            x011_pinned: vec![String::new()],
+            x011_partition_modules: Vec::new(),
             baseline: Vec::new(),
         }
     }
@@ -191,7 +212,7 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
         if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
             section = name.trim().to_string();
             match section.as_str() {
-                "walk" | "x005" | "x006" | "x007" | "x008" | "x009" | "x010" => {}
+                "walk" | "x005" | "x006" | "x007" | "x008" | "x009" | "x010" | "x011" => {}
                 other => return Err(err(lineno, format!("unknown section `[{other}]`"))),
             }
             continue;
@@ -239,6 +260,8 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
             ("x008", "persist") => cfg.x008_persist = parse_string(&value, lineno)?,
             ("x010", "models") => cfg.x010_models = parse_array(&value)?,
             ("x010", "roundtrip") => cfg.x010_roundtrip = parse_array(&value)?,
+            ("x011", "pinned") => cfg.x011_pinned = parse_array(&value)?,
+            ("x011", "partition_modules") => cfg.x011_partition_modules = parse_array(&value)?,
             ("baseline", k) => {
                 let entry = cfg
                     .baseline
@@ -327,6 +350,14 @@ reason = "legacy counters, tracked in ROADMAP"
             cfg.x010_roundtrip,
             vec!["a/src/persist.rs".to_string(), "a/tests/".to_string()]
         );
+    }
+
+    #[test]
+    fn x011_arrays_parse() {
+        let text = "[x011]\npinned = [\"a/\"]\npartition_modules = [\"a/src/partition.rs\"]\n";
+        let cfg = parse(text).unwrap();
+        assert_eq!(cfg.x011_pinned, vec!["a/".to_string()]);
+        assert_eq!(cfg.x011_partition_modules, vec!["a/src/partition.rs".to_string()]);
     }
 
     #[test]

@@ -39,6 +39,10 @@ pub enum Lint {
     /// A `pub` model type declared in the model crate that no persist
     /// round-trip test ever names (cross-crate check).
     X010,
+    /// Direct construction of a per-rank cell assignment
+    /// (`Partition::from_assignments`) outside the partition module in a
+    /// byte-pinned crate.
+    X011,
 }
 
 impl Lint {
@@ -56,6 +60,7 @@ impl Lint {
             Lint::X008 => "X008",
             Lint::X009 => "X009",
             Lint::X010 => "X010",
+            Lint::X011 => "X011",
         }
     }
 
@@ -73,6 +78,10 @@ impl Lint {
             Lint::X008 => "model name is not round-tripped by the persist module",
             Lint::X009 => "bare blocking recv() in service code outside the wait modules",
             Lint::X010 => "pub model type is never named by a persist round-trip test",
+            Lint::X011 => {
+                "per-rank cell assignment built outside the partition module in a \
+                 byte-pinned crate"
+            }
         }
     }
 
@@ -118,6 +127,13 @@ impl Lint {
                  stop surviving save/load: name the type in a persist round-trip test (fit \
                  it and compare bits across save/load), or waive the declaration with a \
                  written reason if the model is deliberately never persisted"
+            }
+            Lint::X011 => {
+                "partitions that feed pinned pixels must come from the deterministic \
+                 bisection (Partition::bisect / weighted_bisect) so every rank's cell set \
+                 is a pure function of (centroids, weights, ranks); keep \
+                 from_assignments to mesh::partition and test code, or waive with a \
+                 written reason for a deliberately synthetic layout"
             }
         }
     }
@@ -363,6 +379,17 @@ pub fn lint_file(rel: &str, source: &str, cfg: &Config) -> FileReport {
         {
             raw_hits.push((Lint::X009, i));
         }
+
+        // X011 — per-rank cell assignments are single-sourced: in the
+        // byte-pinned crates only the partition module (and test code) may
+        // call the `from_assignments` escape hatch.
+        if path_in(rel, &cfg.x011_pinned)
+            && !path_in(rel, &cfg.x011_partition_modules)
+            && !tests[i]
+            && code.contains("from_assignments(")
+        {
+            raw_hits.push((Lint::X011, i));
+        }
     }
 
     file_report(rel, &lines, raw_hits)
@@ -561,6 +588,20 @@ mod tests {
         let bounded = "let m = rx.recv_timeout(d);\nlet n = rx.try_recv();\n";
         assert!(lint_file("svc/src/loop.rs", bounded, &c).findings.is_empty());
         assert!(lint_file("other/src/lib.rs", bare, &c).findings.is_empty());
+    }
+
+    #[test]
+    fn x011_partition_module_and_tests_pass() {
+        let mut c = cfg();
+        c.x011_pinned = vec!["crates/mesh/".to_string()];
+        c.x011_partition_modules = vec!["crates/mesh/src/partition.rs".to_string()];
+        let src = "let p = Partition::from_assignments(v, 4);\n";
+        assert_eq!(lint_file("crates/mesh/src/lod.rs", src, &c).findings.len(), 1);
+        assert_eq!(lint_file("crates/mesh/src/lod.rs", src, &c).findings[0].lint, Lint::X011);
+        // The partition module, test code, and out-of-scope paths all pass.
+        assert!(lint_file("crates/mesh/src/partition.rs", src, &c).findings.is_empty());
+        assert!(lint_file("crates/mesh/tests/part.rs", src, &c).findings.is_empty());
+        assert!(lint_file("crates/bench/src/tables.rs", src, &c).findings.is_empty());
     }
 
     #[test]

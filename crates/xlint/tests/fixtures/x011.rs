@@ -1,0 +1,38 @@
+//! X011 — per-rank cell assignments are single-sourced: only the partition
+//! module may call the `from_assignments` escape hatch in pinned code.
+
+use mesh::partition::Partition;
+
+// Positive: hand-built assignment vector in pinned library code.
+fn positive() -> Partition {
+    Partition::from_assignments(vec![0, 0, 1, 1], 2)
+}
+
+// Positive: the fully qualified path is the same escape hatch.
+fn positive_qualified(a: Vec<u32>) -> Partition {
+    mesh::partition::Partition::from_assignments(a, 8)
+}
+
+// Waived: a deliberately synthetic layout with a written reason.
+fn waived(n: usize) -> Partition {
+    // xlint::allow(X011): adversarial all-on-one-rank layout for the migration stress test
+    Partition::from_assignments(vec![0; n], 4)
+}
+
+// Negative: the deterministic bisection is the blessed constructor.
+fn negative(centroids: &[vecmath::Vec3]) -> Partition {
+    Partition::bisect(centroids, 4)
+}
+
+// Negative: test code may build adversarial layouts directly.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn adversarial_layouts_are_test_territory() {
+        let _ = super::Partition::from_assignments(vec![0, 1], 2);
+    }
+}
+
+// Negative: prose and strings construct nothing.
+// A comment naming Partition::from_assignments is fine.
+pub const DOC: &str = "from_assignments(";

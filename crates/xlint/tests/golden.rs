@@ -102,6 +102,11 @@ fn x009_bare_recv_in_service_code() {
     check("x009", Lint::X009, 1, 1);
 }
 
+#[test]
+fn x011_partition_construction_outside_the_partition_module() {
+    check("x011", Lint::X011, 2, 1);
+}
+
 /// X010 is a cross-file check, so its fixture runs through
 /// `lint_model_type_persistence` with an explicit round-trip corpus instead
 /// of the per-file `lint_file` path; the pinning discipline is the same.
@@ -150,6 +155,7 @@ fn negatives_do_not_fire() {
         ("x009", &[Lint::X009]),
         // x010 is cross-file: the per-file pass must stay silent on it.
         ("x010", &[]),
+        ("x011", &[Lint::X011]),
     ];
     for (name, lints) in allowed {
         let report = run_fixture(name);

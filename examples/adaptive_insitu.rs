@@ -65,6 +65,8 @@ fn calibrate(device: &Device) -> (ModelSet, MappingConstants) {
         comp_dfb: None,
         pass_ao: None,
         pass_shadows: None,
+        lod_half: None,
+        lod_quarter: None,
     };
     let mut all = rt;
     all.extend(ra);

@@ -34,6 +34,8 @@ fn main() {
         comp_dfb: None,
         pass_ao: None,
         pass_shadows: None,
+        lod_half: None,
+        lod_quarter: None,
     };
     println!(
         "model fits: RT R^2={:.3}  RAST R^2={:.3}  VR R^2={:.3}  COMP R^2={:.3}",

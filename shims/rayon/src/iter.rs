@@ -30,15 +30,43 @@
 use crate::pool::{current_pool, PoolState};
 use std::marker::PhantomData;
 use std::mem::{ManuallyDrop, MaybeUninit};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-/// Auto-partition target: enough chunks per worker that uneven tasks
+/// Default auto-partition target: enough chunks per worker that uneven tasks
 /// rebalance, few enough that claim overhead stays invisible.
-const OVERPARTITION: usize = 4;
+const DEFAULT_OVERPARTITION: usize = 4;
 
 /// Thread-count-independent default grain for `fold`/`sum` accumulators (see
 /// the module docs on determinism).
 pub const DEFAULT_FOLD_GRAIN: usize = 1024;
+
+/// Parse a positive integer from `var`, else `default`. Zero and garbage fall
+/// back rather than erroring: a grain of 0 would divide by zero downstream,
+/// and a misspelled knob should never change results silently mid-run.
+fn env_grain(var: &str, default: usize) -> usize {
+    match std::env::var(var) {
+        Ok(s) => s.trim().parse::<usize>().ok().filter(|&v| v > 0).unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+/// Chunks-per-worker target for auto-partitioned bridges, latched from
+/// `DPP_OVERPARTITION` on first use so one process never mixes two values.
+/// Re-tuning it is safe for results: auto-partitioned bridges are ordered
+/// and exact over any partition.
+pub fn overpartition() -> usize {
+    static V: OnceLock<usize> = OnceLock::new();
+    *V.get_or_init(|| env_grain("DPP_OVERPARTITION", DEFAULT_OVERPARTITION))
+}
+
+/// The `fold`/`sum` accumulator grain, latched from `DPP_FOLD_GRAIN` on
+/// first use. Changing it changes the accumulator merge tree, so float
+/// reductions may differ in the last bits from the anchored defaults —
+/// re-anchor byte pins after re-tuning (EXPERIMENTS.md).
+pub fn fold_grain() -> usize {
+    static V: OnceLock<usize> = OnceLock::new();
+    *V.get_or_init(|| env_grain("DPP_FOLD_GRAIN", DEFAULT_FOLD_GRAIN))
+}
 
 /// A random-access description of a parallel sequence.
 ///
@@ -577,7 +605,7 @@ where
         }
         // Grain independent of the pool size: the partition (and therefore
         // the accumulator merge tree) is identical on 1, 2, or 64 threads.
-        let grain = if self.min_len > 0 { self.min_len } else { DEFAULT_FOLD_GRAIN };
+        let grain = if self.min_len > 0 { self.min_len } else { fold_grain() };
         let num_chunks = len.div_ceil(grain);
         let pool = current_pool();
         let mut accs: Vec<MaybeUninit<A>> = Vec::with_capacity(num_chunks);
@@ -629,9 +657,9 @@ unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Elements per task: the `with_min_len` floor, else enough chunks for every
-/// worker to take [`OVERPARTITION`] of them.
+/// worker to take [`overpartition`] of them.
 fn auto_grain(len: usize, min_len: usize, threads: usize) -> usize {
-    let auto = len.div_ceil(threads.saturating_mul(OVERPARTITION).max(1)).max(1);
+    let auto = len.div_ceil(threads.saturating_mul(overpartition()).max(1)).max(1);
     auto.max(min_len)
 }
 

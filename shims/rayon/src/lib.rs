@@ -26,9 +26,9 @@ mod iter;
 mod pool;
 
 pub use iter::{
-    ChunksMutSource, ChunksSource, EnumerateSource, FoldPar, IntoParallelIterator, MapSource, Par,
-    ParallelSlice, ParallelSliceMut, ParallelSource, RangeIndex, RangeSource, SliceMutSource,
-    SliceSource, VecSource, ZipSource, DEFAULT_FOLD_GRAIN,
+    fold_grain, overpartition, ChunksMutSource, ChunksSource, EnumerateSource, FoldPar,
+    IntoParallelIterator, MapSource, Par, ParallelSlice, ParallelSliceMut, ParallelSource,
+    RangeIndex, RangeSource, SliceMutSource, SliceSource, VecSource, ZipSource, DEFAULT_FOLD_GRAIN,
 };
 pub use pool::{current_num_threads, join, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
 

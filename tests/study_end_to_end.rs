@@ -122,6 +122,8 @@ fn feasibility_answers_have_the_papers_shape() {
         comp_dfb: None,
         pass_ao: None,
         pass_shadows: None,
+        lod_half: None,
+        lod_quarter: None,
     };
     let mut all = rt;
     all.extend(ra);
