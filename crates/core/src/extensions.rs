@@ -72,6 +72,8 @@ impl SliceModel {
         for &n in sizes {
             let grid = field_grid(FieldKind::Turbulence, [n; 3]);
             for (origin, normal) in slice_plane_sweep() {
+                // xlint::allow(X014): slice_grid only panics when the named
+                // point field is absent; field_grid above always adds "scalar".
                 let out = slice_grid(&grid, "scalar", origin, normal);
                 let jitter = 1.0 + 0.03 * (2.0 * rng.gen::<f64>() - 1.0);
                 let before = world.now(0);
@@ -93,7 +95,10 @@ impl SliceModel {
         for &n in sizes {
             let grid = field_grid(FieldKind::Turbulence, [n; 3]);
             for (origin, normal) in slice_plane_sweep() {
+                // xlint::allow(X014): slice_grid only panics when the named
+                // point field is absent; field_grid above always adds "scalar".
                 let _warm = slice_grid(&grid, "scalar", origin, normal);
+                // xlint::allow(X014): same invariant as the warm-up line above.
                 let out = slice_grid(&grid, "scalar", origin, normal);
                 samples.push(SliceSample {
                     cells_intersected: out.cells_intersected as f64,

@@ -146,6 +146,8 @@ pub fn run_one_with_samples(
     let pixels = (side as f64) * (side as f64);
     match renderer {
         RendererKind::RayTracing => {
+            // xlint::allow(X014): external_faces_grid panics only on a missing
+            // point field; field_grid above always adds "scalar".
             let tris = external_faces_grid(&grid, "scalar");
             let geom = TriGeometry::from_mesh(&tris);
             let rt = RayTracer::new(device.clone(), geom);
@@ -169,6 +171,8 @@ pub fn run_one_with_samples(
             })
         }
         RendererKind::Rasterization => {
+            // xlint::allow(X014): external_faces_grid panics only on a missing
+            // point field; field_grid above always adds "scalar".
             let tris = external_faces_grid(&grid, "scalar");
             let geom = TriGeometry::from_mesh(&tris);
             let tf = TransferFunction::rainbow(geom.scalar_range);

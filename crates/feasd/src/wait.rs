@@ -56,6 +56,10 @@ impl WorkSignal {
         if *g != seen {
             return *g;
         }
+        // xlint::allow(X013): `self.cv` is a std Condvar, so this call is
+        // Condvar::wait_timeout, not a recursive WorkSignal::wait_timeout —
+        // name-only method resolution cannot see field types. The epoch lock
+        // is released while parked; there is no re-acquisition under itself.
         let (g, _timed_out) = match self.cv.wait_timeout(g, timeout) {
             Ok(pair) => pair,
             Err(poisoned) => poisoned.into_inner(),

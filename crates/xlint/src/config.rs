@@ -63,8 +63,23 @@ pub struct Config {
     /// The partition modules inside the X011 scopes — the single source of
     /// truth allowed to construct assignments directly.
     pub x011_partition_modules: Vec<String>,
+    /// Path prefixes whose functions X014 checks for transitive panic
+    /// reachability. Empty falls back to `x006_scopes` (X014 is the flow
+    /// upgrade of X006).
+    pub x014_scopes: Vec<String>,
     /// Grandfathered findings.
     pub baseline: Vec<BaselineEntry>,
+}
+
+impl Config {
+    /// Effective X014 scope: explicit `[x014] scopes`, else X006's.
+    pub fn x014_effective_scopes(&self) -> &[String] {
+        if self.x014_scopes.is_empty() {
+            &self.x006_scopes
+        } else {
+            &self.x014_scopes
+        }
+    }
 }
 
 impl Default for Config {
@@ -112,6 +127,7 @@ impl Default for Config {
             .map(|s| s.to_string())
             .collect(),
             x011_partition_modules: vec!["crates/mesh/src/partition.rs".to_string()],
+            x014_scopes: Vec::new(),
             baseline: Vec::new(),
         }
     }
@@ -135,6 +151,7 @@ impl Config {
             x010_roundtrip: Vec::new(),
             x011_pinned: vec![String::new()],
             x011_partition_modules: Vec::new(),
+            x014_scopes: Vec::new(),
             baseline: Vec::new(),
         }
     }
@@ -212,7 +229,7 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
         if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
             section = name.trim().to_string();
             match section.as_str() {
-                "walk" | "x005" | "x006" | "x007" | "x008" | "x009" | "x010" | "x011" => {}
+                "walk" | "x005" | "x006" | "x007" | "x008" | "x009" | "x010" | "x011" | "x014" => {}
                 other => return Err(err(lineno, format!("unknown section `[{other}]`"))),
             }
             continue;
@@ -262,6 +279,7 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
             ("x010", "roundtrip") => cfg.x010_roundtrip = parse_array(&value)?,
             ("x011", "pinned") => cfg.x011_pinned = parse_array(&value)?,
             ("x011", "partition_modules") => cfg.x011_partition_modules = parse_array(&value)?,
+            ("x014", "scopes") => cfg.x014_scopes = parse_array(&value)?,
             ("baseline", k) => {
                 let entry = cfg
                     .baseline

@@ -11,15 +11,24 @@
 //! * inline: `// xlint::allow(X00n): reason` on or directly above the line;
 //! * `xlint.toml` `[[baseline]]` entries for grandfathered debt.
 
+pub mod callgraph;
 pub mod config;
+pub mod flow;
+pub mod lexer;
 pub mod lints;
 pub mod mask;
 pub mod report;
+pub mod syntax;
+
+pub mod cache;
+pub mod sarif;
 
 pub use config::{BaselineEntry, Config, ConfigError};
 pub use lints::{lint_file, FileReport, Finding, Lint, Waived};
 pub use report::{to_json, to_text, Report};
+pub use sarif::to_sarif;
 
+use rayon::prelude::*;
 use std::path::{Path, PathBuf};
 
 /// Collect every `.rs` file under `root` selected by the config, as sorted
@@ -63,10 +72,70 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Options for a lint run.
+#[derive(Debug, Default, Clone)]
+pub struct RunOptions {
+    /// Where to read/write the incremental per-file cache. `None` disables
+    /// caching entirely (every library entry point defaults to `None`; the
+    /// CLI turns it on under `target/`).
+    pub cache_path: Option<PathBuf>,
+}
+
+/// Engine counters for `--stats`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Stats {
+    /// Files walked.
+    pub files: usize,
+    /// Per-file cache hits / misses for this run (both zero when disabled).
+    pub cache_hits: usize,
+    pub cache_misses: usize,
+    /// Call-graph size and call-resolution precision ledger.
+    pub graph: callgraph::GraphStats,
+}
+
+impl Stats {
+    /// Human-readable rendering; `wall_ms` is measured by the CLI (the
+    /// library never reads the clock — X007 applies to xlint too).
+    pub fn render(&self, wall_ms: Option<u128>) -> String {
+        let g = &self.graph;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "xlint stats: {} files, {} tokens, {} functions, {} call edges\n",
+            self.files, g.tokens, g.fns, g.edges
+        ));
+        out.push_str(&format!(
+            "  call resolution: {} path + {} method resolved; \
+             {} external, {} constructor, {} ambiguous-method, \
+             {} unmatched-method, {} unresolved\n",
+            g.resolved,
+            g.resolved_method,
+            g.external,
+            g.constructor,
+            g.ambiguous_method,
+            g.unmatched_method,
+            g.unresolved
+        ));
+        out.push_str(&format!(
+            "  cache: {} hit(s), {} miss(es)\n",
+            self.cache_hits, self.cache_misses
+        ));
+        if let Some(ms) = wall_ms {
+            out.push_str(&format!("  wall time: {ms} ms\n"));
+        }
+        out
+    }
+}
+
 /// Load `xlint.toml` from `root` (defaults when absent), lint the tree, and
 /// apply the baseline. This is the whole programmatic entry point; the CLI
 /// and the workspace test are thin wrappers over it.
 pub fn run_root(root: &Path) -> Result<(Report, Config), String> {
+    let (report, cfg, _) = run_root_opts(root, &RunOptions::default())?;
+    Ok((report, cfg))
+}
+
+/// [`run_root`] with explicit options, also returning engine stats.
+pub fn run_root_opts(root: &Path, opts: &RunOptions) -> Result<(Report, Config, Stats), String> {
     let cfg_path = root.join("xlint.toml");
     let cfg = if cfg_path.is_file() {
         let text = std::fs::read_to_string(&cfg_path).map_err(|e| e.to_string())?;
@@ -74,29 +143,108 @@ pub fn run_root(root: &Path) -> Result<(Report, Config), String> {
     } else {
         Config::default()
     };
-    let report = run_with_config(root, &cfg)?;
-    Ok((report, cfg))
+    let (report, stats) = run_with_config_opts(root, &cfg, opts)?;
+    Ok((report, cfg, stats))
 }
 
-/// Lint the tree under `root` with an explicit config.
+/// Lint the tree under `root` with an explicit config (no cache).
 pub fn run_with_config(root: &Path, cfg: &Config) -> Result<Report, String> {
-    let files = collect_files(root, cfg).map_err(|e| format!("walking {root:?}: {e}"))?;
+    run_with_config_opts(root, cfg, &RunOptions::default()).map(|(r, _)| r)
+}
+
+/// Run the per-file lints plus the cross-file flow pass (X012–X014) over a
+/// set of in-memory `(rel, source)` files. This is the harness the flow
+/// golden fixtures use: the flow lints need multiple virtual files (a
+/// modeled caller plus an out-of-scope dependency) without a tree on disk.
+pub fn lint_flow_files(files: &[(&str, &str)], cfg: &Config) -> Report {
+    let analyzed: Vec<(String, lints::FileAnalysis)> = files
+        .iter()
+        .map(|(rel, src)| (rel.to_string(), lints::analyze_file(rel, src, cfg)))
+        .collect();
     let mut report = Report::default();
-    for rel in &files {
-        let source =
-            std::fs::read_to_string(root.join(rel)).map_err(|e| format!("reading {rel}: {e}"))?;
-        let fr = lint_file(rel, &source, cfg);
-        report.waived.extend(fr.waived);
-        report.active.extend(fr.findings);
+    for (_, a) in &analyzed {
+        report.active.extend(a.report.findings.iter().cloned());
+        report.waived.extend(a.report.waived.iter().cloned());
     }
-    // X008 is the one cross-file check: the models module's declared names
-    // against the persist module. Skipped when either path is unset (fixture
-    // configs) or absent from the tree being linted.
+    let graph_files: Vec<(String, syntax::FileSyntax)> =
+        analyzed.iter().map(|(rel, a)| (rel.clone(), a.syntax.clone())).collect();
+    let graph = callgraph::build(&graph_files, &std::collections::HashMap::new());
+    let flow_files: Vec<flow::FlowFile> = analyzed
+        .iter()
+        .map(|(rel, a)| flow::FlowFile { rel, lines: &a.lines, syntax: &a.syntax })
+        .collect();
+    let fr = flow::run(&flow_files, &graph, cfg);
+    report.active.extend(fr.findings);
+    report.waived.extend(fr.waived);
+    report.normalize();
+    report
+}
+
+/// Everything computed for one walked file.
+struct PerFile {
+    rel: String,
+    source: String,
+    content_hash: u64,
+    report: FileReport,
+    syntax: syntax::FileSyntax,
+    lines: Vec<mask::MaskedLine>,
+    cache_hit: bool,
+}
+
+/// Lint the tree under `root`: parallel per-file pass (cache-accelerated
+/// when enabled), then the cross-file passes — X008/X010, the workspace
+/// call graph, and the flow lints X012–X014.
+pub fn run_with_config_opts(
+    root: &Path,
+    cfg: &Config,
+    opts: &RunOptions,
+) -> Result<(Report, Stats), String> {
+    let files = collect_files(root, cfg).map_err(|e| format!("walking {root:?}: {e}"))?;
+    let cfg_hash = cache::config_hash(cfg);
+    let warm = opts.cache_path.as_ref().map(|p| cache::load(p, cfg_hash));
+
+    // Per-file pass: read, hash, mask/lex/extract, and (on cache miss) run
+    // the per-file lints. The rayon shim's ordered collect keeps results in
+    // walk order regardless of worker count.
+    let per: Vec<Result<PerFile, String>> = files
+        .par_iter()
+        .map(|rel| {
+            let source = std::fs::read_to_string(root.join(rel))
+                .map_err(|e| format!("reading {rel}: {e}"))?;
+            let content_hash = cache::fnv1a(source.as_bytes());
+            let cached = warm.as_ref().and_then(|c| c.get(rel, content_hash));
+            let (report, syntax, lines, cache_hit) = match cached {
+                Some(report) => {
+                    let (syntax, lines) = lints::structure(rel, &source);
+                    (report, syntax, lines, true)
+                }
+                None => {
+                    let a = lints::analyze_file(rel, &source, cfg);
+                    (a.report, a.syntax, a.lines, false)
+                }
+            };
+            Ok(PerFile { rel: rel.clone(), source, content_hash, report, syntax, lines, cache_hit })
+        })
+        .collect();
+    let per: Vec<PerFile> = per.into_iter().collect::<Result<_, _>>()?;
+
+    let mut stats = Stats { files: per.len(), ..Stats::default() };
+    let mut report = Report::default();
+    for p in &per {
+        stats.cache_hits += p.cache_hit as usize;
+        stats.cache_misses += !p.cache_hit as usize;
+        report.active.extend(p.report.findings.iter().cloned());
+        report.waived.extend(p.report.waived.iter().cloned());
+    }
+    let source_of = |rel: &str| per.iter().find(|p| p.rel == rel).map(|p| p.source.as_str());
+
+    // X008 — the models module's declared names against the persist module.
+    // Skipped when either path is unset (fixture configs) or absent.
     if !cfg.x008_models.is_empty() && !cfg.x008_persist.is_empty() {
-        let models = std::fs::read_to_string(root.join(&cfg.x008_models));
-        let persist = std::fs::read_to_string(root.join(&cfg.x008_persist));
-        if let (Ok(models), Ok(persist)) = (models, persist) {
-            let fr = lints::lint_model_persistence(&cfg.x008_models, &models, &persist);
+        if let (Some(models), Some(persist)) =
+            (source_of(&cfg.x008_models), source_of(&cfg.x008_persist))
+        {
+            let fr = lints::lint_model_persistence(&cfg.x008_models, models, persist);
             report.waived.extend(fr.waived);
             report.active.extend(fr.findings);
         }
@@ -107,35 +255,46 @@ pub fn run_with_config(root: &Path, cfg: &Config) -> Result<Report, String> {
     if !cfg.x010_models.is_empty() && !cfg.x010_roundtrip.is_empty() {
         let mut corpus = String::new();
         for entry in &cfg.x010_roundtrip {
-            if root.join(entry).is_file() {
-                if let Ok(text) = std::fs::read_to_string(root.join(entry)) {
-                    corpus.push_str(&text);
-                    corpus.push('\n');
-                }
-            } else {
-                for rel in files.iter().filter(|r| r.starts_with(entry.as_str())) {
-                    if let Ok(text) = std::fs::read_to_string(root.join(rel)) {
-                        corpus.push_str(&text);
-                        corpus.push('\n');
-                    }
-                }
+            for p in per.iter().filter(|p| p.rel.starts_with(entry.as_str())) {
+                corpus.push_str(&p.source);
+                corpus.push('\n');
             }
         }
         if !corpus.is_empty() {
-            for rel in
-                files.iter().filter(|r| cfg.x010_models.iter().any(|p| r.starts_with(p.as_str())))
+            for p in
+                per.iter().filter(|p| cfg.x010_models.iter().any(|m| p.rel.starts_with(m.as_str())))
             {
-                let source = std::fs::read_to_string(root.join(rel))
-                    .map_err(|e| format!("reading {rel}: {e}"))?;
-                let fr = lints::lint_model_type_persistence(rel, &source, &corpus);
+                let fr = lints::lint_model_type_persistence(&p.rel, &p.source, &corpus);
                 report.waived.extend(fr.waived);
                 report.active.extend(fr.findings);
             }
         }
     }
+
+    // The workspace call graph + the flow lints (X012/X013/X014).
+    let graph_files: Vec<(String, syntax::FileSyntax)> =
+        per.iter().map(|p| (p.rel.clone(), p.syntax.clone())).collect();
+    let crate_names = callgraph::workspace_crate_names(root);
+    let graph = callgraph::build(&graph_files, &crate_names);
+    stats.graph = graph.stats;
+    let flow_files: Vec<flow::FlowFile> = per
+        .iter()
+        .map(|p| flow::FlowFile { rel: &p.rel, lines: &p.lines, syntax: &p.syntax })
+        .collect();
+    let fr = flow::run(&flow_files, &graph, cfg);
+    report.active.extend(fr.findings);
+    report.waived.extend(fr.waived);
+
     apply_baseline(&mut report, cfg);
     report.normalize();
-    Ok(report)
+
+    if let Some(path) = &opts.cache_path {
+        let entries: Vec<(String, u64, FileReport)> =
+            per.into_iter().map(|p| (p.rel, p.content_hash, p.report)).collect();
+        // A failed save costs the next run its warm start, nothing else.
+        cache::save(path, cfg_hash, &entries).ok();
+    }
+    Ok((report, stats))
 }
 
 /// Move baseline-covered findings out of `active`, tracking leftover

@@ -43,7 +43,35 @@ pub enum Lint {
     /// (`Partition::from_assignments`) outside the partition module in a
     /// byte-pinned crate.
     X011,
+    /// Flow lint: a function outside the timing modules calls a function
+    /// that transitively reaches a wall-clock read (laundered clock).
+    X012,
+    /// Flow lint: lock-order cycle in the workspace guard-nesting graph
+    /// (potential deadlock).
+    X013,
+    /// Flow lint: a function in a modeled crate transitively reaches
+    /// `panic!`/`unwrap`/`expect` through non-test code outside X006's scope.
+    X014,
 }
+
+/// Every lint, in id order.
+pub const ALL_LINTS: [Lint; 15] = [
+    Lint::X000,
+    Lint::X001,
+    Lint::X002,
+    Lint::X003,
+    Lint::X004,
+    Lint::X005,
+    Lint::X006,
+    Lint::X007,
+    Lint::X008,
+    Lint::X009,
+    Lint::X010,
+    Lint::X011,
+    Lint::X012,
+    Lint::X013,
+    Lint::X014,
+];
 
 impl Lint {
     /// Stable id string, e.g. `"X003"`.
@@ -61,7 +89,15 @@ impl Lint {
             Lint::X009 => "X009",
             Lint::X010 => "X010",
             Lint::X011 => "X011",
+            Lint::X012 => "X012",
+            Lint::X013 => "X013",
+            Lint::X014 => "X014",
         }
+    }
+
+    /// Inverse of [`Lint::id`], for cache deserialization.
+    pub fn from_id(id: &str) -> Option<Lint> {
+        ALL_LINTS.iter().copied().find(|l| l.id() == id)
     }
 
     /// One-line description of the violated invariant.
@@ -82,6 +118,9 @@ impl Lint {
                 "per-rank cell assignment built outside the partition module in a \
                  byte-pinned crate"
             }
+            Lint::X012 => "call into a function that transitively reaches a wall-clock read",
+            Lint::X013 => "lock-order cycle across guard-nesting scopes (potential deadlock)",
+            Lint::X014 => "call into non-test code that transitively reaches panic!/unwrap/expect",
         }
     }
 
@@ -135,6 +174,23 @@ impl Lint {
                  from_assignments to mesh::partition and test code, or waive with a \
                  written reason for a deliberately synthetic layout"
             }
+            Lint::X012 => {
+                "the callee wraps a clock read X007 can't see from this line: move the \
+                 wrapper into [x007].timing_modules if it IS measurement code, take the \
+                 time as a parameter instead, or waive the wrapper's X007 finding with a \
+                 written reason (a sanctioned wrapper stops the taint)"
+            }
+            Lint::X013 => {
+                "two locks are acquired in opposite orders on different paths: pick one \
+                 global order (document it where the locks are declared) and restructure \
+                 the offending path, or waive the acquisition with a written reason if \
+                 the paths provably cannot interleave"
+            }
+            Lint::X014 => {
+                "a panic in a dependency of modeled code crashes the study mid-run: make \
+                 the callee return an error, handle the failure at this call site, or \
+                 waive with a written reason if the panic is a can't-happen invariant"
+            }
         }
     }
 }
@@ -183,7 +239,7 @@ const PAR_SOURCES: [&str; 5] =
 
 const FLOAT_REDUCERS: [&str; 4] = ["sum::<f32>", "sum::<f64>", "product::<f32>", "product::<f64>"];
 
-fn path_in(rel: &str, prefixes: &[String]) -> bool {
+pub(crate) fn path_in(rel: &str, prefixes: &[String]) -> bool {
     prefixes.iter().any(|p| rel.starts_with(p.as_str()))
 }
 
@@ -256,7 +312,11 @@ fn adjacent_comment_contains(lines: &[MaskedLine], at: usize, marker: &str) -> b
 /// Waiver lookup for `lint` at line `at`. Returns:
 /// `None` — no waiver present; `Some(Ok(reason))` — well-formed waiver;
 /// `Some(Err(line))` — waiver present but missing its reason (X000 at `line`).
-fn waiver_for(lines: &[MaskedLine], at: usize, lint: Lint) -> Option<Result<String, usize>> {
+pub(crate) fn waiver_for(
+    lines: &[MaskedLine],
+    at: usize,
+    lint: Lint,
+) -> Option<Result<String, usize>> {
     let check = |i: usize| -> Option<Result<String, usize>> {
         let c = &lines[i].comment;
         let pos = c.find("xlint::allow(")?;
@@ -290,10 +350,38 @@ fn waiver_for(lines: &[MaskedLine], at: usize, lint: Lint) -> Option<Result<Stri
     None
 }
 
+/// Everything one file contributes: the per-file lint report plus the
+/// extracted structure the cross-file flow lints consume.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    pub report: FileReport,
+    pub syntax: crate::syntax::FileSyntax,
+    pub lines: Vec<MaskedLine>,
+}
+
+/// Is this a test-crate file? (Every fn inside counts as test code.)
+pub(crate) fn is_test_file(rel: &str) -> bool {
+    rel.starts_with("tests/") || rel.contains("/tests/")
+}
+
 /// Lint one file. `rel` is the root-relative `/`-separated path used for all
 /// path-scoped decisions and reporting.
 pub fn lint_file(rel: &str, source: &str, cfg: &Config) -> FileReport {
+    analyze_file(rel, source, cfg).report
+}
+
+/// Mask + lex + extract only — the inputs the cross-file passes need even
+/// when the per-file lint results come from the cache.
+pub fn structure(rel: &str, source: &str) -> (crate::syntax::FileSyntax, Vec<MaskedLine>) {
     let lines = mask(source);
+    let tokens = crate::lexer::lex(source);
+    let syntax = crate::syntax::extract(source, &tokens, is_test_file(rel));
+    (syntax, lines)
+}
+
+/// Lint one file and keep the token-level structure for the flow pass.
+pub fn analyze_file(rel: &str, source: &str, cfg: &Config) -> FileAnalysis {
+    let (syntax, lines) = structure(rel, source);
     let tests = test_lines(rel, &lines);
     let mut raw_hits: Vec<(Lint, usize)> = Vec::new();
 
@@ -362,13 +450,6 @@ pub fn lint_file(rel: &str, source: &str, cfg: &Config) -> FileReport {
             raw_hits.push((Lint::X006, i));
         }
 
-        // X007 — wall-clock reads outside the timing modules.
-        if !path_in(rel, &cfg.x007_timing_modules)
-            && (code.contains("Instant::now") || contains_word(code, "SystemTime"))
-        {
-            raw_hits.push((Lint::X007, i));
-        }
-
         // X009 — bare blocking receives in service code. `.recv()` (no
         // timeout) can park the batching loop forever; `recv_timeout` /
         // `try_recv` and anything inside the designated wait modules pass.
@@ -392,7 +473,24 @@ pub fn lint_file(rel: &str, source: &str, cfg: &Config) -> FileReport {
         }
     }
 
-    file_report(rel, &lines, raw_hits)
+    // X007 — wall-clock reads outside the timing modules, now found at the
+    // token level: `Instant::now` / `SystemTime::now` including `use … as`
+    // aliases and fn-pointer laundering (`let f = Instant::now;`), which the
+    // old substring check missed. The per-line hit is the direct-source
+    // special case of X012's taint pass.
+    if !path_in(rel, &cfg.x007_timing_modules) {
+        let mut clock_lines: Vec<usize> = syntax.file_clock_lines.clone();
+        for f in &syntax.fns {
+            clock_lines.extend(f.clock_lines.iter().copied());
+        }
+        clock_lines.sort_unstable();
+        clock_lines.dedup();
+        for line in clock_lines {
+            raw_hits.push((Lint::X007, line - 1));
+        }
+    }
+
+    FileAnalysis { report: file_report(rel, &lines, raw_hits), syntax, lines }
 }
 
 /// X008 — the one cross-file check: every model-name string literal declared
@@ -472,7 +570,11 @@ fn first_string_literal(raw: &str) -> Option<String> {
 }
 
 /// Turn raw (lint, line) hits into a report, honoring inline waivers.
-fn file_report(rel: &str, lines: &[MaskedLine], raw_hits: Vec<(Lint, usize)>) -> FileReport {
+pub(crate) fn file_report(
+    rel: &str,
+    lines: &[MaskedLine],
+    raw_hits: Vec<(Lint, usize)>,
+) -> FileReport {
     let mut report = FileReport::default();
     for (lint, i) in raw_hits {
         let finding = Finding {

@@ -1,24 +1,46 @@
 //! CLI for the repo-native lint pass.
 //!
 //! ```text
-//! cargo run -p xlint --            # report findings, exit 0
-//! cargo run -p xlint -- --deny     # exit 1 on any non-baselined finding
-//! cargo run -p xlint -- --json     # machine-readable output
-//! cargo run -p xlint -- --root DIR # lint a different tree
+//! cargo run -p xlint --              # report findings, exit 0
+//! cargo run -p xlint -- --deny       # exit 1 on any non-baselined finding
+//! cargo run -p xlint -- --json       # machine-readable output
+//! cargo run -p xlint -- --sarif F    # write a SARIF 2.1.0 log to F
+//! cargo run -p xlint -- --stats      # engine counters + wall time on stderr
+//! cargo run -p xlint -- --no-cache   # skip the incremental cache
+//! cargo run -p xlint -- --root DIR   # lint a different tree
 //! ```
+//!
+//! The incremental cache lives at `<root>/target/xlint-cache.v1` and is
+//! keyed by file content and config hashes — a warm run is finding-identical
+//! to a cold one by construction (`tests/cache.rs` pins this).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // The one sanctioned wall-clock read in this crate: the CLI stopwatch
+    // for `--stats` (this file is listed in `[x007].timing_modules`).
+    let t0 = std::time::Instant::now();
     let mut deny = false;
     let mut json = false;
+    let mut stats_out = false;
+    let mut no_cache = false;
+    let mut sarif_path: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--deny" => deny = true,
             "--json" => json = true,
+            "--stats" => stats_out = true,
+            "--no-cache" => no_cache = true,
+            "--sarif" => match args.next() {
+                Some(p) => sarif_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("xlint: --sarif needs an output path");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -27,7 +49,10 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                eprintln!("usage: xlint [--deny] [--json] [--root DIR]");
+                eprintln!(
+                    "usage: xlint [--deny] [--json] [--sarif FILE] [--stats] [--no-cache] \
+                     [--root DIR]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -40,18 +65,30 @@ fn main() -> ExitCode {
     // manifest's parent-of-parent so the binary also works when invoked from
     // inside a crate directory.
     let root = root.unwrap_or_else(workspace_root);
+    let opts = xlint::RunOptions {
+        cache_path: (!no_cache).then(|| root.join("target").join("xlint-cache.v1")),
+    };
 
-    let (report, _cfg) = match xlint::run_root(&root) {
+    let (report, _cfg, stats) = match xlint::run_root_opts(&root, &opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("xlint: {e}");
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = &sarif_path {
+        if let Err(e) = std::fs::write(path, xlint::to_sarif(&report)) {
+            eprintln!("xlint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
     if json {
         print!("{}", xlint::to_json(&report));
     } else {
         print!("{}", xlint::to_text(&report));
+    }
+    if stats_out {
+        eprint!("{}", stats.render(Some(t0.elapsed().as_millis())));
     }
     if deny && !report.active.is_empty() {
         return ExitCode::FAILURE;

@@ -1,0 +1,124 @@
+//! SARIF 2.1.0 output — the interchange format GitHub renders as inline
+//! code-scanning annotations.
+//!
+//! Active findings become `error`-level results; baselined and waived
+//! findings are emitted as suppressed results (`external` for the
+//! `xlint.toml` debt register, `inSource` for inline waivers) so the
+//! written justifications survive into the artifact.
+
+use crate::lints::{Finding, Lint};
+use crate::report::{json_escape, Report};
+use std::fmt::Write as _;
+
+/// Render the report as a single-run SARIF 2.1.0 log.
+pub fn to_sarif(r: &Report) -> String {
+    // Rules: every lint that appears anywhere in the report, in id order.
+    let mut lints: Vec<Lint> = r
+        .active
+        .iter()
+        .chain(r.baselined.iter())
+        .map(|f| f.lint)
+        .chain(r.waived.iter().map(|w| w.finding.lint))
+        .collect();
+    lints.sort();
+    lints.dedup();
+    let rules: Vec<String> = lints
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\"help\":{{\"text\":\"{}\"}}}}",
+                l.id(),
+                json_escape(l.message()),
+                json_escape(l.hint())
+            )
+        })
+        .collect();
+
+    let mut results: Vec<String> = Vec::new();
+    for f in &r.active {
+        results.push(result_json(f, "error", None));
+    }
+    for f in &r.baselined {
+        results.push(result_json(
+            f,
+            "note",
+            Some(("external", "grandfathered via xlint.toml [[baseline]]")),
+        ));
+    }
+    for w in &r.waived {
+        results.push(result_json(&w.finding, "note", Some(("inSource", w.reason.as_str()))));
+    }
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\
+         \"runs\":[{{\"tool\":{{\"driver\":{{\"name\":\"xlint\",\
+         \"informationUri\":\"DESIGN.md#determinism-invariants\",\"rules\":[{}]}}}},\
+         \"results\":[{}]}}]}}",
+        rules.join(","),
+        results.join(",")
+    );
+    out.push('\n');
+    out
+}
+
+fn result_json(f: &Finding, level: &str, suppression: Option<(&str, &str)>) -> String {
+    let mut s = format!(
+        "{{\"ruleId\":\"{}\",\"level\":\"{}\",\"message\":{{\"text\":\"{}\"}},\
+         \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+         \"region\":{{\"startLine\":{},\"snippet\":{{\"text\":\"{}\"}}}}}}}}]",
+        f.lint.id(),
+        level,
+        json_escape(f.lint.message()),
+        json_escape(&f.file),
+        f.line,
+        json_escape(&f.excerpt),
+    );
+    if let Some((kind, justification)) = suppression {
+        let _ = write!(
+            s,
+            ",\"suppressions\":[{{\"kind\":\"{}\",\"justification\":\"{}\"}}]",
+            kind,
+            json_escape(justification)
+        );
+    }
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Waived;
+
+    #[test]
+    fn sarif_shape_and_suppressions() {
+        let mut r = Report::default();
+        r.active.push(Finding {
+            lint: Lint::X012,
+            file: "crates/render/src/frame.rs".into(),
+            line: 10,
+            excerpt: "let t = stamp();".into(),
+        });
+        r.waived.push(Waived {
+            finding: Finding {
+                lint: Lint::X006,
+                file: "crates/core/src/solve.rs".into(),
+                line: 4,
+                excerpt: "x.unwrap()".into(),
+            },
+            reason: "bounds checked above".into(),
+        });
+        let s = to_sarif(&r);
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"ruleId\":\"X012\""));
+        assert!(s.contains("\"level\":\"error\""));
+        assert!(s.contains("\"kind\":\"inSource\""));
+        assert!(s.contains("bounds checked above"));
+        assert!(s.contains("\"startLine\":10"));
+        // The rules table lists each lint exactly once, in id order.
+        assert_eq!(s.matches("\"id\":\"X006\"").count(), 1);
+        assert!(s.find("\"id\":\"X006\"").unwrap() < s.find("\"id\":\"X012\"").unwrap());
+    }
+}

@@ -1,0 +1,143 @@
+//! Incremental-cache correctness and parallel determinism.
+//!
+//! The cache is an accelerator, never an oracle: a warm run must produce a
+//! byte-identical report to a cold run, a content edit must invalidate
+//! exactly the edited file, a config edit must invalidate everything, and
+//! disabling the cache must change nothing but the wall time. The
+//! thread-count test runs the actual binary (the rayon shim sizes its
+//! global pool once per process) and pins `RAYON_NUM_THREADS=1` vs `4` to
+//! identical bytes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use xlint::{run_root_opts, to_json, RunOptions};
+
+/// A small lintable tree: one clean file, one X001 finding, one waiver.
+fn write_tree(root: &Path) {
+    fs::create_dir_all(root.join("src")).unwrap();
+    fs::write(root.join("xlint.toml"), "[walk]\nroots = [\"src\"]\n").unwrap();
+    fs::write(
+        root.join("src").join("a.rs"),
+        "pub fn spawny() {\n    std::thread::spawn(|| {});\n}\n",
+    )
+    .unwrap();
+    fs::write(
+        root.join("src").join("b.rs"),
+        "pub fn fine() -> u32 {\n    // xlint::allow(X001): cache fixture waiver\n    std::thread::spawn(|| {});\n    2\n}\n",
+    )
+    .unwrap();
+    fs::write(root.join("src").join("c.rs"), "pub fn quiet() {}\n").unwrap();
+}
+
+fn fresh_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("xlint-cache-it-{tag}"));
+    fs::remove_dir_all(&root).ok();
+    write_tree(&root);
+    root
+}
+
+#[test]
+fn warm_run_is_byte_identical_to_cold() {
+    let root = fresh_root("warm");
+    let opts = RunOptions { cache_path: Some(root.join("cache.v1")) };
+
+    let (cold, _, s_cold) = run_root_opts(&root, &opts).unwrap();
+    assert_eq!(s_cold.cache_hits, 0);
+    assert_eq!(s_cold.cache_misses, 3);
+    assert_eq!(cold.active.len(), 1, "{}", xlint::to_text(&cold));
+    assert_eq!(cold.waived.len(), 1);
+
+    let (warm, _, s_warm) = run_root_opts(&root, &opts).unwrap();
+    assert_eq!(s_warm.cache_hits, 3, "all files unchanged");
+    assert_eq!(s_warm.cache_misses, 0);
+    assert_eq!(to_json(&cold), to_json(&warm), "warm report must be byte-identical");
+
+    // Disabled cache: same report, no hits counted.
+    let (nocache, _, s_none) = run_root_opts(&root, &RunOptions::default()).unwrap();
+    assert_eq!(s_none.cache_hits + s_none.cache_misses, 3);
+    assert_eq!(s_none.cache_hits, 0);
+    assert_eq!(to_json(&cold), to_json(&nocache));
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn content_edit_invalidates_exactly_that_file() {
+    let root = fresh_root("content");
+    let opts = RunOptions { cache_path: Some(root.join("cache.v1")) };
+    let (cold, _, _) = run_root_opts(&root, &opts).unwrap();
+
+    // A new violation in c.rs must surface on the warm run.
+    fs::write(
+        root.join("src").join("c.rs"),
+        "pub fn quiet() {\n    std::sync::mpsc::channel::<u32>();\n}\n",
+    )
+    .unwrap();
+    let (edited, _, stats) = run_root_opts(&root, &opts).unwrap();
+    assert_eq!(stats.cache_hits, 2, "a.rs and b.rs stay warm");
+    assert_eq!(stats.cache_misses, 1, "only c.rs re-lints");
+    assert_eq!(edited.active.len(), cold.active.len() + 1);
+    assert!(edited.active.iter().any(|f| f.file == "src/c.rs"), "{}", xlint::to_text(&edited));
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn config_edit_invalidates_everything() {
+    let root = fresh_root("config");
+    let opts = RunOptions { cache_path: Some(root.join("cache.v1")) };
+    let (cold, _, _) = run_root_opts(&root, &opts).unwrap();
+
+    // A scoping change that affects no finding here still has to flush the
+    // cache: per-file results are only valid under the config they ran with.
+    fs::write(
+        root.join("xlint.toml"),
+        "[walk]\nroots = [\"src\"]\n\n[x007]\ntiming_modules = [\"src/does_not_exist.rs\"]\n",
+    )
+    .unwrap();
+    let (recfg, _, stats) = run_root_opts(&root, &opts).unwrap();
+    assert_eq!(stats.cache_hits, 0, "config hash changed: nothing may stay warm");
+    assert_eq!(stats.cache_misses, 3);
+    assert_eq!(to_json(&cold), to_json(&recfg), "this particular change alters no finding");
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn corrupt_cache_fails_open() {
+    let root = fresh_root("corrupt");
+    let cache_path = root.join("cache.v1");
+    let opts = RunOptions { cache_path: Some(cache_path.clone()) };
+    let (cold, _, _) = run_root_opts(&root, &opts).unwrap();
+
+    fs::write(&cache_path, "xlint-cache v1 0000000000000000\ngarbage\n").unwrap();
+    let (after, _, stats) = run_root_opts(&root, &opts).unwrap();
+    assert_eq!(stats.cache_hits, 0, "corrupt cache is discarded wholesale");
+    assert_eq!(to_json(&cold), to_json(&after));
+
+    fs::remove_dir_all(&root).ok();
+}
+
+/// `RAYON_NUM_THREADS=1` and `=4` must produce byte-identical reports: the
+/// parallel per-file pass merges in walk order, never in completion order.
+#[test]
+fn thread_count_does_not_change_output() {
+    let root = fresh_root("threads");
+    let run = |threads: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_xlint"))
+            .args(["--json", "--no-cache", "--root"])
+            .arg(&root)
+            .env("RAYON_NUM_THREADS", threads)
+            .output()
+            .expect("run xlint binary");
+        assert!(out.status.success(), "xlint exited nonzero: {:?}", out);
+        out.stdout
+    };
+    let single = run("1");
+    let four = run("4");
+    assert!(!single.is_empty());
+    assert_eq!(single, four, "thread count leaked into the report");
+
+    fs::remove_dir_all(&root).ok();
+}

@@ -1,0 +1,18 @@
+//! X012 fixture, consumer half: no line in this file mentions a clock type
+//! or `::now`, yet `frame` depends on the wall clock through
+//! `x012_util::stamp`. Only the call-graph taint pass can see that.
+
+pub fn frame() -> f64 {
+    let t0 = x012_util::stamp();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn waived_frame() {
+    // xlint::allow(X012): demo jitter only, never fed to the model
+    let _ = x012_util::stamp();
+}
+
+pub fn negative(measured_seconds: f64) -> f64 {
+    // Takes measured time as data; never reaches a clock read.
+    measured_seconds * 2.0
+}

@@ -1,0 +1,10 @@
+//! X012 fixture, utility half: the clock read is laundered through a `use`
+//! alias, so the pre-token line scanner (substring `Instant`/`SystemTime`)
+//! would never have seen it. The token pass resolves the alias and flags
+//! the direct read as X007; the flow pass then taints callers (X012).
+
+use std::time::Instant as Tick;
+
+pub fn stamp() -> Tick {
+    Tick::now()
+}

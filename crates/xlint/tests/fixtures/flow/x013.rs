@@ -1,0 +1,47 @@
+//! X013 — lock-order cycles. `ab` and `ba` nest the same two mutexes in
+//! opposite orders: a potential deadlock when the paths interleave. The
+//! second pair (`cd`/`dc`) forms the same shape with the conflicting
+//! acquisition waived. `consistent` nests in one global order — silent.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    c: Mutex<u32>,
+    d: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u32 {
+        let ga = match self.a.lock() { Ok(g) => g, Err(p) => p.into_inner() };
+        let gb = match self.b.lock() { Ok(g) => g, Err(p) => p.into_inner() };
+        *ga + *gb
+    }
+
+    pub fn ba(&self) -> u32 {
+        let gb = match self.b.lock() { Ok(g) => g, Err(p) => p.into_inner() };
+        let ga = match self.a.lock() { Ok(g) => g, Err(p) => p.into_inner() };
+        *ga + *gb
+    }
+
+    pub fn cd(&self) -> u32 {
+        let gc = match self.c.lock() { Ok(g) => g, Err(p) => p.into_inner() };
+        // xlint::allow(X013): fixture waiver path — cd/dc never run concurrently
+        let gd = match self.d.lock() { Ok(g) => g, Err(p) => p.into_inner() };
+        *gc + *gd
+    }
+
+    pub fn dc(&self) -> u32 {
+        let gd = match self.d.lock() { Ok(g) => g, Err(p) => p.into_inner() };
+        let gc = match self.c.lock() { Ok(g) => g, Err(p) => p.into_inner() };
+        *gc + *gd
+    }
+
+    pub fn consistent(&self) -> u32 {
+        // Same order as `ab`: no cycle.
+        let ga = match self.a.lock() { Ok(g) => g, Err(p) => p.into_inner() };
+        let gb = match self.b.lock() { Ok(g) => g, Err(p) => p.into_inner() };
+        *ga - *gb
+    }
+}

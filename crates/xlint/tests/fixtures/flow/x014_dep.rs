@@ -1,0 +1,16 @@
+//! X014 fixture, dependency half: a helper crate outside the modeled
+//! (`[x006].scopes`) tree, so its panics are not X006's business — but
+//! modeled code that calls into them inherits the crash risk.
+
+pub fn risky(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn indirect(x: Option<u32>) -> u32 {
+    // One hop of laundering: no panic on any line of the callers below.
+    risky(x)
+}
+
+pub fn safe(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}

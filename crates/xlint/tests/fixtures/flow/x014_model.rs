@@ -1,0 +1,16 @@
+//! X014 fixture, modeled half: this file is inside the modeled scopes, so a
+//! call that transitively reaches panic!/unwrap/expect in non-test code is
+//! a mid-study crash waiting to happen.
+
+pub fn fit(x: Option<u32>) -> u32 {
+    x014_dep::indirect(x)
+}
+
+pub fn waived_fit(x: Option<u32>) -> u32 {
+    // xlint::allow(X014): fixture waiver path — input is validated upstream
+    x014_dep::risky(x)
+}
+
+pub fn negative(x: Option<u32>) -> u32 {
+    x014_dep::safe(x)
+}

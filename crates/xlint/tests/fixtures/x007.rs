@@ -1,9 +1,24 @@
 //! X007 — wall-clock reads outside the designated timing modules.
+//!
+//! The token-level rule fires on `Instant::now` / `SystemTime::now` through
+//! any `use` alias, with or without the call parens (taking `Instant::now`
+//! as a fn pointer is still a clock dependency). Mentioning the types
+//! without `::now` — e.g. `SystemTime::UNIX_EPOCH` — is not a clock read.
+
+use std::time::Instant as Tick;
 
 fn positive() -> f64 {
     let t0 = std::time::Instant::now();
-    let _epoch = std::time::SystemTime::UNIX_EPOCH;
     t0.elapsed().as_secs_f64()
+}
+
+fn positive_aliased() -> Tick {
+    // The alias hides the type name from any line-based substring match.
+    Tick::now()
+}
+
+fn positive_fn_pointer() -> fn() -> Tick {
+    Tick::now
 }
 
 fn waived() -> std::time::Instant {
@@ -12,6 +27,8 @@ fn waived() -> std::time::Instant {
 }
 
 fn negative(measured_seconds: f64) -> f64 {
-    // Takes measured time as data instead of reading the clock.
+    // Takes measured time as data instead of reading the clock; naming the
+    // epoch constant is fine.
+    let _epoch = std::time::SystemTime::UNIX_EPOCH;
     measured_seconds * 2.0
 }

@@ -1,0 +1,173 @@
+//! Property test: the token lexer and the masked-line scanner must agree on
+//! what is code, what is comment, and what is literal interior — for
+//! arbitrary well-formed snippets assembled from the constructs both claim
+//! to understand (idents, puncts, plain/raw strings, char literals,
+//! lifetimes, line and block comments).
+//!
+//! The two passes are independent implementations of the same
+//! classification: `mask::mask` drives the substring lints (X001–X011) and
+//! waiver detection, `lexer::lex` drives the token-level X007 rule and the
+//! syntax extractor behind X012–X014. A disagreement means one of the two
+//! can be fooled into reading a literal or a comment as code — exactly the
+//! failure masking exists to prevent.
+//!
+//! Known deliberate exclusion: an escaped newline inside a char literal
+//! (`'\<newline>'`) misaligns the mask's line splitting; the generator never
+//! produces one. Plain strings with `\n`-style escapes (two chars, no real
+//! newline) are covered.
+
+use proptest::prelude::*;
+use xlint::lexer::{self, CharClass};
+use xlint::mask;
+
+const IDENTS: &[&str] = &["alpha", "beta_2", "now", "lock", "x", "fname", "r#type"];
+const KEYWORDS: &[&str] = &["fn", "let", "impl", "use", "mod", "match", "pub"];
+const PUNCTS: &[&str] =
+    &["::", "->", "{", "}", "(", ")", ";", ",", ".", "=", "&", "<", ">", "#", "!", "..="];
+const STR_CHUNKS: &[&str] = &["abc", "x y", "//", "/*", "*/", "'", "0", "no{w}"];
+const STR_ESCAPES: &[&str] = &["\\\\", "\\\"", "\\n", "\\t", "\\'"];
+const RAW_PLAIN: &[&str] = &["plain", "// not a comment", "x 'y'", "*/ still string"];
+const RAW_HASHED: &[&str] = &["un \"safe", "a \" b", "plain too", "/* \" */"];
+const CHAR_BODIES: &[&str] = &["a", "7", "*", "\"", "\\n", "\\\\", "\\'"];
+const LIFETIMES: &[&str] = &["a", "de", "static"];
+const COMMENT_TEXT: &[&str] = &["plain", "has \" quote", "star * slash", "x007 'tick'"];
+const BLOCK_TEXT: &[&str] = &["text", "x \" y", "quote ' inside", "0"];
+
+fn pick<'a>(table: &'a [&'a str], bits: u64) -> &'a str {
+    table[(bits % table.len() as u64) as usize]
+}
+
+/// Append one source atom chosen by `(kind, bits)`.
+fn push_atom(kind: u8, bits: u64, out: &mut String) {
+    match kind % 10 {
+        0 => out.push_str(pick(IDENTS, bits)),
+        1 => out.push_str(pick(KEYWORDS, bits)),
+        2 => out.push_str(&(bits % 100_000).to_string()),
+        3 => out.push_str(pick(PUNCTS, bits)),
+        4 => {
+            // Plain string: 1–3 pieces, each a chunk or an escape.
+            out.push('"');
+            let mut b = bits;
+            for _ in 0..(b % 3 + 1) {
+                if b & 1 == 0 {
+                    out.push_str(pick(STR_CHUNKS, b >> 1));
+                } else {
+                    out.push_str(pick(STR_ESCAPES, b >> 1));
+                }
+                b >>= 3;
+            }
+            out.push('"');
+        }
+        5 => {
+            // Raw string, 0 or 1 hashes; a hashed interior may hold bare
+            // quotes (but never the `"#` terminator).
+            let hashed = bits & 1 == 1;
+            out.push('r');
+            if hashed {
+                out.push('#');
+            }
+            out.push('"');
+            out.push_str(pick(if hashed { RAW_HASHED } else { RAW_PLAIN }, bits >> 1));
+            out.push('"');
+            if hashed {
+                out.push('#');
+            }
+        }
+        6 => {
+            out.push('\'');
+            out.push_str(pick(CHAR_BODIES, bits));
+            out.push('\'');
+        }
+        7 => {
+            out.push('\'');
+            out.push_str(pick(LIFETIMES, bits));
+        }
+        8 => {
+            out.push_str("// ");
+            out.push_str(pick(COMMENT_TEXT, bits));
+            out.push('\n');
+        }
+        _ => {
+            out.push_str("/* ");
+            out.push_str(pick(BLOCK_TEXT, bits));
+            out.push_str(" */");
+        }
+    }
+}
+
+/// Per-char classification derived from the masked views: a non-blank char
+/// in the comment view is Comment; a char the code view preserves is Code;
+/// a char the code view blanked is literal interior.
+fn mask_classes(src: &str) -> Vec<CharClass> {
+    let masked = mask::mask(src);
+    let lines: Vec<(Vec<char>, Vec<char>)> =
+        masked.iter().map(|m| (m.code.chars().collect(), m.comment.chars().collect())).collect();
+    let mut out = Vec::with_capacity(src.chars().count());
+    let (mut line, mut col) = (0usize, 0usize);
+    for c in src.chars() {
+        if c == '\n' {
+            line += 1;
+            col = 0;
+            out.push(CharClass::Code);
+            continue;
+        }
+        let (code, com) = &lines[line];
+        let code_c = code.get(col).copied().unwrap_or(' ');
+        let com_c = com.get(col).copied().unwrap_or(' ');
+        out.push(if com_c != ' ' {
+            CharClass::Comment
+        } else if code_c == c {
+            CharClass::Code
+        } else {
+            CharClass::LiteralInterior
+        });
+        col += 1;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lexer_and_mask_agree_on_classification(
+        atoms in collection::vec((any::<u8>(), any::<u64>()), 1..40)
+    ) {
+        let mut src = String::new();
+        for (kind, bits) in &atoms {
+            push_atom(*kind, *bits, &mut src);
+            src.push(' ');
+        }
+        src.push('\n');
+
+        let tokens = lexer::lex(&src);
+        let from_lexer = lexer::char_classes(&src, &tokens);
+        let from_mask = mask_classes(&src);
+        prop_assert_eq!(from_lexer.len(), from_mask.len());
+
+        for (i, c) in src.chars().enumerate() {
+            // Spaces are ambiguous by construction (a blank is a blank in
+            // every view); everything visible must agree.
+            if c == ' ' || c == '\n' {
+                continue;
+            }
+            prop_assert_eq!(
+                from_lexer[i],
+                from_mask[i],
+                "char {} `{}` in:\n{}",
+                i,
+                c,
+                src
+            );
+        }
+
+        // Token sanity while we have the stream: spans are in-bounds,
+        // non-empty, and strictly ordered.
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            prop_assert!(t.start >= prev_end, "overlapping tokens in:\n{}", src);
+            prop_assert!(t.end > t.start && t.end <= src.len());
+            prev_end = t.end;
+        }
+    }
+}
